@@ -1,0 +1,287 @@
+//! Ensemble baselines: Bagging and Born-Again Networks (BANs).
+//!
+//! Both use the same two-layer GCN base model as RDD (the paper's fairness
+//! requirement, §5.1). Per the paper, Bagging does **not** subsample the
+//! training set — the labeled set is already tiny — it trains independent
+//! GCNs from different seeds and averages their softmax outputs uniformly.
+//! BANs trains each generation under a KD loss toward the previous
+//! generation and averages all generations uniformly.
+
+use std::rc::Rc;
+use std::time::Instant;
+
+use rdd_graph::Dataset;
+use rdd_models::{predict_logits, train, Gcn, GcnConfig, GraphContext, TrainConfig};
+use rdd_tensor::{seeded_rng, Matrix, Tape, Var};
+
+/// Outcome shared by the ensemble baselines (feeds Tables 3, 6 and 9).
+#[derive(Clone, Debug)]
+pub struct EnsembleOutcome {
+    /// Test accuracy of the combined model.
+    pub ensemble_test_acc: f32,
+    /// Validation accuracy of the combined model.
+    pub ensemble_val_acc: f32,
+    /// Per-base-model test accuracies, in training order.
+    pub base_test_accs: Vec<f32>,
+    /// Wall-clock seconds per base model.
+    pub per_model_time_s: Vec<f64>,
+    /// Total wall-clock seconds.
+    pub wall_time_s: f64,
+    /// Test accuracy of the uniform soft-vote truncated to the first `t+1`
+    /// base models (feeds Table 9).
+    pub prefix_test_accs: Vec<f32>,
+    /// Hard predictions of the combined model.
+    pub pred: Vec<usize>,
+}
+
+impl EnsembleOutcome {
+    /// Mean base-model test accuracy (Table 6's "Average" row).
+    pub fn average_base_test_acc(&self) -> f32 {
+        if self.base_test_accs.is_empty() {
+            return 0.0;
+        }
+        self.base_test_accs.iter().sum::<f32>() / self.base_test_accs.len() as f32
+    }
+
+    /// Ensemble-minus-average gain (Table 6's "Gain" row).
+    pub fn gain(&self) -> f32 {
+        self.ensemble_test_acc - self.average_base_test_acc()
+    }
+}
+
+fn finish(
+    data: &Dataset,
+    probas: Vec<Matrix>,
+    base_test_accs: Vec<f32>,
+    per_model_time_s: Vec<f64>,
+    start: Instant,
+) -> EnsembleOutcome {
+    // Running (unnormalized) soft-vote sum gives the prefix accuracies in
+    // one pass; argmax is scale-invariant.
+    let mut sum = Matrix::zeros(probas[0].rows(), probas[0].cols());
+    let mut prefix_test_accs = Vec::with_capacity(probas.len());
+    for p in &probas {
+        sum.add_assign(p);
+        prefix_test_accs.push(data.test_accuracy(&sum.argmax_rows()));
+    }
+    let pred = sum.argmax_rows();
+    EnsembleOutcome {
+        ensemble_test_acc: data.test_accuracy(&pred),
+        ensemble_val_acc: data.val_accuracy(&pred),
+        base_test_accs,
+        per_model_time_s,
+        wall_time_s: start.elapsed().as_secs_f64(),
+        prefix_test_accs,
+        pred,
+    }
+}
+
+/// Bagging: `num_models` independently-seeded GCNs, uniform soft-vote.
+pub fn bagging(
+    data: &Dataset,
+    gcn: &GcnConfig,
+    train_cfg: &TrainConfig,
+    num_models: usize,
+    seed: u64,
+) -> EnsembleOutcome {
+    assert!(num_models >= 1);
+    let start = Instant::now();
+    let ctx = GraphContext::new(data);
+    let mut probas = Vec::with_capacity(num_models);
+    let mut accs = Vec::with_capacity(num_models);
+    let mut times = Vec::with_capacity(num_models);
+    for t in 0..num_models {
+        let t0 = Instant::now();
+        let mut rng = seeded_rng(seed.wrapping_add(t as u64));
+        let mut model = Gcn::new(&ctx, gcn.clone(), &mut rng);
+        train(&mut model, &ctx, data, train_cfg, &mut rng, None);
+        let proba = predict_logits(&model, &ctx).softmax_rows();
+        accs.push(data.test_accuracy(&proba.argmax_rows()));
+        probas.push(proba);
+        times.push(t0.elapsed().as_secs_f64());
+    }
+    finish(data, probas, accs, times, start)
+}
+
+/// BANs hyperparameters.
+#[derive(Clone, Debug)]
+pub struct BansConfig {
+    /// Weight of the KD term pulling generation `t` toward generation
+    /// `t−1`'s predictions.
+    pub kd_weight: f32,
+    /// Softmax temperature applied to the teacher's logits before the
+    /// dark-knowledge transfer (Hinton et al. 2015). `1.0` uses the raw
+    /// distribution; `T > 1` softens it, exposing more inter-class
+    /// structure.
+    pub temperature: f32,
+}
+
+impl Default for BansConfig {
+    fn default() -> Self {
+        Self {
+            kd_weight: 1.0,
+            temperature: 1.0,
+        }
+    }
+}
+
+/// Born-Again Networks: generation `t` minimizes
+/// `CE + kd_weight · H(p_{t−1}, p_t)` over all nodes — soft cross-entropy
+/// against the previous generation's softmax outputs (the dark-knowledge
+/// transfer of Furlanello et al. 2018) — then all generations soft-vote
+/// uniformly.
+pub fn bans(
+    data: &Dataset,
+    gcn: &GcnConfig,
+    train_cfg: &TrainConfig,
+    num_models: usize,
+    cfg: &BansConfig,
+    seed: u64,
+) -> EnsembleOutcome {
+    assert!(num_models >= 1);
+    let start = Instant::now();
+    let ctx = GraphContext::new(data);
+    let mut probas: Vec<Matrix> = Vec::with_capacity(num_models);
+    let mut accs = Vec::with_capacity(num_models);
+    let mut times = Vec::with_capacity(num_models);
+    assert!(cfg.temperature > 0.0, "temperature must be positive");
+    let mut prev_proba: Option<Rc<Matrix>> = None;
+    let all_nodes: Rc<Vec<usize>> = Rc::new((0..data.n()).collect());
+
+    for t in 0..num_models {
+        let t0 = Instant::now();
+        let mut rng = seeded_rng(seed.wrapping_add(t as u64));
+        let mut model = Gcn::new(&ctx, gcn.clone(), &mut rng);
+        match &prev_proba {
+            None => {
+                train(&mut model, &ctx, data, train_cfg, &mut rng, None);
+            }
+            Some(teacher) => {
+                let teacher = Rc::clone(teacher);
+                let nodes = Rc::clone(&all_nodes);
+                let kd = cfg.kd_weight;
+                let mut hook = move |tape: &mut Tape, logits: Var, _epoch: usize| {
+                    // Classic KD: mimic the teacher's full softmax on every
+                    // node, no reliability filtering (the contrast RDD
+                    // improves on).
+                    let logp = tape.log_softmax(logits);
+                    let l = tape.soft_ce_masked(logp, Rc::clone(&teacher), Rc::clone(&nodes));
+                    vec![(l, kd)]
+                };
+                train(&mut model, &ctx, data, train_cfg, &mut rng, Some(&mut hook));
+            }
+        }
+        let logits = predict_logits(&model, &ctx);
+        let proba = logits.softmax_rows();
+        accs.push(data.test_accuracy(&proba.argmax_rows()));
+        // Next generation's target: temperature-softened teacher output.
+        prev_proba = Some(Rc::new(if (cfg.temperature - 1.0).abs() < 1e-6 {
+            proba.clone()
+        } else {
+            logits.scaled(1.0 / cfg.temperature).softmax_rows()
+        }));
+        probas.push(proba);
+        times.push(t0.elapsed().as_secs_f64());
+    }
+    finish(data, probas, accs, times, start)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdd_graph::SynthConfig;
+
+    #[test]
+    fn bagging_combines_models() {
+        let data = SynthConfig::tiny().generate();
+        let out = bagging(&data, &GcnConfig::citation(), &TrainConfig::fast(), 2, 7);
+        assert_eq!(out.base_test_accs.len(), 2);
+        assert!(out.ensemble_test_acc > 0.5, "acc {}", out.ensemble_test_acc);
+        assert_eq!(out.pred.len(), data.n());
+        assert_eq!(out.per_model_time_s.len(), 2);
+    }
+
+    #[test]
+    fn bagging_base_models_differ() {
+        let data = SynthConfig::tiny().generate();
+        let out = bagging(&data, &GcnConfig::citation(), &TrainConfig::fast(), 2, 7);
+        // Different seeds should give (at least slightly) different models.
+        assert!(
+            (out.base_test_accs[0] - out.base_test_accs[1]).abs() > 1e-6
+                || out.base_test_accs[0] != out.ensemble_test_acc,
+            "suspiciously identical base models"
+        );
+    }
+
+    #[test]
+    fn bans_trains_generations() {
+        let data = SynthConfig::tiny().generate();
+        let out = bans(
+            &data,
+            &GcnConfig::citation(),
+            &TrainConfig::fast(),
+            2,
+            &BansConfig::default(),
+            7,
+        );
+        assert_eq!(out.base_test_accs.len(), 2);
+        assert!(out.ensemble_test_acc > 0.5, "acc {}", out.ensemble_test_acc);
+    }
+
+    #[test]
+    fn gain_is_ensemble_minus_average() {
+        let out = EnsembleOutcome {
+            ensemble_test_acc: 0.9,
+            ensemble_val_acc: 0.9,
+            base_test_accs: vec![0.8, 0.84],
+            per_model_time_s: vec![0.0, 0.0],
+            wall_time_s: 0.0,
+            prefix_test_accs: vec![0.8, 0.9],
+            pred: vec![],
+        };
+        assert!((out.average_base_test_acc() - 0.82).abs() < 1e-6);
+        assert!((out.gain() - 0.08).abs() < 1e-6);
+    }
+}
+
+#[cfg(test)]
+mod temperature_tests {
+    use super::*;
+    use rdd_graph::SynthConfig;
+
+    #[test]
+    fn bans_with_temperature_trains() {
+        let data = SynthConfig::tiny().generate();
+        let cfg = BansConfig {
+            kd_weight: 1.0,
+            temperature: 3.0,
+        };
+        let out = bans(
+            &data,
+            &GcnConfig::citation(),
+            &TrainConfig::fast(),
+            2,
+            &cfg,
+            5,
+        );
+        assert!(out.ensemble_test_acc > 0.5, "acc {}", out.ensemble_test_acc);
+    }
+
+    #[test]
+    #[should_panic(expected = "temperature must be positive")]
+    fn zero_temperature_rejected() {
+        let data = SynthConfig::tiny().generate();
+        let cfg = BansConfig {
+            kd_weight: 1.0,
+            temperature: 0.0,
+        };
+        let _ = bans(
+            &data,
+            &GcnConfig::citation(),
+            &TrainConfig::fast(),
+            2,
+            &cfg,
+            5,
+        );
+    }
+}

@@ -1,0 +1,245 @@
+//! Pseudo-labeling baselines: Self-Training and Co-Training (paper §1.1's
+//! "most representative" SSL methods, following Li et al. 2018).
+//!
+//! * **Self-Training** trains a GCN, takes its most confident predictions
+//!   per class as pseudo-labels, adds them to the training set and retrains.
+//! * **Co-Training** complements the GCN with a random-walk view of the
+//!   graph: per-class personalized PageRank from the labeled seeds scores
+//!   every node, the top-scored nodes per class become pseudo-labels, and a
+//!   GCN is trained on the expanded label set.
+
+use rand::rngs::StdRng;
+use rdd_graph::Dataset;
+use rdd_models::{predict_proba, train, Gcn, GcnConfig, GraphContext, TrainConfig};
+use rdd_tensor::seeded_rng;
+
+/// Configuration for both pseudo-labeling methods.
+#[derive(Clone, Debug)]
+pub struct PseudoLabelConfig {
+    /// Pseudo-labels added per class per round.
+    pub per_class: usize,
+    /// Number of expand-retrain rounds (Self-Training only).
+    pub rounds: usize,
+}
+
+impl Default for PseudoLabelConfig {
+    fn default() -> Self {
+        Self {
+            per_class: 20,
+            rounds: 1,
+        }
+    }
+}
+
+/// Expand `data`'s training set with pseudo-labels: for each class, the
+/// `per_class` unlabeled nodes with the highest `score`, relabeled to that
+/// class. Returns the expanded dataset copy.
+fn expand_with_pseudo_labels(
+    data: &Dataset,
+    scores: impl Fn(usize, usize) -> f32, // (node, class) -> confidence
+    predicted_class: &[usize],
+    per_class: usize,
+) -> Dataset {
+    let mut expanded = data.clone();
+    let mut is_train = vec![false; data.n()];
+    for &i in &data.train_idx {
+        is_train[i] = true;
+    }
+    for c in 0..data.num_classes {
+        let mut candidates: Vec<usize> = (0..data.n())
+            .filter(|&i| !is_train[i] && predicted_class[i] == c)
+            .collect();
+        candidates.sort_by(|&a, &b| scores(b, c).total_cmp(&scores(a, c)));
+        for &i in candidates.iter().take(per_class) {
+            expanded.labels[i] = c; // pseudo-label (may be wrong!)
+            expanded.train_idx.push(i);
+            is_train[i] = true;
+        }
+    }
+    expanded.train_idx.sort_unstable();
+    expanded
+}
+
+fn train_gcn(
+    data: &Dataset,
+    gcn: &GcnConfig,
+    cfg: &TrainConfig,
+    rng: &mut StdRng,
+) -> (Gcn, GraphContext) {
+    let ctx = GraphContext::new(data);
+    let mut model = Gcn::new(&ctx, gcn.clone(), rng);
+    train(&mut model, &ctx, data, cfg, rng, None);
+    (model, ctx)
+}
+
+/// Self-Training: iteratively add the GCN's most confident predictions as
+/// pseudo-labels and retrain. Returns hard predictions over all nodes.
+///
+/// Accuracy must always be evaluated against the *original* dataset's
+/// labels — the expanded copy contains pseudo-labels.
+pub fn self_training(
+    data: &Dataset,
+    gcn: &GcnConfig,
+    train_cfg: &TrainConfig,
+    cfg: &PseudoLabelConfig,
+    seed: u64,
+) -> Vec<usize> {
+    let mut rng = seeded_rng(seed);
+    let mut working = data.clone();
+    let mut last_pred: Vec<usize>;
+    let mut round = 0;
+    loop {
+        let (model, ctx) = train_gcn(&working, gcn, train_cfg, &mut rng);
+        let proba = predict_proba(&model, &ctx);
+        last_pred = proba.argmax_rows();
+        if round >= cfg.rounds {
+            return last_pred;
+        }
+        round += 1;
+        let pred = last_pred.clone();
+        working = expand_with_pseudo_labels(&working, |i, c| proba.get(i, c), &pred, cfg.per_class);
+    }
+}
+
+/// Per-class personalized PageRank: restart uniformly over that class's
+/// labeled seeds. Returns an `n`-vector per class.
+fn class_ppr(data: &Dataset, damping: f32, iterations: usize) -> Vec<Vec<f32>> {
+    let n = data.n();
+    let mut out = Vec::with_capacity(data.num_classes);
+    for c in 0..data.num_classes {
+        let seeds: Vec<usize> = data
+            .train_idx
+            .iter()
+            .copied()
+            .filter(|&i| data.labels[i] == c)
+            .collect();
+        if seeds.is_empty() {
+            out.push(vec![0.0; n]);
+            continue;
+        }
+        let restart = 1.0 / seeds.len() as f32;
+        let mut rank = vec![0.0f32; n];
+        for &s in &seeds {
+            rank[s] = restart;
+        }
+        let seed_mass = rank.clone();
+        for _ in 0..iterations {
+            let mut next = vec![0.0f32; n];
+            #[allow(clippy::needless_range_loop)]
+            for i in 0..n {
+                let d = data.graph.degree(i);
+                if d == 0 {
+                    continue;
+                }
+                let share = rank[i] / d as f32;
+                for &j in data.graph.neighbors(i) {
+                    next[j as usize] += share;
+                }
+            }
+            for i in 0..n {
+                next[i] = damping * next[i] + (1.0 - damping) * seed_mass[i];
+            }
+            rank = next;
+        }
+        out.push(rank);
+    }
+    out
+}
+
+/// Co-Training: the random-walk view proposes pseudo-labels (top-PPR nodes
+/// per class), then a GCN trains on the expanded label set. Returns hard
+/// predictions over all nodes.
+pub fn co_training(
+    data: &Dataset,
+    gcn: &GcnConfig,
+    train_cfg: &TrainConfig,
+    cfg: &PseudoLabelConfig,
+    seed: u64,
+) -> Vec<usize> {
+    let ppr = class_ppr(data, 0.85, 30);
+    // Random-walk class assignment: argmax over per-class PPR scores.
+    let rw_class: Vec<usize> = (0..data.n())
+        .map(|i| {
+            let mut best = 0;
+            for c in 1..data.num_classes {
+                if ppr[c][i] > ppr[best][i] {
+                    best = c;
+                }
+            }
+            best
+        })
+        .collect();
+    let expanded = expand_with_pseudo_labels(data, |i, c| ppr[c][i], &rw_class, cfg.per_class);
+    let mut rng = seeded_rng(seed);
+    let (model, ctx) = train_gcn(&expanded, gcn, train_cfg, &mut rng);
+    predict_proba(&model, &ctx).argmax_rows()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdd_graph::SynthConfig;
+
+    #[test]
+    fn self_training_beats_chance() {
+        let data = SynthConfig::tiny().generate();
+        let cfg = PseudoLabelConfig {
+            per_class: 10,
+            rounds: 1,
+        };
+        let preds = self_training(&data, &GcnConfig::citation(), &TrainConfig::fast(), &cfg, 3);
+        let acc = data.test_accuracy(&preds);
+        assert!(acc > 0.5, "self-training acc {acc}");
+    }
+
+    #[test]
+    fn co_training_beats_chance() {
+        let data = SynthConfig::tiny().generate();
+        let cfg = PseudoLabelConfig {
+            per_class: 10,
+            rounds: 1,
+        };
+        let preds = co_training(&data, &GcnConfig::citation(), &TrainConfig::fast(), &cfg, 3);
+        let acc = data.test_accuracy(&preds);
+        assert!(acc > 0.5, "co-training acc {acc}");
+    }
+
+    #[test]
+    fn expansion_grows_training_set_without_duplicates() {
+        let data = SynthConfig::tiny().generate();
+        let pred: Vec<usize> = (0..data.n()).map(|i| i % 3).collect();
+        let expanded = expand_with_pseudo_labels(&data, |_, _| 1.0, &pred, 5);
+        assert!(expanded.train_idx.len() > data.train_idx.len());
+        assert!(expanded.train_idx.len() <= data.train_idx.len() + 15);
+        let mut sorted = expanded.train_idx.clone();
+        sorted.dedup();
+        assert_eq!(
+            sorted.len(),
+            expanded.train_idx.len(),
+            "duplicate train idx"
+        );
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)]
+    fn class_ppr_mass_concentrates_near_seeds() {
+        let data = SynthConfig::tiny().generate();
+        let ppr = class_ppr(&data, 0.85, 30);
+        // A class's own seeds should on average outscore other classes'.
+        for c in 0..data.num_classes {
+            let own: f32 = data
+                .train_idx
+                .iter()
+                .filter(|&&i| data.labels[i] == c)
+                .map(|&i| ppr[c][i])
+                .sum();
+            let other: f32 = data
+                .train_idx
+                .iter()
+                .filter(|&&i| data.labels[i] != c)
+                .map(|&i| ppr[c][i])
+                .sum();
+            assert!(own > other, "class {c} PPR not concentrated");
+        }
+    }
+}

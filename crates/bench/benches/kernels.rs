@@ -1,0 +1,100 @@
+//! Kernel microbenches: the dense/sparse primitives every training epoch is
+//! made of, plus the SpMM-vs-dense ablation called out in DESIGN.md.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rdd_graph::SynthConfig;
+use rdd_tensor::{seeded_rng, uniform, CsrMatrix, Matrix};
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut g = c.benchmark_group("matmul");
+    let mut rng = seeded_rng(1);
+    for &(m, k, n) in &[
+        (512usize, 64usize, 64usize),
+        (2708, 1433, 16),
+        (2708, 16, 7),
+    ] {
+        let a = uniform(m, k, 1.0, &mut rng);
+        let b = uniform(k, n, 1.0, &mut rng);
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{m}x{k}x{n}")),
+            &(),
+            |bch, _| {
+                bch.iter(|| std::hint::black_box(a.matmul(&b)));
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_spmm(c: &mut Criterion) {
+    let data = SynthConfig::cora_sim().generate();
+    let a_hat = data.graph.normalized_adjacency();
+    let x = data.features.clone();
+    let mut rng = seeded_rng(2);
+    let h = uniform(data.n(), 16, 1.0, &mut rng);
+    let w = uniform(data.num_features(), 16, 1.0, &mut rng);
+
+    let mut g = c.benchmark_group("spmm");
+    g.bench_function("a_hat@h(cora,16)", |b| {
+        b.iter(|| std::hint::black_box(a_hat.spmm(&h)));
+    });
+    g.bench_function("features@w(cora,16)", |b| {
+        b.iter(|| std::hint::black_box(x.spmm(&w)));
+    });
+    g.bench_function("features_t@h(backward)", |b| {
+        b.iter(|| std::hint::black_box(x.spmm_t(&h)));
+    });
+    // Ablation: the dense equivalent of the sparse feature product — the
+    // reason layer 1 takes CSR input.
+    let x_dense = x.to_dense();
+    g.sample_size(10);
+    g.bench_function("dense_features@w(ablation)", |b| {
+        b.iter(|| std::hint::black_box(x_dense.matmul(&w)));
+    });
+    g.finish();
+}
+
+fn bench_graph_ops(c: &mut Criterion) {
+    let data = SynthConfig::cora_sim().generate();
+    let mut g = c.benchmark_group("graph");
+    g.bench_function("pagerank(cora,100it)", |b| {
+        b.iter(|| std::hint::black_box(data.graph.pagerank(0.85, 100, 1e-9)));
+    });
+    g.bench_function("normalized_adjacency(cora)", |b| {
+        b.iter(|| std::hint::black_box(data.graph.normalized_adjacency()));
+    });
+    g.finish();
+}
+
+fn bench_csr_build(c: &mut Criterion) {
+    let data = SynthConfig::cora_sim().generate();
+    let triplets: Vec<(usize, usize, f32)> = data.features.iter().collect();
+    let (rows, cols) = data.features.shape();
+    c.bench_function("csr_from_triplets(cora features)", |b| {
+        b.iter(|| std::hint::black_box(CsrMatrix::from_triplets(rows, cols, &triplets)));
+    });
+}
+
+fn bench_softmax_entropy(c: &mut Criterion) {
+    let mut rng = seeded_rng(3);
+    let logits = uniform(2708, 7, 3.0, &mut rng);
+    let proba: Matrix = logits.softmax_rows();
+    let mut g = c.benchmark_group("rowops");
+    g.bench_function("softmax_rows(2708x7)", |b| {
+        b.iter(|| std::hint::black_box(logits.softmax_rows()));
+    });
+    g.bench_function("row_entropy(2708x7)", |b| {
+        b.iter(|| std::hint::black_box(proba.row_entropy()));
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_matmul,
+    bench_spmm,
+    bench_graph_ops,
+    bench_csr_build,
+    bench_softmax_entropy
+);
+criterion_main!(benches);

@@ -1,0 +1,106 @@
+//! Reliability-update benches — Algorithm 1/2 run every training epoch, so
+//! their cost matters. Includes the two representation ablations from
+//! DESIGN.md: top-p selection via `select_nth_unstable` vs a full sort, and
+//! reliable-set lookup via bitmap vs sorted index list.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rdd_core::compute_reliability;
+use rdd_graph::SynthConfig;
+use rdd_tensor::{seeded_rng, uniform};
+
+fn bench_reliability_update(c: &mut Criterion) {
+    let data = SynthConfig::cora_sim().generate();
+    let mut rng = seeded_rng(1);
+    let teacher = uniform(data.n(), data.num_classes, 3.0, &mut rng).softmax_rows();
+    let student = uniform(data.n(), data.num_classes, 3.0, &mut rng).softmax_rows();
+    let mut is_labeled = vec![false; data.n()];
+    for &i in &data.train_idx {
+        is_labeled[i] = true;
+    }
+    c.bench_function("compute_reliability(cora)", |b| {
+        b.iter(|| {
+            std::hint::black_box(compute_reliability(
+                &teacher,
+                &student,
+                &data.labels,
+                &is_labeled,
+                0.4,
+                &data.graph,
+            ))
+        });
+    });
+}
+
+fn bench_topp_selection(c: &mut Criterion) {
+    let mut rng = seeded_rng(2);
+    let entropies: Vec<f32> = uniform(1, 19717, 1.0, &mut rng).as_slice().to_vec();
+    let k = (entropies.len() as f32 * 0.4) as usize;
+
+    let mut g = c.benchmark_group("top_p_threshold");
+    // Ablation A: partial selection (what `rdd-core` uses).
+    g.bench_function("select_nth_unstable", |b| {
+        b.iter(|| {
+            let mut v = entropies.clone();
+            let (_, nth, _) = v.select_nth_unstable_by(k - 1, |a, b| a.total_cmp(b));
+            std::hint::black_box(*nth)
+        });
+    });
+    // Ablation B: full sort (what a naive implementation of Algorithm 1's
+    // "sort ascending" would do).
+    g.bench_function("full_sort", |b| {
+        b.iter(|| {
+            let mut v = entropies.clone();
+            v.sort_unstable_by(|a, b| a.total_cmp(b));
+            std::hint::black_box(v[k - 1])
+        });
+    });
+    g.finish();
+}
+
+fn bench_reliable_set_repr(c: &mut Criterion) {
+    // Ablation: edge filtering against a bitmap vs a sorted index list.
+    let data = SynthConfig::pubmed_sim().generate();
+    let n = data.n();
+    let mut rng = seeded_rng(3);
+    let reliable_bitmap: Vec<bool> = uniform(1, n, 1.0, &mut rng)
+        .as_slice()
+        .iter()
+        .map(|&x| x > 0.0)
+        .collect();
+    let reliable_sorted: Vec<u32> = (0..n as u32)
+        .filter(|&i| reliable_bitmap[i as usize])
+        .collect();
+    let edges = data.graph.edges();
+
+    let mut g = c.benchmark_group("reliable_edge_filter");
+    g.bench_function("bitmap", |b| {
+        b.iter(|| {
+            let count = edges
+                .iter()
+                .filter(|&&(x, y)| reliable_bitmap[x as usize] && reliable_bitmap[y as usize])
+                .count();
+            std::hint::black_box(count)
+        });
+    });
+    g.bench_function("binary_search_index_list", |b| {
+        b.iter(|| {
+            let count = edges
+                .iter()
+                .filter(|&&(x, y)| {
+                    reliable_sorted.binary_search(&x).is_ok()
+                        && reliable_sorted.binary_search(&y).is_ok()
+                })
+                .count();
+            std::hint::black_box(count)
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_reliability_update,
+    bench_topp_selection,
+    bench_reliable_set_repr
+);
+criterion_main!(benches);

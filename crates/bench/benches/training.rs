@@ -1,0 +1,100 @@
+//! Training-loop benches: the per-epoch cost of a plain GCN step vs an RDD
+//! step (the input to Table 9's "average time per model" ratio), and
+//! eval-mode prediction.
+
+use std::rc::Rc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rdd_core::compute_reliability;
+use rdd_graph::SynthConfig;
+use rdd_models::{predict_logits, Gcn, GcnConfig, GraphContext, Model};
+use rdd_tensor::{seeded_rng, Tape};
+
+fn bench_epoch(c: &mut Criterion) {
+    let data = SynthConfig::cora_sim().generate();
+    let ctx = GraphContext::new(&data);
+    let mut rng = seeded_rng(1);
+    let model = Gcn::new(&ctx, GcnConfig::citation(), &mut rng);
+    let labels = Rc::new(data.labels.clone());
+    let train_idx = Rc::new(data.train_idx.clone());
+
+    let mut g = c.benchmark_group("epoch");
+    g.sample_size(30);
+    g.bench_function("gcn_forward_backward(cora)", |b| {
+        b.iter(|| {
+            let mut tape = Tape::new();
+            let logits = model.forward(&mut tape, &ctx, true, &mut rng);
+            let logp = tape.log_softmax(logits);
+            let loss = tape.nll_masked(logp, Rc::clone(&labels), Rc::clone(&train_idx));
+            std::hint::black_box(tape.backward(loss, model.params().len()));
+        });
+    });
+
+    // The RDD step: same forward/backward plus the per-epoch reliability
+    // update and the two extra loss terms.
+    let teacher_logits = predict_logits(&model, &ctx);
+    let teacher_proba = teacher_logits.softmax_rows();
+    let teacher_logits = Rc::new(teacher_logits);
+    let mut is_labeled = vec![false; data.n()];
+    for &i in &data.train_idx {
+        is_labeled[i] = true;
+    }
+    g.bench_function("rdd_forward_backward(cora)", |b| {
+        b.iter(|| {
+            let mut tape = Tape::new();
+            let logits = model.forward(&mut tape, &ctx, true, &mut rng);
+            let student_proba = tape.value(logits).softmax_rows();
+            let sets = compute_reliability(
+                &teacher_proba,
+                &student_proba,
+                &data.labels,
+                &is_labeled,
+                0.4,
+                &data.graph,
+            );
+            let logp = tape.log_softmax(logits);
+            let ce = tape.nll_masked(logp, Rc::clone(&labels), Rc::clone(&train_idx));
+            let l2 = tape.mse_rows(logits, Rc::clone(&teacher_logits), Rc::new(sets.distill));
+            let probs = tape.softmax(logits);
+            let lreg = tape.edge_reg(probs, Rc::new(sets.edges));
+            let loss = tape.weighted_sum(&[(ce, 1.0), (l2, 1.0), (lreg, 1.0)]);
+            std::hint::black_box(tape.backward(loss, model.params().len()));
+        });
+    });
+    g.finish();
+}
+
+fn bench_gat_epoch(c: &mut Criterion) {
+    use rdd_models::{Gat, GatConfig};
+    let data = SynthConfig::cora_sim().generate();
+    let ctx = GraphContext::new(&data);
+    let mut rng = seeded_rng(5);
+    let gat = Gat::new(&ctx, GatConfig::default(), &mut rng);
+    let labels = Rc::new(data.labels.clone());
+    let train_idx = Rc::new(data.train_idx.clone());
+    let mut g = c.benchmark_group("epoch");
+    g.sample_size(10);
+    g.bench_function("gat_forward_backward(cora)", |b| {
+        b.iter(|| {
+            let mut tape = Tape::new();
+            let logits = gat.forward(&mut tape, &ctx, true, &mut rng);
+            let logp = tape.log_softmax(logits);
+            let loss = tape.nll_masked(logp, Rc::clone(&labels), Rc::clone(&train_idx));
+            std::hint::black_box(tape.backward(loss, gat.params().len()));
+        });
+    });
+    g.finish();
+}
+
+fn bench_predict(c: &mut Criterion) {
+    let data = SynthConfig::cora_sim().generate();
+    let ctx = GraphContext::new(&data);
+    let mut rng = seeded_rng(2);
+    let model = Gcn::new(&ctx, GcnConfig::citation(), &mut rng);
+    c.bench_function("predict_logits(cora)", |b| {
+        b.iter(|| std::hint::black_box(predict_logits(&model, &ctx)));
+    });
+}
+
+criterion_group!(benches, bench_epoch, bench_gat_epoch, bench_predict);
+criterion_main!(benches);

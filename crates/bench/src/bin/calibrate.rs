@@ -1,0 +1,75 @@
+//! Generator calibration report: measured dataset statistics plus the
+//! accuracy of diagnostic models (MLP = features only, LP = structure only,
+//! GCN = both) on each synthetic preset. Used to keep the presets aligned
+//! with the paper's Table 2 statistics and single-GCN accuracies.
+//!
+//! ```sh
+//! cargo run --release -p rdd-bench --bin calibrate [preset...]
+//! ```
+
+use rdd_baselines::lp::{predict as lp_predict, LpConfig};
+use rdd_graph::{DatasetStats, SynthConfig};
+use rdd_models::{predict, train, Gcn, GcnConfig, GraphContext, Mlp, TrainConfig};
+use rdd_tensor::seeded_rng;
+
+fn preset_by_name(name: &str) -> Option<SynthConfig> {
+    match name {
+        "cora" | "cora-sim" => Some(SynthConfig::cora_sim()),
+        "citeseer" | "citeseer-sim" => Some(SynthConfig::citeseer_sim()),
+        "pubmed" | "pubmed-sim" => Some(SynthConfig::pubmed_sim()),
+        "nell" | "nell-sim" => Some(SynthConfig::nell_sim()),
+        "tiny" => Some(SynthConfig::tiny()),
+        _ => None,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let presets: Vec<SynthConfig> = if args.is_empty() {
+        vec![SynthConfig::cora_sim(), SynthConfig::citeseer_sim()]
+    } else {
+        args.iter()
+            .map(|a| preset_by_name(a).unwrap_or_else(|| panic!("unknown preset {a}")))
+            .collect()
+    };
+
+    println!("{}", DatasetStats::header());
+    for cfg in &presets {
+        let data = cfg.generate();
+        println!("{}", DatasetStats::of(&data).row());
+
+        let ctx = GraphContext::new(&data);
+        let (gcn_cfg, train_cfg) = if cfg.name.starts_with("nell") {
+            (GcnConfig::nell(), TrainConfig::nell())
+        } else {
+            (GcnConfig::citation(), TrainConfig::citation())
+        };
+
+        let mut rng = seeded_rng(1);
+        let mut mlp = Mlp::new(&ctx, gcn_cfg.clone(), &mut rng);
+        train(&mut mlp, &ctx, &data, &train_cfg, &mut rng, None);
+        let mlp_acc = data.test_accuracy(&predict(&mlp, &ctx));
+
+        let lp_acc = data.test_accuracy(&lp_predict(&data, &LpConfig::default()));
+
+        let mut accs = Vec::new();
+        for seed in 0..3u64 {
+            let mut rng = seeded_rng(seed);
+            let mut gcn = Gcn::new(&ctx, gcn_cfg.clone(), &mut rng);
+            let rep = train(&mut gcn, &ctx, &data, &train_cfg, &mut rng, None);
+            let acc = data.test_accuracy(&predict(&gcn, &ctx));
+            accs.push((acc, rep.epochs_run, rep.wall_time_s));
+        }
+        let mean: f32 = accs.iter().map(|a| a.0).sum::<f32>() / accs.len() as f32;
+        println!(
+            "  MLP {:.1}%  LP {:.1}%  GCN {:.1}% (runs: {})",
+            100.0 * mlp_acc,
+            100.0 * lp_acc,
+            100.0 * mean,
+            accs.iter()
+                .map(|(a, e, t)| format!("{:.1}%@{e}ep/{t:.1}s", 100.0 * a))
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+    }
+}

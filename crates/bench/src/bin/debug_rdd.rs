@@ -1,0 +1,33 @@
+//! Diagnostic: sweep RDD loss configurations on the synthetic presets.
+
+use rdd_core::{DistillTarget, RddConfig, RddTrainer};
+use rdd_graph::SynthConfig;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (data, base): (_, fn(f32) -> RddConfig) = match args.first().map(String::as_str) {
+        Some("citeseer") => (SynthConfig::citeseer_sim().generate(), RddConfig::citation),
+        Some("pubmed") => (SynthConfig::pubmed_sim().generate(), RddConfig::citation),
+        Some("nell") => (SynthConfig::nell_sim().generate(), |g| {
+            let mut c = RddConfig::nell();
+            c.gamma_initial = g;
+            c
+        }),
+        _ => (SynthConfig::cora_sim().generate(), RddConfig::citation),
+    };
+    for gamma in [0.3f32, 1.0, 3.0] {
+        for beta in [0.0f32, 1.0, 10.0] {
+            let mut cfg = base(gamma);
+            cfg.distill = DistillTarget::Probs;
+            cfg.beta = beta;
+            let out = RddTrainer::new(cfg).run(&data);
+            println!(
+                "g={gamma} b={beta:<4} ens {:.1}%  single {:.1}%  avg {:.1}%  ({:.0}s)",
+                100.0 * out.ensemble_test_acc,
+                100.0 * out.single_test_acc,
+                100.0 * out.average_base_test_acc(),
+                out.wall_time_s,
+            );
+        }
+    }
+}

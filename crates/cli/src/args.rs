@@ -1,0 +1,100 @@
+//! Tiny hand-rolled argument parser (the offline dependency set has no
+//! `clap`): positional arguments plus `--key value` / `--flag` options.
+
+use std::collections::BTreeMap;
+
+/// Parsed command line: positionals in order, options by name.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Args {
+    pub positional: Vec<String>,
+    pub options: BTreeMap<String, String>,
+    pub flags: Vec<String>,
+}
+
+impl Args {
+    /// Parse raw arguments. A token starting with `--` consumes the next
+    /// token as its value unless that token also starts with `--` (then it
+    /// is a bare flag).
+    pub fn parse(raw: impl IntoIterator<Item = String>) -> Result<Self, String> {
+        let mut out = Args::default();
+        let mut iter = raw.into_iter().peekable();
+        while let Some(tok) = iter.next() {
+            if let Some(name) = tok.strip_prefix("--") {
+                if name.is_empty() {
+                    return Err("empty option name '--'".into());
+                }
+                match iter.peek() {
+                    Some(next) if !next.starts_with("--") => {
+                        let value = iter.next().expect("peeked");
+                        out.options.insert(name.to_string(), value);
+                    }
+                    _ => out.flags.push(name.to_string()),
+                }
+            } else {
+                out.positional.push(tok);
+            }
+        }
+        Ok(out)
+    }
+
+    /// The option value, parsed, or `default`.
+    pub fn get_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.options.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("invalid value {v:?} for --{name}")),
+        }
+    }
+
+    /// Whether a bare flag was passed.
+    pub fn has_flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Args {
+        Args::parse(s.split_whitespace().map(String::from)).expect("parse")
+    }
+
+    #[test]
+    fn positionals_and_options() {
+        let a = parse("train cora --models 5 --seed 7");
+        assert_eq!(a.positional, vec!["train", "cora"]);
+        assert_eq!(a.options.get("models").map(String::as_str), Some("5"));
+        assert_eq!(a.get_or("models", 1usize).unwrap(), 5);
+        assert_eq!(a.get_or("seed", 0u64).unwrap(), 7);
+        assert_eq!(a.get_or("missing", 42usize).unwrap(), 42);
+    }
+
+    #[test]
+    fn bare_flags() {
+        let a = parse("info data --verbose --models 3");
+        assert!(a.has_flag("verbose"));
+        assert!(!a.has_flag("models"));
+        assert_eq!(a.get_or("models", 0usize).unwrap(), 3);
+    }
+
+    #[test]
+    fn flag_followed_by_flag() {
+        let a = parse("--quiet --fast");
+        assert!(a.has_flag("quiet"));
+        assert!(a.has_flag("fast"));
+    }
+
+    #[test]
+    fn invalid_value_errors() {
+        let a = parse("--models abc");
+        assert!(a.get_or("models", 1usize).is_err());
+    }
+
+    #[test]
+    fn empty_option_name_errors() {
+        let e = Args::parse(vec!["--".to_string()]);
+        assert!(e.is_err());
+    }
+}

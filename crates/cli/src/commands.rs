@@ -1,0 +1,262 @@
+//! Command implementations for the `rdd` CLI.
+
+use std::path::Path;
+
+use rdd_baselines::lp::{predict as lp_predict, LpConfig};
+use rdd_baselines::{
+    bagging, bans, co_training, mean_teacher, self_training, snapshot_ensemble, BansConfig,
+    MeanTeacherConfig, PseudoLabelConfig, SnapshotConfig,
+};
+use rdd_core::{RddConfig, RddTrainer};
+use rdd_graph::{io, Dataset, DatasetStats, SynthConfig};
+use rdd_models::{
+    predict, train as train_model, Gat, GatConfig, Gcn, GcnConfig, GraphContext, GraphSage,
+    SageConfig, TrainConfig,
+};
+use rdd_tensor::seeded_rng;
+
+use crate::args::Args;
+
+/// Honor `--save <path>` after training a single model.
+fn maybe_save(model: &dyn rdd_models::Model, args: &Args) -> Result<(), String> {
+    if let Some(path) = args.options.get("save") {
+        rdd_models::save_checkpoint(model, Path::new(path)).map_err(|e| e.to_string())?;
+        println!("saved checkpoint to {path}");
+    }
+    Ok(())
+}
+
+fn preset(name: &str) -> Option<SynthConfig> {
+    match name {
+        "cora" | "cora-sim" => Some(SynthConfig::cora_sim()),
+        "citeseer" | "citeseer-sim" => Some(SynthConfig::citeseer_sim()),
+        "pubmed" | "pubmed-sim" => Some(SynthConfig::pubmed_sim()),
+        "nell" | "nell-sim" => Some(SynthConfig::nell_sim()),
+        "tiny" => Some(SynthConfig::tiny()),
+        _ => None,
+    }
+}
+
+/// Load a dataset from a preset name or a saved TSV directory.
+fn load(source: &str, seed: Option<u64>) -> Result<Dataset, String> {
+    if let Some(cfg) = preset(source) {
+        return Ok(match seed {
+            Some(s) => cfg.generate_with_seed(s),
+            None => cfg.generate(),
+        });
+    }
+    let path = Path::new(source);
+    if path.is_dir() {
+        io::load_dataset(path).map_err(|e| format!("failed to load {source}: {e}"))
+    } else {
+        Err(format!(
+            "{source:?} is neither a preset (cora|citeseer|pubmed|nell|tiny) nor a dataset directory"
+        ))
+    }
+}
+
+/// Per-dataset model configuration (paper §5.1).
+fn configs_for(data: &Dataset) -> (GcnConfig, TrainConfig, RddConfig) {
+    if data.name.starts_with("nell") {
+        (
+            GcnConfig::nell(),
+            TrainConfig::nell(),
+            RddConfig::for_dataset("nell"),
+        )
+    } else if data.name.starts_with("citeseer") {
+        (
+            GcnConfig::citation(),
+            TrainConfig::citation(),
+            RddConfig::for_dataset("citeseer"),
+        )
+    } else if data.name.starts_with("pubmed") {
+        (
+            GcnConfig::citation(),
+            TrainConfig::citation(),
+            RddConfig::for_dataset("pubmed"),
+        )
+    } else {
+        (
+            GcnConfig::citation(),
+            TrainConfig::citation(),
+            RddConfig::for_dataset("cora"),
+        )
+    }
+}
+
+/// `rdd generate <preset> <dir>`
+pub fn generate(args: &Args) -> Result<(), String> {
+    let [_, name, dir] = args.positional.as_slice() else {
+        return Err("usage: rdd generate <preset> <dir>".into());
+    };
+    let cfg = preset(name).ok_or_else(|| format!("unknown preset {name}"))?;
+    let seed: u64 = args.get_or("seed", cfg.seed)?;
+    let data = cfg.generate_with_seed(seed);
+    io::save_dataset(&data, Path::new(dir)).map_err(|e| e.to_string())?;
+    println!(
+        "wrote {} ({} nodes, {} edges) to {dir}",
+        data.name,
+        data.n(),
+        data.graph.num_edges()
+    );
+    Ok(())
+}
+
+/// `rdd info <preset|dir>`
+pub fn info(args: &Args) -> Result<(), String> {
+    let [_, source] = args.positional.as_slice() else {
+        return Err("usage: rdd info <preset|dir>".into());
+    };
+    let data = load(source, None)?;
+    println!("{}", DatasetStats::header());
+    println!("{}", DatasetStats::of(&data).row());
+    let hist = rdd_graph::stats::degree_histogram(&data);
+    println!("degree histogram [0, 1, 2-3, 4-7, 8-15, 16+]: {hist:?}");
+    Ok(())
+}
+
+/// `rdd train <preset|dir> [--method M] [--models N] [--seed N] ...`
+pub fn train_cmd_inner(args: &Args, print: bool) -> Result<(String, f32), String> {
+    let source = args
+        .positional
+        .get(1)
+        .ok_or("usage: rdd train <preset|dir> [--method M]")?;
+    let seed: u64 = args.get_or("seed", 1)?;
+    let data = load(source, None)?;
+    let (gcn_cfg, train_cfg, mut rdd_cfg) = configs_for(&data);
+    let models: usize = args.get_or("models", 5)?;
+    let method: String = args.get_or("method", "rdd".to_string())?;
+
+    let acc = match method.as_str() {
+        "gcn" => {
+            let ctx = GraphContext::new(&data);
+            let mut rng = seeded_rng(seed);
+            let mut m = Gcn::new(&ctx, gcn_cfg, &mut rng);
+            train_model(&mut m, &ctx, &data, &train_cfg, &mut rng, None);
+            maybe_save(&m, args)?;
+            data.test_accuracy(&predict(&m, &ctx))
+        }
+        "sage" => {
+            let ctx = GraphContext::new(&data);
+            let mut rng = seeded_rng(seed);
+            let mut m = GraphSage::new(&ctx, SageConfig::default(), &mut rng);
+            train_model(&mut m, &ctx, &data, &train_cfg, &mut rng, None);
+            maybe_save(&m, args)?;
+            data.test_accuracy(&predict(&m, &ctx))
+        }
+        "gat" => {
+            let ctx = GraphContext::new(&data);
+            let mut rng = seeded_rng(seed);
+            let mut m = Gat::new(&ctx, GatConfig::default(), &mut rng);
+            train_model(&mut m, &ctx, &data, &train_cfg, &mut rng, None);
+            maybe_save(&m, args)?;
+            data.test_accuracy(&predict(&m, &ctx))
+        }
+        "rdd" => {
+            rdd_cfg.num_base_models = models;
+            rdd_cfg.seed = seed;
+            rdd_cfg.gamma_initial = args.get_or("gamma", rdd_cfg.gamma_initial)?;
+            rdd_cfg.beta = args.get_or("beta", rdd_cfg.beta)?;
+            rdd_cfg.p = args.get_or("p", rdd_cfg.p)?;
+            let out = RddTrainer::new(rdd_cfg).run(&data);
+            if print {
+                println!("RDD single: {:.1}%", 100.0 * out.single_test_acc);
+            }
+            out.ensemble_test_acc
+        }
+        "bagging" => bagging(&data, &gcn_cfg, &train_cfg, models, seed).ensemble_test_acc,
+        "bans" => {
+            bans(
+                &data,
+                &gcn_cfg,
+                &train_cfg,
+                models,
+                &BansConfig::default(),
+                seed,
+            )
+            .ensemble_test_acc
+        }
+        "lp" => data.test_accuracy(&lp_predict(&data, &LpConfig::default())),
+        "self-training" => {
+            let preds = self_training(
+                &data,
+                &gcn_cfg,
+                &train_cfg,
+                &PseudoLabelConfig::default(),
+                seed,
+            );
+            data.test_accuracy(&preds)
+        }
+        "co-training" => {
+            let preds = co_training(
+                &data,
+                &gcn_cfg,
+                &train_cfg,
+                &PseudoLabelConfig::default(),
+                seed,
+            );
+            data.test_accuracy(&preds)
+        }
+        "snapshot" => {
+            let cfg = SnapshotConfig {
+                cycle: 100,
+                cycles: models,
+            };
+            snapshot_ensemble(&data, &gcn_cfg, &train_cfg, &cfg, seed).ensemble_test_acc
+        }
+        "mean-teacher" => {
+            mean_teacher(
+                &data,
+                &gcn_cfg,
+                &train_cfg,
+                &MeanTeacherConfig::default(),
+                seed,
+            )
+            .teacher_test_acc
+        }
+        other => return Err(format!("unknown method {other}")),
+    };
+    if print {
+        println!(
+            "{method} on {}: test accuracy {:.1}%",
+            data.name,
+            100.0 * acc
+        );
+    }
+    Ok((method, acc))
+}
+
+pub fn train(args: &Args) -> Result<(), String> {
+    train_cmd_inner(args, true).map(|_| ())
+}
+
+/// `rdd compare <preset|dir>` — every method side by side.
+pub fn compare(args: &Args) -> Result<(), String> {
+    let source = args
+        .positional
+        .get(1)
+        .ok_or("usage: rdd compare <preset|dir>")?
+        .clone();
+    let methods = [
+        "lp",
+        "gcn",
+        "sage",
+        "self-training",
+        "co-training",
+        "bagging",
+        "bans",
+        "snapshot",
+        "mean-teacher",
+        "rdd",
+    ];
+    println!("{:<16} {:>9}", "method", "test acc");
+    println!("{}", "-".repeat(26));
+    for m in methods {
+        let mut sub = args.clone();
+        sub.options.insert("method".into(), m.into());
+        sub.positional = vec!["train".into(), source.clone()];
+        let (_, acc) = train_cmd_inner(&sub, false)?;
+        println!("{m:<16} {:>8.1}%", 100.0 * acc);
+    }
+    Ok(())
+}

@@ -1,0 +1,58 @@
+//! `rdd` — command-line front end for the RDD (SIGMOD 2020) reproduction.
+//!
+//! ```text
+//! rdd generate <preset> <dir> [--seed N]        write a synthetic dataset as TSV
+//! rdd info <preset|dir>                         dataset statistics (Table 2 row)
+//! rdd train <preset|dir> [--method M] [...]     train and report test accuracy
+//! rdd compare <preset|dir> [--models N]         run every method side by side
+//! ```
+//!
+//! Methods: `gcn`, `gat`, `sage`, `rdd` (default), `bagging`, `bans`, `lp`,
+//! `self-training`, `co-training`, `snapshot`, `mean-teacher`.
+
+mod args;
+mod commands;
+
+use args::Args;
+
+const USAGE: &str = "usage:
+  rdd generate <preset> <dir> [--seed N]
+  rdd info <preset|dir>
+  rdd train <preset|dir> [--method gcn|gat|sage|rdd|bagging|bans|lp|self-training|co-training|snapshot|mean-teacher]
+            [--models N] [--seed N] [--gamma F] [--beta F] [--p F]
+  rdd compare <preset|dir> [--models N] [--seed N]
+
+presets: cora, citeseer, pubmed, nell, tiny";
+
+fn main() {
+    let args = match Args::parse(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    if args.has_flag("help") {
+        println!("{USAGE}");
+        return;
+    }
+    let Some(command) = args.positional.first().cloned() else {
+        eprintln!("{USAGE}");
+        std::process::exit(2);
+    };
+    let result = match command.as_str() {
+        "generate" => commands::generate(&args),
+        "info" => commands::info(&args),
+        "train" => commands::train(&args),
+        "compare" => commands::compare(&args),
+        "help" | "--help" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}\n{USAGE}")),
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

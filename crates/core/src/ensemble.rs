@@ -1,0 +1,197 @@
+//! Graph-data-based ensemble (paper §4.3).
+//!
+//! Each trained student joins the teacher ensemble with weight
+//! `α_t = 1 / Σ_i I_t(x_i) · Pr(x_i)` (Eq. 12): the inverse of its total
+//! prediction entropy weighted by PageRank node importance. Confident
+//! predictions on structurally important nodes earn a base model more say
+//! in the combined output `H_T = Σ α_t h_t` (Eq. 13).
+
+use rdd_tensor::Matrix;
+
+/// One base model's frozen outputs plus its ensemble weight.
+#[derive(Clone, Debug)]
+pub struct EnsembleMember {
+    /// Eval-mode softmax outputs, `n x k`.
+    pub proba: Matrix,
+    /// Eval-mode last-layer embeddings (logits), `n x k` — the `F_t` the L2
+    /// loss mimics.
+    pub logits: Matrix,
+    /// `α_t`.
+    pub alpha: f32,
+}
+
+/// The teacher: an α-weighted combination of base model outputs.
+#[derive(Clone, Debug, Default)]
+pub struct Ensemble {
+    members: Vec<EnsembleMember>,
+}
+
+impl Ensemble {
+    /// An empty ensemble.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of base models.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether no base models have been added.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// The member weights in insertion order.
+    pub fn alphas(&self) -> Vec<f32> {
+        self.members.iter().map(|m| m.alpha).collect()
+    }
+
+    /// Add a base model's outputs with weight `alpha`.
+    pub fn push(&mut self, proba: Matrix, logits: Matrix, alpha: f32) {
+        assert!(
+            alpha.is_finite() && alpha > 0.0,
+            "ensemble weight must be positive, got {alpha}"
+        );
+        if let Some(first) = self.members.first() {
+            assert_eq!(first.proba.shape(), proba.shape(), "member shape mismatch");
+        }
+        self.members.push(EnsembleMember {
+            proba,
+            logits,
+            alpha,
+        });
+    }
+
+    /// α-normalized weighted average of member matrices selected by `f`.
+    fn weighted_mean(&self, f: impl Fn(&EnsembleMember) -> &Matrix) -> Matrix {
+        assert!(!self.members.is_empty(), "empty ensemble");
+        let total: f32 = self.members.iter().map(|m| m.alpha).sum();
+        let shape = f(&self.members[0]).shape();
+        let mut out = Matrix::zeros(shape.0, shape.1);
+        for m in &self.members {
+            out.add_scaled_assign(f(m), m.alpha / total);
+        }
+        out
+    }
+
+    /// The teacher's softmax output `H_T` (rows remain distributions because
+    /// the weights are normalized to sum to one).
+    pub fn proba(&self) -> Matrix {
+        self.weighted_mean(|m| &m.proba)
+    }
+
+    /// The teacher's embedding `F_T` used as the L2 target (Eq. 7).
+    pub fn logits(&self) -> Matrix {
+        self.weighted_mean(|m| &m.logits)
+    }
+
+    /// Hard predictions of the combined teacher.
+    pub fn predict(&self) -> Vec<usize> {
+        self.proba().argmax_rows()
+    }
+}
+
+/// Eq. 12: `α_t = 1 / Σ_i I_t(x_i) · Pr(x_i)`.
+///
+/// `uniform_weights` (the WEW ablation) replaces this with Bagging's
+/// constant weighting.
+pub fn model_weight(proba: &Matrix, pagerank: &[f32]) -> f32 {
+    assert_eq!(proba.rows(), pagerank.len(), "pagerank length mismatch");
+    let entropies = proba.row_entropy();
+    let weighted: f32 = entropies.iter().zip(pagerank).map(|(&e, &pr)| e * pr).sum();
+    // A perfectly confident model has zero total entropy; clamp to keep the
+    // weight finite (it still dominates the ensemble).
+    1.0 / weighted.max(1e-9)
+}
+
+/// The WEW ablation: every base model weighs the same.
+pub fn uniform_weight() -> f32 {
+    1.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn proba2(rows: &[[f32; 2]]) -> Matrix {
+        Matrix::from_vec(rows.len(), 2, rows.iter().flatten().copied().collect())
+    }
+
+    #[test]
+    fn weighted_mean_respects_alpha() {
+        let mut e = Ensemble::new();
+        let a = proba2(&[[1.0, 0.0]]);
+        let b = proba2(&[[0.0, 1.0]]);
+        e.push(a, proba2(&[[2.0, 0.0]]), 3.0);
+        e.push(b, proba2(&[[0.0, 2.0]]), 1.0);
+        let p = e.proba();
+        assert!((p.get(0, 0) - 0.75).abs() < 1e-6);
+        assert!((p.get(0, 1) - 0.25).abs() < 1e-6);
+        let l = e.logits();
+        assert!((l.get(0, 0) - 1.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn proba_rows_remain_distributions() {
+        let mut e = Ensemble::new();
+        e.push(
+            proba2(&[[0.6, 0.4], [0.1, 0.9]]),
+            proba2(&[[0.0, 0.0], [0.0, 0.0]]),
+            0.7,
+        );
+        e.push(
+            proba2(&[[0.2, 0.8], [0.3, 0.7]]),
+            proba2(&[[0.0, 0.0], [0.0, 0.0]]),
+            2.0,
+        );
+        let p = e.proba();
+        for i in 0..2 {
+            let s: f32 = p.row(i).iter().sum();
+            assert!((s - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn confident_model_gets_higher_weight() {
+        let pr = vec![0.5, 0.5];
+        let confident = proba2(&[[0.99, 0.01], [0.98, 0.02]]);
+        let unsure = proba2(&[[0.6, 0.4], [0.55, 0.45]]);
+        assert!(model_weight(&confident, &pr) > model_weight(&unsure, &pr));
+    }
+
+    #[test]
+    fn pagerank_focuses_the_weight() {
+        // Same entropies, but model A is unsure exactly on the high-PageRank
+        // node -> lower weight than model B which is unsure on the low one.
+        let pr = vec![0.9, 0.1];
+        let a = proba2(&[[0.5, 0.5], [0.99, 0.01]]);
+        let b = proba2(&[[0.99, 0.01], [0.5, 0.5]]);
+        assert!(model_weight(&a, &pr) < model_weight(&b, &pr));
+    }
+
+    #[test]
+    fn zero_entropy_model_weight_is_finite() {
+        let pr = vec![1.0];
+        let onehot = proba2(&[[1.0, 0.0]]);
+        let w = model_weight(&onehot, &pr);
+        assert!(w.is_finite() && w > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn non_positive_alpha_rejected() {
+        let mut e = Ensemble::new();
+        e.push(proba2(&[[1.0, 0.0]]), proba2(&[[0.0, 0.0]]), 0.0);
+    }
+
+    #[test]
+    fn predict_uses_combined_output() {
+        let mut e = Ensemble::new();
+        // Two weak votes for class 1 outweigh one vote for class 0 when
+        // weighted up.
+        e.push(proba2(&[[0.9, 0.1]]), proba2(&[[0.0, 0.0]]), 1.0);
+        e.push(proba2(&[[0.2, 0.8]]), proba2(&[[0.0, 0.0]]), 5.0);
+        assert_eq!(e.predict(), vec![1]);
+    }
+}

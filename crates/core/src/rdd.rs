@@ -1,0 +1,613 @@
+//! Reliable Data Distillation — the self-boosting training loop
+//! (paper §4, Algorithm 3).
+//!
+//! The first student is a plain GCN. Every subsequent student trains under
+//! the current teacher (the α-weighted ensemble of all previous students)
+//! with the three-term objective `L = L1 + γ·L2 + β·Lreg` (Eq. 10), where
+//! the reliability sets behind L2 and Lreg are refreshed *every epoch* from
+//! the student's current predictions (Algorithms 1–2). After training, the
+//! student joins the ensemble with the PageRank-entropy weight of Eq. 12,
+//! improving the teacher for the next round — the mutual-promoting cycle of
+//! Figure 2.
+
+use std::rc::Rc;
+use std::time::Instant;
+
+use rdd_graph::Dataset;
+use rdd_models::{
+    predict_logits, train, Gcn, GcnConfig, GraphContext, Model, TrainConfig, TrainReport,
+};
+use rdd_tensor::{seeded_rng, Matrix, Tape, Var};
+
+use crate::ensemble::{model_weight, uniform_weight, Ensemble};
+use crate::reliability::{all_nodes_reliable, compute_reliability};
+
+/// Feature switches for the paper's Table 8 ablations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Ablation {
+    /// Use the L2 distillation loss (off = "No L2").
+    pub use_l2: bool,
+    /// Use the edge regularizer (off = "No Lreg").
+    pub use_lreg: bool,
+    /// Filter distillation by node reliability (off = "WNR": mimic every
+    /// node like classical KD).
+    pub use_node_reliability: bool,
+    /// Filter the regularizer by edge reliability (off = "WER": plain graph
+    /// Laplacian regularization over all edges).
+    pub use_edge_reliability: bool,
+    /// Weight base models by Eq. 12 (off = "WEW": Bagging-style uniform).
+    pub use_entropy_weights: bool,
+}
+
+impl Default for Ablation {
+    fn default() -> Self {
+        Self {
+            use_l2: true,
+            use_lreg: true,
+            use_node_reliability: true,
+            use_edge_reliability: true,
+            use_entropy_weights: true,
+        }
+    }
+}
+
+impl Ablation {
+    /// "No L2" row of Table 8.
+    pub fn no_l2() -> Self {
+        Self {
+            use_l2: false,
+            ..Self::default()
+        }
+    }
+
+    /// "No Lreg" row of Table 8.
+    pub fn no_lreg() -> Self {
+        Self {
+            use_lreg: false,
+            ..Self::default()
+        }
+    }
+
+    /// "WNR" — without node reliability.
+    pub fn without_node_reliability() -> Self {
+        Self {
+            use_node_reliability: false,
+            ..Self::default()
+        }
+    }
+
+    /// "WER" — without edge reliability.
+    pub fn without_edge_reliability() -> Self {
+        Self {
+            use_edge_reliability: false,
+            ..Self::default()
+        }
+    }
+
+    /// "WKR" — without knowledge reliability (neither node nor edge).
+    pub fn without_knowledge_reliability() -> Self {
+        Self {
+            use_node_reliability: false,
+            use_edge_reliability: false,
+            ..Self::default()
+        }
+    }
+
+    /// "WEW" — without the entropy/PageRank ensemble weighting.
+    pub fn without_entropy_weights() -> Self {
+        Self {
+            use_entropy_weights: false,
+            ..Self::default()
+        }
+    }
+}
+
+/// What the L2 loss (Eq. 7) pulls the student toward on the distillation
+/// set `V_b`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum DistillTarget {
+    /// Mimic the teacher's last-layer embedding (the paper's Eq. 7 reading:
+    /// `‖f_t(x) − F_{t−1}(x)‖²` on pre-softmax outputs).
+    Logits,
+    /// Mimic the teacher's softmax distribution with an L2 match
+    /// (scale-invariant across ensemble members).
+    #[default]
+    Probs,
+    /// Soft cross-entropy against the teacher distribution (Hinton-style
+    /// dark knowledge).
+    SoftCe,
+}
+
+/// Full RDD configuration (paper §5.1 defaults via [`RddConfig::citation`]).
+#[derive(Clone, Debug)]
+pub struct RddConfig {
+    /// `T`, the number of base models (the paper ensembles five).
+    pub num_base_models: usize,
+    /// `p`, the reliability fraction (paper default 0.4).
+    pub p: f32,
+    /// `β`, the edge-regularizer strength (paper default 10).
+    pub beta: f32,
+    /// `γ_initial` for the cosine-annealed knowledge-transfer weight
+    /// (paper: 1 Cora, 3 Citeseer/Pubmed, 0.01 NELL).
+    pub gamma_initial: f32,
+    /// Horizon `E` of the cosine anneal (Eq. 14). The paper anneals over the
+    /// full 500-epoch budget, but early stopping typically ends a student
+    /// near epoch 100–150; annealing over the *typical* run length keeps the
+    /// schedule meaningful.
+    pub gamma_epochs: usize,
+    /// Base-model architecture.
+    pub gcn: GcnConfig,
+    /// Optimization settings shared by every base model.
+    pub train: TrainConfig,
+    /// Which teacher signal the L2 loss matches on `V_b`.
+    pub distill: DistillTarget,
+    /// Table 8 ablation switches.
+    pub ablation: Ablation,
+    /// Seed for initialization and dropout; base model `t` derives its own
+    /// stream from `seed + t`.
+    pub seed: u64,
+}
+
+impl RddConfig {
+    /// Paper defaults for the citation networks, with `γ_initial` supplied
+    /// per dataset.
+    pub fn citation(gamma_initial: f32) -> Self {
+        Self {
+            num_base_models: 5,
+            p: 0.4,
+            beta: 10.0,
+            gamma_initial,
+            gamma_epochs: 150,
+            distill: DistillTarget::default(),
+            gcn: GcnConfig::citation(),
+            train: TrainConfig::citation(),
+            ablation: Ablation::default(),
+            seed: 1,
+        }
+    }
+
+    /// Paper defaults for NELL (`γ_initial = 0.01`, wider hidden layer,
+    /// weaker L2).
+    pub fn nell() -> Self {
+        Self {
+            num_base_models: 5,
+            p: 0.4,
+            beta: 10.0,
+            gamma_initial: 0.01,
+            gamma_epochs: 150,
+            distill: DistillTarget::default(),
+            gcn: GcnConfig::nell(),
+            train: TrainConfig::nell(),
+            ablation: Ablation::default(),
+            seed: 1,
+        }
+    }
+
+    /// The tuned configuration for one of the synthetic presets, by dataset
+    /// name (`cora-sim`, `citeseer-sim`, `pubmed-sim`, `nell-sim`).
+    ///
+    /// The paper tunes `γ_initial` and `β` on each dataset's validation set
+    /// (§5.1); these values are the result of the same procedure on the
+    /// synthetic equivalents. The landscape differs from the paper's Table 7
+    /// in one respect: the generator's mixed-membership nodes make strong
+    /// graph-Laplacian smoothing counter-productive on the citation presets,
+    /// so the tuned `β` is smaller than the paper's 10 except on
+    /// pubmed-sim (where β = 10 does help, as in the paper).
+    pub fn for_dataset(name: &str) -> Self {
+        match name {
+            "cora-sim" | "cora" => {
+                let mut c = Self::citation(3.0);
+                c.beta = 1.0;
+                c
+            }
+            "citeseer-sim" | "citeseer" => {
+                let mut c = Self::citation(3.0);
+                c.beta = 1.0;
+                c
+            }
+            "pubmed-sim" | "pubmed" => {
+                let mut c = Self::citation(1.0);
+                c.beta = 10.0;
+                c
+            }
+            "nell-sim" | "nell-sim-full" | "nell" => {
+                let mut c = Self::nell();
+                c.gamma_initial = 3.0;
+                c.beta = 1.0;
+                c
+            }
+            other => panic!("no tuned RDD config for dataset {other}"),
+        }
+    }
+
+    /// A small-budget configuration for tests.
+    pub fn fast() -> Self {
+        Self {
+            num_base_models: 3,
+            p: 0.4,
+            beta: 10.0,
+            gamma_initial: 1.0,
+            gamma_epochs: 40,
+            distill: DistillTarget::default(),
+            gcn: GcnConfig::citation(),
+            train: TrainConfig::fast(),
+            ablation: Ablation::default(),
+            seed: 1,
+        }
+    }
+}
+
+/// Eq. 14: cosine-annealed knowledge-transfer weight
+/// `γ(e) = γ_init · (1 − cos(e·π/E))` — near zero early (the student's own
+/// predictions are still noisy), ramping to `2·γ_init` by the last epoch.
+pub fn cosine_gamma(gamma_initial: f32, epoch: usize, total_epochs: usize) -> f32 {
+    let e = epoch.min(total_epochs) as f32;
+    gamma_initial * (1.0 - (e * std::f32::consts::PI / total_epochs.max(1) as f32).cos())
+}
+
+/// Per-base-model record in an [`RddOutcome`].
+#[derive(Clone, Debug)]
+pub struct BaseModelRecord {
+    /// Ensemble weight α_t (Eq. 12).
+    pub alpha: f32,
+    /// Validation accuracy of this base model.
+    pub val_acc: f32,
+    /// Test accuracy of this base model.
+    pub test_acc: f32,
+    /// The training report of this base model.
+    pub report: TrainReport,
+}
+
+/// Everything the experiments read off a finished RDD run.
+#[derive(Clone, Debug)]
+pub struct RddOutcome {
+    /// Test accuracy of the final ensemble `H_T` ("RDD (Ensemble)").
+    pub ensemble_test_acc: f32,
+    /// Test accuracy of the last base model ("RDD (Single)").
+    pub single_test_acc: f32,
+    /// Validation accuracy of the final ensemble.
+    pub ensemble_val_acc: f32,
+    /// One record per base model, in training order.
+    pub base_models: Vec<BaseModelRecord>,
+    /// Hard predictions of the ensemble over all nodes.
+    pub ensemble_pred: Vec<usize>,
+    /// Hard predictions of the last single model.
+    pub single_pred: Vec<usize>,
+    /// Test accuracy of the ensemble truncated to its first `t+1` members —
+    /// `prefix_ensemble_test_accs[t]` is the accuracy after `t+1` base
+    /// models. Feeds Table 9 (models needed to reach a target accuracy).
+    pub prefix_ensemble_test_accs: Vec<f32>,
+    /// Total wall-clock seconds.
+    pub wall_time_s: f64,
+}
+
+impl RddOutcome {
+    /// Mean test accuracy of the base models (Table 6's "Average" row).
+    pub fn average_base_test_acc(&self) -> f32 {
+        if self.base_models.is_empty() {
+            return 0.0;
+        }
+        self.base_models.iter().map(|b| b.test_acc).sum::<f32>() / self.base_models.len() as f32
+    }
+}
+
+/// The RDD trainer. Owns nothing dataset-specific; call [`RddTrainer::run`]
+/// per dataset/seed.
+#[derive(Clone)]
+pub struct RddTrainer {
+    /// The configuration this trainer runs.
+    pub config: RddConfig,
+    /// Optional base-model factory. `None` uses the paper's two-layer GCN
+    /// (`config.gcn`); `Some` lets any [`Model`] serve as the student —
+    /// the paper notes "our method is not limited to the base model we
+    /// use" and names GAT as a stronger choice (§5.3).
+    #[allow(clippy::type_complexity)]
+    factory: Option<Rc<dyn Fn(&GraphContext, &mut rand::rngs::StdRng) -> Box<dyn Model>>>,
+}
+
+impl RddTrainer {
+    /// A trainer with the default GCN base model.
+    pub fn new(config: RddConfig) -> Self {
+        Self {
+            config,
+            factory: None,
+        }
+    }
+
+    /// Use a custom base-model constructor instead of the default GCN.
+    pub fn with_base_model(
+        mut self,
+        factory: impl Fn(&GraphContext, &mut rand::rngs::StdRng) -> Box<dyn Model> + 'static,
+    ) -> Self {
+        self.factory = Some(Rc::new(factory));
+        self
+    }
+
+    fn new_student(&self, ctx: &GraphContext, rng: &mut rand::rngs::StdRng) -> Box<dyn Model> {
+        match &self.factory {
+            Some(f) => f(ctx, rng),
+            None => Box::new(Gcn::new(ctx, self.config.gcn.clone(), rng)),
+        }
+    }
+
+    /// Run Algorithm 3 on `dataset`, returning the outcome summary.
+    pub fn run(&self, dataset: &Dataset) -> RddOutcome {
+        let cfg = &self.config;
+        assert!(cfg.num_base_models >= 1, "need at least one base model");
+        let start = Instant::now();
+        let ctx = GraphContext::new(dataset);
+        // PageRank node importance (Eq. 12), computed once.
+        let pagerank = dataset.graph.pagerank(0.85, 100, 1e-9);
+
+        let mut is_labeled = vec![false; dataset.n()];
+        for &i in &dataset.train_idx {
+            is_labeled[i] = true;
+        }
+
+        // Degree-normalized Laplacian weights for the edge regularizer
+        // (`w_ij = 1/√((d_i+1)(d_j+1))`, matching Â's renormalization): an
+        // unweighted pull lets hub nodes dominate and measurably hurts
+        // accuracy on the synthetic benchmarks.
+        let inv_sqrt_deg: Vec<f32> = (0..dataset.n())
+            .map(|i| 1.0 / ((dataset.graph.degree(i) + 1) as f32).sqrt())
+            .collect();
+        let edge_weight = |(a, b): (u32, u32)| inv_sqrt_deg[a as usize] * inv_sqrt_deg[b as usize];
+
+        let mut ensemble = Ensemble::new();
+        let mut members_snapshot: Vec<(Matrix, Matrix)> = Vec::with_capacity(cfg.num_base_models);
+        let mut base_models = Vec::with_capacity(cfg.num_base_models);
+        let mut last_single_pred: Vec<usize> = Vec::new();
+        let mut last_single_test = 0.0f32;
+
+        for t in 0..cfg.num_base_models {
+            let mut rng = seeded_rng(cfg.seed.wrapping_add(t as u64));
+            let mut student = self.new_student(&ctx, &mut rng);
+
+            let report = if t == 0 {
+                // Line 2: the first student is a plain GCN.
+                train(student.as_mut(), &ctx, dataset, &cfg.train, &mut rng, None)
+            } else {
+                // Freeze the teacher's outputs for this round.
+                let teacher_proba = ensemble.proba();
+                let teacher_proba_rc = Rc::new(teacher_proba.clone());
+                let teacher_logits = Rc::new(ensemble.logits());
+                let labels = dataset.labels.clone();
+                let graph = &dataset.graph;
+                let total_epochs = cfg.gamma_epochs;
+                let abl = cfg.ablation;
+                let distill = cfg.distill;
+                let (p, beta, gamma_initial) = (cfg.p, cfg.beta, cfg.gamma_initial);
+                let all_edges: Rc<Vec<(u32, u32)>> = Rc::new(graph.edges().to_vec());
+                let all_edge_weights: Rc<Vec<f32>> =
+                    Rc::new(all_edges.iter().map(|&e| edge_weight(e)).collect());
+                let is_labeled_ref = &is_labeled;
+                let edge_weight = &edge_weight;
+
+                let mut hook = move |tape: &mut Tape, logits: Var, epoch: usize| {
+                    let mut terms: Vec<(Var, f32)> = Vec::with_capacity(2);
+                    // Student softmax from the current training-mode logits.
+                    let student_proba = tape.value(logits).softmax_rows();
+                    let sets = if abl.use_node_reliability {
+                        compute_reliability(
+                            &teacher_proba,
+                            &student_proba,
+                            &labels,
+                            is_labeled_ref,
+                            p,
+                            graph,
+                        )
+                    } else {
+                        all_nodes_reliable(
+                            student_proba.rows(),
+                            graph,
+                            &student_proba.argmax_rows(),
+                        )
+                    };
+                    if abl.use_l2 && !sets.distill.is_empty() {
+                        let gamma = cosine_gamma(gamma_initial, epoch, total_epochs);
+                        if gamma > 0.0 {
+                            let idx = Rc::new(sets.distill);
+                            let l2 = match distill {
+                                DistillTarget::Logits => {
+                                    tape.mse_rows(logits, Rc::clone(&teacher_logits), idx)
+                                }
+                                DistillTarget::Probs => {
+                                    let probs = tape.softmax(logits);
+                                    tape.mse_rows(probs, Rc::clone(&teacher_proba_rc), idx)
+                                }
+                                DistillTarget::SoftCe => {
+                                    let logp = tape.log_softmax(logits);
+                                    tape.soft_ce_masked(logp, Rc::clone(&teacher_proba_rc), idx)
+                                }
+                            };
+                            terms.push((l2, gamma));
+                        }
+                    }
+                    if abl.use_lreg && beta > 0.0 {
+                        let (edges, weights) = if abl.use_edge_reliability {
+                            let w = sets.edges.iter().map(|&e| edge_weight(e)).collect();
+                            (Rc::new(sets.edges), Rc::new(w))
+                        } else {
+                            (Rc::clone(&all_edges), Rc::clone(&all_edge_weights))
+                        };
+                        if !edges.is_empty() {
+                            // Eq. 8's label-map f(·): regularize the
+                            // predicted distributions, not raw logits —
+                            // penalizing logit differences fights CE's
+                            // confidence growth and hurts accuracy.
+                            let probs = tape.softmax(logits);
+                            let lreg = tape.edge_reg_weighted(probs, edges, weights);
+                            terms.push((lreg, beta));
+                        }
+                    }
+                    terms
+                };
+                train(
+                    student.as_mut(),
+                    &ctx,
+                    dataset,
+                    &cfg.train,
+                    &mut rng,
+                    Some(&mut hook),
+                )
+            };
+
+            // Lines 19–21: weigh and absorb the student.
+            let logits = predict_logits(student.as_ref(), &ctx);
+            let proba = logits.softmax_rows();
+            let alpha = if cfg.ablation.use_entropy_weights {
+                model_weight(&proba, &pagerank)
+            } else {
+                uniform_weight()
+            };
+            let pred = proba.argmax_rows();
+            let test_acc = dataset.test_accuracy(&pred);
+            let val_acc = dataset.val_accuracy(&pred);
+            base_models.push(BaseModelRecord {
+                alpha,
+                val_acc,
+                test_acc,
+                report,
+            });
+            last_single_pred = pred;
+            last_single_test = test_acc;
+            members_snapshot.push((proba.clone(), logits.clone()));
+            ensemble.push(proba, logits, alpha);
+        }
+
+        // Prefix accuracies: rebuild the ensemble one member at a time.
+        let prefix_ensemble_test_accs: Vec<f32> = {
+            let mut partial = Ensemble::new();
+            base_models
+                .iter()
+                .zip(members_snapshot)
+                .map(|(b, (proba, logits))| {
+                    partial.push(proba, logits, b.alpha);
+                    dataset.test_accuracy(&partial.predict())
+                })
+                .collect()
+        };
+
+        let ensemble_pred = ensemble.predict();
+        RddOutcome {
+            ensemble_test_acc: dataset.test_accuracy(&ensemble_pred),
+            ensemble_val_acc: dataset.val_accuracy(&ensemble_pred),
+            single_test_acc: last_single_test,
+            base_models,
+            ensemble_pred,
+            single_pred: last_single_pred,
+            prefix_ensemble_test_accs,
+            wall_time_s: start.elapsed().as_secs_f64(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdd_graph::SynthConfig;
+
+    #[test]
+    fn cosine_gamma_schedule_shape() {
+        let g0 = cosine_gamma(1.0, 0, 100);
+        let g50 = cosine_gamma(1.0, 50, 100);
+        let g100 = cosine_gamma(1.0, 100, 100);
+        assert!(g0.abs() < 1e-6, "starts at zero");
+        assert!((g50 - 1.0).abs() < 1e-5, "half-way equals γ_init");
+        assert!((g100 - 2.0).abs() < 1e-5, "ends at 2·γ_init");
+        // Monotone nondecreasing on [0, E].
+        let mut prev = -1.0;
+        for e in 0..=100 {
+            let g = cosine_gamma(1.0, e, 100);
+            assert!(g >= prev - 1e-6);
+            prev = g;
+        }
+    }
+
+    #[test]
+    fn rdd_runs_and_reports() {
+        let data = SynthConfig::tiny().generate();
+        let trainer = RddTrainer::new(RddConfig::fast());
+        let out = trainer.run(&data);
+        assert_eq!(out.base_models.len(), 3);
+        assert!(
+            out.ensemble_test_acc > 0.5,
+            "ensemble acc {}",
+            out.ensemble_test_acc
+        );
+        assert!(
+            out.single_test_acc > 0.5,
+            "single acc {}",
+            out.single_test_acc
+        );
+        assert!(out.base_models.iter().all(|b| b.alpha > 0.0));
+        assert_eq!(out.ensemble_pred.len(), data.n());
+    }
+
+    #[test]
+    fn ablations_construct_correctly() {
+        assert!(!Ablation::no_l2().use_l2);
+        assert!(!Ablation::no_lreg().use_lreg);
+        assert!(!Ablation::without_node_reliability().use_node_reliability);
+        assert!(!Ablation::without_edge_reliability().use_edge_reliability);
+        let wkr = Ablation::without_knowledge_reliability();
+        assert!(!wkr.use_node_reliability && !wkr.use_edge_reliability);
+        assert!(!Ablation::without_entropy_weights().use_entropy_weights);
+    }
+
+    #[test]
+    fn wew_uses_uniform_alphas() {
+        let data = SynthConfig::tiny().generate();
+        let mut cfg = RddConfig::fast();
+        cfg.num_base_models = 2;
+        cfg.ablation = Ablation::without_entropy_weights();
+        let out = RddTrainer::new(cfg).run(&data);
+        for b in &out.base_models {
+            assert_eq!(b.alpha, 1.0);
+        }
+    }
+
+    #[test]
+    fn deterministic_under_fixed_seed() {
+        let data = SynthConfig::tiny().generate();
+        let mut cfg = RddConfig::fast();
+        cfg.num_base_models = 2;
+        cfg.train.epochs = 20;
+        let a = RddTrainer::new(cfg.clone()).run(&data);
+        let b = RddTrainer::new(cfg).run(&data);
+        assert_eq!(a.ensemble_pred, b.ensemble_pred);
+        assert!((a.ensemble_test_acc - b.ensemble_test_acc).abs() < 1e-7);
+    }
+}
+
+#[cfg(test)]
+mod factory_tests {
+    use super::*;
+    use rdd_graph::SynthConfig;
+    use rdd_models::{Gat, GatConfig};
+
+    #[test]
+    fn rdd_runs_with_gat_base_model() {
+        let data = SynthConfig::tiny().generate();
+        let mut cfg = RddConfig::fast();
+        cfg.num_base_models = 2;
+        cfg.train.epochs = 40;
+        cfg.train.min_epochs = 10;
+        let gat_cfg = GatConfig {
+            heads: 2,
+            hidden_per_head: 8,
+            dropout: 0.3,
+            input_dropout: 0.3,
+            leaky_slope: 0.2,
+        };
+        let out = RddTrainer::new(cfg)
+            .with_base_model(move |ctx, rng| Box::new(Gat::new(ctx, gat_cfg.clone(), rng)))
+            .run(&data);
+        assert_eq!(out.base_models.len(), 2);
+        assert!(
+            out.ensemble_test_acc > 0.5,
+            "GAT-based RDD acc {}",
+            out.ensemble_test_acc
+        );
+    }
+}

@@ -1,0 +1,294 @@
+//! Node and edge reliability (paper §3, Algorithms 1 and 2).
+//!
+//! Reliability answers "can the student trust this teacher output?":
+//!
+//! * A **labeled** node is reliable when the teacher classifies it
+//!   correctly (its mistake would otherwise be distilled into the student).
+//! * An **unlabeled** node is reliable when the teacher's softmax entropy is
+//!   among the lowest `p`-percent *and* teacher and student predict the same
+//!   class (the ensemble-agreement condition of §3.1).
+//! * The **distillation set** `V_b` contains the reliable nodes the student
+//!   still gets wrong: its prediction entropy is among the highest
+//!   `p`-percent, or it disagrees with the teacher outright. These are the
+//!   nodes the L2 loss (Eq. 7) pulls toward the teacher's embedding.
+//! * An **edge** is reliable (Algorithm 2, Eq. 5) when both endpoints are
+//!   reliable and the student assigns them the same class; only those edges
+//!   enter the Laplacian regularizer (Eq. 9).
+//!
+//! One interpretation note: Algorithm 1's line 8 (drop nodes where student
+//! and teacher disagree) is applied to unlabeled nodes only. Applying it to
+//! labeled nodes would evict exactly the teacher-correct/student-wrong
+//! labeled nodes that Figure 3 shows being used to *correct* the student,
+//! and §3.1's summary states the agreement condition for unlabeled nodes
+//! only.
+
+use rdd_graph::Graph;
+use rdd_tensor::Matrix;
+
+/// Reliability sets for one training epoch.
+#[derive(Clone, Debug, Default)]
+pub struct ReliabilitySets {
+    /// `V_r` as a bitmap over nodes.
+    pub reliable: Vec<bool>,
+    /// `V_b`: reliable nodes the student learned incorrectly (sorted).
+    pub distill: Vec<usize>,
+    /// `E_r`: reliable edges.
+    pub edges: Vec<(u32, u32)>,
+}
+
+impl ReliabilitySets {
+    /// Number of reliable nodes.
+    pub fn num_reliable(&self) -> usize {
+        self.reliable.iter().filter(|&&b| b).count()
+    }
+}
+
+/// The entropy value at the `p`-fraction boundary of `entropies`, taken from
+/// the `lowest` (or highest) side. `p = 0.4` returns the value such that 40%
+/// of entries are at-or-below (resp. at-or-above) it.
+fn entropy_threshold(entropies: &[f32], p: f32, lowest: bool) -> f32 {
+    assert!((0.0..=1.0).contains(&p), "p must be a fraction");
+    if entropies.is_empty() {
+        return if lowest {
+            f32::NEG_INFINITY
+        } else {
+            f32::INFINITY
+        };
+    }
+    let k = ((entropies.len() as f32 * p).ceil() as usize).clamp(1, entropies.len());
+    let mut sorted: Vec<f32> = entropies.to_vec();
+    // select_nth_unstable puts the k-th order statistic in place without a
+    // full sort (the top-p ablation bench quantifies the win).
+    if lowest {
+        let (_, nth, _) = sorted.select_nth_unstable_by(k - 1, |a, b| a.total_cmp(b));
+        *nth
+    } else {
+        let (_, nth, _) = sorted.select_nth_unstable_by(k - 1, |a, b| b.total_cmp(a));
+        *nth
+    }
+}
+
+/// Compute the reliability sets (Algorithms 1 + 2) from the teacher's and
+/// student's current softmax outputs.
+///
+/// * `teacher_proba`, `student_proba` — `n x k` row-stochastic matrices.
+/// * `labels`, `is_labeled` — ground truth and the training-label bitmap
+///   (only training labels are consulted, per the transductive protocol).
+/// * `p` — the reliability fraction (paper default 0.4).
+pub fn compute_reliability(
+    teacher_proba: &Matrix,
+    student_proba: &Matrix,
+    labels: &[usize],
+    is_labeled: &[bool],
+    p: f32,
+    graph: &Graph,
+) -> ReliabilitySets {
+    let n = teacher_proba.rows();
+    assert_eq!(student_proba.rows(), n, "teacher/student row mismatch");
+    assert_eq!(labels.len(), n);
+    assert_eq!(is_labeled.len(), n);
+
+    let teacher_pred = teacher_proba.argmax_rows();
+    let student_pred = student_proba.argmax_rows();
+    let teacher_entropy = teacher_proba.row_entropy();
+    let student_entropy = student_proba.row_entropy();
+
+    // Line 2: ascending sort of teacher entropies -> low-entropy threshold.
+    let teacher_thresh = entropy_threshold(&teacher_entropy, p, true);
+    // Line 6: descending sort of student entropies -> high-entropy threshold.
+    let student_thresh = entropy_threshold(&student_entropy, p, false);
+
+    let mut reliable = vec![false; n];
+    for i in 0..n {
+        if is_labeled[i] {
+            // Line 4 / §3.1(1): the teacher's prediction matches the label.
+            reliable[i] = teacher_pred[i] == labels[i];
+        } else {
+            // Lines 7–8 / §3.1(2): confident teacher + student agreement.
+            reliable[i] =
+                teacher_entropy[i] <= teacher_thresh && teacher_pred[i] == student_pred[i];
+        }
+    }
+
+    // Line 9: V_b = reliable nodes the student is unsure or wrong about.
+    let distill: Vec<usize> = (0..n)
+        .filter(|&i| {
+            reliable[i]
+                && (student_entropy[i] >= student_thresh || student_pred[i] != teacher_pred[i])
+        })
+        .collect();
+
+    // Algorithm 2: reliable edges.
+    let edges: Vec<(u32, u32)> = graph
+        .edges()
+        .iter()
+        .copied()
+        .filter(|&(a, b)| {
+            let (a, b) = (a as usize, b as usize);
+            reliable[a] && reliable[b] && student_pred[a] == student_pred[b]
+        })
+        .collect();
+
+    ReliabilitySets {
+        reliable,
+        distill,
+        edges,
+    }
+}
+
+/// `V_b` when node reliability is disabled (the WNR ablation): classical KD
+/// distills *every* node, and every node counts as reliable for the edge
+/// criterion.
+pub fn all_nodes_reliable(n: usize, graph: &Graph, student_pred: &[usize]) -> ReliabilitySets {
+    let edges = graph
+        .edges()
+        .iter()
+        .copied()
+        .filter(|&(a, b)| student_pred[a as usize] == student_pred[b as usize])
+        .collect();
+    ReliabilitySets {
+        reliable: vec![true; n],
+        distill: (0..n).collect(),
+        edges,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdd_graph::Graph;
+
+    /// 4 nodes, path graph, 2 classes.
+    fn setup() -> (Graph, Vec<usize>, Vec<bool>) {
+        let graph = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let labels = vec![0, 0, 1, 1];
+        let is_labeled = vec![true, false, false, true];
+        (graph, labels, is_labeled)
+    }
+
+    fn proba(rows: &[[f32; 2]]) -> Matrix {
+        Matrix::from_vec(rows.len(), 2, rows.iter().flatten().copied().collect())
+    }
+
+    #[test]
+    fn labeled_reliability_follows_teacher_correctness() {
+        let (graph, labels, is_labeled) = setup();
+        // Teacher: node0 correct (class 0), node3 wrong (predicts 0).
+        let teacher = proba(&[[0.9, 0.1], [0.8, 0.2], [0.2, 0.8], [0.7, 0.3]]);
+        let student = proba(&[[0.9, 0.1], [0.8, 0.2], [0.2, 0.8], [0.6, 0.4]]);
+        let sets = compute_reliability(&teacher, &student, &labels, &is_labeled, 1.0, &graph);
+        assert!(sets.reliable[0], "teacher correct on labeled node 0");
+        assert!(!sets.reliable[3], "teacher wrong on labeled node 3");
+    }
+
+    #[test]
+    fn unlabeled_needs_low_entropy_and_agreement() {
+        let (graph, labels, is_labeled) = setup();
+        // Node 1: teacher confident, agrees with student -> reliable.
+        // Node 2: teacher confident but disagrees with student -> unreliable.
+        let teacher = proba(&[[0.9, 0.1], [0.99, 0.01], [0.99, 0.01], [0.1, 0.9]]);
+        let student = proba(&[[0.9, 0.1], [0.9, 0.1], [0.1, 0.9], [0.1, 0.9]]);
+        let sets = compute_reliability(&teacher, &student, &labels, &is_labeled, 1.0, &graph);
+        assert!(sets.reliable[1]);
+        assert!(!sets.reliable[2], "student disagreement blocks reliability");
+    }
+
+    #[test]
+    fn entropy_threshold_limits_unlabeled_reliable() {
+        let (graph, labels, is_labeled) = setup();
+        // Both unlabeled nodes agree with teacher, but node 2's teacher
+        // entropy is much higher. With p small only node 1 passes.
+        let teacher = proba(&[[0.9, 0.1], [0.999, 0.001], [0.55, 0.45], [0.1, 0.9]]);
+        let student = proba(&[[0.9, 0.1], [0.9, 0.1], [0.6, 0.4], [0.1, 0.9]]);
+        let sets = compute_reliability(&teacher, &student, &labels, &is_labeled, 0.25, &graph);
+        assert!(sets.reliable[1]);
+        assert!(
+            !sets.reliable[2],
+            "high-entropy teacher output is unreliable"
+        );
+    }
+
+    #[test]
+    fn distill_set_contains_uncertain_or_disagreeing_reliable_nodes() {
+        let (graph, labels, is_labeled) = setup();
+        // Node 0 labeled+reliable, student very confident -> not distilled.
+        // Node 3 labeled, teacher correct, student wrong -> distilled.
+        let teacher = proba(&[[0.99, 0.01], [0.99, 0.01], [0.01, 0.99], [0.01, 0.99]]);
+        let student = proba(&[[0.99, 0.01], [0.99, 0.01], [0.05, 0.95], [0.9, 0.1]]);
+        let sets = compute_reliability(&teacher, &student, &labels, &is_labeled, 0.5, &graph);
+        assert!(sets.reliable[3]);
+        assert!(
+            sets.distill.contains(&3),
+            "student-wrong labeled node must be distilled"
+        );
+        assert!(
+            !sets.distill.contains(&0),
+            "student-confident correct node is not distilled"
+        );
+    }
+
+    #[test]
+    fn distill_subset_of_reliable() {
+        let (graph, labels, is_labeled) = setup();
+        let teacher = proba(&[[0.9, 0.1], [0.7, 0.3], [0.3, 0.7], [0.2, 0.8]]);
+        let student = proba(&[[0.6, 0.4], [0.5, 0.5], [0.5, 0.5], [0.4, 0.6]]);
+        let sets = compute_reliability(&teacher, &student, &labels, &is_labeled, 0.5, &graph);
+        for &i in &sets.distill {
+            assert!(sets.reliable[i], "V_b must be a subset of V_r");
+        }
+    }
+
+    #[test]
+    fn reliable_edges_require_reliable_same_class_endpoints() {
+        let (graph, labels, is_labeled) = setup();
+        // All nodes reliable; student splits classes between 1|2.
+        let teacher = proba(&[[0.99, 0.01], [0.99, 0.01], [0.01, 0.99], [0.01, 0.99]]);
+        let student = proba(&[[0.9, 0.1], [0.9, 0.1], [0.1, 0.9], [0.1, 0.9]]);
+        let sets = compute_reliability(&teacher, &student, &labels, &is_labeled, 1.0, &graph);
+        // Edges: (0,1) same class, (1,2) cross-class, (2,3) same class.
+        assert!(sets.edges.contains(&(0, 1)));
+        assert!(!sets.edges.contains(&(1, 2)), "cross-class edge excluded");
+        assert!(sets.edges.contains(&(2, 3)));
+    }
+
+    #[test]
+    fn edges_dropped_when_endpoint_unreliable() {
+        let (graph, labels, is_labeled) = setup();
+        // Node 0 labeled but teacher wrong -> unreliable -> edge (0,1) out.
+        let teacher = proba(&[[0.1, 0.9], [0.99, 0.01], [0.01, 0.99], [0.01, 0.99]]);
+        let student = proba(&[[0.9, 0.1], [0.9, 0.1], [0.1, 0.9], [0.1, 0.9]]);
+        let sets = compute_reliability(&teacher, &student, &labels, &is_labeled, 1.0, &graph);
+        assert!(!sets.edges.contains(&(0, 1)));
+    }
+
+    #[test]
+    fn p_zero_still_selects_at_least_one() {
+        let (graph, labels, is_labeled) = setup();
+        let teacher = proba(&[[0.9, 0.1], [0.99, 0.01], [0.8, 0.2], [0.1, 0.9]]);
+        let student = teacher.clone();
+        // p=0 clamps to one node; must not panic.
+        let sets = compute_reliability(&teacher, &student, &labels, &is_labeled, 0.0, &graph);
+        assert!(sets.num_reliable() >= 1);
+    }
+
+    #[test]
+    fn wnr_variant_distills_everything() {
+        let (graph, _labels, _) = setup();
+        let student_pred = vec![0, 0, 1, 1];
+        let sets = all_nodes_reliable(4, &graph, &student_pred);
+        assert_eq!(sets.distill.len(), 4);
+        assert_eq!(sets.num_reliable(), 4);
+        assert_eq!(
+            sets.edges.len(),
+            2,
+            "cross-class edge still excluded by C matrix"
+        );
+    }
+
+    #[test]
+    fn threshold_with_ties_is_stable() {
+        let e = vec![1.0f32, 1.0, 1.0, 1.0];
+        assert_eq!(entropy_threshold(&e, 0.5, true), 1.0);
+        assert_eq!(entropy_threshold(&e, 0.5, false), 1.0);
+    }
+}

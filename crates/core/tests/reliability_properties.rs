@@ -1,0 +1,141 @@
+//! Property-based invariants of the reliability algorithms and the
+//! ensemble weighting, under randomized teacher/student outputs.
+
+use proptest::prelude::*;
+use rdd_core::{compute_reliability, cosine_gamma, model_weight, Ensemble};
+use rdd_graph::Graph;
+use rdd_tensor::Matrix;
+
+/// Strategy: an `n x k` row-stochastic matrix (softmax of random logits).
+fn proba(n: usize, k: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-3.0f32..3.0, n * k)
+        .prop_map(move |v| Matrix::from_vec(n, k, v).softmax_rows())
+}
+
+fn ring(n: usize) -> Graph {
+    let edges: Vec<(usize, usize)> = (0..n).map(|i| (i, (i + 1) % n)).collect();
+    Graph::from_edges(n, &edges)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn reliability_invariants(
+        teacher in proba(12, 3),
+        student in proba(12, 3),
+        p in 0.05f32..1.0,
+        label_seed in 0u64..100,
+    ) {
+        let n = 12;
+        let graph = ring(n);
+        let labels: Vec<usize> = (0..n).map(|i| (i + label_seed as usize) % 3).collect();
+        let mut is_labeled = vec![false; n];
+        for i in (0..n).step_by(3) {
+            is_labeled[i] = true;
+        }
+        let sets = compute_reliability(&teacher, &student, &labels, &is_labeled, p, &graph);
+
+        // V_b ⊆ V_r, sorted, unique.
+        let mut prev = None;
+        for &i in &sets.distill {
+            prop_assert!(sets.reliable[i], "V_b not subset of V_r");
+            if let Some(p) = prev {
+                prop_assert!(i > p, "V_b not strictly sorted");
+            }
+            prev = Some(i);
+        }
+
+        // E_r ⊆ E with reliable, same-student-class endpoints.
+        let student_pred = student.argmax_rows();
+        for &(a, b) in &sets.edges {
+            let (a, b) = (a as usize, b as usize);
+            prop_assert!(graph.has_edge(a, b));
+            prop_assert!(sets.reliable[a] && sets.reliable[b]);
+            prop_assert_eq!(student_pred[a], student_pred[b]);
+        }
+
+        // Labeled-node reliability depends only on teacher correctness.
+        let teacher_pred = teacher.argmax_rows();
+        for i in (0..n).step_by(3) {
+            prop_assert_eq!(
+                sets.reliable[i],
+                teacher_pred[i] == labels[i],
+                "labeled node {} reliability mismatch", i
+            );
+        }
+    }
+
+    #[test]
+    fn reliability_monotone_in_p(
+        teacher in proba(15, 3),
+        student in proba(15, 3),
+    ) {
+        // A larger p can only admit more unlabeled nodes into V_r.
+        let n = 15;
+        let graph = ring(n);
+        let labels: Vec<usize> = (0..n).map(|i| i % 3).collect();
+        let is_labeled = vec![false; n];
+        let small = compute_reliability(&teacher, &student, &labels, &is_labeled, 0.2, &graph);
+        let large = compute_reliability(&teacher, &student, &labels, &is_labeled, 0.9, &graph);
+        for i in 0..n {
+            if small.reliable[i] {
+                prop_assert!(large.reliable[i], "raising p removed node {} from V_r", i);
+            }
+        }
+        prop_assert!(large.num_reliable() >= small.num_reliable());
+    }
+
+    #[test]
+    fn model_weight_positive_and_antitone_in_entropy(pr_seed in 0u64..50) {
+        // Sharpening every row of a distribution must not lower the weight.
+        let mut rng = rdd_tensor::seeded_rng(pr_seed);
+        let base = rdd_tensor::uniform(10, 4, 2.0, &mut rng).softmax_rows();
+        let sharp = base.map(|v| v.powf(2.0));
+        // Renormalize the sharpened rows.
+        let mut sharp = sharp;
+        for i in 0..sharp.rows() {
+            let s: f32 = sharp.row(i).iter().sum();
+            for v in sharp.row_mut(i) {
+                *v /= s;
+            }
+        }
+        let pagerank = vec![0.1f32; 10];
+        let w_base = model_weight(&base, &pagerank);
+        let w_sharp = model_weight(&sharp, &pagerank);
+        prop_assert!(w_base > 0.0 && w_base.is_finite());
+        prop_assert!(w_sharp >= w_base, "sharper predictions lowered the weight");
+    }
+
+    #[test]
+    fn ensemble_proba_rows_stochastic(
+        a in proba(6, 3),
+        b in proba(6, 3),
+        wa in 0.1f32..10.0,
+        wb in 0.1f32..10.0,
+    ) {
+        let mut e = Ensemble::new();
+        e.push(a.clone(), a, wa);
+        e.push(b.clone(), b, wb);
+        let p = e.proba();
+        for i in 0..6 {
+            let s: f32 = p.row(i).iter().sum();
+            prop_assert!((s - 1.0).abs() < 1e-4, "row {} sums to {}", i, s);
+            prop_assert!(p.row(i).iter().all(|&x| x >= 0.0));
+        }
+    }
+
+    #[test]
+    fn cosine_gamma_bounded_and_monotone(gi in 0.0f32..5.0, total in 1usize..500) {
+        let mut prev = -1.0f32;
+        for e in 0..=total {
+            let g = cosine_gamma(gi, e, total);
+            prop_assert!(g >= -1e-6 && g <= 2.0 * gi + 1e-4, "gamma {} out of range", g);
+            prop_assert!(g >= prev - 1e-5, "gamma not monotone");
+            prev = g;
+        }
+        // Past the horizon it clamps.
+        let clamped = cosine_gamma(gi, total * 2, total);
+        prop_assert!((clamped - 2.0 * gi).abs() < 1e-4);
+    }
+}

@@ -1,0 +1,248 @@
+//! Structural graph analysis used to validate that the synthetic datasets
+//! behave like their real counterparts: clustering, k-core structure,
+//! degree assortativity and label-to-seed distance distributions.
+//!
+//! The `dataset_analysis` bench binary prints these per preset; DESIGN.md's
+//! substitution table leans on them.
+
+use std::collections::VecDeque;
+
+use crate::graph::Graph;
+
+/// Local clustering coefficient of node `i`: the fraction of its neighbor
+/// pairs that are themselves connected. Nodes of degree < 2 score 0.
+pub fn local_clustering(graph: &Graph, i: usize) -> f32 {
+    let neighbors = graph.neighbors(i);
+    let d = neighbors.len();
+    if d < 2 {
+        return 0.0;
+    }
+    let mut closed = 0usize;
+    for (a_idx, &a) in neighbors.iter().enumerate() {
+        for &b in &neighbors[a_idx + 1..] {
+            if graph.has_edge(a as usize, b as usize) {
+                closed += 1;
+            }
+        }
+    }
+    2.0 * closed as f32 / (d * (d - 1)) as f32
+}
+
+/// Mean local clustering coefficient over all nodes.
+pub fn average_clustering(graph: &Graph) -> f32 {
+    if graph.n() == 0 {
+        return 0.0;
+    }
+    (0..graph.n())
+        .map(|i| local_clustering(graph, i))
+        .sum::<f32>()
+        / graph.n() as f32
+}
+
+/// K-core decomposition: `core[i]` is the largest `k` such that node `i`
+/// belongs to a subgraph where every node has degree ≥ `k` (Matula &
+/// Beck's peeling algorithm, O(E)).
+pub fn k_core(graph: &Graph) -> Vec<usize> {
+    let n = graph.n();
+    let mut degree: Vec<usize> = (0..n).map(|i| graph.degree(i)).collect();
+    let max_deg = degree.iter().copied().max().unwrap_or(0);
+    // Bucket sort nodes by current degree.
+    let mut bins: Vec<Vec<usize>> = vec![Vec::new(); max_deg + 1];
+    for (i, &d) in degree.iter().enumerate() {
+        bins[d].push(i);
+    }
+    let mut core = vec![0usize; n];
+    let mut removed = vec![false; n];
+    let mut current_k = 0usize;
+    for d in 0..=max_deg {
+        // Bins can refill below d as we peel; process lazily.
+        let mut stack = std::mem::take(&mut bins[d]);
+        while let Some(v) = stack.pop() {
+            if removed[v] || degree[v] > d {
+                // Stale entry (degree changed since binning).
+                if !removed[v] && degree[v] > d {
+                    bins[degree[v]].push(v);
+                }
+                continue;
+            }
+            current_k = current_k.max(d);
+            core[v] = current_k;
+            removed[v] = true;
+            for &u in graph.neighbors(v) {
+                let u = u as usize;
+                if !removed[u] && degree[u] > d {
+                    degree[u] -= 1;
+                    if degree[u] <= d {
+                        stack.push(u);
+                    } else {
+                        bins[degree[u]].push(u);
+                    }
+                }
+            }
+        }
+    }
+    core
+}
+
+/// Degree assortativity (Pearson correlation of endpoint degrees over
+/// edges). Citation networks are mildly disassortative (negative).
+pub fn degree_assortativity(graph: &Graph) -> f32 {
+    let edges = graph.edges();
+    if edges.is_empty() {
+        return 0.0;
+    }
+    // Each undirected edge contributes both (da, db) and (db, da).
+    let m = (edges.len() * 2) as f64;
+    let (mut sx, mut sxx, mut sxy) = (0.0f64, 0.0f64, 0.0f64);
+    for &(a, b) in edges {
+        let da = graph.degree(a as usize) as f64;
+        let db = graph.degree(b as usize) as f64;
+        sx += da + db;
+        sxx += da * da + db * db;
+        sxy += 2.0 * da * db;
+    }
+    let mean = sx / m;
+    let var = sxx / m - mean * mean;
+    if var <= 0.0 {
+        return 0.0;
+    }
+    ((sxy / m - mean * mean) / var) as f32
+}
+
+/// BFS distance from every node to the nearest node in `sources`
+/// (`usize::MAX` when unreachable). The paper's motivation (§2.2) is that
+/// a K-layer GCN only propagates labels K hops, so the distribution of
+/// distances to the labeled set bounds how much supervision reaches each
+/// node.
+pub fn distance_to_set(graph: &Graph, sources: &[usize]) -> Vec<usize> {
+    let n = graph.n();
+    let mut dist = vec![usize::MAX; n];
+    let mut queue = VecDeque::new();
+    for &s in sources {
+        assert!(s < n, "source {s} out of bounds");
+        if dist[s] != 0 || !queue.contains(&s) {
+            dist[s] = 0;
+            queue.push_back(s);
+        }
+    }
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u];
+        for &v in graph.neighbors(u) {
+            let v = v as usize;
+            if dist[v] == usize::MAX {
+                dist[v] = du + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// Histogram of `distance_to_set` bucketed as `[0, 1, 2, 3, 4+, unreachable]`.
+pub fn distance_histogram(distances: &[usize]) -> [usize; 6] {
+    let mut h = [0usize; 6];
+    for &d in distances {
+        let bucket = match d {
+            usize::MAX => 5,
+            0..=3 => d,
+            _ => 4,
+        };
+        h[bucket] += 1;
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Triangle plus a pendant node.
+    fn triangle_tail() -> Graph {
+        Graph::from_edges(4, &[(0, 1), (1, 2), (2, 0), (2, 3)])
+    }
+
+    #[test]
+    fn clustering_of_triangle_nodes() {
+        let g = triangle_tail();
+        assert!(
+            (local_clustering(&g, 0) - 1.0).abs() < 1e-6,
+            "triangle corner fully clustered"
+        );
+        // Node 2 has neighbors {0, 1, 3}; only (0,1) connected -> 1/3.
+        assert!((local_clustering(&g, 2) - 1.0 / 3.0).abs() < 1e-6);
+        assert_eq!(local_clustering(&g, 3), 0.0, "degree-1 node");
+        let avg = average_clustering(&g);
+        assert!(avg > 0.0 && avg < 1.0);
+    }
+
+    #[test]
+    fn k_core_of_triangle_tail() {
+        let g = triangle_tail();
+        let core = k_core(&g);
+        assert_eq!(core[0], 2, "triangle is the 2-core");
+        assert_eq!(core[1], 2);
+        assert_eq!(core[2], 2);
+        assert_eq!(core[3], 1, "pendant is 1-core");
+    }
+
+    #[test]
+    fn k_core_of_clique() {
+        let mut edges = Vec::new();
+        for i in 0..5 {
+            for j in i + 1..5 {
+                edges.push((i, j));
+            }
+        }
+        let g = Graph::from_edges(5, &edges);
+        assert!(k_core(&g).iter().all(|&c| c == 4), "5-clique is a 4-core");
+    }
+
+    #[test]
+    fn k_core_isolated_nodes_are_zero() {
+        let g = Graph::from_edges(3, &[(0, 1)]);
+        let core = k_core(&g);
+        assert_eq!(core[2], 0);
+        assert_eq!(core[0], 1);
+    }
+
+    #[test]
+    fn star_is_disassortative() {
+        let g = Graph::from_edges(6, &[(0, 1), (0, 2), (0, 3), (0, 4), (0, 5)]);
+        assert!(
+            degree_assortativity(&g) < 0.0,
+            "hub-leaf mixing is disassortative"
+        );
+    }
+
+    #[test]
+    fn regular_graph_assortativity_is_degenerate_zero() {
+        // Cycle: every degree equal -> zero variance -> defined as 0.
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        assert_eq!(degree_assortativity(&g), 0.0);
+    }
+
+    #[test]
+    fn distances_from_sources() {
+        // Path 0-1-2-3-4, source {0}.
+        let g = Graph::from_edges(5, &(0..4).map(|i| (i, i + 1)).collect::<Vec<_>>());
+        let d = distance_to_set(&g, &[0]);
+        assert_eq!(d, vec![0, 1, 2, 3, 4]);
+        let h = distance_histogram(&d);
+        assert_eq!(h, [1, 1, 1, 1, 1, 0]);
+    }
+
+    #[test]
+    fn unreachable_nodes_marked() {
+        let g = Graph::from_edges(3, &[(0, 1)]);
+        let d = distance_to_set(&g, &[0]);
+        assert_eq!(d[2], usize::MAX);
+        assert_eq!(distance_histogram(&d)[5], 1);
+    }
+
+    #[test]
+    fn multiple_sources_take_minimum() {
+        let g = Graph::from_edges(5, &(0..4).map(|i| (i, i + 1)).collect::<Vec<_>>());
+        let d = distance_to_set(&g, &[0, 4]);
+        assert_eq!(d, vec![0, 1, 2, 1, 0]);
+    }
+}

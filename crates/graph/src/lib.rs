@@ -1,0 +1,28 @@
+#![warn(missing_docs)]
+//! # rdd-graph
+//!
+//! Graph substrate for the RDD (SIGMOD 2020) reproduction: undirected
+//! graphs in CSR form, the GCN renormalized propagation operator, PageRank,
+//! synthetic dataset generation calibrated to the paper's four benchmarks
+//! (Cora, Citeseer, Pubmed, NELL), Planetoid splits and plain-text IO.
+//!
+//! ```
+//! use rdd_graph::SynthConfig;
+//!
+//! let dataset = SynthConfig::tiny().generate();
+//! assert_eq!(dataset.num_classes, 3);
+//! let a_hat = dataset.graph.normalized_adjacency();
+//! assert_eq!(a_hat.rows(), dataset.n());
+//! ```
+
+pub mod analysis;
+pub mod dataset;
+pub mod graph;
+pub mod io;
+pub mod stats;
+pub mod synth;
+
+pub use dataset::{accuracy_over, planetoid_split, Dataset};
+pub use graph::Graph;
+pub use stats::DatasetStats;
+pub use synth::SynthConfig;

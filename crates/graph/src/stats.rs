@@ -1,0 +1,128 @@
+//! Descriptive statistics for datasets (Table 2 of the paper).
+
+use crate::dataset::Dataset;
+
+/// The columns of the paper's Table 2 plus the generator-relevant extras.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DatasetStats {
+    /// Dataset name.
+    pub name: String,
+    /// Node count.
+    pub nodes: usize,
+    /// Feature dimensionality.
+    pub features: usize,
+    /// Undirected edge count.
+    pub edges: usize,
+    /// Class count.
+    pub classes: usize,
+    /// Fraction of nodes with a training label.
+    pub label_rate: f32,
+    /// Mean degree 2|E|/N.
+    pub avg_degree: f32,
+    /// Fraction of intra-class edges.
+    pub edge_homophily: f32,
+    /// Mean stored feature entries per node.
+    pub feature_nnz_per_node: f32,
+}
+
+impl DatasetStats {
+    /// Compute the statistics of `d`.
+    pub fn of(d: &Dataset) -> Self {
+        Self {
+            name: d.name.clone(),
+            nodes: d.n(),
+            features: d.num_features(),
+            edges: d.graph.num_edges(),
+            classes: d.num_classes,
+            label_rate: d.label_rate(),
+            avg_degree: d.graph.avg_degree(),
+            edge_homophily: d.graph.edge_homophily(&d.labels),
+            feature_nnz_per_node: d.features.nnz() as f32 / d.n() as f32,
+        }
+    }
+
+    /// One row of a fixed-width table, matching [`DatasetStats::header`].
+    pub fn row(&self) -> String {
+        format!(
+            "{:<14} {:>7} {:>9} {:>8} {:>8} {:>10.3} {:>8.2} {:>10.3} {:>9.1}",
+            self.name,
+            self.nodes,
+            self.features,
+            self.edges,
+            self.classes,
+            self.label_rate,
+            self.avg_degree,
+            self.edge_homophily,
+            self.feature_nnz_per_node,
+        )
+    }
+
+    /// Header for [`DatasetStats::row`].
+    pub fn header() -> String {
+        format!(
+            "{:<14} {:>7} {:>9} {:>8} {:>8} {:>10} {:>8} {:>10} {:>9}",
+            "dataset",
+            "nodes",
+            "features",
+            "edges",
+            "classes",
+            "label_rate",
+            "avg_deg",
+            "homophily",
+            "nnz/node"
+        )
+    }
+}
+
+/// Histogram of node degrees, bucketed as `[0, 1, 2-3, 4-7, 8-15, 16+]`.
+pub fn degree_histogram(d: &Dataset) -> [usize; 6] {
+    let mut h = [0usize; 6];
+    for i in 0..d.n() {
+        let deg = d.graph.degree(i);
+        let bucket = match deg {
+            0 => 0,
+            1 => 1,
+            2..=3 => 2,
+            4..=7 => 3,
+            8..=15 => 4,
+            _ => 5,
+        };
+        h[bucket] += 1;
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::SynthConfig;
+
+    #[test]
+    fn stats_are_consistent() {
+        let d = SynthConfig::tiny().generate();
+        let s = DatasetStats::of(&d);
+        assert_eq!(s.nodes, 300);
+        assert_eq!(s.classes, 3);
+        assert!(s.edges > 0);
+        assert!((s.avg_degree - 2.0 * s.edges as f32 / s.nodes as f32).abs() < 1e-5);
+        assert!(s.label_rate > 0.0 && s.label_rate < 1.0);
+    }
+
+    #[test]
+    fn degree_histogram_sums_to_n() {
+        let d = SynthConfig::tiny().generate();
+        let h = degree_histogram(&d);
+        assert_eq!(h.iter().sum::<usize>(), d.n());
+    }
+
+    #[test]
+    fn row_and_header_align() {
+        let d = SynthConfig::tiny().generate();
+        let s = DatasetStats::of(&d);
+        // Same number of whitespace-separated fields.
+        assert_eq!(
+            s.row().split_whitespace().count(),
+            DatasetStats::header().split_whitespace().count()
+        );
+    }
+}

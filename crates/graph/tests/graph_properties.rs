@@ -1,0 +1,117 @@
+//! Property-based invariants of the graph substrate: PageRank, the GCN
+//! normalization, split protocol and generator statistics under randomized
+//! inputs.
+
+use proptest::prelude::*;
+use rdd_graph::{planetoid_split, Graph, SynthConfig};
+
+/// Strategy: a random edge list over `n` nodes.
+fn edges(n: usize, max_edges: usize) -> impl Strategy<Value = Vec<(usize, usize)>> {
+    proptest::collection::vec((0..n, 0..n), 0..max_edges)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn pagerank_is_a_distribution(e in edges(20, 60)) {
+        let g = Graph::from_edges(20, &e);
+        let pr = g.pagerank(0.85, 100, 1e-10);
+        let sum: f32 = pr.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-3, "pagerank sums to {sum}");
+        prop_assert!(pr.iter().all(|&p| p > 0.0), "all ranks positive");
+    }
+
+    #[test]
+    fn normalized_adjacency_is_symmetric_and_bounded(e in edges(15, 40)) {
+        let g = Graph::from_edges(15, &e);
+        let a = g.normalized_adjacency();
+        for (i, j, v) in a.iter() {
+            prop_assert!((a.get(j, i) - v).abs() < 1e-6, "asymmetry at ({i},{j})");
+            prop_assert!(v > 0.0 && v <= 1.0, "Â entry {v} out of (0,1]");
+        }
+        // Self-loops always present.
+        for i in 0..15 {
+            prop_assert!(a.get(i, i) > 0.0, "missing self-loop at {i}");
+        }
+        // Row sums of Â are at most 1 for the renormalized operator...
+        // actually they can slightly exceed; instead check spectral-safe
+        // bound: each row sum ≤ sqrt(deg+1) is loose, so just check finite.
+        prop_assert!(a.row_sums().iter().all(|s| s.is_finite()));
+    }
+
+    #[test]
+    fn adjacency_is_undirected_and_loopless(e in edges(12, 30)) {
+        let g = Graph::from_edges(12, &e);
+        for (i, j, _) in g.adjacency().iter() {
+            prop_assert!(i != j, "self-loop survived");
+            prop_assert!(g.has_edge(j, i), "asymmetric adjacency");
+        }
+        // Degree equals neighbor count equals adjacency row nnz.
+        for i in 0..12 {
+            prop_assert_eq!(g.degree(i), g.neighbors(i).len());
+        }
+    }
+
+    #[test]
+    fn components_are_edge_consistent(e in edges(12, 25)) {
+        let g = Graph::from_edges(12, &e);
+        let comp = g.connected_components();
+        for &(a, b) in g.edges() {
+            prop_assert_eq!(comp[a as usize], comp[b as usize], "edge crosses components");
+        }
+    }
+
+    #[test]
+    fn planetoid_split_is_disjoint_and_balanced(
+        seed in 0u64..1000,
+        per_class in 1usize..5,
+    ) {
+        let n = 90;
+        let labels: Vec<usize> = (0..n).map(|i| i % 3).collect();
+        let mut rng = rdd_tensor::seeded_rng(seed);
+        let (train, val, test) = planetoid_split(&labels, 3, per_class, 10, 10, &mut rng);
+        prop_assert_eq!(train.len(), 3 * per_class);
+        prop_assert_eq!(val.len(), 10);
+        prop_assert_eq!(test.len(), 10);
+        let mut seen = std::collections::HashSet::new();
+        for &i in train.iter().chain(&val).chain(&test) {
+            prop_assert!(seen.insert(i), "node {} in two splits", i);
+        }
+        // Per-class balance of the training set.
+        for c in 0..3 {
+            let count = train.iter().filter(|&&i| labels[i] == c).count();
+            prop_assert_eq!(count, per_class);
+        }
+    }
+
+    #[test]
+    fn generator_feature_rows_are_normalized(seed in 0u64..50) {
+        let mut cfg = SynthConfig::tiny();
+        cfg.n = 120;
+        cfg.val_size = 30;
+        cfg.test_size = 30;
+        let d = cfg.generate_with_seed(seed);
+        for (i, s) in d.features.row_sums().iter().enumerate() {
+            prop_assert!((s - 1.0).abs() < 1e-4, "row {} sums to {}", i, s);
+        }
+        // Labels in range, splits within bounds.
+        prop_assert!(d.labels.iter().all(|&c| c < d.num_classes));
+        prop_assert!(d.train_idx.iter().all(|&i| i < d.n()));
+    }
+
+    #[test]
+    fn homophily_increases_with_config(seed in 0u64..20) {
+        let mut low = SynthConfig::tiny();
+        low.homophily = 0.3;
+        low.class_mixing = 0.0;
+        let mut high = SynthConfig::tiny();
+        high.homophily = 0.95;
+        high.class_mixing = 0.0;
+        let dl = low.generate_with_seed(seed);
+        let dh = high.generate_with_seed(seed);
+        let hl = dl.graph.edge_homophily(&dl.labels);
+        let hh = dh.graph.edge_homophily(&dh.labels);
+        prop_assert!(hh > hl, "homophily knob inverted: {} !> {}", hh, hl);
+    }
+}

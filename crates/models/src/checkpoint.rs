@@ -1,0 +1,257 @@
+//! Model checkpointing: save/load a model's parameter matrices as a plain
+//! text file (one matrix per block, shape header + row-major values).
+//!
+//! Format, line-oriented:
+//!
+//! ```text
+//! rdd-checkpoint v1
+//! model <name>
+//! params <count>
+//! matrix <rows> <cols>
+//! <v v v ...>          (one line per row)
+//! ...
+//! ```
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use rdd_tensor::Matrix;
+
+use crate::gcn::Model;
+
+/// Checkpointing errors.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Underlying filesystem error.
+    Io(io::Error),
+    /// Malformed checkpoint content.
+    Parse(String),
+    /// Loaded shapes don't match the target model's parameters.
+    ShapeMismatch {
+        /// Parameter slot index.
+        slot: usize,
+        /// Shape the model expects.
+        expected: (usize, usize),
+        /// Shape found in the checkpoint.
+        found: (usize, usize),
+    },
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "io error: {e}"),
+            CheckpointError::Parse(m) => write!(f, "parse error: {m}"),
+            CheckpointError::ShapeMismatch {
+                slot,
+                expected,
+                found,
+            } => write!(
+                f,
+                "parameter {slot}: checkpoint has {found:?}, model expects {expected:?}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<io::Error> for CheckpointError {
+    fn from(e: io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+/// Serialize `model`'s parameters to `path`.
+pub fn save(model: &dyn Model, path: &Path) -> Result<(), CheckpointError> {
+    let mut out = String::new();
+    out.push_str("rdd-checkpoint v1\n");
+    out.push_str(&format!("model {}\n", model.name()));
+    out.push_str(&format!("params {}\n", model.params().len()));
+    for p in model.params() {
+        out.push_str(&format!("matrix {} {}\n", p.rows(), p.cols()));
+        for i in 0..p.rows() {
+            let row: Vec<String> = p.row(i).iter().map(|v| format!("{v}")).collect();
+            out.push_str(&row.join(" "));
+            out.push('\n');
+        }
+    }
+    fs::write(path, out)?;
+    Ok(())
+}
+
+/// Parse a checkpoint file into raw matrices (model-agnostic).
+pub fn load_matrices(path: &Path) -> Result<(String, Vec<Matrix>), CheckpointError> {
+    let text = fs::read_to_string(path)?;
+    let mut lines = text.lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| CheckpointError::Parse("empty file".into()))?;
+    if header != "rdd-checkpoint v1" {
+        return Err(CheckpointError::Parse(format!("bad header {header:?}")));
+    }
+    let model_line = lines
+        .next()
+        .ok_or_else(|| CheckpointError::Parse("missing model line".into()))?;
+    let model_name = model_line
+        .strip_prefix("model ")
+        .ok_or_else(|| CheckpointError::Parse(format!("bad model line {model_line:?}")))?
+        .to_string();
+    let count_line = lines
+        .next()
+        .ok_or_else(|| CheckpointError::Parse("missing params line".into()))?;
+    let count: usize = count_line
+        .strip_prefix("params ")
+        .and_then(|c| c.parse().ok())
+        .ok_or_else(|| CheckpointError::Parse(format!("bad params line {count_line:?}")))?;
+
+    let mut matrices = Vec::with_capacity(count);
+    for m in 0..count {
+        let shape_line = lines
+            .next()
+            .ok_or_else(|| CheckpointError::Parse(format!("missing matrix header {m}")))?;
+        let rest = shape_line
+            .strip_prefix("matrix ")
+            .ok_or_else(|| CheckpointError::Parse(format!("bad matrix header {shape_line:?}")))?;
+        let mut it = rest.split_whitespace();
+        let rows: usize = it
+            .next()
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| CheckpointError::Parse("bad rows".into()))?;
+        let cols: usize = it
+            .next()
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| CheckpointError::Parse("bad cols".into()))?;
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            let row_line = lines
+                .next()
+                .ok_or_else(|| CheckpointError::Parse(format!("matrix {m} missing row {r}")))?;
+            for tok in row_line.split_whitespace() {
+                let v: f32 = tok
+                    .parse()
+                    .map_err(|_| CheckpointError::Parse(format!("bad value {tok:?}")))?;
+                data.push(v);
+            }
+            if data.len() != (r + 1) * cols {
+                return Err(CheckpointError::Parse(format!(
+                    "matrix {m} row {r} has wrong width"
+                )));
+            }
+        }
+        matrices.push(Matrix::from_vec(rows, cols, data));
+    }
+    Ok((model_name, matrices))
+}
+
+/// Load a checkpoint into an existing `model` (shapes must match).
+pub fn load_into(model: &mut dyn Model, path: &Path) -> Result<(), CheckpointError> {
+    let (_, matrices) = load_matrices(path)?;
+    if matrices.len() != model.params().len() {
+        return Err(CheckpointError::Parse(format!(
+            "checkpoint has {} parameters, model expects {}",
+            matrices.len(),
+            model.params().len()
+        )));
+    }
+    for (slot, (p, m)) in model.params().iter().zip(&matrices).enumerate() {
+        if p.shape() != m.shape() {
+            return Err(CheckpointError::ShapeMismatch {
+                slot,
+                expected: p.shape(),
+                found: m.shape(),
+            });
+        }
+    }
+    model.params_mut().clone_from_slice(&matrices);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::GraphContext;
+    use crate::gcn::{Gcn, GcnConfig};
+    use crate::trainer::predict_logits;
+    use rdd_graph::SynthConfig;
+    use rdd_tensor::seeded_rng;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("rdd_ckpt_{name}_{}", std::process::id()))
+    }
+
+    #[test]
+    fn save_load_roundtrip_preserves_predictions() {
+        let data = SynthConfig::tiny().generate();
+        let ctx = GraphContext::new(&data);
+        let mut rng = seeded_rng(1);
+        let model = Gcn::new(&ctx, GcnConfig::citation(), &mut rng);
+        let before = predict_logits(&model, &ctx);
+
+        let path = tmp("roundtrip");
+        save(&model, &path).expect("save");
+        let mut restored = Gcn::new(&ctx, GcnConfig::citation(), &mut seeded_rng(999));
+        load_into(&mut restored, &path).expect("load");
+        let after = predict_logits(&restored, &ctx);
+        assert!(
+            before.max_abs_diff(&after) < 1e-5,
+            "predictions changed after reload"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn shape_mismatch_is_reported() {
+        let data = SynthConfig::tiny().generate();
+        let ctx = GraphContext::new(&data);
+        let mut rng = seeded_rng(2);
+        let model = Gcn::new(&ctx, GcnConfig::citation(), &mut rng);
+        let path = tmp("mismatch");
+        save(&model, &path).expect("save");
+        // A wider hidden layer cannot absorb the checkpoint.
+        let mut other = Gcn::new(
+            &ctx,
+            GcnConfig {
+                hidden: vec![32],
+                ..GcnConfig::citation()
+            },
+            &mut rng,
+        );
+        let err = load_into(&mut other, &path).unwrap_err();
+        assert!(
+            matches!(err, CheckpointError::ShapeMismatch { .. }),
+            "got {err}"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn corrupt_file_is_a_parse_error() {
+        let path = tmp("corrupt");
+        std::fs::write(&path, "not a checkpoint").expect("write");
+        let err = load_matrices(&path).unwrap_err();
+        assert!(matches!(err, CheckpointError::Parse(_)), "got {err}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let err = load_matrices(Path::new("/nonexistent/ckpt.txt")).unwrap_err();
+        assert!(matches!(err, CheckpointError::Io(_)));
+    }
+
+    #[test]
+    fn metadata_preserved() {
+        let data = SynthConfig::tiny().generate();
+        let ctx = GraphContext::new(&data);
+        let mut rng = seeded_rng(3);
+        let model = Gcn::new(&ctx, GcnConfig::citation(), &mut rng);
+        let path = tmp("meta");
+        save(&model, &path).expect("save");
+        let (name, mats) = load_matrices(&path).expect("load");
+        assert_eq!(name, "GCN");
+        assert_eq!(mats.len(), 2);
+        let _ = std::fs::remove_file(&path);
+    }
+}

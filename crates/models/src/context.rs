@@ -1,0 +1,97 @@
+//! Shared per-dataset training context.
+
+use std::rc::Rc;
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use rdd_graph::Dataset;
+use rdd_tensor::CsrMatrix;
+
+/// Everything constant across a training run: the renormalized adjacency Â
+/// and the sparse feature matrix X, both shared into tapes by `Rc`.
+#[derive(Clone)]
+pub struct GraphContext {
+    /// Renormalized propagation operator Â.
+    pub a_hat: Rc<CsrMatrix>,
+    /// Sparse node features X.
+    pub features: Rc<CsrMatrix>,
+    /// Number of nodes.
+    pub n: usize,
+    /// Feature dimensionality.
+    pub in_dim: usize,
+    /// Number of classes.
+    pub num_classes: usize,
+}
+
+impl GraphContext {
+    /// Precompute the context of `dataset`.
+    pub fn new(dataset: &Dataset) -> Self {
+        Self {
+            a_hat: Rc::new(dataset.graph.normalized_adjacency()),
+            features: Rc::new(dataset.features.clone()),
+            n: dataset.n(),
+            in_dim: dataset.num_features(),
+            num_classes: dataset.num_classes,
+        }
+    }
+
+    /// Inverted dropout over the stored entries of the sparse feature
+    /// matrix (the reference GCN also drops input features). Returns a new
+    /// matrix with entries zeroed with probability `p` and survivors scaled
+    /// by `1/(1-p)`.
+    pub fn dropout_features(&self, p: f32, rng: &mut StdRng) -> Rc<CsrMatrix> {
+        if p <= 0.0 {
+            return Rc::clone(&self.features);
+        }
+        let keep = 1.0 - p;
+        let scale = 1.0 / keep;
+        Rc::new(self.features.map_values(|_, _, v| {
+            if rng.gen::<f32>() < keep {
+                v * scale
+            } else {
+                0.0
+            }
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdd_graph::SynthConfig;
+    use rdd_tensor::seeded_rng;
+
+    #[test]
+    fn context_shapes() {
+        let d = SynthConfig::tiny().generate();
+        let ctx = GraphContext::new(&d);
+        assert_eq!(ctx.n, 300);
+        assert_eq!(ctx.in_dim, 64);
+        assert_eq!(ctx.num_classes, 3);
+        assert_eq!(ctx.a_hat.shape(), (300, 300));
+        assert_eq!(ctx.features.shape(), (300, 64));
+    }
+
+    #[test]
+    fn feature_dropout_preserves_expectation() {
+        let d = SynthConfig::tiny().generate();
+        let ctx = GraphContext::new(&d);
+        let mut rng = seeded_rng(5);
+        let dropped = ctx.dropout_features(0.5, &mut rng);
+        let orig_sum: f32 = ctx.features.row_sums().iter().sum();
+        let drop_sum: f32 = dropped.row_sums().iter().sum();
+        assert!(
+            (drop_sum - orig_sum).abs() / orig_sum < 0.1,
+            "sum {drop_sum} vs {orig_sum}"
+        );
+    }
+
+    #[test]
+    fn zero_dropout_shares_matrix() {
+        let d = SynthConfig::tiny().generate();
+        let ctx = GraphContext::new(&d);
+        let mut rng = seeded_rng(5);
+        let same = ctx.dropout_features(0.0, &mut rng);
+        assert!(Rc::ptr_eq(&same, &ctx.features));
+    }
+}

@@ -1,0 +1,39 @@
+#![warn(missing_docs)]
+//! # rdd-models
+//!
+//! The GCN model zoo and shared training loop for the RDD (SIGMOD 2020)
+//! reproduction: plain GCN, the deep baselines the paper compares against
+//! (ResGCN, DenseGCN, JK-Net), a graph-free MLP diagnostic, and a trainer
+//! with Adam, dropout, early stopping and an extra-loss hook that the
+//! distillation methods (BANs, RDD) plug their objectives into.
+//!
+//! ```
+//! use rdd_graph::SynthConfig;
+//! use rdd_models::{Gcn, GcnConfig, GraphContext, TrainConfig};
+//!
+//! let data = SynthConfig::tiny().generate();
+//! let ctx = GraphContext::new(&data);
+//! let mut rng = rdd_tensor::seeded_rng(1);
+//! let mut model = Gcn::new(&ctx, GcnConfig::citation(), &mut rng);
+//! rdd_models::train(&mut model, &ctx, &data, &TrainConfig::fast(), &mut rng, None);
+//! let acc = data.test_accuracy(&rdd_models::predict(&model, &ctx));
+//! assert!(acc > 0.3);
+//! ```
+
+pub mod checkpoint;
+pub mod context;
+pub mod gat;
+pub mod gcn;
+pub mod metrics;
+pub mod sage;
+pub mod trainer;
+
+pub use checkpoint::{load_into, load_matrices, save as save_checkpoint, CheckpointError};
+pub use context::GraphContext;
+pub use gat::{Gat, GatConfig};
+pub use gcn::{DenseGcn, Gcn, GcnConfig, JkNet, Mlp, Model, ResGcn};
+pub use metrics::{expected_calibration_error, ConfusionMatrix};
+pub use sage::{GraphSage, SageConfig};
+pub use trainer::{
+    predict, predict_logits, predict_proba, train, LossHook, LrSchedule, TrainConfig, TrainReport,
+};

@@ -1,0 +1,197 @@
+//! Evaluation metrics beyond plain accuracy: confusion matrix, per-class
+//! precision/recall/F1 and expected calibration error (ECE). The paper
+//! reports accuracy only; these are provided for downstream users and for
+//! the reliability diagnostics experiment (a reliable node set should be
+//! better *calibrated* than the full prediction set).
+
+use rdd_tensor::Matrix;
+
+/// Row-major confusion matrix: `counts[true][predicted]`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ConfusionMatrix {
+    k: usize,
+    counts: Vec<usize>,
+}
+
+impl ConfusionMatrix {
+    /// Build over the nodes listed in `idx`.
+    pub fn over(labels: &[usize], predictions: &[usize], idx: &[usize], k: usize) -> Self {
+        assert_eq!(labels.len(), predictions.len());
+        let mut counts = vec![0usize; k * k];
+        for &i in idx {
+            assert!(
+                labels[i] < k && predictions[i] < k,
+                "class out of range at node {i}"
+            );
+            counts[labels[i] * k + predictions[i]] += 1;
+        }
+        Self { k, counts }
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.k
+    }
+
+    /// `counts[true][pred]`.
+    pub fn get(&self, true_class: usize, pred_class: usize) -> usize {
+        self.counts[true_class * self.k + pred_class]
+    }
+
+    /// Total evaluated nodes.
+    pub fn total(&self) -> usize {
+        self.counts.iter().sum()
+    }
+
+    /// Overall accuracy.
+    pub fn accuracy(&self) -> f32 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let correct: usize = (0..self.k).map(|c| self.get(c, c)).sum();
+        correct as f32 / total as f32
+    }
+
+    /// Precision of class `c` (0 when the class is never predicted).
+    pub fn precision(&self, c: usize) -> f32 {
+        let predicted: usize = (0..self.k).map(|t| self.get(t, c)).sum();
+        if predicted == 0 {
+            0.0
+        } else {
+            self.get(c, c) as f32 / predicted as f32
+        }
+    }
+
+    /// Recall of class `c` (0 when the class never occurs).
+    pub fn recall(&self, c: usize) -> f32 {
+        let actual: usize = (0..self.k).map(|p| self.get(c, p)).sum();
+        if actual == 0 {
+            0.0
+        } else {
+            self.get(c, c) as f32 / actual as f32
+        }
+    }
+
+    /// F1 of class `c`.
+    pub fn f1(&self, c: usize) -> f32 {
+        let p = self.precision(c);
+        let r = self.recall(c);
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Unweighted mean of per-class F1 scores.
+    pub fn macro_f1(&self) -> f32 {
+        (0..self.k).map(|c| self.f1(c)).sum::<f32>() / self.k as f32
+    }
+}
+
+/// Expected calibration error over `bins` equal-width confidence bins:
+/// `Σ_b (|b|/n) · |acc(b) − conf(b)|`, using the max softmax probability as
+/// confidence.
+pub fn expected_calibration_error(
+    proba: &Matrix,
+    labels: &[usize],
+    idx: &[usize],
+    bins: usize,
+) -> f32 {
+    assert!(bins >= 1);
+    if idx.is_empty() {
+        return 0.0;
+    }
+    let preds = proba.argmax_rows();
+    let mut bin_correct = vec![0usize; bins];
+    let mut bin_conf = vec![0f64; bins];
+    let mut bin_count = vec![0usize; bins];
+    for &i in idx {
+        let conf = proba.row(i)[preds[i]];
+        let b = ((conf * bins as f32) as usize).min(bins - 1);
+        bin_count[b] += 1;
+        bin_conf[b] += conf as f64;
+        if preds[i] == labels[i] {
+            bin_correct[b] += 1;
+        }
+    }
+    let n = idx.len() as f64;
+    let mut ece = 0.0f64;
+    for b in 0..bins {
+        if bin_count[b] == 0 {
+            continue;
+        }
+        let acc = bin_correct[b] as f64 / bin_count[b] as f64;
+        let conf = bin_conf[b] / bin_count[b] as f64;
+        ece += (bin_count[b] as f64 / n) * (acc - conf).abs();
+    }
+    ece as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn confusion_matrix_counts() {
+        let labels = vec![0, 0, 1, 1, 2];
+        let preds = vec![0, 1, 1, 1, 0];
+        let cm = ConfusionMatrix::over(&labels, &preds, &[0, 1, 2, 3, 4], 3);
+        assert_eq!(cm.get(0, 0), 1);
+        assert_eq!(cm.get(0, 1), 1);
+        assert_eq!(cm.get(1, 1), 2);
+        assert_eq!(cm.get(2, 0), 1);
+        assert_eq!(cm.total(), 5);
+        assert!((cm.accuracy() - 3.0 / 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn precision_recall_f1() {
+        let labels = vec![0, 0, 1, 1];
+        let preds = vec![0, 1, 1, 1];
+        let cm = ConfusionMatrix::over(&labels, &preds, &[0, 1, 2, 3], 2);
+        // Class 1: predicted 3 times, correct 2 -> precision 2/3; recall 1.
+        assert!((cm.precision(1) - 2.0 / 3.0).abs() < 1e-6);
+        assert!((cm.recall(1) - 1.0).abs() < 1e-6);
+        let f1 = cm.f1(1);
+        assert!((f1 - 0.8).abs() < 1e-6);
+    }
+
+    #[test]
+    fn degenerate_classes_are_zero_not_nan() {
+        let labels = vec![0, 0];
+        let preds = vec![0, 0];
+        let cm = ConfusionMatrix::over(&labels, &preds, &[0, 1], 3);
+        assert_eq!(cm.precision(2), 0.0);
+        assert_eq!(cm.recall(2), 0.0);
+        assert_eq!(cm.f1(2), 0.0);
+        assert!(cm.macro_f1().is_finite());
+    }
+
+    #[test]
+    fn perfectly_calibrated_has_zero_ece() {
+        // Confidence 1.0 and always correct.
+        let proba = Matrix::from_vec(2, 2, vec![1.0, 0.0, 0.0, 1.0]);
+        let labels = vec![0usize, 1];
+        let ece = expected_calibration_error(&proba, &labels, &[0, 1], 10);
+        assert!(ece < 1e-6);
+    }
+
+    #[test]
+    fn overconfident_wrong_predictions_have_high_ece() {
+        // Confidence ~1.0 but always wrong.
+        let proba = Matrix::from_vec(2, 2, vec![0.99, 0.01, 0.01, 0.99]);
+        let labels = vec![1usize, 0];
+        let ece = expected_calibration_error(&proba, &labels, &[0, 1], 10);
+        assert!(ece > 0.9, "ece {ece}");
+    }
+
+    #[test]
+    fn empty_idx_is_zero() {
+        let proba = Matrix::from_vec(1, 2, vec![0.5, 0.5]);
+        assert_eq!(expected_calibration_error(&proba, &[0], &[], 10), 0.0);
+        let cm = ConfusionMatrix::over(&[0], &[0], &[], 2);
+        assert_eq!(cm.accuracy(), 0.0);
+    }
+}

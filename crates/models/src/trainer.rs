@@ -1,0 +1,340 @@
+//! The shared training loop: Adam + cross-entropy + early stopping on
+//! validation accuracy, with a hook for injecting extra loss terms (used by
+//! BANs' KD loss and RDD's reliability losses).
+
+use std::rc::Rc;
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rdd_graph::{accuracy_over, Dataset};
+use rdd_tensor::{Adam, Matrix, Tape, Var};
+
+use crate::context::GraphContext;
+use crate::gcn::Model;
+
+/// Learning-rate schedule applied on top of `TrainConfig::lr`.
+#[derive(Clone, Copy, Debug, PartialEq, Default)]
+pub enum LrSchedule {
+    /// Constant learning rate (the paper's setup).
+    #[default]
+    Constant,
+    /// SGDR-style cosine annealing with warm restarts every `period`
+    /// epochs (Loshchilov & Hutter 2016) — the schedule Snapshot Ensembles
+    /// ride on: `lr(e) = lr · (1 + cos(π·(e mod period)/period)) / 2`.
+    CosineRestarts {
+        /// Epochs per restart cycle.
+        period: usize,
+    },
+}
+
+impl LrSchedule {
+    /// The multiplier applied to the base learning rate at `epoch`.
+    pub fn factor(&self, epoch: usize) -> f32 {
+        match *self {
+            LrSchedule::Constant => 1.0,
+            LrSchedule::CosineRestarts { period } => {
+                let period = period.max(1);
+                let phase = (epoch % period) as f32 / period as f32;
+                0.5 * (1.0 + (std::f32::consts::PI * phase).cos())
+            }
+        }
+    }
+
+    /// Whether `epoch` is the last epoch of a restart cycle (snapshot
+    /// point).
+    pub fn is_cycle_end(&self, epoch: usize) -> bool {
+        match *self {
+            LrSchedule::Constant => false,
+            LrSchedule::CosineRestarts { period } => (epoch + 1).is_multiple_of(period.max(1)),
+        }
+    }
+}
+
+/// Optimization hyperparameters (paper §5.1 defaults).
+#[derive(Clone, Debug)]
+pub struct TrainConfig {
+    /// Base learning rate.
+    pub lr: f32,
+    /// L2 coefficient on decay-masked parameters.
+    pub weight_decay: f32,
+    /// Maximum epochs.
+    pub epochs: usize,
+    /// Stop after this many epochs without validation improvement.
+    pub patience: usize,
+    /// Never early-stop before this many epochs (guards against a slow
+    /// warmup being mistaken for convergence on hard datasets).
+    pub min_epochs: usize,
+    /// Report progress every `log_every` epochs via `eprintln!` (0 = quiet).
+    pub log_every: usize,
+    /// Learning-rate schedule (constant by default).
+    pub lr_schedule: LrSchedule,
+}
+
+impl TrainConfig {
+    /// Paper defaults for the citation networks: Adam(0.01), L2 5e-4,
+    /// 500 epochs, patience 20.
+    pub fn citation() -> Self {
+        Self {
+            lr: 0.01,
+            weight_decay: 5e-4,
+            epochs: 500,
+            patience: 20,
+            min_epochs: 100,
+            log_every: 0,
+            lr_schedule: LrSchedule::Constant,
+        }
+    }
+
+    /// Paper defaults for NELL: weaker L2 (1e-5).
+    pub fn nell() -> Self {
+        Self {
+            lr: 0.01,
+            weight_decay: 1e-5,
+            epochs: 500,
+            patience: 20,
+            min_epochs: 100,
+            log_every: 0,
+            lr_schedule: LrSchedule::Constant,
+        }
+    }
+
+    /// A short budget for tests.
+    pub fn fast() -> Self {
+        Self {
+            lr: 0.01,
+            weight_decay: 5e-4,
+            epochs: 60,
+            patience: 15,
+            min_epochs: 20,
+            log_every: 0,
+            lr_schedule: LrSchedule::Constant,
+        }
+    }
+}
+
+/// Extra loss terms appended to the supervised objective each epoch. The
+/// hook sees the tape (with the training-mode logits recorded), the logits
+/// variable and the epoch number, and returns `(term, weight)` pairs.
+pub type LossHook<'a> = dyn FnMut(&mut Tape, Var, usize) -> Vec<(Var, f32)> + 'a;
+
+/// Outcome of a training run.
+#[derive(Clone, Debug)]
+pub struct TrainReport {
+    /// Best validation accuracy seen (the restored model).
+    pub best_val_acc: f32,
+    /// Epoch index of the best validation accuracy.
+    pub best_epoch: usize,
+    /// Epochs actually executed before stopping.
+    pub epochs_run: usize,
+    /// Training loss at the last executed epoch.
+    pub final_train_loss: f32,
+    /// Wall-clock training time in seconds.
+    pub wall_time_s: f64,
+}
+
+/// Train `model` in place with cross-entropy on the training split and
+/// early stopping on the validation split. The model ends holding the
+/// parameters of its best validation epoch.
+pub fn train(
+    model: &mut dyn Model,
+    ctx: &GraphContext,
+    data: &Dataset,
+    cfg: &TrainConfig,
+    rng: &mut StdRng,
+    mut extra_loss: Option<&mut LossHook>,
+) -> TrainReport {
+    let start = Instant::now();
+    let labels = Rc::new(data.labels.clone());
+    let train_idx = Rc::new(data.train_idx.clone());
+    let n_params = model.params().len();
+    let mut opt = Adam::new(cfg.lr, cfg.weight_decay, model.decay_mask());
+
+    let mut best_val = f32::NEG_INFINITY;
+    let mut best_epoch = 0usize;
+    let mut best_params: Vec<Matrix> = model.params().to_vec();
+    let mut since_best = 0usize;
+    let mut last_loss = f32::NAN;
+    let mut epochs_run = 0usize;
+
+    for epoch in 0..cfg.epochs {
+        epochs_run = epoch + 1;
+        opt.set_lr(cfg.lr * cfg.lr_schedule.factor(epoch));
+        // --- training step ---
+        let mut tape = Tape::new();
+        let logits = model.forward(&mut tape, ctx, true, rng);
+        let logp = tape.log_softmax(logits);
+        let ce = tape.nll_masked(logp, Rc::clone(&labels), Rc::clone(&train_idx));
+        let mut terms = vec![(ce, 1.0f32)];
+        if let Some(hook) = extra_loss.as_deref_mut() {
+            terms.extend(hook(&mut tape, logits, epoch));
+        }
+        let loss = tape.weighted_sum(&terms);
+        last_loss = tape.scalar(loss);
+        let grads = tape.backward(loss, n_params);
+        opt.step(model.params_mut(), &grads);
+
+        // --- validation (eval-mode forward) ---
+        let val_acc = {
+            let preds = predict(model, ctx);
+            accuracy_over(&data.labels, &preds, &data.val_idx)
+        };
+        if val_acc > best_val {
+            best_val = val_acc;
+            best_epoch = epoch;
+            best_params = model.params().to_vec();
+            since_best = 0;
+        } else {
+            since_best += 1;
+            if since_best >= cfg.patience && epoch + 1 >= cfg.min_epochs {
+                break;
+            }
+        }
+        if cfg.log_every > 0 && epoch % cfg.log_every == 0 {
+            eprintln!(
+                "[{}] epoch {epoch:4} loss {last_loss:.4} val {val_acc:.4} best {best_val:.4}",
+                model.name()
+            );
+        }
+    }
+
+    // Restore best parameters.
+    model.params_mut().clone_from_slice(&best_params);
+
+    TrainReport {
+        best_val_acc: best_val,
+        best_epoch,
+        epochs_run,
+        final_train_loss: last_loss,
+        wall_time_s: start.elapsed().as_secs_f64(),
+    }
+}
+
+/// Eval-mode logits of `model`.
+pub fn predict_logits(model: &dyn Model, ctx: &GraphContext) -> Matrix {
+    let mut tape = Tape::new();
+    // Eval mode ignores the rng; a fixed seed keeps the signature simple.
+    let mut rng = rdd_tensor::seeded_rng(0);
+    let v = model.forward(&mut tape, ctx, false, &mut rng);
+    tape.value(v).clone()
+}
+
+/// Eval-mode softmax probabilities.
+pub fn predict_proba(model: &dyn Model, ctx: &GraphContext) -> Matrix {
+    predict_logits(model, ctx).softmax_rows()
+}
+
+/// Eval-mode hard predictions.
+pub fn predict(model: &dyn Model, ctx: &GraphContext) -> Vec<usize> {
+    predict_logits(model, ctx).argmax_rows()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gcn::{Gcn, GcnConfig};
+    use rdd_graph::SynthConfig;
+    use rdd_tensor::seeded_rng;
+
+    #[test]
+    fn gcn_learns_tiny_dataset() {
+        let data = SynthConfig::tiny().generate();
+        let ctx = GraphContext::new(&data);
+        let mut rng = seeded_rng(42);
+        let mut model = Gcn::new(&ctx, GcnConfig::citation(), &mut rng);
+        let report = train(
+            &mut model,
+            &ctx,
+            &data,
+            &TrainConfig::fast(),
+            &mut rng,
+            None,
+        );
+        let preds = predict(&model, &ctx);
+        let acc = data.test_accuracy(&preds);
+        assert!(
+            acc > 0.6,
+            "GCN should beat chance by a wide margin, got {acc}"
+        );
+        assert!(report.best_val_acc > 0.6, "val acc {}", report.best_val_acc);
+        assert!(report.epochs_run <= 60);
+    }
+
+    #[test]
+    fn early_stopping_triggers() {
+        let data = SynthConfig::tiny().generate();
+        let ctx = GraphContext::new(&data);
+        let mut rng = seeded_rng(43);
+        let mut model = Gcn::new(&ctx, GcnConfig::citation(), &mut rng);
+        let cfg = TrainConfig {
+            epochs: 500,
+            patience: 5,
+            min_epochs: 0,
+            ..TrainConfig::fast()
+        };
+        let report = train(&mut model, &ctx, &data, &cfg, &mut rng, None);
+        assert!(report.epochs_run < 500, "patience should stop early");
+    }
+
+    #[test]
+    fn extra_loss_hook_runs() {
+        let data = SynthConfig::tiny().generate();
+        let ctx = GraphContext::new(&data);
+        let mut rng = seeded_rng(44);
+        let mut model = Gcn::new(&ctx, GcnConfig::citation(), &mut rng);
+        let mut calls = 0usize;
+        {
+            let mut hook = |tape: &mut Tape, logits: Var, _epoch: usize| {
+                calls += 1;
+                // An L2 pull of the logits toward zero.
+                let target = Rc::new(Matrix::zeros(
+                    tape.value(logits).rows(),
+                    tape.value(logits).cols(),
+                ));
+                let idx = Rc::new(vec![0usize]);
+                let l = tape.mse_rows(logits, target, idx);
+                vec![(l, 0.01)]
+            };
+            let cfg = TrainConfig {
+                epochs: 5,
+                patience: 50,
+                ..TrainConfig::fast()
+            };
+            train(&mut model, &ctx, &data, &cfg, &mut rng, Some(&mut hook));
+        }
+        assert_eq!(calls, 5);
+    }
+
+    #[test]
+    fn predict_proba_rows_sum_to_one() {
+        let data = SynthConfig::tiny().generate();
+        let ctx = GraphContext::new(&data);
+        let mut rng = seeded_rng(45);
+        let model = Gcn::new(&ctx, GcnConfig::citation(), &mut rng);
+        let p = predict_proba(&model, &ctx);
+        for i in 0..p.rows() {
+            let s: f32 = p.row(i).iter().sum();
+            assert!((s - 1.0).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn model_keeps_best_params() {
+        // After training, eval accuracy must equal the best epoch's, not the
+        // last epoch's (guard against forgetting to restore).
+        let data = SynthConfig::tiny().generate();
+        let ctx = GraphContext::new(&data);
+        let mut rng = seeded_rng(46);
+        let mut model = Gcn::new(&ctx, GcnConfig::citation(), &mut rng);
+        let report = train(
+            &mut model,
+            &ctx,
+            &data,
+            &TrainConfig::fast(),
+            &mut rng,
+            None,
+        );
+        let preds = predict(&model, &ctx);
+        let val_acc = accuracy_over(&data.labels, &preds, &data.val_idx);
+        assert!((val_acc - report.best_val_acc).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,1136 @@
+//! Tape-based reverse-mode automatic differentiation.
+//!
+//! The engine is a classic Wengert list: every operation eagerly computes its
+//! forward value and appends a node recording its inputs; [`Tape::backward`]
+//! then walks the list in reverse, accumulating gradients. The op set is
+//! exactly what GCN-family models and the RDD losses need — nothing more.
+//!
+//! Sparse matrices (the normalized adjacency Â and the feature matrix X) are
+//! *constants* of the computation, shared into the tape via `Rc<CsrMatrix>`;
+//! only dense values are differentiated through.
+//!
+//! Gradient correctness for every op is checked against central finite
+//! differences in this module's tests and, property-based, in
+//! `tests/grad_check.rs` of this crate.
+
+use std::rc::Rc;
+
+use rand::Rng;
+
+use crate::matrix::{log_softmax_in_place, Matrix};
+use crate::sparse::CsrMatrix;
+
+/// Handle to a node on the tape.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Var(usize);
+
+enum Op {
+    /// Input or parameter. `param` is the caller's parameter slot, used to
+    /// export gradients after `backward`.
+    Leaf { param: Option<usize> },
+    /// Dense product `a @ b`.
+    Matmul(Var, Var),
+    /// Sparse-constant product `sp @ x`. `symmetric` selects the cheaper
+    /// backward (`sp^T == sp` holds for the normalized adjacency).
+    Spmm {
+        sp: Rc<CsrMatrix>,
+        x: Var,
+        symmetric: bool,
+    },
+    /// Element-wise sum of two same-shaped matrices.
+    Add(Var, Var),
+    /// Broadcast add of a `1 x d` bias row onto an `n x d` matrix.
+    AddBias { x: Var, bias: Var },
+    /// Rectified linear unit.
+    Relu(Var),
+    /// Inverted dropout; `mask` entries are `0` or `1/(1-p)`.
+    Dropout { x: Var, mask: Vec<f32> },
+    /// Scalar multiple.
+    Scale(Var, f32),
+    /// Column-wise concatenation.
+    ConcatCols(Vec<Var>),
+    /// Row-wise log-softmax.
+    LogSoftmax(Var),
+    /// Row-wise softmax.
+    Softmax(Var),
+    /// Exponential linear unit with `alpha = 1`.
+    Elu(Var),
+    /// Single-head graph attention (Veličković et al. 2018):
+    /// `out_i = Σ_{j∈N(i)} α_ij · h_j` with
+    /// `α_ij = softmax_j(LeakyReLU(a_l·h_i + a_r·h_j))`.
+    /// `adj` fixes the neighborhood structure (self-loops included);
+    /// `alpha` and `z` cache the per-edge coefficients (aligned with the
+    /// CSR entry order) for the backward pass.
+    GraphAttention {
+        adj: Rc<CsrMatrix>,
+        h: Var,
+        a_l: Var,
+        a_r: Var,
+        slope: f32,
+        alpha: Vec<f32>,
+        z: Vec<f32>,
+    },
+    /// Mean negative log-likelihood over `idx`: `-(1/|idx|) Σ logp[i, y_i]`.
+    NllMasked {
+        logp: Var,
+        labels: Rc<Vec<usize>>,
+        idx: Rc<Vec<usize>>,
+    },
+    /// Mean squared row distance to a constant target over `idx`:
+    /// `(1/|idx|) Σ ‖x_i − t_i‖²`. This is RDD's L2 distillation loss.
+    MseRows {
+        x: Var,
+        target: Rc<Matrix>,
+        idx: Rc<Vec<usize>>,
+    },
+    /// Soft-label cross-entropy over `idx`:
+    /// `-(1/|idx|) Σ_i Σ_c T[i,c] · logp[i,c]` with a constant target
+    /// distribution `T` (teacher softmax). Hinton-style distillation.
+    SoftCeMasked {
+        logp: Var,
+        target: Rc<Matrix>,
+        idx: Rc<Vec<usize>>,
+    },
+    /// Weighted mean squared difference across edges:
+    /// `(1/Σw) Σ_{(i,j)} w_ij · ‖x_i − x_j‖²`. This is RDD's reliable-edge
+    /// Laplacian regularizer; `weights` is `None` for the unweighted form
+    /// and `Some` for the degree-normalized form (`w_ij = 1/√(d_i·d_j)`).
+    EdgeReg {
+        x: Var,
+        edges: Rc<Vec<(u32, u32)>>,
+        weights: Option<Rc<Vec<f32>>>,
+    },
+}
+
+struct Node {
+    value: Matrix,
+    op: Op,
+}
+
+/// A single forward computation. Build one per training step.
+#[derive(Default)]
+pub struct Tape {
+    nodes: Vec<Node>,
+}
+
+impl Tape {
+    /// An empty tape.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of nodes recorded so far.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether no nodes have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The forward value of `v`.
+    pub fn value(&self, v: Var) -> &Matrix {
+        &self.nodes[v.0].value
+    }
+
+    /// The scalar value of a `1x1` node (losses).
+    pub fn scalar(&self, v: Var) -> f32 {
+        let m = self.value(v);
+        assert_eq!(m.shape(), (1, 1), "scalar() on non-scalar node");
+        m.get(0, 0)
+    }
+
+    fn push(&mut self, value: Matrix, op: Op) -> Var {
+        self.nodes.push(Node { value, op });
+        Var(self.nodes.len() - 1)
+    }
+
+    /// Record a non-trainable input.
+    pub fn constant(&mut self, value: Matrix) -> Var {
+        self.push(value, Op::Leaf { param: None })
+    }
+
+    /// Record a trainable parameter occupying the caller's slot `param_idx`.
+    pub fn param(&mut self, param_idx: usize, value: Matrix) -> Var {
+        self.push(
+            value,
+            Op::Leaf {
+                param: Some(param_idx),
+            },
+        )
+    }
+
+    /// Dense matrix product.
+    pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        let value = self.value(a).matmul(self.value(b));
+        self.push(value, Op::Matmul(a, b))
+    }
+
+    /// Sparse-constant product `sp @ x`. Set `symmetric` when `sp^T == sp`.
+    pub fn spmm(&mut self, sp: &Rc<CsrMatrix>, x: Var, symmetric: bool) -> Var {
+        let value = sp.spmm(self.value(x));
+        self.push(
+            value,
+            Op::Spmm {
+                sp: Rc::clone(sp),
+                x,
+                symmetric,
+            },
+        )
+    }
+
+    /// Element-wise sum (residual connections).
+    pub fn add(&mut self, a: Var, b: Var) -> Var {
+        let value = self.value(a).add(self.value(b));
+        self.push(value, Op::Add(a, b))
+    }
+
+    /// Broadcast a `1 x d` bias row over the rows of `x`.
+    pub fn add_bias(&mut self, x: Var, bias: Var) -> Var {
+        let (xm, bm) = (self.value(x), self.value(bias));
+        assert_eq!(bm.rows(), 1, "bias must be a row vector");
+        assert_eq!(bm.cols(), xm.cols(), "bias width mismatch");
+        let mut value = xm.clone();
+        for i in 0..value.rows() {
+            let brow = &bm.row(0).to_vec();
+            for (o, &b) in value.row_mut(i).iter_mut().zip(brow) {
+                *o += b;
+            }
+        }
+        self.push(value, Op::AddBias { x, bias })
+    }
+
+    /// ReLU activation.
+    pub fn relu(&mut self, x: Var) -> Var {
+        let value = self.value(x).map(|v| v.max(0.0));
+        self.push(value, Op::Relu(x))
+    }
+
+    /// Inverted dropout with drop probability `p`. `p == 0` is the identity.
+    pub fn dropout(&mut self, x: Var, p: f32, rng: &mut impl Rng) -> Var {
+        assert!(
+            (0.0..1.0).contains(&p),
+            "dropout probability must be in [0,1)"
+        );
+        if p == 0.0 {
+            return x;
+        }
+        let keep = 1.0 - p;
+        let scale = 1.0 / keep;
+        let n = self.value(x).len();
+        let mask: Vec<f32> = (0..n)
+            .map(|_| if rng.gen::<f32>() < keep { scale } else { 0.0 })
+            .collect();
+        let xm = self.value(x);
+        let mut value = xm.clone();
+        for (v, &m) in value.as_mut_slice().iter_mut().zip(&mask) {
+            *v *= m;
+        }
+        self.push(value, Op::Dropout { x, mask })
+    }
+
+    /// Scalar multiple `c * x` (loss weighting: works on any shape).
+    pub fn scale(&mut self, x: Var, c: f32) -> Var {
+        let value = self.value(x).scaled(c);
+        self.push(value, Op::Scale(x, c))
+    }
+
+    /// Column-wise concatenation (JK-Net / DenseGCN aggregators).
+    pub fn concat_cols(&mut self, parts: &[Var]) -> Var {
+        let mats: Vec<&Matrix> = parts.iter().map(|&v| self.value(v)).collect();
+        let value = Matrix::hcat(&mats);
+        self.push(value, Op::ConcatCols(parts.to_vec()))
+    }
+
+    /// Row-wise log-softmax.
+    pub fn log_softmax(&mut self, x: Var) -> Var {
+        let mut value = self.value(x).clone();
+        for i in 0..value.rows() {
+            log_softmax_in_place(value.row_mut(i));
+        }
+        self.push(value, Op::LogSoftmax(x))
+    }
+
+    /// Row-wise softmax (used when a loss needs probabilities, e.g. the
+    /// edge regularizer over predicted label distributions).
+    pub fn softmax(&mut self, x: Var) -> Var {
+        let value = self.value(x).softmax_rows();
+        self.push(value, Op::Softmax(x))
+    }
+
+    /// ELU activation (`alpha = 1`), the nonlinearity GAT uses.
+    pub fn elu(&mut self, x: Var) -> Var {
+        let value = self.value(x).map(|v| if v > 0.0 { v } else { v.exp_m1() });
+        self.push(value, Op::Elu(x))
+    }
+
+    /// Single-head graph attention over the fixed neighborhood structure
+    /// `adj` (a CSR matrix whose stored pattern — values ignored — lists
+    /// each node's neighbors, self-loops included).
+    ///
+    /// * `h` — `n x d` transformed node features (`W·x`, differentiable);
+    /// * `a_l`, `a_r` — `1 x d` attention vectors (differentiable);
+    /// * `slope` — LeakyReLU negative slope (GAT uses 0.2).
+    pub fn graph_attention(
+        &mut self,
+        adj: &Rc<CsrMatrix>,
+        h: Var,
+        a_l: Var,
+        a_r: Var,
+        slope: f32,
+    ) -> Var {
+        let hv = self.value(h);
+        let n = hv.rows();
+        let d = hv.cols();
+        assert_eq!(adj.shape(), (n, n), "attention adjacency shape mismatch");
+        let alv = self.value(a_l);
+        let arv = self.value(a_r);
+        assert_eq!(alv.shape(), (1, d), "a_l must be 1 x d");
+        assert_eq!(arv.shape(), (1, d), "a_r must be 1 x d");
+
+        // Per-node projections s_l[i] = a_l·h_i, s_r[i] = a_r·h_i.
+        let dot = |row: &[f32], a: &[f32]| -> f32 { row.iter().zip(a).map(|(&x, &y)| x * y).sum() };
+        let s_l: Vec<f32> = (0..n).map(|i| dot(hv.row(i), alv.row(0))).collect();
+        let s_r: Vec<f32> = (0..n).map(|i| dot(hv.row(i), arv.row(0))).collect();
+
+        let mut z = Vec::with_capacity(adj.nnz());
+        let mut alpha = Vec::with_capacity(adj.nnz());
+        let mut out = Matrix::zeros(n, d);
+        #[allow(clippy::needless_range_loop)]
+        for i in 0..n {
+            let (cols, _) = adj.row(i);
+            let start = z.len();
+            let mut max_e = f32::NEG_INFINITY;
+            for &j in cols {
+                let raw = s_l[i] + s_r[j as usize];
+                let e = if raw > 0.0 { raw } else { slope * raw };
+                z.push(raw);
+                max_e = max_e.max(e);
+            }
+            // Softmax over the neighborhood (empty rows produce no output).
+            let mut denom = 0.0f32;
+            for (k, &j) in cols.iter().enumerate() {
+                let raw = z[start + k];
+                let e = if raw > 0.0 { raw } else { slope * raw };
+                let w = (e - max_e).exp();
+                alpha.push(w);
+                denom += w;
+                let _ = j;
+            }
+            let out_row = out.row_mut(i);
+            for (k, &j) in cols.iter().enumerate() {
+                let a = alpha[start + k] / denom;
+                alpha[start + k] = a;
+                for (o, &hj) in out_row.iter_mut().zip(hv.row(j as usize)) {
+                    *o += a * hj;
+                }
+            }
+        }
+        self.push(
+            out,
+            Op::GraphAttention {
+                adj: Rc::clone(adj),
+                h,
+                a_l,
+                a_r,
+                slope,
+                alpha,
+                z,
+            },
+        )
+    }
+
+    /// Mean cross-entropy over the rows listed in `idx`, given log-softmax
+    /// inputs. Empty `idx` yields a constant-zero loss.
+    pub fn nll_masked(&mut self, logp: Var, labels: Rc<Vec<usize>>, idx: Rc<Vec<usize>>) -> Var {
+        let lp = self.value(logp);
+        let loss = if idx.is_empty() {
+            0.0
+        } else {
+            let s: f32 = idx.iter().map(|&i| -lp.get(i, labels[i])).sum();
+            s / idx.len() as f32
+        };
+        self.push(
+            Matrix::from_vec(1, 1, vec![loss]),
+            Op::NllMasked { logp, labels, idx },
+        )
+    }
+
+    /// Mean squared distance between rows of `x` and the constant `target`
+    /// over `idx` (RDD's L2 distillation term). Empty `idx` yields zero.
+    pub fn mse_rows(&mut self, x: Var, target: Rc<Matrix>, idx: Rc<Vec<usize>>) -> Var {
+        let xm = self.value(x);
+        assert_eq!(xm.shape(), target.shape(), "mse_rows target shape mismatch");
+        let loss = if idx.is_empty() {
+            0.0
+        } else {
+            let s: f32 = idx
+                .iter()
+                .map(|&i| {
+                    xm.row(i)
+                        .iter()
+                        .zip(target.row(i))
+                        .map(|(&a, &b)| (a - b) * (a - b))
+                        .sum::<f32>()
+                })
+                .sum();
+            s / idx.len() as f32
+        };
+        self.push(
+            Matrix::from_vec(1, 1, vec![loss]),
+            Op::MseRows { x, target, idx },
+        )
+    }
+
+    /// Soft-label cross-entropy over the rows in `idx` given log-softmax
+    /// inputs and a constant row-stochastic `target`. Empty `idx` is zero.
+    pub fn soft_ce_masked(&mut self, logp: Var, target: Rc<Matrix>, idx: Rc<Vec<usize>>) -> Var {
+        let lp = self.value(logp);
+        assert_eq!(
+            lp.shape(),
+            target.shape(),
+            "soft_ce_masked target shape mismatch"
+        );
+        let loss = if idx.is_empty() {
+            0.0
+        } else {
+            let s: f32 = idx
+                .iter()
+                .map(|&i| {
+                    -lp.row(i)
+                        .iter()
+                        .zip(target.row(i))
+                        .map(|(&l, &t)| t * l)
+                        .sum::<f32>()
+                })
+                .sum();
+            s / idx.len() as f32
+        };
+        self.push(
+            Matrix::from_vec(1, 1, vec![loss]),
+            Op::SoftCeMasked { logp, target, idx },
+        )
+    }
+
+    /// Mean squared row difference across `edges` (RDD's reliable-edge
+    /// regularizer). Empty `edges` yields zero.
+    pub fn edge_reg(&mut self, x: Var, edges: Rc<Vec<(u32, u32)>>) -> Var {
+        self.edge_reg_impl(x, edges, None)
+    }
+
+    /// Weighted variant of [`Tape::edge_reg`]:
+    /// `(1/Σw) Σ w_ij · ‖x_i − x_j‖²`. Degree-normalized weights
+    /// (`w_ij = 1/√(d_i·d_j)`) keep hub nodes from dominating the pull.
+    pub fn edge_reg_weighted(
+        &mut self,
+        x: Var,
+        edges: Rc<Vec<(u32, u32)>>,
+        weights: Rc<Vec<f32>>,
+    ) -> Var {
+        assert_eq!(edges.len(), weights.len(), "edge/weight length mismatch");
+        self.edge_reg_impl(x, edges, Some(weights))
+    }
+
+    fn edge_reg_impl(
+        &mut self,
+        x: Var,
+        edges: Rc<Vec<(u32, u32)>>,
+        weights: Option<Rc<Vec<f32>>>,
+    ) -> Var {
+        let xm = self.value(x);
+        let total_w = match &weights {
+            Some(w) => w.iter().sum::<f32>(),
+            None => edges.len() as f32,
+        };
+        let loss = if edges.is_empty() || total_w <= 0.0 {
+            0.0
+        } else {
+            let s: f32 = edges
+                .iter()
+                .enumerate()
+                .map(|(e, &(i, j))| {
+                    let w = weights.as_ref().map_or(1.0, |w| w[e]);
+                    w * xm
+                        .row(i as usize)
+                        .iter()
+                        .zip(xm.row(j as usize))
+                        .map(|(&a, &b)| (a - b) * (a - b))
+                        .sum::<f32>()
+                })
+                .sum();
+            s / total_w
+        };
+        self.push(
+            Matrix::from_vec(1, 1, vec![loss]),
+            Op::EdgeReg { x, edges, weights },
+        )
+    }
+
+    /// Sum of scalar losses: `Σ cᵢ · lossᵢ`.
+    pub fn weighted_sum(&mut self, terms: &[(Var, f32)]) -> Var {
+        assert!(!terms.is_empty(), "weighted_sum of zero terms");
+        let mut acc = self.scale(terms[0].0, terms[0].1);
+        for &(v, c) in &terms[1..] {
+            let scaled = self.scale(v, c);
+            acc = self.add(acc, scaled);
+        }
+        acc
+    }
+
+    /// Reverse pass from the scalar node `loss`. Returns per-parameter-slot
+    /// gradients; slots never touched by the graph get `None`.
+    pub fn backward(&self, loss: Var, n_params: usize) -> Vec<Option<Matrix>> {
+        assert_eq!(
+            self.value(loss).shape(),
+            (1, 1),
+            "backward needs a scalar loss"
+        );
+        let mut grads: Vec<Option<Matrix>> = (0..self.nodes.len()).map(|_| None).collect();
+        grads[loss.0] = Some(Matrix::from_vec(1, 1, vec![1.0]));
+
+        for id in (0..=loss.0).rev() {
+            let Some(g) = grads[id].take() else { continue };
+            match &self.nodes[id].op {
+                Op::Leaf { .. } => {
+                    grads[id] = Some(g); // keep for param export
+                }
+                Op::Matmul(a, b) => {
+                    let da = g.matmul_a_bt(self.value(*b));
+                    let db = self.value(*a).matmul_at_b(&g);
+                    accumulate(&mut grads, *a, da);
+                    accumulate(&mut grads, *b, db);
+                }
+                Op::Spmm { sp, x, symmetric } => {
+                    let dx = if *symmetric {
+                        sp.spmm(&g)
+                    } else {
+                        sp.spmm_t(&g)
+                    };
+                    accumulate(&mut grads, *x, dx);
+                }
+                Op::Add(a, b) => {
+                    accumulate(&mut grads, *a, g.clone());
+                    accumulate(&mut grads, *b, g);
+                }
+                Op::AddBias { x, bias } => {
+                    // Bias gradient: column sums of g.
+                    let mut db = Matrix::zeros(1, g.cols());
+                    for i in 0..g.rows() {
+                        for (o, &v) in db.row_mut(0).iter_mut().zip(g.row(i)) {
+                            *o += v;
+                        }
+                    }
+                    accumulate(&mut grads, *bias, db);
+                    accumulate(&mut grads, *x, g);
+                }
+                Op::Relu(x) => {
+                    let xv = self.value(*x);
+                    let mut dx = g;
+                    for (d, &v) in dx.as_mut_slice().iter_mut().zip(xv.as_slice()) {
+                        if v <= 0.0 {
+                            *d = 0.0;
+                        }
+                    }
+                    accumulate(&mut grads, *x, dx);
+                }
+                Op::Dropout { x, mask } => {
+                    let mut dx = g;
+                    for (d, &m) in dx.as_mut_slice().iter_mut().zip(mask) {
+                        *d *= m;
+                    }
+                    accumulate(&mut grads, *x, dx);
+                }
+                Op::Scale(x, c) => {
+                    accumulate(&mut grads, *x, g.scaled(*c));
+                }
+                Op::ConcatCols(parts) => {
+                    let mut off = 0;
+                    for &p in parts {
+                        let pc = self.value(p).cols();
+                        let mut dp = Matrix::zeros(g.rows(), pc);
+                        for i in 0..g.rows() {
+                            dp.row_mut(i).copy_from_slice(&g.row(i)[off..off + pc]);
+                        }
+                        accumulate(&mut grads, p, dp);
+                        off += pc;
+                    }
+                }
+                Op::Softmax(x) => {
+                    // y = softmax(x); dx = y ⊙ (g − rowsum(g ⊙ y)).
+                    let y = &self.nodes[id].value;
+                    let mut dx = g;
+                    for i in 0..dx.rows() {
+                        let yrow = y.row(i);
+                        let dot: f32 = dx.row(i).iter().zip(yrow).map(|(&a, &b)| a * b).sum();
+                        let yrow = yrow.to_vec();
+                        for (d, yv) in dx.row_mut(i).iter_mut().zip(yrow) {
+                            *d = yv * (*d - dot);
+                        }
+                    }
+                    accumulate(&mut grads, *x, dx);
+                }
+                Op::LogSoftmax(x) => {
+                    // y = x − logsumexp(x) row-wise; dx = g − softmax(x)·rowsum(g).
+                    let y = &self.nodes[id].value;
+                    let mut dx = g;
+                    for i in 0..dx.rows() {
+                        let row_sum: f32 = dx.row(i).iter().sum();
+                        let yrow = y.row(i).to_vec();
+                        for (d, ly) in dx.row_mut(i).iter_mut().zip(yrow) {
+                            *d -= ly.exp() * row_sum;
+                        }
+                    }
+                    accumulate(&mut grads, *x, dx);
+                }
+                Op::NllMasked { logp, labels, idx } => {
+                    if idx.is_empty() {
+                        continue;
+                    }
+                    let scale = g.get(0, 0) / idx.len() as f32;
+                    let lpv = self.value(*logp);
+                    let mut dlp = Matrix::zeros(lpv.rows(), lpv.cols());
+                    for &i in idx.iter() {
+                        let j = labels[i];
+                        dlp.set(i, j, dlp.get(i, j) - scale);
+                    }
+                    accumulate(&mut grads, *logp, dlp);
+                }
+                Op::MseRows { x, target, idx } => {
+                    if idx.is_empty() {
+                        continue;
+                    }
+                    let scale = 2.0 * g.get(0, 0) / idx.len() as f32;
+                    let xv = self.value(*x);
+                    let mut dx = Matrix::zeros(xv.rows(), xv.cols());
+                    for &i in idx.iter() {
+                        let trow = target.row(i);
+                        let xrow = xv.row(i).to_vec();
+                        for ((d, &t), xval) in dx.row_mut(i).iter_mut().zip(trow).zip(xrow) {
+                            *d += scale * (xval - t);
+                        }
+                    }
+                    accumulate(&mut grads, *x, dx);
+                }
+                Op::Elu(x) => {
+                    let xv = self.value(*x);
+                    let mut dx = g;
+                    for (dv, &v) in dx.as_mut_slice().iter_mut().zip(xv.as_slice()) {
+                        if v <= 0.0 {
+                            *dv *= v.exp();
+                        }
+                    }
+                    accumulate(&mut grads, *x, dx);
+                }
+                Op::GraphAttention {
+                    adj,
+                    h,
+                    a_l,
+                    a_r,
+                    slope,
+                    alpha,
+                    z,
+                } => {
+                    let hv = self.value(*h);
+                    let alv = self.value(*a_l);
+                    let arv = self.value(*a_r);
+                    let n = hv.rows();
+                    let d = hv.cols();
+                    let mut dh = Matrix::zeros(n, d);
+                    let mut ds_l = vec![0.0f32; n];
+                    let mut ds_r = vec![0.0f32; n];
+                    let mut cursor = 0usize;
+                    #[allow(clippy::needless_range_loop)]
+                    for i in 0..n {
+                        let (cols, _) = adj.row(i);
+                        let g_row = g.row(i);
+                        // dα_ij = g_i · h_j; dh_j += α_ij g_i.
+                        let mut dalpha = Vec::with_capacity(cols.len());
+                        let mut weighted_sum = 0.0f32; // Σ_k α_ik dα_ik
+                        for (k, &j) in cols.iter().enumerate() {
+                            let a = alpha[cursor + k];
+                            let hj = hv.row(j as usize);
+                            let da: f32 = g_row.iter().zip(hj).map(|(&gv, &hvx)| gv * hvx).sum();
+                            dalpha.push(da);
+                            weighted_sum += a * da;
+                            let dh_j = dh.row_mut(j as usize);
+                            for (o, &gv) in dh_j.iter_mut().zip(g_row) {
+                                *o += a * gv;
+                            }
+                        }
+                        // Softmax backward then LeakyReLU backward.
+                        for (k, &j) in cols.iter().enumerate() {
+                            let a = alpha[cursor + k];
+                            let de = a * (dalpha[k] - weighted_sum);
+                            let raw = z[cursor + k];
+                            let dz = if raw > 0.0 { de } else { *slope * de };
+                            ds_l[i] += dz;
+                            ds_r[j as usize] += dz;
+                        }
+                        cursor += cols.len();
+                    }
+                    // dh += ds_l ⊗ a_l + ds_r ⊗ a_r;
+                    // da_l = Σ_i ds_l[i]·h_i, da_r likewise.
+                    let mut da_l = Matrix::zeros(1, d);
+                    let mut da_r = Matrix::zeros(1, d);
+                    for i in 0..n {
+                        let hi = hv.row(i).to_vec();
+                        let dh_i = dh.row_mut(i);
+                        for c in 0..d {
+                            dh_i[c] += ds_l[i] * alv.get(0, c) + ds_r[i] * arv.get(0, c);
+                            da_l.set(0, c, da_l.get(0, c) + ds_l[i] * hi[c]);
+                            da_r.set(0, c, da_r.get(0, c) + ds_r[i] * hi[c]);
+                        }
+                    }
+                    accumulate(&mut grads, *h, dh);
+                    accumulate(&mut grads, *a_l, da_l);
+                    accumulate(&mut grads, *a_r, da_r);
+                }
+                Op::SoftCeMasked { logp, target, idx } => {
+                    if idx.is_empty() {
+                        continue;
+                    }
+                    let scale = g.get(0, 0) / idx.len() as f32;
+                    let lpv = self.value(*logp);
+                    let mut dlp = Matrix::zeros(lpv.rows(), lpv.cols());
+                    for &i in idx.iter() {
+                        let trow = target.row(i);
+                        for (d, &t) in dlp.row_mut(i).iter_mut().zip(trow) {
+                            *d -= scale * t;
+                        }
+                    }
+                    accumulate(&mut grads, *logp, dlp);
+                }
+                Op::EdgeReg { x, edges, weights } => {
+                    if edges.is_empty() {
+                        continue;
+                    }
+                    let total_w = match weights {
+                        Some(w) => w.iter().sum::<f32>(),
+                        None => edges.len() as f32,
+                    };
+                    if total_w <= 0.0 {
+                        continue;
+                    }
+                    let scale = 2.0 * g.get(0, 0) / total_w;
+                    let xv = self.value(*x);
+                    let mut dx = Matrix::zeros(xv.rows(), xv.cols());
+                    for (e, &(i, j)) in edges.iter().enumerate() {
+                        let w = weights.as_ref().map_or(1.0, |w| w[e]);
+                        let (i, j) = (i as usize, j as usize);
+                        for c in 0..xv.cols() {
+                            let diff = scale * w * (xv.get(i, c) - xv.get(j, c));
+                            dx.set(i, c, dx.get(i, c) + diff);
+                            dx.set(j, c, dx.get(j, c) - diff);
+                        }
+                    }
+                    accumulate(&mut grads, *x, dx);
+                }
+            }
+        }
+
+        // Export per-parameter-slot gradients.
+        let mut out: Vec<Option<Matrix>> = (0..n_params).map(|_| None).collect();
+        for (id, node) in self.nodes.iter().enumerate() {
+            if let Op::Leaf { param: Some(slot) } = node.op {
+                if let Some(g) = grads[id].take() {
+                    match &mut out[slot] {
+                        Some(acc) => acc.add_assign(&g),
+                        slot_ref @ None => *slot_ref = Some(g),
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+fn accumulate(grads: &mut [Option<Matrix>], v: Var, g: Matrix) {
+    match &mut grads[v.0] {
+        Some(acc) => acc.add_assign(&g),
+        slot @ None => *slot = Some(g),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::seeded_rng;
+
+    /// Central finite-difference check of `d loss / d param0` for a graph
+    /// builder. `build` receives a tape and the parameter value and must
+    /// return the scalar loss node.
+    fn grad_check(param: &Matrix, build: &dyn Fn(&mut Tape, Matrix) -> Var, tol: f32) {
+        let mut tape = Tape::new();
+        let loss = build(&mut tape, param.clone());
+        let grads = tape.backward(loss, 1);
+        let analytic = grads[0].as_ref().expect("param participates in loss");
+
+        let h = 1e-2f32;
+        for k in 0..param.len() {
+            let mut plus = param.clone();
+            plus.as_mut_slice()[k] += h;
+            let mut tp = Tape::new();
+            let lp = build(&mut tp, plus);
+            let fp = tp.scalar(lp);
+
+            let mut minus = param.clone();
+            minus.as_mut_slice()[k] -= h;
+            let mut tm = Tape::new();
+            let lm = build(&mut tm, minus);
+            let fm = tm.scalar(lm);
+
+            let numeric = (fp - fm) / (2.0 * h);
+            let a = analytic.as_slice()[k];
+            assert!(
+                (a - numeric).abs() <= tol * (1.0 + numeric.abs()),
+                "grad mismatch at {k}: analytic {a} vs numeric {numeric}"
+            );
+        }
+    }
+
+    #[test]
+    fn matmul_gradient() {
+        let mut rng = seeded_rng(7);
+        let w = crate::init::uniform(3, 2, 1.0, &mut rng);
+        let a = crate::init::uniform(4, 3, 1.0, &mut rng);
+        grad_check(
+            &w,
+            &|t, p| {
+                let av = t.constant(a.clone());
+                let pv = t.param(0, p);
+                let c = t.matmul(av, pv);
+                // Scalar: sum of squares via mse against zeros over all rows.
+                let target = Rc::new(Matrix::zeros(4, 2));
+                let idx = Rc::new((0..4).collect());
+                t.mse_rows(c, target, idx)
+            },
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn spmm_gradient() {
+        let sp = Rc::new(CsrMatrix::from_triplets(
+            3,
+            3,
+            &[
+                (0, 0, 0.5),
+                (0, 1, 0.5),
+                (1, 1, 1.0),
+                (2, 0, 0.3),
+                (2, 2, 0.7),
+            ],
+        ));
+        let mut rng = seeded_rng(8);
+        let x = crate::init::uniform(3, 2, 1.0, &mut rng);
+        grad_check(
+            &x,
+            &|t, p| {
+                let pv = t.param(0, p);
+                let c = t.spmm(&sp, pv, false);
+                let target = Rc::new(Matrix::full(3, 2, 0.1));
+                let idx = Rc::new((0..3).collect());
+                t.mse_rows(c, target, idx)
+            },
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn relu_logsoftmax_nll_gradient() {
+        let mut rng = seeded_rng(9);
+        let x = crate::init::uniform(4, 3, 1.0, &mut rng);
+        let labels = Rc::new(vec![0usize, 2, 1, 0]);
+        let idx = Rc::new(vec![0usize, 1, 3]);
+        grad_check(
+            &x,
+            &|t, p| {
+                let pv = t.param(0, p);
+                let r = t.relu(pv);
+                let lp = t.log_softmax(r);
+                t.nll_masked(lp, Rc::clone(&labels), Rc::clone(&idx))
+            },
+            3e-2,
+        );
+    }
+
+    #[test]
+    fn edge_reg_gradient() {
+        let mut rng = seeded_rng(10);
+        let x = crate::init::uniform(4, 2, 1.0, &mut rng);
+        let edges = Rc::new(vec![(0u32, 1u32), (2, 3), (0, 3)]);
+        grad_check(
+            &x,
+            &|t, p| {
+                let pv = t.param(0, p);
+                t.edge_reg(pv, Rc::clone(&edges))
+            },
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn add_bias_gradient() {
+        let mut rng = seeded_rng(11);
+        let b = crate::init::uniform(1, 3, 1.0, &mut rng);
+        let x = crate::init::uniform(4, 3, 1.0, &mut rng);
+        grad_check(
+            &b,
+            &|t, p| {
+                let xv = t.constant(x.clone());
+                let pv = t.param(0, p);
+                let c = t.add_bias(xv, pv);
+                let target = Rc::new(Matrix::zeros(4, 3));
+                let idx = Rc::new((0..4).collect());
+                t.mse_rows(c, target, idx)
+            },
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn weighted_sum_combines_losses() {
+        let mut t = Tape::new();
+        let a = t.constant(Matrix::from_vec(1, 1, vec![2.0]));
+        let b = t.constant(Matrix::from_vec(1, 1, vec![3.0]));
+        let s = t.weighted_sum(&[(a, 1.0), (b, 10.0)]);
+        assert!((t.scalar(s) - 32.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn dropout_zero_p_is_identity() {
+        let mut t = Tape::new();
+        let mut rng = seeded_rng(1);
+        let x = t.constant(Matrix::full(2, 2, 1.0));
+        let d = t.dropout(x, 0.0, &mut rng);
+        assert_eq!(d, x);
+    }
+
+    #[test]
+    fn dropout_preserves_expectation() {
+        let mut t = Tape::new();
+        let mut rng = seeded_rng(2);
+        let x = t.constant(Matrix::full(100, 100, 1.0));
+        let d = t.dropout(x, 0.5, &mut rng);
+        let mean = t.value(d).sum() / 10_000.0;
+        assert!((mean - 1.0).abs() < 0.05, "dropout mean {mean}");
+    }
+
+    #[test]
+    fn empty_losses_are_zero_and_safe() {
+        let mut t = Tape::new();
+        let x = t.param(0, Matrix::full(2, 2, 1.0));
+        let l1 = t.nll_masked(x, Rc::new(vec![0, 0]), Rc::new(vec![]));
+        let l2 = t.mse_rows(x, Rc::new(Matrix::zeros(2, 2)), Rc::new(vec![]));
+        let l3 = t.edge_reg(x, Rc::new(vec![]));
+        let total = t.weighted_sum(&[(l1, 1.0), (l2, 1.0), (l3, 1.0)]);
+        assert_eq!(t.scalar(total), 0.0);
+        let grads = t.backward(total, 1);
+        // No gradient flows from empty losses.
+        assert!(grads[0].is_none() || grads[0].as_ref().unwrap().frob_sq() == 0.0);
+    }
+
+    #[test]
+    fn grad_accumulates_across_reused_vars() {
+        // loss = mse(x, 0) + mse(x, 0) should double the gradient.
+        let x = Matrix::from_vec(1, 2, vec![1.0, -2.0]);
+        let mut t = Tape::new();
+        let p = t.param(0, x.clone());
+        let target = Rc::new(Matrix::zeros(1, 2));
+        let idx: Rc<Vec<usize>> = Rc::new(vec![0]);
+        let l1 = t.mse_rows(p, Rc::clone(&target), Rc::clone(&idx));
+        let l2 = t.mse_rows(p, target, idx);
+        let s = t.weighted_sum(&[(l1, 1.0), (l2, 1.0)]);
+        let g = t.backward(s, 1);
+        let g = g[0].as_ref().unwrap();
+        // d/dx of 2·x² = 4x (mse over one row: ‖x‖², twice).
+        assert!((g.get(0, 0) - 4.0).abs() < 1e-5);
+        assert!((g.get(0, 1) + 8.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn concat_cols_gradient_splits() {
+        let a = Matrix::from_vec(2, 1, vec![1.0, 2.0]);
+        let b = Matrix::from_vec(2, 2, vec![3.0, 4.0, 5.0, 6.0]);
+        let mut t = Tape::new();
+        let pa = t.param(0, a);
+        let pb = t.param(1, b);
+        let c = t.concat_cols(&[pa, pb]);
+        let target = Rc::new(Matrix::zeros(2, 3));
+        let idx = Rc::new(vec![0usize, 1]);
+        let l = t.mse_rows(c, target, idx);
+        let g = t.backward(l, 2);
+        assert_eq!(g[0].as_ref().unwrap().shape(), (2, 1));
+        assert_eq!(g[1].as_ref().unwrap().shape(), (2, 2));
+        // dl/da = 2a/|idx| = a.
+        assert!((g[0].as_ref().unwrap().get(0, 0) - 1.0).abs() < 1e-5);
+    }
+}
+
+#[cfg(test)]
+mod gat_tests {
+    use super::*;
+    use crate::init::seeded_rng;
+
+    fn grad_check_slot(
+        params: &[Matrix],
+        slot: usize,
+        build: &dyn Fn(&mut Tape, &[Matrix]) -> Var,
+        tol: f32,
+    ) {
+        let mut tape = Tape::new();
+        let loss = build(&mut tape, params);
+        let grads = tape.backward(loss, params.len());
+        let analytic = grads[slot].as_ref().expect("slot participates");
+        let h = 1e-2f32;
+        for k in 0..params[slot].len() {
+            let eval = |delta: f32| {
+                let mut ps = params.to_vec();
+                ps[slot].as_mut_slice()[k] += delta;
+                let mut t = Tape::new();
+                let l = build(&mut t, &ps);
+                t.scalar(l)
+            };
+            let numeric = (eval(h) - eval(-h)) / (2.0 * h);
+            let a = analytic.as_slice()[k];
+            assert!(
+                (a - numeric).abs() <= tol * (1.0 + numeric.abs()),
+                "slot {slot} elem {k}: analytic {a} vs numeric {numeric}"
+            );
+        }
+    }
+
+    fn attention_graph() -> Rc<CsrMatrix> {
+        // 4-node path with self-loops: structure only, values ignored.
+        Rc::new(CsrMatrix::from_triplets(
+            4,
+            4,
+            &[
+                (0, 0, 1.0),
+                (0, 1, 1.0),
+                (1, 0, 1.0),
+                (1, 1, 1.0),
+                (1, 2, 1.0),
+                (2, 1, 1.0),
+                (2, 2, 1.0),
+                (2, 3, 1.0),
+                (3, 2, 1.0),
+                (3, 3, 1.0),
+            ],
+        ))
+    }
+
+    fn gat_loss(t: &mut Tape, ps: &[Matrix], adj: &Rc<CsrMatrix>) -> Var {
+        let h = t.param(0, ps[0].clone());
+        let a_l = t.param(1, ps[1].clone());
+        let a_r = t.param(2, ps[2].clone());
+        let out = t.graph_attention(adj, h, a_l, a_r, 0.2);
+        let e = t.elu(out);
+        let target = Rc::new(Matrix::full(4, 3, 0.25));
+        t.mse_rows(e, target, Rc::new((0..4).collect()))
+    }
+
+    #[test]
+    fn graph_attention_rows_are_convex_combinations() {
+        let adj = attention_graph();
+        let mut t = Tape::new();
+        let mut rng = seeded_rng(31);
+        let h = crate::init::uniform(4, 3, 1.0, &mut rng);
+        let hv = t.constant(h.clone());
+        let a_l = t.constant(crate::init::uniform(1, 3, 1.0, &mut rng));
+        let a_r = t.constant(crate::init::uniform(1, 3, 1.0, &mut rng));
+        let out = t.graph_attention(&adj, hv, a_l, a_r, 0.2);
+        let o = t.value(out);
+        // Each output row lies inside the convex hull of its neighborhood's
+        // h-rows: its min/max per column are bounded by the neighbors'.
+        for i in 0..4 {
+            let (cols, _) = adj.row(i);
+            for c in 0..3 {
+                let lo = cols
+                    .iter()
+                    .map(|&j| h.get(j as usize, c))
+                    .fold(f32::INFINITY, f32::min);
+                let hi = cols
+                    .iter()
+                    .map(|&j| h.get(j as usize, c))
+                    .fold(f32::NEG_INFINITY, f32::max);
+                let v = o.get(i, c);
+                assert!(
+                    v >= lo - 1e-5 && v <= hi + 1e-5,
+                    "row {i} col {c}: {v} not in [{lo},{hi}]"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn graph_attention_gradient_h() {
+        let adj = attention_graph();
+        let mut rng = seeded_rng(32);
+        let params = vec![
+            crate::init::uniform(4, 3, 1.0, &mut rng),
+            crate::init::uniform(1, 3, 1.0, &mut rng),
+            crate::init::uniform(1, 3, 1.0, &mut rng),
+        ];
+        grad_check_slot(&params, 0, &|t, ps| gat_loss(t, ps, &adj), 5e-2);
+    }
+
+    #[test]
+    fn graph_attention_gradient_attention_vectors() {
+        let adj = attention_graph();
+        let mut rng = seeded_rng(33);
+        let params = vec![
+            crate::init::uniform(4, 3, 1.0, &mut rng),
+            crate::init::uniform(1, 3, 1.0, &mut rng),
+            crate::init::uniform(1, 3, 1.0, &mut rng),
+        ];
+        grad_check_slot(&params, 1, &|t, ps| gat_loss(t, ps, &adj), 5e-2);
+        grad_check_slot(&params, 2, &|t, ps| gat_loss(t, ps, &adj), 5e-2);
+    }
+
+    #[test]
+    fn elu_matches_definition_and_gradient() {
+        let x = Matrix::from_vec(1, 4, vec![-2.0, -0.5, 0.0, 1.5]);
+        let mut t = Tape::new();
+        let p = t.param(0, x.clone());
+        let e = t.elu(p);
+        let v = t.value(e);
+        assert!((v.get(0, 0) - (-2.0f32).exp_m1()).abs() < 1e-6);
+        assert!((v.get(0, 3) - 1.5).abs() < 1e-6);
+        // Gradient via mse against zeros.
+        let params = vec![x];
+        grad_check_slot(
+            &params,
+            0,
+            &|t, ps| {
+                let p = t.param(0, ps[0].clone());
+                let e = t.elu(p);
+                let target = Rc::new(Matrix::zeros(1, 4));
+                t.mse_rows(e, target, Rc::new(vec![0]))
+            },
+            3e-2,
+        );
+    }
+
+    #[test]
+    fn isolated_node_attention_is_safe() {
+        // Node 1 has no stored neighbors at all (not even a self-loop).
+        let adj = Rc::new(CsrMatrix::from_triplets(2, 2, &[(0, 0, 1.0)]));
+        let mut t = Tape::new();
+        let h = t.param(0, Matrix::full(2, 2, 1.0));
+        let a_l = t.constant(Matrix::full(1, 2, 0.1));
+        let a_r = t.constant(Matrix::full(1, 2, 0.1));
+        let out = t.graph_attention(&adj, h, a_l, a_r, 0.2);
+        let o = t.value(out);
+        assert_eq!(o.row(1), &[0.0, 0.0], "empty neighborhood outputs zero");
+        assert!(
+            (o.get(0, 0) - 1.0).abs() < 1e-6,
+            "self-loop passes h through"
+        );
+        let target = Rc::new(Matrix::zeros(2, 2));
+        let l = t.mse_rows(out, target, Rc::new(vec![0, 1]));
+        let g = t.backward(l, 1);
+        assert!(g[0].is_some());
+    }
+}

@@ -1,0 +1,37 @@
+#![warn(missing_docs)]
+//! # rdd-tensor
+//!
+//! The numeric substrate for the RDD (Reliable Data Distillation, SIGMOD
+//! 2020) reproduction: dense and CSR sparse matrices, the small set of
+//! kernels GCN training needs, a tape-based reverse-mode autodiff engine,
+//! weight initialization and the Adam optimizer.
+//!
+//! Everything is `f32`, CPU-only, and deterministic under a fixed seed.
+//! Parallelism is scoped-thread row blocking (no work-stealing runtime), so
+//! results are reproducible regardless of thread count.
+//!
+//! ```
+//! use rdd_tensor::{Matrix, Tape};
+//! use std::rc::Rc;
+//!
+//! let mut tape = Tape::new();
+//! let w = tape.param(0, Matrix::from_vec(2, 2, vec![1.0, 0.0, 0.0, 1.0]));
+//! let x = tape.constant(Matrix::from_vec(1, 2, vec![3.0, 4.0]));
+//! let y = tape.matmul(x, w);
+//! let loss = tape.mse_rows(y, Rc::new(Matrix::zeros(1, 2)), Rc::new(vec![0]));
+//! let grads = tape.backward(loss, 1);
+//! assert!(grads[0].is_some());
+//! ```
+
+pub mod autograd;
+pub mod init;
+pub mod matrix;
+pub mod optim;
+pub mod par;
+pub mod sparse;
+
+pub use autograd::{Tape, Var};
+pub use init::{glorot_uniform, seeded_rng, uniform};
+pub use matrix::Matrix;
+pub use optim::Adam;
+pub use sparse::CsrMatrix;

@@ -1,0 +1,562 @@
+//! Dense row-major `f32` matrix with the kernels GCN training needs.
+//!
+//! The matrix is deliberately minimal: a contiguous `Vec<f32>` plus shape.
+//! All hot kernels (`matmul*`) use an i-k-j loop order so the innermost loop
+//! walks both operands contiguously, and parallelize over row blocks with
+//! scoped threads (see [`crate::par`]).
+
+use crate::par::par_row_chunks;
+
+/// Dense row-major matrix of `f32`.
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl std::fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Matrix({}x{})", self.rows, self.cols)?;
+        if self.rows * self.cols <= 64 {
+            writeln!(f)?;
+            for i in 0..self.rows {
+                writeln!(f, "  {:?}", self.row(i))?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Matrix {
+    /// A `rows x cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// A `rows x cols` matrix filled with `value`.
+    pub fn full(rows: usize, cols: usize, value: f32) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
+    }
+
+    /// Identity matrix of size `n`.
+    pub fn eye(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m.data[i * n + i] = 1.0;
+        }
+        m
+    }
+
+    /// Build from a row-major data vector. Panics when the length mismatches.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), rows * cols, "data length must equal rows*cols");
+        Self { rows, cols, data }
+    }
+
+    /// Build element-wise from a function of `(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                data.push(f(i, j));
+            }
+        }
+        Self { rows, cols, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Shape as `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Number of stored elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the matrix holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    #[inline]
+    /// Element at `(i, j)`.
+    pub fn get(&self, i: usize, j: usize) -> f32 {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i * self.cols + j]
+    }
+
+    #[inline]
+    /// Overwrite element `(i, j)`.
+    pub fn set(&mut self, i: usize, j: usize, v: f32) {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i * self.cols + j] = v;
+    }
+
+    /// Borrow row `i` as a slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f32] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutably borrow row `i`.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f32] {
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// The backing row-major slice.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable access to the backing row-major slice.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Dense matrix product `self @ rhs`.
+    pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols,
+            rhs.rows,
+            "matmul shape mismatch {:?} @ {:?}",
+            self.shape(),
+            rhs.shape()
+        );
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        let n = rhs.cols;
+        let k_dim = self.cols;
+        par_row_chunks(&mut out.data, n, |i0, chunk| {
+            for (di, out_row) in chunk.chunks_exact_mut(n).enumerate() {
+                let i = i0 + di;
+                let a_row = &self.data[i * k_dim..(i + 1) * k_dim];
+                for (k, &a) in a_row.iter().enumerate() {
+                    if a == 0.0 {
+                        continue;
+                    }
+                    let b_row = &rhs.data[k * n..(k + 1) * n];
+                    for (o, &b) in out_row.iter_mut().zip(b_row) {
+                        *o += a * b;
+                    }
+                }
+            }
+        });
+        out
+    }
+
+    /// `self^T @ rhs` without materializing the transpose.
+    ///
+    /// Used by backprop: for `C = A @ B`, `dB = A^T @ dC`.
+    pub fn matmul_at_b(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            self.rows,
+            rhs.rows,
+            "matmul_at_b shape mismatch {:?}^T @ {:?}",
+            self.shape(),
+            rhs.shape()
+        );
+        // out is (self.cols x rhs.cols); accumulate row-by-row of the shared
+        // leading dimension. Sequential: output rows are written by every k.
+        let n = rhs.cols;
+        let mut out = Matrix::zeros(self.cols, n);
+        for k in 0..self.rows {
+            let a_row = self.row(k);
+            let b_row = rhs.row(k);
+            for (j, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let out_row = &mut out.data[j * n..(j + 1) * n];
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `self @ rhs^T` without materializing the transpose.
+    ///
+    /// Used by backprop: for `C = A @ B`, `dA = dC @ B^T`.
+    pub fn matmul_a_bt(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols,
+            rhs.cols,
+            "matmul_a_bt shape mismatch {:?} @ {:?}^T",
+            self.shape(),
+            rhs.shape()
+        );
+        let n = rhs.rows;
+        let k_dim = self.cols;
+        let mut out = Matrix::zeros(self.rows, n);
+        par_row_chunks(&mut out.data, n, |i0, chunk| {
+            for (di, out_row) in chunk.chunks_exact_mut(n).enumerate() {
+                let i = i0 + di;
+                let a_row = &self.data[i * k_dim..(i + 1) * k_dim];
+                for (j, o) in out_row.iter_mut().enumerate() {
+                    let b_row = &rhs.data[j * k_dim..(j + 1) * k_dim];
+                    let mut acc = 0.0f32;
+                    for (&a, &b) in a_row.iter().zip(b_row) {
+                        acc += a * b;
+                    }
+                    *o = acc;
+                }
+            }
+        });
+        out
+    }
+
+    /// Materialized transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out.data[j * self.rows + i] = self.data[i * self.cols + j];
+            }
+        }
+        out
+    }
+
+    /// Element-wise `self += rhs`.
+    pub fn add_assign(&mut self, rhs: &Matrix) {
+        assert_eq!(self.shape(), rhs.shape(), "add_assign shape mismatch");
+        for (a, &b) in self.data.iter_mut().zip(&rhs.data) {
+            *a += b;
+        }
+    }
+
+    /// Element-wise `self += scale * rhs`.
+    pub fn add_scaled_assign(&mut self, rhs: &Matrix, scale: f32) {
+        assert_eq!(
+            self.shape(),
+            rhs.shape(),
+            "add_scaled_assign shape mismatch"
+        );
+        for (a, &b) in self.data.iter_mut().zip(&rhs.data) {
+            *a += scale * b;
+        }
+    }
+
+    /// Element-wise sum, returning a new matrix.
+    pub fn add(&self, rhs: &Matrix) -> Matrix {
+        let mut out = self.clone();
+        out.add_assign(rhs);
+        out
+    }
+
+    /// Element-wise difference, returning a new matrix.
+    pub fn sub(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.shape(), rhs.shape(), "sub shape mismatch");
+        let mut out = self.clone();
+        for (a, &b) in out.data.iter_mut().zip(&rhs.data) {
+            *a -= b;
+        }
+        out
+    }
+
+    /// Element-wise (Hadamard) product.
+    pub fn hadamard(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.shape(), rhs.shape(), "hadamard shape mismatch");
+        let mut out = self.clone();
+        for (a, &b) in out.data.iter_mut().zip(&rhs.data) {
+            *a *= b;
+        }
+        out
+    }
+
+    /// Multiply every element by `s` in place.
+    pub fn scale_assign(&mut self, s: f32) {
+        for a in &mut self.data {
+            *a *= s;
+        }
+    }
+
+    /// A scaled copy.
+    pub fn scaled(&self, s: f32) -> Matrix {
+        let mut out = self.clone();
+        out.scale_assign(s);
+        out
+    }
+
+    /// Apply `f` element-wise, returning a new matrix.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// Squared Frobenius norm `Σ x²`.
+    pub fn frob_sq(&self) -> f32 {
+        self.data.iter().map(|&x| x * x).sum()
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Index of the maximum element of each row (ties resolve to the first).
+    pub fn argmax_rows(&self) -> Vec<usize> {
+        (0..self.rows)
+            .map(|i| {
+                let row = self.row(i);
+                let mut best = 0;
+                for (j, &v) in row.iter().enumerate() {
+                    if v > row[best] {
+                        best = j;
+                    }
+                }
+                best
+            })
+            .collect()
+    }
+
+    /// Row-wise softmax, returning a new matrix whose rows sum to 1.
+    pub fn softmax_rows(&self) -> Matrix {
+        let mut out = self.clone();
+        for i in 0..out.rows {
+            softmax_in_place(out.row_mut(i));
+        }
+        out
+    }
+
+    /// Shannon entropy of each row, treating the row as a distribution.
+    ///
+    /// Rows are assumed non-negative; zero entries contribute zero (the
+    /// `p ln p → 0` limit).
+    pub fn row_entropy(&self) -> Vec<f32> {
+        (0..self.rows)
+            .map(|i| {
+                self.row(i)
+                    .iter()
+                    .filter(|&&p| p > 0.0)
+                    .map(|&p| -p * p.ln())
+                    .sum()
+            })
+            .collect()
+    }
+
+    /// Vertical stack of row `indices` taken from `self`.
+    pub fn take_rows(&self, indices: &[usize]) -> Matrix {
+        let mut out = Matrix::zeros(indices.len(), self.cols);
+        for (r, &i) in indices.iter().enumerate() {
+            out.row_mut(r).copy_from_slice(self.row(i));
+        }
+        out
+    }
+
+    /// Horizontal concatenation of `parts` (all must share the row count).
+    pub fn hcat(parts: &[&Matrix]) -> Matrix {
+        assert!(!parts.is_empty(), "hcat of zero matrices");
+        let rows = parts[0].rows;
+        assert!(parts.iter().all(|p| p.rows == rows), "hcat row mismatch");
+        let cols: usize = parts.iter().map(|p| p.cols).sum();
+        let mut out = Matrix::zeros(rows, cols);
+        for i in 0..rows {
+            let mut off = 0;
+            let orow = out.row_mut(i);
+            for p in parts {
+                orow[off..off + p.cols].copy_from_slice(p.row(i));
+                off += p.cols;
+            }
+        }
+        out
+    }
+
+    /// Maximum absolute element difference against `rhs`.
+    pub fn max_abs_diff(&self, rhs: &Matrix) -> f32 {
+        assert_eq!(self.shape(), rhs.shape());
+        self.data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(&a, &b)| (a - b).abs())
+            .fold(0.0, f32::max)
+    }
+}
+
+/// Numerically-stable in-place softmax over a slice.
+pub fn softmax_in_place(row: &mut [f32]) {
+    let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    let mut z = 0.0f32;
+    for v in row.iter_mut() {
+        *v = (*v - max).exp();
+        z += *v;
+    }
+    let inv = 1.0 / z;
+    for v in row.iter_mut() {
+        *v *= inv;
+    }
+}
+
+/// Numerically-stable in-place log-softmax over a slice.
+pub fn log_softmax_in_place(row: &mut [f32]) {
+    let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    let z: f32 = row.iter().map(|&v| (v - max).exp()).sum();
+    let lz = z.ln() + max;
+    for v in row.iter_mut() {
+        *v -= lz;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(rows: usize, cols: usize, v: &[f32]) -> Matrix {
+        Matrix::from_vec(rows, cols, v.to_vec())
+    }
+
+    #[test]
+    fn matmul_small() {
+        let a = m(2, 3, &[1., 2., 3., 4., 5., 6.]);
+        let b = m(3, 2, &[7., 8., 9., 10., 11., 12.]);
+        let c = a.matmul(&b);
+        assert_eq!(c.as_slice(), &[58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = m(2, 2, &[1., 2., 3., 4.]);
+        let i = Matrix::eye(2);
+        assert_eq!(a.matmul(&i).as_slice(), a.as_slice());
+        assert_eq!(i.matmul(&a).as_slice(), a.as_slice());
+    }
+
+    #[test]
+    fn matmul_at_b_matches_explicit_transpose() {
+        let a = m(3, 2, &[1., 2., 3., 4., 5., 6.]);
+        let b = m(3, 4, &(0..12).map(|x| x as f32).collect::<Vec<_>>());
+        let fast = a.matmul_at_b(&b);
+        let slow = a.transpose().matmul(&b);
+        assert!(fast.max_abs_diff(&slow) < 1e-6);
+    }
+
+    #[test]
+    fn matmul_a_bt_matches_explicit_transpose() {
+        let a = m(3, 2, &[1., 2., 3., 4., 5., 6.]);
+        let b = m(4, 2, &(0..8).map(|x| x as f32).collect::<Vec<_>>());
+        let fast = a.matmul_a_bt(&b);
+        let slow = a.matmul(&b.transpose());
+        assert!(fast.max_abs_diff(&slow) < 1e-6);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let a = m(2, 3, &[1., 2., 3., 4., 5., 6.]);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let a = m(2, 3, &[1., 2., 3., -1., 0., 100.]);
+        let s = a.softmax_rows();
+        for i in 0..2 {
+            let sum: f32 = s.row(i).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5, "row {i} sums to {sum}");
+            assert!(s.row(i).iter().all(|&p| (0.0..=1.0).contains(&p)));
+        }
+    }
+
+    #[test]
+    fn softmax_extreme_values_stable() {
+        let a = m(1, 3, &[1000., 1000., 1000.]);
+        let s = a.softmax_rows();
+        for &p in s.row(0) {
+            assert!((p - 1.0 / 3.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn log_softmax_is_log_of_softmax() {
+        let mut row = [0.5f32, -1.0, 2.0, 0.0];
+        let mut row2 = row;
+        log_softmax_in_place(&mut row);
+        softmax_in_place(&mut row2);
+        for (l, p) in row.iter().zip(row2.iter()) {
+            assert!((l.exp() - p).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn argmax_rows_ties_first() {
+        let a = m(2, 3, &[1., 3., 3., 5., 2., 1.]);
+        assert_eq!(a.argmax_rows(), vec![1, 0]);
+    }
+
+    #[test]
+    fn row_entropy_uniform_is_ln_k() {
+        let a = Matrix::full(1, 4, 0.25);
+        let e = a.row_entropy();
+        assert!((e[0] - 4.0f32.ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn row_entropy_onehot_is_zero() {
+        let a = m(1, 3, &[1., 0., 0.]);
+        assert!(a.row_entropy()[0].abs() < 1e-6);
+    }
+
+    #[test]
+    fn hcat_concatenates() {
+        let a = m(2, 1, &[1., 2.]);
+        let b = m(2, 2, &[3., 4., 5., 6.]);
+        let c = Matrix::hcat(&[&a, &b]);
+        assert_eq!(c.shape(), (2, 3));
+        assert_eq!(c.row(0), &[1., 3., 4.]);
+        assert_eq!(c.row(1), &[2., 5., 6.]);
+    }
+
+    #[test]
+    fn take_rows_selects() {
+        let a = m(3, 2, &[1., 2., 3., 4., 5., 6.]);
+        let t = a.take_rows(&[2, 0]);
+        assert_eq!(t.row(0), &[5., 6.]);
+        assert_eq!(t.row(1), &[1., 2.]);
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul shape mismatch")]
+    fn matmul_shape_mismatch_panics() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn large_matmul_parallel_consistent() {
+        // Exercise the parallel path (more rows than one chunk).
+        let a = Matrix::from_fn(257, 31, |i, j| ((i * 7 + j * 13) % 5) as f32 - 2.0);
+        let b = Matrix::from_fn(31, 17, |i, j| ((i * 3 + j * 11) % 7) as f32 - 3.0);
+        let c = a.matmul(&b);
+        // Spot-check a few entries against a scalar loop.
+        for &(i, j) in &[(0, 0), (128, 8), (256, 16)] {
+            let mut acc = 0.0;
+            for k in 0..31 {
+                acc += a.get(i, k) * b.get(k, j);
+            }
+            assert!((c.get(i, j) - acc).abs() < 1e-4);
+        }
+    }
+}

@@ -1,0 +1,97 @@
+//! Scoped-thread row-block parallelism.
+//!
+//! A tiny substitute for `rayon` (the offline dependency set excludes it):
+//! the output buffer is split into contiguous row blocks, each handed to one
+//! scoped `std::thread`. Inputs are captured by shared reference, so the
+//! closure must only write its own chunk — which the `chunks_mut` split
+//! already guarantees.
+
+use std::sync::OnceLock;
+
+/// Number of worker threads to use for data-parallel kernels.
+///
+/// Defaults to the machine's available parallelism, clamped to 16; override
+/// with the `RDD_THREADS` environment variable (a value of 1 disables
+/// threading entirely, which is useful for profiling and debugging).
+pub fn num_threads() -> usize {
+    static N: OnceLock<usize> = OnceLock::new();
+    *N.get_or_init(|| {
+        if let Ok(v) = std::env::var("RDD_THREADS") {
+            if let Ok(n) = v.parse::<usize>() {
+                return n.max(1);
+            }
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(16)
+    })
+}
+
+/// Split `out` (a row-major buffer with `cols` columns) into row blocks and
+/// run `f(first_row_of_chunk, chunk)` on each block, in parallel.
+///
+/// Falls back to a sequential call when the work is small or only one thread
+/// is configured.
+pub fn par_row_chunks<F>(out: &mut [f32], cols: usize, f: F)
+where
+    F: Fn(usize, &mut [f32]) + Sync,
+{
+    assert!(cols > 0, "par_row_chunks needs at least one column");
+    debug_assert_eq!(out.len() % cols, 0);
+    let rows = out.len() / cols;
+    let threads = num_threads();
+    // Threading pays off only when each worker gets a meaningful slice.
+    if threads <= 1 || rows < 64 || out.len() < 1 << 14 {
+        f(0, out);
+        return;
+    }
+    let chunk_rows = rows.div_ceil(threads);
+    std::thread::scope(|scope| {
+        for (idx, chunk) in out.chunks_mut(chunk_rows * cols).enumerate() {
+            let f = &f;
+            scope.spawn(move || f(idx * chunk_rows, chunk));
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_small_input() {
+        let mut out = vec![0.0f32; 8];
+        par_row_chunks(&mut out, 2, |row0, chunk| {
+            for (i, v) in chunk.iter_mut().enumerate() {
+                *v = (row0 * 2 + i) as f32;
+            }
+        });
+        assert_eq!(out, (0..8).map(|x| x as f32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_large_input_covers_all_rows() {
+        let cols = 64;
+        let rows = 512;
+        let mut out = vec![-1.0f32; rows * cols];
+        par_row_chunks(&mut out, cols, |row0, chunk| {
+            for (di, row) in chunk.chunks_exact_mut(cols).enumerate() {
+                let r = (row0 + di) as f32;
+                for v in row {
+                    *v = r;
+                }
+            }
+        });
+        for i in 0..rows {
+            for j in 0..cols {
+                assert_eq!(out[i * cols + j], i as f32, "row {i} col {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn num_threads_at_least_one() {
+        assert!(num_threads() >= 1);
+    }
+}

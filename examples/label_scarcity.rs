@@ -1,0 +1,49 @@
+//! Label scarcity study (the paper's motivating Figure 1 + Figure 6 in
+//! miniature): how GCN and RDD degrade as labeled data shrinks, on a
+//! Cora-like graph.
+//!
+//! ```sh
+//! cargo run --release --example label_scarcity
+//! ```
+
+use rdd_core::{RddConfig, RddTrainer};
+use rdd_graph::SynthConfig;
+use rdd_models::{predict, train, Gcn, GcnConfig, GraphContext, TrainConfig};
+use rdd_tensor::seeded_rng;
+
+fn main() {
+    let cfg = SynthConfig::cora_sim();
+    println!("labeled/class  label rate   GCN      RDD(single)  RDD(ensemble)");
+    for (bi, per_class) in [5usize, 10, 20, 50].into_iter().enumerate() {
+        let mut dataset = cfg.generate();
+        // Same per-budget resampling protocol as the figure6 harness.
+        let mut rng = seeded_rng(42 + bi as u64);
+        dataset.resample_train(per_class, &mut rng);
+        let rate = 100.0 * (per_class * dataset.num_classes) as f32 / dataset.n() as f32;
+
+        let ctx = GraphContext::new(&dataset);
+        let mut gcn = Gcn::new(&ctx, GcnConfig::citation(), &mut rng);
+        train(
+            &mut gcn,
+            &ctx,
+            &dataset,
+            &TrainConfig::citation(),
+            &mut rng,
+            None,
+        );
+        let gcn_acc = dataset.test_accuracy(&predict(&gcn, &ctx));
+
+        let rdd = RddTrainer::new(RddConfig::for_dataset("cora")).run(&dataset);
+
+        println!(
+            "{per_class:>13} {rate:>10.1}% {:>7.1}% {:>11.1}% {:>13.1}%",
+            100.0 * gcn_acc,
+            100.0 * rdd.single_test_acc,
+            100.0 * rdd.ensemble_test_acc
+        );
+    }
+    println!();
+    println!("Single runs are noisy; the multi-trial version of this sweep is");
+    println!("`cargo run --release -p rdd-bench --bin figure6`, where RDD's edge");
+    println!("is largest in the label-scarce regime.");
+}

@@ -1,0 +1,60 @@
+//! Quickstart: train RDD on a synthetic Cora-like citation network and
+//! compare the single and ensemble models against a plain GCN.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use rdd_core::{RddConfig, RddTrainer};
+use rdd_graph::{DatasetStats, SynthConfig};
+use rdd_models::{predict, train, Gcn, GraphContext, TrainConfig};
+use rdd_tensor::seeded_rng;
+
+fn main() {
+    // 1. Generate a Cora-like dataset (2708 nodes, 7 classes, 20 labeled
+    //    nodes per class — the paper's Planetoid protocol).
+    let dataset = SynthConfig::cora_sim().generate();
+    println!("{}", DatasetStats::header());
+    println!("{}", DatasetStats::of(&dataset).row());
+    println!();
+
+    // 2. Baseline: a single plain GCN.
+    let ctx = GraphContext::new(&dataset);
+    let mut rng = seeded_rng(1);
+    let train_cfg = TrainConfig::citation();
+    let mut gcn = Gcn::new(&ctx, rdd_models::GcnConfig::citation(), &mut rng);
+    let report = train(&mut gcn, &ctx, &dataset, &train_cfg, &mut rng, None);
+    let gcn_acc = dataset.test_accuracy(&predict(&gcn, &ctx));
+    println!(
+        "plain GCN        test acc {:.1}%   ({} epochs, {:.1}s)",
+        100.0 * gcn_acc,
+        report.epochs_run,
+        report.wall_time_s
+    );
+
+    // 3. RDD: the self-boosting reliable-distillation ensemble with the
+    //    hyperparameters tuned for this preset (see RddConfig::for_dataset).
+    let config = RddConfig::for_dataset("cora");
+    let outcome = RddTrainer::new(config).run(&dataset);
+    println!(
+        "RDD (single)     test acc {:.1}%",
+        100.0 * outcome.single_test_acc
+    );
+    println!(
+        "RDD (ensemble)   test acc {:.1}%   ({} base models, {:.1}s total)",
+        100.0 * outcome.ensemble_test_acc,
+        outcome.base_models.len(),
+        outcome.wall_time_s
+    );
+    println!();
+    println!("per-base-model breakdown:");
+    for (t, b) in outcome.base_models.iter().enumerate() {
+        println!(
+            "  model {t}: test {:.1}%  val {:.1}%  alpha {:.3}  ({} epochs)",
+            100.0 * b.test_acc,
+            100.0 * b.val_acc,
+            b.alpha,
+            b.report.epochs_run
+        );
+    }
+}
