@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# Emit BENCH_<n>.json — the kernel-level perf trajectory record for this PR
+# sequence (BENCH_1.json was recorded by the PR that introduced the worker
+# pool; later PRs append BENCH_2.json, BENCH_3.json, ...).
+#
+# Usage: ./bench.sh <n>
+#
+# Two paths:
+#   * With the full dependency set available, run the criterion kernel
+#     benches (authoritative, statistically sound):
+#         cargo bench -p rdd-bench --bench kernels
+#     and read medians out of target/criterion/*/new/estimates.json.
+#   * Offline (no crates.io mirror), fall back to the dependency-free
+#     harness tools/kernel_timing.rs, which mounts the same kernel sources
+#     and reports best-of-N wall times.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+n="${1:?usage: ./bench.sh <n> (emits BENCH_<n>.json)}"
+out="BENCH_${n}.json"
+threads="$(nproc 2>/dev/null || echo unknown)"
+
+if cargo bench -p rdd-bench --bench kernels 2>/dev/null; then
+    echo "==> collecting criterion estimates into ${out}"
+    {
+        echo "{"
+        echo "  \"source\": \"criterion (median point estimate)\","
+        echo "  \"host_cpus\": \"${threads}\","
+        echo "  \"unit\": \"ns\","
+        echo "  \"kernels\": {"
+        first=1
+        for est in target/criterion/*/*/new/estimates.json; do
+            [ -f "$est" ] || continue
+            name="$(dirname "$(dirname "$est")")"
+            name="${name#target/criterion/}"
+            median="$(sed -n 's/.*"median":{"confidence_interval":[^}]*},"point_estimate":\([0-9.e+]*\).*/\1/p' "$est")"
+            [ -n "$median" ] || continue
+            [ "$first" = 1 ] || echo ","
+            first=0
+            printf '    "%s": %s' "$name" "$median"
+        done
+        echo ""
+        echo "  }"
+        echo "}"
+    } > "$out"
+else
+    echo "==> criterion unavailable, falling back to tools/kernel_timing.rs"
+    mkdir -p target
+    rustc --edition 2021 -O -C target-cpu=native tools/kernel_timing.rs \
+        -o target/kernel_timing
+    ./target/kernel_timing > "$out"
+fi
+
+echo "wrote ${out}"

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Tier-1 gate: format, lints, build, tests.
+#
+# Usage: ./ci.sh
+# Requires a toolchain with rustfmt + clippy and access to the crates.io
+# mirror for the workspace dependencies (rand, proptest, criterion).
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (-D warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "ci.sh: all gates passed"

@@ -54,6 +54,41 @@ fn bench_spmm(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_backprop(c: &mut Criterion) {
+    let mut rng = seeded_rng(4);
+    let mut g = c.benchmark_group("backprop");
+    g.sample_size(20);
+    // Acceptance shape for the blocked/parallel backprop kernels.
+    let a = uniform(2048, 512, 1.0, &mut rng);
+    let d = uniform(2048, 512, 1.0, &mut rng);
+    g.bench_function("matmul_at_b(2048x512x512)", |b| {
+        b.iter(|| std::hint::black_box(a.matmul_at_b(&d)));
+    });
+    let bt = uniform(512, 512, 1.0, &mut rng);
+    g.bench_function("matmul_a_bt(2048x512x512)", |b| {
+        b.iter(|| std::hint::black_box(a.matmul_a_bt(&bt)));
+    });
+    g.bench_function("transpose(2048x512)", |b| {
+        b.iter(|| std::hint::black_box(a.transpose()));
+    });
+    // ~100k-entry propagation operator (pubmed-sim Â): the sparse backprop
+    // scatter plus the PageRank-weighting vector kernels.
+    let data = SynthConfig::pubmed_sim().generate();
+    let a_hat = data.graph.normalized_adjacency();
+    let h = uniform(data.n(), 16, 1.0, &mut rng);
+    g.bench_function("spmm_t(pubmed,16)", |b| {
+        b.iter(|| std::hint::black_box(a_hat.spmm_t(&h)));
+    });
+    let v = vec![1.0 / data.n() as f32; data.n()];
+    g.bench_function("spmv_t(pubmed)", |b| {
+        b.iter(|| std::hint::black_box(a_hat.spmv_t(&v)));
+    });
+    g.bench_function("prune(pubmed)", |b| {
+        b.iter(|| std::hint::black_box(a_hat.prune(1e-3)));
+    });
+    g.finish();
+}
+
 fn bench_graph_ops(c: &mut Criterion) {
     let data = SynthConfig::cora_sim().generate();
     let mut g = c.benchmark_group("graph");
@@ -93,6 +128,7 @@ criterion_group!(
     benches,
     bench_matmul,
     bench_spmm,
+    bench_backprop,
     bench_graph_ops,
     bench_csr_build,
     bench_softmax_entropy

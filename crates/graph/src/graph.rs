@@ -124,23 +124,15 @@ impl Graph {
         assert!(n > 0, "pagerank on empty graph");
         let uniform = 1.0 / n as f32;
         let mut rank = vec![uniform; n];
-        // Transposed walk: incoming mass. A is symmetric here so A^T = A,
-        // but mass must be divided by the *source* degree.
+        // Transposed walk on the transition matrix P = D^-1 A: incoming mass
+        // is P^T rank, computed by the parallel scatter kernel. Dangling
+        // nodes have empty rows in P, so their mass is redistributed
+        // uniformly by hand.
+        let transition = self.transition_matrix();
+        let dangling_nodes: Vec<usize> = (0..n).filter(|&i| self.degree(i) == 0).collect();
         for _ in 0..iterations {
-            let mut next = vec![0.0f32; n];
-            let mut dangling = 0.0f32;
-            #[allow(clippy::needless_range_loop)]
-            for i in 0..n {
-                let d = self.degree(i);
-                if d == 0 {
-                    dangling += rank[i];
-                    continue;
-                }
-                let share = rank[i] / d as f32;
-                for &j in self.neighbors(i) {
-                    next[j as usize] += share;
-                }
-            }
+            let mut next = transition.spmv_t(&rank);
+            let dangling: f32 = dangling_nodes.iter().map(|&i| rank[i]).sum();
             let base = (1.0 - damping) * uniform + damping * dangling * uniform;
             let mut delta = 0.0f32;
             for (i, nx) in next.iter_mut().enumerate() {

@@ -1,11 +1,83 @@
 //! Dense row-major `f32` matrix with the kernels GCN training needs.
 //!
 //! The matrix is deliberately minimal: a contiguous `Vec<f32>` plus shape.
-//! All hot kernels (`matmul*`) use an i-k-j loop order so the innermost loop
-//! walks both operands contiguously, and parallelize over row blocks with
-//! scoped threads (see [`crate::par`]).
+//! The hot kernels (`matmul*`) use an i-k-j loop order so the innermost loop
+//! walks both operands contiguously, add cache blocking so the streamed
+//! operand is reused while it is still resident, and unroll the reduction
+//! dimension into independent accumulator lanes so LLVM can autovectorize
+//! the `f32` sums (a plain `acc += a * b` loop is a serial dependency
+//! chain). All of them run on the persistent worker pool (see
+//! [`crate::par`]): the forward products split the *output* rows across
+//! tasks, while the transposed backprop product `A^T @ dC` splits the
+//! *input* rows and reduces per-task partial buffers.
 
-use crate::par::par_row_chunks;
+use crate::par::{par_reduce_rows, par_row_chunks};
+
+/// Rows of the reduction dimension processed per cache block in `matmul`.
+///
+/// Bounds the slice of the right-hand operand that is streamed while one
+/// block of output rows is revisited: `K_BLOCK * n * 4` bytes, which stays
+/// L2-resident for the layer widths GCN training uses.
+const K_BLOCK: usize = 256;
+
+/// Output columns per cache block in `matmul_a_bt` (rows of `rhs` reused
+/// across every output row of a task's chunk).
+const J_BLOCK: usize = 64;
+
+/// Tile edge for the blocked `transpose`.
+const T_TILE: usize = 32;
+
+/// `out_row[..] += Σ_l a[l] * b_l[..]` over four unrolled reduction rows.
+///
+/// The explicit re-slicing to `out_row.len()` lets the compiler drop bounds
+/// checks and vectorize the body; the zero test skips entire quads, which
+/// matters for the sparse-ish dense matrices the ablation benches feed in.
+#[inline]
+fn axpy4(out_row: &mut [f32], a: [f32; 4], b0: &[f32], b1: &[f32], b2: &[f32], b3: &[f32]) {
+    if a == [0.0; 4] {
+        return;
+    }
+    let n = out_row.len();
+    let (b0, b1, b2, b3) = (&b0[..n], &b1[..n], &b2[..n], &b3[..n]);
+    for i in 0..n {
+        out_row[i] += a[0] * b0[i] + a[1] * b1[i] + a[2] * b2[i] + a[3] * b3[i];
+    }
+}
+
+/// `out_row[..] += a * b_row[..]` (remainder lane of the unrolled loops,
+/// and the scatter step of the sparse kernels).
+#[inline]
+pub(crate) fn axpy(out_row: &mut [f32], a: f32, b_row: &[f32]) {
+    if a == 0.0 {
+        return;
+    }
+    for (o, &b) in out_row.iter_mut().zip(b_row) {
+        *o += a * b;
+    }
+}
+
+/// Dot product with eight independent accumulator lanes.
+///
+/// The lanes break the loop-carried `f32` addition chain, which is what
+/// allows SIMD codegen without `-ffast-math`-style reassociation.
+#[inline]
+pub(crate) fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let lanes = a.len() / 8 * 8;
+    let (a8, a_tail) = a.split_at(lanes);
+    let (b8, b_tail) = b.split_at(lanes);
+    let mut acc = [0.0f32; 8];
+    for (ac, bc) in a8.chunks_exact(8).zip(b8.chunks_exact(8)) {
+        for l in 0..8 {
+            acc[l] += ac[l] * bc[l];
+        }
+    }
+    let mut s = ((acc[0] + acc[4]) + (acc[1] + acc[5])) + ((acc[2] + acc[6]) + (acc[3] + acc[7]));
+    for (&x, &y) in a_tail.iter().zip(b_tail) {
+        s += x * y;
+    }
+    s
+}
 
 /// Dense row-major matrix of `f32`.
 #[derive(Clone, PartialEq)]
@@ -147,18 +219,34 @@ impl Matrix {
         let n = rhs.cols;
         let k_dim = self.cols;
         par_row_chunks(&mut out.data, n, |i0, chunk| {
-            for (di, out_row) in chunk.chunks_exact_mut(n).enumerate() {
-                let i = i0 + di;
-                let a_row = &self.data[i * k_dim..(i + 1) * k_dim];
-                for (k, &a) in a_row.iter().enumerate() {
-                    if a == 0.0 {
-                        continue;
+            // k-blocked i-k-j: while one block of output rows is revisited,
+            // only `K_BLOCK` rows of `rhs` are streamed, so they stay hot.
+            let mut kb = 0;
+            while kb < k_dim {
+                let ke = (kb + K_BLOCK).min(k_dim);
+                for (di, out_row) in chunk.chunks_exact_mut(n).enumerate() {
+                    let i = i0 + di;
+                    let a_row = &self.data[i * k_dim + kb..i * k_dim + ke];
+                    let mut k = 0;
+                    while k + 4 <= a_row.len() {
+                        let base = (kb + k) * n;
+                        axpy4(
+                            out_row,
+                            [a_row[k], a_row[k + 1], a_row[k + 2], a_row[k + 3]],
+                            &rhs.data[base..base + n],
+                            &rhs.data[base + n..base + 2 * n],
+                            &rhs.data[base + 2 * n..base + 3 * n],
+                            &rhs.data[base + 3 * n..base + 4 * n],
+                        );
+                        k += 4;
                     }
-                    let b_row = &rhs.data[k * n..(k + 1) * n];
-                    for (o, &b) in out_row.iter_mut().zip(b_row) {
-                        *o += a * b;
+                    while k < a_row.len() {
+                        let base = (kb + k) * n;
+                        axpy(out_row, a_row[k], &rhs.data[base..base + n]);
+                        k += 1;
                     }
                 }
+                kb = ke;
             }
         });
         out
@@ -175,23 +263,47 @@ impl Matrix {
             self.shape(),
             rhs.shape()
         );
-        // out is (self.cols x rhs.cols); accumulate row-by-row of the shared
-        // leading dimension. Sequential: output rows are written by every k.
+        // out is (self.cols x rhs.cols); every input row k scatters into all
+        // output rows, so the parallel split is over *input* rows with one
+        // partial output buffer per task, reduced at the end
+        // (par_reduce_rows). The k loop is unrolled by four so each output
+        // row is loaded and stored once per quad instead of once per k.
         let n = rhs.cols;
-        let mut out = Matrix::zeros(self.cols, n);
-        for k in 0..self.rows {
-            let a_row = self.row(k);
-            let b_row = rhs.row(k);
-            for (j, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
+        let m = self.cols;
+        let mut out = Matrix::zeros(m, n);
+        let work = self.rows * m * n;
+        par_reduce_rows(&mut out.data, self.rows, work, |r0, r1, acc| {
+            let mut k = r0;
+            while k + 4 <= r1 {
+                let a0 = self.row(k);
+                let a1 = self.row(k + 1);
+                let a2 = self.row(k + 2);
+                let a3 = self.row(k + 3);
+                let b0 = rhs.row(k);
+                let b1 = rhs.row(k + 1);
+                let b2 = rhs.row(k + 2);
+                let b3 = rhs.row(k + 3);
+                for j in 0..m {
+                    axpy4(
+                        &mut acc[j * n..(j + 1) * n],
+                        [a0[j], a1[j], a2[j], a3[j]],
+                        b0,
+                        b1,
+                        b2,
+                        b3,
+                    );
                 }
-                let out_row = &mut out.data[j * n..(j + 1) * n];
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
-                }
+                k += 4;
             }
-        }
+            while k < r1 {
+                let a_row = self.row(k);
+                let b_row = rhs.row(k);
+                for (j, &a) in a_row.iter().enumerate() {
+                    axpy(&mut acc[j * n..(j + 1) * n], a, b_row);
+                }
+                k += 1;
+            }
+        });
         out
     }
 
@@ -210,30 +322,52 @@ impl Matrix {
         let k_dim = self.cols;
         let mut out = Matrix::zeros(self.rows, n);
         par_row_chunks(&mut out.data, n, |i0, chunk| {
-            for (di, out_row) in chunk.chunks_exact_mut(n).enumerate() {
-                let i = i0 + di;
-                let a_row = &self.data[i * k_dim..(i + 1) * k_dim];
-                for (j, o) in out_row.iter_mut().enumerate() {
-                    let b_row = &rhs.data[j * k_dim..(j + 1) * k_dim];
-                    let mut acc = 0.0f32;
-                    for (&a, &b) in a_row.iter().zip(b_row) {
-                        acc += a * b;
+            // j-blocked so a `J_BLOCK`-row slice of `rhs` is reused across
+            // every output row of the chunk before the next slice streams in.
+            let mut jb = 0;
+            while jb < n {
+                let je = (jb + J_BLOCK).min(n);
+                for (di, out_row) in chunk.chunks_exact_mut(n).enumerate() {
+                    let i = i0 + di;
+                    let a_row = &self.data[i * k_dim..(i + 1) * k_dim];
+                    for (j, o) in out_row[jb..je].iter_mut().enumerate() {
+                        let j = jb + j;
+                        *o = dot(a_row, &rhs.data[j * k_dim..(j + 1) * k_dim]);
                     }
-                    *o = acc;
                 }
+                jb = je;
             }
         });
         out
     }
 
-    /// Materialized transpose.
+    /// Materialized transpose (tiled so both sides stay cache-resident,
+    /// parallel over output row blocks).
     pub fn transpose(&self) -> Matrix {
-        let mut out = Matrix::zeros(self.cols, self.rows);
-        for i in 0..self.rows {
-            for j in 0..self.cols {
-                out.data[j * self.rows + i] = self.data[i * self.cols + j];
-            }
+        let (in_rows, in_cols) = (self.rows, self.cols);
+        let mut out = Matrix::zeros(in_cols, in_rows);
+        if in_rows == 0 || in_cols == 0 {
+            return out;
         }
+        par_row_chunks(&mut out.data, in_rows, |j0, chunk| {
+            let jn = chunk.len() / in_rows;
+            let mut jb = 0;
+            while jb < jn {
+                let je = (jb + T_TILE).min(jn);
+                let mut ib = 0;
+                while ib < in_rows {
+                    let ie = (ib + T_TILE).min(in_rows);
+                    for dj in jb..je {
+                        let j = j0 + dj;
+                        for i in ib..ie {
+                            chunk[dj * in_rows + i] = self.data[i * in_cols + j];
+                        }
+                    }
+                    ib = ie;
+                }
+                jb = je;
+            }
+        });
         out
     }
 

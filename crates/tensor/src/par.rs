@@ -1,24 +1,52 @@
-//! Scoped-thread row-block parallelism.
+//! Persistent worker pool and row-block parallel primitives.
 //!
-//! A tiny substitute for `rayon` (the offline dependency set excludes it):
-//! the output buffer is split into contiguous row blocks, each handed to one
-//! scoped `std::thread`. Inputs are captured by shared reference, so the
-//! closure must only write its own chunk — which the `chunks_mut` split
-//! already guarantees.
+//! A tiny substitute for `rayon` (the offline dependency set excludes it).
+//! Earlier versions spawned scoped `std::thread`s on every kernel call; the
+//! GCN training loop issues tens of thousands of kernel calls per run, so the
+//! spawn/join latency dominated small kernels. The pool here is spawned once
+//! (lazily, on the first parallel call), sized by [`num_threads`], and lives
+//! for the rest of the process.
+//!
+//! Two primitives cover every kernel in the crate:
+//!
+//! * [`par_row_chunks`] — split a row-major output buffer into contiguous row
+//!   blocks, one task per block ("each task owns its output rows").
+//! * [`par_reduce_rows`] — split the *input* rows into blocks, give each task
+//!   a private zeroed copy of the output to scatter into, then sum the
+//!   partial buffers ("each task owns its input rows"). This is what makes
+//!   the transposed backprop products (`A^T @ dC`, `S^T @ dC`) parallel: the
+//!   scatter destination is shared, so each worker accumulates into its own
+//!   buffer and the buffers are reduced at the end.
+//!
+//! Work distribution is a single injector queue (condvar-guarded
+//! `VecDeque`; blocked workers release the lock while they wait). The
+//! calling thread always executes task 0 itself and then helps drain the
+//! queue before blocking on a completion latch, so a one-thread pool
+//! degenerates to a plain sequential call and nested use cannot deadlock.
+//! Tasks are self-contained (`task` pointer + index + latch); worker panics
+//! are caught, recorded on the latch and re-raised on the calling thread.
 
-use std::sync::OnceLock;
+use std::collections::VecDeque;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
 /// Number of worker threads to use for data-parallel kernels.
 ///
 /// Defaults to the machine's available parallelism, clamped to 16; override
 /// with the `RDD_THREADS` environment variable (a value of 1 disables
-/// threading entirely, which is useful for profiling and debugging).
+/// threading entirely, which is useful for profiling and debugging). An
+/// unparseable `RDD_THREADS` is reported once on stderr and then ignored.
 pub fn num_threads() -> usize {
     static N: OnceLock<usize> = OnceLock::new();
     *N.get_or_init(|| {
         if let Ok(v) = std::env::var("RDD_THREADS") {
-            if let Ok(n) = v.parse::<usize>() {
-                return n.max(1);
+            match v.parse::<usize>() {
+                Ok(n) => return n.max(1),
+                Err(_) => eprintln!(
+                    "rdd-tensor: ignoring unparseable RDD_THREADS={v:?} \
+                     (expected a positive integer)"
+                ),
             }
         }
         std::thread::available_parallelism()
@@ -26,6 +54,174 @@ pub fn num_threads() -> usize {
             .unwrap_or(1)
             .min(16)
     })
+}
+
+/// Countdown latch: the submitting thread blocks until every outstanding
+/// task has run, and learns whether any of them panicked.
+struct Latch {
+    remaining: AtomicUsize,
+    panicked: AtomicBool,
+    mutex: Mutex<()>,
+    cond: Condvar,
+}
+
+impl Latch {
+    fn new(count: usize) -> Self {
+        Self {
+            remaining: AtomicUsize::new(count),
+            panicked: AtomicBool::new(false),
+            mutex: Mutex::new(()),
+            cond: Condvar::new(),
+        }
+    }
+
+    fn count_down(&self) {
+        if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            // Taking the lock before notifying closes the race against a
+            // waiter that observed `remaining > 0` but has not yet parked.
+            let _guard = self.mutex.lock().unwrap();
+            self.cond.notify_all();
+        }
+    }
+
+    fn wait(&self) {
+        let mut guard = self.mutex.lock().unwrap();
+        while self.remaining.load(Ordering::Acquire) != 0 {
+            guard = self.cond.wait(guard).unwrap();
+        }
+    }
+}
+
+/// A unit of work: run `task(index)`, then count down the latch.
+///
+/// The `'static` on `task` is a lie told by [`run_tasks`]: the submitting
+/// thread blocks on `latch` before its borrow expires, so the reference is
+/// live for as long as any worker can touch it.
+struct Job {
+    task: &'static (dyn Fn(usize) + Sync),
+    index: usize,
+    latch: Arc<Latch>,
+}
+
+fn run_job(job: Job) {
+    let ok = panic::catch_unwind(AssertUnwindSafe(|| (job.task)(job.index))).is_ok();
+    if !ok {
+        job.latch.panicked.store(true, Ordering::Release);
+    }
+    job.latch.count_down();
+}
+
+struct Pool {
+    queue: Mutex<VecDeque<Job>>,
+    available: Condvar,
+}
+
+impl Pool {
+    fn push(&self, job: Job) {
+        self.queue.lock().unwrap().push_back(job);
+        self.available.notify_one();
+    }
+
+    /// Non-blocking pop, used by submitting threads to help drain the queue.
+    fn try_pop(&self) -> Option<Job> {
+        self.queue.lock().unwrap().pop_front()
+    }
+
+    /// Blocking pop for workers; the lock is released while waiting.
+    fn pop_blocking(&self) -> Job {
+        let mut queue = self.queue.lock().unwrap();
+        loop {
+            if let Some(job) = queue.pop_front() {
+                return job;
+            }
+            queue = self.available.wait(queue).unwrap();
+        }
+    }
+}
+
+fn pool() -> Option<&'static Pool> {
+    static POOL: OnceLock<Option<&'static Pool>> = OnceLock::new();
+    *POOL.get_or_init(|| {
+        let workers = num_threads().saturating_sub(1);
+        if workers == 0 {
+            return None;
+        }
+        // The pool lives for the rest of the process; leaking it hands the
+        // worker threads a plain `'static` reference.
+        let pool: &'static Pool = Box::leak(Box::new(Pool {
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+        }));
+        for i in 0..workers {
+            std::thread::Builder::new()
+                .name(format!("rdd-worker-{i}"))
+                .spawn(move || loop {
+                    run_job(pool.pop_blocking());
+                })
+                .expect("failed to spawn rdd-tensor worker thread");
+        }
+        Some(pool)
+    })
+}
+
+/// Run `task(i)` for every `i in 0..n_tasks` across the worker pool.
+///
+/// The calling thread runs task 0 (and helps drain the queue), so the pool
+/// only needs `num_threads() - 1` workers. Returns once every task has
+/// finished; panics if any task panicked. Tasks must be independent — they
+/// run concurrently in arbitrary order.
+pub fn run_tasks(n_tasks: usize, task: &(dyn Fn(usize) + Sync)) {
+    if n_tasks == 0 {
+        return;
+    }
+    let Some(pool) = pool() else {
+        for i in 0..n_tasks {
+            task(i);
+        }
+        return;
+    };
+    if n_tasks == 1 {
+        task(0);
+        return;
+    }
+    let latch = Arc::new(Latch::new(n_tasks - 1));
+    // SAFETY: every job holds a clone of `latch`, and we block on that latch
+    // below before `task`'s borrow can expire, so the 'static lifetime the
+    // workers see is sound.
+    let task_static: &'static (dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(task) };
+    for index in 1..n_tasks {
+        pool.push(Job {
+            task: task_static,
+            index,
+            latch: Arc::clone(&latch),
+        });
+    }
+    task(0);
+    // Help drain the queue instead of going idle; we may execute jobs
+    // submitted by other threads, which is harmless (they are
+    // self-contained) and keeps the pool work-conserving.
+    while let Some(job) = pool.try_pop() {
+        run_job(job);
+    }
+    latch.wait();
+    if latch.panicked.load(Ordering::Acquire) {
+        panic!("rdd-tensor parallel task panicked");
+    }
+}
+
+/// Raw pointer wrapper that lets tasks write disjoint regions of one buffer.
+#[derive(Clone, Copy)]
+struct SendPtr(*mut f32);
+unsafe impl Send for SendPtr {}
+unsafe impl Sync for SendPtr {}
+
+impl SendPtr {
+    /// Accessor (rather than field access) so closures capture the whole
+    /// `Sync` wrapper instead of the raw pointer field (edition-2021
+    /// disjoint capture would otherwise grab the `!Sync` pointer itself).
+    fn get(self) -> *mut f32 {
+        self.0
+    }
 }
 
 /// Split `out` (a row-major buffer with `cols` columns) into row blocks and
@@ -47,10 +243,81 @@ where
         return;
     }
     let chunk_rows = rows.div_ceil(threads);
-    std::thread::scope(|scope| {
-        for (idx, chunk) in out.chunks_mut(chunk_rows * cols).enumerate() {
-            let f = &f;
-            scope.spawn(move || f(idx * chunk_rows, chunk));
+    let n_chunks = rows.div_ceil(chunk_rows);
+    let total = out.len();
+    let base = SendPtr(out.as_mut_ptr());
+    run_tasks(n_chunks, &|t| {
+        let start = t * chunk_rows * cols;
+        let end = (start + chunk_rows * cols).min(total);
+        // SAFETY: chunk `t` covers elements [start, end), disjoint across
+        // tasks, and the borrow of `out` outlives `run_tasks`.
+        let chunk = unsafe { std::slice::from_raw_parts_mut(base.get().add(start), end - start) };
+        f(t * chunk_rows, chunk);
+    });
+}
+
+/// Parallel scatter-reduction over input rows.
+///
+/// Splits the input row range `0..in_rows` into contiguous blocks and runs
+/// `f(row_start, row_end, acc)` once per block, where `acc` is an
+/// accumulation buffer the same length as `out`. Block 0 accumulates
+/// directly into `out`; every other block gets a private zeroed buffer, and
+/// the partial buffers are summed into `out` at the end (itself in
+/// parallel). `f` must only ever *add* into `acc`.
+///
+/// `out` must arrive zeroed (the sequential fallback runs `f` directly on
+/// it). `work` is an estimate of the total number of accumulations `f`
+/// performs across all rows (e.g. `nnz * cols` for a sparse scatter); it
+/// gates the parallel path so that tiny scatters skip the buffer setup.
+pub fn par_reduce_rows<F>(out: &mut [f32], in_rows: usize, work: usize, f: F)
+where
+    F: Fn(usize, usize, &mut [f32]) + Sync,
+{
+    let threads = num_threads();
+    // The parallel path costs one zeroed buffer + one reduction pass of
+    // `out.len()` per extra block; require the scattered work to dwarf it.
+    if threads <= 1 || in_rows < 2 || work < 1 << 15 || work < 8 * out.len() {
+        f(0, in_rows, out);
+        return;
+    }
+    let n_chunks = threads.min(in_rows);
+    let chunk_rows = in_rows.div_ceil(n_chunks);
+    let n_chunks = in_rows.div_ceil(chunk_rows);
+    let len = out.len();
+    let mut partials: Vec<Vec<f32>> = (1..n_chunks).map(|_| Vec::new()).collect();
+    {
+        let out_base = SendPtr(out.as_mut_ptr());
+        let partials_base = partials.as_mut_ptr() as usize;
+        run_tasks(n_chunks, &|t| {
+            let start = t * chunk_rows;
+            let end = (start + chunk_rows).min(in_rows);
+            if t == 0 {
+                // SAFETY: only task 0 touches `out` during this phase.
+                let acc = unsafe { std::slice::from_raw_parts_mut(out_base.get(), len) };
+                f(start, end, acc);
+            } else {
+                // SAFETY: slot `t - 1` is owned exclusively by task `t`, and
+                // `partials` outlives `run_tasks`.
+                let slot = unsafe { &mut *(partials_base as *mut Vec<f32>).add(t - 1) };
+                *slot = vec![0.0; len];
+                f(start, end, slot);
+            }
+        });
+    }
+    // Reduce the partial buffers into `out`, split by output range.
+    let r_chunk = len.div_ceil(threads).max(1024);
+    let r_tasks = len.div_ceil(r_chunk);
+    let out_base = SendPtr(out.as_mut_ptr());
+    let partials = &partials;
+    run_tasks(r_tasks, &|t| {
+        let start = t * r_chunk;
+        let end = (start + r_chunk).min(len);
+        // SAFETY: ranges are disjoint across tasks.
+        let dst = unsafe { std::slice::from_raw_parts_mut(out_base.get().add(start), end - start) };
+        for p in partials {
+            for (o, &v) in dst.iter_mut().zip(&p[start..end]) {
+                *o += v;
+            }
         }
     });
 }
@@ -93,5 +360,67 @@ mod tests {
     #[test]
     fn num_threads_at_least_one() {
         assert!(num_threads() >= 1);
+    }
+
+    #[test]
+    fn run_tasks_covers_every_index_repeatedly() {
+        // Repeated calls reuse the pool; every index must be hit exactly once
+        // per call.
+        for round in 0..50 {
+            let n = 1 + (round % 7);
+            let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+            run_tasks(n, &|i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            });
+            for (i, h) in hits.iter().enumerate() {
+                assert_eq!(h.load(Ordering::Relaxed), 1, "round {round} index {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn run_tasks_propagates_panics() {
+        let caught = panic::catch_unwind(|| {
+            run_tasks(4, &|i| {
+                if i == 3 {
+                    panic!("boom");
+                }
+            });
+        });
+        assert!(caught.is_err(), "panic in a task must reach the caller");
+        // The pool must still be usable afterwards.
+        let count = AtomicUsize::new(0);
+        run_tasks(4, &|_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn par_reduce_rows_sums_partials() {
+        // Scatter: every input row adds 1.0 to every output slot; the result
+        // must equal the number of input rows regardless of chunking.
+        let in_rows = 512;
+        let mut out = vec![0.0f32; 2048];
+        let work = in_rows * out.len(); // force the parallel path when pooled
+        par_reduce_rows(&mut out, in_rows, work, |r0, r1, acc| {
+            for _ in r0..r1 {
+                for v in acc.iter_mut() {
+                    *v += 1.0;
+                }
+            }
+        });
+        assert!(out.iter().all(|&v| v == in_rows as f32));
+    }
+
+    #[test]
+    fn par_reduce_rows_small_work_runs_sequentially_on_out() {
+        let mut out = vec![0.0f32; 4];
+        par_reduce_rows(&mut out, 3, 12, |r0, r1, acc| {
+            for r in r0..r1 {
+                acc[r % 4] += (r + 1) as f32;
+            }
+        });
+        assert_eq!(out, vec![1.0, 2.0, 3.0, 0.0]);
     }
 }

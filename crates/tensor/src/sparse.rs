@@ -5,10 +5,14 @@
 //! only ever appear on the left of a product with a dense matrix, so CSR with
 //! a row-gather SpMM is the natural layout. The transpose product
 //! (`self^T @ dense`, needed by backprop through `X @ W`) is implemented as a
-//! scatter over the same CSR arrays, avoiding a materialized CSC copy.
+//! scatter over the same CSR arrays, avoiding a materialized CSC copy. The
+//! scatter-style transposed kernels (`spmm_t`, `spmv_t`) share their output
+//! rows across input rows, so they parallelize with per-task partial output
+//! buffers reduced at the end ([`crate::par::par_reduce_rows`]); the
+//! gather-style kernels (`spmm`, `spmv`) split output rows directly.
 
-use crate::matrix::Matrix;
-use crate::par::par_row_chunks;
+use crate::matrix::{axpy, Matrix};
+use crate::par::{par_reduce_rows, par_row_chunks};
 
 /// CSR sparse matrix of `f32`.
 #[derive(Clone, Debug, PartialEq)]
@@ -170,9 +174,31 @@ impl CsrMatrix {
     }
 
     /// Drop stored entries with `|value| <= eps`.
+    ///
+    /// Rows are already sorted, so the CSR arrays are rebuilt in one linear
+    /// pass — no round-trip through `from_triplets` and its per-row re-sort.
     pub fn prune(&self, eps: f32) -> CsrMatrix {
-        let triplets: Vec<_> = self.iter().filter(|&(_, _, v)| v.abs() > eps).collect();
-        CsrMatrix::from_triplets(self.rows, self.cols, &triplets)
+        let mut indptr = Vec::with_capacity(self.rows + 1);
+        indptr.push(0);
+        let mut indices = Vec::with_capacity(self.nnz());
+        let mut values = Vec::with_capacity(self.nnz());
+        for r in 0..self.rows {
+            let (cols, vals) = self.row(r);
+            for (&c, &v) in cols.iter().zip(vals) {
+                if v.abs() > eps {
+                    indices.push(c);
+                    values.push(v);
+                }
+            }
+            indptr.push(indices.len());
+        }
+        CsrMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            indptr,
+            indices,
+            values,
+        }
     }
 
     /// Dense copy (test/debug use only — O(rows·cols) memory).
@@ -200,17 +226,15 @@ impl CsrMatrix {
                 let i = i0 + di;
                 let (cols, vals) = self.row(i);
                 for (&c, &v) in cols.iter().zip(vals) {
-                    let b_row = rhs.row(c as usize);
-                    for (o, &b) in out_row.iter_mut().zip(b_row) {
-                        *o += v * b;
-                    }
+                    axpy(out_row, v, rhs.row(c as usize));
                 }
             }
         });
         out
     }
 
-    /// Transpose-product `self^T @ rhs` via scatter (sequential).
+    /// Transpose-product `self^T @ rhs` via scatter, parallel over input
+    /// rows with per-task partial output buffers.
     ///
     /// Needed by backprop: for `C = S @ W` with constant sparse `S`,
     /// `dW = S^T @ dC`.
@@ -224,45 +248,50 @@ impl CsrMatrix {
         );
         let n = rhs.cols();
         let mut out = Matrix::zeros(self.cols, n);
-        for i in 0..self.rows {
-            let (cols, vals) = self.row(i);
-            let b_row = rhs.row(i);
-            for (&c, &v) in cols.iter().zip(vals) {
-                let out_row = out.row_mut(c as usize);
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += v * b;
+        let work = self.nnz() * n;
+        par_reduce_rows(out.as_mut_slice(), self.rows, work, |r0, r1, acc| {
+            for i in r0..r1 {
+                let (cols, vals) = self.row(i);
+                let b_row = rhs.row(i);
+                for (&c, &v) in cols.iter().zip(vals) {
+                    let c = c as usize;
+                    axpy(&mut acc[c * n..(c + 1) * n], v, b_row);
                 }
             }
-        }
+        });
         out
     }
 
-    /// Sparse-vector product `self @ v`.
+    /// Sparse-vector product `self @ v` (row-gather, parallel over rows).
     pub fn spmv(&self, v: &[f32]) -> Vec<f32> {
         assert_eq!(self.cols, v.len(), "spmv shape mismatch");
-        (0..self.rows)
-            .map(|i| {
-                let (cols, vals) = self.row(i);
-                cols.iter()
+        let mut out = vec![0.0f32; self.rows];
+        par_row_chunks(&mut out, 1, |i0, chunk| {
+            for (di, o) in chunk.iter_mut().enumerate() {
+                let (cols, vals) = self.row(i0 + di);
+                *o = cols
+                    .iter()
                     .zip(vals)
                     .map(|(&c, &w)| w * v[c as usize])
-                    .sum()
-            })
-            .collect()
+                    .sum();
+            }
+        });
+        out
     }
 
-    /// Transpose-vector product `self^T @ v`.
+    /// Transpose-vector product `self^T @ v` (scatter, parallel over input
+    /// rows with per-task partial buffers).
     pub fn spmv_t(&self, v: &[f32]) -> Vec<f32> {
         assert_eq!(self.rows, v.len(), "spmv_t shape mismatch");
         let mut out = vec![0.0f32; self.cols];
-        #[allow(clippy::needless_range_loop)]
-        for i in 0..self.rows {
-            let (cols, vals) = self.row(i);
-            let vi = v[i];
-            for (&c, &w) in cols.iter().zip(vals) {
-                out[c as usize] += w * vi;
+        par_reduce_rows(&mut out, self.rows, self.nnz(), |r0, r1, acc| {
+            for (i, &vi) in v.iter().enumerate().take(r1).skip(r0) {
+                let (cols, vals) = self.row(i);
+                for (&c, &w) in cols.iter().zip(vals) {
+                    acc[c as usize] += w * vi;
+                }
             }
-        }
+        });
         out
     }
 

@@ -1,0 +1,298 @@
+//! Equivalence of the parallel kernels with the sequential reference path.
+//!
+//! Every parallel kernel (`matmul`, `matmul_at_b`, `matmul_a_bt`, `spmm`,
+//! `spmm_t`, `spmv`, `spmv_t`, `transpose`) must produce the same result —
+//! bitwise where the parallel split preserves summation order (row-split
+//! gathers), within ε where it does not (partial-buffer reductions reorder
+//! the sum) — as a naive sequential implementation, which is also what the
+//! kernels compute under `RDD_THREADS=1`.
+//!
+//! `force_pool` pins `RDD_THREADS=4` before the first kernel call latches
+//! the thread count, so the worker pool and both parallel code paths are
+//! exercised even on a single-core CI runner. Shapes are drawn to straddle
+//! the parallel-dispatch thresholds and include non-divisible row counts;
+//! the CSR strategies generate empty rows.
+
+use proptest::prelude::*;
+use rdd_tensor::{CsrMatrix, Matrix};
+
+/// Force a multi-thread pool unless the caller pinned RDD_THREADS.
+///
+/// Must run before any kernel call in every test: the thread count is
+/// latched once per process.
+fn force_pool() {
+    if std::env::var("RDD_THREADS").is_err() {
+        std::env::set_var("RDD_THREADS", "4");
+    }
+}
+
+// ---- naive sequential references ----
+
+fn ref_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    let mut out = Matrix::zeros(a.rows(), b.cols());
+    for i in 0..a.rows() {
+        for k in 0..a.cols() {
+            let av = a.get(i, k);
+            for j in 0..b.cols() {
+                out.set(i, j, out.get(i, j) + av * b.get(k, j));
+            }
+        }
+    }
+    out
+}
+
+fn ref_matmul_at_b(a: &Matrix, b: &Matrix) -> Matrix {
+    let mut out = Matrix::zeros(a.cols(), b.cols());
+    for k in 0..a.rows() {
+        for j in 0..a.cols() {
+            let av = a.get(k, j);
+            for c in 0..b.cols() {
+                out.set(j, c, out.get(j, c) + av * b.get(k, c));
+            }
+        }
+    }
+    out
+}
+
+fn ref_matmul_a_bt(a: &Matrix, b: &Matrix) -> Matrix {
+    let mut out = Matrix::zeros(a.rows(), b.rows());
+    for i in 0..a.rows() {
+        for j in 0..b.rows() {
+            let mut acc = 0.0f32;
+            for k in 0..a.cols() {
+                acc += a.get(i, k) * b.get(j, k);
+            }
+            out.set(i, j, acc);
+        }
+    }
+    out
+}
+
+fn ref_spmm(s: &CsrMatrix, d: &Matrix) -> Matrix {
+    let mut out = Matrix::zeros(s.rows(), d.cols());
+    for (r, c, v) in s.iter() {
+        for j in 0..d.cols() {
+            out.set(r, j, out.get(r, j) + v * d.get(c, j));
+        }
+    }
+    out
+}
+
+fn ref_spmm_t(s: &CsrMatrix, d: &Matrix) -> Matrix {
+    let mut out = Matrix::zeros(s.cols(), d.cols());
+    for (r, c, v) in s.iter() {
+        for j in 0..d.cols() {
+            out.set(c, j, out.get(c, j) + v * d.get(r, j));
+        }
+    }
+    out
+}
+
+fn ref_spmv(s: &CsrMatrix, v: &[f32]) -> Vec<f32> {
+    let mut out = vec![0.0f32; s.rows()];
+    for (r, c, w) in s.iter() {
+        out[r] += w * v[c];
+    }
+    out
+}
+
+fn ref_spmv_t(s: &CsrMatrix, v: &[f32]) -> Vec<f32> {
+    let mut out = vec![0.0f32; s.cols()];
+    for (r, c, w) in s.iter() {
+        out[c] += w * v[r];
+    }
+    out
+}
+
+/// ε scaled to the reduction length: each output element sums `k` products
+/// of values in [-1, 1], and the parallel reduction reorders that sum.
+fn tol(k: usize) -> f32 {
+    1e-4 * (k as f32).max(1.0)
+}
+
+fn assert_close(fast: &Matrix, slow: &Matrix, k: usize, what: &str) {
+    let d = fast.max_abs_diff(slow);
+    assert!(d <= tol(k), "{what}: max abs diff {d} > {}", tol(k));
+}
+
+fn assert_vec_close(fast: &[f32], slow: &[f32], k: usize, what: &str) {
+    assert_eq!(fast.len(), slow.len(), "{what}: length mismatch");
+    for (i, (a, b)) in fast.iter().zip(slow).enumerate() {
+        assert!(
+            (a - b).abs() <= tol(k),
+            "{what}: index {i}: {a} vs {b} (tol {})",
+            tol(k)
+        );
+    }
+}
+
+// ---- strategies ----
+
+prop_compose! {
+    fn matrix(rows: std::ops::Range<usize>, cols: std::ops::Range<usize>)
+             (r in rows, c in cols)
+             (data in prop::collection::vec(-1.0f32..1.0, r * c),
+              r in Just(r), c in Just(c))
+             -> Matrix {
+        Matrix::from_vec(r, c, data)
+    }
+}
+
+prop_compose! {
+    /// Sparse matrix with ~density nnz; many rows end up empty.
+    fn csr(rows: std::ops::Range<usize>, cols: std::ops::Range<usize>, nnz_max: usize)
+          (r in rows, c in cols)
+          (triplets in prop::collection::vec((0..r, 0..c, -1.0f32..1.0), 0..nnz_max),
+           r in Just(r), c in Just(c))
+          -> CsrMatrix {
+        CsrMatrix::from_triplets(r, c, &triplets)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn matmul_matches_reference(
+        a in matrix(64..130, 8..24),
+        n in 200..300usize,
+        seed in any::<u64>(),
+    ) {
+        force_pool();
+        // Rebuild b from the seed so a and b agree on the inner dimension.
+        let k = a.cols();
+        let mut s = seed | 1;
+        let b = Matrix::from_fn(k, n, |_, _| {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((s >> 40) as f32 / (1u64 << 23) as f32) - 1.0
+        });
+        // Row-split matmul preserves per-row summation order, but the
+        // k-unrolled quads reassociate, so compare within ε.
+        assert_close(&a.matmul(&b), &ref_matmul(&a, &b), k, "matmul");
+    }
+
+    #[test]
+    fn matmul_at_b_matches_reference(
+        a in matrix(150..260, 8..24),
+        n in 24..40usize,
+        seed in any::<u64>(),
+    ) {
+        force_pool();
+        let rows = a.rows();
+        let mut s = seed | 1;
+        let b = Matrix::from_fn(rows, n, |_, _| {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((s >> 40) as f32 / (1u64 << 23) as f32) - 1.0
+        });
+        assert_close(&a.matmul_at_b(&b), &ref_matmul_at_b(&a, &b), rows, "matmul_at_b");
+    }
+
+    #[test]
+    fn matmul_a_bt_matches_reference(
+        a in matrix(64..130, 8..24),
+        n in 200..300usize,
+        seed in any::<u64>(),
+    ) {
+        force_pool();
+        let k = a.cols();
+        let mut s = seed | 1;
+        let b = Matrix::from_fn(n, k, |_, _| {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((s >> 40) as f32 / (1u64 << 23) as f32) - 1.0
+        });
+        assert_close(&a.matmul_a_bt(&b), &ref_matmul_a_bt(&a, &b), k, "matmul_a_bt");
+    }
+
+    #[test]
+    fn transpose_matches_reference(m in matrix(64..200, 64..160)) {
+        force_pool();
+        let t = m.transpose();
+        prop_assert_eq!(t.shape(), (m.cols(), m.rows()));
+        for i in 0..m.rows() {
+            for j in 0..m.cols() {
+                prop_assert_eq!(t.get(j, i), m.get(i, j), "transpose ({}, {})", i, j);
+            }
+        }
+    }
+
+    #[test]
+    fn spmm_matches_reference(
+        s in csr(300..500, 40..80, 3000),
+        n in 48..80usize,
+        seed in any::<u64>(),
+    ) {
+        force_pool();
+        let k = s.cols();
+        let mut st = seed | 1;
+        let d = Matrix::from_fn(k, n, |_, _| {
+            st = st.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((st >> 40) as f32 / (1u64 << 23) as f32) - 1.0
+        });
+        assert_close(&s.spmm(&d), &ref_spmm(&s, &d), k, "spmm");
+    }
+
+    #[test]
+    fn spmm_t_matches_reference(
+        s in csr(300..500, 40..80, 3000),
+        n in 48..80usize,
+        seed in any::<u64>(),
+    ) {
+        force_pool();
+        let rows = s.rows();
+        let mut st = seed | 1;
+        let d = Matrix::from_fn(rows, n, |_, _| {
+            st = st.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((st >> 40) as f32 / (1u64 << 23) as f32) - 1.0
+        });
+        assert_close(&s.spmm_t(&d), &ref_spmm_t(&s, &d), rows, "spmm_t");
+    }
+}
+
+/// The vector kernels need tens of thousands of rows to cross the parallel
+/// thresholds, so they get one large deterministic case instead of many
+/// proptest cases.
+#[test]
+fn spmv_and_spmv_t_match_reference_at_parallel_scale() {
+    force_pool();
+    let n = 20_000;
+    let mut s = 0x1234_5678_9abc_def1u64;
+    let mut next = move || {
+        s = s
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        s
+    };
+    let mut triplets = Vec::new();
+    for _ in 0..40_000 {
+        let r = (next() % n as u64) as usize;
+        // Leave a band of guaranteed-empty rows.
+        if (2000..2100).contains(&r) {
+            continue;
+        }
+        let c = (next() % n as u64) as usize;
+        let v = ((next() >> 40) as f32 / (1u64 << 23) as f32) - 1.0;
+        triplets.push((r, c, v));
+    }
+    let m = CsrMatrix::from_triplets(n, n, &triplets);
+    let v: Vec<f32> = (0..n)
+        .map(|_| ((next() >> 40) as f32 / (1u64 << 23) as f32) - 1.0)
+        .collect();
+    assert_vec_close(&m.spmv(&v), &ref_spmv(&m, &v), 8, "spmv");
+    assert_vec_close(&m.spmv_t(&v), &ref_spmv_t(&m, &v), 8, "spmv_t");
+}
+
+/// Non-divisible row counts around the chunking boundaries.
+#[test]
+fn odd_row_counts_cover_all_rows() {
+    force_pool();
+    for rows in [65usize, 127, 129, 255, 257] {
+        let a = Matrix::from_fn(rows, 40, |i, j| ((i * 31 + j * 17) % 13) as f32 - 6.0);
+        let b = Matrix::from_fn(40, 260, |i, j| ((i * 7 + j * 3) % 11) as f32 - 5.0);
+        let fast = a.matmul(&b);
+        let slow = ref_matmul(&a, &b);
+        assert_close(&fast, &slow, 40, "odd-row matmul");
+        let g = a.matmul_at_b(&Matrix::from_fn(rows, 24, |i, j| (i + j) as f32 * 0.01));
+        let h = ref_matmul_at_b(&a, &Matrix::from_fn(rows, 24, |i, j| (i + j) as f32 * 0.01));
+        assert_close(&g, &h, rows, "odd-row matmul_at_b");
+    }
+}

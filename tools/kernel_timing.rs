@@ -1,0 +1,127 @@
+//! Dependency-free kernel timing harness.
+//!
+//! Mounts the real `rdd-tensor` kernel sources via `#[path]` so it compiles
+//! with nothing but `rustc` — no cargo, no registry. This is the fallback
+//! used by `bench.sh` when the criterion benches cannot be built (offline
+//! container without the crates.io mirror), and the generator of the
+//! `BENCH_<n>.json` perf-trajectory records.
+//!
+//! Build & run:
+//! ```sh
+//! rustc --edition 2021 -O -C target-cpu=native tools/kernel_timing.rs \
+//!     -o target/kernel_timing && target/kernel_timing
+//! ```
+//! Output: one JSON object on stdout mapping kernel labels to best-of-N
+//! milliseconds. `RDD_THREADS` is honored like everywhere else.
+
+// The mounted modules expose their full API; this harness only times a
+// subset of it.
+#![allow(dead_code)]
+
+#[path = "../crates/tensor/src/par.rs"]
+mod par;
+
+#[path = "../crates/tensor/src/matrix.rs"]
+mod matrix;
+
+#[path = "../crates/tensor/src/sparse.rs"]
+mod sparse;
+
+use matrix::Matrix;
+use sparse::CsrMatrix;
+use std::time::Instant;
+
+/// Deterministic xorshift64* so runs are comparable across builds.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+
+    fn f32(&mut self) -> f32 {
+        (self.next() >> 40) as f32 / (1u64 << 24) as f32 - 0.5
+    }
+}
+
+fn rand_matrix(rng: &mut Rng, r: usize, c: usize) -> Matrix {
+    Matrix::from_fn(r, c, |_, _| rng.f32())
+}
+
+/// Random graph-shaped CSR: `n` nodes, ~`edges * 2` stored entries.
+fn rand_graph(rng: &mut Rng, n: usize, edges: usize) -> CsrMatrix {
+    let mut triplets = Vec::with_capacity(edges * 2);
+    for _ in 0..edges {
+        let a = (rng.next() % n as u64) as usize;
+        let b = (rng.next() % n as u64) as usize;
+        if a == b {
+            continue;
+        }
+        let w = rng.f32().abs() + 0.1;
+        triplets.push((a, b, w));
+        triplets.push((b, a, w));
+    }
+    CsrMatrix::from_triplets(n, n, &triplets)
+}
+
+fn time<F: FnMut() -> R, R>(results: &mut Vec<(String, f64)>, label: &str, reps: usize, mut f: F) {
+    std::hint::black_box(f()); // warmup
+    let mut best = f64::MAX;
+    for _ in 0..reps {
+        let t = Instant::now();
+        std::hint::black_box(f());
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    results.push((label.to_string(), best * 1e3));
+}
+
+fn main() {
+    let mut rng = Rng(0x9E37_79B9_7F4A_7C15);
+    let mut results: Vec<(String, f64)> = Vec::new();
+
+    // Acceptance shapes: the dense backprop products at 2048x512x512.
+    let a = rand_matrix(&mut rng, 2048, 512);
+    let b = rand_matrix(&mut rng, 512, 512);
+    let d = rand_matrix(&mut rng, 2048, 512);
+    time(&mut results, "matmul_at_b(2048x512x512)", 5, || {
+        a.matmul_at_b(&d)
+    });
+    time(&mut results, "matmul(2048x512x512)", 5, || a.matmul(&b));
+    time(&mut results, "matmul_a_bt(2048x512x512)", 5, || {
+        a.matmul_a_bt(&b)
+    });
+
+    // Cora-shaped layer-1 product.
+    let xc = rand_matrix(&mut rng, 2708, 1433);
+    let wc = rand_matrix(&mut rng, 1433, 16);
+    time(&mut results, "matmul(2708x1433x16)", 5, || xc.matmul(&wc));
+
+    time(&mut results, "transpose(2048x512)", 10, || a.transpose());
+
+    // ~100k-edge graph: the sparse kernels at ensemble/backprop scale.
+    let g = rand_graph(&mut rng, 20_000, 100_000);
+    let h = rand_matrix(&mut rng, 20_000, 16);
+    time(&mut results, "spmm(100k-edge,16)", 10, || g.spmm(&h));
+    time(&mut results, "spmm_t(100k-edge,16)", 10, || g.spmm_t(&h));
+    let v: Vec<f32> = (0..20_000).map(|_| rng.f32()).collect();
+    time(&mut results, "spmv(100k-edge)", 20, || g.spmv(&v));
+    time(&mut results, "spmv_t(100k-edge)", 20, || g.spmv_t(&v));
+    time(&mut results, "prune(100k-edge)", 10, || g.prune(0.2));
+
+    let threads = par::num_threads();
+    println!("{{");
+    println!("  \"threads\": {threads},");
+    println!("  \"unit\": \"ms (best of N)\",");
+    println!("  \"kernels\": {{");
+    for (i, (label, ms)) in results.iter().enumerate() {
+        let comma = if i + 1 == results.len() { "" } else { "," };
+        println!("    \"{label}\": {ms:.3}{comma}");
+    }
+    println!("  }}");
+    println!("}}");
+}
