@@ -46,7 +46,10 @@ if cargo bench -p rdd-bench --bench kernels 2>/dev/null; then
 else
     echo "==> criterion unavailable, falling back to tools/kernel_timing.rs"
     mkdir -p target
+    rustc --edition 2021 -O --crate-type lib --crate-name rdd_obs \
+        crates/obs/src/lib.rs -o target/librdd_obs.rlib
     rustc --edition 2021 -O -C target-cpu=native tools/kernel_timing.rs \
+        --extern rdd_obs=target/librdd_obs.rlib \
         -o target/kernel_timing
     ./target/kernel_timing > "$out"
 fi

@@ -19,4 +19,16 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> telemetry disabled-path guard"
+# With RDD_TRACE unset the recorder must stay off: no trace file may appear,
+# and a traced run must produce JSONL that the offline validator accepts.
+rustc --edition 2021 -O tools/trace_check.rs -o target/trace_check
+GUARD_DIR="$(mktemp -d)"
+trap 'rm -rf "$GUARD_DIR"' EXIT
+env -u RDD_TRACE cargo run -q --release -p rdd-cli -- train tiny --method gcn >/dev/null
+target/trace_check --absent "$GUARD_DIR/off.jsonl"
+RDD_TRACE="$GUARD_DIR/on.jsonl" cargo run -q --release -p rdd-cli -- train tiny --method rdd --models 2 >/dev/null
+target/trace_check "$GUARD_DIR/on.jsonl"
+RDD_TRACE="$GUARD_DIR/on.jsonl" cargo run -q --release -p rdd-cli -- trace-summary "$GUARD_DIR/on.jsonl" >/dev/null
+
 echo "ci.sh: all gates passed"

@@ -6,10 +6,15 @@
 //! higher than its overall accuracy, the distillation set `V_b` should
 //! concentrate the student's mistakes, and reliable edges should be
 //! intra-class far more often than raw edges.
+//!
+//! Each measurement is also emitted as a structured `reliability_diag`
+//! telemetry event, so `RDD_TRACE=<path>` captures the sweep as JSONL
+//! alongside the human-readable tables below.
 
 use rdd_core::compute_reliability;
 use rdd_graph::accuracy_over;
 use rdd_models::{expected_calibration_error, predict_proba, train, Gcn, GraphContext};
+use rdd_obs::{render_table, Json};
 use rdd_tensor::seeded_rng;
 
 fn main() {
@@ -40,19 +45,19 @@ fn main() {
     }
 
     let all: Vec<usize> = (0..data.n()).collect();
+    let teacher_acc = accuracy_over(&data.labels, &teacher_pred, &all);
+    let student_acc = accuracy_over(&data.labels, &student_pred, &all);
     println!(
         "teacher overall accuracy          {:.1}%",
-        100.0 * accuracy_over(&data.labels, &teacher_pred, &all)
+        100.0 * teacher_acc
     );
     println!(
         "student (30 epochs) accuracy      {:.1}%",
-        100.0 * accuracy_over(&data.labels, &student_pred, &all)
+        100.0 * student_acc
     );
     println!();
-    println!(
-        "{:>6} {:>10} {:>14} {:>12} {:>12} {:>12}",
-        "p", "|V_r|", "teacher@V_r", "|V_b|", "teacher@V_b", "student@V_b"
-    );
+
+    let mut rows = Vec::new();
     for p in [0.2f32, 0.4, 0.6, 0.8] {
         let sets = compute_reliability(
             &teacher_proba,
@@ -66,16 +71,43 @@ fn main() {
         let t_vr = accuracy_over(&data.labels, &teacher_pred, &reliable_idx);
         let t_vb = accuracy_over(&data.labels, &teacher_pred, &sets.distill);
         let s_vb = accuracy_over(&data.labels, &student_pred, &sets.distill);
-        println!(
-            "{:>5.0}% {:>10} {:>13.1}% {:>12} {:>11.1}% {:>11.1}%",
-            100.0 * p,
-            reliable_idx.len(),
-            100.0 * t_vr,
-            sets.distill.len(),
-            100.0 * t_vb,
-            100.0 * s_vb,
+        rdd_obs::event(
+            "reliability_diag",
+            &[
+                ("p", Json::from(p)),
+                ("v_r", Json::from(reliable_idx.len())),
+                ("v_b", Json::from(sets.distill.len())),
+                ("e_r", Json::from(sets.edges.len())),
+                ("teacher_acc", Json::from(teacher_acc)),
+                ("student_acc", Json::from(student_acc)),
+                ("teacher_at_v_r", Json::from(t_vr)),
+                ("teacher_at_v_b", Json::from(t_vb)),
+                ("student_at_v_b", Json::from(s_vb)),
+            ],
         );
+        rows.push(vec![
+            format!("{:.0}%", 100.0 * p),
+            reliable_idx.len().to_string(),
+            format!("{:.1}%", 100.0 * t_vr),
+            sets.distill.len().to_string(),
+            format!("{:.1}%", 100.0 * t_vb),
+            format!("{:.1}%", 100.0 * s_vb),
+        ]);
     }
+    print!(
+        "{}",
+        render_table(
+            &[
+                "p",
+                "|V_r|",
+                "teacher@V_r",
+                "|V_b|",
+                "teacher@V_b",
+                "student@V_b"
+            ],
+            &rows,
+        )
+    );
 
     // Edge reliability: intra-class fraction of reliable vs all edges.
     let sets = compute_reliability(
@@ -113,8 +145,20 @@ fn main() {
         "teacher ECE: all nodes {:.3}  reliable nodes {:.3}",
         ece_all, ece_rel
     );
+    rdd_obs::event(
+        "reliability_edges",
+        &[
+            ("intra_all", Json::from(intra(data.graph.edges()))),
+            ("intra_reliable", Json::from(intra(&sets.edges))),
+            ("edges_kept", Json::from(sets.edges.len())),
+            ("edges_total", Json::from(data.graph.num_edges())),
+            ("ece_all", Json::from(ece_all)),
+            ("ece_reliable", Json::from(ece_rel)),
+        ],
+    );
     println!();
     println!("expected shape: teacher@V_r >> teacher overall; student@V_b well below");
     println!("its overall accuracy (V_b concentrates its mistakes); reliable edges");
     println!("nearly all intra-class; lower ECE on the reliable set.");
+    rdd_obs::flush();
 }

@@ -12,9 +12,9 @@ pub struct Args {
 }
 
 impl Args {
-    /// Parse raw arguments. A token starting with `--` consumes the next
-    /// token as its value unless that token also starts with `--` (then it
-    /// is a bare flag).
+    /// Parse raw arguments. A token starting with `--` either carries its
+    /// value inline (`--key=value`) or consumes the next token as its value
+    /// unless that token also starts with `--` (then it is a bare flag).
     pub fn parse(raw: impl IntoIterator<Item = String>) -> Result<Self, String> {
         let mut out = Args::default();
         let mut iter = raw.into_iter().peekable();
@@ -22,6 +22,13 @@ impl Args {
             if let Some(name) = tok.strip_prefix("--") {
                 if name.is_empty() {
                     return Err("empty option name '--'".into());
+                }
+                if let Some((key, value)) = name.split_once('=') {
+                    if key.is_empty() {
+                        return Err(format!("empty option name in {tok:?}"));
+                    }
+                    out.options.insert(key.to_string(), value.to_string());
+                    continue;
                 }
                 match iter.peek() {
                     Some(next) if !next.starts_with("--") => {
@@ -95,6 +102,36 @@ mod tests {
     #[test]
     fn empty_option_name_errors() {
         let e = Args::parse(vec!["--".to_string()]);
+        assert!(e.is_err());
+    }
+
+    #[test]
+    fn inline_equals_values() {
+        let a = parse("train cora --models=5 --method=rdd --gamma=0.5");
+        assert_eq!(a.positional, vec!["train", "cora"]);
+        assert_eq!(a.get_or("models", 1usize).unwrap(), 5);
+        assert_eq!(a.options.get("method").map(String::as_str), Some("rdd"));
+        assert_eq!(a.get_or("gamma", 0.0f32).unwrap(), 0.5);
+    }
+
+    #[test]
+    fn inline_equals_keeps_later_equals_in_value() {
+        let a = parse("--filter=key=value");
+        assert_eq!(
+            a.options.get("filter").map(String::as_str),
+            Some("key=value")
+        );
+    }
+
+    #[test]
+    fn inline_equals_empty_value_is_kept() {
+        let a = parse("--trace=");
+        assert_eq!(a.options.get("trace").map(String::as_str), Some(""));
+    }
+
+    #[test]
+    fn inline_equals_empty_key_errors() {
+        let e = Args::parse(vec!["--=5".to_string()]);
         assert!(e.is_err());
     }
 }

@@ -230,6 +230,17 @@ pub fn train(args: &Args) -> Result<(), String> {
     train_cmd_inner(args, true).map(|_| ())
 }
 
+/// `rdd trace-summary <file.jsonl>` — validate and render an RDD_TRACE file.
+pub fn trace_summary(args: &Args) -> Result<(), String> {
+    let [_, path] = args.positional.as_slice() else {
+        return Err("usage: rdd trace-summary <file.jsonl>".into());
+    };
+    let src = std::fs::read_to_string(path).map_err(|e| format!("failed to read {path}: {e}"))?;
+    let summary = rdd_obs::validate(&src).map_err(|e| format!("{path}: {e}"))?;
+    print!("{}", summary.render());
+    Ok(())
+}
+
 /// `rdd compare <preset|dir>` — every method side by side.
 pub fn compare(args: &Args) -> Result<(), String> {
     let source = args

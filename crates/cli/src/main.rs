@@ -5,7 +5,11 @@
 //! rdd info <preset|dir>                         dataset statistics (Table 2 row)
 //! rdd train <preset|dir> [--method M] [...]     train and report test accuracy
 //! rdd compare <preset|dir> [--models N]         run every method side by side
+//! rdd trace-summary <file.jsonl>                render an RDD_TRACE telemetry file
 //! ```
+//!
+//! Set `RDD_TRACE=<path|stderr>` to capture structured telemetry (JSONL) from
+//! any command; inspect it afterwards with `rdd trace-summary`.
 //!
 //! Methods: `gcn`, `gat`, `sage`, `rdd` (default), `bagging`, `bans`, `lp`,
 //! `self-training`, `co-training`, `snapshot`, `mean-teacher`.
@@ -21,8 +25,10 @@ const USAGE: &str = "usage:
   rdd train <preset|dir> [--method gcn|gat|sage|rdd|bagging|bans|lp|self-training|co-training|snapshot|mean-teacher]
             [--models N] [--seed N] [--gamma F] [--beta F] [--p F]
   rdd compare <preset|dir> [--models N] [--seed N]
+  rdd trace-summary <file.jsonl>
 
-presets: cora, citeseer, pubmed, nell, tiny";
+presets: cora, citeseer, pubmed, nell, tiny
+env: RDD_TRACE=<path|stderr|off> structured telemetry sink, RDD_THREADS=N worker pool size";
 
 fn main() {
     let args = match Args::parse(std::env::args().skip(1)) {
@@ -45,12 +51,15 @@ fn main() {
         "info" => commands::info(&args),
         "train" => commands::train(&args),
         "compare" => commands::compare(&args),
+        "trace-summary" => commands::trace_summary(&args),
         "help" | "--help" => {
             println!("{USAGE}");
             Ok(())
         }
         other => Err(format!("unknown command {other:?}\n{USAGE}")),
     };
+    // Push any buffered telemetry out before exiting, on both paths.
+    rdd_obs::flush();
     if let Err(e) = result {
         eprintln!("error: {e}");
         std::process::exit(1);

@@ -364,8 +364,29 @@ impl RddTrainer {
             let mut student = self.new_student(&ctx, &mut rng);
 
             let report = if t == 0 {
-                // Line 2: the first student is a plain GCN.
-                train(student.as_mut(), &ctx, dataset, &cfg.train, &mut rng, None)
+                // Line 2: the first student is a plain GCN. The hook adds no
+                // loss terms; it only stages zeroed RDD telemetry so epoch
+                // records keep a uniform schema across members (no-op with
+                // tracing off).
+                let mut hook = |_tape: &mut Tape, _logits: Var, _epoch: usize| {
+                    rdd_obs::stage_rdd_epoch(rdd_obs::RddEpochExtra {
+                        member: 0,
+                        gamma: f32::NAN,
+                        agreement: f32::NAN,
+                        teacher_entropy_thresh: f32::NAN,
+                        student_entropy_thresh: f32::NAN,
+                        ..Default::default()
+                    });
+                    Vec::new()
+                };
+                train(
+                    student.as_mut(),
+                    &ctx,
+                    dataset,
+                    &cfg.train,
+                    &mut rng,
+                    Some(&mut hook),
+                )
             } else {
                 // Freeze the teacher's outputs for this round.
                 let teacher_proba = ensemble.proba();
@@ -382,6 +403,12 @@ impl RddTrainer {
                     Rc::new(all_edges.iter().map(|&e| edge_weight(e)).collect());
                 let is_labeled_ref = &is_labeled;
                 let edge_weight = &edge_weight;
+                // Telemetry inputs, gathered only when tracing is on: the
+                // teacher's hard predictions (for the agreement rate) and the
+                // current ensemble weights (the `alpha` array of each epoch
+                // record).
+                let teacher_pred = rdd_obs::enabled().then(|| teacher_proba.argmax_rows());
+                let member_alphas = ensemble.alphas();
 
                 let mut hook = move |tape: &mut Tape, logits: Var, epoch: usize| {
                     let mut terms: Vec<(Var, f32)> = Vec::with_capacity(2);
@@ -403,8 +430,22 @@ impl RddTrainer {
                             &student_proba.argmax_rows(),
                         )
                     };
+                    // Capture set sizes/thresholds before `sets.distill` and
+                    // `sets.edges` are moved into the loss terms below.
+                    let staged = teacher_pred.as_ref().map(|tp| {
+                        (
+                            sets.num_reliable(),
+                            sets.distill.len(),
+                            sets.edges.len(),
+                            rdd_obs::agreement_rate(tp, &student_proba.argmax_rows()),
+                            sets.teacher_entropy_threshold,
+                            sets.student_entropy_threshold,
+                        )
+                    });
+                    let gamma = cosine_gamma(gamma_initial, epoch, total_epochs);
+                    let mut l2_val = 0.0f32;
+                    let mut lreg_val = 0.0f32;
                     if abl.use_l2 && !sets.distill.is_empty() {
-                        let gamma = cosine_gamma(gamma_initial, epoch, total_epochs);
                         if gamma > 0.0 {
                             let idx = Rc::new(sets.distill);
                             let l2 = match distill {
@@ -420,6 +461,9 @@ impl RddTrainer {
                                     tape.soft_ce_masked(logp, Rc::clone(&teacher_proba_rc), idx)
                                 }
                             };
+                            if staged.is_some() {
+                                l2_val = tape.scalar(l2);
+                            }
                             terms.push((l2, gamma));
                         }
                     }
@@ -437,8 +481,26 @@ impl RddTrainer {
                             // confidence growth and hurts accuracy.
                             let probs = tape.softmax(logits);
                             let lreg = tape.edge_reg_weighted(probs, edges, weights);
+                            if staged.is_some() {
+                                lreg_val = tape.scalar(lreg);
+                            }
                             terms.push((lreg, beta));
                         }
+                    }
+                    if let Some((v_r, v_b, e_r, agreement, t_thresh, s_thresh)) = staged {
+                        rdd_obs::stage_rdd_epoch(rdd_obs::RddEpochExtra {
+                            member: t,
+                            l2: l2_val,
+                            lreg: lreg_val,
+                            gamma,
+                            v_r,
+                            v_b,
+                            e_r,
+                            agreement,
+                            teacher_entropy_thresh: t_thresh,
+                            student_entropy_thresh: s_thresh,
+                            alpha: member_alphas.clone(),
+                        });
                     }
                     terms
                 };
@@ -463,6 +525,7 @@ impl RddTrainer {
             let pred = proba.argmax_rows();
             let test_acc = dataset.test_accuracy(&pred);
             let val_acc = dataset.val_accuracy(&pred);
+            rdd_obs::emit_member(t, alpha, val_acc, test_acc, report.epochs_run);
             base_models.push(BaseModelRecord {
                 alpha,
                 val_acc,
@@ -489,8 +552,11 @@ impl RddTrainer {
         };
 
         let ensemble_pred = ensemble.predict();
+        let ensemble_test_acc = dataset.test_accuracy(&ensemble_pred);
+        rdd_obs::emit_run(ensemble_test_acc, last_single_test, cfg.num_base_models);
+        rdd_obs::flush();
         RddOutcome {
-            ensemble_test_acc: dataset.test_accuracy(&ensemble_pred),
+            ensemble_test_acc,
             ensemble_val_acc: dataset.val_accuracy(&ensemble_pred),
             single_test_acc: last_single_test,
             base_models,

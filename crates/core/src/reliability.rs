@@ -34,6 +34,13 @@ pub struct ReliabilitySets {
     pub distill: Vec<usize>,
     /// `E_r`: reliable edges.
     pub edges: Vec<(u32, u32)>,
+    /// The teacher-entropy cut actually used for unlabeled reliability
+    /// (Alg. 1 line 2); `NaN` when no percentile was applied (the WNR
+    /// ablation). Surfaced in the epoch telemetry.
+    pub teacher_entropy_threshold: f32,
+    /// The student-entropy cut for the distillation set (Alg. 1 line 6);
+    /// `NaN` when no percentile was applied.
+    pub student_entropy_threshold: f32,
 }
 
 impl ReliabilitySets {
@@ -133,6 +140,8 @@ pub fn compute_reliability(
         reliable,
         distill,
         edges,
+        teacher_entropy_threshold: teacher_thresh,
+        student_entropy_threshold: student_thresh,
     }
 }
 
@@ -150,6 +159,8 @@ pub fn all_nodes_reliable(n: usize, graph: &Graph, student_pred: &[usize]) -> Re
         reliable: vec![true; n],
         distill: (0..n).collect(),
         edges,
+        teacher_entropy_threshold: f32::NAN,
+        student_entropy_threshold: f32::NAN,
     }
 }
 

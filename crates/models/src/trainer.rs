@@ -174,10 +174,23 @@ pub fn train(
         opt.step(model.params_mut(), &grads);
 
         // --- validation (eval-mode forward) ---
-        let val_acc = {
-            let preds = predict(model, ctx);
-            accuracy_over(&data.labels, &preds, &data.val_idx)
-        };
+        let preds = predict(model, ctx);
+        let val_acc = accuracy_over(&data.labels, &preds, &data.val_idx);
+        if rdd_obs::enabled() {
+            // Epoch telemetry: the supervised term alone (`l1`) plus the
+            // split accuracies; RDD's loss hook stages its own extra fields
+            // (L2/Lreg/γ/|V_r|/...) which `emit` merges into the record.
+            rdd_obs::EpochTelemetry {
+                model: model.name(),
+                epoch,
+                loss: last_loss,
+                l1: tape.scalar(ce),
+                train_acc: accuracy_over(&data.labels, &preds, &data.train_idx),
+                val_acc,
+                test_acc: accuracy_over(&data.labels, &preds, &data.test_idx),
+            }
+            .emit();
+        }
         if val_acc > best_val {
             best_val = val_acc;
             best_epoch = epoch;

@@ -1,0 +1,48 @@
+//! `rdd-obs` — std-only structured telemetry for the RDD reproduction.
+//!
+//! The crate has three layers:
+//!
+//! - [`json`]: a hand-rolled compact JSON encoder + parser (the offline
+//!   dependency set has no `serde`). Non-finite floats encode as `null`.
+//! - [`recorder`]: the global JSONL recorder. Sink selected by
+//!   `RDD_TRACE=<path|stderr|off>`; per-thread line buffers; `static` metric
+//!   cells ([`SpanCell`], [`CounterCell`], [`GaugeCell`]) whose disabled
+//!   cost is one atomic load + branch.
+//! - [`telemetry`] / [`summarize`]: the domain event schema (epoch / member /
+//!   run records from the training loop) and the offline validator +
+//!   renderer behind `rdd trace-summary`.
+//!
+//! ## Event schema
+//!
+//! One JSON object per line; every event has `ev` (kind) and `t_ms`
+//! (monotonic ms since the recorder first ran). Kinds emitted by this repo:
+//!
+//! | `ev`        | fields                                                                 |
+//! |-------------|------------------------------------------------------------------------|
+//! | `epoch`     | `model member epoch loss l1 l2 lreg gamma v_r v_b e_r agreement teacher_entropy_thresh student_entropy_thresh alpha[] train_acc val_acc test_acc` (RDD-only fields `null` for plain baselines) |
+//! | `member`    | `member alpha val_acc test_acc epochs`                                 |
+//! | `run`       | `ensemble_test_acc single_test_acc members`                            |
+//! | `kernel`    | `name calls total_ms` — cumulative snapshot, last one wins             |
+//! | `counter`   | `name value` — cumulative snapshot                                     |
+//! | `gauge`     | `name value` — last/peak value                                         |
+//! | `pool_init` | `threads` — resolved worker-pool width                                 |
+//! | `warn`      | `msg`                                                                  |
+//!
+//! Unknown kinds are preserved by the parser (forward compatible); binaries
+//! may add their own (the bench diagnostics emit `reliability_diag` and
+//! `sweep` records).
+
+pub mod json;
+pub mod recorder;
+pub mod summarize;
+pub mod telemetry;
+
+pub use json::{parse, Json};
+pub use recorder::{
+    disable, enabled, event, flush, init_file, init_stderr, warn, CounterCell, GaugeCell, SpanCell,
+    SpanGuard,
+};
+pub use summarize::{render_table, validate, TraceSummary};
+pub use telemetry::{
+    agreement_rate, emit_member, emit_run, stage_rdd_epoch, EpochTelemetry, RddEpochExtra,
+};

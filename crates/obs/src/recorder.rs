@@ -1,0 +1,609 @@
+//! The global recorder: JSONL events, counters, gauges and RAII spans.
+//!
+//! ## Contract
+//!
+//! The sink is selected once per process by the `RDD_TRACE` environment
+//! variable — a file path (truncated at open), the keyword `stderr`, or
+//! `off`/empty/unset for disabled — and can be overridden programmatically
+//! with [`init_file`] / [`init_stderr`] / [`disable`] (tests and tools do
+//! this; the env is only consulted lazily, on the first recorder call).
+//!
+//! ## Overhead budget
+//!
+//! Every public entry point starts with [`enabled`], a single relaxed-ish
+//! atomic load plus one predictable branch, so a disabled recorder costs
+//! ~1 ns per call site and allocates nothing. Metric cells
+//! ([`SpanCell`]/[`CounterCell`]/[`GaugeCell`]) are `static`s at the call
+//! site: when enabled they update plain atomics — no locks on the hot path.
+//! Events are encoded on the emitting thread into a per-thread buffer
+//! (registered in a global list so [`flush`] can drain every thread), and
+//! buffers are written to the sink a batch at a time under a single mutex,
+//! whole lines only — concurrent writers cannot tear a line.
+//!
+//! Timestamps are monotonic milliseconds since the first recorder call
+//! (`Instant`-based; wall-clock time never enters the trace).
+
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+// `super::` (not `crate::`) so these sources also work when mounted as a
+// module via `#[path]` in the registry-less tools binaries.
+use super::json::Json;
+
+const UNINIT: u8 = 0;
+const OFF: u8 = 1;
+const ON: u8 = 2;
+
+static STATE: AtomicU8 = AtomicU8::new(UNINIT);
+static SINK: Mutex<Option<Sink>> = Mutex::new(None);
+/// Per-thread line buffers, registered on first use so `flush` sees them all.
+static BUFFERS: Mutex<Vec<Arc<Mutex<Vec<String>>>>> = Mutex::new(Vec::new());
+static SPANS: Mutex<Vec<&'static SpanCell>> = Mutex::new(Vec::new());
+static COUNTERS: Mutex<Vec<&'static CounterCell>> = Mutex::new(Vec::new());
+static GAUGES: Mutex<Vec<&'static GaugeCell>> = Mutex::new(Vec::new());
+
+/// Lines buffered per thread before an automatic drain to the sink.
+const BUFFER_LINES: usize = 64;
+
+enum Sink {
+    Stderr,
+    File(BufWriter<std::fs::File>),
+}
+
+impl Sink {
+    fn write_lines(&mut self, lines: &[String]) {
+        let write_to = |w: &mut dyn Write| {
+            for line in lines {
+                // Whole-line writes; a failing sink must never panic the
+                // training loop, so errors are swallowed.
+                let _ = w.write_all(line.as_bytes());
+                let _ = w.write_all(b"\n");
+            }
+        };
+        match self {
+            Sink::Stderr => write_to(&mut std::io::stderr().lock()),
+            Sink::File(w) => write_to(w),
+        }
+    }
+
+    fn flush_inner(&mut self) {
+        if let Sink::File(w) = self {
+            let _ = w.flush();
+        }
+    }
+}
+
+fn origin() -> Instant {
+    static ORIGIN: OnceLock<Instant> = OnceLock::new();
+    *ORIGIN.get_or_init(Instant::now)
+}
+
+/// Monotonic milliseconds since the recorder first ran.
+fn now_ms() -> f64 {
+    origin().elapsed().as_secs_f64() * 1e3
+}
+
+/// Whether tracing is on. The fast path is one atomic load and a branch;
+/// the first call per process resolves `RDD_TRACE`.
+#[inline]
+pub fn enabled() -> bool {
+    match STATE.load(Ordering::Acquire) {
+        ON => true,
+        OFF => false,
+        _ => init_from_env(),
+    }
+}
+
+#[cold]
+fn init_from_env() -> bool {
+    let mut sink = SINK.lock().unwrap();
+    // Another thread may have initialized while we waited for the lock.
+    match STATE.load(Ordering::Acquire) {
+        ON => return true,
+        OFF => return false,
+        _ => {}
+    }
+    origin();
+    let target = std::env::var("RDD_TRACE").unwrap_or_default();
+    let new_sink = match target.as_str() {
+        "" | "off" | "0" => None,
+        "stderr" => Some(Sink::Stderr),
+        path => match std::fs::File::create(path) {
+            Ok(f) => Some(Sink::File(BufWriter::new(f))),
+            Err(e) => {
+                eprintln!("rdd-obs: cannot open RDD_TRACE={path:?}: {e}; tracing disabled");
+                None
+            }
+        },
+    };
+    let on = new_sink.is_some();
+    *sink = new_sink;
+    STATE.store(if on { ON } else { OFF }, Ordering::Release);
+    on
+}
+
+/// Route events to `path` (truncating it), overriding `RDD_TRACE`.
+pub fn init_file(path: &Path) -> std::io::Result<()> {
+    let file = std::fs::File::create(path)?;
+    flush();
+    let mut sink = SINK.lock().unwrap();
+    origin();
+    if let Some(s) = sink.as_mut() {
+        s.flush_inner();
+    }
+    *sink = Some(Sink::File(BufWriter::new(file)));
+    STATE.store(ON, Ordering::Release);
+    Ok(())
+}
+
+/// Route events to stderr, overriding `RDD_TRACE`.
+pub fn init_stderr() {
+    flush();
+    let mut sink = SINK.lock().unwrap();
+    origin();
+    *sink = Some(Sink::Stderr);
+    STATE.store(ON, Ordering::Release);
+}
+
+/// Flush and drop the sink; subsequent recorder calls are no-ops (until a
+/// later `init_*` call re-enables tracing).
+pub fn disable() {
+    flush();
+    let mut sink = SINK.lock().unwrap();
+    if let Some(s) = sink.as_mut() {
+        s.flush_inner();
+    }
+    *sink = None;
+    STATE.store(OFF, Ordering::Release);
+}
+
+fn local_buffer() -> Arc<Mutex<Vec<String>>> {
+    thread_local! {
+        static LOCAL: Arc<Mutex<Vec<String>>> = {
+            let buf = Arc::new(Mutex::new(Vec::new()));
+            BUFFERS.lock().unwrap().push(Arc::clone(&buf));
+            buf
+        };
+    }
+    LOCAL.with(Arc::clone)
+}
+
+/// Emit one event named `name` with the given fields (plus `ev` and `t_ms`).
+/// No-op when tracing is off.
+pub fn event(name: &str, fields: &[(&str, Json)]) {
+    if !enabled() {
+        return;
+    }
+    let mut obj = Vec::with_capacity(fields.len() + 2);
+    obj.push(("ev".to_string(), Json::from(name)));
+    obj.push(("t_ms".to_string(), Json::Num(now_ms())));
+    for (k, v) in fields {
+        obj.push((k.to_string(), v.clone()));
+    }
+    let mut line = String::with_capacity(64);
+    Json::Obj(obj).write(&mut line);
+    let buf = local_buffer();
+    let full = {
+        let mut lines = buf.lock().unwrap();
+        lines.push(line);
+        lines.len() >= BUFFER_LINES
+    };
+    if full {
+        drain_one(&buf);
+    }
+}
+
+/// A warning that must reach a human: the trace when tracing is on, stderr
+/// otherwise.
+pub fn warn(msg: &str) {
+    if enabled() {
+        event("warn", &[("msg", Json::from(msg))]);
+    } else {
+        eprintln!("{msg}");
+    }
+}
+
+fn drain_one(buf: &Arc<Mutex<Vec<String>>>) {
+    let lines: Vec<String> = std::mem::take(&mut *buf.lock().unwrap());
+    if lines.is_empty() {
+        return;
+    }
+    if let Some(sink) = SINK.lock().unwrap().as_mut() {
+        sink.write_lines(&lines);
+    }
+}
+
+/// Drain every thread's buffer, append a cumulative metrics snapshot
+/// (`kernel` / `counter` / `gauge` events), and flush the sink. Cheap no-op
+/// when tracing is off. Call at the end of a run (the trainer and the CLI
+/// already do).
+pub fn flush() {
+    if STATE.load(Ordering::Acquire) != ON {
+        return;
+    }
+    let mut lines: Vec<String> = Vec::new();
+    {
+        let buffers = BUFFERS.lock().unwrap();
+        for buf in buffers.iter() {
+            lines.append(&mut buf.lock().unwrap());
+        }
+    }
+    lines.extend(metric_snapshot_lines());
+    let mut sink = SINK.lock().unwrap();
+    if let Some(s) = sink.as_mut() {
+        s.write_lines(&lines);
+        s.flush_inner();
+    }
+}
+
+/// Encode the cumulative state of every registered metric cell.
+fn metric_snapshot_lines() -> Vec<String> {
+    let mut out = Vec::new();
+    let mut push = |obj: Vec<(String, Json)>| {
+        let mut line = String::with_capacity(64);
+        Json::Obj(obj).write(&mut line);
+        out.push(line);
+    };
+    for cell in SPANS.lock().unwrap().iter() {
+        let calls = cell.count.load(Ordering::Relaxed);
+        let ns = cell.ns.load(Ordering::Relaxed);
+        push(vec![
+            ("ev".into(), Json::from("kernel")),
+            ("t_ms".into(), Json::Num(now_ms())),
+            ("name".into(), Json::from(cell.name)),
+            ("calls".into(), Json::from(calls)),
+            ("total_ms".into(), Json::Num(ns as f64 / 1e6)),
+        ]);
+    }
+    for cell in COUNTERS.lock().unwrap().iter() {
+        push(vec![
+            ("ev".into(), Json::from("counter")),
+            ("t_ms".into(), Json::Num(now_ms())),
+            ("name".into(), Json::from(cell.name)),
+            (
+                "value".into(),
+                Json::from(cell.value.load(Ordering::Relaxed)),
+            ),
+        ]);
+    }
+    for cell in GAUGES.lock().unwrap().iter() {
+        push(vec![
+            ("ev".into(), Json::from("gauge")),
+            ("t_ms".into(), Json::Num(now_ms())),
+            ("name".into(), Json::from(cell.name)),
+            (
+                "value".into(),
+                Json::from(cell.value.load(Ordering::Relaxed)),
+            ),
+        ]);
+    }
+    out
+}
+
+/// Wall-time aggregation for one kernel. Declare one `static` per kernel and
+/// guard the kernel body with [`SpanCell::enter`]:
+///
+/// ```
+/// static MATMUL: rdd_obs::SpanCell = rdd_obs::SpanCell::new("matmul");
+/// fn matmul_kernel() {
+///     let _span = MATMUL.enter();
+///     // ... kernel body ...
+/// }
+/// ```
+///
+/// Totals are cumulative per process and appear as `kernel` events at every
+/// [`flush`] (a summary reads the last snapshot per name).
+pub struct SpanCell {
+    name: &'static str,
+    count: AtomicU64,
+    ns: AtomicU64,
+    registered: AtomicBool,
+}
+
+impl SpanCell {
+    /// A new cell; `const` so it can be a `static` at the call site.
+    pub const fn new(name: &'static str) -> Self {
+        Self {
+            name,
+            count: AtomicU64::new(0),
+            ns: AtomicU64::new(0),
+            registered: AtomicBool::new(false),
+        }
+    }
+
+    /// Start timing; the returned guard records on drop. One atomic load
+    /// when tracing is off.
+    #[inline]
+    pub fn enter(&'static self) -> SpanGuard {
+        if !enabled() {
+            return SpanGuard(None);
+        }
+        if !self.registered.swap(true, Ordering::Relaxed) {
+            SPANS.lock().unwrap().push(self);
+        }
+        SpanGuard(Some((self, Instant::now())))
+    }
+
+    /// Cumulative `(calls, total_ns)` so far.
+    pub fn snapshot(&self) -> (u64, u64) {
+        (
+            self.count.load(Ordering::Relaxed),
+            self.ns.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// RAII timing guard returned by [`SpanCell::enter`].
+pub struct SpanGuard(Option<(&'static SpanCell, Instant)>);
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some((cell, start)) = self.0 {
+            cell.count.fetch_add(1, Ordering::Relaxed);
+            cell.ns
+                .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        }
+    }
+}
+
+/// A monotonically increasing counter (e.g. tasks submitted to the pool).
+pub struct CounterCell {
+    name: &'static str,
+    value: AtomicU64,
+    registered: AtomicBool,
+}
+
+impl CounterCell {
+    /// A new cell; `const` so it can be a `static` at the call site.
+    pub const fn new(name: &'static str) -> Self {
+        Self {
+            name,
+            value: AtomicU64::new(0),
+            registered: AtomicBool::new(false),
+        }
+    }
+
+    /// Add `n`; no-op when tracing is off.
+    #[inline]
+    pub fn add(&'static self, n: u64) {
+        if !enabled() {
+            return;
+        }
+        if !self.registered.swap(true, Ordering::Relaxed) {
+            COUNTERS.lock().unwrap().push(self);
+        }
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The cumulative count so far.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-value / peak-value gauge (e.g. pool queue occupancy).
+pub struct GaugeCell {
+    name: &'static str,
+    value: AtomicU64,
+    registered: AtomicBool,
+}
+
+impl GaugeCell {
+    /// A new cell; `const` so it can be a `static` at the call site.
+    pub const fn new(name: &'static str) -> Self {
+        Self {
+            name,
+            value: AtomicU64::new(0),
+            registered: AtomicBool::new(false),
+        }
+    }
+
+    #[inline]
+    fn register(&'static self) {
+        if !self.registered.swap(true, Ordering::Relaxed) {
+            GAUGES.lock().unwrap().push(self);
+        }
+    }
+
+    /// Store `v`; no-op when tracing is off.
+    #[inline]
+    pub fn set(&'static self, v: u64) {
+        if !enabled() {
+            return;
+        }
+        self.register();
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Raise the gauge to `v` if above the stored value (peak tracking);
+    /// no-op when tracing is off.
+    #[inline]
+    pub fn record_max(&'static self, v: u64) {
+        if !enabled() {
+            return;
+        }
+        self.register();
+        self.value.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// The stored value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::super::json::parse;
+    use super::*;
+
+    /// The recorder is process-global; tests that toggle it must not
+    /// interleave.
+    pub(crate) static GLOBAL_LOCK: Mutex<()> = Mutex::new(());
+
+    pub(crate) fn lock() -> std::sync::MutexGuard<'static, ()> {
+        GLOBAL_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn temp_path(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!(
+            "rdd_obs_{tag}_{}_{:?}.jsonl",
+            std::process::id(),
+            std::thread::current().id()
+        ))
+    }
+
+    fn read_events(path: &Path) -> Vec<Json> {
+        std::fs::read_to_string(path)
+            .expect("trace file readable")
+            .lines()
+            .map(|l| parse(l).expect("well-formed line"))
+            .collect()
+    }
+
+    #[test]
+    fn events_reach_the_file_sink() {
+        let _g = lock();
+        let path = temp_path("file_sink");
+        init_file(&path).unwrap();
+        event("unit", &[("k", Json::from(1usize))]);
+        event("unit", &[("k", Json::from("two"))]);
+        flush();
+        disable();
+        let events: Vec<Json> = read_events(&path)
+            .into_iter()
+            .filter(|e| e.get("ev").and_then(Json::as_str) == Some("unit"))
+            .collect();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].get("k").and_then(Json::as_f64), Some(1.0));
+        assert_eq!(events[1].get("k").and_then(Json::as_str), Some("two"));
+        assert!(events[0].get("t_ms").and_then(Json::as_f64).is_some());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn disabled_recorder_drops_everything() {
+        let _g = lock();
+        disable();
+        event("ignored", &[]);
+        let c: &'static CounterCell = {
+            static C: CounterCell = CounterCell::new("test.disabled_counter");
+            &C
+        };
+        c.add(5);
+        assert_eq!(c.get(), 0, "disabled counter must not move");
+        // Re-enable into a file and confirm the dropped event is not
+        // retroactively written.
+        let path = temp_path("disabled");
+        init_file(&path).unwrap();
+        flush();
+        disable();
+        assert!(read_events(&path)
+            .iter()
+            .all(|e| e.get("ev").and_then(Json::as_str) != Some("ignored")));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn metrics_snapshot_appears_on_flush() {
+        let _g = lock();
+        let path = temp_path("metrics");
+        init_file(&path).unwrap();
+        static SPAN: SpanCell = SpanCell::new("test.span");
+        static COUNT: CounterCell = CounterCell::new("test.count");
+        static GAUGE: GaugeCell = GaugeCell::new("test.gauge");
+        {
+            let _s = SPAN.enter();
+        }
+        {
+            let _s = SPAN.enter();
+        }
+        COUNT.add(3);
+        GAUGE.record_max(7);
+        GAUGE.record_max(2);
+        flush();
+        disable();
+        let events = read_events(&path);
+        let kernel = events
+            .iter()
+            .find(|e| {
+                e.get("ev").and_then(Json::as_str) == Some("kernel")
+                    && e.get("name").and_then(Json::as_str) == Some("test.span")
+            })
+            .expect("kernel snapshot present");
+        assert_eq!(kernel.get("calls").and_then(Json::as_f64), Some(2.0));
+        assert!(kernel.get("total_ms").and_then(Json::as_f64).unwrap() >= 0.0);
+        let counter = events
+            .iter()
+            .find(|e| {
+                e.get("ev").and_then(Json::as_str) == Some("counter")
+                    && e.get("name").and_then(Json::as_str) == Some("test.count")
+            })
+            .expect("counter snapshot present");
+        assert_eq!(counter.get("value").and_then(Json::as_f64), Some(3.0));
+        let gauge = events
+            .iter()
+            .find(|e| {
+                e.get("ev").and_then(Json::as_str) == Some("gauge")
+                    && e.get("name").and_then(Json::as_str) == Some("test.gauge")
+            })
+            .expect("gauge snapshot present");
+        assert_eq!(gauge.get("value").and_then(Json::as_f64), Some(7.0));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn warn_goes_to_trace_when_enabled() {
+        let _g = lock();
+        let path = temp_path("warn");
+        init_file(&path).unwrap();
+        warn("a test warning");
+        flush();
+        disable();
+        let events = read_events(&path);
+        assert!(events.iter().any(|e| {
+            e.get("ev").and_then(Json::as_str) == Some("warn")
+                && e.get("msg").and_then(Json::as_str) == Some("a test warning")
+        }));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn many_threads_lose_no_events() {
+        let _g = lock();
+        let path = temp_path("hammer");
+        init_file(&path).unwrap();
+        let threads = 8;
+        let per_thread = 500;
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                scope.spawn(move || {
+                    for i in 0..per_thread {
+                        event("hammer", &[("t", Json::from(t)), ("i", Json::from(i))]);
+                    }
+                });
+            }
+        });
+        flush();
+        disable();
+        let mut seen = vec![vec![false; per_thread]; threads];
+        for e in read_events(&path) {
+            if e.get("ev").and_then(Json::as_str) != Some("hammer") {
+                continue;
+            }
+            let t = e.get("t").and_then(Json::as_f64).unwrap() as usize;
+            let i = e.get("i").and_then(Json::as_f64).unwrap() as usize;
+            assert!(!seen[t][i], "duplicate event t={t} i={i}");
+            seen[t][i] = true;
+        }
+        for (t, row) in seen.iter().enumerate() {
+            for (i, &s) in row.iter().enumerate() {
+                assert!(s, "lost event t={t} i={i}");
+            }
+        }
+        std::fs::remove_file(&path).ok();
+    }
+}

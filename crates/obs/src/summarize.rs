@@ -1,0 +1,444 @@
+//! Offline consumption of a JSONL trace: parse, validate against the event
+//! schema, and render the per-epoch table plus kernel-time breakdown that
+//! `rdd trace-summary <file.jsonl>` prints.
+
+use super::json::{parse, Json};
+
+/// Cumulative wall time of one kernel (last snapshot in the trace wins —
+/// snapshots are cumulative per process).
+#[derive(Clone, Debug)]
+pub struct KernelStat {
+    pub name: String,
+    pub calls: f64,
+    pub total_ms: f64,
+}
+
+/// Everything a trace contains, grouped by event kind.
+#[derive(Debug, Default)]
+pub struct TraceSummary {
+    /// `epoch` events, in trace order.
+    pub epochs: Vec<Json>,
+    /// `member` events (one per trained ensemble member).
+    pub members: Vec<Json>,
+    /// `run` events (final outcomes).
+    pub runs: Vec<Json>,
+    /// Last cumulative snapshot per kernel name.
+    pub kernels: Vec<KernelStat>,
+    /// Last value per counter name.
+    pub counters: Vec<(String, f64)>,
+    /// Last value per gauge name.
+    pub gauges: Vec<(String, f64)>,
+    /// `warn` event messages.
+    pub warnings: Vec<String>,
+    /// Events of kinds this module does not aggregate (kept for callers).
+    pub other: Vec<Json>,
+    /// Total number of events parsed.
+    pub total_events: usize,
+}
+
+fn upsert(slot: &mut Vec<(String, f64)>, name: &str, value: f64) {
+    match slot.iter_mut().find(|(n, _)| n == name) {
+        Some(entry) => entry.1 = value,
+        None => slot.push((name.to_string(), value)),
+    }
+}
+
+impl TraceSummary {
+    /// Parse a JSONL trace. Fails with a line number on the first malformed
+    /// line; every event must carry a string `ev` and numeric `t_ms`.
+    pub fn parse(src: &str) -> Result<Self, String> {
+        let mut out = TraceSummary::default();
+        for (idx, line) in src.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let lineno = idx + 1;
+            let event = parse(line).map_err(|e| format!("line {lineno}: {e}"))?;
+            let kind = event
+                .get("ev")
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("line {lineno}: missing string field \"ev\""))?
+                .to_string();
+            event
+                .get("t_ms")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("line {lineno}: missing numeric field \"t_ms\""))?;
+            out.total_events += 1;
+            match kind.as_str() {
+                "epoch" => {
+                    validate_epoch(&event).map_err(|e| format!("line {lineno}: {e}"))?;
+                    out.epochs.push(event);
+                }
+                "member" => out.members.push(event),
+                "run" => out.runs.push(event),
+                "kernel" => {
+                    let name =
+                        req_str(&event, "name").map_err(|e| format!("line {lineno}: {e}"))?;
+                    let calls =
+                        req_num(&event, "calls").map_err(|e| format!("line {lineno}: {e}"))?;
+                    let total_ms =
+                        req_num(&event, "total_ms").map_err(|e| format!("line {lineno}: {e}"))?;
+                    match out.kernels.iter_mut().find(|k| k.name == name) {
+                        Some(k) => {
+                            k.calls = calls;
+                            k.total_ms = total_ms;
+                        }
+                        None => out.kernels.push(KernelStat {
+                            name,
+                            calls,
+                            total_ms,
+                        }),
+                    }
+                }
+                "counter" | "gauge" => {
+                    let name =
+                        req_str(&event, "name").map_err(|e| format!("line {lineno}: {e}"))?;
+                    let value =
+                        req_num(&event, "value").map_err(|e| format!("line {lineno}: {e}"))?;
+                    let slot = if kind == "counter" {
+                        &mut out.counters
+                    } else {
+                        &mut out.gauges
+                    };
+                    upsert(slot, &name, value);
+                }
+                "warn" => {
+                    out.warnings
+                        .push(req_str(&event, "msg").map_err(|e| format!("line {lineno}: {e}"))?);
+                }
+                _ => out.other.push(event),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Render the human-facing summary: per-epoch table, member table,
+    /// kernel-time breakdown, counters/gauges, warnings.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        if !self.epochs.is_empty() {
+            out.push_str(&format!("Epochs ({} records)\n", self.epochs.len()));
+            let headers = [
+                "model", "mem", "epoch", "loss", "l1", "l2", "lreg", "gamma", "v_r", "v_b", "e_r",
+                "agree", "alpha", "train", "val", "test",
+            ];
+            let keys = [
+                "model",
+                "member",
+                "epoch",
+                "loss",
+                "l1",
+                "l2",
+                "lreg",
+                "gamma",
+                "v_r",
+                "v_b",
+                "e_r",
+                "agreement",
+                "alpha",
+                "train_acc",
+                "val_acc",
+                "test_acc",
+            ];
+            let rows: Vec<Vec<String>> = self
+                .epochs
+                .iter()
+                .map(|e| keys.iter().map(|k| fmt_field(e.get(k))).collect())
+                .collect();
+            out.push_str(&render_table(&headers, &rows));
+        }
+        if !self.members.is_empty() {
+            out.push_str("\nEnsemble members\n");
+            let headers = ["mem", "alpha", "val", "test", "epochs"];
+            let keys = ["member", "alpha", "val_acc", "test_acc", "epochs"];
+            let rows: Vec<Vec<String>> = self
+                .members
+                .iter()
+                .map(|e| keys.iter().map(|k| fmt_field(e.get(k))).collect())
+                .collect();
+            out.push_str(&render_table(&headers, &rows));
+        }
+        for run in &self.runs {
+            out.push_str(&format!(
+                "\nRun: ensemble test acc {}  single test acc {}  members {}\n",
+                fmt_field(run.get("ensemble_test_acc")),
+                fmt_field(run.get("single_test_acc")),
+                fmt_field(run.get("members")),
+            ));
+        }
+        if !self.kernels.is_empty() {
+            out.push_str("\nKernel time\n");
+            let mut kernels: Vec<&KernelStat> = self.kernels.iter().collect();
+            kernels.sort_by(|a, b| b.total_ms.total_cmp(&a.total_ms));
+            let rows: Vec<Vec<String>> = kernels
+                .iter()
+                .map(|k| {
+                    let per_call = if k.calls > 0.0 {
+                        k.total_ms / k.calls
+                    } else {
+                        0.0
+                    };
+                    vec![
+                        k.name.clone(),
+                        format!("{}", k.calls),
+                        format!("{:.3}", k.total_ms),
+                        format!("{:.4}", per_call),
+                    ]
+                })
+                .collect();
+            out.push_str(&render_table(
+                &["kernel", "calls", "total_ms", "ms/call"],
+                &rows,
+            ));
+        }
+        if !self.counters.is_empty() || !self.gauges.is_empty() {
+            out.push_str("\nCounters & gauges\n");
+            let rows: Vec<Vec<String>> = self
+                .counters
+                .iter()
+                .map(|(n, v)| vec![n.clone(), "counter".into(), format!("{v}")])
+                .chain(
+                    self.gauges
+                        .iter()
+                        .map(|(n, v)| vec![n.clone(), "gauge".into(), format!("{v}")]),
+                )
+                .collect();
+            out.push_str(&render_table(&["name", "kind", "value"], &rows));
+        }
+        for w in &self.warnings {
+            out.push_str(&format!("\nwarning: {w}\n"));
+        }
+        if out.is_empty() {
+            out.push_str("(empty trace)\n");
+        }
+        out
+    }
+}
+
+/// Keys every `epoch` event must carry. RDD-only quantities may be `null`
+/// (plain baseline runs have no distillation hook) but must be present.
+const EPOCH_NUMERIC: &[&str] = &["epoch", "loss", "l1", "train_acc", "val_acc", "test_acc"];
+const EPOCH_NULLABLE: &[&str] = &[
+    "member",
+    "l2",
+    "lreg",
+    "gamma",
+    "v_r",
+    "v_b",
+    "e_r",
+    "agreement",
+    "teacher_entropy_thresh",
+    "student_entropy_thresh",
+];
+
+fn validate_epoch(event: &Json) -> Result<(), String> {
+    req_str(event, "model")?;
+    for key in EPOCH_NUMERIC {
+        req_num(event, key)?;
+    }
+    for key in EPOCH_NULLABLE {
+        match event.get(key) {
+            Some(Json::Null) | Some(Json::Num(_)) => {}
+            Some(_) => return Err(format!("epoch field {key:?} must be number or null")),
+            None => return Err(format!("epoch event missing field {key:?}")),
+        }
+    }
+    match event.get("alpha") {
+        Some(Json::Arr(a)) if a.iter().all(|v| matches!(v, Json::Num(_))) => {}
+        _ => return Err("epoch field \"alpha\" must be an array of numbers".to_string()),
+    }
+    if let (Some(v_r), Some(v_b)) = (
+        event.get("v_r").and_then(Json::as_f64),
+        event.get("v_b").and_then(Json::as_f64),
+    ) {
+        if v_b > v_r {
+            return Err(format!(
+                "epoch has v_b={v_b} > v_r={v_r} (V_b ⊆ V_r violated)"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Parse and schema-check a trace; alias for [`TraceSummary::parse`],
+/// named for the `tools/trace_check.rs` validator.
+pub fn validate(src: &str) -> Result<TraceSummary, String> {
+    TraceSummary::parse(src)
+}
+
+fn req_str(event: &Json, key: &str) -> Result<String, String> {
+    event
+        .get(key)
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| format!("missing string field {key:?}"))
+}
+
+fn req_num(event: &Json, key: &str) -> Result<f64, String> {
+    event
+        .get(key)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| format!("missing numeric field {key:?}"))
+}
+
+/// Compact cell formatting: integers without decimals, reals to 4 places,
+/// arrays joined with commas, nulls as `-`.
+fn fmt_field(v: Option<&Json>) -> String {
+    match v {
+        None | Some(Json::Null) => "-".to_string(),
+        Some(Json::Bool(b)) => b.to_string(),
+        Some(Json::Num(n)) => fmt_num(*n),
+        Some(Json::Str(s)) => s.clone(),
+        Some(Json::Arr(a)) => {
+            if a.is_empty() {
+                "-".to_string()
+            } else {
+                a.iter()
+                    .map(|x| fmt_field(Some(x)))
+                    .collect::<Vec<_>>()
+                    .join(",")
+            }
+        }
+        Some(obj @ Json::Obj(_)) => obj.to_string(),
+    }
+}
+
+fn fmt_num(n: f64) -> String {
+    if !n.is_finite() {
+        "-".to_string()
+    } else if n.fract() == 0.0 && n.abs() < 1e12 {
+        format!("{}", n as i64)
+    } else {
+        format!("{n:.4}")
+    }
+}
+
+/// Fixed-width plain-text table: first column left-aligned, the rest
+/// right-aligned. Shared by `trace-summary` and the bench binaries.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(cols) {
+            widths[i] = widths[i].max(cell.chars().count());
+        }
+    }
+    let mut out = String::new();
+    let mut write_row = |cells: &[String]| {
+        for (i, w) in widths.iter().enumerate() {
+            let cell = cells.get(i).map_or("", String::as_str);
+            if i > 0 {
+                out.push_str("  ");
+            }
+            let pad = w.saturating_sub(cell.chars().count());
+            if i == 0 {
+                out.push_str(cell);
+                if i + 1 < cols {
+                    out.push_str(&" ".repeat(pad));
+                }
+            } else {
+                out.push_str(&" ".repeat(pad));
+                out.push_str(cell);
+            }
+        }
+        while out.ends_with(' ') {
+            out.pop();
+        }
+        out.push('\n');
+    };
+    let header_cells: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+    write_row(&header_cells);
+    let rule: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+    write_row(&rule);
+    for row in rows {
+        write_row(row);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn epoch_line(epoch: usize, v_r: usize, v_b: usize) -> String {
+        format!(
+            concat!(
+                "{{\"ev\":\"epoch\",\"t_ms\":1.5,\"model\":\"gcn\",\"member\":1,",
+                "\"epoch\":{},\"loss\":1.5,\"l1\":1.0,\"l2\":0.25,\"lreg\":0.1,",
+                "\"gamma\":0.5,\"v_r\":{},\"v_b\":{},\"e_r\":12,\"agreement\":0.9,",
+                "\"teacher_entropy_thresh\":1.2,\"student_entropy_thresh\":null,",
+                "\"alpha\":[1.0,2.0],\"train_acc\":0.9,\"val_acc\":0.8,\"test_acc\":0.7}}"
+            ),
+            epoch, v_r, v_b
+        )
+    }
+
+    #[test]
+    fn parses_and_aggregates_a_trace() {
+        let src = [
+            epoch_line(0, 100, 40),
+            epoch_line(1, 90, 30),
+            "{\"ev\":\"kernel\",\"t_ms\":2.0,\"name\":\"matmul\",\"calls\":5,\"total_ms\":1.0}"
+                .to_string(),
+            "{\"ev\":\"kernel\",\"t_ms\":3.0,\"name\":\"matmul\",\"calls\":9,\"total_ms\":2.5}"
+                .to_string(),
+            "{\"ev\":\"counter\",\"t_ms\":3.0,\"name\":\"pool.tasks\",\"value\":64}".to_string(),
+            "{\"ev\":\"warn\",\"t_ms\":3.0,\"msg\":\"careful\"}".to_string(),
+            "{\"ev\":\"pool_init\",\"t_ms\":0.1,\"threads\":8}".to_string(),
+        ]
+        .join("\n");
+        let summary = TraceSummary::parse(&src).unwrap();
+        assert_eq!(summary.epochs.len(), 2);
+        assert_eq!(summary.kernels.len(), 1);
+        assert_eq!(summary.kernels[0].calls, 9.0, "last snapshot wins");
+        assert_eq!(summary.counters, vec![("pool.tasks".to_string(), 64.0)]);
+        assert_eq!(summary.warnings, vec!["careful".to_string()]);
+        assert_eq!(summary.other.len(), 1);
+        assert_eq!(summary.total_events, 7);
+        let rendered = summary.render();
+        assert!(rendered.contains("Epochs (2 records)"));
+        assert!(rendered.contains("matmul"));
+        assert!(rendered.contains("pool.tasks"));
+        assert!(rendered.contains("warning: careful"));
+    }
+
+    #[test]
+    fn rejects_epoch_records_violating_subset_invariant() {
+        let err = TraceSummary::parse(&epoch_line(0, 40, 100)).unwrap_err();
+        assert!(err.contains("V_b ⊆ V_r"), "got: {err}");
+    }
+
+    #[test]
+    fn rejects_missing_fields_with_line_numbers() {
+        let src = format!(
+            "{}\n{{\"ev\":\"kernel\",\"t_ms\":1.0,\"name\":\"matmul\"}}",
+            epoch_line(0, 10, 5)
+        );
+        let err = TraceSummary::parse(&src).unwrap_err();
+        assert!(err.starts_with("line 2:"), "got: {err}");
+        assert!(err.contains("calls"), "got: {err}");
+
+        let err = TraceSummary::parse("{\"t_ms\":1.0}").unwrap_err();
+        assert!(err.contains("\"ev\""), "got: {err}");
+
+        let err = TraceSummary::parse("not json").unwrap_err();
+        assert!(err.starts_with("line 1:"), "got: {err}");
+    }
+
+    #[test]
+    fn renders_fixed_width_tables() {
+        let table = render_table(
+            &["name", "value"],
+            &[
+                vec!["a".to_string(), "1".to_string()],
+                vec!["longer".to_string(), "12345".to_string()],
+            ],
+        );
+        let lines: Vec<&str> = table.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert_eq!(lines[0], "name    value");
+        assert_eq!(lines[1], "------  -----");
+        assert_eq!(lines[2], "a           1");
+        assert_eq!(lines[3], "longer  12345");
+    }
+}

@@ -1,0 +1,287 @@
+//! Domain-level telemetry for the RDD training loop.
+//!
+//! The trainer (`models::trainer::train`) owns the per-epoch quantities it
+//! can see — loss, `L1`, accuracies — but the RDD-specific terms (`L2`,
+//! `Lreg`, γ, reliable-set sizes, agreement) are computed inside the loss
+//! hook closure that `RddTrainer::run` hands it. The hook stages an
+//! [`RddEpochExtra`] for the epoch via [`stage_rdd_epoch`]; the trainer then
+//! merges it into the `epoch` event with [`EpochTelemetry::emit`]. Staging is
+//! thread-local: concurrent trainers on different threads cannot cross wires.
+//!
+//! Epoch events carry a uniform schema — RDD-only fields are `null` when the
+//! run has no distillation hook (e.g. a plain GCN baseline).
+
+use std::cell::RefCell;
+
+use super::json::Json;
+use super::recorder::{enabled, event};
+
+/// RDD-specific per-epoch quantities, staged from inside the loss hook.
+#[derive(Clone, Debug, Default)]
+pub struct RddEpochExtra {
+    /// Index of the student in the sequential ensemble (0 = no teacher yet).
+    pub member: usize,
+    /// Distillation loss term (0 for member 0).
+    pub l2: f32,
+    /// Edge-regularization loss term.
+    pub lreg: f32,
+    /// Cosine-annealed distillation weight for this epoch.
+    pub gamma: f32,
+    /// |V_r|: nodes whose teacher prediction is considered reliable.
+    pub v_r: usize,
+    /// |V_b|: reliable nodes the student is still unsure about (⊆ V_r).
+    pub v_b: usize,
+    /// |E_r|: edges with both endpoints reliable.
+    pub e_r: usize,
+    /// Fraction of nodes where teacher and student argmax agree.
+    pub agreement: f32,
+    /// Entropy percentile cut for teacher reliability (NaN ⇒ `null`).
+    pub teacher_entropy_thresh: f32,
+    /// Entropy percentile cut for student certainty (NaN ⇒ `null`).
+    pub student_entropy_thresh: f32,
+    /// Current teacher-ensemble member weights (empty for member 0).
+    pub alpha: Vec<f32>,
+}
+
+thread_local! {
+    static STAGED: RefCell<Option<RddEpochExtra>> = const { RefCell::new(None) };
+}
+
+/// Stage RDD quantities for the epoch event the trainer will emit next.
+/// Call from the loss hook, once per epoch. No-op when tracing is off.
+pub fn stage_rdd_epoch(extra: RddEpochExtra) {
+    if !enabled() {
+        return;
+    }
+    STAGED.with(|s| *s.borrow_mut() = Some(extra));
+}
+
+fn take_staged() -> Option<RddEpochExtra> {
+    STAGED.with(|s| s.borrow_mut().take())
+}
+
+/// Fraction of positions where two argmax predictions agree.
+pub fn agreement_rate(teacher: &[usize], student: &[usize]) -> f32 {
+    assert_eq!(teacher.len(), student.len());
+    if teacher.is_empty() {
+        return 0.0;
+    }
+    let same = teacher.iter().zip(student).filter(|(a, b)| a == b).count();
+    same as f32 / teacher.len() as f32
+}
+
+/// One `epoch` event, emitted by the generic trainer after validation.
+#[derive(Clone, Debug)]
+pub struct EpochTelemetry<'a> {
+    pub model: &'a str,
+    pub epoch: usize,
+    /// Total optimized loss (all weighted terms).
+    pub loss: f32,
+    /// Supervised cross-entropy term alone.
+    pub l1: f32,
+    pub train_acc: f32,
+    pub val_acc: f32,
+    pub test_acc: f32,
+}
+
+impl EpochTelemetry<'_> {
+    /// Merge any staged [`RddEpochExtra`] and emit the `epoch` event.
+    /// No-op when tracing is off.
+    pub fn emit(&self) {
+        if !enabled() {
+            return;
+        }
+        let extra = take_staged();
+        let rdd = extra.as_ref();
+        let num = |f: Option<f32>| Json::Num(f.map_or(f64::NAN, f64::from));
+        let count = |f: Option<usize>| match f {
+            Some(n) => Json::from(n),
+            None => Json::Null,
+        };
+        event(
+            "epoch",
+            &[
+                ("model", Json::from(self.model)),
+                ("member", count(rdd.map(|r| r.member))),
+                ("epoch", Json::from(self.epoch)),
+                ("loss", Json::from(self.loss)),
+                ("l1", Json::from(self.l1)),
+                ("l2", num(rdd.map(|r| r.l2))),
+                ("lreg", num(rdd.map(|r| r.lreg))),
+                ("gamma", num(rdd.map(|r| r.gamma))),
+                ("v_r", count(rdd.map(|r| r.v_r))),
+                ("v_b", count(rdd.map(|r| r.v_b))),
+                ("e_r", count(rdd.map(|r| r.e_r))),
+                ("agreement", num(rdd.map(|r| r.agreement))),
+                (
+                    "teacher_entropy_thresh",
+                    num(rdd.map(|r| r.teacher_entropy_thresh)),
+                ),
+                (
+                    "student_entropy_thresh",
+                    num(rdd.map(|r| r.student_entropy_thresh)),
+                ),
+                (
+                    "alpha",
+                    Json::from(rdd.map_or(Vec::new(), |r| r.alpha.clone())),
+                ),
+                ("train_acc", Json::from(self.train_acc)),
+                ("val_acc", Json::from(self.val_acc)),
+                ("test_acc", Json::from(self.test_acc)),
+            ],
+        );
+    }
+}
+
+/// One `member` event: a student finished training and joined the ensemble.
+pub fn emit_member(member: usize, alpha: f32, val_acc: f32, test_acc: f32, epochs: usize) {
+    event(
+        "member",
+        &[
+            ("member", Json::from(member)),
+            ("alpha", Json::from(alpha)),
+            ("val_acc", Json::from(val_acc)),
+            ("test_acc", Json::from(test_acc)),
+            ("epochs", Json::from(epochs)),
+        ],
+    );
+}
+
+/// One `run` event: final outcome of a full RDD run.
+pub fn emit_run(ensemble_test_acc: f32, single_test_acc: f32, members: usize) {
+    event(
+        "run",
+        &[
+            ("ensemble_test_acc", Json::from(ensemble_test_acc)),
+            ("single_test_acc", Json::from(single_test_acc)),
+            ("members", Json::from(members)),
+        ],
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::json::{parse, Json};
+    use super::super::recorder;
+    use super::*;
+
+    fn temp_path(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!(
+            "rdd_obs_tel_{tag}_{}_{:?}.jsonl",
+            std::process::id(),
+            std::thread::current().id()
+        ))
+    }
+
+    #[test]
+    fn agreement_rate_counts_matches() {
+        assert_eq!(agreement_rate(&[], &[]), 0.0);
+        assert_eq!(agreement_rate(&[1, 2, 3, 4], &[1, 0, 3, 0]), 0.5);
+        assert_eq!(agreement_rate(&[7, 7], &[7, 7]), 1.0);
+    }
+
+    #[test]
+    fn epoch_event_merges_staged_rdd_extra() {
+        let _g = recorder::tests::lock();
+        let path = temp_path("merge");
+        recorder::init_file(&path).unwrap();
+        stage_rdd_epoch(RddEpochExtra {
+            member: 2,
+            l2: 0.25,
+            lreg: 0.125,
+            gamma: 0.5,
+            v_r: 100,
+            v_b: 40,
+            e_r: 321,
+            agreement: 0.75,
+            teacher_entropy_thresh: 1.5,
+            student_entropy_thresh: f32::NAN,
+            alpha: vec![1.0, 2.0],
+        });
+        EpochTelemetry {
+            model: "gcn",
+            epoch: 3,
+            loss: 1.5,
+            l1: 1.0,
+            train_acc: 0.9,
+            val_acc: 0.8,
+            test_acc: 0.7,
+        }
+        .emit();
+        // Next emit has nothing staged: RDD fields go null.
+        EpochTelemetry {
+            model: "gcn",
+            epoch: 4,
+            loss: 1.25,
+            l1: 1.25,
+            train_acc: 0.9,
+            val_acc: 0.8,
+            test_acc: 0.7,
+        }
+        .emit();
+        recorder::flush();
+        recorder::disable();
+        let events: Vec<Json> = std::fs::read_to_string(&path)
+            .unwrap()
+            .lines()
+            .map(|l| parse(l).unwrap())
+            .filter(|e| e.get("ev").and_then(Json::as_str) == Some("epoch"))
+            .collect();
+        assert_eq!(events.len(), 2);
+        let merged = &events[0];
+        assert_eq!(merged.get("member").and_then(Json::as_f64), Some(2.0));
+        assert_eq!(merged.get("l2").and_then(Json::as_f64), Some(0.25));
+        assert_eq!(merged.get("v_r").and_then(Json::as_f64), Some(100.0));
+        assert_eq!(merged.get("v_b").and_then(Json::as_f64), Some(40.0));
+        assert_eq!(merged.get("e_r").and_then(Json::as_f64), Some(321.0));
+        assert_eq!(merged.get("agreement").and_then(Json::as_f64), Some(0.75));
+        assert!(
+            matches!(merged.get("student_entropy_thresh"), Some(Json::Null)),
+            "NaN threshold must encode as null"
+        );
+        assert_eq!(
+            merged
+                .get("alpha")
+                .and_then(Json::as_arr)
+                .map(<[Json]>::len),
+            Some(2)
+        );
+        let bare = &events[1];
+        assert!(matches!(bare.get("l2"), Some(Json::Null)));
+        assert!(matches!(bare.get("v_r"), Some(Json::Null)));
+        assert_eq!(
+            bare.get("alpha").and_then(Json::as_arr).map(<[Json]>::len),
+            Some(0)
+        );
+        assert_eq!(bare.get("l1").and_then(Json::as_f64), Some(1.25));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn member_and_run_events_encode() {
+        let _g = recorder::tests::lock();
+        let path = temp_path("member_run");
+        recorder::init_file(&path).unwrap();
+        emit_member(1, 42.5, 0.81, 0.8, 120);
+        emit_run(0.84, 0.8, 4);
+        recorder::flush();
+        recorder::disable();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let events: Vec<Json> = text.lines().map(|l| parse(l).unwrap()).collect();
+        let member = events
+            .iter()
+            .find(|e| e.get("ev").and_then(Json::as_str) == Some("member"))
+            .unwrap();
+        assert_eq!(member.get("alpha").and_then(Json::as_f64), Some(42.5));
+        assert_eq!(member.get("epochs").and_then(Json::as_f64), Some(120.0));
+        let run = events
+            .iter()
+            .find(|e| e.get("ev").and_then(Json::as_str) == Some("run"))
+            .unwrap();
+        assert_eq!(
+            run.get("ensemble_test_acc").and_then(Json::as_f64),
+            Some(f64::from(0.84f32))
+        );
+        std::fs::remove_file(&path).ok();
+    }
+}

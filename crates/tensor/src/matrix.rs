@@ -12,6 +12,15 @@
 //! *input* rows and reduces per-task partial buffers.
 
 use crate::par::{par_reduce_rows, par_row_chunks};
+use rdd_obs::SpanCell;
+
+/// Wall-time spans for the hot dense kernels; cumulative totals reach the
+/// trace as `kernel` events at every `rdd_obs::flush()`. Disabled cost is
+/// one atomic load per call.
+static SPAN_MATMUL: SpanCell = SpanCell::new("matmul");
+static SPAN_MATMUL_AT_B: SpanCell = SpanCell::new("matmul_at_b");
+static SPAN_MATMUL_A_BT: SpanCell = SpanCell::new("matmul_a_bt");
+static SPAN_TRANSPOSE: SpanCell = SpanCell::new("transpose");
 
 /// Rows of the reduction dimension processed per cache block in `matmul`.
 ///
@@ -215,6 +224,7 @@ impl Matrix {
             self.shape(),
             rhs.shape()
         );
+        let _span = SPAN_MATMUL.enter();
         let mut out = Matrix::zeros(self.rows, rhs.cols);
         let n = rhs.cols;
         let k_dim = self.cols;
@@ -268,6 +278,7 @@ impl Matrix {
         // partial output buffer per task, reduced at the end
         // (par_reduce_rows). The k loop is unrolled by four so each output
         // row is loaded and stored once per quad instead of once per k.
+        let _span = SPAN_MATMUL_AT_B.enter();
         let n = rhs.cols;
         let m = self.cols;
         let mut out = Matrix::zeros(m, n);
@@ -318,6 +329,7 @@ impl Matrix {
             self.shape(),
             rhs.shape()
         );
+        let _span = SPAN_MATMUL_A_BT.enter();
         let n = rhs.rows;
         let k_dim = self.cols;
         let mut out = Matrix::zeros(self.rows, n);
@@ -344,6 +356,7 @@ impl Matrix {
     /// Materialized transpose (tiled so both sides stay cache-resident,
     /// parallel over output row blocks).
     pub fn transpose(&self) -> Matrix {
+        let _span = SPAN_TRANSPOSE.enter();
         let (in_rows, in_cols) = (self.rows, self.cols);
         let mut out = Matrix::zeros(in_cols, in_rows);
         if in_rows == 0 || in_cols == 0 {

@@ -31,28 +31,45 @@ use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
+use rdd_obs::{CounterCell, GaugeCell};
+
+/// Pool telemetry (all no-ops unless `RDD_TRACE` enables the recorder):
+/// `run_tasks` invocations, tasks fanned out, `par_reduce_rows` invocations,
+/// and the deepest injector queue observed.
+static OBS_RUN_TASKS: CounterCell = CounterCell::new("pool.run_tasks");
+static OBS_TASKS: CounterCell = CounterCell::new("pool.tasks");
+static OBS_PAR_REDUCE: CounterCell = CounterCell::new("pool.par_reduce_rows");
+static OBS_QUEUE_PEAK: GaugeCell = GaugeCell::new("pool.queue_peak");
+
 /// Number of worker threads to use for data-parallel kernels.
 ///
 /// Defaults to the machine's available parallelism, clamped to 16; override
 /// with the `RDD_THREADS` environment variable (a value of 1 disables
 /// threading entirely, which is useful for profiling and debugging). An
-/// unparseable `RDD_THREADS` is reported once on stderr and then ignored.
+/// unparseable `RDD_THREADS` is reported once — into the trace when tracing
+/// is on, on stderr otherwise — and then ignored. The resolved width is
+/// emitted as a `pool_init` trace event.
 pub fn num_threads() -> usize {
     static N: OnceLock<usize> = OnceLock::new();
     *N.get_or_init(|| {
+        let mut resolved = None;
         if let Ok(v) = std::env::var("RDD_THREADS") {
             match v.parse::<usize>() {
-                Ok(n) => return n.max(1),
-                Err(_) => eprintln!(
+                Ok(n) => resolved = Some(n.max(1)),
+                Err(_) => rdd_obs::warn(&format!(
                     "rdd-tensor: ignoring unparseable RDD_THREADS={v:?} \
                      (expected a positive integer)"
-                ),
+                )),
             }
         }
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-            .min(16)
+        let n = resolved.unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .min(16)
+        });
+        rdd_obs::event("pool_init", &[("threads", rdd_obs::Json::from(n))]);
+        n
     })
 }
 
@@ -118,8 +135,13 @@ struct Pool {
 
 impl Pool {
     fn push(&self, job: Job) {
-        self.queue.lock().unwrap().push_back(job);
+        let depth = {
+            let mut queue = self.queue.lock().unwrap();
+            queue.push_back(job);
+            queue.len()
+        };
         self.available.notify_one();
+        OBS_QUEUE_PEAK.record_max(depth as u64);
     }
 
     /// Non-blocking pop, used by submitting threads to help drain the queue.
@@ -174,6 +196,8 @@ pub fn run_tasks(n_tasks: usize, task: &(dyn Fn(usize) + Sync)) {
     if n_tasks == 0 {
         return;
     }
+    OBS_RUN_TASKS.add(1);
+    OBS_TASKS.add(n_tasks as u64);
     let Some(pool) = pool() else {
         for i in 0..n_tasks {
             task(i);
@@ -273,6 +297,7 @@ pub fn par_reduce_rows<F>(out: &mut [f32], in_rows: usize, work: usize, f: F)
 where
     F: Fn(usize, usize, &mut [f32]) + Sync,
 {
+    OBS_PAR_REDUCE.add(1);
     let threads = num_threads();
     // The parallel path costs one zeroed buffer + one reduction pass of
     // `out.len()` per extra block; require the scattered work to dwarf it.

@@ -13,6 +13,14 @@
 
 use crate::matrix::{axpy, Matrix};
 use crate::par::{par_reduce_rows, par_row_chunks};
+use rdd_obs::SpanCell;
+
+/// Wall-time spans for the sparse kernels (see the dense twins in
+/// `matrix.rs`); near-free when tracing is off.
+static SPAN_SPMM: SpanCell = SpanCell::new("spmm");
+static SPAN_SPMM_T: SpanCell = SpanCell::new("spmm_t");
+static SPAN_SPMV: SpanCell = SpanCell::new("spmv");
+static SPAN_SPMV_T: SpanCell = SpanCell::new("spmv_t");
 
 /// CSR sparse matrix of `f32`.
 #[derive(Clone, Debug, PartialEq)]
@@ -219,6 +227,7 @@ impl CsrMatrix {
             self.shape(),
             rhs.shape()
         );
+        let _span = SPAN_SPMM.enter();
         let n = rhs.cols();
         let mut out = Matrix::zeros(self.rows, n);
         par_row_chunks(out.as_mut_slice(), n, |i0, chunk| {
@@ -246,6 +255,7 @@ impl CsrMatrix {
             self.shape(),
             rhs.shape()
         );
+        let _span = SPAN_SPMM_T.enter();
         let n = rhs.cols();
         let mut out = Matrix::zeros(self.cols, n);
         let work = self.nnz() * n;
@@ -265,6 +275,7 @@ impl CsrMatrix {
     /// Sparse-vector product `self @ v` (row-gather, parallel over rows).
     pub fn spmv(&self, v: &[f32]) -> Vec<f32> {
         assert_eq!(self.cols, v.len(), "spmv shape mismatch");
+        let _span = SPAN_SPMV.enter();
         let mut out = vec![0.0f32; self.rows];
         par_row_chunks(&mut out, 1, |i0, chunk| {
             for (di, o) in chunk.iter_mut().enumerate() {
@@ -283,6 +294,7 @@ impl CsrMatrix {
     /// rows with per-task partial buffers).
     pub fn spmv_t(&self, v: &[f32]) -> Vec<f32> {
         assert_eq!(self.rows, v.len(), "spmv_t shape mismatch");
+        let _span = SPAN_SPMV_T.enter();
         let mut out = vec![0.0f32; self.cols];
         par_reduce_rows(&mut out, self.rows, self.nnz(), |r0, r1, acc| {
             for (i, &vi) in v.iter().enumerate().take(r1).skip(r0) {

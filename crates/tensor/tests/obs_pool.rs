@@ -1,0 +1,68 @@
+//! Concurrency test: hammer the rdd-obs recorder from inside worker-pool
+//! tasks and assert no event is lost or torn.
+//!
+//! Single `#[test]` on purpose: the recorder sink and the pool thread count
+//! are process-global, so the scenario must own the whole process.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use rdd_obs::Json;
+use rdd_tensor::par::run_tasks;
+
+const TASKS: usize = 400;
+
+#[test]
+fn pool_tasks_lose_no_events() {
+    // Must be set before the first pool use — the thread count latches once.
+    std::env::set_var("RDD_THREADS", "8");
+    let path = std::env::temp_dir().join(format!("rdd_obs_pool_{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    rdd_obs::init_file(&path).expect("init trace sink");
+
+    let ran = AtomicUsize::new(0);
+    run_tasks(TASKS, &|i| {
+        ran.fetch_add(1, Ordering::Relaxed);
+        rdd_obs::event(
+            "hammer",
+            &[
+                ("idx", Json::from(i)),
+                ("payload", Json::from("x".repeat(64))),
+            ],
+        );
+    });
+    assert_eq!(ran.load(Ordering::Relaxed), TASKS);
+    rdd_obs::flush();
+
+    let src = std::fs::read_to_string(&path).expect("trace file readable");
+    let mut seen = vec![false; TASKS];
+    for (lineno, line) in src.lines().enumerate() {
+        // Every line must be standalone well-formed JSON (no torn writes).
+        let obj = rdd_obs::parse(line)
+            .unwrap_or_else(|e| panic!("line {}: bad JSON ({e}): {line}", lineno + 1));
+        if obj.get("ev").and_then(Json::as_str) != Some("hammer") {
+            continue; // pool_init / flush-time metric snapshot lines
+        }
+        let idx = obj
+            .get("idx")
+            .and_then(Json::as_f64)
+            .expect("hammer event has idx") as usize;
+        assert!(idx < TASKS, "idx out of range");
+        assert!(!seen[idx], "duplicate event for task {idx}");
+        assert_eq!(
+            obj.get("payload").and_then(Json::as_str).map(str::len),
+            Some(64),
+            "payload truncated for task {idx}"
+        );
+        seen[idx] = true;
+    }
+    let missing = seen.iter().filter(|&&s| !s).count();
+    assert_eq!(missing, 0, "{missing} of {TASKS} events lost");
+
+    // The flush-time snapshot must include the pool's own counters.
+    assert!(
+        src.lines()
+            .any(|l| l.contains("\"ev\":\"counter\"") && l.contains("pool.run_tasks")),
+        "pool.run_tasks counter missing from flush snapshot"
+    );
+    let _ = std::fs::remove_file(&path);
+}

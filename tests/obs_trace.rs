@@ -1,0 +1,79 @@
+//! Integration test: a fast RDD run with the trace sink enabled emits one
+//! well-formed epoch record per epoch actually run, carrying the reliability
+//! counts with `|V_b| <= |V_r|`, plus member/run records and a kernel
+//! snapshot.
+//!
+//! Single `#[test]`: the recorder sink is process-global.
+
+use rdd_core::{RddConfig, RddTrainer};
+use rdd_graph::SynthConfig;
+use rdd_obs::Json;
+
+#[test]
+fn fast_run_emits_well_formed_epoch_records() {
+    let path = std::env::temp_dir().join(format!("rdd_obs_trace_{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    rdd_obs::init_file(&path).expect("init trace sink");
+
+    let dataset = SynthConfig::tiny().generate();
+    let cfg = RddConfig::fast();
+    let members = cfg.num_base_models;
+    let outcome = RddTrainer::new(cfg).run(&dataset);
+
+    let src = std::fs::read_to_string(&path).expect("trace file readable");
+    // `validate` re-checks every schema rule, including |V_b| <= |V_r|.
+    let summary = rdd_obs::validate(&src).expect("trace validates");
+
+    assert_eq!(summary.members.len(), members);
+    assert_eq!(summary.runs.len(), 1);
+    assert!(!summary.kernels.is_empty(), "kernel snapshot missing");
+    let run_acc = summary.runs[0]
+        .get("ensemble_test_acc")
+        .and_then(Json::as_f64)
+        .expect("run record has ensemble_test_acc");
+    assert!((run_acc - f64::from(outcome.ensemble_test_acc)).abs() < 1e-6);
+
+    // One epoch record per epoch run, numbered 0..epochs_run, per member.
+    for (t, member) in summary.members.iter().enumerate() {
+        let epochs_run = member
+            .get("epochs")
+            .and_then(Json::as_f64)
+            .expect("member record has epochs") as usize;
+        let mut epochs: Vec<usize> = summary
+            .epochs
+            .iter()
+            .filter(|e| e.get("member").and_then(Json::as_f64).map(|m| m as usize) == Some(t))
+            .map(|e| e.get("epoch").and_then(Json::as_f64).expect("epoch number") as usize)
+            .collect();
+        epochs.sort_unstable();
+        let expect: Vec<usize> = (0..epochs_run).collect();
+        assert_eq!(
+            epochs, expect,
+            "member {t}: missing or duplicate epoch records"
+        );
+    }
+
+    // Distillation members (t > 0) must carry the reliability extras.
+    let distill_epochs: Vec<&Json> = summary
+        .epochs
+        .iter()
+        .filter(|e| {
+            e.get("member")
+                .and_then(Json::as_f64)
+                .map(|m| m as usize > 0)
+                == Some(true)
+        })
+        .collect();
+    assert!(!distill_epochs.is_empty());
+    for e in &distill_epochs {
+        let num = |k: &str| e.get(k).and_then(Json::as_f64).unwrap_or(f64::NAN);
+        assert!(num("v_r") >= 0.0, "v_r missing");
+        assert!(num("e_r") >= 0.0, "e_r missing");
+        assert!(num("gamma") >= 0.0, "gamma missing");
+        assert!(num("v_b") <= num("v_r"), "V_b must be a subset of V_r: {e}");
+        let alpha = e.get("alpha").and_then(Json::as_arr).expect("alpha array");
+        assert!(!alpha.is_empty(), "distill epoch must list teacher alphas");
+    }
+
+    let _ = std::fs::remove_file(&path);
+}

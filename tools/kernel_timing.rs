@@ -6,9 +6,13 @@
 //! container without the crates.io mirror), and the generator of the
 //! `BENCH_<n>.json` perf-trajectory records.
 //!
-//! Build & run:
+//! Build & run (the kernel sources link `rdd-obs`, itself std-only, so it
+//! is compiled to an rlib first):
 //! ```sh
+//! rustc --edition 2021 -O --crate-type lib --crate-name rdd_obs \
+//!     crates/obs/src/lib.rs -o target/librdd_obs.rlib
 //! rustc --edition 2021 -O -C target-cpu=native tools/kernel_timing.rs \
+//!     --extern rdd_obs=target/librdd_obs.rlib \
 //!     -o target/kernel_timing && target/kernel_timing
 //! ```
 //! Output: one JSON object on stdout mapping kernel labels to best-of-N

@@ -1,0 +1,45 @@
+#!/bin/sh
+# Offline full-stack compile of the workspace with bare rustc (registry
+# unreachable). Builds a rand stub + every lib crate as rlibs into
+# target/scratch/deps, then whatever test/bin the caller asks for.
+set -e
+cd /root/repo
+D=target/scratch/deps
+mkdir -p "$D"
+
+rustc --edition 2021 -O -L dependency=target/scratch/deps --crate-type lib --crate-name rand \
+  tools/offline/rand_stub.rs -o "$D/librand.rlib"
+
+rustc --edition 2021 -O -L dependency=target/scratch/deps --crate-type lib --crate-name rdd_obs \
+  crates/obs/src/lib.rs -o "$D/librdd_obs.rlib"
+
+rustc --edition 2021 -O -L dependency=target/scratch/deps --crate-type lib --crate-name rdd_tensor \
+  crates/tensor/src/lib.rs \
+  --extern rdd_obs="$D/librdd_obs.rlib" --extern rand="$D/librand.rlib" \
+  -o "$D/librdd_tensor.rlib"
+
+rustc --edition 2021 -O -L dependency=target/scratch/deps --crate-type lib --crate-name rdd_graph \
+  crates/graph/src/lib.rs \
+  --extern rdd_tensor="$D/librdd_tensor.rlib" --extern rand="$D/librand.rlib" \
+  -o "$D/librdd_graph.rlib"
+
+rustc --edition 2021 -O -L dependency=target/scratch/deps --crate-type lib --crate-name rdd_models \
+  crates/models/src/lib.rs \
+  --extern rdd_obs="$D/librdd_obs.rlib" --extern rdd_tensor="$D/librdd_tensor.rlib" \
+  --extern rdd_graph="$D/librdd_graph.rlib" --extern rand="$D/librand.rlib" \
+  -o "$D/librdd_models.rlib"
+
+rustc --edition 2021 -O -L dependency=target/scratch/deps --crate-type lib --crate-name rdd_core \
+  crates/core/src/lib.rs \
+  --extern rdd_obs="$D/librdd_obs.rlib" --extern rdd_tensor="$D/librdd_tensor.rlib" \
+  --extern rdd_graph="$D/librdd_graph.rlib" --extern rdd_models="$D/librdd_models.rlib" \
+  --extern rand="$D/librand.rlib" \
+  -o "$D/librdd_core.rlib"
+
+rustc --edition 2021 -O -L dependency=target/scratch/deps --crate-type lib --crate-name rdd_baselines \
+  crates/baselines/src/lib.rs \
+  --extern rdd_tensor="$D/librdd_tensor.rlib" --extern rdd_graph="$D/librdd_graph.rlib" \
+  --extern rdd_models="$D/librdd_models.rlib" --extern rand="$D/librand.rlib" \
+  -o "$D/librdd_baselines.rlib"
+
+echo "all rlibs built into $D"

@@ -1,0 +1,74 @@
+//! Dependency-free offline validator for `RDD_TRACE` JSONL files.
+//!
+//! Mounts the `rdd-obs` parser/summarizer sources via `#[path]` so it
+//! compiles with nothing but `rustc` — no cargo, no registry. `ci.sh` uses
+//! it to validate traces produced during the test run, and to assert the
+//! disabled path writes nothing.
+//!
+//! Build & run:
+//! ```sh
+//! rustc --edition 2021 -O tools/trace_check.rs -o target/trace_check
+//! target/trace_check trace.jsonl [more.jsonl ...]   # validate + summarize
+//! target/trace_check --absent trace.jsonl           # fail if the file exists
+//! ```
+//! Exit status: 0 when every file validates (or, with `--absent`, when no
+//! file exists); 1 otherwise, with the first schema violation on stderr.
+
+// The mounted modules expose more API than this harness uses.
+#![allow(dead_code)]
+
+// Top-level mounts: `summarize` finds `json` via `super::` = crate root.
+#[path = "../crates/obs/src/json.rs"]
+mod json;
+#[path = "../crates/obs/src/summarize.rs"]
+mod summarize;
+
+use summarize::TraceSummary;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("usage: trace_check [--absent] <file.jsonl> [more.jsonl ...]");
+        std::process::exit(2);
+    }
+
+    if args[0] == "--absent" {
+        // Disabled-path guard: with RDD_TRACE unset no trace may appear.
+        for path in &args[1..] {
+            if std::path::Path::new(path).exists() {
+                eprintln!("trace_check: {path} exists but telemetry was disabled");
+                std::process::exit(1);
+            }
+        }
+        println!("trace_check: disabled path wrote no trace files");
+        return;
+    }
+
+    let mut failed = false;
+    for path in &args {
+        let src = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("trace_check: failed to read {path}: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        match TraceSummary::parse(&src) {
+            Ok(summary) => println!(
+                "{path}: ok — {} events ({} epoch, {} member, {} run, {} kernel, {} warning)",
+                summary.total_events,
+                summary.epochs.len(),
+                summary.members.len(),
+                summary.runs.len(),
+                summary.kernels.len(),
+                summary.warnings.len(),
+            ),
+            Err(e) => {
+                eprintln!("trace_check: {path}: {e}");
+                failed = true;
+            }
+        }
+    }
+    std::process::exit(if failed { 1 } else { 0 });
+}
