@@ -13,6 +13,13 @@
 #   * Offline (no crates.io mirror), fall back to the dependency-free
 #     harness tools/kernel_timing.rs, which mounts the same kernel sources
 #     and reports best-of-N wall times.
+#
+# Either way, the script then runs the whole-epoch harness
+# tools/epoch_timing.rs against the current tree (target/epoch_current.json)
+# and, when SEED_REF is set (e.g. SEED_REF=HEAD before committing, or a
+# commit hash), against a `git archive` checkout of that ref compiled with
+# `--cfg seed_build` (target/epoch_seed.json). The seed/now/speedup stage
+# table in BENCH_<n>.json is composed from those two files.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -54,4 +61,35 @@ else
     ./target/kernel_timing > "$out"
 fi
 
-echo "wrote ${out}"
+echo "==> whole-epoch timing (tools/epoch_timing.rs, preset cora-sim)"
+sh tools/offline/full_stack.sh
+D=target/scratch/deps
+rustc --edition 2021 -O -C target-cpu=native -L "dependency=$D" tools/epoch_timing.rs \
+    --extern rdd_core="$D/librdd_core.rlib" \
+    --extern rdd_models="$D/librdd_models.rlib" \
+    --extern rdd_graph="$D/librdd_graph.rlib" \
+    --extern rdd_tensor="$D/librdd_tensor.rlib" \
+    -o target/epoch_timing
+./target/epoch_timing --preset cora-sim --epochs 40 | tee target/epoch_current.json
+
+if [ -n "${SEED_REF:-}" ]; then
+    echo "==> seed-side epoch timing (git archive ${SEED_REF}, --cfg seed_build)"
+    rm -rf target/seed_src
+    mkdir -p target/seed_src
+    git archive "$SEED_REF" | tar -x -C target/seed_src
+    (cd target/seed_src && sh tools/offline/full_stack.sh)
+    S=target/seed_src/target/scratch/deps
+    rustc --edition 2021 -O -C target-cpu=native --cfg seed_build -L "dependency=$S" \
+        tools/epoch_timing.rs \
+        --extern rdd_core="$S/librdd_core.rlib" \
+        --extern rdd_models="$S/librdd_models.rlib" \
+        --extern rdd_graph="$S/librdd_graph.rlib" \
+        --extern rdd_tensor="$S/librdd_tensor.rlib" \
+        -o target/epoch_timing_seed
+    ./target/epoch_timing_seed --preset cora-sim --epochs 40 | tee target/epoch_seed.json
+    echo "(interleave several seed/current runs when composing BENCH_${n}.json: the runner is shared)"
+else
+    echo "(set SEED_REF=<ref> to also time the pre-change tree for the seed/now table)"
+fi
+
+echo "wrote ${out} (epoch stage JSON in target/epoch_current.json$( [ -n "${SEED_REF:-}" ] && echo " and target/epoch_seed.json"))"

@@ -21,9 +21,19 @@ pub struct EnsembleMember {
 }
 
 /// The teacher: an α-weighted combination of base model outputs.
+///
+/// The α-weighted sums are maintained incrementally on
+/// [`Ensemble::push`], so [`Ensemble::proba`]/[`Ensemble::logits`] cost one
+/// scaled copy instead of a full pass over every member.
 #[derive(Clone, Debug, Default)]
 pub struct Ensemble {
     members: Vec<EnsembleMember>,
+    /// `Σ_t α_t · proba_t`, maintained on push.
+    proba_sum: Option<Matrix>,
+    /// `Σ_t α_t · logits_t`, maintained on push.
+    logits_sum: Option<Matrix>,
+    /// `Σ_t α_t`.
+    alpha_total: f32,
 }
 
 impl Ensemble {
@@ -56,6 +66,17 @@ impl Ensemble {
         if let Some(first) = self.members.first() {
             assert_eq!(first.proba.shape(), proba.shape(), "member shape mismatch");
         }
+        match (&mut self.proba_sum, &mut self.logits_sum) {
+            (Some(ps), Some(ls)) => {
+                ps.add_scaled_assign(&proba, alpha);
+                ls.add_scaled_assign(&logits, alpha);
+            }
+            _ => {
+                self.proba_sum = Some(proba.scaled(alpha));
+                self.logits_sum = Some(logits.scaled(alpha));
+            }
+        }
+        self.alpha_total += alpha;
         self.members.push(EnsembleMember {
             proba,
             logits,
@@ -63,27 +84,17 @@ impl Ensemble {
         });
     }
 
-    /// α-normalized weighted average of member matrices selected by `f`.
-    fn weighted_mean(&self, f: impl Fn(&EnsembleMember) -> &Matrix) -> Matrix {
-        assert!(!self.members.is_empty(), "empty ensemble");
-        let total: f32 = self.members.iter().map(|m| m.alpha).sum();
-        let shape = f(&self.members[0]).shape();
-        let mut out = Matrix::zeros(shape.0, shape.1);
-        for m in &self.members {
-            out.add_scaled_assign(f(m), m.alpha / total);
-        }
-        out
-    }
-
     /// The teacher's softmax output `H_T` (rows remain distributions because
     /// the weights are normalized to sum to one).
     pub fn proba(&self) -> Matrix {
-        self.weighted_mean(|m| &m.proba)
+        let sum = self.proba_sum.as_ref().expect("empty ensemble");
+        sum.scaled(1.0 / self.alpha_total)
     }
 
     /// The teacher's embedding `F_T` used as the L2 target (Eq. 7).
     pub fn logits(&self) -> Matrix {
-        self.weighted_mean(|m| &m.logits)
+        let sum = self.logits_sum.as_ref().expect("empty ensemble");
+        sum.scaled(1.0 / self.alpha_total)
     }
 
     /// Hard predictions of the combined teacher.

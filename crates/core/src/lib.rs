@@ -35,4 +35,6 @@ pub use ensemble::{model_weight, uniform_weight, Ensemble, EnsembleMember};
 pub use rdd::{
     cosine_gamma, Ablation, BaseModelRecord, DistillTarget, RddConfig, RddOutcome, RddTrainer,
 };
-pub use reliability::{all_nodes_reliable, compute_reliability, ReliabilitySets};
+pub use reliability::{
+    all_nodes_reliable, compute_reliability, ReliabilitySets, ReliabilityWorkspace,
+};

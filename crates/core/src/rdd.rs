@@ -15,12 +15,12 @@ use std::time::Instant;
 
 use rdd_graph::Dataset;
 use rdd_models::{
-    predict_logits, train, Gcn, GcnConfig, GraphContext, Model, TrainConfig, TrainReport,
+    predict_logits_in, train_in, Gcn, GcnConfig, GraphContext, Model, TrainConfig, TrainReport,
 };
-use rdd_tensor::{seeded_rng, Matrix, Tape, Var};
+use rdd_tensor::{seeded_rng, Matrix, Tape, Var, Workspace};
 
 use crate::ensemble::{model_weight, uniform_weight, Ensemble};
-use crate::reliability::{all_nodes_reliable, compute_reliability};
+use crate::reliability::ReliabilityWorkspace;
 
 /// Feature switches for the paper's Table 8 ablations.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -331,7 +331,18 @@ impl RddTrainer {
     }
 
     /// Run Algorithm 3 on `dataset`, returning the outcome summary.
+    ///
+    /// Allocates one buffer pool for the whole cascade; use
+    /// [`RddTrainer::run_with_workspace`] to share a pool across runs or to
+    /// force pooling on/off regardless of `RDD_WORKSPACE`.
     pub fn run(&self, dataset: &Dataset) -> RddOutcome {
+        self.run_with_workspace(dataset, &Workspace::new())
+    }
+
+    /// [`RddTrainer::run`] against a caller-owned buffer pool: every
+    /// student's training epochs, eval forwards and backward gradients draw
+    /// from `ws`.
+    pub fn run_with_workspace(&self, dataset: &Dataset, ws: &Workspace) -> RddOutcome {
         let cfg = &self.config;
         assert!(cfg.num_base_models >= 1, "need at least one base model");
         let start = Instant::now();
@@ -352,6 +363,12 @@ impl RddTrainer {
             .map(|i| 1.0 / ((dataset.graph.degree(i) + 1) as f32).sqrt())
             .collect();
         let edge_weight = |(a, b): (u32, u32)| inv_sqrt_deg[a as usize] * inv_sqrt_deg[b as usize];
+        // The full edge list and its Laplacian weights (the WER ablation's
+        // regularizer input) are member-invariant: build them once for the
+        // whole cascade.
+        let all_edges: Rc<Vec<(u32, u32)>> = Rc::new(dataset.graph.edges().to_vec());
+        let all_edge_weights: Rc<Vec<f32>> =
+            Rc::new(all_edges.iter().map(|&e| edge_weight(e)).collect());
 
         let mut ensemble = Ensemble::new();
         let mut members_snapshot: Vec<(Matrix, Matrix)> = Vec::with_capacity(cfg.num_base_models);
@@ -379,13 +396,14 @@ impl RddTrainer {
                     });
                     Vec::new()
                 };
-                train(
+                train_in(
                     student.as_mut(),
                     &ctx,
                     dataset,
                     &cfg.train,
                     &mut rng,
                     Some(&mut hook),
+                    ws,
                 )
             } else {
                 // Freeze the teacher's outputs for this round.
@@ -398,11 +416,14 @@ impl RddTrainer {
                 let abl = cfg.ablation;
                 let distill = cfg.distill;
                 let (p, beta, gamma_initial) = (cfg.p, cfg.beta, cfg.gamma_initial);
-                let all_edges: Rc<Vec<(u32, u32)>> = Rc::new(graph.edges().to_vec());
-                let all_edge_weights: Rc<Vec<f32>> =
-                    Rc::new(all_edges.iter().map(|&e| edge_weight(e)).collect());
+                let all_edges = Rc::clone(&all_edges);
+                let all_edge_weights = Rc::clone(&all_edge_weights);
                 let is_labeled_ref = &is_labeled;
                 let edge_weight = &edge_weight;
+                // Epoch-persistent reliability scratch: the teacher side is
+                // computed once (the ensemble is frozen for this member) and
+                // the student-side buffers are refilled in place each epoch.
+                let mut relia = ReliabilityWorkspace::new();
                 // Telemetry inputs, gathered only when tracing is on: the
                 // teacher's hard predictions (for the agreement rate) and the
                 // current ensemble weights (the `alpha` array of each epoch
@@ -412,53 +433,54 @@ impl RddTrainer {
 
                 let mut hook = move |tape: &mut Tape, logits: Var, epoch: usize| {
                     let mut terms: Vec<(Var, f32)> = Vec::with_capacity(2);
-                    // Student softmax from the current training-mode logits.
-                    let student_proba = tape.value(logits).softmax_rows();
-                    let sets = if abl.use_node_reliability {
-                        compute_reliability(
+                    // ONE softmax node for the epoch: its value feeds the
+                    // reliability refresh below, and the same node is the
+                    // `Probs` distillation output and the regularizer input —
+                    // the forward work and the tape node are never duplicated.
+                    let probs = tape.softmax(logits);
+                    let student_proba = tape.value(probs);
+                    if abl.use_node_reliability {
+                        relia.compute(
                             &teacher_proba,
-                            &student_proba,
+                            student_proba,
                             &labels,
                             is_labeled_ref,
                             p,
                             graph,
-                        )
+                        );
                     } else {
-                        all_nodes_reliable(
-                            student_proba.rows(),
-                            graph,
-                            &student_proba.argmax_rows(),
-                        )
-                    };
-                    // Capture set sizes/thresholds before `sets.distill` and
-                    // `sets.edges` are moved into the loss terms below.
+                        relia.compute_all_reliable(student_proba, graph);
+                    }
                     let staged = teacher_pred.as_ref().map(|tp| {
                         (
-                            sets.num_reliable(),
-                            sets.distill.len(),
-                            sets.edges.len(),
-                            rdd_obs::agreement_rate(tp, &student_proba.argmax_rows()),
-                            sets.teacher_entropy_threshold,
-                            sets.student_entropy_threshold,
+                            relia.num_reliable(),
+                            relia.distill().len(),
+                            relia.edges().len(),
+                            rdd_obs::agreement_rate(tp, relia.student_pred()),
+                            relia.teacher_entropy_threshold(),
+                            relia.student_entropy_threshold(),
                         )
                     });
                     let gamma = cosine_gamma(gamma_initial, epoch, total_epochs);
                     let mut l2_val = 0.0f32;
                     let mut lreg_val = 0.0f32;
-                    if abl.use_l2 && !sets.distill.is_empty() {
+                    let distill_idx = relia.distill();
+                    if abl.use_l2 && !distill_idx.is_empty() {
                         if gamma > 0.0 {
-                            let idx = Rc::new(sets.distill);
                             let l2 = match distill {
                                 DistillTarget::Logits => {
-                                    tape.mse_rows(logits, Rc::clone(&teacher_logits), idx)
+                                    tape.mse_rows(logits, Rc::clone(&teacher_logits), distill_idx)
                                 }
                                 DistillTarget::Probs => {
-                                    let probs = tape.softmax(logits);
-                                    tape.mse_rows(probs, Rc::clone(&teacher_proba_rc), idx)
+                                    tape.mse_rows(probs, Rc::clone(&teacher_proba_rc), distill_idx)
                                 }
                                 DistillTarget::SoftCe => {
                                     let logp = tape.log_softmax(logits);
-                                    tape.soft_ce_masked(logp, Rc::clone(&teacher_proba_rc), idx)
+                                    tape.soft_ce_masked(
+                                        logp,
+                                        Rc::clone(&teacher_proba_rc),
+                                        distill_idx,
+                                    )
                                 }
                             };
                             if staged.is_some() {
@@ -469,8 +491,8 @@ impl RddTrainer {
                     }
                     if abl.use_lreg && beta > 0.0 {
                         let (edges, weights) = if abl.use_edge_reliability {
-                            let w = sets.edges.iter().map(|&e| edge_weight(e)).collect();
-                            (Rc::new(sets.edges), Rc::new(w))
+                            relia.weigh_edges(edge_weight);
+                            (relia.edges(), relia.edge_weights())
                         } else {
                             (Rc::clone(&all_edges), Rc::clone(&all_edge_weights))
                         };
@@ -479,7 +501,6 @@ impl RddTrainer {
                             // predicted distributions, not raw logits —
                             // penalizing logit differences fights CE's
                             // confidence growth and hurts accuracy.
-                            let probs = tape.softmax(logits);
                             let lreg = tape.edge_reg_weighted(probs, edges, weights);
                             if staged.is_some() {
                                 lreg_val = tape.scalar(lreg);
@@ -504,18 +525,19 @@ impl RddTrainer {
                     }
                     terms
                 };
-                train(
+                train_in(
                     student.as_mut(),
                     &ctx,
                     dataset,
                     &cfg.train,
                     &mut rng,
                     Some(&mut hook),
+                    ws,
                 )
             };
 
             // Lines 19–21: weigh and absorb the student.
-            let logits = predict_logits(student.as_ref(), &ctx);
+            let logits = predict_logits_in(student.as_ref(), &ctx, ws);
             let proba = logits.softmax_rows();
             let alpha = if cfg.ablation.use_entropy_weights {
                 model_weight(&proba, &pagerank)

@@ -22,6 +22,8 @@
 //! and §3.1's summary states the agreement condition for unlabeled nodes
 //! only.
 
+use std::rc::Rc;
+
 use rdd_graph::Graph;
 use rdd_tensor::Matrix;
 
@@ -52,8 +54,9 @@ impl ReliabilitySets {
 
 /// The entropy value at the `p`-fraction boundary of `entropies`, taken from
 /// the `lowest` (or highest) side. `p = 0.4` returns the value such that 40%
-/// of entries are at-or-below (resp. at-or-above) it.
-fn entropy_threshold(entropies: &[f32], p: f32, lowest: bool) -> f32 {
+/// of entries are at-or-below (resp. at-or-above) it. `scratch` is the
+/// selection buffer (the entropies are copied into it, not mutated).
+fn entropy_threshold_in(entropies: &[f32], p: f32, lowest: bool, scratch: &mut Vec<f32>) -> f32 {
     assert!((0.0..=1.0).contains(&p), "p must be a fraction");
     if entropies.is_empty() {
         return if lowest {
@@ -63,15 +66,224 @@ fn entropy_threshold(entropies: &[f32], p: f32, lowest: bool) -> f32 {
         };
     }
     let k = ((entropies.len() as f32 * p).ceil() as usize).clamp(1, entropies.len());
-    let mut sorted: Vec<f32> = entropies.to_vec();
+    scratch.clear();
+    scratch.extend_from_slice(entropies);
     // select_nth_unstable puts the k-th order statistic in place without a
     // full sort (the top-p ablation bench quantifies the win).
     if lowest {
-        let (_, nth, _) = sorted.select_nth_unstable_by(k - 1, |a, b| a.total_cmp(b));
+        let (_, nth, _) = scratch.select_nth_unstable_by(k - 1, |a, b| a.total_cmp(b));
         *nth
     } else {
-        let (_, nth, _) = sorted.select_nth_unstable_by(k - 1, |a, b| b.total_cmp(a));
+        let (_, nth, _) = scratch.select_nth_unstable_by(k - 1, |a, b| b.total_cmp(a));
         *nth
+    }
+}
+
+#[cfg(test)]
+fn entropy_threshold(entropies: &[f32], p: f32, lowest: bool) -> f32 {
+    entropy_threshold_in(entropies, p, lowest, &mut Vec::new())
+}
+
+/// Clear an `Rc<Vec<T>>` for in-place refill. The consumer of these vectors
+/// (the epoch's tape) is dropped before the next epoch's refresh, so the
+/// refcount is normally back to 1 and the allocation is reused; a still-held
+/// Rc falls back to a fresh one.
+fn refill_rc<T>(rc: &mut Rc<Vec<T>>) -> &mut Vec<T> {
+    if Rc::get_mut(rc).is_none() {
+        *rc = Rc::new(Vec::new());
+    }
+    let v = Rc::get_mut(rc).expect("refcount is 1 after the reset above");
+    v.clear();
+    v
+}
+
+/// Epoch-persistent scratch for the reliability refresh (Algorithms 1–2).
+///
+/// The RDD loss hook recomputes the reliability sets every epoch from the
+/// same teacher and the student's latest predictions. This workspace keeps
+/// every intermediate — prediction/entropy vectors, the selection scratch,
+/// the `reliable` bitmap and the `Rc`-shared `distill`/`edges`/`edge_weights`
+/// outputs — alive across epochs so the refresh allocates nothing after the
+/// first call.
+///
+/// The teacher side (predictions, entropies, entropy threshold) is computed
+/// once on the first [`ReliabilityWorkspace::compute`] and cached: the
+/// teacher ensemble is frozen for the duration of one student's training.
+/// Call [`ReliabilityWorkspace::reset_teacher`] (or use a fresh workspace)
+/// when the teacher or `p` changes.
+#[derive(Default)]
+pub struct ReliabilityWorkspace {
+    teacher_ready: bool,
+    teacher_pred: Vec<usize>,
+    teacher_entropy: Vec<f32>,
+    teacher_thresh: f32,
+    student_pred: Vec<usize>,
+    student_entropy: Vec<f32>,
+    select_scratch: Vec<f32>,
+    student_thresh: f32,
+    reliable: Vec<bool>,
+    distill: Rc<Vec<usize>>,
+    edges: Rc<Vec<(u32, u32)>>,
+    edge_weights: Rc<Vec<f32>>,
+}
+
+impl ReliabilityWorkspace {
+    /// An empty workspace; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Drop the cached teacher-side data (call when the teacher matrix or
+    /// the reliability fraction changes).
+    pub fn reset_teacher(&mut self) {
+        self.teacher_ready = false;
+    }
+
+    /// Algorithms 1 + 2 into this workspace's buffers; results are read via
+    /// the accessors. Semantically identical to [`compute_reliability`]
+    /// (enforced by test), without the per-call allocations.
+    pub fn compute(
+        &mut self,
+        teacher_proba: &Matrix,
+        student_proba: &Matrix,
+        labels: &[usize],
+        is_labeled: &[bool],
+        p: f32,
+        graph: &Graph,
+    ) {
+        let n = teacher_proba.rows();
+        assert_eq!(student_proba.rows(), n, "teacher/student row mismatch");
+        assert_eq!(labels.len(), n);
+        assert_eq!(is_labeled.len(), n);
+
+        if !self.teacher_ready {
+            teacher_proba.argmax_rows_into(&mut self.teacher_pred);
+            teacher_proba.row_entropy_into(&mut self.teacher_entropy);
+            // Line 2: ascending sort of teacher entropies -> low threshold.
+            self.teacher_thresh =
+                entropy_threshold_in(&self.teacher_entropy, p, true, &mut self.select_scratch);
+            self.teacher_ready = true;
+        }
+        student_proba.argmax_rows_into(&mut self.student_pred);
+        student_proba.row_entropy_into(&mut self.student_entropy);
+        // Line 6: descending sort of student entropies -> high threshold.
+        self.student_thresh =
+            entropy_threshold_in(&self.student_entropy, p, false, &mut self.select_scratch);
+
+        self.reliable.clear();
+        self.reliable.resize(n, false);
+        for i in 0..n {
+            if is_labeled[i] {
+                // Line 4 / §3.1(1): the teacher's prediction matches the label.
+                self.reliable[i] = self.teacher_pred[i] == labels[i];
+            } else {
+                // Lines 7–8 / §3.1(2): confident teacher + student agreement.
+                self.reliable[i] = self.teacher_entropy[i] <= self.teacher_thresh
+                    && self.teacher_pred[i] == self.student_pred[i];
+            }
+        }
+
+        // Line 9: V_b = reliable nodes the student is unsure or wrong about.
+        let distill = refill_rc(&mut self.distill);
+        for i in 0..n {
+            if self.reliable[i]
+                && (self.student_entropy[i] >= self.student_thresh
+                    || self.student_pred[i] != self.teacher_pred[i])
+            {
+                distill.push(i);
+            }
+        }
+
+        // Algorithm 2: reliable edges.
+        let edges = refill_rc(&mut self.edges);
+        for &(a, b) in graph.edges() {
+            let (ai, bi) = (a as usize, b as usize);
+            if self.reliable[ai]
+                && self.reliable[bi]
+                && self.student_pred[ai] == self.student_pred[bi]
+            {
+                edges.push((a, b));
+            }
+        }
+    }
+
+    /// The WNR ablation ([`all_nodes_reliable`]) into this workspace:
+    /// classical KD distills every node, and edge reliability reduces to the
+    /// student's class agreement.
+    pub fn compute_all_reliable(&mut self, student_proba: &Matrix, graph: &Graph) {
+        let n = student_proba.rows();
+        student_proba.argmax_rows_into(&mut self.student_pred);
+        self.reliable.clear();
+        self.reliable.resize(n, true);
+        let distill = refill_rc(&mut self.distill);
+        distill.extend(0..n);
+        let edges = refill_rc(&mut self.edges);
+        for &(a, b) in graph.edges() {
+            if self.student_pred[a as usize] == self.student_pred[b as usize] {
+                edges.push((a, b));
+            }
+        }
+        self.teacher_thresh = f32::NAN;
+        self.student_thresh = f32::NAN;
+    }
+
+    /// Refill the per-edge weight vector as `f(edge)` over the current
+    /// reliable edges.
+    pub fn weigh_edges(&mut self, f: impl Fn((u32, u32)) -> f32) {
+        let edges = Rc::clone(&self.edges);
+        let weights = refill_rc(&mut self.edge_weights);
+        weights.extend(edges.iter().map(|&e| f(e)));
+    }
+
+    /// `V_r` as a bitmap over nodes.
+    pub fn reliable(&self) -> &[bool] {
+        &self.reliable
+    }
+
+    /// Number of reliable nodes.
+    pub fn num_reliable(&self) -> usize {
+        self.reliable.iter().filter(|&&b| b).count()
+    }
+
+    /// `V_b` (sorted), shared with the tape's loss nodes.
+    pub fn distill(&self) -> Rc<Vec<usize>> {
+        Rc::clone(&self.distill)
+    }
+
+    /// `E_r`, shared with the tape's regularizer node.
+    pub fn edges(&self) -> Rc<Vec<(u32, u32)>> {
+        Rc::clone(&self.edges)
+    }
+
+    /// The weights from the last [`ReliabilityWorkspace::weigh_edges`].
+    pub fn edge_weights(&self) -> Rc<Vec<f32>> {
+        Rc::clone(&self.edge_weights)
+    }
+
+    /// The student's hard predictions from the last refresh.
+    pub fn student_pred(&self) -> &[usize] {
+        &self.student_pred
+    }
+
+    /// Teacher entropy cut (Alg. 1 line 2); `NaN` under WNR.
+    pub fn teacher_entropy_threshold(&self) -> f32 {
+        self.teacher_thresh
+    }
+
+    /// Student entropy cut (Alg. 1 line 6); `NaN` under WNR.
+    pub fn student_entropy_threshold(&self) -> f32 {
+        self.student_thresh
+    }
+
+    /// Snapshot the current buffers as owned [`ReliabilitySets`].
+    pub fn to_sets(&self) -> ReliabilitySets {
+        ReliabilitySets {
+            reliable: self.reliable.clone(),
+            distill: self.distill.as_ref().clone(),
+            edges: self.edges.as_ref().clone(),
+            teacher_entropy_threshold: self.teacher_thresh,
+            student_entropy_threshold: self.student_thresh,
+        }
     }
 }
 
@@ -90,59 +302,9 @@ pub fn compute_reliability(
     p: f32,
     graph: &Graph,
 ) -> ReliabilitySets {
-    let n = teacher_proba.rows();
-    assert_eq!(student_proba.rows(), n, "teacher/student row mismatch");
-    assert_eq!(labels.len(), n);
-    assert_eq!(is_labeled.len(), n);
-
-    let teacher_pred = teacher_proba.argmax_rows();
-    let student_pred = student_proba.argmax_rows();
-    let teacher_entropy = teacher_proba.row_entropy();
-    let student_entropy = student_proba.row_entropy();
-
-    // Line 2: ascending sort of teacher entropies -> low-entropy threshold.
-    let teacher_thresh = entropy_threshold(&teacher_entropy, p, true);
-    // Line 6: descending sort of student entropies -> high-entropy threshold.
-    let student_thresh = entropy_threshold(&student_entropy, p, false);
-
-    let mut reliable = vec![false; n];
-    for i in 0..n {
-        if is_labeled[i] {
-            // Line 4 / §3.1(1): the teacher's prediction matches the label.
-            reliable[i] = teacher_pred[i] == labels[i];
-        } else {
-            // Lines 7–8 / §3.1(2): confident teacher + student agreement.
-            reliable[i] =
-                teacher_entropy[i] <= teacher_thresh && teacher_pred[i] == student_pred[i];
-        }
-    }
-
-    // Line 9: V_b = reliable nodes the student is unsure or wrong about.
-    let distill: Vec<usize> = (0..n)
-        .filter(|&i| {
-            reliable[i]
-                && (student_entropy[i] >= student_thresh || student_pred[i] != teacher_pred[i])
-        })
-        .collect();
-
-    // Algorithm 2: reliable edges.
-    let edges: Vec<(u32, u32)> = graph
-        .edges()
-        .iter()
-        .copied()
-        .filter(|&(a, b)| {
-            let (a, b) = (a as usize, b as usize);
-            reliable[a] && reliable[b] && student_pred[a] == student_pred[b]
-        })
-        .collect();
-
-    ReliabilitySets {
-        reliable,
-        distill,
-        edges,
-        teacher_entropy_threshold: teacher_thresh,
-        student_entropy_threshold: student_thresh,
-    }
+    let mut ws = ReliabilityWorkspace::new();
+    ws.compute(teacher_proba, student_proba, labels, is_labeled, p, graph);
+    ws.to_sets()
 }
 
 /// `V_b` when node reliability is disabled (the WNR ablation): classical KD

@@ -2,7 +2,7 @@
 //! ensemble weighting, under randomized teacher/student outputs.
 
 use proptest::prelude::*;
-use rdd_core::{compute_reliability, cosine_gamma, model_weight, Ensemble};
+use rdd_core::{compute_reliability, cosine_gamma, model_weight, Ensemble, ReliabilityWorkspace};
 use rdd_graph::Graph;
 use rdd_tensor::Matrix;
 
@@ -84,6 +84,42 @@ proptest! {
             }
         }
         prop_assert!(large.num_reliable() >= small.num_reliable());
+    }
+
+    #[test]
+    fn reliability_workspace_reuse_matches_fresh_compute(
+        teacher in proba(12, 3),
+        s1 in proba(12, 3),
+        s2 in proba(12, 3),
+        p in 0.05f32..1.0,
+    ) {
+        // The epoch-persistent workspace (fixed teacher, varying student,
+        // buffers reused in place) must track compute_reliability exactly —
+        // including when an earlier student's sets were larger.
+        let n = 12;
+        let graph = ring(n);
+        let labels: Vec<usize> = (0..n).map(|i| i % 3).collect();
+        let mut is_labeled = vec![false; n];
+        for i in (0..n).step_by(4) {
+            is_labeled[i] = true;
+        }
+        let mut ws = ReliabilityWorkspace::new();
+        for student in [&s1, &s2, &s1] {
+            ws.compute(&teacher, student, &labels, &is_labeled, p, &graph);
+            let fresh = compute_reliability(&teacher, student, &labels, &is_labeled, p, &graph);
+            let reused = ws.to_sets();
+            prop_assert_eq!(reused.reliable, fresh.reliable);
+            prop_assert_eq!(reused.distill, fresh.distill);
+            prop_assert_eq!(reused.edges, fresh.edges);
+            prop_assert_eq!(
+                reused.teacher_entropy_threshold.to_bits(),
+                fresh.teacher_entropy_threshold.to_bits()
+            );
+            prop_assert_eq!(
+                reused.student_entropy_threshold.to_bits(),
+                fresh.student_entropy_threshold.to_bits()
+            );
+        }
     }
 
     #[test]

@@ -36,22 +36,43 @@ impl GraphContext {
     }
 
     /// Inverted dropout over the stored entries of the sparse feature
-    /// matrix (the reference GCN also drops input features). Returns a new
-    /// matrix with entries zeroed with probability `p` and survivors scaled
-    /// by `1/(1-p)`.
+    /// matrix (the reference GCN also drops input features). Entries are
+    /// dropped with probability `p` and survivors scaled by `1/(1-p)`.
+    ///
+    /// Dropped entries are *compacted out* of the returned matrix rather
+    /// than stored as explicit zeros, so the layer-1 spmm only walks the
+    /// survivors — at `p = 0.5` that halves the single largest kernel of
+    /// every training epoch (forward and backward). The rng is consulted
+    /// once per stored entry in row-major order, the same stream a
+    /// zero-keeping `map_values` implementation would draw.
     pub fn dropout_features(&self, p: f32, rng: &mut StdRng) -> Rc<CsrMatrix> {
         if p <= 0.0 {
             return Rc::clone(&self.features);
         }
         let keep = 1.0 - p;
         let scale = 1.0 / keep;
-        Rc::new(self.features.map_values(|_, _, v| {
-            if rng.gen::<f32>() < keep {
-                v * scale
-            } else {
-                0.0
+        let (n, d) = self.features.shape();
+        let nnz = self.features.nnz();
+        let mut indptr = Vec::with_capacity(n + 1);
+        let mut indices = vec![0u32; nnz];
+        let mut values = vec![0.0f32; nnz];
+        indptr.push(0);
+        // Branchless compaction: write every entry, advance the cursor only
+        // for survivors. The coin flips are ~50/50, so a conditional push
+        // would mispredict on nearly half the nnz.
+        let mut len = 0usize;
+        for i in 0..n {
+            let (cols, vals) = self.features.row(i);
+            for (&c, &v) in cols.iter().zip(vals) {
+                indices[len] = c;
+                values[len] = v * scale;
+                len += (rng.gen::<f32>() < keep) as usize;
             }
-        }))
+            indptr.push(len);
+        }
+        indices.truncate(len);
+        values.truncate(len);
+        Rc::new(CsrMatrix::from_csr(n, d, indptr, indices, values))
     }
 }
 
@@ -84,6 +105,17 @@ mod tests {
             (drop_sum - orig_sum).abs() / orig_sum < 0.1,
             "sum {drop_sum} vs {orig_sum}"
         );
+        // Dropped entries are compacted out, not stored as zeros.
+        assert!(
+            dropped.nnz() < ctx.features.nnz(),
+            "dropout kept all {} entries",
+            dropped.nnz()
+        );
+        let (n, _) = dropped.shape();
+        for i in 0..n {
+            let (_, vals) = dropped.row(i);
+            assert!(vals.iter().all(|&v| v != 0.0), "explicit zero in row {i}");
+        }
     }
 
     #[test]

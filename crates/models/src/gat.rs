@@ -93,9 +93,9 @@ impl Model for Gat {
         // Layer 1: multi-head attention, heads concatenated.
         let mut heads = Vec::with_capacity(self.cfg.heads);
         for k in 0..self.cfg.heads {
-            let w = tape.param(3 * k, self.params[3 * k].clone());
-            let a_l = tape.param(3 * k + 1, self.params[3 * k + 1].clone());
-            let a_r = tape.param(3 * k + 2, self.params[3 * k + 2].clone());
+            let w = tape.param_of(3 * k, &self.params[3 * k]);
+            let a_l = tape.param_of(3 * k + 1, &self.params[3 * k + 1]);
+            let a_r = tape.param_of(3 * k + 2, &self.params[3 * k + 2]);
             let h = tape.spmm(&x, w, false);
             let att = tape.graph_attention(&self.structure, h, a_l, a_r, self.cfg.leaky_slope);
             heads.push(att);
@@ -111,9 +111,9 @@ impl Model for Gat {
         }
         // Layer 2: single-head attention producing logits.
         let base = 3 * self.cfg.heads;
-        let w = tape.param(base, self.params[base].clone());
-        let a_l = tape.param(base + 1, self.params[base + 1].clone());
-        let a_r = tape.param(base + 2, self.params[base + 2].clone());
+        let w = tape.param_of(base, &self.params[base]);
+        let a_l = tape.param_of(base + 1, &self.params[base + 1]);
+        let a_r = tape.param_of(base + 2, &self.params[base + 2]);
         let h = tape.matmul(act, w);
         tape.graph_attention(&self.structure, h, a_l, a_r, self.cfg.leaky_slope)
     }

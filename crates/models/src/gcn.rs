@@ -127,7 +127,7 @@ impl Model for Gcn {
     ) -> Var {
         let x = input_features(ctx, &self.cfg, training, rng);
         // Layer 1: Â (X W1) with sparse X.
-        let w1 = tape.param(0, self.params[0].clone());
+        let w1 = tape.param_of(0, &self.params[0]);
         let xw = tape.spmm(&x, w1, false);
         let mut h = tape.spmm(&ctx.a_hat, xw, true);
         for (l, w) in self.params.iter().enumerate().skip(1) {
@@ -135,7 +135,7 @@ impl Model for Gcn {
             if training {
                 h = tape.dropout(h, self.cfg.dropout, rng);
             }
-            let wv = tape.param(l, w.clone());
+            let wv = tape.param_of(l, w);
             let hw = tape.matmul(h, wv);
             h = tape.spmm(&ctx.a_hat, hw, true);
         }
@@ -195,7 +195,7 @@ impl Model for ResGcn {
         rng: &mut StdRng,
     ) -> Var {
         let x = input_features(ctx, &self.cfg, training, rng);
-        let w1 = tape.param(0, self.params[0].clone());
+        let w1 = tape.param_of(0, &self.params[0]);
         let xw = tape.spmm(&x, w1, false);
         let mut h = tape.spmm(&ctx.a_hat, xw, true);
         let last = self.params.len() - 1;
@@ -205,7 +205,7 @@ impl Model for ResGcn {
             if training {
                 h = tape.dropout(h, self.cfg.dropout, rng);
             }
-            let wv = tape.param(l, w.clone());
+            let wv = tape.param_of(l, w);
             let hw = tape.matmul(h, wv);
             h = tape.spmm(&ctx.a_hat, hw, true);
             // Residual between equal-width hidden layers only.
@@ -273,7 +273,7 @@ impl Model for DenseGcn {
         let mut outputs: Vec<Var> = Vec::with_capacity(self.cfg.hidden.len());
         let last = self.params.len() - 1;
         for (l, w) in self.params.iter().enumerate() {
-            let wv = tape.param(l, w.clone());
+            let wv = tape.param_of(l, w);
             let hw = if l == 0 {
                 tape.spmm(&x, wv, false)
             } else {
@@ -359,7 +359,7 @@ impl Model for JkNet {
         let mut h: Option<Var> = None;
         let n_hidden = self.cfg.hidden.len();
         for l in 0..n_hidden {
-            let wv = tape.param(l, self.params[l].clone());
+            let wv = tape.param_of(l, &self.params[l]);
             let hw = match h {
                 None => tape.spmm(&x, wv, false),
                 Some(prev) => {
@@ -384,7 +384,7 @@ impl Model for JkNet {
         if training {
             agg = tape.dropout(agg, self.cfg.dropout, rng);
         }
-        let w_out = tape.param(n_hidden, self.params[n_hidden].clone());
+        let w_out = tape.param_of(n_hidden, &self.params[n_hidden]);
         tape.matmul(agg, w_out)
     }
 
@@ -436,14 +436,14 @@ impl Model for Mlp {
         rng: &mut StdRng,
     ) -> Var {
         let x = input_features(ctx, &self.cfg, training, rng);
-        let w1 = tape.param(0, self.params[0].clone());
+        let w1 = tape.param_of(0, &self.params[0]);
         let mut h = tape.spmm(&x, w1, false);
         for (l, w) in self.params.iter().enumerate().skip(1) {
             h = tape.relu(h);
             if training {
                 h = tape.dropout(h, self.cfg.dropout, rng);
             }
-            let wv = tape.param(l, w.clone());
+            let wv = tape.param_of(l, w);
             h = tape.matmul(h, wv);
         }
         h

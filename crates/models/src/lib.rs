@@ -35,5 +35,6 @@ pub use gcn::{DenseGcn, Gcn, GcnConfig, JkNet, Mlp, Model, ResGcn};
 pub use metrics::{expected_calibration_error, ConfusionMatrix};
 pub use sage::{GraphSage, SageConfig};
 pub use trainer::{
-    predict, predict_logits, predict_proba, train, LossHook, LrSchedule, TrainConfig, TrainReport,
+    predict, predict_in, predict_logits, predict_logits_in, predict_proba, train, train_in,
+    LossHook, LrSchedule, TrainConfig, TrainReport,
 };

@@ -145,8 +145,8 @@ impl Model for GraphSage {
         };
 
         // Layer 1 (sparse input): W_self·x + W_neigh·mean(x).
-        let w_self1 = tape.param(0, self.params[0].clone());
-        let w_neigh1 = tape.param(1, self.params[1].clone());
+        let w_self1 = tape.param_of(0, &self.params[0]);
+        let w_neigh1 = tape.param_of(1, &self.params[1]);
         let self_part = tape.spmm(&x, w_self1, false);
         let xw = tape.spmm(&x, w_neigh1, false);
         let neigh_part = tape.spmm(&mean_op, xw, false);
@@ -157,8 +157,8 @@ impl Model for GraphSage {
         }
 
         // Layer 2 (dense hidden).
-        let w_self2 = tape.param(2, self.params[2].clone());
-        let w_neigh2 = tape.param(3, self.params[3].clone());
+        let w_self2 = tape.param_of(2, &self.params[2]);
+        let w_neigh2 = tape.param_of(3, &self.params[3]);
         let self2 = tape.matmul(h, w_self2);
         let hw = tape.matmul(h, w_neigh2);
         let neigh2 = tape.spmm(&mean_op, hw, false);

@@ -7,7 +7,7 @@ use std::time::Instant;
 
 use rand::rngs::StdRng;
 use rdd_graph::{accuracy_over, Dataset};
-use rdd_tensor::{Adam, Matrix, Tape, Var};
+use rdd_tensor::{Adam, Matrix, Tape, Var, Workspace};
 
 use crate::context::GraphContext;
 use crate::gcn::Model;
@@ -135,13 +135,33 @@ pub struct TrainReport {
 /// Train `model` in place with cross-entropy on the training split and
 /// early stopping on the validation split. The model ends holding the
 /// parameters of its best validation epoch.
+///
+/// Allocates one [`Workspace`] for the run; callers orchestrating several
+/// runs (e.g. the RDD cascade) should share one via [`train_in`].
 pub fn train(
     model: &mut dyn Model,
     ctx: &GraphContext,
     data: &Dataset,
     cfg: &TrainConfig,
     rng: &mut StdRng,
+    extra_loss: Option<&mut LossHook>,
+) -> TrainReport {
+    train_in(model, ctx, data, cfg, rng, extra_loss, &Workspace::new())
+}
+
+/// [`train`] against a caller-owned buffer pool. Every epoch's tape —
+/// training-mode forward, backward gradients and the eval-mode validation
+/// forward — draws its buffers from `ws` and returns them on drop, so
+/// epochs after the first run with near-zero allocator traffic.
+#[allow(clippy::too_many_arguments)]
+pub fn train_in(
+    model: &mut dyn Model,
+    ctx: &GraphContext,
+    data: &Dataset,
+    cfg: &TrainConfig,
+    rng: &mut StdRng,
     mut extra_loss: Option<&mut LossHook>,
+    ws: &Workspace,
 ) -> TrainReport {
     let start = Instant::now();
     let labels = Rc::new(data.labels.clone());
@@ -160,7 +180,7 @@ pub fn train(
         epochs_run = epoch + 1;
         opt.set_lr(cfg.lr * cfg.lr_schedule.factor(epoch));
         // --- training step ---
-        let mut tape = Tape::new();
+        let mut tape = Tape::with_workspace(ws);
         let logits = model.forward(&mut tape, ctx, true, rng);
         let logp = tape.log_softmax(logits);
         let ce = tape.nll_masked(logp, Rc::clone(&labels), Rc::clone(&train_idx));
@@ -172,9 +192,10 @@ pub fn train(
         last_loss = tape.scalar(loss);
         let grads = tape.backward(loss, n_params);
         opt.step(model.params_mut(), &grads);
+        ws.give_grads(grads);
 
         // --- validation (eval-mode forward) ---
-        let preds = predict(model, ctx);
+        let preds = predict_in(model, ctx, ws);
         let val_acc = accuracy_over(&data.labels, &preds, &data.val_idx);
         if rdd_obs::enabled() {
             // Epoch telemetry: the supervised term alone (`l1`) plus the
@@ -194,7 +215,10 @@ pub fn train(
         if val_acc > best_val {
             best_val = val_acc;
             best_epoch = epoch;
-            best_params = model.params().to_vec();
+            // Copy into the standing snapshot instead of reallocating it.
+            for (dst, src) in best_params.iter_mut().zip(model.params()) {
+                dst.as_mut_slice().copy_from_slice(src.as_slice());
+            }
             since_best = 0;
         } else {
             since_best += 1;
@@ -224,7 +248,14 @@ pub fn train(
 
 /// Eval-mode logits of `model`.
 pub fn predict_logits(model: &dyn Model, ctx: &GraphContext) -> Matrix {
-    let mut tape = Tape::new();
+    predict_logits_in(model, ctx, &Workspace::with_pooling(false))
+}
+
+/// [`predict_logits`] against a caller-owned buffer pool. The returned
+/// matrix escapes the tape (cloned out), but every intermediate activation
+/// is pooled.
+pub fn predict_logits_in(model: &dyn Model, ctx: &GraphContext, ws: &Workspace) -> Matrix {
+    let mut tape = Tape::with_workspace(ws);
     // Eval mode ignores the rng; a fixed seed keeps the signature simple.
     let mut rng = rdd_tensor::seeded_rng(0);
     let v = model.forward(&mut tape, ctx, false, &mut rng);
@@ -239,6 +270,15 @@ pub fn predict_proba(model: &dyn Model, ctx: &GraphContext) -> Matrix {
 /// Eval-mode hard predictions.
 pub fn predict(model: &dyn Model, ctx: &GraphContext) -> Vec<usize> {
     predict_logits(model, ctx).argmax_rows()
+}
+
+/// [`predict`] against a caller-owned buffer pool: predictions are read
+/// straight off the tape (no logits clone).
+pub fn predict_in(model: &dyn Model, ctx: &GraphContext, ws: &Workspace) -> Vec<usize> {
+    let mut tape = Tape::with_workspace(ws);
+    let mut rng = rdd_tensor::seeded_rng(0);
+    let v = model.forward(&mut tape, ctx, false, &mut rng);
+    tape.value(v).argmax_rows()
 }
 
 #[cfg(test)]

@@ -17,8 +17,9 @@ use std::rc::Rc;
 
 use rand::Rng;
 
-use crate::matrix::{log_softmax_in_place, Matrix};
+use crate::matrix::{log_softmax_in_place, softmax_in_place, Matrix};
 use crate::sparse::CsrMatrix;
+use crate::workspace::Workspace;
 
 /// Handle to a node on the tape.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -108,15 +109,92 @@ struct Node {
 }
 
 /// A single forward computation. Build one per training step.
+///
+/// A tape built with [`Tape::with_workspace`] draws every node value and
+/// every backward gradient accumulator from the workspace pool and returns
+/// them on drop, so steady-state epochs run without allocator traffic. A
+/// plain [`Tape::new`] allocates freshly — both produce bitwise-identical
+/// numerics (recycled buffers are always zero-filled or copy-overwritten
+/// before use).
 #[derive(Default)]
 pub struct Tape {
     nodes: Vec<Node>,
+    ws: Option<Workspace>,
 }
 
 impl Tape {
     /// An empty tape.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// An empty tape whose buffers come from (and return to) `ws`.
+    pub fn with_workspace(ws: &Workspace) -> Self {
+        Self {
+            nodes: Vec::new(),
+            ws: Some(ws.clone()),
+        }
+    }
+
+    /// A `rows x cols` zero matrix, pooled when a workspace is attached.
+    fn alloc_zeros(&self, rows: usize, cols: usize) -> Matrix {
+        match &self.ws {
+            Some(ws) => ws.take_zeroed(rows, cols),
+            None => Matrix::zeros(rows, cols),
+        }
+    }
+
+    /// A `rows x cols` matrix whose every element the caller overwrites.
+    fn alloc_uninit(&self, rows: usize, cols: usize) -> Matrix {
+        match &self.ws {
+            Some(ws) => ws.take_uninit(rows, cols),
+            None => Matrix::zeros(rows, cols),
+        }
+    }
+
+    /// A copy of `src`, pooled when a workspace is attached.
+    fn alloc_copy(&self, src: &Matrix) -> Matrix {
+        match &self.ws {
+            Some(ws) => ws.take_copy(src),
+            None => src.clone(),
+        }
+    }
+
+    /// A `1 x 1` matrix holding `v` (loss nodes and the backward seed).
+    fn alloc_scalar(&self, v: f32) -> Matrix {
+        let mut m = self.alloc_uninit(1, 1);
+        m.set(0, 0, v);
+        m
+    }
+
+    /// An empty `Vec<f32>` with capacity `len`, pooled when possible.
+    fn alloc_vec(&self, len: usize) -> Vec<f32> {
+        match &self.ws {
+            Some(ws) => ws.take_vec(len),
+            None => Vec::with_capacity(len),
+        }
+    }
+
+    /// A zero-filled `Vec<f32>` of length `len`, pooled when possible.
+    fn alloc_vec_zeroed(&self, len: usize) -> Vec<f32> {
+        match &self.ws {
+            Some(ws) => ws.take_vec_zeroed(len),
+            None => vec![0.0; len],
+        }
+    }
+
+    /// Return a matrix to the pool (drop when no workspace is attached).
+    fn recycle(&self, m: Matrix) {
+        if let Some(ws) = &self.ws {
+            ws.give(m);
+        }
+    }
+
+    /// Return a raw buffer to the pool.
+    fn recycle_vec(&self, v: Vec<f32>) {
+        if let Some(ws) = &self.ws {
+            ws.give_vec(v);
+        }
     }
 
     /// Number of nodes recorded so far.
@@ -161,15 +239,30 @@ impl Tape {
         )
     }
 
+    /// Record a trainable parameter by *copying* `value` onto the tape —
+    /// the pooled twin of [`Tape::param`], so models need not clone their
+    /// weights into every epoch's tape.
+    pub fn param_of(&mut self, param_idx: usize, value: &Matrix) -> Var {
+        let v = self.alloc_copy(value);
+        self.push(
+            v,
+            Op::Leaf {
+                param: Some(param_idx),
+            },
+        )
+    }
+
     /// Dense matrix product.
     pub fn matmul(&mut self, a: Var, b: Var) -> Var {
-        let value = self.value(a).matmul(self.value(b));
+        let mut value = self.alloc_zeros(self.value(a).rows(), self.value(b).cols());
+        self.value(a).matmul_into(self.value(b), &mut value);
         self.push(value, Op::Matmul(a, b))
     }
 
     /// Sparse-constant product `sp @ x`. Set `symmetric` when `sp^T == sp`.
     pub fn spmm(&mut self, sp: &Rc<CsrMatrix>, x: Var, symmetric: bool) -> Var {
-        let value = sp.spmm(self.value(x));
+        let mut value = self.alloc_zeros(sp.rows(), self.value(x).cols());
+        sp.spmm_into(self.value(x), &mut value);
         self.push(
             value,
             Op::Spmm {
@@ -182,7 +275,8 @@ impl Tape {
 
     /// Element-wise sum (residual connections).
     pub fn add(&mut self, a: Var, b: Var) -> Var {
-        let value = self.value(a).add(self.value(b));
+        let mut value = self.alloc_copy(self.value(a));
+        value.add_assign(self.value(b));
         self.push(value, Op::Add(a, b))
     }
 
@@ -191,9 +285,9 @@ impl Tape {
         let (xm, bm) = (self.value(x), self.value(bias));
         assert_eq!(bm.rows(), 1, "bias must be a row vector");
         assert_eq!(bm.cols(), xm.cols(), "bias width mismatch");
-        let mut value = xm.clone();
+        let mut value = self.alloc_copy(xm);
         for i in 0..value.rows() {
-            let brow = &bm.row(0).to_vec();
+            let brow = bm.row(0);
             for (o, &b) in value.row_mut(i).iter_mut().zip(brow) {
                 *o += b;
             }
@@ -203,7 +297,10 @@ impl Tape {
 
     /// ReLU activation.
     pub fn relu(&mut self, x: Var) -> Var {
-        let value = self.value(x).map(|v| v.max(0.0));
+        let mut value = self.alloc_copy(self.value(x));
+        for v in value.as_mut_slice() {
+            *v = v.max(0.0);
+        }
         self.push(value, Op::Relu(x))
     }
 
@@ -219,11 +316,11 @@ impl Tape {
         let keep = 1.0 - p;
         let scale = 1.0 / keep;
         let n = self.value(x).len();
-        let mask: Vec<f32> = (0..n)
-            .map(|_| if rng.gen::<f32>() < keep { scale } else { 0.0 })
-            .collect();
-        let xm = self.value(x);
-        let mut value = xm.clone();
+        let mut mask = self.alloc_vec(n);
+        for _ in 0..n {
+            mask.push(if rng.gen::<f32>() < keep { scale } else { 0.0 });
+        }
+        let mut value = self.alloc_copy(self.value(x));
         for (v, &m) in value.as_mut_slice().iter_mut().zip(&mask) {
             *v *= m;
         }
@@ -232,20 +329,25 @@ impl Tape {
 
     /// Scalar multiple `c * x` (loss weighting: works on any shape).
     pub fn scale(&mut self, x: Var, c: f32) -> Var {
-        let value = self.value(x).scaled(c);
+        let mut value = self.alloc_copy(self.value(x));
+        value.scale_assign(c);
         self.push(value, Op::Scale(x, c))
     }
 
     /// Column-wise concatenation (JK-Net / DenseGCN aggregators).
     pub fn concat_cols(&mut self, parts: &[Var]) -> Var {
+        assert!(!parts.is_empty(), "concat_cols of zero parts");
+        let rows = self.value(parts[0]).rows();
+        let cols: usize = parts.iter().map(|&v| self.value(v).cols()).sum();
+        let mut value = self.alloc_uninit(rows, cols);
         let mats: Vec<&Matrix> = parts.iter().map(|&v| self.value(v)).collect();
-        let value = Matrix::hcat(&mats);
+        Matrix::hcat_into(&mats, &mut value);
         self.push(value, Op::ConcatCols(parts.to_vec()))
     }
 
     /// Row-wise log-softmax.
     pub fn log_softmax(&mut self, x: Var) -> Var {
-        let mut value = self.value(x).clone();
+        let mut value = self.alloc_copy(self.value(x));
         for i in 0..value.rows() {
             log_softmax_in_place(value.row_mut(i));
         }
@@ -255,13 +357,21 @@ impl Tape {
     /// Row-wise softmax (used when a loss needs probabilities, e.g. the
     /// edge regularizer over predicted label distributions).
     pub fn softmax(&mut self, x: Var) -> Var {
-        let value = self.value(x).softmax_rows();
+        let mut value = self.alloc_copy(self.value(x));
+        for i in 0..value.rows() {
+            softmax_in_place(value.row_mut(i));
+        }
         self.push(value, Op::Softmax(x))
     }
 
     /// ELU activation (`alpha = 1`), the nonlinearity GAT uses.
     pub fn elu(&mut self, x: Var) -> Var {
-        let value = self.value(x).map(|v| if v > 0.0 { v } else { v.exp_m1() });
+        let mut value = self.alloc_copy(self.value(x));
+        for v in value.as_mut_slice() {
+            if *v <= 0.0 {
+                *v = v.exp_m1();
+            }
+        }
         self.push(value, Op::Elu(x))
     }
 
@@ -291,12 +401,16 @@ impl Tape {
 
         // Per-node projections s_l[i] = a_l·h_i, s_r[i] = a_r·h_i.
         let dot = |row: &[f32], a: &[f32]| -> f32 { row.iter().zip(a).map(|(&x, &y)| x * y).sum() };
-        let s_l: Vec<f32> = (0..n).map(|i| dot(hv.row(i), alv.row(0))).collect();
-        let s_r: Vec<f32> = (0..n).map(|i| dot(hv.row(i), arv.row(0))).collect();
+        let mut s_l = self.alloc_vec(n);
+        let mut s_r = self.alloc_vec(n);
+        for i in 0..n {
+            s_l.push(dot(hv.row(i), alv.row(0)));
+            s_r.push(dot(hv.row(i), arv.row(0)));
+        }
 
-        let mut z = Vec::with_capacity(adj.nnz());
-        let mut alpha = Vec::with_capacity(adj.nnz());
-        let mut out = Matrix::zeros(n, d);
+        let mut z = self.alloc_vec(adj.nnz());
+        let mut alpha = self.alloc_vec(adj.nnz());
+        let mut out = self.alloc_zeros(n, d);
         #[allow(clippy::needless_range_loop)]
         for i in 0..n {
             let (cols, _) = adj.row(i);
@@ -327,6 +441,8 @@ impl Tape {
                 }
             }
         }
+        self.recycle_vec(s_l);
+        self.recycle_vec(s_r);
         self.push(
             out,
             Op::GraphAttention {
@@ -351,10 +467,8 @@ impl Tape {
             let s: f32 = idx.iter().map(|&i| -lp.get(i, labels[i])).sum();
             s / idx.len() as f32
         };
-        self.push(
-            Matrix::from_vec(1, 1, vec![loss]),
-            Op::NllMasked { logp, labels, idx },
-        )
+        let value = self.alloc_scalar(loss);
+        self.push(value, Op::NllMasked { logp, labels, idx })
     }
 
     /// Mean squared distance between rows of `x` and the constant `target`
@@ -377,10 +491,8 @@ impl Tape {
                 .sum();
             s / idx.len() as f32
         };
-        self.push(
-            Matrix::from_vec(1, 1, vec![loss]),
-            Op::MseRows { x, target, idx },
-        )
+        let value = self.alloc_scalar(loss);
+        self.push(value, Op::MseRows { x, target, idx })
     }
 
     /// Soft-label cross-entropy over the rows in `idx` given log-softmax
@@ -407,10 +519,8 @@ impl Tape {
                 .sum();
             s / idx.len() as f32
         };
-        self.push(
-            Matrix::from_vec(1, 1, vec![loss]),
-            Op::SoftCeMasked { logp, target, idx },
-        )
+        let value = self.alloc_scalar(loss);
+        self.push(value, Op::SoftCeMasked { logp, target, idx })
     }
 
     /// Mean squared row difference across `edges` (RDD's reliable-edge
@@ -461,10 +571,8 @@ impl Tape {
                 .sum();
             s / total_w
         };
-        self.push(
-            Matrix::from_vec(1, 1, vec![loss]),
-            Op::EdgeReg { x, edges, weights },
-        )
+        let value = self.alloc_scalar(loss);
+        self.push(value, Op::EdgeReg { x, edges, weights })
     }
 
     /// Sum of scalar losses: `Σ cᵢ · lossᵢ`.
@@ -487,7 +595,7 @@ impl Tape {
             "backward needs a scalar loss"
         );
         let mut grads: Vec<Option<Matrix>> = (0..self.nodes.len()).map(|_| None).collect();
-        grads[loss.0] = Some(Matrix::from_vec(1, 1, vec![1.0]));
+        grads[loss.0] = Some(self.alloc_scalar(1.0));
 
         for id in (0..=loss.0).rev() {
             let Some(g) = grads[id].take() else { continue };
@@ -496,33 +604,40 @@ impl Tape {
                     grads[id] = Some(g); // keep for param export
                 }
                 Op::Matmul(a, b) => {
-                    let da = g.matmul_a_bt(self.value(*b));
-                    let db = self.value(*a).matmul_at_b(&g);
-                    accumulate(&mut grads, *a, da);
-                    accumulate(&mut grads, *b, db);
+                    let mut da = self.alloc_uninit(g.rows(), self.value(*b).rows());
+                    g.matmul_a_bt_into(self.value(*b), &mut da);
+                    let mut db = self.alloc_zeros(self.value(*a).cols(), g.cols());
+                    self.value(*a).matmul_at_b_into(&g, &mut db);
+                    self.accum(&mut grads, *a, da);
+                    self.accum(&mut grads, *b, db);
+                    self.recycle(g);
                 }
                 Op::Spmm { sp, x, symmetric } => {
-                    let dx = if *symmetric {
-                        sp.spmm(&g)
+                    let xv = self.value(*x);
+                    let mut dx = self.alloc_zeros(xv.rows(), xv.cols());
+                    if *symmetric {
+                        sp.spmm_into(&g, &mut dx);
                     } else {
-                        sp.spmm_t(&g)
-                    };
-                    accumulate(&mut grads, *x, dx);
+                        sp.spmm_t_into(&g, &mut dx);
+                    }
+                    self.accum(&mut grads, *x, dx);
+                    self.recycle(g);
                 }
                 Op::Add(a, b) => {
-                    accumulate(&mut grads, *a, g.clone());
-                    accumulate(&mut grads, *b, g);
+                    let ga = self.alloc_copy(&g);
+                    self.accum(&mut grads, *a, ga);
+                    self.accum(&mut grads, *b, g);
                 }
                 Op::AddBias { x, bias } => {
                     // Bias gradient: column sums of g.
-                    let mut db = Matrix::zeros(1, g.cols());
+                    let mut db = self.alloc_zeros(1, g.cols());
                     for i in 0..g.rows() {
                         for (o, &v) in db.row_mut(0).iter_mut().zip(g.row(i)) {
                             *o += v;
                         }
                     }
-                    accumulate(&mut grads, *bias, db);
-                    accumulate(&mut grads, *x, g);
+                    self.accum(&mut grads, *bias, db);
+                    self.accum(&mut grads, *x, g);
                 }
                 Op::Relu(x) => {
                     let xv = self.value(*x);
@@ -532,29 +647,32 @@ impl Tape {
                             *d = 0.0;
                         }
                     }
-                    accumulate(&mut grads, *x, dx);
+                    self.accum(&mut grads, *x, dx);
                 }
                 Op::Dropout { x, mask } => {
                     let mut dx = g;
                     for (d, &m) in dx.as_mut_slice().iter_mut().zip(mask) {
                         *d *= m;
                     }
-                    accumulate(&mut grads, *x, dx);
+                    self.accum(&mut grads, *x, dx);
                 }
                 Op::Scale(x, c) => {
-                    accumulate(&mut grads, *x, g.scaled(*c));
+                    let mut dx = g;
+                    dx.scale_assign(*c);
+                    self.accum(&mut grads, *x, dx);
                 }
                 Op::ConcatCols(parts) => {
                     let mut off = 0;
                     for &p in parts {
                         let pc = self.value(p).cols();
-                        let mut dp = Matrix::zeros(g.rows(), pc);
+                        let mut dp = self.alloc_uninit(g.rows(), pc);
                         for i in 0..g.rows() {
                             dp.row_mut(i).copy_from_slice(&g.row(i)[off..off + pc]);
                         }
-                        accumulate(&mut grads, p, dp);
+                        self.accum(&mut grads, p, dp);
                         off += pc;
                     }
+                    self.recycle(g);
                 }
                 Op::Softmax(x) => {
                     // y = softmax(x); dx = y ⊙ (g − rowsum(g ⊙ y)).
@@ -563,12 +681,11 @@ impl Tape {
                     for i in 0..dx.rows() {
                         let yrow = y.row(i);
                         let dot: f32 = dx.row(i).iter().zip(yrow).map(|(&a, &b)| a * b).sum();
-                        let yrow = yrow.to_vec();
-                        for (d, yv) in dx.row_mut(i).iter_mut().zip(yrow) {
+                        for (d, &yv) in dx.row_mut(i).iter_mut().zip(yrow) {
                             *d = yv * (*d - dot);
                         }
                     }
-                    accumulate(&mut grads, *x, dx);
+                    self.accum(&mut grads, *x, dx);
                 }
                 Op::LogSoftmax(x) => {
                     // y = x − logsumexp(x) row-wise; dx = g − softmax(x)·rowsum(g).
@@ -576,41 +693,45 @@ impl Tape {
                     let mut dx = g;
                     for i in 0..dx.rows() {
                         let row_sum: f32 = dx.row(i).iter().sum();
-                        let yrow = y.row(i).to_vec();
-                        for (d, ly) in dx.row_mut(i).iter_mut().zip(yrow) {
+                        let yrow = y.row(i);
+                        for (d, &ly) in dx.row_mut(i).iter_mut().zip(yrow) {
                             *d -= ly.exp() * row_sum;
                         }
                     }
-                    accumulate(&mut grads, *x, dx);
+                    self.accum(&mut grads, *x, dx);
                 }
                 Op::NllMasked { logp, labels, idx } => {
                     if idx.is_empty() {
+                        self.recycle(g);
                         continue;
                     }
                     let scale = g.get(0, 0) / idx.len() as f32;
                     let lpv = self.value(*logp);
-                    let mut dlp = Matrix::zeros(lpv.rows(), lpv.cols());
+                    let mut dlp = self.alloc_zeros(lpv.rows(), lpv.cols());
                     for &i in idx.iter() {
                         let j = labels[i];
                         dlp.set(i, j, dlp.get(i, j) - scale);
                     }
-                    accumulate(&mut grads, *logp, dlp);
+                    self.accum(&mut grads, *logp, dlp);
+                    self.recycle(g);
                 }
                 Op::MseRows { x, target, idx } => {
                     if idx.is_empty() {
+                        self.recycle(g);
                         continue;
                     }
                     let scale = 2.0 * g.get(0, 0) / idx.len() as f32;
                     let xv = self.value(*x);
-                    let mut dx = Matrix::zeros(xv.rows(), xv.cols());
+                    let mut dx = self.alloc_zeros(xv.rows(), xv.cols());
                     for &i in idx.iter() {
                         let trow = target.row(i);
-                        let xrow = xv.row(i).to_vec();
-                        for ((d, &t), xval) in dx.row_mut(i).iter_mut().zip(trow).zip(xrow) {
+                        let xrow = xv.row(i);
+                        for ((d, &t), &xval) in dx.row_mut(i).iter_mut().zip(trow).zip(xrow) {
                             *d += scale * (xval - t);
                         }
                     }
-                    accumulate(&mut grads, *x, dx);
+                    self.accum(&mut grads, *x, dx);
+                    self.recycle(g);
                 }
                 Op::Elu(x) => {
                     let xv = self.value(*x);
@@ -620,7 +741,7 @@ impl Tape {
                             *dv *= v.exp();
                         }
                     }
-                    accumulate(&mut grads, *x, dx);
+                    self.accum(&mut grads, *x, dx);
                 }
                 Op::GraphAttention {
                     adj,
@@ -636,16 +757,18 @@ impl Tape {
                     let arv = self.value(*a_r);
                     let n = hv.rows();
                     let d = hv.cols();
-                    let mut dh = Matrix::zeros(n, d);
-                    let mut ds_l = vec![0.0f32; n];
-                    let mut ds_r = vec![0.0f32; n];
+                    let mut dh = self.alloc_zeros(n, d);
+                    let mut ds_l = self.alloc_vec_zeroed(n);
+                    let mut ds_r = self.alloc_vec_zeroed(n);
+                    let mut dalpha: Vec<f32> = Vec::new();
                     let mut cursor = 0usize;
                     #[allow(clippy::needless_range_loop)]
                     for i in 0..n {
                         let (cols, _) = adj.row(i);
                         let g_row = g.row(i);
                         // dα_ij = g_i · h_j; dh_j += α_ij g_i.
-                        let mut dalpha = Vec::with_capacity(cols.len());
+                        dalpha.clear();
+                        dalpha.reserve(cols.len());
                         let mut weighted_sum = 0.0f32; // Σ_k α_ik dα_ik
                         for (k, &j) in cols.iter().enumerate() {
                             let a = alpha[cursor + k];
@@ -671,10 +794,10 @@ impl Tape {
                     }
                     // dh += ds_l ⊗ a_l + ds_r ⊗ a_r;
                     // da_l = Σ_i ds_l[i]·h_i, da_r likewise.
-                    let mut da_l = Matrix::zeros(1, d);
-                    let mut da_r = Matrix::zeros(1, d);
+                    let mut da_l = self.alloc_zeros(1, d);
+                    let mut da_r = self.alloc_zeros(1, d);
                     for i in 0..n {
-                        let hi = hv.row(i).to_vec();
+                        let hi = hv.row(i);
                         let dh_i = dh.row_mut(i);
                         for c in 0..d {
                             dh_i[c] += ds_l[i] * alv.get(0, c) + ds_r[i] * arv.get(0, c);
@@ -682,27 +805,33 @@ impl Tape {
                             da_r.set(0, c, da_r.get(0, c) + ds_r[i] * hi[c]);
                         }
                     }
-                    accumulate(&mut grads, *h, dh);
-                    accumulate(&mut grads, *a_l, da_l);
-                    accumulate(&mut grads, *a_r, da_r);
+                    self.recycle_vec(ds_l);
+                    self.recycle_vec(ds_r);
+                    self.accum(&mut grads, *h, dh);
+                    self.accum(&mut grads, *a_l, da_l);
+                    self.accum(&mut grads, *a_r, da_r);
+                    self.recycle(g);
                 }
                 Op::SoftCeMasked { logp, target, idx } => {
                     if idx.is_empty() {
+                        self.recycle(g);
                         continue;
                     }
                     let scale = g.get(0, 0) / idx.len() as f32;
                     let lpv = self.value(*logp);
-                    let mut dlp = Matrix::zeros(lpv.rows(), lpv.cols());
+                    let mut dlp = self.alloc_zeros(lpv.rows(), lpv.cols());
                     for &i in idx.iter() {
                         let trow = target.row(i);
                         for (d, &t) in dlp.row_mut(i).iter_mut().zip(trow) {
                             *d -= scale * t;
                         }
                     }
-                    accumulate(&mut grads, *logp, dlp);
+                    self.accum(&mut grads, *logp, dlp);
+                    self.recycle(g);
                 }
                 Op::EdgeReg { x, edges, weights } => {
                     if edges.is_empty() {
+                        self.recycle(g);
                         continue;
                     }
                     let total_w = match weights {
@@ -710,11 +839,12 @@ impl Tape {
                         None => edges.len() as f32,
                     };
                     if total_w <= 0.0 {
+                        self.recycle(g);
                         continue;
                     }
                     let scale = 2.0 * g.get(0, 0) / total_w;
                     let xv = self.value(*x);
-                    let mut dx = Matrix::zeros(xv.rows(), xv.cols());
+                    let mut dx = self.alloc_zeros(xv.rows(), xv.cols());
                     for (e, &(i, j)) in edges.iter().enumerate() {
                         let w = weights.as_ref().map_or(1.0, |w| w[e]);
                         let (i, j) = (i as usize, j as usize);
@@ -724,7 +854,8 @@ impl Tape {
                             dx.set(j, c, dx.get(j, c) - diff);
                         }
                     }
-                    accumulate(&mut grads, *x, dx);
+                    self.accum(&mut grads, *x, dx);
+                    self.recycle(g);
                 }
             }
         }
@@ -735,20 +866,50 @@ impl Tape {
             if let Op::Leaf { param: Some(slot) } = node.op {
                 if let Some(g) = grads[id].take() {
                     match &mut out[slot] {
-                        Some(acc) => acc.add_assign(&g),
+                        Some(acc) => {
+                            acc.add_assign(&g);
+                            self.recycle(g);
+                        }
                         slot_ref @ None => *slot_ref = Some(g),
                     }
                 }
             }
         }
+        // Anything left in the scratch table (unused leaves) goes back to
+        // the pool.
+        for g in grads.into_iter().flatten() {
+            self.recycle(g);
+        }
         out
+    }
+
+    /// Accumulate gradient `g` into `v`'s slot, recycling `g` when it merges
+    /// into an existing accumulator.
+    fn accum(&self, grads: &mut [Option<Matrix>], v: Var, g: Matrix) {
+        match &mut grads[v.0] {
+            Some(acc) => {
+                acc.add_assign(&g);
+                self.recycle(g);
+            }
+            slot @ None => *slot = Some(g),
+        }
     }
 }
 
-fn accumulate(grads: &mut [Option<Matrix>], v: Var, g: Matrix) {
-    match &mut grads[v.0] {
-        Some(acc) => acc.add_assign(&g),
-        slot @ None => *slot = Some(g),
+impl Drop for Tape {
+    fn drop(&mut self) {
+        let Some(ws) = self.ws.take() else { return };
+        for node in self.nodes.drain(..) {
+            ws.give(node.value);
+            match node.op {
+                Op::Dropout { mask, .. } => ws.give_vec(mask),
+                Op::GraphAttention { alpha, z, .. } => {
+                    ws.give_vec(alpha);
+                    ws.give_vec(z);
+                }
+                _ => {}
+            }
+        }
     }
 }
 

@@ -29,9 +29,11 @@ pub mod matrix;
 pub mod optim;
 pub mod par;
 pub mod sparse;
+pub mod workspace;
 
 pub use autograd::{Tape, Var};
 pub use init::{glorot_uniform, seeded_rng, uniform};
 pub use matrix::Matrix;
 pub use optim::Adam;
 pub use sparse::CsrMatrix;
+pub use workspace::{Workspace, WorkspaceStats};

@@ -42,7 +42,14 @@ const T_TILE: usize = 32;
 /// checks and vectorize the body; the zero test skips entire quads, which
 /// matters for the sparse-ish dense matrices the ablation benches feed in.
 #[inline]
-fn axpy4(out_row: &mut [f32], a: [f32; 4], b0: &[f32], b1: &[f32], b2: &[f32], b3: &[f32]) {
+pub(crate) fn axpy4(
+    out_row: &mut [f32],
+    a: [f32; 4],
+    b0: &[f32],
+    b1: &[f32],
+    b2: &[f32],
+    b3: &[f32],
+) {
     if a == [0.0; 4] {
         return;
     }
@@ -215,8 +222,24 @@ impl Matrix {
         &mut self.data
     }
 
+    /// Consume the matrix, yielding its backing row-major storage (the
+    /// workspace pool recycles buffers through this).
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
     /// Dense matrix product `self @ rhs`.
     pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        self.matmul_into(rhs, &mut out);
+        out
+    }
+
+    /// `out += self @ rhs` into a caller-owned (zero-filled) output.
+    ///
+    /// This is the pooled-buffer entry point: `out` must arrive zeroed
+    /// (e.g. from `Workspace::take_zeroed`) and shaped `self.rows x rhs.cols`.
+    pub fn matmul_into(&self, rhs: &Matrix, out: &mut Matrix) {
         assert_eq!(
             self.cols,
             rhs.rows,
@@ -224,8 +247,12 @@ impl Matrix {
             self.shape(),
             rhs.shape()
         );
+        assert_eq!(
+            out.shape(),
+            (self.rows, rhs.cols),
+            "matmul_into output shape mismatch"
+        );
         let _span = SPAN_MATMUL.enter();
-        let mut out = Matrix::zeros(self.rows, rhs.cols);
         let n = rhs.cols;
         let k_dim = self.cols;
         par_row_chunks(&mut out.data, n, |i0, chunk| {
@@ -259,19 +286,31 @@ impl Matrix {
                 kb = ke;
             }
         });
-        out
     }
 
     /// `self^T @ rhs` without materializing the transpose.
     ///
     /// Used by backprop: for `C = A @ B`, `dB = A^T @ dC`.
     pub fn matmul_at_b(&self, rhs: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, rhs.cols);
+        self.matmul_at_b_into(rhs, &mut out);
+        out
+    }
+
+    /// `out += self^T @ rhs` into a caller-owned (zero-filled) output of
+    /// shape `self.cols x rhs.cols`.
+    pub fn matmul_at_b_into(&self, rhs: &Matrix, out: &mut Matrix) {
         assert_eq!(
             self.rows,
             rhs.rows,
             "matmul_at_b shape mismatch {:?}^T @ {:?}",
             self.shape(),
             rhs.shape()
+        );
+        assert_eq!(
+            out.shape(),
+            (self.cols, rhs.cols),
+            "matmul_at_b_into output shape mismatch"
         );
         // out is (self.cols x rhs.cols); every input row k scatters into all
         // output rows, so the parallel split is over *input* rows with one
@@ -281,7 +320,6 @@ impl Matrix {
         let _span = SPAN_MATMUL_AT_B.enter();
         let n = rhs.cols;
         let m = self.cols;
-        let mut out = Matrix::zeros(m, n);
         let work = self.rows * m * n;
         par_reduce_rows(&mut out.data, self.rows, work, |r0, r1, acc| {
             let mut k = r0;
@@ -315,13 +353,22 @@ impl Matrix {
                 k += 1;
             }
         });
-        out
     }
 
     /// `self @ rhs^T` without materializing the transpose.
     ///
     /// Used by backprop: for `C = A @ B`, `dA = dC @ B^T`.
     pub fn matmul_a_bt(&self, rhs: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, rhs.rows);
+        self.matmul_a_bt_into(rhs, &mut out);
+        out
+    }
+
+    /// `out = self @ rhs^T` into a caller-owned output of shape
+    /// `self.rows x rhs.rows`. Every element is overwritten, so the prior
+    /// contents of `out` are irrelevant (a recycled buffer need not be
+    /// zeroed).
+    pub fn matmul_a_bt_into(&self, rhs: &Matrix, out: &mut Matrix) {
         assert_eq!(
             self.cols,
             rhs.cols,
@@ -329,10 +376,14 @@ impl Matrix {
             self.shape(),
             rhs.shape()
         );
+        assert_eq!(
+            out.shape(),
+            (self.rows, rhs.rows),
+            "matmul_a_bt_into output shape mismatch"
+        );
         let _span = SPAN_MATMUL_A_BT.enter();
         let n = rhs.rows;
         let k_dim = self.cols;
-        let mut out = Matrix::zeros(self.rows, n);
         par_row_chunks(&mut out.data, n, |i0, chunk| {
             // j-blocked so a `J_BLOCK`-row slice of `rhs` is reused across
             // every output row of the chunk before the next slice streams in.
@@ -350,7 +401,6 @@ impl Matrix {
                 jb = je;
             }
         });
-        out
     }
 
     /// Materialized transpose (tiled so both sides stay cache-resident,
@@ -466,18 +516,26 @@ impl Matrix {
 
     /// Index of the maximum element of each row (ties resolve to the first).
     pub fn argmax_rows(&self) -> Vec<usize> {
-        (0..self.rows)
-            .map(|i| {
-                let row = self.row(i);
-                let mut best = 0;
-                for (j, &v) in row.iter().enumerate() {
-                    if v > row[best] {
-                        best = j;
-                    }
+        let mut out = Vec::new();
+        self.argmax_rows_into(&mut out);
+        out
+    }
+
+    /// [`Matrix::argmax_rows`] into a caller-owned scratch vector (cleared
+    /// and refilled; capacity is reused across epochs).
+    pub fn argmax_rows_into(&self, out: &mut Vec<usize>) {
+        out.clear();
+        out.reserve(self.rows);
+        for i in 0..self.rows {
+            let row = self.row(i);
+            let mut best = 0;
+            for (j, &v) in row.iter().enumerate() {
+                if v > row[best] {
+                    best = j;
                 }
-                best
-            })
-            .collect()
+            }
+            out.push(best);
+        }
     }
 
     /// Row-wise softmax, returning a new matrix whose rows sum to 1.
@@ -494,15 +552,25 @@ impl Matrix {
     /// Rows are assumed non-negative; zero entries contribute zero (the
     /// `p ln p → 0` limit).
     pub fn row_entropy(&self) -> Vec<f32> {
-        (0..self.rows)
-            .map(|i| {
+        let mut out = Vec::new();
+        self.row_entropy_into(&mut out);
+        out
+    }
+
+    /// [`Matrix::row_entropy`] into a caller-owned scratch vector (cleared
+    /// and refilled; capacity is reused across epochs).
+    pub fn row_entropy_into(&self, out: &mut Vec<f32>) {
+        out.clear();
+        out.reserve(self.rows);
+        for i in 0..self.rows {
+            out.push(
                 self.row(i)
                     .iter()
                     .filter(|&&p| p > 0.0)
                     .map(|&p| -p * p.ln())
-                    .sum()
-            })
-            .collect()
+                    .sum(),
+            );
+        }
     }
 
     /// Vertical stack of row `indices` taken from `self`.
@@ -518,9 +586,20 @@ impl Matrix {
     pub fn hcat(parts: &[&Matrix]) -> Matrix {
         assert!(!parts.is_empty(), "hcat of zero matrices");
         let rows = parts[0].rows;
-        assert!(parts.iter().all(|p| p.rows == rows), "hcat row mismatch");
         let cols: usize = parts.iter().map(|p| p.cols).sum();
         let mut out = Matrix::zeros(rows, cols);
+        Matrix::hcat_into(parts, &mut out);
+        out
+    }
+
+    /// [`Matrix::hcat`] into a caller-owned output. Every element is
+    /// overwritten, so a recycled buffer need not be zeroed.
+    pub fn hcat_into(parts: &[&Matrix], out: &mut Matrix) {
+        assert!(!parts.is_empty(), "hcat of zero matrices");
+        let rows = parts[0].rows;
+        assert!(parts.iter().all(|p| p.rows == rows), "hcat row mismatch");
+        let cols: usize = parts.iter().map(|p| p.cols).sum();
+        assert_eq!(out.shape(), (rows, cols), "hcat_into output shape mismatch");
         for i in 0..rows {
             let mut off = 0;
             let orow = out.row_mut(i);
@@ -529,7 +608,6 @@ impl Matrix {
                 off += p.cols;
             }
         }
-        out
     }
 
     /// Maximum absolute element difference against `rhs`.

@@ -11,7 +11,7 @@
 //! buffers reduced at the end ([`crate::par::par_reduce_rows`]); the
 //! gather-style kernels (`spmm`, `spmv`) split output rows directly.
 
-use crate::matrix::{axpy, Matrix};
+use crate::matrix::{axpy, axpy4, Matrix};
 use crate::par::{par_reduce_rows, par_row_chunks};
 use rdd_obs::SpanCell;
 
@@ -220,6 +220,14 @@ impl CsrMatrix {
 
     /// Sparse-dense product `self @ rhs` (row-gather, parallel over rows).
     pub fn spmm(&self, rhs: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, rhs.cols());
+        self.spmm_into(rhs, &mut out);
+        out
+    }
+
+    /// `out += self @ rhs` into a caller-owned (zero-filled) output of
+    /// shape `self.rows x rhs.cols` (the pooled-buffer entry point).
+    pub fn spmm_into(&self, rhs: &Matrix, out: &mut Matrix) {
         assert_eq!(
             self.cols,
             rhs.rows(),
@@ -227,19 +235,38 @@ impl CsrMatrix {
             self.shape(),
             rhs.shape()
         );
+        assert_eq!(
+            out.shape(),
+            (self.rows, rhs.cols()),
+            "spmm_into output shape mismatch"
+        );
         let _span = SPAN_SPMM.enter();
         let n = rhs.cols();
-        let mut out = Matrix::zeros(self.rows, n);
         par_row_chunks(out.as_mut_slice(), n, |i0, chunk| {
             for (di, out_row) in chunk.chunks_exact_mut(n).enumerate() {
                 let i = i0 + di;
                 let (cols, vals) = self.row(i);
-                for (&c, &v) in cols.iter().zip(vals) {
+                // Gather four neighbors per step: `axpy4` amortizes the
+                // per-entry loop overhead and breaks the dependence chain
+                // on `out_row`, which is what lets the ~16-nnz rows of
+                // bag-of-words features run at dense-kernel throughput.
+                let mut qc = cols.chunks_exact(4);
+                let mut qv = vals.chunks_exact(4);
+                for (c4, v4) in (&mut qc).zip(&mut qv) {
+                    axpy4(
+                        out_row,
+                        [v4[0], v4[1], v4[2], v4[3]],
+                        rhs.row(c4[0] as usize),
+                        rhs.row(c4[1] as usize),
+                        rhs.row(c4[2] as usize),
+                        rhs.row(c4[3] as usize),
+                    );
+                }
+                for (&c, &v) in qc.remainder().iter().zip(qv.remainder()) {
                     axpy(out_row, v, rhs.row(c as usize));
                 }
             }
         });
-        out
     }
 
     /// Transpose-product `self^T @ rhs` via scatter, parallel over input
@@ -248,6 +275,14 @@ impl CsrMatrix {
     /// Needed by backprop: for `C = S @ W` with constant sparse `S`,
     /// `dW = S^T @ dC`.
     pub fn spmm_t(&self, rhs: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, rhs.cols());
+        self.spmm_t_into(rhs, &mut out);
+        out
+    }
+
+    /// `out += self^T @ rhs` into a caller-owned (zero-filled) output of
+    /// shape `self.cols x rhs.cols`.
+    pub fn spmm_t_into(&self, rhs: &Matrix, out: &mut Matrix) {
         assert_eq!(
             self.rows,
             rhs.rows(),
@@ -255,9 +290,13 @@ impl CsrMatrix {
             self.shape(),
             rhs.shape()
         );
+        assert_eq!(
+            out.shape(),
+            (self.cols, rhs.cols()),
+            "spmm_t_into output shape mismatch"
+        );
         let _span = SPAN_SPMM_T.enter();
         let n = rhs.cols();
-        let mut out = Matrix::zeros(self.cols, n);
         let work = self.nnz() * n;
         par_reduce_rows(out.as_mut_slice(), self.rows, work, |r0, r1, acc| {
             for i in r0..r1 {
@@ -269,7 +308,6 @@ impl CsrMatrix {
                 }
             }
         });
-        out
     }
 
     /// Sparse-vector product `self @ v` (row-gather, parallel over rows).

@@ -1,0 +1,228 @@
+//! Offline end-to-end epoch timing harness (the training-loop complement of
+//! `tools/kernel_timing.rs`).
+//!
+//! Times the three stages of one RDD training epoch — training-mode forward,
+//! loss construction + reliability refresh, backward — plus a fixed-budget
+//! end-to-end `RddTrainer` run, on a synthetic preset. Links the workspace
+//! rlibs built by `tools/offline/full_stack.sh`, so it needs nothing but
+//! `rustc`:
+//!
+//! ```sh
+//! sh tools/offline/full_stack.sh
+//! D=target/scratch/deps
+//! rustc --edition 2021 -O -C target-cpu=native -L dependency=$D \
+//!     tools/epoch_timing.rs \
+//!     --extern rdd_core=$D/librdd_core.rlib \
+//!     --extern rdd_models=$D/librdd_models.rlib \
+//!     --extern rdd_graph=$D/librdd_graph.rlib \
+//!     --extern rdd_tensor=$D/librdd_tensor.rlib \
+//!     -o target/epoch_timing && ./target/epoch_timing --preset cora-sim
+//! ```
+//!
+//! **Seed comparison:** the same source also compiles against the rlibs of
+//! an older checkout with `--cfg seed_build`, which swaps the workspace-
+//! pooled tape / `ReliabilityWorkspace` / shared-softmax epoch for the
+//! seed-era shape (fresh `Tape::new()` per epoch, allocating
+//! `compute_reliability`, one softmax node per consumer). `bench.sh`
+//! records both sides into `BENCH_<n>.json`.
+//!
+//! Output: one JSON object on stdout, mean milliseconds per stage (first
+//! epoch excluded as warmup).
+
+use std::rc::Rc;
+use std::time::Instant;
+
+use rdd_core::{RddConfig, RddTrainer};
+use rdd_graph::{Dataset, SynthConfig};
+use rdd_models::{predict_proba, Gcn, GcnConfig, GraphContext, Model};
+use rdd_tensor::{seeded_rng, Tape};
+
+#[cfg(seed_build)]
+use rdd_core::compute_reliability;
+#[cfg(not(seed_build))]
+use rdd_core::ReliabilityWorkspace;
+#[cfg(not(seed_build))]
+use rdd_tensor::Workspace;
+
+const P: f32 = 0.4;
+
+/// Median ms of (forward, loss+reliability, backward) over `epochs` epochs
+/// of the member-1-style training step (teacher present, all three loss
+/// terms), first epoch excluded as warmup. Median rather than mean: the
+/// harness shares the host with other load, and a single descheduled epoch
+/// would otherwise dominate the figure.
+fn stage_timings(data: &Dataset, epochs: usize) -> (f64, f64, f64) {
+    let ctx = GraphContext::new(data);
+    let mut rng = seeded_rng(1);
+    let model = Gcn::new(&ctx, GcnConfig::citation(), &mut rng);
+    let n_params = model.params().len();
+    // A second freshly-initialized model stands in for the frozen teacher.
+    let teacher = {
+        let mut trng = seeded_rng(2);
+        let m2 = Gcn::new(&ctx, GcnConfig::citation(), &mut trng);
+        predict_proba(&m2, &ctx)
+    };
+    let teacher_rc = Rc::new(teacher.clone());
+    let labels_rc = Rc::new(data.labels.clone());
+    let train_idx = Rc::new(data.train_idx.clone());
+    let mut is_labeled = vec![false; data.n()];
+    for &i in &data.train_idx {
+        is_labeled[i] = true;
+    }
+    let graph = &data.graph;
+    let inv_sqrt_deg: Vec<f32> = (0..data.n())
+        .map(|i| 1.0 / ((graph.degree(i) + 1) as f32).sqrt())
+        .collect();
+    let edge_weight = |(a, b): (u32, u32)| inv_sqrt_deg[a as usize] * inv_sqrt_deg[b as usize];
+
+    #[cfg(not(seed_build))]
+    let ws = Workspace::new();
+    #[cfg(not(seed_build))]
+    let mut relia = ReliabilityWorkspace::new();
+
+    let mut d_fwd = Vec::with_capacity(epochs);
+    let mut d_loss = Vec::with_capacity(epochs);
+    let mut d_bwd = Vec::with_capacity(epochs);
+    for e in 0..=epochs {
+        let t0 = Instant::now();
+        #[cfg(not(seed_build))]
+        let mut tape = Tape::with_workspace(&ws);
+        #[cfg(seed_build)]
+        let mut tape = Tape::new();
+        let logits = model.forward(&mut tape, &ctx, true, &mut rng);
+        let t1 = Instant::now();
+
+        let logp = tape.log_softmax(logits);
+        let ce = tape.nll_masked(logp, Rc::clone(&labels_rc), Rc::clone(&train_idx));
+        #[cfg(not(seed_build))]
+        let loss = {
+            // Current shape: one softmax node feeds the reliability refresh,
+            // the L2 target and the regularizer.
+            let probs = tape.softmax(logits);
+            relia.compute(
+                &teacher,
+                tape.value(probs),
+                &data.labels,
+                &is_labeled,
+                P,
+                graph,
+            );
+            let l2 = tape.mse_rows(probs, Rc::clone(&teacher_rc), relia.distill());
+            relia.weigh_edges(edge_weight);
+            let lreg = tape.edge_reg_weighted(probs, relia.edges(), relia.edge_weights());
+            tape.weighted_sum(&[(ce, 1.0), (l2, 1.0), (lreg, 1.0)])
+        };
+        #[cfg(seed_build)]
+        let loss = {
+            // Seed-era shape: allocating reliability pass plus one softmax
+            // node per consumer.
+            let student_proba = tape.value(logits).softmax_rows();
+            let sets = compute_reliability(
+                &teacher,
+                &student_proba,
+                &data.labels,
+                &is_labeled,
+                P,
+                graph,
+            );
+            let probs_l2 = tape.softmax(logits);
+            let l2 = tape.mse_rows(probs_l2, Rc::clone(&teacher_rc), Rc::new(sets.distill));
+            let w: Vec<f32> = sets.edges.iter().map(|&e| edge_weight(e)).collect();
+            let probs_reg = tape.softmax(logits);
+            let lreg = tape.edge_reg_weighted(probs_reg, Rc::new(sets.edges), Rc::new(w));
+            tape.weighted_sum(&[(ce, 1.0), (l2, 1.0), (lreg, 1.0)])
+        };
+        let t2 = Instant::now();
+
+        let grads = tape.backward(loss, n_params);
+        std::hint::black_box(&grads);
+        #[cfg(not(seed_build))]
+        ws.give_grads(grads);
+        #[cfg(seed_build)]
+        drop(grads);
+        drop(tape);
+        let t3 = Instant::now();
+
+        if e > 0 {
+            d_fwd.push(t1.duration_since(t0).as_secs_f64());
+            d_loss.push(t2.duration_since(t1).as_secs_f64());
+            d_bwd.push(t3.duration_since(t2).as_secs_f64());
+        }
+    }
+    (median_ms(d_fwd), median_ms(d_loss), median_ms(d_bwd))
+}
+
+fn median_ms(mut v: Vec<f64>) -> f64 {
+    v.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    let mid = v.len() / 2;
+    let m = if v.len().is_multiple_of(2) {
+        0.5 * (v[mid - 1] + v[mid])
+    } else {
+        v[mid]
+    };
+    m * 1000.0
+}
+
+/// Mean ms per epoch of a full two-member `RddTrainer` run with a pinned
+/// epoch budget (early stopping disabled so seed and current builds do the
+/// same number of epochs). Best of two runs, so a load spike during one
+/// run does not masquerade as a regression.
+fn e2e_epoch_ms(data: &Dataset, epochs: usize) -> f64 {
+    let mut cfg = RddConfig::fast();
+    cfg.num_base_models = 2;
+    cfg.train.epochs = epochs;
+    cfg.train.min_epochs = epochs;
+    cfg.train.patience = epochs + 1;
+    let trainer = RddTrainer::new(cfg);
+    let mut best = f64::INFINITY;
+    for _ in 0..2 {
+        let t = Instant::now();
+        let out = trainer.run(data);
+        std::hint::black_box(&out.ensemble_pred);
+        let total: usize = out.base_models.iter().map(|b| b.report.epochs_run).sum();
+        best = best.min(t.elapsed().as_secs_f64() * 1000.0 / total as f64);
+    }
+    best
+}
+
+fn main() {
+    let mut preset = "cora-sim".to_string();
+    let mut epochs = 15usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--preset" => preset = args.next().expect("--preset needs a value"),
+            "--epochs" => {
+                epochs = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--epochs needs a number")
+            }
+            other => panic!("unknown arg {other} (use --preset NAME --epochs N)"),
+        }
+    }
+    let cfg = match preset.as_str() {
+        "cora-sim" => SynthConfig::cora_sim(),
+        "citeseer-sim" => SynthConfig::citeseer_sim(),
+        "pubmed-sim" => SynthConfig::pubmed_sim(),
+        "tiny" => SynthConfig::tiny(),
+        other => panic!("unknown preset {other}"),
+    };
+    let data = cfg.generate();
+
+    let (fwd, loss, bwd) = stage_timings(&data, epochs);
+    let e2e = e2e_epoch_ms(&data, epochs);
+    let build = if cfg!(seed_build) { "seed" } else { "current" };
+    println!("{{");
+    println!("  \"build\": \"{build}\",");
+    println!("  \"preset\": \"{preset}\",");
+    println!("  \"epochs\": {epochs},");
+    println!("  \"unit\": \"ms/epoch\",");
+    println!("  \"stages\": {{");
+    println!("    \"forward\": {fwd:.2},");
+    println!("    \"loss_reliability\": {loss:.2},");
+    println!("    \"backward\": {bwd:.2},");
+    println!("    \"epoch_e2e\": {e2e:.2}");
+    println!("  }}");
+    println!("}}");
+}
