@@ -37,4 +37,30 @@ RDD_TRACE="$GUARD_DIR/on.jsonl" cargo run -q --release -p rdd-cli -- train tiny 
 target/trace_check "$GUARD_DIR/on.jsonl"
 RDD_TRACE="$GUARD_DIR/on.jsonl" cargo run -q --release -p rdd-cli -- trace-summary "$GUARD_DIR/on.jsonl" >/dev/null
 
+echo "==> fault-injection matrix (kill, resume, compare bitwise)"
+# For each fault kind: run crash-safe under RDD_FAULT, then finish the run
+# (resume for the aborting kinds, in-process recovery for nan_loss) and
+# require the ensemble predictions to be byte-identical to a clean run.
+RDD="cargo run -q --release -p rdd-cli --"
+FAULT_DIR="$GUARD_DIR/faults"
+mkdir -p "$FAULT_DIR"
+$RDD train tiny --models 2 --pred-out "$FAULT_DIR/clean.txt" >/dev/null
+
+for fault in panic@member:1 io_fail@ckpt:2; do
+  tag="${fault%%@*}"
+  if RDD_FAULT="$fault" $RDD train tiny --models 2 \
+      --run-dir "$FAULT_DIR/run-$tag" >/dev/null 2>&1; then
+    echo "fault matrix: $fault did not abort the run" >&2
+    exit 1
+  fi
+  $RDD resume "$FAULT_DIR/run-$tag" --pred-out "$FAULT_DIR/$tag.txt" >/dev/null
+  cmp "$FAULT_DIR/clean.txt" "$FAULT_DIR/$tag.txt" \
+    || { echo "fault matrix: $fault resume diverged from clean run" >&2; exit 1; }
+done
+
+RDD_FAULT=nan_loss@epoch:7 $RDD train tiny --models 2 \
+  --run-dir "$FAULT_DIR/run-nan" --pred-out "$FAULT_DIR/nan_loss.txt" >/dev/null
+cmp "$FAULT_DIR/clean.txt" "$FAULT_DIR/nan_loss.txt" \
+  || { echo "fault matrix: nan_loss recovery diverged from clean run" >&2; exit 1; }
+
 echo "ci.sh: all gates passed"

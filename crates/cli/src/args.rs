@@ -30,12 +30,13 @@ impl Args {
                     out.options.insert(key.to_string(), value.to_string());
                     continue;
                 }
-                match iter.peek() {
-                    Some(next) if !next.starts_with("--") => {
-                        let value = iter.next().expect("peeked");
+                let takes_value = iter.peek().is_some_and(|next| !next.starts_with("--"));
+                if takes_value {
+                    if let Some(value) = iter.next() {
                         out.options.insert(name.to_string(), value);
                     }
-                    _ => out.flags.push(name.to_string()),
+                } else {
+                    out.flags.push(name.to_string());
                 }
             } else {
                 out.positional.push(tok);
@@ -48,9 +49,12 @@ impl Args {
     pub fn get_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
         match self.options.get(name) {
             None => Ok(default),
-            Some(v) => v
-                .parse()
-                .map_err(|_| format!("invalid value {v:?} for --{name}")),
+            Some(v) => v.parse().map_err(|_| {
+                format!(
+                    "invalid value {v:?} for --{name} (expected {})",
+                    std::any::type_name::<T>()
+                )
+            }),
         }
     }
 
@@ -96,7 +100,10 @@ mod tests {
     #[test]
     fn invalid_value_errors() {
         let a = parse("--models abc");
-        assert!(a.get_or("models", 1usize).is_err());
+        let err = a.get_or("models", 1usize).unwrap_err();
+        assert!(err.contains("--models"), "names the flag: {err}");
+        assert!(err.contains("\"abc\""), "names the value: {err}");
+        assert!(err.contains("usize"), "names the expected type: {err}");
     }
 
     #[test]

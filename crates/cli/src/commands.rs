@@ -26,6 +26,22 @@ fn maybe_save(model: &dyn rdd_models::Model, args: &Args) -> Result<(), String> 
     Ok(())
 }
 
+/// Honor `--pred-out <file>`: the ensemble's hard predictions, one class id
+/// per line (the ci fault matrix compares these byte-for-byte across
+/// killed-then-resumed and uninterrupted runs).
+fn maybe_write_preds(args: &Args, preds: &[usize]) -> Result<(), String> {
+    if let Some(path) = args.options.get("pred-out") {
+        let mut out = String::with_capacity(preds.len() * 2);
+        for p in preds {
+            out.push_str(&p.to_string());
+            out.push('\n');
+        }
+        std::fs::write(path, out).map_err(|e| format!("failed to write {path}: {e}"))?;
+        println!("wrote {} predictions to {path}", preds.len());
+    }
+    Ok(())
+}
+
 fn preset(name: &str) -> Option<SynthConfig> {
     match name {
         "cora" | "cora-sim" => Some(SynthConfig::cora_sim()),
@@ -158,10 +174,19 @@ pub fn train_cmd_inner(args: &Args, print: bool) -> Result<(String, f32), String
             rdd_cfg.gamma_initial = args.get_or("gamma", rdd_cfg.gamma_initial)?;
             rdd_cfg.beta = args.get_or("beta", rdd_cfg.beta)?;
             rdd_cfg.p = args.get_or("p", rdd_cfg.p)?;
-            let out = RddTrainer::new(rdd_cfg).run(&data);
+            let trainer = RddTrainer::new(rdd_cfg);
+            let out = match args.options.get("run-dir") {
+                // Crash-safe mode: every member commits to the run
+                // directory, and a failed run restarts with `rdd resume`.
+                Some(dir) => trainer
+                    .run_crash_safe(&data, Path::new(dir), source)
+                    .map_err(|e| e.to_string())?,
+                None => trainer.run(&data),
+            };
             if print {
                 println!("RDD single: {:.1}%", 100.0 * out.single_test_acc);
             }
+            maybe_write_preds(args, &out.ensemble_pred)?;
             out.ensemble_test_acc
         }
         "bagging" => bagging(&data, &gcn_cfg, &train_cfg, models, seed).ensemble_test_acc,
@@ -228,6 +253,28 @@ pub fn train_cmd_inner(args: &Args, print: bool) -> Result<(String, f32), String
 
 pub fn train(args: &Args) -> Result<(), String> {
     train_cmd_inner(args, true).map(|_| ())
+}
+
+/// `rdd resume <run-dir> [--pred-out <file>]` — finish an interrupted
+/// crash-safe run. The dataset source comes from the run's manifest, and
+/// the completed run is bitwise-identical to one that was never
+/// interrupted.
+pub fn resume(args: &Args) -> Result<(), String> {
+    let [_, dir] = args.positional.as_slice() else {
+        return Err("usage: rdd resume <run-dir> [--pred-out <file>]".into());
+    };
+    let dir = Path::new(dir);
+    let source = rdd_core::manifest_source(dir).map_err(|e| e.to_string())?;
+    let data = load(&source, None)?;
+    let out = RddTrainer::resume(dir, &data).map_err(|e| e.to_string())?;
+    println!("RDD single: {:.1}%", 100.0 * out.single_test_acc);
+    println!(
+        "rdd on {}: test accuracy {:.1}%",
+        data.name,
+        100.0 * out.ensemble_test_acc
+    );
+    maybe_write_preds(args, &out.ensemble_pred)?;
+    Ok(())
 }
 
 /// `rdd trace-summary <file.jsonl>` — validate and render an RDD_TRACE file.

@@ -4,6 +4,7 @@
 //! rdd generate <preset> <dir> [--seed N]        write a synthetic dataset as TSV
 //! rdd info <preset|dir>                         dataset statistics (Table 2 row)
 //! rdd train <preset|dir> [--method M] [...]     train and report test accuracy
+//! rdd resume <run-dir>                          finish an interrupted crash-safe run
 //! rdd compare <preset|dir> [--models N]         run every method side by side
 //! rdd trace-summary <file.jsonl>                render an RDD_TRACE telemetry file
 //! ```
@@ -24,11 +25,14 @@ const USAGE: &str = "usage:
   rdd info <preset|dir>
   rdd train <preset|dir> [--method gcn|gat|sage|rdd|bagging|bans|lp|self-training|co-training|snapshot|mean-teacher]
             [--models N] [--seed N] [--gamma F] [--beta F] [--p F]
+            [--run-dir <dir>] [--pred-out <file>]      (rdd method only)
+  rdd resume <run-dir> [--pred-out <file>]
   rdd compare <preset|dir> [--models N] [--seed N]
   rdd trace-summary <file.jsonl>
 
 presets: cora, citeseer, pubmed, nell, tiny
-env: RDD_TRACE=<path|stderr|off> structured telemetry sink, RDD_THREADS=N worker pool size";
+env: RDD_TRACE=<path|stderr|off> structured telemetry sink, RDD_THREADS=N worker pool size,
+     RDD_FAULT=<kind>@<site>:<n> deterministic fault injection (nan_loss@epoch, io_fail@ckpt, panic@member)";
 
 fn main() {
     let args = match Args::parse(std::env::args().skip(1)) {
@@ -50,6 +54,7 @@ fn main() {
         "generate" => commands::generate(&args),
         "info" => commands::info(&args),
         "train" => commands::train(&args),
+        "resume" => commands::resume(&args),
         "compare" => commands::compare(&args),
         "trace-summary" => commands::trace_summary(&args),
         "help" | "--help" => {

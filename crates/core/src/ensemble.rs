@@ -57,6 +57,22 @@ impl Ensemble {
         self.members.iter().map(|m| m.alpha).collect()
     }
 
+    /// The running `Σ_t α_t · proba_t` (None while empty). Persisted by the
+    /// crash-safe run directory as a bitwise integrity check for resume.
+    pub fn proba_sum(&self) -> Option<&Matrix> {
+        self.proba_sum.as_ref()
+    }
+
+    /// The running `Σ_t α_t · logits_t` (None while empty).
+    pub fn logits_sum(&self) -> Option<&Matrix> {
+        self.logits_sum.as_ref()
+    }
+
+    /// The running `Σ_t α_t`.
+    pub fn alpha_total(&self) -> f32 {
+        self.alpha_total
+    }
+
     /// Add a base model's outputs with weight `alpha`.
     pub fn push(&mut self, proba: Matrix, logits: Matrix, alpha: f32) {
         assert!(

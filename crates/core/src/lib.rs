@@ -13,7 +13,10 @@
 //!   (Eqs. 12–13);
 //! * [`rdd`] — the self-boosting training loop (Algorithm 3) with the
 //!   three-term objective `L = L1 + γ·L2 + β·Lreg` (Eq. 10) and the
-//!   Table 8 ablation switches.
+//!   Table 8 ablation switches;
+//! * [`run`] — crash-safe run directories: per-member checkpoints with
+//!   atomic commits, so [`RddTrainer::resume`] restarts an interrupted
+//!   cascade at the next member boundary with bitwise-identical results.
 //!
 //! ```
 //! use rdd_core::{RddConfig, RddTrainer};
@@ -30,6 +33,7 @@
 pub mod ensemble;
 pub mod rdd;
 pub mod reliability;
+pub mod run;
 
 pub use ensemble::{model_weight, uniform_weight, Ensemble, EnsembleMember};
 pub use rdd::{
@@ -38,3 +42,4 @@ pub use rdd::{
 pub use reliability::{
     all_nodes_reliable, compute_reliability, ReliabilitySets, ReliabilityWorkspace,
 };
+pub use run::{manifest_source, MemberRecord, PersistedMember, RunError, RunState};

@@ -10,6 +10,8 @@
 //! improving the teacher for the next round — the mutual-promoting cycle of
 //! Figure 2.
 
+use std::panic::{self, AssertUnwindSafe};
+use std::path::Path;
 use std::rc::Rc;
 use std::time::Instant;
 
@@ -21,6 +23,7 @@ use rdd_tensor::{seeded_rng, Matrix, Tape, Var, Workspace};
 
 use crate::ensemble::{model_weight, uniform_weight, Ensemble};
 use crate::reliability::ReliabilityWorkspace;
+use crate::run::{MemberRecord, PersistedMember, RunError, RunState};
 
 /// Feature switches for the paper's Table 8 ablations.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -119,7 +122,7 @@ pub enum DistillTarget {
 }
 
 /// Full RDD configuration (paper §5.1 defaults via [`RddConfig::citation`]).
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct RddConfig {
     /// `T`, the number of base models (the paper ensembles five).
     pub num_base_models: usize,
@@ -254,6 +257,10 @@ pub struct BaseModelRecord {
     pub val_acc: f32,
     /// Test accuracy of this base model.
     pub test_acc: f32,
+    /// True when the divergence guard dropped this member from the
+    /// ensemble (its training never produced finite losses within the
+    /// retry budget).
+    pub dropped: bool,
     /// The training report of this base model.
     pub report: TrainReport,
 }
@@ -343,6 +350,74 @@ impl RddTrainer {
     /// student's training epochs, eval forwards and backward gradients draw
     /// from `ws`.
     pub fn run_with_workspace(&self, dataset: &Dataset, ws: &Workspace) -> RddOutcome {
+        self.run_cascade(dataset, ws, None, Vec::new())
+            .expect("a non-persisted cascade has no fallible steps")
+    }
+
+    /// [`RddTrainer::run`] with crash safety: every member commits to the
+    /// run directory `dir` before the next starts, member training runs
+    /// under `catch_unwind`, and a killed or failed run restarts from the
+    /// next member boundary via [`RddTrainer::resume`] — producing final
+    /// ensemble outputs bitwise-identical to an uninterrupted run.
+    ///
+    /// `source` is the dataset source string (preset name or TSV directory)
+    /// recorded in the manifest so `resume` can reload the same data.
+    pub fn run_crash_safe(
+        &self,
+        dataset: &Dataset,
+        dir: &Path,
+        source: &str,
+    ) -> Result<RddOutcome, RunError> {
+        if self.factory.is_some() {
+            return Err(RunError::Unsupported(
+                "crash-safe runs require the default GCN base model; a custom base-model \
+                 factory cannot be reconstructed from a manifest"
+                    .into(),
+            ));
+        }
+        let mut state = RunState::create(dir, source, &self.config, dataset)?;
+        let ws = Workspace::new();
+        let outcome = self.run_cascade(dataset, &ws, Some(&mut state), Vec::new())?;
+        state.mark_complete()?;
+        Ok(outcome)
+    }
+
+    /// Resume an interrupted [`RddTrainer::run_crash_safe`] run: reload the
+    /// manifest, replay the committed members (verified bitwise against the
+    /// stored ensemble sums), and train the remaining members. Because each
+    /// member reseeds its RNG from `config.seed + t`, the completed run is
+    /// bitwise-identical to one that was never interrupted.
+    pub fn resume(dir: &Path, dataset: &Dataset) -> Result<RddOutcome, RunError> {
+        let mut state = RunState::load(dir)?;
+        if state.is_complete() {
+            return Err(RunError::Unsupported(format!(
+                "run directory {} is already complete; nothing to resume",
+                dir.display()
+            )));
+        }
+        state.check_dataset(dataset)?;
+        let preloaded = state.load_members()?;
+        rdd_obs::emit_resume(state.next_member(), preloaded.len(), &dir.to_string_lossy());
+        let trainer = RddTrainer::new(state.config().clone());
+        let ws = Workspace::new();
+        let outcome = trainer.run_cascade(dataset, &ws, Some(&mut state), preloaded)?;
+        state.mark_complete()?;
+        Ok(outcome)
+    }
+
+    /// The cascade body shared by plain, crash-safe, and resumed runs.
+    ///
+    /// `persist` commits each member to a run directory; `preloaded`
+    /// replays already-committed members instead of retraining them. With
+    /// `persist = None` no step can fail (member panics propagate as they
+    /// always have).
+    fn run_cascade(
+        &self,
+        dataset: &Dataset,
+        ws: &Workspace,
+        mut persist: Option<&mut RunState>,
+        preloaded: Vec<PersistedMember>,
+    ) -> Result<RddOutcome, RunError> {
         let cfg = &self.config;
         assert!(cfg.num_base_models >= 1, "need at least one base model");
         let start = Instant::now();
@@ -371,169 +446,209 @@ impl RddTrainer {
             Rc::new(all_edges.iter().map(|&e| edge_weight(e)).collect());
 
         let mut ensemble = Ensemble::new();
-        let mut members_snapshot: Vec<(Matrix, Matrix)> = Vec::with_capacity(cfg.num_base_models);
+        let mut members_snapshot: Vec<Option<(Matrix, Matrix)>> =
+            Vec::with_capacity(cfg.num_base_models);
         let mut base_models = Vec::with_capacity(cfg.num_base_models);
         let mut last_single_pred: Vec<usize> = Vec::new();
         let mut last_single_test = 0.0f32;
 
-        for t in 0..cfg.num_base_models {
+        // Replay the members a resumed run already committed: their frozen
+        // outputs rebuild the ensemble (and therefore the next teacher)
+        // bitwise, without retraining.
+        for pm in &preloaded {
+            let rec = &pm.record;
+            base_models.push(rec.to_base_record());
+            match &pm.outputs {
+                Some((proba, logits)) => {
+                    last_single_pred = proba.argmax_rows();
+                    last_single_test = rec.test_acc;
+                    members_snapshot.push(Some((proba.clone(), logits.clone())));
+                    ensemble.push(proba.clone(), logits.clone(), rec.alpha);
+                }
+                None => members_snapshot.push(None),
+            }
+        }
+
+        for t in preloaded.len()..cfg.num_base_models {
             let mut rng = seeded_rng(cfg.seed.wrapping_add(t as u64));
             let mut student = self.new_student(&ctx, &mut rng);
 
-            let report = if t == 0 {
-                // Line 2: the first student is a plain GCN. The hook adds no
-                // loss terms; it only stages zeroed RDD telemetry so epoch
-                // records keep a uniform schema across members (no-op with
-                // tracing off).
-                let mut hook = |_tape: &mut Tape, _logits: Var, _epoch: usize| {
-                    rdd_obs::stage_rdd_epoch(rdd_obs::RddEpochExtra {
-                        member: 0,
-                        gamma: f32::NAN,
-                        agreement: f32::NAN,
-                        teacher_entropy_thresh: f32::NAN,
-                        student_entropy_thresh: f32::NAN,
-                        ..Default::default()
-                    });
-                    Vec::new()
-                };
-                train_in(
-                    student.as_mut(),
-                    &ctx,
-                    dataset,
-                    &cfg.train,
-                    &mut rng,
-                    Some(&mut hook),
-                    ws,
-                )
-            } else {
-                // Freeze the teacher's outputs for this round.
-                let teacher_proba = ensemble.proba();
-                let teacher_proba_rc = Rc::new(teacher_proba.clone());
-                let teacher_logits = Rc::new(ensemble.logits());
-                let labels = dataset.labels.clone();
-                let graph = &dataset.graph;
-                let total_epochs = cfg.gamma_epochs;
-                let abl = cfg.ablation;
-                let distill = cfg.distill;
-                let (p, beta, gamma_initial) = (cfg.p, cfg.beta, cfg.gamma_initial);
-                let all_edges = Rc::clone(&all_edges);
-                let all_edge_weights = Rc::clone(&all_edge_weights);
-                let is_labeled_ref = &is_labeled;
-                let edge_weight = &edge_weight;
-                // Epoch-persistent reliability scratch: the teacher side is
-                // computed once (the ensemble is frozen for this member) and
-                // the student-side buffers are refilled in place each epoch.
-                let mut relia = ReliabilityWorkspace::new();
-                // Telemetry inputs, gathered only when tracing is on: the
-                // teacher's hard predictions (for the agreement rate) and the
-                // current ensemble weights (the `alpha` array of each epoch
-                // record).
-                let teacher_pred = rdd_obs::enabled().then(|| teacher_proba.argmax_rows());
-                let member_alphas = ensemble.alphas();
-
-                let mut hook = move |tape: &mut Tape, logits: Var, epoch: usize| {
-                    let mut terms: Vec<(Var, f32)> = Vec::with_capacity(2);
-                    // ONE softmax node for the epoch: its value feeds the
-                    // reliability refresh below, and the same node is the
-                    // `Probs` distillation output and the regularizer input —
-                    // the forward work and the tape node are never duplicated.
-                    let probs = tape.softmax(logits);
-                    let student_proba = tape.value(probs);
-                    if abl.use_node_reliability {
-                        relia.compute(
-                            &teacher_proba,
-                            student_proba,
-                            &labels,
-                            is_labeled_ref,
-                            p,
-                            graph,
-                        );
-                    } else {
-                        relia.compute_all_reliable(student_proba, graph);
-                    }
-                    let staged = teacher_pred.as_ref().map(|tp| {
-                        (
-                            relia.num_reliable(),
-                            relia.distill().len(),
-                            relia.edges().len(),
-                            rdd_obs::agreement_rate(tp, relia.student_pred()),
-                            relia.teacher_entropy_threshold(),
-                            relia.student_entropy_threshold(),
-                        )
-                    });
-                    let gamma = cosine_gamma(gamma_initial, epoch, total_epochs);
-                    let mut l2_val = 0.0f32;
-                    let mut lreg_val = 0.0f32;
-                    let distill_idx = relia.distill();
-                    if abl.use_l2 && !distill_idx.is_empty() {
-                        if gamma > 0.0 {
-                            let l2 = match distill {
-                                DistillTarget::Logits => {
-                                    tape.mse_rows(logits, Rc::clone(&teacher_logits), distill_idx)
-                                }
-                                DistillTarget::Probs => {
-                                    tape.mse_rows(probs, Rc::clone(&teacher_proba_rc), distill_idx)
-                                }
-                                DistillTarget::SoftCe => {
-                                    let logp = tape.log_softmax(logits);
-                                    tape.soft_ce_masked(
-                                        logp,
-                                        Rc::clone(&teacher_proba_rc),
-                                        distill_idx,
-                                    )
-                                }
-                            };
-                            if staged.is_some() {
-                                l2_val = tape.scalar(l2);
-                            }
-                            terms.push((l2, gamma));
-                        }
-                    }
-                    if abl.use_lreg && beta > 0.0 {
-                        let (edges, weights) = if abl.use_edge_reliability {
-                            relia.weigh_edges(edge_weight);
-                            (relia.edges(), relia.edge_weights())
-                        } else {
-                            (Rc::clone(&all_edges), Rc::clone(&all_edge_weights))
-                        };
-                        if !edges.is_empty() {
-                            // Eq. 8's label-map f(·): regularize the
-                            // predicted distributions, not raw logits —
-                            // penalizing logit differences fights CE's
-                            // confidence growth and hurts accuracy.
-                            let lreg = tape.edge_reg_weighted(probs, edges, weights);
-                            if staged.is_some() {
-                                lreg_val = tape.scalar(lreg);
-                            }
-                            terms.push((lreg, beta));
-                        }
-                    }
-                    if let Some((v_r, v_b, e_r, agreement, t_thresh, s_thresh)) = staged {
+            // Member training runs inside a closure so crash-safe runs can
+            // isolate a panicking member with `catch_unwind` (plain runs
+            // call it directly and keep today's propagation).
+            let teacherless = ensemble.is_empty();
+            let train_member = |student: &mut dyn Model, rng: &mut rand::rngs::StdRng| {
+                if matches!(
+                    rdd_obs::fault::fire("member"),
+                    Some(rdd_obs::FaultKind::Panic)
+                ) {
+                    panic!("injected fault: panic@member:{t}");
+                }
+                if teacherless {
+                    // Line 2: a teacherless student is a plain GCN (member 0,
+                    // or a later member whose every predecessor was dropped).
+                    // The hook adds no loss terms; it only stages zeroed RDD
+                    // telemetry so epoch records keep a uniform schema across
+                    // members (no-op with tracing off).
+                    let mut hook = |_tape: &mut Tape, _logits: Var, _epoch: usize| {
                         rdd_obs::stage_rdd_epoch(rdd_obs::RddEpochExtra {
                             member: t,
-                            l2: l2_val,
-                            lreg: lreg_val,
-                            gamma,
-                            v_r,
-                            v_b,
-                            e_r,
-                            agreement,
-                            teacher_entropy_thresh: t_thresh,
-                            student_entropy_thresh: s_thresh,
-                            alpha: member_alphas.clone(),
+                            gamma: f32::NAN,
+                            agreement: f32::NAN,
+                            teacher_entropy_thresh: f32::NAN,
+                            student_entropy_thresh: f32::NAN,
+                            ..Default::default()
                         });
+                        Vec::new()
+                    };
+                    train_in(student, &ctx, dataset, &cfg.train, rng, Some(&mut hook), ws)
+                } else {
+                    // Freeze the teacher's outputs for this round.
+                    let teacher_proba = ensemble.proba();
+                    let teacher_proba_rc = Rc::new(teacher_proba.clone());
+                    let teacher_logits = Rc::new(ensemble.logits());
+                    let labels = dataset.labels.clone();
+                    let graph = &dataset.graph;
+                    let total_epochs = cfg.gamma_epochs;
+                    let abl = cfg.ablation;
+                    let distill = cfg.distill;
+                    let (p, beta, gamma_initial) = (cfg.p, cfg.beta, cfg.gamma_initial);
+                    let all_edges = Rc::clone(&all_edges);
+                    let all_edge_weights = Rc::clone(&all_edge_weights);
+                    let is_labeled_ref = &is_labeled;
+                    let edge_weight = &edge_weight;
+                    // Epoch-persistent reliability scratch: the teacher side is
+                    // computed once (the ensemble is frozen for this member) and
+                    // the student-side buffers are refilled in place each epoch.
+                    let mut relia = ReliabilityWorkspace::new();
+                    // Telemetry inputs, gathered only when tracing is on: the
+                    // teacher's hard predictions (for the agreement rate) and the
+                    // current ensemble weights (the `alpha` array of each epoch
+                    // record).
+                    let teacher_pred = rdd_obs::enabled().then(|| teacher_proba.argmax_rows());
+                    let member_alphas = ensemble.alphas();
+
+                    let mut hook = move |tape: &mut Tape, logits: Var, epoch: usize| {
+                        let mut terms: Vec<(Var, f32)> = Vec::with_capacity(2);
+                        // ONE softmax node for the epoch: its value feeds the
+                        // reliability refresh below, and the same node is the
+                        // `Probs` distillation output and the regularizer input —
+                        // the forward work and the tape node are never duplicated.
+                        let probs = tape.softmax(logits);
+                        let student_proba = tape.value(probs);
+                        if abl.use_node_reliability {
+                            relia.compute(
+                                &teacher_proba,
+                                student_proba,
+                                &labels,
+                                is_labeled_ref,
+                                p,
+                                graph,
+                            );
+                        } else {
+                            relia.compute_all_reliable(student_proba, graph);
+                        }
+                        let staged = teacher_pred.as_ref().map(|tp| {
+                            (
+                                relia.num_reliable(),
+                                relia.distill().len(),
+                                relia.edges().len(),
+                                rdd_obs::agreement_rate(tp, relia.student_pred()),
+                                relia.teacher_entropy_threshold(),
+                                relia.student_entropy_threshold(),
+                            )
+                        });
+                        let gamma = cosine_gamma(gamma_initial, epoch, total_epochs);
+                        let mut l2_val = 0.0f32;
+                        let mut lreg_val = 0.0f32;
+                        let distill_idx = relia.distill();
+                        if abl.use_l2 && !distill_idx.is_empty() {
+                            if gamma > 0.0 {
+                                let l2 = match distill {
+                                    DistillTarget::Logits => tape.mse_rows(
+                                        logits,
+                                        Rc::clone(&teacher_logits),
+                                        distill_idx,
+                                    ),
+                                    DistillTarget::Probs => tape.mse_rows(
+                                        probs,
+                                        Rc::clone(&teacher_proba_rc),
+                                        distill_idx,
+                                    ),
+                                    DistillTarget::SoftCe => {
+                                        let logp = tape.log_softmax(logits);
+                                        tape.soft_ce_masked(
+                                            logp,
+                                            Rc::clone(&teacher_proba_rc),
+                                            distill_idx,
+                                        )
+                                    }
+                                };
+                                if staged.is_some() {
+                                    l2_val = tape.scalar(l2);
+                                }
+                                terms.push((l2, gamma));
+                            }
+                        }
+                        if abl.use_lreg && beta > 0.0 {
+                            let (edges, weights) = if abl.use_edge_reliability {
+                                relia.weigh_edges(edge_weight);
+                                (relia.edges(), relia.edge_weights())
+                            } else {
+                                (Rc::clone(&all_edges), Rc::clone(&all_edge_weights))
+                            };
+                            if !edges.is_empty() {
+                                // Eq. 8's label-map f(·): regularize the
+                                // predicted distributions, not raw logits —
+                                // penalizing logit differences fights CE's
+                                // confidence growth and hurts accuracy.
+                                let lreg = tape.edge_reg_weighted(probs, edges, weights);
+                                if staged.is_some() {
+                                    lreg_val = tape.scalar(lreg);
+                                }
+                                terms.push((lreg, beta));
+                            }
+                        }
+                        if let Some((v_r, v_b, e_r, agreement, t_thresh, s_thresh)) = staged {
+                            rdd_obs::stage_rdd_epoch(rdd_obs::RddEpochExtra {
+                                member: t,
+                                l2: l2_val,
+                                lreg: lreg_val,
+                                gamma,
+                                v_r,
+                                v_b,
+                                e_r,
+                                agreement,
+                                teacher_entropy_thresh: t_thresh,
+                                student_entropy_thresh: s_thresh,
+                                alpha: member_alphas.clone(),
+                            });
+                        }
+                        terms
+                    };
+                    train_in(student, &ctx, dataset, &cfg.train, rng, Some(&mut hook), ws)
+                }
+            };
+
+            let report = if persist.is_some() {
+                // Crash-safe runs isolate member training: a panic becomes a
+                // typed error, and the run directory still holds every member
+                // committed before it — `resume` restarts at this boundary.
+                match panic::catch_unwind(AssertUnwindSafe(|| {
+                    train_member(student.as_mut(), &mut rng)
+                })) {
+                    Ok(report) => report,
+                    Err(payload) => {
+                        let message = payload
+                            .downcast_ref::<&str>()
+                            .map(|s| s.to_string())
+                            .or_else(|| payload.downcast_ref::<String>().cloned())
+                            .unwrap_or_else(|| "non-string panic payload".into());
+                        return Err(RunError::MemberPanic { member: t, message });
                     }
-                    terms
-                };
-                train_in(
-                    student.as_mut(),
-                    &ctx,
-                    dataset,
-                    &cfg.train,
-                    &mut rng,
-                    Some(&mut hook),
-                    ws,
-                )
+                }
+            } else {
+                train_member(student.as_mut(), &mut rng)
             };
 
             // Lines 19–21: weigh and absorb the student.
@@ -548,27 +663,64 @@ impl RddTrainer {
             let test_acc = dataset.test_accuracy(&pred);
             let val_acc = dataset.val_accuracy(&pred);
             rdd_obs::emit_member(t, alpha, val_acc, test_acc, report.epochs_run);
+
+            // A member the divergence guard gave up on is dropped from the
+            // ensemble: its parameters hold the best snapshot, but its
+            // diverging stream would poison the teacher. The one exception
+            // keeps the final member when the ensemble would otherwise end
+            // empty — a weak ensemble beats none.
+            let kept = !report.diverged || (ensemble.is_empty() && t + 1 == cfg.num_base_models);
+            if !kept {
+                rdd_obs::emit_member_dropped(t, report.rollbacks);
+            }
             base_models.push(BaseModelRecord {
                 alpha,
                 val_acc,
                 test_acc,
-                report,
+                dropped: !kept,
+                report: report.clone(),
             });
-            last_single_pred = pred;
-            last_single_test = test_acc;
-            members_snapshot.push((proba.clone(), logits.clone()));
-            ensemble.push(proba, logits, alpha);
+            if kept {
+                last_single_pred = pred;
+                last_single_test = test_acc;
+                members_snapshot.push(Some((proba.clone(), logits.clone())));
+                ensemble.push(proba, logits, alpha);
+            } else {
+                members_snapshot.push(None);
+            }
+            if let Some(state) = persist.as_deref_mut() {
+                let record = MemberRecord {
+                    member: t,
+                    kept,
+                    alpha,
+                    val_acc,
+                    test_acc,
+                    report,
+                };
+                let outputs = members_snapshot
+                    .last()
+                    .and_then(|snap| snap.as_ref().map(|(p, l)| (p, l)));
+                state.record_member(student.as_ref(), outputs, record, &ensemble)?;
+            }
         }
 
-        // Prefix accuracies: rebuild the ensemble one member at a time.
+        // Prefix accuracies: rebuild the ensemble one member at a time. A
+        // dropped member contributes nothing, so its slot repeats the
+        // current partial accuracy (0.0 while the partial is still empty).
         let prefix_ensemble_test_accs: Vec<f32> = {
             let mut partial = Ensemble::new();
             base_models
                 .iter()
                 .zip(members_snapshot)
-                .map(|(b, (proba, logits))| {
-                    partial.push(proba, logits, b.alpha);
-                    dataset.test_accuracy(&partial.predict())
+                .map(|(b, snap)| {
+                    if let Some((proba, logits)) = snap {
+                        partial.push(proba, logits, b.alpha);
+                    }
+                    if partial.is_empty() {
+                        0.0
+                    } else {
+                        dataset.test_accuracy(&partial.predict())
+                    }
                 })
                 .collect()
         };
@@ -577,7 +729,7 @@ impl RddTrainer {
         let ensemble_test_acc = dataset.test_accuracy(&ensemble_pred);
         rdd_obs::emit_run(ensemble_test_acc, last_single_test, cfg.num_base_models);
         rdd_obs::flush();
-        RddOutcome {
+        Ok(RddOutcome {
             ensemble_test_acc,
             ensemble_val_acc: dataset.val_accuracy(&ensemble_pred),
             single_test_acc: last_single_test,
@@ -586,7 +738,7 @@ impl RddTrainer {
             single_pred: last_single_pred,
             prefix_ensemble_test_accs,
             wall_time_s: start.elapsed().as_secs_f64(),
-        }
+        })
     }
 }
 

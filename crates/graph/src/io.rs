@@ -141,53 +141,80 @@ pub fn load_dataset(dir: &Path) -> Result<Dataset, IoError> {
                 message: format!("missing key {key}"),
             })
     };
-    let n: usize = get("n")?.parse().map_err(|e| IoError::Parse {
-        file: "meta.tsv".into(),
-        line: 0,
-        message: format!("bad n: {e}"),
-    })?;
-    let num_features: usize = get("num_features")?.parse().unwrap_or(0);
-    let num_classes: usize = get("num_classes")?.parse().unwrap_or(0);
+    let meta_num = |key: &str| -> Result<usize, IoError> {
+        let v = get(key)?;
+        v.parse().map_err(|e| IoError::Parse {
+            file: "meta.tsv".into(),
+            line: 0,
+            message: format!("bad {key} {v:?}: {e}"),
+        })
+    };
+    let n = meta_num("n")?;
+    let num_features = meta_num("num_features")?;
+    let num_classes = meta_num("num_classes")?;
     let name = get("name").unwrap_or_else(|_| "unnamed".into());
 
+    // Every record below is validated against the meta declaration before
+    // any matrix/graph construction: a malformed directory must surface as
+    // an `IoError` naming the file and line, never as a panic inside
+    // `Graph::from_edges` or `CsrMatrix::from_triplets`.
     let edges: Vec<(usize, usize)> = parse_lines(&dir.join("edges.tsv"), |f| {
         if f.len() != 2 {
             return Err("expected src\\tdst".into());
         }
-        let a = f[0].parse().map_err(|e| format!("bad src: {e}"))?;
-        let b = f[1].parse().map_err(|e| format!("bad dst: {e}"))?;
+        let a: usize = f[0].parse().map_err(|e| format!("bad src: {e}"))?;
+        let b: usize = f[1].parse().map_err(|e| format!("bad dst: {e}"))?;
+        if a >= n || b >= n {
+            return Err(format!("edge ({a}, {b}) out of bounds for n = {n}"));
+        }
         Ok((a, b))
     })?;
 
+    let mut seen_feats = std::collections::HashSet::new();
     let feats: Vec<(usize, usize, f32)> = parse_lines(&dir.join("features.tsv"), |f| {
         if f.len() != 3 {
             return Err("expected node\\tfeature\\tvalue".into());
         }
-        Ok((
-            f[0].parse().map_err(|e| format!("bad node: {e}"))?,
-            f[1].parse().map_err(|e| format!("bad feature: {e}"))?,
-            f[2].parse().map_err(|e| format!("bad value: {e}"))?,
-        ))
+        let node: usize = f[0].parse().map_err(|e| format!("bad node: {e}"))?;
+        let col: usize = f[1].parse().map_err(|e| format!("bad feature: {e}"))?;
+        let value: f32 = f[2].parse().map_err(|e| format!("bad value: {e}"))?;
+        if node >= n {
+            return Err(format!("feature node {node} out of bounds for n = {n}"));
+        }
+        if col >= num_features {
+            return Err(format!(
+                "feature column {col} out of bounds for num_features = {num_features}"
+            ));
+        }
+        if !value.is_finite() {
+            return Err(format!(
+                "non-finite feature value {value} at ({node}, {col})"
+            ));
+        }
+        if !seen_feats.insert((node, col)) {
+            return Err(format!("duplicate feature entry for ({node}, {col})"));
+        }
+        Ok((node, col, value))
     })?;
 
     let label_rows: Vec<(usize, usize)> = parse_lines(&dir.join("labels.tsv"), |f| {
         if f.len() != 2 {
             return Err("expected node\\tclass".into());
         }
-        Ok((
-            f[0].parse().map_err(|e| format!("bad node: {e}"))?,
-            f[1].parse().map_err(|e| format!("bad class: {e}"))?,
-        ))
+        let node: usize = f[0].parse().map_err(|e| format!("bad node: {e}"))?;
+        let class: usize = f[1].parse().map_err(|e| format!("bad class: {e}"))?;
+        if node >= n {
+            return Err(format!("label node {node} out of bounds for n = {n}"));
+        }
+        if class >= num_classes {
+            return Err(format!(
+                "class id {class} out of bounds for num_classes = {num_classes}"
+            ));
+        }
+        Ok((node, class))
     })?;
     let mut labels = vec![0usize; n];
     for (i, c) in label_rows {
-        if i >= n {
-            return Err(IoError::Parse {
-                file: "labels.tsv".into(),
-                line: 0,
-                message: format!("node {i} out of bounds"),
-            });
-        }
         labels[i] = c;
     }
 
@@ -195,10 +222,14 @@ pub fn load_dataset(dir: &Path) -> Result<Dataset, IoError> {
         if f.len() != 2 {
             return Err("expected node\\tsplit".into());
         }
-        Ok((
-            f[0].parse().map_err(|e| format!("bad node: {e}"))?,
-            f[1].to_string(),
-        ))
+        let node: usize = f[0].parse().map_err(|e| format!("bad node: {e}"))?;
+        if node >= n {
+            return Err(format!("split node {node} out of bounds for n = {n}"));
+        }
+        match f[1] {
+            "train" | "val" | "test" => Ok((node, f[1].to_string())),
+            other => Err(format!("unknown split {other:?} (expected train|val|test)")),
+        }
     })?;
     let mut train_idx = Vec::new();
     let mut val_idx = Vec::new();
@@ -207,14 +238,7 @@ pub fn load_dataset(dir: &Path) -> Result<Dataset, IoError> {
         match s.as_str() {
             "train" => train_idx.push(i),
             "val" => val_idx.push(i),
-            "test" => test_idx.push(i),
-            other => {
-                return Err(IoError::Parse {
-                    file: "split.tsv".into(),
-                    line: 0,
-                    message: format!("unknown split {other}"),
-                })
-            }
+            _ => test_idx.push(i),
         }
     }
 
@@ -256,5 +280,94 @@ mod tests {
     fn load_missing_dir_errors() {
         let err = load_dataset(Path::new("/nonexistent/rdd-data"));
         assert!(err.is_err());
+    }
+
+    /// Write a valid tiny dataset, corrupt one file, and assert the load
+    /// reports an `IoError::Parse` mentioning `needle` instead of panicking.
+    fn assert_rejects(tag: &str, file: &str, content: &str, needle: &str) {
+        let d = SynthConfig::tiny().generate();
+        let dir = std::env::temp_dir().join(format!("rdd_io_bad_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        save_dataset(&d, &dir).expect("save");
+        std::fs::write(dir.join(file), content).expect("corrupt");
+        let err = load_dataset(&dir).expect_err("corrupt dataset must not load");
+        let msg = err.to_string();
+        assert!(
+            matches!(err, IoError::Parse { .. }) && msg.contains(needle),
+            "{tag}: expected Parse error mentioning {needle:?}, got: {msg}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn edge_endpoint_out_of_bounds_is_rejected() {
+        assert_rejects("edge_oob", "edges.tsv", "0\t999999\n", "out of bounds");
+    }
+
+    #[test]
+    fn feature_column_out_of_bounds_is_rejected() {
+        assert_rejects(
+            "feat_col",
+            "features.tsv",
+            "0\t999999\t1.0\n",
+            "out of bounds",
+        );
+    }
+
+    #[test]
+    fn feature_node_out_of_bounds_is_rejected() {
+        assert_rejects(
+            "feat_node",
+            "features.tsv",
+            "999999\t0\t1.0\n",
+            "out of bounds",
+        );
+    }
+
+    #[test]
+    fn non_finite_feature_value_is_rejected() {
+        assert_rejects("feat_nan", "features.tsv", "0\t0\tNaN\n", "non-finite");
+    }
+
+    #[test]
+    fn duplicate_feature_entry_is_rejected() {
+        assert_rejects(
+            "feat_dup",
+            "features.tsv",
+            "0\t0\t1.0\n0\t0\t2.0\n",
+            "duplicate",
+        );
+    }
+
+    #[test]
+    fn label_class_out_of_bounds_is_rejected() {
+        assert_rejects("label_class", "labels.tsv", "0\t999999\n", "out of bounds");
+    }
+
+    #[test]
+    fn split_node_out_of_bounds_is_rejected() {
+        assert_rejects(
+            "split_node",
+            "split.tsv",
+            "999999\ttrain\n",
+            "out of bounds",
+        );
+    }
+
+    #[test]
+    fn bad_meta_count_is_rejected_not_defaulted() {
+        let d = SynthConfig::tiny().generate();
+        let dir = std::env::temp_dir().join(format!("rdd_io_bad_meta_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        save_dataset(&d, &dir).expect("save");
+        let meta = format!(
+            "n\t{}\nnum_features\tlots\nnum_classes\t{}\n",
+            d.n(),
+            d.num_classes
+        );
+        std::fs::write(dir.join("meta.tsv"), meta).expect("corrupt");
+        let err = load_dataset(&dir).expect_err("bad num_features must not default to 0");
+        assert!(err.to_string().contains("num_features"), "got: {err}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -63,13 +63,66 @@ impl From<io::Error> for CheckpointError {
     }
 }
 
-/// Serialize `model`'s parameters to `path`.
-pub fn save(model: &dyn Model, path: &Path) -> Result<(), CheckpointError> {
+/// Durably replace `path` with `contents`: write to a unique temp sibling,
+/// fsync it, rename over the target, then fsync the parent directory
+/// (best effort) so the rename itself survives a crash. Readers never see
+/// a half-written file — they see the old content or the new.
+///
+/// This is the `ckpt` fault-injection site: `RDD_FAULT=io_fail@ckpt:<n>`
+/// makes the *n*-th write fail with an injected error before touching the
+/// filesystem, and `panic@ckpt:<n>` panics there.
+pub fn atomic_write(path: &Path, contents: &str) -> io::Result<()> {
+    match rdd_obs::fault::fire("ckpt") {
+        Some(rdd_obs::FaultKind::IoFail) => {
+            return Err(io::Error::other(format!(
+                "injected fault: io_fail@ckpt writing {}",
+                path.display()
+            )));
+        }
+        Some(rdd_obs::FaultKind::Panic) => {
+            panic!("injected fault: panic@ckpt writing {}", path.display())
+        }
+        _ => {}
+    }
+    let dir = match path.parent() {
+        Some(d) if !d.as_os_str().is_empty() => d,
+        _ => Path::new("."),
+    };
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| io::Error::other(format!("no file name in {}", path.display())))?;
+    let tmp = dir.join(format!(
+        ".{}.tmp{}",
+        file_name.to_string_lossy(),
+        std::process::id()
+    ));
+    let written = (|| {
+        let mut f = fs::File::create(&tmp)?;
+        io::Write::write_all(&mut f, contents.as_bytes())?;
+        f.sync_all()?;
+        drop(f);
+        fs::rename(&tmp, path)
+    })();
+    if written.is_err() {
+        let _ = fs::remove_file(&tmp);
+        return written;
+    }
+    // The rename is only durable once the directory entry is flushed too;
+    // best effort (opening a directory for fsync is platform-dependent).
+    if let Ok(d) = fs::File::open(dir) {
+        let _ = d.sync_all();
+    }
+    Ok(())
+}
+
+/// Serialize raw matrices under a model `name` — the same format [`save`]
+/// writes, usable for non-parameter payloads (ensemble outputs, sums).
+pub fn save_matrices(path: &Path, name: &str, mats: &[&Matrix]) -> Result<(), CheckpointError> {
     let mut out = String::new();
     out.push_str("rdd-checkpoint v1\n");
-    out.push_str(&format!("model {}\n", model.name()));
-    out.push_str(&format!("params {}\n", model.params().len()));
-    for p in model.params() {
+    out.push_str(&format!("model {name}\n"));
+    out.push_str(&format!("params {}\n", mats.len()));
+    for p in mats {
         out.push_str(&format!("matrix {} {}\n", p.rows(), p.cols()));
         for i in 0..p.rows() {
             let row: Vec<String> = p.row(i).iter().map(|v| format!("{v}")).collect();
@@ -77,8 +130,15 @@ pub fn save(model: &dyn Model, path: &Path) -> Result<(), CheckpointError> {
             out.push('\n');
         }
     }
-    fs::write(path, out)?;
+    atomic_write(path, &out)?;
     Ok(())
+}
+
+/// Serialize `model`'s parameters to `path` (atomically; see
+/// [`atomic_write`]).
+pub fn save(model: &dyn Model, path: &Path) -> Result<(), CheckpointError> {
+    let refs: Vec<&Matrix> = model.params().iter().collect();
+    save_matrices(path, model.name(), &refs)
 }
 
 /// Parse a checkpoint file into raw matrices (model-agnostic).
@@ -132,6 +192,11 @@ pub fn load_matrices(path: &Path) -> Result<(String, Vec<Matrix>), CheckpointErr
                 let v: f32 = tok
                     .parse()
                     .map_err(|_| CheckpointError::Parse(format!("bad value {tok:?}")))?;
+                if !v.is_finite() {
+                    return Err(CheckpointError::Parse(format!(
+                        "non-finite value {tok:?} in matrix {m} row {r}"
+                    )));
+                }
                 data.push(v);
             }
             if data.len() != (r + 1) * cols {
@@ -141,6 +206,13 @@ pub fn load_matrices(path: &Path) -> Result<(String, Vec<Matrix>), CheckpointErr
             }
         }
         matrices.push(Matrix::from_vec(rows, cols, data));
+    }
+    for leftover in lines {
+        if !leftover.trim().is_empty() {
+            return Err(CheckpointError::Parse(format!(
+                "trailing garbage after {count} matrices: {leftover:?}"
+            )));
+        }
     }
     Ok((model_name, matrices))
 }
@@ -233,6 +305,55 @@ mod tests {
         let err = load_matrices(&path).unwrap_err();
         assert!(matches!(err, CheckpointError::Parse(_)), "got {err}");
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let data = SynthConfig::tiny().generate();
+        let ctx = GraphContext::new(&data);
+        let model = Gcn::new(&ctx, GcnConfig::citation(), &mut seeded_rng(4));
+        let path = tmp("trailing");
+        save(&model, &path).expect("save");
+        let mut text = std::fs::read_to_string(&path).expect("read");
+        text.push_str("1.0 2.0 3.0\n");
+        std::fs::write(&path, text).expect("write");
+        let err = load_matrices(&path).unwrap_err();
+        assert!(matches!(err, CheckpointError::Parse(_)), "got {err}");
+        assert!(err.to_string().contains("trailing"), "got {err}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn non_finite_values_are_rejected() {
+        for bad in ["NaN", "inf", "-inf"] {
+            let path = tmp(&format!("nonfinite_{}", bad.trim_start_matches('-')));
+            let text = format!("rdd-checkpoint v1\nmodel GCN\nparams 1\nmatrix 1 2\n0.5 {bad}\n");
+            std::fs::write(&path, text).expect("write");
+            let err = load_matrices(&path).unwrap_err();
+            assert!(matches!(err, CheckpointError::Parse(_)), "got {err}");
+            assert!(err.to_string().contains("non-finite"), "got {err}");
+            let _ = std::fs::remove_file(&path);
+        }
+    }
+
+    #[test]
+    fn atomic_write_replaces_and_leaves_no_temp_files() {
+        let dir = std::env::temp_dir().join(format!("rdd_ckpt_atomic_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("target.txt");
+        atomic_write(&path, "first\n").expect("write 1");
+        atomic_write(&path, "second\n").expect("write 2");
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "second\n");
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .expect("read dir")
+            .filter_map(Result::ok)
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp"))
+            .collect();
+        assert!(
+            leftovers.is_empty(),
+            "temp files left behind: {leftovers:?}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -36,7 +36,7 @@ pub trait Model {
 }
 
 /// Hyperparameters shared by all zoo members.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct GcnConfig {
     /// Hidden layer widths; `[16]` is the paper's 2-layer citation setup.
     pub hidden: Vec<usize>,

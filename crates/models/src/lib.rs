@@ -28,7 +28,9 @@ pub mod metrics;
 pub mod sage;
 pub mod trainer;
 
-pub use checkpoint::{load_into, load_matrices, save as save_checkpoint, CheckpointError};
+pub use checkpoint::{
+    atomic_write, load_into, load_matrices, save as save_checkpoint, save_matrices, CheckpointError,
+};
 pub use context::GraphContext;
 pub use gat::{Gat, GatConfig};
 pub use gcn::{DenseGcn, Gcn, GcnConfig, JkNet, Mlp, Model, ResGcn};
@@ -36,5 +38,5 @@ pub use metrics::{expected_calibration_error, ConfusionMatrix};
 pub use sage::{GraphSage, SageConfig};
 pub use trainer::{
     predict, predict_in, predict_logits, predict_logits_in, predict_proba, train, train_in,
-    LossHook, LrSchedule, TrainConfig, TrainReport,
+    DivergencePolicy, LossHook, LrSchedule, TrainConfig, TrainReport,
 };

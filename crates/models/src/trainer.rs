@@ -50,8 +50,35 @@ impl LrSchedule {
     }
 }
 
+/// How the training loop reacts to a non-finite loss or gradient.
+///
+/// The first retry of a failing epoch is a *free replay*: parameters are
+/// untouched (the optimizer never stepped on non-finite gradients) and the
+/// RNG is rewound, so a transient injected fault reproduces the clean run
+/// bitwise. From the second retry on, parameters roll back to the
+/// best-validation snapshot, the learning rate is scaled by `lr_backoff`
+/// and the optimizer moments restart. When `max_retries` total rollbacks
+/// are exhausted the loop stops and the report is flagged `diverged`; the
+/// model is still left holding its best snapshot.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DivergencePolicy {
+    /// Total rollbacks allowed per training run before giving up.
+    pub max_retries: usize,
+    /// Multiplier applied to the learning rate on each non-free retry.
+    pub lr_backoff: f32,
+}
+
+impl Default for DivergencePolicy {
+    fn default() -> Self {
+        Self {
+            max_retries: 3,
+            lr_backoff: 0.5,
+        }
+    }
+}
+
 /// Optimization hyperparameters (paper §5.1 defaults).
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct TrainConfig {
     /// Base learning rate.
     pub lr: f32,
@@ -68,6 +95,8 @@ pub struct TrainConfig {
     pub log_every: usize,
     /// Learning-rate schedule (constant by default).
     pub lr_schedule: LrSchedule,
+    /// Non-finite loss/gradient recovery policy.
+    pub divergence: DivergencePolicy,
 }
 
 impl TrainConfig {
@@ -82,6 +111,7 @@ impl TrainConfig {
             min_epochs: 100,
             log_every: 0,
             lr_schedule: LrSchedule::Constant,
+            divergence: DivergencePolicy::default(),
         }
     }
 
@@ -95,6 +125,7 @@ impl TrainConfig {
             min_epochs: 100,
             log_every: 0,
             lr_schedule: LrSchedule::Constant,
+            divergence: DivergencePolicy::default(),
         }
     }
 
@@ -108,6 +139,7 @@ impl TrainConfig {
             min_epochs: 20,
             log_every: 0,
             lr_schedule: LrSchedule::Constant,
+            divergence: DivergencePolicy::default(),
         }
     }
 }
@@ -130,6 +162,11 @@ pub struct TrainReport {
     pub final_train_loss: f32,
     /// Wall-clock training time in seconds.
     pub wall_time_s: f64,
+    /// Rollbacks taken by the divergence guard (0 for a clean run).
+    pub rollbacks: usize,
+    /// True when the guard exhausted its retry budget; the model holds its
+    /// best snapshot, but callers should treat the run as unreliable.
+    pub diverged: bool,
 }
 
 /// Train `model` in place with cross-entropy on the training split and
@@ -176,9 +213,18 @@ pub fn train_in(
     let mut last_loss = f32::NAN;
     let mut epochs_run = 0usize;
 
-    for epoch in 0..cfg.epochs {
+    let mut rollbacks = 0usize;
+    let mut attempts_this_epoch = 0usize;
+    let mut lr_scale = 1.0f32;
+    let mut diverged = false;
+
+    let mut epoch = 0usize;
+    while epoch < cfg.epochs {
         epochs_run = epoch + 1;
-        opt.set_lr(cfg.lr * cfg.lr_schedule.factor(epoch));
+        opt.set_lr(cfg.lr * lr_scale * cfg.lr_schedule.factor(epoch));
+        // Snapshot the RNG so a failed attempt can replay this exact epoch
+        // (dropout masks and all) instead of silently shifting the stream.
+        let rng_checkpoint = rng.clone();
         // --- training step ---
         let mut tape = Tape::with_workspace(ws);
         let logits = model.forward(&mut tape, ctx, true, rng);
@@ -190,7 +236,54 @@ pub fn train_in(
         }
         let loss = tape.weighted_sum(&terms);
         last_loss = tape.scalar(loss);
-        let grads = tape.backward(loss, n_params);
+        match rdd_obs::fault::fire("epoch") {
+            Some(rdd_obs::FaultKind::NanLoss) => last_loss = f32::NAN,
+            Some(rdd_obs::FaultKind::Panic) => panic!("injected fault: panic@epoch:{epoch}"),
+            _ => {}
+        }
+        // --- divergence guard ---
+        // Only back-propagate a finite loss; never step the optimizer on
+        // non-finite gradients, so the parameters stay intact for a replay.
+        let grads = if last_loss.is_finite() {
+            tape.backward(loss, n_params)
+        } else {
+            Vec::new()
+        };
+        let finite = last_loss.is_finite()
+            && grads
+                .iter()
+                .flatten()
+                .all(|g| g.as_slice().iter().all(|v| v.is_finite()));
+        if !finite {
+            drop(tape);
+            ws.give_grads(grads);
+            *rng = rng_checkpoint;
+            if rollbacks >= cfg.divergence.max_retries {
+                diverged = true;
+                rdd_obs::emit_divergence(model.name(), epoch, rollbacks);
+                break;
+            }
+            rollbacks += 1;
+            attempts_this_epoch += 1;
+            let reason = if last_loss.is_finite() {
+                "nonfinite_grad"
+            } else {
+                "nonfinite_loss"
+            };
+            if attempts_this_epoch > 1 {
+                // A same-state replay already failed once here: the fault is
+                // not transient. Roll parameters back to the best snapshot,
+                // decay the learning rate and restart the Adam moments.
+                lr_scale *= cfg.divergence.lr_backoff;
+                for (dst, src) in model.params_mut().iter_mut().zip(&best_params) {
+                    dst.as_mut_slice().copy_from_slice(src.as_slice());
+                }
+                opt = Adam::new(cfg.lr, cfg.weight_decay, model.decay_mask());
+            }
+            rdd_obs::emit_rollback(model.name(), epoch, rollbacks, lr_scale, reason);
+            continue;
+        }
+        attempts_this_epoch = 0;
         opt.step(model.params_mut(), &grads);
         ws.give_grads(grads);
 
@@ -232,6 +325,7 @@ pub fn train_in(
                 model.name()
             );
         }
+        epoch += 1;
     }
 
     // Restore best parameters.
@@ -243,6 +337,8 @@ pub fn train_in(
         epochs_run,
         final_train_loss: last_loss,
         wall_time_s: start.elapsed().as_secs_f64(),
+        rollbacks,
+        diverged,
     }
 }
 
@@ -355,6 +451,103 @@ mod tests {
             train(&mut model, &ctx, &data, &cfg, &mut rng, Some(&mut hook));
         }
         assert_eq!(calls, 5);
+    }
+
+    /// A hook term weighted NaN: poisons the epoch's total loss while the
+    /// underlying graph stays well-formed.
+    fn poison_term(tape: &mut Tape, logits: Var) -> (Var, f32) {
+        let target = Rc::new(Matrix::zeros(
+            tape.value(logits).rows(),
+            tape.value(logits).cols(),
+        ));
+        let idx = Rc::new(vec![0usize]);
+        (tape.mse_rows(logits, target, idx), f32::NAN)
+    }
+
+    #[test]
+    fn transient_nan_recovers_bitwise_identical_to_clean_run() {
+        let data = SynthConfig::tiny().generate();
+        let ctx = GraphContext::new(&data);
+        let cfg = TrainConfig {
+            epochs: 8,
+            patience: 50,
+            ..TrainConfig::fast()
+        };
+
+        let mut rng = seeded_rng(47);
+        let mut clean = Gcn::new(&ctx, GcnConfig::citation(), &mut rng);
+        let clean_report = train(&mut clean, &ctx, &data, &cfg, &mut rng, None);
+
+        // Same seed, but epoch 3's first attempt reports a NaN loss. The
+        // guard must replay it from an identical RNG/parameter state, so the
+        // run ends bitwise equal to the clean one.
+        let mut rng = seeded_rng(47);
+        let mut faulty = Gcn::new(&ctx, GcnConfig::citation(), &mut rng);
+        let mut poisoned = false;
+        let mut hook = |tape: &mut Tape, logits: Var, epoch: usize| {
+            if epoch == 3 && !poisoned {
+                poisoned = true;
+                return vec![poison_term(tape, logits)];
+            }
+            Vec::new()
+        };
+        let faulty_report = train(&mut faulty, &ctx, &data, &cfg, &mut rng, Some(&mut hook));
+
+        assert!(poisoned, "the poison hook never fired");
+        assert_eq!(faulty_report.rollbacks, 1);
+        assert!(!faulty_report.diverged);
+        assert_eq!(clean_report.rollbacks, 0);
+        assert_eq!(faulty_report.epochs_run, clean_report.epochs_run);
+        assert_eq!(
+            faulty_report.best_val_acc.to_bits(),
+            clean_report.best_val_acc.to_bits()
+        );
+        assert_eq!(
+            faulty_report.final_train_loss.to_bits(),
+            clean_report.final_train_loss.to_bits()
+        );
+        for (a, b) in faulty.params().iter().zip(clean.params()) {
+            let same = a
+                .as_slice()
+                .iter()
+                .zip(b.as_slice())
+                .all(|(x, y)| x.to_bits() == y.to_bits());
+            assert!(same, "parameters diverged after transient-NaN recovery");
+        }
+    }
+
+    #[test]
+    fn persistent_nan_exhausts_retries_and_flags_divergence() {
+        let data = SynthConfig::tiny().generate();
+        let ctx = GraphContext::new(&data);
+        let cfg = TrainConfig {
+            epochs: 30,
+            patience: 50,
+            divergence: DivergencePolicy {
+                max_retries: 2,
+                lr_backoff: 0.5,
+            },
+            ..TrainConfig::fast()
+        };
+        let mut rng = seeded_rng(48);
+        let mut model = Gcn::new(&ctx, GcnConfig::citation(), &mut rng);
+        // Every attempt of every epoch from 2 on is poisoned: the guard's
+        // replay and backoff retries all fail and the budget runs out.
+        let mut hook = |tape: &mut Tape, logits: Var, epoch: usize| {
+            if epoch >= 2 {
+                return vec![poison_term(tape, logits)];
+            }
+            Vec::new()
+        };
+        let report = train(&mut model, &ctx, &data, &cfg, &mut rng, Some(&mut hook));
+        assert!(report.diverged);
+        assert_eq!(report.rollbacks, 2);
+        assert_eq!(report.epochs_run, 3, "stuck on epoch index 2");
+        assert!(report.best_epoch < 2);
+        // The model still holds its (finite) best snapshot.
+        for m in model.params() {
+            assert!(m.as_slice().iter().all(|v| v.is_finite()));
+        }
     }
 
     #[test]

@@ -1,0 +1,242 @@
+//! Deterministic fault injection for exercising the crash-safe run paths.
+//!
+//! A fault is described as `<kind>@<site>:<n>` — the *n*-th time (0-indexed)
+//! execution passes the named site, the fault fires exactly once:
+//!
+//! - `nan_loss@epoch:7` — the 8th epoch attempt reports a non-finite loss,
+//!   exercising the divergence guard's rollback path.
+//! - `io_fail@ckpt:2` — the 3rd atomic checkpoint write fails with an
+//!   injected I/O error, killing a crash-safe run mid-persist.
+//! - `panic@member:1` — member 1's training panics, exercising the
+//!   `catch_unwind` isolation and `rdd resume`.
+//!
+//! The spec comes from the `RDD_FAULT` environment variable, read once per
+//! process (latched, like `RDD_TRACE` / `RDD_WORKSPACE`); tests inject
+//! programmatically via [`arm`] / [`disarm`], which override the latch.
+//! Unparseable values route a warning through the recorder and disarm.
+//!
+//! Instrumented code calls [`fire`] at each site and acts on the returned
+//! [`FaultKind`]; the module emits a `fault` trace event at the moment a
+//! fault fires so traces explain what a run survived. Counting is
+//! process-global and per-site: every pass over the armed site increments
+//! its counter whether or not the fault has fired yet.
+
+use std::sync::Mutex;
+
+use super::json::Json;
+use super::recorder::{event, warn};
+
+/// What an injected fault does at its site.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The training loop treats the epoch's loss as NaN.
+    NanLoss,
+    /// An atomic checkpoint write returns an injected `io::Error`.
+    IoFail,
+    /// The site panics (caught by the crash-safe member isolation).
+    Panic,
+}
+
+impl FaultKind {
+    /// Spec-string name of the kind (`nan_loss` / `io_fail` / `panic`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FaultKind::NanLoss => "nan_loss",
+            FaultKind::IoFail => "io_fail",
+            FaultKind::Panic => "panic",
+        }
+    }
+
+    fn parse(s: &str) -> Option<Self> {
+        match s {
+            "nan_loss" => Some(FaultKind::NanLoss),
+            "io_fail" => Some(FaultKind::IoFail),
+            "panic" => Some(FaultKind::Panic),
+            _ => None,
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+struct FaultSpec {
+    kind: FaultKind,
+    site: String,
+    n: u64,
+}
+
+fn parse_spec(raw: &str) -> Result<Option<FaultSpec>, String> {
+    let raw = raw.trim();
+    if raw.is_empty() || raw == "off" {
+        return Ok(None);
+    }
+    let err = || {
+        format!("invalid RDD_FAULT spec {raw:?}: expected <kind>@<site>:<n>, e.g. nan_loss@epoch:7")
+    };
+    let (kind_s, rest) = raw.split_once('@').ok_or_else(err)?;
+    let (site, n_s) = rest.rsplit_once(':').ok_or_else(err)?;
+    let kind = FaultKind::parse(kind_s).ok_or_else(|| {
+        format!("invalid RDD_FAULT kind {kind_s:?}: expected nan_loss, io_fail or panic")
+    })?;
+    if site.is_empty() {
+        return Err(err());
+    }
+    let n: u64 = n_s.parse().map_err(|_| err())?;
+    Ok(Some(FaultSpec {
+        kind,
+        site: site.to_string(),
+        n,
+    }))
+}
+
+struct FaultState {
+    /// `None` until the first [`fire`] / [`arm`] latches the env variable.
+    initialized: bool,
+    spec: Option<FaultSpec>,
+    /// Passes seen over the armed site.
+    count: u64,
+    fired: bool,
+}
+
+static STATE: Mutex<FaultState> = Mutex::new(FaultState {
+    initialized: false,
+    spec: None,
+    count: 0,
+    fired: false,
+});
+
+fn ensure_init(state: &mut FaultState) {
+    if state.initialized {
+        return;
+    }
+    state.initialized = true;
+    if let Ok(raw) = std::env::var("RDD_FAULT") {
+        match parse_spec(&raw) {
+            Ok(spec) => state.spec = spec,
+            Err(msg) => warn(&msg),
+        }
+    }
+}
+
+/// Arm a fault programmatically (tests), replacing any env-latched spec and
+/// resetting the pass counter. An empty spec or `"off"` disarms.
+pub fn arm(spec: &str) -> Result<(), String> {
+    let parsed = parse_spec(spec)?;
+    let mut state = STATE.lock().unwrap();
+    state.initialized = true;
+    state.spec = parsed;
+    state.count = 0;
+    state.fired = false;
+    Ok(())
+}
+
+/// Disarm any pending fault and reset counters (tests).
+pub fn disarm() {
+    arm("off").expect("\"off\" always parses");
+}
+
+/// True when a fault spec is armed and has not fired yet.
+pub fn armed() -> bool {
+    let mut state = STATE.lock().unwrap();
+    ensure_init(&mut state);
+    state.spec.is_some() && !state.fired
+}
+
+/// Record one pass over `site`. Returns the armed [`FaultKind`] exactly once:
+/// on the pass whose 0-indexed count matches the spec's `n`. Emits a `fault`
+/// trace event when it fires. Callers decide what the kind means at their
+/// site (unknown combinations are ignored by convention).
+pub fn fire(site: &str) -> Option<FaultKind> {
+    let mut state = STATE.lock().unwrap();
+    ensure_init(&mut state);
+    let (kind, n) = match state.spec.as_ref() {
+        Some(spec) if spec.site == site => (spec.kind, spec.n),
+        _ => return None,
+    };
+    let pass = state.count;
+    state.count += 1;
+    if state.fired || pass != n {
+        return None;
+    }
+    state.fired = true;
+    drop(state);
+    event(
+        "fault",
+        &[
+            ("kind", Json::from(kind.as_str())),
+            ("site", Json::from(site)),
+            ("n", Json::Num(n as f64)),
+        ],
+    );
+    Some(kind)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::recorder;
+    use super::*;
+
+    #[test]
+    fn spec_parsing_accepts_the_documented_grammar() {
+        let spec = parse_spec("nan_loss@epoch:7").unwrap().unwrap();
+        assert_eq!(spec.kind, FaultKind::NanLoss);
+        assert_eq!(spec.site, "epoch");
+        assert_eq!(spec.n, 7);
+        let spec = parse_spec(" io_fail@ckpt:0 ").unwrap().unwrap();
+        assert_eq!(spec.kind, FaultKind::IoFail);
+        let spec = parse_spec("panic@member:1").unwrap().unwrap();
+        assert_eq!(spec.kind, FaultKind::Panic);
+        assert!(parse_spec("").unwrap().is_none());
+        assert!(parse_spec("off").unwrap().is_none());
+
+        for bad in [
+            "nan_loss",
+            "nan_loss@epoch",
+            "nan_loss@:3",
+            "explode@epoch:3",
+            "nan_loss@epoch:x",
+            "nan_loss@epoch:-1",
+        ] {
+            let err = parse_spec(bad).unwrap_err();
+            assert!(err.contains("RDD_FAULT"), "{bad:?} -> {err}");
+        }
+    }
+
+    #[test]
+    fn fires_exactly_once_at_the_indexed_pass() {
+        let _g = recorder::tests::lock();
+        arm("nan_loss@epoch:2").unwrap();
+        assert!(armed());
+        assert_eq!(fire("ckpt"), None, "other sites never fire");
+        assert_eq!(fire("epoch"), None); // pass 0
+        assert_eq!(fire("epoch"), None); // pass 1
+        assert_eq!(fire("epoch"), Some(FaultKind::NanLoss)); // pass 2
+        assert!(!armed(), "a fired fault is spent");
+        assert_eq!(fire("epoch"), None, "never fires twice");
+        disarm();
+        assert_eq!(fire("epoch"), None);
+    }
+
+    #[test]
+    fn firing_emits_a_fault_event() {
+        let _g = recorder::tests::lock();
+        let path = std::env::temp_dir().join(format!(
+            "rdd_obs_fault_{}_{:?}.jsonl",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        recorder::init_file(&path).unwrap();
+        arm("panic@member:0").unwrap();
+        assert_eq!(fire("member"), Some(FaultKind::Panic));
+        disarm();
+        recorder::flush();
+        recorder::disable();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let line = text
+            .lines()
+            .find(|l| l.contains("\"ev\":\"fault\""))
+            .expect("fault event recorded");
+        assert!(line.contains("\"kind\":\"panic\""), "{line}");
+        assert!(line.contains("\"site\":\"member\""), "{line}");
+        std::fs::remove_file(&path).ok();
+    }
+}

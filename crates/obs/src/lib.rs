@@ -26,17 +26,25 @@
 //! | `counter`   | `name value` — cumulative snapshot                                     |
 //! | `gauge`     | `name value` — last/peak value                                         |
 //! | `pool_init` | `threads` — resolved worker-pool width                                 |
+//! | `fault`     | `kind site n` — an injected [`fault`] fired (`RDD_FAULT`)              |
+//! | `rollback`  | `model epoch retry lr_scale reason` — divergence guard retried an epoch |
+//! | `divergence`| `model epoch rollbacks` — retry budget exhausted, member degraded      |
+//! | `member_dropped` | `member rollbacks` — diverged member excluded from the ensemble   |
+//! | `checkpoint`| `member kept dir` — member persisted, run manifest committed           |
+//! | `resume`    | `next_member loaded dir` — run directory reloaded, cascade restarting  |
 //! | `warn`      | `msg`                                                                  |
 //!
 //! Unknown kinds are preserved by the parser (forward compatible); binaries
 //! may add their own (the bench diagnostics emit `reliability_diag` and
 //! `sweep` records).
 
+pub mod fault;
 pub mod json;
 pub mod recorder;
 pub mod summarize;
 pub mod telemetry;
 
+pub use fault::FaultKind;
 pub use json::{parse, Json};
 pub use recorder::{
     disable, enabled, event, flush, init_file, init_stderr, warn, CounterCell, GaugeCell, SpanCell,
@@ -44,5 +52,6 @@ pub use recorder::{
 };
 pub use summarize::{render_table, validate, TraceSummary};
 pub use telemetry::{
-    agreement_rate, emit_member, emit_run, stage_rdd_epoch, EpochTelemetry, RddEpochExtra,
+    agreement_rate, emit_checkpoint, emit_divergence, emit_member, emit_member_dropped,
+    emit_resume, emit_rollback, emit_run, stage_rdd_epoch, EpochTelemetry, RddEpochExtra,
 };

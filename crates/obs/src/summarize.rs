@@ -28,6 +28,9 @@ pub struct TraceSummary {
     pub counters: Vec<(String, f64)>,
     /// Last value per gauge name.
     pub gauges: Vec<(String, f64)>,
+    /// Recovery-path events (`fault` / `rollback` / `divergence` /
+    /// `member_dropped` / `checkpoint` / `resume`), in trace order.
+    pub recovery: Vec<Json>,
     /// `warn` event messages.
     pub warnings: Vec<String>,
     /// Events of kinds this module does not aggregate (kept for callers).
@@ -106,6 +109,8 @@ impl TraceSummary {
                     out.warnings
                         .push(req_str(&event, "msg").map_err(|e| format!("line {lineno}: {e}"))?);
                 }
+                "fault" | "rollback" | "divergence" | "member_dropped" | "checkpoint"
+                | "resume" => out.recovery.push(event),
                 _ => out.other.push(event),
             }
         }
@@ -204,6 +209,24 @@ impl TraceSummary {
                 )
                 .collect();
             out.push_str(&render_table(&["name", "kind", "value"], &rows));
+        }
+        if !self.recovery.is_empty() {
+            out.push_str(&format!(
+                "\nRecovery events ({} records)\n",
+                self.recovery.len()
+            ));
+            for e in &self.recovery {
+                let kind = e.get("ev").and_then(Json::as_str).unwrap_or("?");
+                let mut parts = Vec::new();
+                if let Json::Obj(fields) = e {
+                    for (k, v) in fields {
+                        if k != "ev" && k != "t_ms" {
+                            parts.push(format!("{k}={}", fmt_field(Some(v))));
+                        }
+                    }
+                }
+                out.push_str(&format!("  {kind}: {}\n", parts.join(" ")));
+            }
         }
         for w in &self.warnings {
             out.push_str(&format!("\nwarning: {w}\n"));
@@ -400,6 +423,29 @@ mod tests {
         assert!(rendered.contains("matmul"));
         assert!(rendered.contains("pool.tasks"));
         assert!(rendered.contains("warning: careful"));
+    }
+
+    #[test]
+    fn collects_and_renders_recovery_events() {
+        let src = [
+            "{\"ev\":\"fault\",\"t_ms\":1.0,\"kind\":\"nan_loss\",\"site\":\"epoch\",\"n\":7}",
+            concat!(
+                "{\"ev\":\"rollback\",\"t_ms\":1.1,\"model\":\"gcn\",\"epoch\":7,",
+                "\"retry\":1,\"lr_scale\":1.0,\"reason\":\"nonfinite_loss\"}"
+            ),
+            "{\"ev\":\"resume\",\"t_ms\":2.0,\"next_member\":2,\"loaded\":2,\"dir\":\"run\"}",
+        ]
+        .join("\n");
+        let summary = TraceSummary::parse(&src).unwrap();
+        assert_eq!(summary.recovery.len(), 3);
+        assert!(summary.other.is_empty());
+        let rendered = summary.render();
+        assert!(
+            rendered.contains("Recovery events (3 records)"),
+            "{rendered}"
+        );
+        assert!(rendered.contains("rollback: model=gcn"), "{rendered}");
+        assert!(rendered.contains("site=epoch"), "{rendered}");
     }
 
     #[test]

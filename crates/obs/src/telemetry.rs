@@ -147,6 +147,74 @@ pub fn emit_member(member: usize, alpha: f32, val_acc: f32, test_acc: f32, epoch
     );
 }
 
+/// One `rollback` event: the divergence guard saw a non-finite loss or
+/// gradient and is retrying the epoch. `retry` counts attempts for the
+/// run so far; `lr_scale` is the backoff factor now applied to the
+/// configured learning rate (1.0 on the free same-state replay).
+pub fn emit_rollback(model: &str, epoch: usize, retry: usize, lr_scale: f32, reason: &str) {
+    event(
+        "rollback",
+        &[
+            ("model", Json::from(model)),
+            ("epoch", Json::from(epoch)),
+            ("retry", Json::from(retry)),
+            ("lr_scale", Json::from(lr_scale)),
+            ("reason", Json::from(reason)),
+        ],
+    );
+}
+
+/// One `divergence` event: the guard's retry budget is exhausted and the
+/// model is handed back in its best-snapshot state, flagged diverged.
+pub fn emit_divergence(model: &str, epoch: usize, rollbacks: usize) {
+    event(
+        "divergence",
+        &[
+            ("model", Json::from(model)),
+            ("epoch", Json::from(epoch)),
+            ("rollbacks", Json::from(rollbacks)),
+        ],
+    );
+}
+
+/// One `member_dropped` event: a diverged member was excluded from the
+/// ensemble (graceful degradation toward the plain-WNR path).
+pub fn emit_member_dropped(member: usize, rollbacks: usize) {
+    event(
+        "member_dropped",
+        &[
+            ("member", Json::from(member)),
+            ("rollbacks", Json::from(rollbacks)),
+        ],
+    );
+}
+
+/// One `checkpoint` event: a member's state was durably persisted to the
+/// run directory and the manifest committed.
+pub fn emit_checkpoint(member: usize, kept: bool, dir: &str) {
+    event(
+        "checkpoint",
+        &[
+            ("member", Json::from(member)),
+            ("kept", Json::Bool(kept)),
+            ("dir", Json::from(dir)),
+        ],
+    );
+}
+
+/// One `resume` event: a run directory was reloaded and the cascade will
+/// restart at `next_member` with `loaded` members replayed from disk.
+pub fn emit_resume(next_member: usize, loaded: usize, dir: &str) {
+    event(
+        "resume",
+        &[
+            ("next_member", Json::from(next_member)),
+            ("loaded", Json::from(loaded)),
+            ("dir", Json::from(dir)),
+        ],
+    );
+}
+
 /// One `run` event: final outcome of a full RDD run.
 pub fn emit_run(ensemble_test_acc: f32, single_test_acc: f32, members: usize) {
     event(
