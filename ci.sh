@@ -63,4 +63,26 @@ RDD_FAULT=nan_loss@epoch:7 $RDD train tiny --models 2 \
 cmp "$FAULT_DIR/clean.txt" "$FAULT_DIR/nan_loss.txt" \
   || { echo "fault matrix: nan_loss recovery diverged from clean run" >&2; exit 1; }
 
+echo "==> serve smoke (train, export, serve, compare bitwise)"
+# Distill a completed crash-safe run into an artifact, serve one request per
+# node through the micro-batching engine, and require the served probability
+# rows to be byte-identical to the offline ensemble dump.
+SERVE_DIR="$GUARD_DIR/serve"
+mkdir -p "$SERVE_DIR"
+$RDD train tiny --models 2 --run-dir "$SERVE_DIR/run" >/dev/null
+$RDD export "$SERVE_DIR/run" "$SERVE_DIR/model.artifact" >/dev/null
+$RDD artifact-info "$SERVE_DIR/model.artifact" \
+  --proba-out "$SERVE_DIR/offline.proba" >/dev/null
+NODES="$(awk 'END { print NR }' "$SERVE_DIR/offline.proba")"
+awk -v n="$NODES" 'BEGIN { for (i = 0; i < n; i++) printf "{\"id\":%d,\"nodes\":[%d]}\n", i, i }' \
+  > "$SERVE_DIR/requests.jsonl"
+RDD_TRACE="$SERVE_DIR/serve.jsonl" $RDD serve --artifact "$SERVE_DIR/model.artifact" \
+  --batch 16 --proba-out "$SERVE_DIR/served.proba" \
+  < "$SERVE_DIR/requests.jsonl" > "$SERVE_DIR/replies.jsonl" 2>/dev/null
+cmp "$SERVE_DIR/offline.proba" "$SERVE_DIR/served.proba" \
+  || { echo "serve smoke: served rows diverged from offline ensemble" >&2; exit 1; }
+target/trace_check "$SERVE_DIR/serve.jsonl"
+$RDD trace-summary "$SERVE_DIR/serve.jsonl" | grep -q "Serving" \
+  || { echo "serve smoke: trace-summary missing Serving section" >&2; exit 1; }
+
 echo "ci.sh: all gates passed"

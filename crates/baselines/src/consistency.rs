@@ -12,7 +12,7 @@ use std::rc::Rc;
 use std::time::Instant;
 
 use rdd_graph::Dataset;
-use rdd_models::{predict_logits, Gcn, GcnConfig, GraphContext, LrSchedule, Model, TrainConfig};
+use rdd_models::{Gcn, GcnConfig, GraphContext, LrSchedule, Model, PredictorExt, TrainConfig};
 use rdd_tensor::{seeded_rng, Adam, Matrix, Tape};
 
 use crate::ensembles::EnsembleOutcome;
@@ -67,7 +67,7 @@ pub fn snapshot_ensemble(
         let grads = tape.backward(loss, model.params().len());
         opt.step(model.params_mut(), &grads);
         if schedule.is_cycle_end(epoch) {
-            let proba = predict_logits(&model, &ctx).softmax_rows();
+            let proba = model.predictor(&ctx).logits().softmax_rows();
             accs.push(data.test_accuracy(&proba.argmax_rows()));
             probas.push(proba);
             times.push(cycle_start.elapsed().as_secs_f64());
@@ -151,7 +151,7 @@ pub fn mean_teacher(
     for _ in 0..cfg.epochs {
         // Teacher prediction (eval-mode forward is the transductive analog
         // of the teacher's noisy pass).
-        let teacher_logits = Rc::new(predict_logits(&teacher, &ctx));
+        let teacher_logits = Rc::new(teacher.predictor(&ctx).logits());
 
         let mut tape = Tape::new();
         let logits = student.forward(&mut tape, &ctx, true, &mut rng);
@@ -170,8 +170,8 @@ pub fn mean_teacher(
         }
     }
 
-    let teacher_pred = predict_logits(&teacher, &ctx).argmax_rows();
-    let student_pred = predict_logits(&student, &ctx).argmax_rows();
+    let teacher_pred = teacher.predictor(&ctx).logits().argmax_rows();
+    let student_pred = student.predictor(&ctx).logits().argmax_rows();
     MeanTeacherOutcome {
         teacher_test_acc: data.test_accuracy(&teacher_pred),
         student_test_acc: data.test_accuracy(&student_pred),

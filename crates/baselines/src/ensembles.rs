@@ -11,7 +11,7 @@ use std::rc::Rc;
 use std::time::Instant;
 
 use rdd_graph::Dataset;
-use rdd_models::{predict_logits, train, Gcn, GcnConfig, GraphContext, TrainConfig};
+use rdd_models::{train, Gcn, GcnConfig, GraphContext, PredictorExt, TrainConfig};
 use rdd_tensor::{seeded_rng, Matrix, Tape, Var};
 
 /// Outcome shared by the ensemble baselines (feeds Tables 3, 6 and 9).
@@ -95,7 +95,7 @@ pub fn bagging(
         let mut rng = seeded_rng(seed.wrapping_add(t as u64));
         let mut model = Gcn::new(&ctx, gcn.clone(), &mut rng);
         train(&mut model, &ctx, data, train_cfg, &mut rng, None);
-        let proba = predict_logits(&model, &ctx).softmax_rows();
+        let proba = model.predictor(&ctx).logits().softmax_rows();
         accs.push(data.test_accuracy(&proba.argmax_rows()));
         probas.push(proba);
         times.push(t0.elapsed().as_secs_f64());
@@ -171,7 +171,7 @@ pub fn bans(
                 train(&mut model, &ctx, data, train_cfg, &mut rng, Some(&mut hook));
             }
         }
-        let logits = predict_logits(&model, &ctx);
+        let logits = model.predictor(&ctx).logits();
         let proba = logits.softmax_rows();
         accs.push(data.test_accuracy(&proba.argmax_rows()));
         // Next generation's target: temperature-softened teacher output.

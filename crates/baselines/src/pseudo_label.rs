@@ -10,7 +10,7 @@
 
 use rand::rngs::StdRng;
 use rdd_graph::Dataset;
-use rdd_models::{predict_proba, train, Gcn, GcnConfig, GraphContext, TrainConfig};
+use rdd_models::{train, Gcn, GcnConfig, GraphContext, PredictorExt, TrainConfig};
 use rdd_tensor::seeded_rng;
 
 /// Configuration for both pseudo-labeling methods.
@@ -90,7 +90,7 @@ pub fn self_training(
     let mut round = 0;
     loop {
         let (model, ctx) = train_gcn(&working, gcn, train_cfg, &mut rng);
-        let proba = predict_proba(&model, &ctx);
+        let proba = model.predictor(&ctx).proba();
         last_pred = proba.argmax_rows();
         if round >= cfg.rounds {
             return last_pred;
@@ -172,7 +172,7 @@ pub fn co_training(
     let expanded = expand_with_pseudo_labels(data, |i, c| ppr[c][i], &rw_class, cfg.per_class);
     let mut rng = seeded_rng(seed);
     let (model, ctx) = train_gcn(&expanded, gcn, train_cfg, &mut rng);
-    predict_proba(&model, &ctx).argmax_rows()
+    model.predictor(&ctx).proba().argmax_rows()
 }
 
 #[cfg(test)]

@@ -7,7 +7,7 @@ use std::rc::Rc;
 use criterion::{criterion_group, criterion_main, Criterion};
 use rdd_core::compute_reliability;
 use rdd_graph::SynthConfig;
-use rdd_models::{predict_logits, Gcn, GcnConfig, GraphContext, Model};
+use rdd_models::{Gcn, GcnConfig, GraphContext, Model, PredictorExt};
 use rdd_tensor::{seeded_rng, Tape};
 
 fn bench_epoch(c: &mut Criterion) {
@@ -32,7 +32,7 @@ fn bench_epoch(c: &mut Criterion) {
 
     // The RDD step: same forward/backward plus the per-epoch reliability
     // update and the two extra loss terms.
-    let teacher_logits = predict_logits(&model, &ctx);
+    let teacher_logits = model.predictor(&ctx).logits();
     let teacher_proba = teacher_logits.softmax_rows();
     let teacher_logits = Rc::new(teacher_logits);
     let mut is_labeled = vec![false; data.n()];
@@ -92,7 +92,7 @@ fn bench_predict(c: &mut Criterion) {
     let mut rng = seeded_rng(2);
     let model = Gcn::new(&ctx, GcnConfig::citation(), &mut rng);
     c.bench_function("predict_logits(cora)", |b| {
-        b.iter(|| std::hint::black_box(predict_logits(&model, &ctx)));
+        b.iter(|| std::hint::black_box(model.predictor(&ctx).logits()));
     });
 }
 

@@ -9,7 +9,7 @@
 
 use rdd_baselines::lp::{predict as lp_predict, LpConfig};
 use rdd_graph::{DatasetStats, SynthConfig};
-use rdd_models::{predict, train, Gcn, GcnConfig, GraphContext, Mlp, TrainConfig};
+use rdd_models::{train, Gcn, GcnConfig, GraphContext, Mlp, PredictorExt, TrainConfig};
 use rdd_tensor::seeded_rng;
 
 fn preset_by_name(name: &str) -> Option<SynthConfig> {
@@ -48,7 +48,7 @@ fn main() {
         let mut rng = seeded_rng(1);
         let mut mlp = Mlp::new(&ctx, gcn_cfg.clone(), &mut rng);
         train(&mut mlp, &ctx, &data, &train_cfg, &mut rng, None);
-        let mlp_acc = data.test_accuracy(&predict(&mlp, &ctx));
+        let mlp_acc = data.test_accuracy(&mlp.predictor(&ctx).predict());
 
         let lp_acc = data.test_accuracy(&lp_predict(&data, &LpConfig::default()));
 
@@ -57,7 +57,7 @@ fn main() {
             let mut rng = seeded_rng(seed);
             let mut gcn = Gcn::new(&ctx, gcn_cfg.clone(), &mut rng);
             let rep = train(&mut gcn, &ctx, &data, &train_cfg, &mut rng, None);
-            let acc = data.test_accuracy(&predict(&gcn, &ctx));
+            let acc = data.test_accuracy(&gcn.predictor(&ctx).predict());
             accs.push((acc, rep.epochs_run, rep.wall_time_s));
         }
         let mean: f32 = accs.iter().map(|a| a.0).sum::<f32>() / accs.len() as f32;

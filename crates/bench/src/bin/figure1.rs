@@ -5,7 +5,7 @@
 //! 5.2% and 5/class is 1.3%.
 
 use rdd_bench::{mean_std, model_configs, num_trials, pct_pm, preset};
-use rdd_models::{predict, train, Gcn, GraphContext};
+use rdd_models::{train, Gcn, GraphContext, PredictorExt};
 use rdd_tensor::seeded_rng;
 
 fn main() {
@@ -30,7 +30,7 @@ fn main() {
             let ctx = GraphContext::new(&data);
             let mut model = Gcn::new(&ctx, gcn_cfg.clone(), &mut rng);
             train(&mut model, &ctx, &data, &train_cfg, &mut rng, None);
-            accs.push(data.test_accuracy(&predict(&model, &ctx)));
+            accs.push(data.test_accuracy(&model.predictor(&ctx).predict()));
         }
         let (m, s) = mean_std(&accs);
         let rate = 100.0 * (per_class * cfg.num_classes) as f32 / cfg.n as f32;

@@ -11,7 +11,7 @@
 use std::rc::Rc;
 
 use rdd_core::compute_reliability;
-use rdd_models::{predict, predict_logits, train, Gcn, GraphContext};
+use rdd_models::{train, Gcn, GraphContext, PredictorExt};
 use rdd_tensor::{seeded_rng, Tape, Var};
 
 fn main() {
@@ -24,7 +24,7 @@ fn main() {
     let mut rng = seeded_rng(1);
     let mut teacher = Gcn::new(&ctx, gcn_cfg.clone(), &mut rng);
     train(&mut teacher, &ctx, &data, &train_cfg, &mut rng, None);
-    let teacher_logits = Rc::new(predict_logits(&teacher, &ctx));
+    let teacher_logits = Rc::new(teacher.predictor(&ctx).logits());
     let teacher_proba = teacher_logits.softmax_rows();
     let teacher_pred = teacher_proba.argmax_rows();
     let teacher_wrong: Vec<usize> = data
@@ -60,7 +60,7 @@ fn main() {
     let mut rng = seeded_rng(2);
     let mut independent = Gcn::new(&ctx, gcn_cfg.clone(), &mut rng);
     train(&mut independent, &ctx, &data, &train_cfg, &mut rng, None);
-    let ind_pred = predict(&independent, &ctx);
+    let ind_pred = independent.predictor(&ctx).predict();
 
     // 2. Classical KD student: mimics ALL teacher outputs.
     let mut rng = seeded_rng(2);
@@ -81,7 +81,7 @@ fn main() {
             Some(&mut hook),
         );
     }
-    let kd_pred = predict(&kd_student, &ctx);
+    let kd_pred = kd_student.predictor(&ctx).predict();
 
     // 3. RDD student: per-epoch reliability filtering (Algorithm 1).
     let mut rng = seeded_rng(2);
@@ -112,7 +112,7 @@ fn main() {
             Some(&mut hook),
         );
     }
-    let rdd_pred = predict(&rdd_student, &ctx);
+    let rdd_pred = rdd_student.predictor(&ctx).predict();
 
     println!();
     println!(

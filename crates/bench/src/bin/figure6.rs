@@ -9,7 +9,9 @@ use rdd_baselines::{bagging, bans, BansConfig};
 use rdd_bench::{model_configs, preset, rdd_config, TablePrinter};
 use rdd_core::RddTrainer;
 use rdd_graph::Dataset;
-use rdd_models::{predict, train, DenseGcn, Gcn, GcnConfig, GraphContext, JkNet, Model, ResGcn};
+use rdd_models::{
+    train, DenseGcn, Gcn, GcnConfig, GraphContext, JkNet, Model, PredictorExt, ResGcn,
+};
 use rdd_tensor::seeded_rng;
 
 fn single_acc(
@@ -22,7 +24,7 @@ fn single_acc(
     let mut rng = seeded_rng(seed);
     let mut model = build(ctx, &mut rng);
     train(model.as_mut(), ctx, data, train_cfg, &mut rng, None);
-    data.test_accuracy(&predict(model.as_ref(), ctx))
+    data.test_accuracy(&model.as_ref().predictor(&ctx).predict())
 }
 
 fn main() {

@@ -7,7 +7,7 @@
 
 use rdd_bench::{mean_std, model_configs, num_trials, pct_pm, preset, rdd_config};
 use rdd_core::RddTrainer;
-use rdd_models::{predict, train, Gat, GatConfig, Gcn, GraphContext};
+use rdd_models::{train, Gat, GatConfig, Gcn, GraphContext, PredictorExt};
 use rdd_tensor::seeded_rng;
 
 fn main() {
@@ -29,12 +29,16 @@ fn main() {
         let mut rng = seeded_rng(t);
         let mut gcn = Gcn::new(&ctx, gcn_cfg.clone(), &mut rng);
         train(&mut gcn, &ctx, &data, &train_cfg, &mut rng, None);
-        rows[0].1.push(data.test_accuracy(&predict(&gcn, &ctx)));
+        rows[0]
+            .1
+            .push(data.test_accuracy(&gcn.predictor(&ctx).predict()));
 
         let mut rng = seeded_rng(t);
         let mut gat = Gat::new(&ctx, gat_cfg.clone(), &mut rng);
         train(&mut gat, &ctx, &data, &train_cfg, &mut rng, None);
-        rows[1].1.push(data.test_accuracy(&predict(&gat, &ctx)));
+        rows[1]
+            .1
+            .push(data.test_accuracy(&gat.predictor(&ctx).predict()));
 
         let mut rdd_cfg = rdd_config(cfg.name);
         rdd_cfg.seed = t;

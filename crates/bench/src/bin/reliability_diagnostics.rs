@@ -13,7 +13,7 @@
 
 use rdd_core::compute_reliability;
 use rdd_graph::accuracy_over;
-use rdd_models::{expected_calibration_error, predict_proba, train, Gcn, GraphContext};
+use rdd_models::{expected_calibration_error, train, Gcn, GraphContext, PredictorExt};
 use rdd_obs::{render_table, Json};
 use rdd_tensor::seeded_rng;
 
@@ -35,8 +35,8 @@ fn main() {
     short.min_epochs = 30;
     train(&mut student, &ctx, &data, &short, &mut rng, None);
 
-    let teacher_proba = predict_proba(&teacher, &ctx);
-    let student_proba = predict_proba(&student, &ctx);
+    let teacher_proba = teacher.predictor(&ctx).proba();
+    let student_proba = student.predictor(&ctx).proba();
     let teacher_pred = teacher_proba.argmax_rows();
     let student_pred = student_proba.argmax_rows();
     let mut is_labeled = vec![false; data.n()];

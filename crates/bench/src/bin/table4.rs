@@ -11,7 +11,7 @@ use rdd_bench::{
     mean_std, model_configs, num_trials, paper, pct, preset, rdd_config, TablePrinter,
 };
 use rdd_core::RddTrainer;
-use rdd_models::{predict, train, Gcn, GraphContext};
+use rdd_models::{train, Gcn, GraphContext, PredictorExt};
 use rdd_tensor::seeded_rng;
 
 fn main() {
@@ -34,7 +34,7 @@ fn main() {
             let mut rng = seeded_rng(t);
             let mut gcn = Gcn::new(&ctx, gcn_cfg.clone(), &mut rng);
             train(&mut gcn, &ctx, &data, &train_cfg, &mut rng, None);
-            gcn_runs.push(data.test_accuracy(&predict(&gcn, &ctx)));
+            gcn_runs.push(data.test_accuracy(&gcn.predictor(&ctx).predict()));
 
             let mut rdd_cfg = rdd_config(cfg.name);
             rdd_cfg.seed = t;

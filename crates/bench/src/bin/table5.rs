@@ -10,7 +10,7 @@ use rdd_bench::{
 use rdd_core::RddTrainer;
 use rdd_graph::Dataset;
 use rdd_models::{
-    predict, train, DenseGcn, Gcn, GcnConfig, GraphContext, JkNet, Model, ResGcn, TrainConfig,
+    train, DenseGcn, Gcn, GcnConfig, GraphContext, JkNet, Model, PredictorExt, ResGcn, TrainConfig,
 };
 use rdd_tensor::seeded_rng;
 
@@ -36,7 +36,7 @@ where
         let mut rng = seeded_rng(seed);
         let mut model = build(ctx, cfg, &mut rng);
         let report = train(model.as_mut(), ctx, data, train_cfg, &mut rng, None);
-        let test = data.test_accuracy(&predict(model.as_ref(), ctx));
+        let test = data.test_accuracy(&model.as_ref().predictor(&ctx).predict());
         if report.best_val_acc > best.0 {
             best = (report.best_val_acc, test);
         }
@@ -65,7 +65,7 @@ fn main() {
             let mut rng = seeded_rng(t);
             let mut gcn = Gcn::new(&ctx, gcn_cfg.clone(), &mut rng);
             train(&mut gcn, &ctx, &data, &train_cfg, &mut rng, None);
-            accs[0].push(data.test_accuracy(&predict(&gcn, &ctx)));
+            accs[0].push(data.test_accuracy(&gcn.predictor(&ctx).predict()));
 
             // Match the plain GCN's width/dropout per dataset so depth is
             // the only variable (the paper tunes layer count the same way).

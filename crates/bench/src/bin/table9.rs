@@ -10,7 +10,7 @@
 use rdd_baselines::{bagging, bans, BansConfig};
 use rdd_bench::{model_configs, preset, rdd_config, TablePrinter};
 use rdd_core::RddTrainer;
-use rdd_models::{predict, train, Gcn, GraphContext};
+use rdd_models::{train, Gcn, GraphContext, PredictorExt};
 use rdd_tensor::seeded_rng;
 
 fn main() {
@@ -24,7 +24,7 @@ fn main() {
     let mut rng = seeded_rng(1);
     let mut gcn = Gcn::new(&ctx, gcn_cfg.clone(), &mut rng);
     train(&mut gcn, &ctx, &data, &train_cfg, &mut rng, None);
-    let gcn_acc = data.test_accuracy(&predict(&gcn, &ctx));
+    let gcn_acc = data.test_accuracy(&gcn.predictor(&ctx).predict());
     let target = gcn_acc + 0.011;
     println!(
         "single GCN = {:.1}%; target accuracy = {:.1}% (paper: GCN 81.8% -> target 84.0%)",

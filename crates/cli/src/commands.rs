@@ -1,6 +1,11 @@
 //! Command implementations for the `rdd` CLI.
+//!
+//! Every command returns [`RddError`] — the crate-spanning error from
+//! `rdd-serve` — so run-directory, checkpoint, dataset-IO, config, and
+//! serving failures all reach the user through one `Display` path.
 
-use std::path::Path;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
 
 use rdd_baselines::lp::{predict as lp_predict, LpConfig};
 use rdd_baselines::{
@@ -10,17 +15,19 @@ use rdd_baselines::{
 use rdd_core::{RddConfig, RddTrainer};
 use rdd_graph::{io, Dataset, DatasetStats, SynthConfig};
 use rdd_models::{
-    predict, train as train_model, Gat, GatConfig, Gcn, GcnConfig, GraphContext, GraphSage,
+    train as train_model, Gat, GatConfig, Gcn, GcnConfig, GraphContext, GraphSage, PredictorExt,
     SageConfig, TrainConfig,
 };
-use rdd_tensor::seeded_rng;
+use rdd_obs::Json;
+use rdd_serve::{bench_artifact, export_run, Artifact, RddError, ServeConfig, ServeEngine};
+use rdd_tensor::{seeded_rng, Matrix};
 
 use crate::args::Args;
 
 /// Honor `--save <path>` after training a single model.
-fn maybe_save(model: &dyn rdd_models::Model, args: &Args) -> Result<(), String> {
+fn maybe_save(model: &dyn rdd_models::Model, args: &Args) -> Result<(), RddError> {
     if let Some(path) = args.options.get("save") {
-        rdd_models::save_checkpoint(model, Path::new(path)).map_err(|e| e.to_string())?;
+        rdd_models::save_checkpoint(model, Path::new(path))?;
         println!("saved checkpoint to {path}");
     }
     Ok(())
@@ -29,17 +36,35 @@ fn maybe_save(model: &dyn rdd_models::Model, args: &Args) -> Result<(), String> 
 /// Honor `--pred-out <file>`: the ensemble's hard predictions, one class id
 /// per line (the ci fault matrix compares these byte-for-byte across
 /// killed-then-resumed and uninterrupted runs).
-fn maybe_write_preds(args: &Args, preds: &[usize]) -> Result<(), String> {
+fn maybe_write_preds(args: &Args, preds: &[usize]) -> Result<(), RddError> {
     if let Some(path) = args.options.get("pred-out") {
         let mut out = String::with_capacity(preds.len() * 2);
         for p in preds {
             out.push_str(&p.to_string());
             out.push('\n');
         }
-        std::fs::write(path, out).map_err(|e| format!("failed to write {path}: {e}"))?;
+        std::fs::write(path, out)
+            .map_err(|e| RddError::Cli(format!("failed to write {path}: {e}")))?;
         println!("wrote {} predictions to {path}", preds.len());
     }
     Ok(())
+}
+
+/// Render matrix rows with shortest-roundtrip `Display` floats, one row per
+/// line — the format both `artifact-info --proba-out` and
+/// `serve --proba-out` write, so ci can `cmp` served against offline rows
+/// byte-for-byte.
+fn proba_rows_text(out: &mut String, m: &Matrix) {
+    use std::fmt::Write as _;
+    for i in 0..m.rows() {
+        for (j, v) in m.row(i).iter().enumerate() {
+            if j > 0 {
+                out.push(' ');
+            }
+            let _ = write!(out, "{v}");
+        }
+        out.push('\n');
+    }
 }
 
 fn preset(name: &str) -> Option<SynthConfig> {
@@ -54,7 +79,7 @@ fn preset(name: &str) -> Option<SynthConfig> {
 }
 
 /// Load a dataset from a preset name or a saved TSV directory.
-fn load(source: &str, seed: Option<u64>) -> Result<Dataset, String> {
+fn load(source: &str, seed: Option<u64>) -> Result<Dataset, RddError> {
     if let Some(cfg) = preset(source) {
         return Ok(match seed {
             Some(s) => cfg.generate_with_seed(s),
@@ -63,11 +88,11 @@ fn load(source: &str, seed: Option<u64>) -> Result<Dataset, String> {
     }
     let path = Path::new(source);
     if path.is_dir() {
-        io::load_dataset(path).map_err(|e| format!("failed to load {source}: {e}"))
+        Ok(io::load_dataset(path)?)
     } else {
-        Err(format!(
+        Err(RddError::Cli(format!(
             "{source:?} is neither a preset (cora|citeseer|pubmed|nell|tiny) nor a dataset directory"
-        ))
+        )))
     }
 }
 
@@ -101,14 +126,14 @@ fn configs_for(data: &Dataset) -> (GcnConfig, TrainConfig, RddConfig) {
 }
 
 /// `rdd generate <preset> <dir>`
-pub fn generate(args: &Args) -> Result<(), String> {
+pub fn generate(args: &Args) -> Result<(), RddError> {
     let [_, name, dir] = args.positional.as_slice() else {
-        return Err("usage: rdd generate <preset> <dir>".into());
+        return Err(RddError::Cli("usage: rdd generate <preset> <dir>".into()));
     };
-    let cfg = preset(name).ok_or_else(|| format!("unknown preset {name}"))?;
+    let cfg = preset(name).ok_or_else(|| RddError::Cli(format!("unknown preset {name}")))?;
     let seed: u64 = args.get_or("seed", cfg.seed)?;
     let data = cfg.generate_with_seed(seed);
-    io::save_dataset(&data, Path::new(dir)).map_err(|e| e.to_string())?;
+    io::save_dataset(&data, Path::new(dir))?;
     println!(
         "wrote {} ({} nodes, {} edges) to {dir}",
         data.name,
@@ -119,9 +144,9 @@ pub fn generate(args: &Args) -> Result<(), String> {
 }
 
 /// `rdd info <preset|dir>`
-pub fn info(args: &Args) -> Result<(), String> {
+pub fn info(args: &Args) -> Result<(), RddError> {
     let [_, source] = args.positional.as_slice() else {
-        return Err("usage: rdd info <preset|dir>".into());
+        return Err(RddError::Cli("usage: rdd info <preset|dir>".into()));
     };
     let data = load(source, None)?;
     println!("{}", DatasetStats::header());
@@ -132,14 +157,14 @@ pub fn info(args: &Args) -> Result<(), String> {
 }
 
 /// `rdd train <preset|dir> [--method M] [--models N] [--seed N] ...`
-pub fn train_cmd_inner(args: &Args, print: bool) -> Result<(String, f32), String> {
+pub fn train_cmd_inner(args: &Args, print: bool) -> Result<(String, f32), RddError> {
     let source = args
         .positional
         .get(1)
-        .ok_or("usage: rdd train <preset|dir> [--method M]")?;
+        .ok_or_else(|| RddError::Cli("usage: rdd train <preset|dir> [--method M]".into()))?;
     let seed: u64 = args.get_or("seed", 1)?;
     let data = load(source, None)?;
-    let (gcn_cfg, train_cfg, mut rdd_cfg) = configs_for(&data);
+    let (gcn_cfg, train_cfg, rdd_cfg) = configs_for(&data);
     let models: usize = args.get_or("models", 5)?;
     let method: String = args.get_or("method", "rdd".to_string())?;
 
@@ -150,7 +175,7 @@ pub fn train_cmd_inner(args: &Args, print: bool) -> Result<(String, f32), String
             let mut m = Gcn::new(&ctx, gcn_cfg, &mut rng);
             train_model(&mut m, &ctx, &data, &train_cfg, &mut rng, None);
             maybe_save(&m, args)?;
-            data.test_accuracy(&predict(&m, &ctx))
+            data.test_accuracy(&m.predictor(&ctx).predict())
         }
         "sage" => {
             let ctx = GraphContext::new(&data);
@@ -158,7 +183,7 @@ pub fn train_cmd_inner(args: &Args, print: bool) -> Result<(String, f32), String
             let mut m = GraphSage::new(&ctx, SageConfig::default(), &mut rng);
             train_model(&mut m, &ctx, &data, &train_cfg, &mut rng, None);
             maybe_save(&m, args)?;
-            data.test_accuracy(&predict(&m, &ctx))
+            data.test_accuracy(&m.predictor(&ctx).predict())
         }
         "gat" => {
             let ctx = GraphContext::new(&data);
@@ -166,21 +191,25 @@ pub fn train_cmd_inner(args: &Args, print: bool) -> Result<(String, f32), String
             let mut m = Gat::new(&ctx, GatConfig::default(), &mut rng);
             train_model(&mut m, &ctx, &data, &train_cfg, &mut rng, None);
             maybe_save(&m, args)?;
-            data.test_accuracy(&predict(&m, &ctx))
+            data.test_accuracy(&m.predictor(&ctx).predict())
         }
         "rdd" => {
-            rdd_cfg.num_base_models = models;
-            rdd_cfg.seed = seed;
-            rdd_cfg.gamma_initial = args.get_or("gamma", rdd_cfg.gamma_initial)?;
-            rdd_cfg.beta = args.get_or("beta", rdd_cfg.beta)?;
-            rdd_cfg.p = args.get_or("p", rdd_cfg.p)?;
+            // Every override funnels through the validating builder, so
+            // `--p 0` or `--gamma -3` is a typed ConfigError naming the
+            // field, not a train-time surprise.
+            let rdd_cfg = rdd_cfg
+                .to_builder()
+                .num_base_models(models)
+                .seed(seed)
+                .gamma(args.get_or("gamma", rdd_cfg.gamma_initial)?)
+                .beta(args.get_or("beta", rdd_cfg.beta)?)
+                .p(args.get_or("p", rdd_cfg.p)?)
+                .build()?;
             let trainer = RddTrainer::new(rdd_cfg);
             let out = match args.options.get("run-dir") {
                 // Crash-safe mode: every member commits to the run
                 // directory, and a failed run restarts with `rdd resume`.
-                Some(dir) => trainer
-                    .run_crash_safe(&data, Path::new(dir), source)
-                    .map_err(|e| e.to_string())?,
+                Some(dir) => trainer.run_crash_safe(&data, Path::new(dir), source)?,
                 None => trainer.run(&data),
             };
             if print {
@@ -239,7 +268,7 @@ pub fn train_cmd_inner(args: &Args, print: bool) -> Result<(String, f32), String
             )
             .teacher_test_acc
         }
-        other => return Err(format!("unknown method {other}")),
+        other => return Err(RddError::Cli(format!("unknown method {other}"))),
     };
     if print {
         println!(
@@ -251,7 +280,7 @@ pub fn train_cmd_inner(args: &Args, print: bool) -> Result<(String, f32), String
     Ok((method, acc))
 }
 
-pub fn train(args: &Args) -> Result<(), String> {
+pub fn train(args: &Args) -> Result<(), RddError> {
     train_cmd_inner(args, true).map(|_| ())
 }
 
@@ -259,14 +288,16 @@ pub fn train(args: &Args) -> Result<(), String> {
 /// crash-safe run. The dataset source comes from the run's manifest, and
 /// the completed run is bitwise-identical to one that was never
 /// interrupted.
-pub fn resume(args: &Args) -> Result<(), String> {
+pub fn resume(args: &Args) -> Result<(), RddError> {
     let [_, dir] = args.positional.as_slice() else {
-        return Err("usage: rdd resume <run-dir> [--pred-out <file>]".into());
+        return Err(RddError::Cli(
+            "usage: rdd resume <run-dir> [--pred-out <file>]".into(),
+        ));
     };
     let dir = Path::new(dir);
-    let source = rdd_core::manifest_source(dir).map_err(|e| e.to_string())?;
+    let source = rdd_core::manifest_source(dir)?;
     let data = load(&source, None)?;
-    let out = RddTrainer::resume(dir, &data).map_err(|e| e.to_string())?;
+    let out = RddTrainer::resume(dir, &data)?;
     println!("RDD single: {:.1}%", 100.0 * out.single_test_acc);
     println!(
         "rdd on {}: test accuracy {:.1}%",
@@ -278,22 +309,25 @@ pub fn resume(args: &Args) -> Result<(), String> {
 }
 
 /// `rdd trace-summary <file.jsonl>` — validate and render an RDD_TRACE file.
-pub fn trace_summary(args: &Args) -> Result<(), String> {
+pub fn trace_summary(args: &Args) -> Result<(), RddError> {
     let [_, path] = args.positional.as_slice() else {
-        return Err("usage: rdd trace-summary <file.jsonl>".into());
+        return Err(RddError::Cli(
+            "usage: rdd trace-summary <file.jsonl>".into(),
+        ));
     };
-    let src = std::fs::read_to_string(path).map_err(|e| format!("failed to read {path}: {e}"))?;
-    let summary = rdd_obs::validate(&src).map_err(|e| format!("{path}: {e}"))?;
+    let src = std::fs::read_to_string(path)
+        .map_err(|e| RddError::Cli(format!("failed to read {path}: {e}")))?;
+    let summary = rdd_obs::validate(&src).map_err(|e| RddError::Cli(format!("{path}: {e}")))?;
     print!("{}", summary.render());
     Ok(())
 }
 
 /// `rdd compare <preset|dir>` — every method side by side.
-pub fn compare(args: &Args) -> Result<(), String> {
+pub fn compare(args: &Args) -> Result<(), RddError> {
     let source = args
         .positional
         .get(1)
-        .ok_or("usage: rdd compare <preset|dir>")?
+        .ok_or_else(|| RddError::Cli("usage: rdd compare <preset|dir>".into()))?
         .clone();
     let methods = [
         "lp",
@@ -315,6 +349,378 @@ pub fn compare(args: &Args) -> Result<(), String> {
         sub.positional = vec!["train".into(), source.clone()];
         let (_, acc) = train_cmd_inner(&sub, false)?;
         println!("{m:<16} {:>8.1}%", 100.0 * acc);
+    }
+    Ok(())
+}
+
+/// `rdd export <run-dir> <artifact>` — distill a completed crash-safe run
+/// directory into one versioned, checksummed artifact file.
+pub fn export(args: &Args) -> Result<(), RddError> {
+    let [_, run_dir, artifact_path] = args.positional.as_slice() else {
+        return Err(RddError::Cli(
+            "usage: rdd export <run-dir> <artifact>".into(),
+        ));
+    };
+    let artifact = export_run(Path::new(run_dir), Path::new(artifact_path))?;
+    let meta = artifact.meta();
+    println!(
+        "exported {run_dir} -> {artifact_path}: {} ({} nodes, {} classes), {} members, checksum {:016x}",
+        meta.dataset_name,
+        meta.dataset_n,
+        meta.num_classes,
+        meta.members,
+        artifact.checksum()
+    );
+    Ok(())
+}
+
+/// `rdd artifact-info <artifact> [--proba-out <file>]` — validate and
+/// describe an artifact; `--proba-out` dumps the offline proba rows (the
+/// reference the serve smoke test compares served rows against).
+pub fn artifact_info(args: &Args) -> Result<(), RddError> {
+    let [_, path] = args.positional.as_slice() else {
+        return Err(RddError::Cli(
+            "usage: rdd artifact-info <artifact> [--proba-out <file>]".into(),
+        ));
+    };
+    let artifact = Artifact::load(Path::new(path))?;
+    let meta = artifact.meta();
+    println!("artifact:    {path}");
+    println!(
+        "dataset:     {} ({} nodes, {} classes)",
+        meta.dataset_name, meta.dataset_n, meta.num_classes
+    );
+    println!("source:      {}", meta.source);
+    println!("members:     {}", meta.members);
+    let alphas: Vec<String> = meta.alphas.iter().map(|a| format!("{a:.4}")).collect();
+    println!(
+        "alphas:      [{}]  (total {:.4})",
+        alphas.join(", "),
+        meta.alpha_total
+    );
+    println!("checksum:    {:016x}", artifact.checksum());
+    if let Some(out_path) = args.options.get("proba-out") {
+        let mut text = String::new();
+        proba_rows_text(&mut text, artifact.proba());
+        std::fs::write(out_path, text)
+            .map_err(|e| RddError::Cli(format!("failed to write {out_path}: {e}")))?;
+        println!("wrote {} proba rows to {out_path}", meta.dataset_n);
+    }
+    Ok(())
+}
+
+/// Parse one serve-loop request line: `{"id":N,"nodes":[...]}`. Both keys
+/// are optional — a missing `id` gets `fallback_id`, missing `nodes` means
+/// the whole graph.
+fn parse_request(line: &str, fallback_id: u64) -> Result<(u64, Option<Vec<usize>>), String> {
+    let json = rdd_obs::parse(line)?;
+    let id = match json.get("id") {
+        None => fallback_id,
+        Some(v) => {
+            let x = v.as_f64().ok_or("'id' must be a number")?;
+            if x < 0.0 || x.fract() != 0.0 {
+                return Err(format!("'id' must be a non-negative integer, got {x}"));
+            }
+            x as u64
+        }
+    };
+    let nodes = match json.get("nodes") {
+        None | Some(Json::Null) => None,
+        Some(Json::Arr(a)) => {
+            let mut ids = Vec::with_capacity(a.len());
+            for v in a {
+                let x = v.as_f64().ok_or("'nodes' holds a non-number")?;
+                if x < 0.0 || x.fract() != 0.0 {
+                    return Err(format!("node ids must be non-negative integers, got {x}"));
+                }
+                ids.push(x as usize);
+            }
+            Some(ids)
+        }
+        Some(_) => return Err("'nodes' must be an array of node ids".into()),
+    };
+    Ok((id, nodes))
+}
+
+/// Render one reply line for the serve loop's stdout.
+fn reply_json(reply: &rdd_serve::ServeReply) -> Json {
+    match &reply.result {
+        Ok(p) => Json::Obj(vec![
+            ("id".into(), Json::from(reply.id)),
+            ("nodes".into(), Json::from(p.nodes.clone())),
+            ("pred".into(), Json::from(p.pred.clone())),
+            (
+                "proba".into(),
+                Json::Arr(
+                    (0..p.proba.rows())
+                        .map(|i| Json::from(p.proba.row(i).to_vec()))
+                        .collect(),
+                ),
+            ),
+            ("latency_ms".into(), Json::from(reply.latency_ms)),
+            ("cache_hits".into(), Json::from(reply.cache_hits)),
+        ]),
+        Err(e) => Json::Obj(vec![
+            ("id".into(), Json::from(reply.id)),
+            ("error".into(), Json::from(e.to_string())),
+        ]),
+    }
+}
+
+/// `rdd serve --artifact <path>` — line-delimited JSON request loop over
+/// stdin/stdout. One request per line (`{"id":N,"nodes":[...]}`; `nodes`
+/// absent = the whole graph); one reply object per request, in submission
+/// order. Requests are micro-batched (flush on `--batch` size or
+/// `--delay-ms` deadline) and answered through the per-node LRU cache.
+pub fn serve(args: &Args) -> Result<(), RddError> {
+    use std::io::{BufRead, Write as _};
+    use std::sync::mpsc;
+
+    let artifact_path = args.options.get("artifact").ok_or_else(|| {
+        RddError::Cli(
+            "usage: rdd serve --artifact <path> [--batch N] [--delay-ms N] [--cache N] [--proba-out <file>]"
+                .into(),
+        )
+    })?;
+    let artifact = Artifact::load(Path::new(artifact_path))?;
+    let defaults = ServeConfig::default();
+    let cfg = ServeConfig {
+        batch_size: args.get_or("batch", defaults.batch_size)?,
+        max_delay_ms: args.get_or("delay-ms", defaults.max_delay_ms)?,
+        cache_capacity: args.get_or("cache", defaults.cache_capacity)?,
+        queue_capacity: args.get_or("queue", defaults.queue_capacity)?,
+    };
+    let meta = artifact.meta();
+    eprintln!(
+        "serving {} ({} nodes, {} classes, {} members, checksum {:016x}); batch {} delay {}ms cache {}",
+        meta.dataset_name,
+        meta.dataset_n,
+        meta.num_classes,
+        meta.members,
+        artifact.checksum(),
+        cfg.batch_size,
+        cfg.max_delay_ms,
+        cfg.cache_capacity,
+    );
+    let mut engine = ServeEngine::new(&artifact, cfg, artifact.checksum())?;
+
+    // Stdin is read on its own thread so the main loop can honor the
+    // micro-batch deadline while the pipe is quiet.
+    let (tx, rx) = mpsc::channel::<String>();
+    let reader = std::thread::spawn(move || {
+        let stdin = std::io::stdin();
+        for line in stdin.lock().lines() {
+            let Ok(line) = line else { break };
+            if tx.send(line).is_err() {
+                break;
+            }
+        }
+    });
+
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    let mut proba_out = args.options.get("proba-out").map(|_| String::new());
+    let write_replies = |replies: &[rdd_serve::ServeReply],
+                         out: &mut std::io::StdoutLock<'_>,
+                         proba_out: &mut Option<String>|
+     -> Result<(), RddError> {
+        for reply in replies {
+            let mut line = String::new();
+            reply_json(reply).write(&mut line);
+            line.push('\n');
+            out.write_all(line.as_bytes())
+                .map_err(|e| RddError::Cli(format!("stdout write failed: {e}")))?;
+            if let (Some(text), Ok(p)) = (proba_out.as_mut(), &reply.result) {
+                proba_rows_text(text, &p.proba);
+            }
+        }
+        out.flush()
+            .map_err(|e| RddError::Cli(format!("stdout flush failed: {e}")))?;
+        Ok(())
+    };
+
+    let started = Instant::now();
+    let mut next_id: u64 = 0;
+    loop {
+        // Wait for the next request, but never past the oldest queued
+        // request's flush deadline.
+        let line = match engine.deadline() {
+            None => match rx.recv() {
+                Ok(line) => line,
+                Err(_) => break, // EOF
+            },
+            Some(deadline) => {
+                let now = Instant::now();
+                if deadline <= now {
+                    let replies = engine.flush();
+                    write_replies(&replies, &mut out, &mut proba_out)?;
+                    continue;
+                }
+                match rx.recv_timeout(deadline - now) {
+                    Ok(line) => line,
+                    Err(mpsc::RecvTimeoutError::Timeout) => {
+                        let replies = engine.flush();
+                        write_replies(&replies, &mut out, &mut proba_out)?;
+                        continue;
+                    }
+                    Err(mpsc::RecvTimeoutError::Disconnected) => break, // EOF
+                }
+            }
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        match parse_request(&line, next_id) {
+            Err(msg) => {
+                let mut err_line = String::new();
+                Json::Obj(vec![
+                    ("id".into(), Json::Null),
+                    ("error".into(), Json::from(format!("bad request: {msg}"))),
+                ])
+                .write(&mut err_line);
+                err_line.push('\n');
+                out.write_all(err_line.as_bytes())
+                    .map_err(|e| RddError::Cli(format!("stdout write failed: {e}")))?;
+            }
+            Ok((id, nodes)) => {
+                next_id = next_id.max(id) + 1;
+                match engine.submit(id, nodes) {
+                    Ok(None) => {}
+                    Ok(Some(replies)) => write_replies(&replies, &mut out, &mut proba_out)?,
+                    Err(e) => {
+                        // Queue full: shed this request, keep serving.
+                        let mut err_line = String::new();
+                        Json::Obj(vec![
+                            ("id".into(), Json::from(id)),
+                            ("error".into(), Json::from(e.to_string())),
+                        ])
+                        .write(&mut err_line);
+                        err_line.push('\n');
+                        out.write_all(err_line.as_bytes())
+                            .map_err(|e| RddError::Cli(format!("stdout write failed: {e}")))?;
+                    }
+                }
+            }
+        }
+    }
+    // EOF: answer whatever is still queued, then summarize.
+    let replies = engine.flush();
+    write_replies(&replies, &mut out, &mut proba_out)?;
+    let _ = reader.join();
+
+    let stats = engine.stats();
+    rdd_obs::emit_serve_run(
+        stats.requests,
+        stats.batches,
+        stats.cache_hits,
+        stats.cache_misses,
+        started.elapsed().as_secs_f64() * 1e3,
+    );
+    eprintln!(
+        "served {} requests in {} batches (cache hit rate {:.1}%)",
+        stats.requests,
+        stats.batches,
+        100.0 * stats.hit_rate()
+    );
+    if let (Some(path), Some(text)) = (args.options.get("proba-out"), proba_out) {
+        std::fs::write(path, text)
+            .map_err(|e| RddError::Cli(format!("failed to write {path}: {e}")))?;
+        eprintln!("wrote served proba rows to {path}");
+    }
+    Ok(())
+}
+
+/// `rdd serve-bench <preset|dir> [--models N] [--requests N] [--out FILE]`
+/// — train a fast teacher (unless `--artifact` points at an existing
+/// file), export it, and run the closed-loop throughput bench across
+/// {unbatched, batched} × {cache cold, warm}.
+pub fn serve_bench(args: &Args) -> Result<(), RddError> {
+    let source = args.positional.get(1).ok_or_else(|| {
+        RddError::Cli(
+            "usage: rdd serve-bench <preset|dir> [--models N] [--requests N] [--out FILE] [--artifact FILE]"
+                .into(),
+        )
+    })?;
+    let requests: usize = args.get_or("requests", 2000)?;
+    let models: usize = args.get_or("models", 3)?;
+
+    let reuse = args
+        .options
+        .get("artifact")
+        .map(PathBuf::from)
+        .filter(|p| p.exists());
+    let artifact = match reuse {
+        Some(path) => {
+            eprintln!("reusing artifact {}", path.display());
+            Artifact::load(&path)?
+        }
+        None => {
+            let data = load(source, None)?;
+            let cfg = RddConfig::fast()
+                .to_builder()
+                .num_base_models(models)
+                .build()?;
+            let run_dir =
+                std::env::temp_dir().join(format!("rdd_serve_bench_{}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&run_dir);
+            eprintln!("training {} fast teacher(s) on {}...", models, data.name);
+            RddTrainer::new(cfg).run_crash_safe(&data, &run_dir, source)?;
+            let keep = args.options.get("artifact").map(PathBuf::from);
+            let artifact_path = keep.clone().unwrap_or_else(|| {
+                std::env::temp_dir()
+                    .join(format!("rdd_serve_bench_{}.artifact", std::process::id()))
+            });
+            let artifact = export_run(&run_dir, &artifact_path)?;
+            let _ = std::fs::remove_dir_all(&run_dir);
+            if keep.is_none() {
+                let _ = std::fs::remove_file(&artifact_path);
+            }
+            artifact
+        }
+    };
+
+    let results = bench_artifact(&artifact, requests)?;
+    println!(
+        "{:<16} {:>6} {:>9} {:>10} {:>9} {:>9} {:>9}",
+        "mode", "batch", "requests", "rps", "p50 ms", "p99 ms", "hit rate"
+    );
+    println!("{}", "-".repeat(74));
+    for r in &results {
+        println!(
+            "{:<16} {:>6} {:>9} {:>10.0} {:>9.4} {:>9.4} {:>8.1}%",
+            r.mode,
+            r.batch_size,
+            r.requests,
+            r.rps,
+            r.p50_ms,
+            r.p99_ms,
+            100.0 * r.hit_rate
+        );
+    }
+    if let Some(out_path) = args.options.get("out") {
+        let meta = artifact.meta();
+        let mut text = String::new();
+        Json::Obj(vec![
+            ("bench".into(), Json::from("serve-throughput")),
+            ("dataset".into(), Json::from(meta.dataset_name.as_str())),
+            ("nodes".into(), Json::from(meta.dataset_n)),
+            ("classes".into(), Json::from(meta.num_classes)),
+            ("members".into(), Json::from(meta.members)),
+            ("requests_per_mode".into(), Json::from(requests)),
+            (
+                "threads".into(),
+                Json::from(rdd_tensor::par::num_threads() as u64),
+            ),
+            (
+                "modes".into(),
+                Json::Arr(results.iter().map(|r| r.to_json()).collect()),
+            ),
+        ])
+        .write(&mut text);
+        text.push('\n');
+        std::fs::write(out_path, text)
+            .map_err(|e| RddError::Cli(format!("failed to write {out_path}: {e}")))?;
+        println!("wrote bench report to {out_path}");
     }
     Ok(())
 }

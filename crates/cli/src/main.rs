@@ -7,6 +7,10 @@
 //! rdd resume <run-dir>                          finish an interrupted crash-safe run
 //! rdd compare <preset|dir> [--models N]         run every method side by side
 //! rdd trace-summary <file.jsonl>                render an RDD_TRACE telemetry file
+//! rdd export <run-dir> <artifact>               freeze a completed run into an artifact
+//! rdd artifact-info <artifact>                  validate and describe an artifact
+//! rdd serve --artifact <path>                   JSON request loop over the artifact
+//! rdd serve-bench <preset|dir> [--requests N]   closed-loop serving throughput bench
 //! ```
 //!
 //! Set `RDD_TRACE=<path|stderr>` to capture structured telemetry (JSONL) from
@@ -29,6 +33,10 @@ const USAGE: &str = "usage:
   rdd resume <run-dir> [--pred-out <file>]
   rdd compare <preset|dir> [--models N] [--seed N]
   rdd trace-summary <file.jsonl>
+  rdd export <run-dir> <artifact>
+  rdd artifact-info <artifact> [--proba-out <file>]
+  rdd serve --artifact <path> [--batch N] [--delay-ms N] [--cache N] [--queue N] [--proba-out <file>]
+  rdd serve-bench <preset|dir> [--models N] [--requests N] [--out FILE] [--artifact FILE]
 
 presets: cora, citeseer, pubmed, nell, tiny
 env: RDD_TRACE=<path|stderr|off> structured telemetry sink, RDD_THREADS=N worker pool size,
@@ -57,11 +65,17 @@ fn main() {
         "resume" => commands::resume(&args),
         "compare" => commands::compare(&args),
         "trace-summary" => commands::trace_summary(&args),
+        "export" => commands::export(&args),
+        "artifact-info" => commands::artifact_info(&args),
+        "serve" => commands::serve(&args),
+        "serve-bench" => commands::serve_bench(&args),
         "help" | "--help" => {
             println!("{USAGE}");
             Ok(())
         }
-        other => Err(format!("unknown command {other:?}\n{USAGE}")),
+        other => Err(rdd_serve::RddError::Cli(format!(
+            "unknown command {other:?}\n{USAGE}"
+        ))),
     };
     // Push any buffered telemetry out before exiting, on both paths.
     rdd_obs::flush();

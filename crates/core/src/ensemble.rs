@@ -6,6 +6,7 @@
 //! predictions on structurally important nodes earn a base model more say
 //! in the combined output `H_T = Σ α_t h_t` (Eq. 13).
 
+use rdd_models::{gather_prediction, PredictError, PredictRequest, Prediction, Predictor};
 use rdd_tensor::Matrix;
 
 /// One base model's frozen outputs plus its ensemble weight.
@@ -102,20 +103,65 @@ impl Ensemble {
 
     /// The teacher's softmax output `H_T` (rows remain distributions because
     /// the weights are normalized to sum to one).
+    ///
+    /// # Panics
+    /// On an empty ensemble; use [`Ensemble::try_proba`] for a typed error.
     pub fn proba(&self) -> Matrix {
-        let sum = self.proba_sum.as_ref().expect("empty ensemble");
-        sum.scaled(1.0 / self.alpha_total)
+        self.try_proba().expect("empty ensemble")
+    }
+
+    /// [`Ensemble::proba`] with the empty case as a typed error instead of
+    /// a panic.
+    pub fn try_proba(&self) -> Result<Matrix, PredictError> {
+        let sum = self.proba_sum.as_ref().ok_or(PredictError::EmptyEnsemble)?;
+        Ok(sum.scaled(1.0 / self.alpha_total))
     }
 
     /// The teacher's embedding `F_T` used as the L2 target (Eq. 7).
+    ///
+    /// # Panics
+    /// On an empty ensemble; use [`Ensemble::try_logits`] for a typed error.
     pub fn logits(&self) -> Matrix {
-        let sum = self.logits_sum.as_ref().expect("empty ensemble");
-        sum.scaled(1.0 / self.alpha_total)
+        self.try_logits().expect("empty ensemble")
+    }
+
+    /// [`Ensemble::logits`] with the empty case as a typed error.
+    pub fn try_logits(&self) -> Result<Matrix, PredictError> {
+        let sum = self
+            .logits_sum
+            .as_ref()
+            .ok_or(PredictError::EmptyEnsemble)?;
+        Ok(sum.scaled(1.0 / self.alpha_total))
     }
 
     /// Hard predictions of the combined teacher.
+    ///
+    /// # Panics
+    /// On an empty ensemble; use [`Ensemble::try_predict`] for a typed error.
     pub fn predict(&self) -> Vec<usize> {
-        self.proba().argmax_rows()
+        self.try_predict().expect("empty ensemble")
+    }
+
+    /// [`Ensemble::predict`] with the empty case as a typed error.
+    pub fn try_predict(&self) -> Result<Vec<usize>, PredictError> {
+        Ok(self.try_proba()?.argmax_rows())
+    }
+}
+
+/// The frozen teacher is a [`Predictor`]: `predict_batch` answers node
+/// subsets straight off the maintained `Σ α_t proba_t`, and an empty
+/// ensemble is a typed [`PredictError::EmptyEnsemble`] instead of a panic.
+impl Predictor for Ensemble {
+    fn num_nodes(&self) -> usize {
+        self.proba_sum.as_ref().map_or(0, |m| m.rows())
+    }
+
+    fn num_classes(&self) -> usize {
+        self.proba_sum.as_ref().map_or(0, |m| m.cols())
+    }
+
+    fn predict_batch(&self, req: &PredictRequest) -> Result<Prediction, PredictError> {
+        gather_prediction(&self.try_proba()?, req)
     }
 }
 
@@ -210,6 +256,59 @@ mod tests {
     fn non_positive_alpha_rejected() {
         let mut e = Ensemble::new();
         e.push(proba2(&[[1.0, 0.0]]), proba2(&[[0.0, 0.0]]), 0.0);
+    }
+
+    #[test]
+    fn empty_ensemble_is_a_typed_error_not_a_panic() {
+        let e = Ensemble::new();
+        assert_eq!(e.try_proba().unwrap_err(), PredictError::EmptyEnsemble);
+        assert_eq!(e.try_logits().unwrap_err(), PredictError::EmptyEnsemble);
+        assert_eq!(e.try_predict().unwrap_err(), PredictError::EmptyEnsemble);
+        assert_eq!(
+            e.predict_batch(&PredictRequest::all()).unwrap_err(),
+            PredictError::EmptyEnsemble
+        );
+        assert_eq!(e.num_nodes(), 0);
+        assert_eq!(e.num_classes(), 0);
+    }
+
+    #[test]
+    fn ensemble_predict_batch_matches_proba_bitwise() {
+        let mut e = Ensemble::new();
+        e.push(
+            proba2(&[[0.6, 0.4], [0.1, 0.9], [0.5, 0.5]]),
+            proba2(&[[0.0, 0.0], [0.0, 0.0], [0.0, 0.0]]),
+            0.7,
+        );
+        e.push(
+            proba2(&[[0.2, 0.8], [0.3, 0.7], [0.9, 0.1]]),
+            proba2(&[[0.0, 0.0], [0.0, 0.0], [0.0, 0.0]]),
+            2.0,
+        );
+        assert_eq!(e.num_nodes(), 3);
+        assert_eq!(e.num_classes(), 2);
+        let full = e.proba();
+        let batch = e.predict_batch(&PredictRequest::nodes(vec![2, 0])).unwrap();
+        assert_eq!(batch.nodes, vec![2, 0]);
+        for (r, &node) in batch.nodes.iter().enumerate() {
+            let same = batch
+                .proba
+                .row(r)
+                .iter()
+                .zip(full.row(node))
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+            assert!(same, "row {r} (node {node}) not bitwise equal to proba()");
+        }
+        let err = e
+            .predict_batch(&PredictRequest::nodes(vec![3]))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            PredictError::NodeOutOfRange {
+                node: 3,
+                num_nodes: 3
+            }
+        );
     }
 
     #[test]

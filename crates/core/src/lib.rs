@@ -26,6 +26,7 @@
 //! let mut config = RddConfig::fast();
 //! config.num_base_models = 2;
 //! config.train.epochs = 20;
+//! config.validate().expect("still a sane config");
 //! let outcome = RddTrainer::new(config).run(&dataset);
 //! assert!(outcome.ensemble_test_acc > 0.3);
 //! ```
@@ -37,7 +38,8 @@ pub mod run;
 
 pub use ensemble::{model_weight, uniform_weight, Ensemble, EnsembleMember};
 pub use rdd::{
-    cosine_gamma, Ablation, BaseModelRecord, DistillTarget, RddConfig, RddOutcome, RddTrainer,
+    cosine_gamma, Ablation, BaseModelRecord, DistillTarget, RddConfig, RddConfigBuilder,
+    RddOutcome, RddTrainer,
 };
 pub use reliability::{
     all_nodes_reliable, compute_reliability, ReliabilitySets, ReliabilityWorkspace,

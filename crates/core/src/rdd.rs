@@ -17,7 +17,8 @@ use std::time::Instant;
 
 use rdd_graph::Dataset;
 use rdd_models::{
-    predict_logits_in, train_in, Gcn, GcnConfig, GraphContext, Model, TrainConfig, TrainReport,
+    train_in, ConfigError, Gcn, GcnConfig, GraphContext, Model, PredictorExt, TrainConfig,
+    TrainReport,
 };
 use rdd_tensor::{seeded_rng, Matrix, Tape, Var, Workspace};
 
@@ -152,14 +153,14 @@ pub struct RddConfig {
 }
 
 impl RddConfig {
-    /// Paper defaults for the citation networks, with `γ_initial` supplied
-    /// per dataset.
-    pub fn citation(gamma_initial: f32) -> Self {
+    /// The raw citation-network defaults (γ_initial = 1) every builder
+    /// starts from. Private so public construction stays validated.
+    fn preset_base() -> Self {
         Self {
             num_base_models: 5,
             p: 0.4,
             beta: 10.0,
-            gamma_initial,
+            gamma_initial: 1.0,
             gamma_epochs: 150,
             distill: DistillTarget::default(),
             gcn: GcnConfig::citation(),
@@ -169,21 +170,78 @@ impl RddConfig {
         }
     }
 
+    /// A validating builder seeded with the citation-network defaults
+    /// (γ_initial = 1).
+    pub fn builder() -> RddConfigBuilder {
+        RddConfigBuilder {
+            cfg: Self::preset_base(),
+        }
+    }
+
+    /// A builder seeded with this configuration's current values.
+    pub fn to_builder(&self) -> RddConfigBuilder {
+        RddConfigBuilder { cfg: self.clone() }
+    }
+
+    /// The checks behind [`RddConfigBuilder::build`], callable on a
+    /// hand-edited (struct-update) configuration.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.num_base_models < 1 {
+            return Err(ConfigError::invalid(
+                "rdd.num_base_models",
+                self.num_base_models,
+                ">= 1 base model",
+            ));
+        }
+        if !(self.p.is_finite() && self.p > 0.0 && self.p <= 1.0) {
+            return Err(ConfigError::invalid(
+                "rdd.p",
+                self.p,
+                "a reliability fraction in (0, 1]",
+            ));
+        }
+        if !(self.beta.is_finite() && self.beta >= 0.0) {
+            return Err(ConfigError::invalid(
+                "rdd.beta",
+                self.beta,
+                "a finite edge-regularizer strength >= 0",
+            ));
+        }
+        if !(self.gamma_initial.is_finite() && self.gamma_initial >= 0.0) {
+            return Err(ConfigError::invalid(
+                "rdd.gamma_initial",
+                self.gamma_initial,
+                "a finite knowledge-transfer weight >= 0",
+            ));
+        }
+        if self.gamma_epochs < 1 {
+            return Err(ConfigError::invalid(
+                "rdd.gamma_epochs",
+                self.gamma_epochs,
+                ">= 1 annealing epoch",
+            ));
+        }
+        self.train.validate()
+    }
+
+    /// Paper defaults for the citation networks, with `γ_initial` supplied
+    /// per dataset. A [`RddConfig::builder`] shortcut.
+    pub fn citation(gamma_initial: f32) -> Self {
+        Self::builder()
+            .gamma(gamma_initial)
+            .build()
+            .expect("citation preset is valid (γ_initial must be finite >= 0)")
+    }
+
     /// Paper defaults for NELL (`γ_initial = 0.01`, wider hidden layer,
     /// weaker L2).
     pub fn nell() -> Self {
-        Self {
-            num_base_models: 5,
-            p: 0.4,
-            beta: 10.0,
-            gamma_initial: 0.01,
-            gamma_epochs: 150,
-            distill: DistillTarget::default(),
-            gcn: GcnConfig::nell(),
-            train: TrainConfig::nell(),
-            ablation: Ablation::default(),
-            seed: 1,
-        }
+        Self::builder()
+            .gamma(0.01)
+            .gcn(GcnConfig::nell())
+            .train(TrainConfig::nell())
+            .build()
+            .expect("nell preset is valid")
     }
 
     /// The tuned configuration for one of the synthetic presets, by dataset
@@ -197,46 +255,106 @@ impl RddConfig {
     /// so the tuned `β` is smaller than the paper's 10 except on
     /// pubmed-sim (where β = 10 does help, as in the paper).
     pub fn for_dataset(name: &str) -> Self {
-        match name {
-            "cora-sim" | "cora" => {
-                let mut c = Self::citation(3.0);
-                c.beta = 1.0;
-                c
-            }
-            "citeseer-sim" | "citeseer" => {
-                let mut c = Self::citation(3.0);
-                c.beta = 1.0;
-                c
-            }
-            "pubmed-sim" | "pubmed" => {
-                let mut c = Self::citation(1.0);
-                c.beta = 10.0;
-                c
-            }
-            "nell-sim" | "nell-sim-full" | "nell" => {
-                let mut c = Self::nell();
-                c.gamma_initial = 3.0;
-                c.beta = 1.0;
-                c
-            }
+        let tuned = match name {
+            "cora-sim" | "cora" => Self::builder().gamma(3.0).beta(1.0),
+            "citeseer-sim" | "citeseer" => Self::builder().gamma(3.0).beta(1.0),
+            "pubmed-sim" | "pubmed" => Self::builder().gamma(1.0).beta(10.0),
+            "nell-sim" | "nell-sim-full" | "nell" => Self::nell().to_builder().gamma(3.0).beta(1.0),
             other => panic!("no tuned RDD config for dataset {other}"),
-        }
+        };
+        tuned.build().expect("tuned preset is valid")
     }
 
     /// A small-budget configuration for tests.
     pub fn fast() -> Self {
-        Self {
-            num_base_models: 3,
-            p: 0.4,
-            beta: 10.0,
-            gamma_initial: 1.0,
-            gamma_epochs: 40,
-            distill: DistillTarget::default(),
-            gcn: GcnConfig::citation(),
-            train: TrainConfig::fast(),
-            ablation: Ablation::default(),
-            seed: 1,
-        }
+        Self::builder()
+            .num_base_models(3)
+            .gamma_epochs(40)
+            .train(TrainConfig::fast())
+            .build()
+            .expect("fast preset is valid")
+    }
+}
+
+/// Validating builder for [`RddConfig`]. Seeded by [`RddConfig::builder`]
+/// with the citation defaults; [`RddConfigBuilder::build`] rejects
+/// out-of-range values (`p ∉ (0, 1]`, zero base models, a negative γ, a
+/// nonsense nested [`TrainConfig`]) with a typed [`ConfigError`].
+#[derive(Clone, Debug)]
+pub struct RddConfigBuilder {
+    cfg: RddConfig,
+}
+
+impl RddConfigBuilder {
+    /// `T`, the number of base models (≥ 1).
+    pub fn num_base_models(mut self, num_base_models: usize) -> Self {
+        self.cfg.num_base_models = num_base_models;
+        self
+    }
+
+    /// `p`, the reliability fraction (in (0, 1]).
+    pub fn p(mut self, p: f32) -> Self {
+        self.cfg.p = p;
+        self
+    }
+
+    /// `β`, the edge-regularizer strength (finite, ≥ 0).
+    pub fn beta(mut self, beta: f32) -> Self {
+        self.cfg.beta = beta;
+        self
+    }
+
+    /// `γ_initial`, the knowledge-transfer weight (finite, ≥ 0).
+    pub fn gamma(self, gamma_initial: f32) -> Self {
+        self.gamma_initial(gamma_initial)
+    }
+
+    /// [`RddConfigBuilder::gamma`] under the field's full name.
+    pub fn gamma_initial(mut self, gamma_initial: f32) -> Self {
+        self.cfg.gamma_initial = gamma_initial;
+        self
+    }
+
+    /// Horizon `E` of the cosine anneal (≥ 1).
+    pub fn gamma_epochs(mut self, gamma_epochs: usize) -> Self {
+        self.cfg.gamma_epochs = gamma_epochs;
+        self
+    }
+
+    /// Base-model architecture.
+    pub fn gcn(mut self, gcn: GcnConfig) -> Self {
+        self.cfg.gcn = gcn;
+        self
+    }
+
+    /// Optimization settings shared by every base model.
+    pub fn train(mut self, train: TrainConfig) -> Self {
+        self.cfg.train = train;
+        self
+    }
+
+    /// Which teacher signal the L2 loss matches on `V_b`.
+    pub fn distill(mut self, distill: DistillTarget) -> Self {
+        self.cfg.distill = distill;
+        self
+    }
+
+    /// Table 8 ablation switches.
+    pub fn ablation(mut self, ablation: Ablation) -> Self {
+        self.cfg.ablation = ablation;
+        self
+    }
+
+    /// Seed for initialization and dropout.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// Validate and return the configuration.
+    pub fn build(self) -> Result<RddConfig, ConfigError> {
+        self.cfg.validate()?;
+        Ok(self.cfg)
     }
 }
 
@@ -652,7 +770,7 @@ impl RddTrainer {
             };
 
             // Lines 19–21: weigh and absorb the student.
-            let logits = predict_logits_in(student.as_ref(), &ctx, ws);
+            let logits = student.as_ref().predictor_in(&ctx, ws).logits();
             let proba = logits.softmax_rows();
             let alpha = if cfg.ablation.use_entropy_weights {
                 model_weight(&proba, &pagerank)
@@ -746,6 +864,60 @@ impl RddTrainer {
 mod tests {
     use super::*;
     use rdd_graph::SynthConfig;
+
+    #[test]
+    fn builder_presets_validate_and_overrides_stick() {
+        for cfg in [
+            RddConfig::citation(3.0),
+            RddConfig::nell(),
+            RddConfig::fast(),
+            RddConfig::for_dataset("cora-sim"),
+            RddConfig::for_dataset("pubmed-sim"),
+            RddConfig::for_dataset("nell-sim"),
+        ] {
+            cfg.validate().expect("preset must validate");
+        }
+        let cfg = RddConfig::builder()
+            .num_base_models(2)
+            .p(0.25)
+            .gamma(2.5)
+            .seed(9)
+            .build()
+            .expect("valid");
+        assert_eq!(cfg.num_base_models, 2);
+        assert_eq!(cfg.p, 0.25);
+        assert_eq!(cfg.gamma_initial, 2.5);
+        assert_eq!(cfg.seed, 9);
+    }
+
+    #[test]
+    fn builder_rejects_nonsense_with_field_names() {
+        let cases: Vec<(RddConfigBuilder, &str)> = vec![
+            (
+                RddConfig::builder().num_base_models(0),
+                "rdd.num_base_models",
+            ),
+            (RddConfig::builder().p(0.0), "rdd.p"),
+            (RddConfig::builder().p(1.5), "rdd.p"),
+            (RddConfig::builder().p(f32::NAN), "rdd.p"),
+            (RddConfig::builder().beta(-1.0), "rdd.beta"),
+            (
+                RddConfig::builder().gamma(f32::INFINITY),
+                "rdd.gamma_initial",
+            ),
+            (RddConfig::builder().gamma_epochs(0), "rdd.gamma_epochs"),
+        ];
+        for (builder, field) in cases {
+            let err = builder.build().expect_err("must be rejected");
+            assert_eq!(err.field, field, "{err}");
+        }
+        // A nonsense nested TrainConfig is caught too (via struct-update,
+        // the one construction path the builder cannot guard).
+        let mut cfg = RddConfig::fast();
+        cfg.train.lr = -0.5;
+        let err = cfg.validate().expect_err("bad nested train config");
+        assert_eq!(err.field, "train.lr");
+    }
 
     #[test]
     fn cosine_gamma_schedule_shape() {

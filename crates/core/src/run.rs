@@ -279,6 +279,40 @@ impl RunState {
         self.status == RunStatus::Complete
     }
 
+    /// Name of the dataset the run was trained on.
+    pub fn dataset_name(&self) -> &str {
+        &self.dataset_name
+    }
+
+    /// `(n, num_classes)` of the dataset the run was trained on.
+    pub fn dataset_shape(&self) -> (usize, usize) {
+        (self.dataset_n, self.dataset_classes)
+    }
+
+    /// The committed member records, in training order.
+    pub fn members(&self) -> &[MemberRecord] {
+        &self.members
+    }
+
+    /// The manifest's running `Σ α_t` over kept members.
+    pub fn alpha_total(&self) -> f32 {
+        self.alpha_total
+    }
+
+    /// Rebuild the frozen teacher [`Ensemble`] from the run directory:
+    /// [`RunState::load_members`] (which bitwise-verifies the replayed sums
+    /// against `ensemble.sums`) plus a push per kept member. This is the
+    /// export path — zero re-training.
+    pub fn load_ensemble(&self) -> Result<Ensemble, RunError> {
+        let mut ensemble = Ensemble::new();
+        for member in self.load_members()? {
+            if let Some((proba, logits)) = member.outputs {
+                ensemble.push(proba, logits, member.record.alpha);
+            }
+        }
+        Ok(ensemble)
+    }
+
     /// Verify the manifest's dataset binding against a loaded dataset.
     pub fn check_dataset(&self, dataset: &Dataset) -> Result<(), RunError> {
         if self.dataset_name != dataset.name

@@ -245,7 +245,7 @@ mod tests {
     use super::*;
     use crate::context::GraphContext;
     use crate::gcn::{Gcn, GcnConfig};
-    use crate::trainer::predict_logits;
+    use crate::predictor::PredictorExt;
     use rdd_graph::SynthConfig;
     use rdd_tensor::seeded_rng;
 
@@ -259,13 +259,13 @@ mod tests {
         let ctx = GraphContext::new(&data);
         let mut rng = seeded_rng(1);
         let model = Gcn::new(&ctx, GcnConfig::citation(), &mut rng);
-        let before = predict_logits(&model, &ctx);
+        let before = model.predictor(&ctx).logits();
 
         let path = tmp("roundtrip");
         save(&model, &path).expect("save");
         let mut restored = Gcn::new(&ctx, GcnConfig::citation(), &mut seeded_rng(999));
         load_into(&mut restored, &path).expect("load");
-        let after = predict_logits(&restored, &ctx);
+        let after = restored.predictor(&ctx).logits();
         assert!(
             before.max_abs_diff(&after) < 1e-5,
             "predictions changed after reload"

@@ -141,7 +141,8 @@ impl Model for Gat {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::trainer::{predict, train, TrainConfig};
+    use crate::predictor::PredictorExt;
+    use crate::trainer::{train, TrainConfig};
     use rdd_graph::SynthConfig;
     use rdd_tensor::seeded_rng;
 
@@ -201,7 +202,7 @@ mod tests {
             ..TrainConfig::fast()
         };
         train(&mut gat, &ctx, &data, &cfg, &mut rng, None);
-        let acc = data.test_accuracy(&predict(&gat, &ctx));
+        let acc = data.test_accuracy(&gat.predictor(&ctx).predict());
         assert!(acc > 0.6, "GAT should learn the tiny dataset, got {acc}");
     }
 

@@ -9,34 +9,42 @@
 //!
 //! ```
 //! use rdd_graph::SynthConfig;
-//! use rdd_models::{Gcn, GcnConfig, GraphContext, TrainConfig};
+//! use rdd_models::{Gcn, GcnConfig, GraphContext, PredictorExt, TrainConfig};
 //!
 //! let data = SynthConfig::tiny().generate();
 //! let ctx = GraphContext::new(&data);
 //! let mut rng = rdd_tensor::seeded_rng(1);
 //! let mut model = Gcn::new(&ctx, GcnConfig::citation(), &mut rng);
 //! rdd_models::train(&mut model, &ctx, &data, &TrainConfig::fast(), &mut rng, None);
-//! let acc = data.test_accuracy(&rdd_models::predict(&model, &ctx));
+//! let acc = data.test_accuracy(&model.predictor(&ctx).predict());
 //! assert!(acc > 0.3);
 //! ```
 
 pub mod checkpoint;
+pub mod config;
 pub mod context;
 pub mod gat;
 pub mod gcn;
 pub mod metrics;
+pub mod predictor;
 pub mod sage;
 pub mod trainer;
 
 pub use checkpoint::{
     atomic_write, load_into, load_matrices, save as save_checkpoint, save_matrices, CheckpointError,
 };
+pub use config::{ConfigError, TrainConfigBuilder};
 pub use context::GraphContext;
 pub use gat::{Gat, GatConfig};
 pub use gcn::{DenseGcn, Gcn, GcnConfig, JkNet, Mlp, Model, ResGcn};
 pub use metrics::{expected_calibration_error, ConfusionMatrix};
+pub use predictor::{
+    gather_prediction, ModelPredictor, PredictError, PredictRequest, Prediction, Predictor,
+    PredictorExt,
+};
 pub use sage::{GraphSage, SageConfig};
+#[allow(deprecated)]
+pub use trainer::{predict, predict_in, predict_logits, predict_logits_in, predict_proba};
 pub use trainer::{
-    predict, predict_in, predict_logits, predict_logits_in, predict_proba, train, train_in,
-    DivergencePolicy, LossHook, LrSchedule, TrainConfig, TrainReport,
+    train, train_in, DivergencePolicy, LossHook, LrSchedule, TrainConfig, TrainReport,
 };

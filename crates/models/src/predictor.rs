@@ -1,0 +1,383 @@
+//! The redesigned prediction API.
+//!
+//! Inference used to be five free functions (`predict`, `predict_proba`,
+//! `predict_logits`, ...) that only worked on a live model. The serving
+//! stack needs one shape that a single model, a frozen ensemble and a
+//! loaded artifact can all hide behind, so prediction is now a trait:
+//! [`Predictor::predict_batch`] takes a [`PredictRequest`] (all nodes, or
+//! an explicit node subset) and returns a [`Prediction`] or a typed
+//! [`PredictError`] — no panics on empty ensembles or out-of-range ids.
+//! [`ModelPredictor`] adapts any [`Model`] (via [`PredictorExt::predictor`]);
+//! the old free functions survive as thin deprecated wrappers.
+
+use rdd_tensor::{Matrix, Workspace};
+
+use crate::context::GraphContext;
+use crate::gcn::Model;
+
+/// Why a prediction request could not be answered.
+///
+/// `Clone` on purpose: a serve engine that batches several requests into
+/// one predictor call fans a single failure back out to every caller.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PredictError {
+    /// The predictor holds no members (e.g. an `Ensemble` before any
+    /// `push`) — there is no distribution to read.
+    EmptyEnsemble,
+    /// A requested node id is outside the graph.
+    NodeOutOfRange {
+        /// The offending node id.
+        node: usize,
+        /// Number of nodes the predictor covers.
+        num_nodes: usize,
+    },
+}
+
+impl std::fmt::Display for PredictError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PredictError::EmptyEnsemble => write!(f, "empty ensemble: no members to predict with"),
+            PredictError::NodeOutOfRange { node, num_nodes } => {
+                write!(f, "node {node} out of range (graph has {num_nodes} nodes)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PredictError {}
+
+/// What to predict: every node, or an explicit id subset.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PredictRequest {
+    /// `None` asks for all nodes in graph order; `Some(ids)` for exactly
+    /// those rows, in the given order (duplicates allowed).
+    pub nodes: Option<Vec<usize>>,
+}
+
+impl PredictRequest {
+    /// Request every node in graph order.
+    pub fn all() -> Self {
+        Self { nodes: None }
+    }
+
+    /// Request an explicit node subset, answered in this order.
+    pub fn nodes(nodes: Vec<usize>) -> Self {
+        Self { nodes: Some(nodes) }
+    }
+}
+
+/// A batch of answered predictions.
+#[derive(Clone, Debug)]
+pub struct Prediction {
+    /// The node ids answered, aligned with `proba`/`pred` rows.
+    pub nodes: Vec<usize>,
+    /// Per-node class distribution (one row per requested node).
+    pub proba: Matrix,
+    /// Per-node argmax class.
+    pub pred: Vec<usize>,
+}
+
+/// Anything that can answer batched prediction requests: a live model
+/// ([`ModelPredictor`]), a frozen `Ensemble`, or a loaded serve artifact.
+pub trait Predictor {
+    /// Number of nodes this predictor covers.
+    fn num_nodes(&self) -> usize;
+    /// Number of classes in each distribution row.
+    fn num_classes(&self) -> usize;
+    /// Answer `req`, or explain why it cannot be answered.
+    fn predict_batch(&self, req: &PredictRequest) -> Result<Prediction, PredictError>;
+
+    /// Full-graph probabilities (convenience over [`Predictor::predict_batch`]).
+    fn proba_all(&self) -> Result<Matrix, PredictError> {
+        Ok(self.predict_batch(&PredictRequest::all())?.proba)
+    }
+
+    /// Full-graph hard predictions.
+    fn predict_all(&self) -> Result<Vec<usize>, PredictError> {
+        Ok(self.predict_batch(&PredictRequest::all())?.pred)
+    }
+}
+
+impl<T: Predictor + ?Sized> Predictor for &T {
+    fn num_nodes(&self) -> usize {
+        (**self).num_nodes()
+    }
+    fn num_classes(&self) -> usize {
+        (**self).num_classes()
+    }
+    fn predict_batch(&self, req: &PredictRequest) -> Result<Prediction, PredictError> {
+        (**self).predict_batch(req)
+    }
+}
+
+/// Slice `req` out of a full-graph probability matrix. Rows are copied
+/// bitwise (subset gathers go through [`Matrix::take_rows_par`] so large
+/// micro-batches ride the worker pool), which is what keeps served
+/// responses bit-identical to the offline `proba`.
+pub fn gather_prediction(
+    full_proba: &Matrix,
+    req: &PredictRequest,
+) -> Result<Prediction, PredictError> {
+    let num_nodes = full_proba.rows();
+    match &req.nodes {
+        None => Ok(Prediction {
+            nodes: (0..num_nodes).collect(),
+            pred: full_proba.argmax_rows(),
+            proba: full_proba.clone(),
+        }),
+        Some(ids) => {
+            if let Some(&node) = ids.iter().find(|&&id| id >= num_nodes) {
+                return Err(PredictError::NodeOutOfRange { node, num_nodes });
+            }
+            let proba = full_proba.take_rows_par(ids);
+            Ok(Prediction {
+                nodes: ids.clone(),
+                pred: proba.argmax_rows(),
+                proba,
+            })
+        }
+    }
+}
+
+/// Eval-mode logits, pooled through `ws`. The returned matrix escapes the
+/// tape (cloned out); every intermediate activation is pooled.
+pub(crate) fn eval_logits_in(model: &dyn Model, ctx: &GraphContext, ws: &Workspace) -> Matrix {
+    let mut tape = rdd_tensor::Tape::with_workspace(ws);
+    // Eval mode ignores the rng; a fixed seed keeps the signature simple.
+    let mut rng = rdd_tensor::seeded_rng(0);
+    let v = model.forward(&mut tape, ctx, false, &mut rng);
+    tape.value(v).clone()
+}
+
+/// Eval-mode hard predictions read straight off the tape (no logits
+/// clone) — the trainer's per-epoch validation hot path.
+pub(crate) fn eval_pred_in(model: &dyn Model, ctx: &GraphContext, ws: &Workspace) -> Vec<usize> {
+    let mut tape = rdd_tensor::Tape::with_workspace(ws);
+    let mut rng = rdd_tensor::seeded_rng(0);
+    let v = model.forward(&mut tape, ctx, false, &mut rng);
+    tape.value(v).argmax_rows()
+}
+
+/// A workspace the predictor either owns or borrows from its caller.
+enum Ws<'a> {
+    Owned(Workspace),
+    Shared(&'a Workspace),
+}
+
+/// [`Predictor`] over a live model: eval-mode forward passes against a
+/// [`GraphContext`]. Build one with [`PredictorExt::predictor`] (owns a
+/// throwaway workspace, matching the old free functions) or
+/// [`PredictorExt::predictor_in`] (shares a caller's pool, matching the
+/// old `*_in` variants).
+pub struct ModelPredictor<'a> {
+    model: &'a dyn Model,
+    ctx: &'a GraphContext,
+    ws: Ws<'a>,
+}
+
+impl<'a> ModelPredictor<'a> {
+    /// Wrap `model` with a private non-pooling workspace.
+    pub fn new(model: &'a dyn Model, ctx: &'a GraphContext) -> Self {
+        Self {
+            model,
+            ctx,
+            ws: Ws::Owned(Workspace::with_pooling(false)),
+        }
+    }
+
+    /// Wrap `model` over a caller-owned buffer pool.
+    pub fn with_workspace(model: &'a dyn Model, ctx: &'a GraphContext, ws: &'a Workspace) -> Self {
+        Self {
+            model,
+            ctx,
+            ws: Ws::Shared(ws),
+        }
+    }
+
+    fn ws(&self) -> &Workspace {
+        match &self.ws {
+            Ws::Owned(ws) => ws,
+            Ws::Shared(ws) => ws,
+        }
+    }
+
+    /// Eval-mode logits for every node.
+    pub fn logits(&self) -> Matrix {
+        eval_logits_in(self.model, self.ctx, self.ws())
+    }
+
+    /// Eval-mode softmax probabilities for every node.
+    pub fn proba(&self) -> Matrix {
+        self.logits().softmax_rows()
+    }
+
+    /// Eval-mode hard predictions for every node.
+    pub fn predict(&self) -> Vec<usize> {
+        eval_pred_in(self.model, self.ctx, self.ws())
+    }
+}
+
+impl Predictor for ModelPredictor<'_> {
+    fn num_nodes(&self) -> usize {
+        self.ctx.n
+    }
+
+    fn num_classes(&self) -> usize {
+        self.ctx.num_classes
+    }
+
+    fn predict_batch(&self, req: &PredictRequest) -> Result<Prediction, PredictError> {
+        gather_prediction(&self.proba(), req)
+    }
+}
+
+/// Ergonomic [`ModelPredictor`] constructors on every [`Model`]:
+/// `model.predictor(&ctx).predict()`.
+pub trait PredictorExt: Model {
+    /// A predictor with its own throwaway workspace.
+    fn predictor<'a>(&'a self, ctx: &'a GraphContext) -> ModelPredictor<'a>;
+    /// A predictor over a caller-owned buffer pool.
+    fn predictor_in<'a>(&'a self, ctx: &'a GraphContext, ws: &'a Workspace) -> ModelPredictor<'a>;
+}
+
+impl<M: Model> PredictorExt for M {
+    fn predictor<'a>(&'a self, ctx: &'a GraphContext) -> ModelPredictor<'a> {
+        ModelPredictor::new(self, ctx)
+    }
+
+    fn predictor_in<'a>(&'a self, ctx: &'a GraphContext, ws: &'a Workspace) -> ModelPredictor<'a> {
+        ModelPredictor::with_workspace(self, ctx, ws)
+    }
+}
+
+// The blanket impl above only covers sized models; trait objects (the
+// trainer and cascade pass models as `&dyn Model`) get their own.
+impl<'m> PredictorExt for dyn Model + 'm {
+    fn predictor<'a>(&'a self, ctx: &'a GraphContext) -> ModelPredictor<'a> {
+        ModelPredictor::new(self, ctx)
+    }
+
+    fn predictor_in<'a>(&'a self, ctx: &'a GraphContext, ws: &'a Workspace) -> ModelPredictor<'a> {
+        ModelPredictor::with_workspace(self, ctx, ws)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gcn::{Gcn, GcnConfig};
+    use rdd_graph::SynthConfig;
+    use rdd_tensor::seeded_rng;
+
+    fn proba4() -> Matrix {
+        Matrix::from_vec(4, 2, vec![0.9, 0.1, 0.2, 0.8, 0.6, 0.4, 0.3, 0.7])
+    }
+
+    #[test]
+    fn gather_all_clones_the_full_matrix() {
+        let p = proba4();
+        let out = gather_prediction(&p, &PredictRequest::all()).unwrap();
+        assert_eq!(out.nodes, vec![0, 1, 2, 3]);
+        assert_eq!(out.pred, vec![0, 1, 0, 1]);
+        assert_eq!(out.proba.as_slice(), p.as_slice());
+    }
+
+    #[test]
+    fn gather_subset_preserves_order_and_duplicates() {
+        let p = proba4();
+        let out = gather_prediction(&p, &PredictRequest::nodes(vec![3, 0, 3])).unwrap();
+        assert_eq!(out.nodes, vec![3, 0, 3]);
+        assert_eq!(out.pred, vec![1, 0, 1]);
+        assert_eq!(out.proba.row(0), p.row(3));
+        assert_eq!(out.proba.row(1), p.row(0));
+        assert_eq!(out.proba.row(2), p.row(3));
+    }
+
+    #[test]
+    fn gather_rejects_out_of_range_nodes() {
+        let p = proba4();
+        let err = gather_prediction(&p, &PredictRequest::nodes(vec![1, 9])).unwrap_err();
+        assert_eq!(
+            err,
+            PredictError::NodeOutOfRange {
+                node: 9,
+                num_nodes: 4
+            }
+        );
+        assert!(err.to_string().contains("node 9"));
+    }
+
+    #[test]
+    fn gather_empty_subset_is_empty_prediction() {
+        let p = proba4();
+        let out = gather_prediction(&p, &PredictRequest::nodes(Vec::new())).unwrap();
+        assert!(out.nodes.is_empty());
+        assert!(out.pred.is_empty());
+        assert_eq!(out.proba.shape(), (0, 2));
+    }
+
+    #[test]
+    fn model_predictor_batch_matches_full_proba() {
+        let data = SynthConfig::tiny().generate();
+        let ctx = GraphContext::new(&data);
+        let mut rng = seeded_rng(7);
+        let model = Gcn::new(&ctx, GcnConfig::citation(), &mut rng);
+        let p = model.predictor(&ctx);
+        assert_eq!(p.num_nodes(), ctx.n);
+        assert_eq!(p.num_classes(), ctx.num_classes);
+        let full = p.proba();
+        let batch = p
+            .predict_batch(&PredictRequest::nodes(vec![5, 0, 17]))
+            .unwrap();
+        for (r, &node) in batch.nodes.iter().enumerate() {
+            let same = batch
+                .proba
+                .row(r)
+                .iter()
+                .zip(full.row(node))
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+            assert!(same, "row {r} (node {node}) not bitwise equal");
+        }
+    }
+
+    /// The deprecated free functions must stay compiling delegations to the
+    /// new API and agree with it bitwise.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_match_predictor_bitwise() {
+        let data = SynthConfig::tiny().generate();
+        let ctx = GraphContext::new(&data);
+        let mut rng = seeded_rng(8);
+        let model = Gcn::new(&ctx, GcnConfig::citation(), &mut rng);
+        let p = model.predictor(&ctx);
+
+        let old_logits = crate::trainer::predict_logits(&model, &ctx);
+        let new_logits = p.logits();
+        assert_eq!(old_logits.shape(), new_logits.shape());
+        let same = old_logits
+            .as_slice()
+            .iter()
+            .zip(new_logits.as_slice())
+            .all(|(a, b)| a.to_bits() == b.to_bits());
+        assert!(same, "logits wrapper drifted from ModelPredictor::logits");
+
+        let old_proba = crate::trainer::predict_proba(&model, &ctx);
+        let new_proba = p.proba();
+        let same = old_proba
+            .as_slice()
+            .iter()
+            .zip(new_proba.as_slice())
+            .all(|(a, b)| a.to_bits() == b.to_bits());
+        assert!(same, "proba wrapper drifted from ModelPredictor::proba");
+
+        assert_eq!(crate::trainer::predict(&model, &ctx), p.predict());
+        let ws = Workspace::new();
+        assert_eq!(crate::trainer::predict_in(&model, &ctx, &ws), p.predict());
+        let same = crate::trainer::predict_logits_in(&model, &ctx, &ws)
+            .as_slice()
+            .iter()
+            .zip(new_logits.as_slice())
+            .all(|(a, b)| a.to_bits() == b.to_bits());
+        assert!(same, "predict_logits_in wrapper drifted");
+    }
+}

@@ -185,7 +185,8 @@ impl Model for GraphSage {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::trainer::{predict, train, TrainConfig};
+    use crate::predictor::PredictorExt;
+    use crate::trainer::{train, TrainConfig};
     use rdd_graph::SynthConfig;
     use rdd_tensor::seeded_rng;
 
@@ -237,7 +238,7 @@ mod tests {
             ..TrainConfig::fast()
         };
         train(&mut sage, &ctx, &data, &cfg, &mut rng, None);
-        let acc = data.test_accuracy(&predict(&sage, &ctx));
+        let acc = data.test_accuracy(&sage.predictor(&ctx).predict());
         assert!(acc > 0.6, "GraphSAGE should learn, got {acc}");
     }
 

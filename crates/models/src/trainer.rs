@@ -100,9 +100,9 @@ pub struct TrainConfig {
 }
 
 impl TrainConfig {
-    /// Paper defaults for the citation networks: Adam(0.01), L2 5e-4,
-    /// 500 epochs, patience 20.
-    pub fn citation() -> Self {
+    /// The raw citation-network default values — the seed every builder
+    /// starts from. Private so public construction stays validated.
+    pub(crate) fn preset_citation() -> Self {
         Self {
             lr: 0.01,
             weight_decay: 5e-4,
@@ -113,34 +113,30 @@ impl TrainConfig {
             lr_schedule: LrSchedule::Constant,
             divergence: DivergencePolicy::default(),
         }
+    }
+
+    /// Paper defaults for the citation networks: Adam(0.01), L2 5e-4,
+    /// 500 epochs, patience 20. A [`TrainConfig::builder`] shortcut.
+    pub fn citation() -> Self {
+        Self::builder().build().expect("citation preset is valid")
     }
 
     /// Paper defaults for NELL: weaker L2 (1e-5).
     pub fn nell() -> Self {
-        Self {
-            lr: 0.01,
-            weight_decay: 1e-5,
-            epochs: 500,
-            patience: 20,
-            min_epochs: 100,
-            log_every: 0,
-            lr_schedule: LrSchedule::Constant,
-            divergence: DivergencePolicy::default(),
-        }
+        Self::builder()
+            .weight_decay(1e-5)
+            .build()
+            .expect("nell preset is valid")
     }
 
     /// A short budget for tests.
     pub fn fast() -> Self {
-        Self {
-            lr: 0.01,
-            weight_decay: 5e-4,
-            epochs: 60,
-            patience: 15,
-            min_epochs: 20,
-            log_every: 0,
-            lr_schedule: LrSchedule::Constant,
-            divergence: DivergencePolicy::default(),
-        }
+        Self::builder()
+            .epochs(60)
+            .patience(15)
+            .min_epochs(20)
+            .build()
+            .expect("fast preset is valid")
     }
 }
 
@@ -288,7 +284,7 @@ pub fn train_in(
         ws.give_grads(grads);
 
         // --- validation (eval-mode forward) ---
-        let preds = predict_in(model, ctx, ws);
+        let preds = crate::predictor::eval_pred_in(model, ctx, ws);
         let val_acc = accuracy_over(&data.labels, &preds, &data.val_idx);
         if rdd_obs::enabled() {
             // Epoch telemetry: the supervised term alone (`l1`) plus the
@@ -343,44 +339,42 @@ pub fn train_in(
 }
 
 /// Eval-mode logits of `model`.
+#[deprecated(note = "use `model.predictor(&ctx).logits()` (the Predictor API)")]
 pub fn predict_logits(model: &dyn Model, ctx: &GraphContext) -> Matrix {
-    predict_logits_in(model, ctx, &Workspace::with_pooling(false))
+    crate::predictor::ModelPredictor::new(model, ctx).logits()
 }
 
-/// [`predict_logits`] against a caller-owned buffer pool. The returned
-/// matrix escapes the tape (cloned out), but every intermediate activation
-/// is pooled.
+/// [`ModelPredictor::logits`] against a caller-owned buffer pool.
+///
+/// [`ModelPredictor::logits`]: crate::predictor::ModelPredictor::logits
+#[deprecated(note = "use `model.predictor_in(&ctx, ws).logits()` (the Predictor API)")]
 pub fn predict_logits_in(model: &dyn Model, ctx: &GraphContext, ws: &Workspace) -> Matrix {
-    let mut tape = Tape::with_workspace(ws);
-    // Eval mode ignores the rng; a fixed seed keeps the signature simple.
-    let mut rng = rdd_tensor::seeded_rng(0);
-    let v = model.forward(&mut tape, ctx, false, &mut rng);
-    tape.value(v).clone()
+    crate::predictor::eval_logits_in(model, ctx, ws)
 }
 
 /// Eval-mode softmax probabilities.
+#[deprecated(note = "use `model.predictor(&ctx).proba()` (the Predictor API)")]
 pub fn predict_proba(model: &dyn Model, ctx: &GraphContext) -> Matrix {
-    predict_logits(model, ctx).softmax_rows()
+    crate::predictor::ModelPredictor::new(model, ctx).proba()
 }
 
 /// Eval-mode hard predictions.
+#[deprecated(note = "use `model.predictor(&ctx).predict()` (the Predictor API)")]
 pub fn predict(model: &dyn Model, ctx: &GraphContext) -> Vec<usize> {
-    predict_logits(model, ctx).argmax_rows()
+    crate::predictor::ModelPredictor::new(model, ctx).predict()
 }
 
-/// [`predict`] against a caller-owned buffer pool: predictions are read
-/// straight off the tape (no logits clone).
+/// Eval-mode hard predictions against a caller-owned buffer pool.
+#[deprecated(note = "use `model.predictor_in(&ctx, ws).predict()` (the Predictor API)")]
 pub fn predict_in(model: &dyn Model, ctx: &GraphContext, ws: &Workspace) -> Vec<usize> {
-    let mut tape = Tape::with_workspace(ws);
-    let mut rng = rdd_tensor::seeded_rng(0);
-    let v = model.forward(&mut tape, ctx, false, &mut rng);
-    tape.value(v).argmax_rows()
+    crate::predictor::eval_pred_in(model, ctx, ws)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::gcn::{Gcn, GcnConfig};
+    use crate::predictor::PredictorExt;
     use rdd_graph::SynthConfig;
     use rdd_tensor::seeded_rng;
 
@@ -398,7 +392,7 @@ mod tests {
             &mut rng,
             None,
         );
-        let preds = predict(&model, &ctx);
+        let preds = model.predictor(&ctx).predict();
         let acc = data.test_accuracy(&preds);
         assert!(
             acc > 0.6,
@@ -556,7 +550,7 @@ mod tests {
         let ctx = GraphContext::new(&data);
         let mut rng = seeded_rng(45);
         let model = Gcn::new(&ctx, GcnConfig::citation(), &mut rng);
-        let p = predict_proba(&model, &ctx);
+        let p = model.predictor(&ctx).proba();
         for i in 0..p.rows() {
             let s: f32 = p.row(i).iter().sum();
             assert!((s - 1.0).abs() < 1e-4);
@@ -579,7 +573,7 @@ mod tests {
             &mut rng,
             None,
         );
-        let preds = predict(&model, &ctx);
+        let preds = model.predictor(&ctx).predict();
         let val_acc = accuracy_over(&data.labels, &preds, &data.val_idx);
         assert!((val_acc - report.best_val_acc).abs() < 1e-6);
     }

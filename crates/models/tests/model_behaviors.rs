@@ -3,7 +3,9 @@
 //! graph mattering at all) reproduced at test scale.
 
 use rdd_graph::SynthConfig;
-use rdd_models::{predict, train, Gcn, GcnConfig, GraphContext, Mlp, Model, ResGcn, TrainConfig};
+use rdd_models::{
+    train, Gcn, GcnConfig, GraphContext, Mlp, Model, PredictorExt, ResGcn, TrainConfig,
+};
 use rdd_tensor::seeded_rng;
 
 fn data() -> rdd_graph::Dataset {
@@ -19,7 +21,7 @@ fn fit(model: &mut dyn Model, data: &rdd_graph::Dataset, ctx: &GraphContext, see
     };
     let mut rng = seeded_rng(seed);
     train(model, ctx, data, &cfg, &mut rng, None);
-    data.test_accuracy(&predict(model, ctx))
+    data.test_accuracy(&model.predictor(ctx).predict())
 }
 
 /// The paper's premise: graph structure carries signal beyond features, so

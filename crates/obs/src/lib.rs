@@ -32,6 +32,8 @@
 //! | `member_dropped` | `member rollbacks` — diverged member excluded from the ensemble   |
 //! | `checkpoint`| `member kept dir` — member persisted, run manifest committed           |
 //! | `resume`    | `next_member loaded dir` — run directory reloaded, cascade restarting  |
+//! | `serve_batch` | `requests nodes hits misses exec_ms lat_ms[]` — one serve-engine flush |
+//! | `serve_run` | `requests batches hits misses wall_ms` — final serve-session totals    |
 //! | `warn`      | `msg`                                                                  |
 //!
 //! Unknown kinds are preserved by the parser (forward compatible); binaries
@@ -50,8 +52,9 @@ pub use recorder::{
     disable, enabled, event, flush, init_file, init_stderr, warn, CounterCell, GaugeCell, SpanCell,
     SpanGuard,
 };
-pub use summarize::{render_table, validate, TraceSummary};
+pub use summarize::{percentile, render_table, validate, TraceSummary};
 pub use telemetry::{
     agreement_rate, emit_checkpoint, emit_divergence, emit_member, emit_member_dropped,
-    emit_resume, emit_rollback, emit_run, stage_rdd_epoch, EpochTelemetry, RddEpochExtra,
+    emit_resume, emit_rollback, emit_run, emit_serve_batch, emit_serve_run, stage_rdd_epoch,
+    EpochTelemetry, RddEpochExtra,
 };

@@ -31,6 +31,10 @@ pub struct TraceSummary {
     /// Recovery-path events (`fault` / `rollback` / `divergence` /
     /// `member_dropped` / `checkpoint` / `resume`), in trace order.
     pub recovery: Vec<Json>,
+    /// `serve_batch` events (one per serve-engine flush), in trace order.
+    pub serves: Vec<Json>,
+    /// `serve_run` events (final serve-session counters).
+    pub serve_runs: Vec<Json>,
     /// `warn` event messages.
     pub warnings: Vec<String>,
     /// Events of kinds this module does not aggregate (kept for callers).
@@ -109,6 +113,11 @@ impl TraceSummary {
                     out.warnings
                         .push(req_str(&event, "msg").map_err(|e| format!("line {lineno}: {e}"))?);
                 }
+                "serve_batch" => {
+                    validate_serve_batch(&event).map_err(|e| format!("line {lineno}: {e}"))?;
+                    out.serves.push(event);
+                }
+                "serve_run" => out.serve_runs.push(event),
                 "fault" | "rollback" | "divergence" | "member_dropped" | "checkpoint"
                 | "resume" => out.recovery.push(event),
                 _ => out.other.push(event),
@@ -196,6 +205,9 @@ impl TraceSummary {
                 &rows,
             ));
         }
+        if !self.serves.is_empty() || !self.serve_runs.is_empty() {
+            out.push_str(&self.render_serving());
+        }
         if !self.counters.is_empty() || !self.gauges.is_empty() {
             out.push_str("\nCounters & gauges\n");
             let rows: Vec<Vec<String>> = self
@@ -236,6 +248,100 @@ impl TraceSummary {
         }
         out
     }
+}
+
+impl TraceSummary {
+    /// The "Serving" section: per-flush aggregates (batches, requests,
+    /// cache hit rate) plus p50/p99 over every request latency recorded in
+    /// the trace's `serve_batch` events.
+    fn render_serving(&self) -> String {
+        let mut out = String::from("\nServing\n");
+        let sum = |key: &str| -> f64 {
+            self.serves
+                .iter()
+                .filter_map(|e| e.get(key).and_then(Json::as_f64))
+                .sum()
+        };
+        let requests = sum("requests");
+        let nodes = sum("nodes");
+        let hits = sum("hits");
+        let misses = sum("misses");
+        let exec_ms = sum("exec_ms");
+        let mut lat: Vec<f64> = self
+            .serves
+            .iter()
+            .filter_map(|e| e.get("lat_ms").and_then(Json::as_arr))
+            .flatten()
+            .filter_map(Json::as_f64)
+            .collect();
+        lat.sort_by(f64::total_cmp);
+        let hit_rate = if hits + misses > 0.0 {
+            hits / (hits + misses)
+        } else {
+            0.0
+        };
+        let rows = vec![
+            vec!["batches".to_string(), fmt_num(self.serves.len() as f64)],
+            vec!["requests".to_string(), fmt_num(requests)],
+            vec!["node rows".to_string(), fmt_num(nodes)],
+            vec![
+                "cache hit rate".to_string(),
+                format!("{:.1}%", 100.0 * hit_rate),
+            ],
+            vec!["exec total_ms".to_string(), format!("{exec_ms:.3}")],
+            vec![
+                "p50 latency ms".to_string(),
+                format!("{:.3}", percentile(&lat, 0.50)),
+            ],
+            vec![
+                "p99 latency ms".to_string(),
+                format!("{:.3}", percentile(&lat, 0.99)),
+            ],
+        ];
+        out.push_str(&render_table(&["metric", "value"], &rows));
+        for run in &self.serve_runs {
+            out.push_str(&format!(
+                "Serve run: requests {}  batches {}  hits {}  misses {}  wall_ms {}\n",
+                fmt_field(run.get("requests")),
+                fmt_field(run.get("batches")),
+                fmt_field(run.get("hits")),
+                fmt_field(run.get("misses")),
+                fmt_field(run.get("wall_ms")),
+            ));
+        }
+        out
+    }
+}
+
+/// Nearest-rank percentile over an ascending-sorted slice (`q` in [0, 1]);
+/// 0 on an empty slice. Shared by `trace-summary` and the serve bench.
+pub fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = (q.clamp(0.0, 1.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+const SERVE_BATCH_NUMERIC: &[&str] = &["requests", "nodes", "hits", "misses", "exec_ms"];
+
+fn validate_serve_batch(event: &Json) -> Result<(), String> {
+    for key in SERVE_BATCH_NUMERIC {
+        req_num(event, key)?;
+    }
+    match event.get("lat_ms") {
+        Some(Json::Arr(a)) if a.iter().all(|v| matches!(v, Json::Num(_))) => {}
+        _ => return Err("serve_batch field \"lat_ms\" must be an array of numbers".to_string()),
+    }
+    let hits = req_num(event, "hits")?;
+    let misses = req_num(event, "misses")?;
+    let nodes = req_num(event, "nodes")?;
+    if hits + misses != nodes {
+        return Err(format!(
+            "serve_batch has hits={hits} + misses={misses} != nodes={nodes}"
+        ));
+    }
+    Ok(())
 }
 
 /// Keys every `epoch` event must carry. RDD-only quantities may be `null`
@@ -446,6 +552,64 @@ mod tests {
         );
         assert!(rendered.contains("rollback: model=gcn"), "{rendered}");
         assert!(rendered.contains("site=epoch"), "{rendered}");
+    }
+
+    #[test]
+    fn aggregates_and_renders_serve_events() {
+        let src = [
+            concat!(
+                "{\"ev\":\"serve_batch\",\"t_ms\":1.0,\"requests\":2,\"nodes\":3,",
+                "\"hits\":1,\"misses\":2,\"exec_ms\":0.5,\"lat_ms\":[0.2,0.9]}"
+            ),
+            concat!(
+                "{\"ev\":\"serve_batch\",\"t_ms\":2.0,\"requests\":1,\"nodes\":1,",
+                "\"hits\":1,\"misses\":0,\"exec_ms\":0.0,\"lat_ms\":[0.1]}"
+            ),
+            concat!(
+                "{\"ev\":\"serve_run\",\"t_ms\":3.0,\"requests\":3,\"batches\":2,",
+                "\"hits\":2,\"misses\":2,\"wall_ms\":4.0}"
+            ),
+        ]
+        .join("\n");
+        let summary = TraceSummary::parse(&src).unwrap();
+        assert_eq!(summary.serves.len(), 2);
+        assert_eq!(summary.serve_runs.len(), 1);
+        assert!(summary.other.is_empty());
+        let rendered = summary.render();
+        assert!(rendered.contains("Serving"), "{rendered}");
+        assert!(rendered.contains("cache hit rate"), "{rendered}");
+        assert!(rendered.contains("50.0%"), "{rendered}");
+        assert!(rendered.contains("p99 latency ms"), "{rendered}");
+        assert!(rendered.contains("Serve run: requests 3"), "{rendered}");
+    }
+
+    #[test]
+    fn rejects_inconsistent_serve_batches() {
+        let bad_counts = concat!(
+            "{\"ev\":\"serve_batch\",\"t_ms\":1.0,\"requests\":2,\"nodes\":3,",
+            "\"hits\":1,\"misses\":1,\"exec_ms\":0.5,\"lat_ms\":[0.2]}"
+        );
+        let err = TraceSummary::parse(bad_counts).unwrap_err();
+        assert!(err.contains("line 1"), "{err}");
+        assert!(err.contains("hits"), "{err}");
+
+        let bad_lat = concat!(
+            "{\"ev\":\"serve_batch\",\"t_ms\":1.0,\"requests\":1,\"nodes\":1,",
+            "\"hits\":0,\"misses\":1,\"exec_ms\":0.5,\"lat_ms\":\"oops\"}"
+        );
+        let err = TraceSummary::parse(bad_lat).unwrap_err();
+        assert!(err.contains("lat_ms"), "{err}");
+    }
+
+    #[test]
+    fn percentile_is_nearest_rank_on_sorted_data() {
+        assert_eq!(percentile(&[], 0.5), 0.0);
+        assert_eq!(percentile(&[7.0], 0.99), 7.0);
+        let xs: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&xs, 1.0), 100.0);
+        assert_eq!(percentile(&xs, 0.50), 51.0); // nearest rank on 0..=99
+        assert_eq!(percentile(&xs, 0.99), 99.0);
     }
 
     #[test]

@@ -227,6 +227,49 @@ pub fn emit_run(ensemble_test_acc: f32, single_test_acc: f32, members: usize) {
     );
 }
 
+/// One `serve_batch` event per serve-engine flush: how many requests and
+/// node rows it covered, the cache hit/miss split, predictor execution
+/// time, and every request's end-to-end latency (`lat_ms` array — kept
+/// per-batch rather than per-request to bound trace size while preserving
+/// full latency fidelity for p50/p99 aggregation).
+pub fn emit_serve_batch(
+    requests: usize,
+    nodes: usize,
+    hits: usize,
+    misses: usize,
+    exec_ms: f64,
+    lat_ms: &[f64],
+) {
+    if !enabled() {
+        return;
+    }
+    event(
+        "serve_batch",
+        &[
+            ("requests", Json::from(requests)),
+            ("nodes", Json::from(nodes)),
+            ("hits", Json::from(hits)),
+            ("misses", Json::from(misses)),
+            ("exec_ms", Json::from(exec_ms)),
+            ("lat_ms", Json::from(lat_ms.to_vec())),
+        ],
+    );
+}
+
+/// One `serve_run` event: final counters of a serve session or bench.
+pub fn emit_serve_run(requests: u64, batches: u64, hits: u64, misses: u64, wall_ms: f64) {
+    event(
+        "serve_run",
+        &[
+            ("requests", Json::from(requests)),
+            ("batches", Json::from(batches)),
+            ("hits", Json::from(hits)),
+            ("misses", Json::from(misses)),
+            ("wall_ms", Json::from(wall_ms)),
+        ],
+    );
+}
+
 #[cfg(test)]
 mod tests {
     use super::super::json::{parse, Json};

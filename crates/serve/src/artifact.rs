@@ -1,0 +1,517 @@
+//! The frozen model artifact: one versioned, checksummed file distilled
+//! from a completed crash-safe run directory.
+//!
+//! Layout (text, mirroring the checkpoint format so the same tooling
+//! habits apply):
+//!
+//! ```text
+//! rdd-artifact v1
+//! meta {"dataset":{...},"source":...,"members":...,"alphas":[...],"alpha_total":...}
+//! matrix <n> <k>
+//! <n rows of k floats>          # Σ α_t · proba_t
+//! matrix <n> <k>
+//! <n rows of k floats>          # Σ α_t · logits_t
+//! checksum <16 hex digits>      # FNV-1a 64 over every preceding byte
+//! ```
+//!
+//! Floats are written with Rust's shortest-roundtrip `Display`, so a load
+//! reproduces the exporter's values bitwise — and because the file stores
+//! the ensemble's *running sums* plus `alpha_total` (not the normalized
+//! proba), [`Artifact::proba`] performs the exact same
+//! `sum · (1/alpha_total)` scaling as `Ensemble::proba`, keeping served
+//! responses bit-identical to the live run's.
+
+use std::path::Path;
+
+use rdd_core::{Ensemble, RunState};
+use rdd_models::{gather_prediction, PredictError, PredictRequest, Prediction, Predictor};
+use rdd_obs::Json;
+use rdd_tensor::Matrix;
+
+use crate::error::{RddError, ServeError};
+
+/// First line of every artifact this build can read.
+pub const HEADER: &str = "rdd-artifact v1";
+
+/// FNV-1a 64-bit over `bytes` — tiny, dependency-free, and plenty for
+/// integrity (corruption, truncation), which is all the checksum guards.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Everything about the artifact except the matrices.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ArtifactMeta {
+    /// Dataset name the run was trained on.
+    pub dataset_name: String,
+    /// Number of nodes.
+    pub dataset_n: usize,
+    /// Number of classes.
+    pub num_classes: usize,
+    /// Dataset source string (preset name or TSV directory).
+    pub source: String,
+    /// Number of kept ensemble members.
+    pub members: usize,
+    /// Per-member ensemble weights `α_t`, in push order.
+    pub alphas: Vec<f32>,
+    /// `Σ α_t`.
+    pub alpha_total: f32,
+}
+
+impl ArtifactMeta {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            (
+                "dataset".into(),
+                Json::Obj(vec![
+                    ("name".into(), Json::from(self.dataset_name.as_str())),
+                    ("n".into(), Json::from(self.dataset_n)),
+                    ("num_classes".into(), Json::from(self.num_classes)),
+                ]),
+            ),
+            ("source".into(), Json::from(self.source.as_str())),
+            ("members".into(), Json::from(self.members)),
+            ("alphas".into(), Json::from(self.alphas.clone())),
+            ("alpha_total".into(), Json::from(self.alpha_total)),
+        ])
+    }
+
+    fn from_json(json: &Json) -> Result<Self, String> {
+        let dataset = json.get("dataset").ok_or("meta missing 'dataset'")?;
+        let str_of = |obj: &Json, key: &str| -> Result<String, String> {
+            Ok(obj
+                .get(key)
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("meta missing string '{key}'"))?
+                .to_string())
+        };
+        let usize_of = |obj: &Json, key: &str| -> Result<usize, String> {
+            let v = obj
+                .get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("meta missing number '{key}'"))?;
+            if v < 0.0 || v.fract() != 0.0 {
+                return Err(format!("meta '{key}' is not a non-negative integer: {v}"));
+            }
+            Ok(v as usize)
+        };
+        let alphas = json
+            .get("alphas")
+            .and_then(Json::as_arr)
+            .ok_or("meta missing array 'alphas'")?
+            .iter()
+            .map(|v| v.as_f64().map(|x| x as f32))
+            .collect::<Option<Vec<f32>>>()
+            .ok_or("meta 'alphas' holds a non-number")?;
+        let alpha_total = json
+            .get("alpha_total")
+            .and_then(Json::as_f64)
+            .ok_or("meta missing number 'alpha_total'")? as f32;
+        Ok(Self {
+            dataset_name: str_of(dataset, "name")?,
+            dataset_n: usize_of(dataset, "n")?,
+            num_classes: usize_of(dataset, "num_classes")?,
+            source: str_of(json, "source")?,
+            members: usize_of(json, "members")?,
+            alphas,
+            alpha_total,
+        })
+    }
+
+    /// Cross-field validation shared by the exporter and the loader.
+    fn validate(&self) -> Result<(), String> {
+        if self.members == 0 {
+            return Err("artifact has zero members".into());
+        }
+        if self.alphas.len() != self.members {
+            return Err(format!(
+                "meta declares {} members but lists {} alphas",
+                self.members,
+                self.alphas.len()
+            ));
+        }
+        if let Some(a) = self.alphas.iter().find(|a| !(a.is_finite() && **a > 0.0)) {
+            return Err(format!("non-positive ensemble weight {a}"));
+        }
+        if !(self.alpha_total.is_finite() && self.alpha_total > 0.0) {
+            return Err(format!("non-positive alpha_total {}", self.alpha_total));
+        }
+        // alpha_total is the left-fold of the alphas in push order; the
+        // same fold here must reproduce it bitwise.
+        let refold: f32 = self.alphas.iter().sum();
+        if refold.to_bits() != self.alpha_total.to_bits() {
+            return Err(format!(
+                "alpha_total {} does not match the sum of alphas {refold}",
+                self.alpha_total
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// A loaded, validated artifact: the frozen teacher as a [`Predictor`].
+#[derive(Clone, Debug)]
+pub struct Artifact {
+    meta: ArtifactMeta,
+    proba_sum: Matrix,
+    logits_sum: Matrix,
+    /// FNV-1a 64 of the file content (also the serve cache's key epoch).
+    checksum: u64,
+    /// `proba_sum · (1/alpha_total)`, cached once at load.
+    proba: Matrix,
+}
+
+fn push_matrix(out: &mut String, m: &Matrix) {
+    use std::fmt::Write as _;
+    let (r, c) = m.shape();
+    let _ = writeln!(out, "matrix {r} {c}");
+    for i in 0..r {
+        for (j, v) in m.row(i).iter().enumerate() {
+            if j > 0 {
+                out.push(' ');
+            }
+            let _ = write!(out, "{v}");
+        }
+        out.push('\n');
+    }
+}
+
+/// Serialize and atomically write an artifact file.
+pub fn write_artifact(
+    path: &Path,
+    meta: &ArtifactMeta,
+    proba_sum: &Matrix,
+    logits_sum: &Matrix,
+) -> Result<u64, ServeError> {
+    meta.validate().map_err(ServeError::Artifact)?;
+    for (name, m) in [("proba_sum", proba_sum), ("logits_sum", logits_sum)] {
+        if m.shape() != (meta.dataset_n, meta.num_classes) {
+            return Err(ServeError::Artifact(format!(
+                "{name} shape {:?} does not match dataset ({} x {})",
+                m.shape(),
+                meta.dataset_n,
+                meta.num_classes
+            )));
+        }
+    }
+    let mut text = String::new();
+    text.push_str(HEADER);
+    text.push('\n');
+    text.push_str("meta ");
+    meta.to_json().write(&mut text);
+    text.push('\n');
+    push_matrix(&mut text, proba_sum);
+    push_matrix(&mut text, logits_sum);
+    let checksum = fnv1a64(text.as_bytes());
+    use std::fmt::Write as _;
+    let _ = writeln!(text, "checksum {checksum:016x}");
+    rdd_models::atomic_write(path, &text).map_err(ServeError::Io)?;
+    Ok(checksum)
+}
+
+/// Distill a **completed** crash-safe run directory into a single artifact
+/// file. Zero re-training: the kept members' frozen outputs are replayed
+/// (bitwise-verified against the stored `ensemble.sums` by
+/// [`RunState::load_ensemble`]) and the running sums written out.
+pub fn export_run(run_dir: &Path, artifact_path: &Path) -> Result<Artifact, RddError> {
+    let state = RunState::load(run_dir)?;
+    if !state.is_complete() {
+        return Err(ServeError::Artifact(format!(
+            "run {} is not complete ({} members committed); finish or `rdd resume` it first",
+            run_dir.display(),
+            state.next_member()
+        ))
+        .into());
+    }
+    let ensemble = state.load_ensemble()?;
+    let (proba_sum, logits_sum) = match (ensemble.proba_sum(), ensemble.logits_sum()) {
+        (Some(ps), Some(ls)) => (ps, ls),
+        _ => {
+            return Err(ServeError::Artifact(format!(
+                "run {} kept no ensemble members; nothing to serve",
+                run_dir.display()
+            ))
+            .into())
+        }
+    };
+    let (n, k) = state.dataset_shape();
+    let meta = ArtifactMeta {
+        dataset_name: state.dataset_name().to_string(),
+        dataset_n: n,
+        num_classes: k,
+        source: state.source().to_string(),
+        members: ensemble.len(),
+        alphas: ensemble.alphas(),
+        alpha_total: ensemble.alpha_total(),
+    };
+    write_artifact(artifact_path, &meta, proba_sum, logits_sum)?;
+    Ok(Artifact::load(artifact_path)?)
+}
+
+/// Export a live [`Ensemble`] (no run directory) — the test/bench path.
+pub fn write_ensemble(
+    path: &Path,
+    ensemble: &Ensemble,
+    dataset_name: &str,
+    source: &str,
+) -> Result<u64, ServeError> {
+    let (proba_sum, logits_sum) = match (ensemble.proba_sum(), ensemble.logits_sum()) {
+        (Some(ps), Some(ls)) => (ps, ls),
+        _ => return Err(ServeError::Artifact("empty ensemble".into())),
+    };
+    let meta = ArtifactMeta {
+        dataset_name: dataset_name.to_string(),
+        dataset_n: proba_sum.rows(),
+        num_classes: proba_sum.cols(),
+        source: source.to_string(),
+        members: ensemble.len(),
+        alphas: ensemble.alphas(),
+        alpha_total: ensemble.alpha_total(),
+    };
+    write_artifact(path, &meta, proba_sum, logits_sum)
+}
+
+struct Lines<'a> {
+    rest: std::str::Lines<'a>,
+    line_no: usize,
+}
+
+impl<'a> Lines<'a> {
+    fn next(&mut self) -> Result<&'a str, ServeError> {
+        self.line_no += 1;
+        self.rest
+            .next()
+            .ok_or_else(|| ServeError::Artifact(format!("truncated at line {}", self.line_no)))
+    }
+}
+
+fn parse_matrix(lines: &mut Lines<'_>) -> Result<Matrix, ServeError> {
+    let header = lines.next()?;
+    let dims: Vec<&str> = header.split_whitespace().collect();
+    let (r, c) = match dims.as_slice() {
+        ["matrix", r, c] => (
+            r.parse::<usize>()
+                .map_err(|_| ServeError::Artifact(format!("bad matrix rows: {header:?}")))?,
+            c.parse::<usize>()
+                .map_err(|_| ServeError::Artifact(format!("bad matrix cols: {header:?}")))?,
+        ),
+        _ => {
+            return Err(ServeError::Artifact(format!(
+                "line {}: expected 'matrix R C', found {header:?}",
+                lines.line_no
+            )))
+        }
+    };
+    let mut data = Vec::with_capacity(r * c);
+    for _ in 0..r {
+        let row = lines.next()?;
+        let line_no = lines.line_no;
+        let before = data.len();
+        for tok in row.split_whitespace() {
+            let v: f32 = tok
+                .parse()
+                .map_err(|_| ServeError::Artifact(format!("line {line_no}: bad float {tok:?}")))?;
+            if !v.is_finite() {
+                return Err(ServeError::Artifact(format!(
+                    "line {line_no}: non-finite value {v}"
+                )));
+            }
+            data.push(v);
+        }
+        if data.len() - before != c {
+            return Err(ServeError::Artifact(format!(
+                "line {line_no}: expected {c} values, found {}",
+                data.len() - before
+            )));
+        }
+    }
+    Ok(Matrix::from_vec(r, c, data))
+}
+
+impl Artifact {
+    /// Load and fully validate an artifact file: header/version, checksum,
+    /// meta parse, matrix shapes, finiteness.
+    pub fn load(path: &Path) -> Result<Self, ServeError> {
+        let text = std::fs::read_to_string(path)?;
+
+        // The checksum line covers every byte before it; verify first so
+        // corruption anywhere surfaces as a checksum error, not a random
+        // parse failure deeper in.
+        let body_end = text
+            .rfind("\nchecksum ")
+            .ok_or_else(|| ServeError::Artifact("missing checksum line".into()))?
+            + 1;
+        let stored_line = text[body_end..].trim_end();
+        let stored = stored_line
+            .strip_prefix("checksum ")
+            .and_then(|h| u64::from_str_radix(h.trim(), 16).ok())
+            .ok_or_else(|| ServeError::Artifact(format!("bad checksum line {stored_line:?}")))?;
+        if !text[body_end..].ends_with('\n') {
+            return Err(ServeError::Artifact(
+                "missing newline after checksum line".into(),
+            ));
+        }
+        if text[body_end..].lines().count() != 1 {
+            return Err(ServeError::Artifact(
+                "trailing garbage after checksum line".into(),
+            ));
+        }
+        let computed = fnv1a64(text[..body_end].as_bytes());
+        if computed != stored {
+            return Err(ServeError::Checksum { stored, computed });
+        }
+
+        let mut lines = Lines {
+            rest: text[..body_end].lines(),
+            line_no: 0,
+        };
+        let header = lines.next()?;
+        if header != HEADER {
+            if header.starts_with("rdd-artifact") {
+                return Err(ServeError::WrongVersion {
+                    found: header.to_string(),
+                });
+            }
+            return Err(ServeError::Artifact(format!(
+                "not an rdd artifact (first line {header:?})"
+            )));
+        }
+        let meta_line = lines.next()?;
+        let meta_src = meta_line
+            .strip_prefix("meta ")
+            .ok_or_else(|| ServeError::Artifact("line 2: expected 'meta {{...}}'".into()))?;
+        let meta_json = rdd_obs::parse(meta_src)
+            .map_err(|e| ServeError::Artifact(format!("bad meta json: {e}")))?;
+        let meta = ArtifactMeta::from_json(&meta_json).map_err(ServeError::Artifact)?;
+        meta.validate().map_err(ServeError::Artifact)?;
+
+        let proba_sum = parse_matrix(&mut lines)?;
+        let logits_sum = parse_matrix(&mut lines)?;
+        if lines.rest.next().is_some() {
+            return Err(ServeError::Artifact(
+                "trailing garbage before checksum line".into(),
+            ));
+        }
+        for (name, m) in [("proba_sum", &proba_sum), ("logits_sum", &logits_sum)] {
+            if m.shape() != (meta.dataset_n, meta.num_classes) {
+                return Err(ServeError::Artifact(format!(
+                    "{name} shape {:?} does not match meta ({} x {})",
+                    m.shape(),
+                    meta.dataset_n,
+                    meta.num_classes
+                )));
+            }
+        }
+        // The exact normalization Ensemble::proba applies — this is what
+        // keeps served rows bitwise equal to the live run.
+        let proba = proba_sum.scaled(1.0 / meta.alpha_total);
+        Ok(Self {
+            meta,
+            proba_sum,
+            logits_sum,
+            checksum: stored,
+            proba,
+        })
+    }
+
+    /// The artifact's metadata.
+    pub fn meta(&self) -> &ArtifactMeta {
+        &self.meta
+    }
+
+    /// The file checksum (also the serve cache's key epoch).
+    pub fn checksum(&self) -> u64 {
+        self.checksum
+    }
+
+    /// The normalized teacher distribution, `n x k` (bitwise equal to the
+    /// exporting ensemble's `proba()`).
+    pub fn proba(&self) -> &Matrix {
+        &self.proba
+    }
+
+    /// The raw `Σ α_t · proba_t`.
+    pub fn proba_sum(&self) -> &Matrix {
+        &self.proba_sum
+    }
+
+    /// The raw `Σ α_t · logits_t` (the distillation target, carried so an
+    /// artifact can seed future student training).
+    pub fn logits_sum(&self) -> &Matrix {
+        &self.logits_sum
+    }
+
+    /// The normalized teacher embedding `F_T`.
+    pub fn logits(&self) -> Matrix {
+        self.logits_sum.scaled(1.0 / self.meta.alpha_total)
+    }
+}
+
+impl Predictor for Artifact {
+    fn num_nodes(&self) -> usize {
+        self.meta.dataset_n
+    }
+
+    fn num_classes(&self) -> usize {
+        self.meta.num_classes
+    }
+
+    fn predict_batch(&self, req: &PredictRequest) -> Result<Prediction, PredictError> {
+        gather_prediction(&self.proba, req)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv1a64_known_vectors() {
+        // Reference values for the 64-bit FNV-1a parameters.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    fn tiny_meta() -> ArtifactMeta {
+        ArtifactMeta {
+            dataset_name: "unit".into(),
+            dataset_n: 2,
+            num_classes: 2,
+            source: "unit-test".into(),
+            members: 2,
+            alphas: vec![1.5, 0.5],
+            alpha_total: 2.0,
+        }
+    }
+
+    #[test]
+    fn meta_json_roundtrips() {
+        let meta = tiny_meta();
+        let back = ArtifactMeta::from_json(&meta.to_json()).expect("parse");
+        assert_eq!(back, meta);
+    }
+
+    #[test]
+    fn meta_validation_rejects_inconsistencies() {
+        let mut m = tiny_meta();
+        m.alphas = vec![1.0];
+        assert!(m.validate().unwrap_err().contains("alphas"));
+        let mut m = tiny_meta();
+        m.alpha_total = 3.0;
+        assert!(m.validate().unwrap_err().contains("alpha_total"));
+        let mut m = tiny_meta();
+        m.alphas[0] = -1.0;
+        assert!(m.validate().unwrap_err().contains("weight"));
+        let mut m = tiny_meta();
+        m.members = 0;
+        m.alphas.clear();
+        m.alpha_total = 0.0;
+        assert!(m.validate().unwrap_err().contains("zero members"));
+    }
+}

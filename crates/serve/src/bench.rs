@@ -1,0 +1,177 @@
+//! Closed-loop serve throughput bench: one in-process client submits
+//! single-node requests back-to-back (next request only after the
+//! previous flush returns) against a frozen artifact, across the four
+//! corners of {unbatched, batched} × {cache cold, cache warm}.
+
+use std::time::Instant;
+
+use rdd_obs::{percentile, Json};
+
+use crate::artifact::Artifact;
+use crate::engine::{ServeConfig, ServeEngine};
+use crate::error::ServeError;
+
+/// One bench mode's outcome.
+#[derive(Clone, Debug)]
+pub struct BenchResult {
+    /// Mode label (`unbatched-cold`, `batched-warm`, ...).
+    pub mode: String,
+    /// Micro-batch size used.
+    pub batch_size: usize,
+    /// Requests answered.
+    pub requests: usize,
+    /// Closed-loop throughput, requests per second.
+    pub rps: f64,
+    /// Median per-request latency, milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile per-request latency, milliseconds.
+    pub p99_ms: f64,
+    /// Cache hit fraction over the measured phase.
+    pub hit_rate: f64,
+}
+
+impl BenchResult {
+    /// Render for a BENCH_*.json report.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("mode".into(), Json::from(self.mode.as_str())),
+            ("batch_size".into(), Json::from(self.batch_size)),
+            ("requests".into(), Json::from(self.requests)),
+            ("rps".into(), Json::from(self.rps)),
+            ("p50_ms".into(), Json::from(self.p50_ms)),
+            ("p99_ms".into(), Json::from(self.p99_ms)),
+            ("hit_rate".into(), Json::from(self.hit_rate)),
+        ])
+    }
+}
+
+/// Deterministic node stream: xorshift64 over a fixed seed, mapped onto
+/// `[0, n)`. No clocks, no global RNG — the same artifact and request
+/// count always replay the same workload.
+struct NodeStream {
+    state: u64,
+    n: usize,
+}
+
+impl NodeStream {
+    fn new(n: usize) -> Self {
+        Self {
+            state: 0x9e37_79b9_7f4a_7c15,
+            n,
+        }
+    }
+
+    fn next(&mut self) -> usize {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        ((x >> 33) as usize) % self.n
+    }
+}
+
+fn run_mode(
+    artifact: &Artifact,
+    mode: &str,
+    batch_size: usize,
+    warm: bool,
+    requests: usize,
+) -> Result<BenchResult, ServeError> {
+    let n = artifact.meta().dataset_n;
+    let cfg = ServeConfig {
+        batch_size,
+        max_delay_ms: 0,
+        // Warm modes get a cache big enough that the warmup pass pins every
+        // node; cold modes run uncached.
+        cache_capacity: if warm { n } else { 0 },
+        queue_capacity: batch_size.max(1024),
+    };
+    let mut engine = ServeEngine::new(artifact, cfg, artifact.checksum())
+        .map_err(|e| ServeError::BadRequest(e.to_string()))?;
+
+    if warm {
+        // Unmeasured warmup: touch every node once so the measured phase
+        // sees a fully hot cache.
+        for node in 0..n {
+            engine.submit(u64::MAX - node as u64, Some(vec![node]))?;
+        }
+        engine.flush();
+    }
+    let warm_stats = engine.stats();
+
+    let mut stream = NodeStream::new(n);
+    let mut latencies: Vec<f64> = Vec::with_capacity(requests);
+    let started = Instant::now();
+    let mut submitted = 0u64;
+    while (submitted as usize) < requests {
+        let node = stream.next();
+        if let Some(replies) = engine.submit(submitted, Some(vec![node]))? {
+            for reply in replies {
+                reply.result?;
+                latencies.push(reply.latency_ms);
+            }
+        }
+        submitted += 1;
+    }
+    for reply in engine.flush() {
+        reply.result?;
+        latencies.push(reply.latency_ms);
+    }
+    let wall_s = started.elapsed().as_secs_f64();
+
+    let stats = engine.stats();
+    let hits = stats.cache_hits - warm_stats.cache_hits;
+    let misses = stats.cache_misses - warm_stats.cache_misses;
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    Ok(BenchResult {
+        mode: mode.to_string(),
+        batch_size,
+        requests: latencies.len(),
+        rps: latencies.len() as f64 / wall_s.max(1e-9),
+        p50_ms: percentile(&latencies, 0.50),
+        p99_ms: percentile(&latencies, 0.99),
+        hit_rate: if hits + misses == 0 {
+            0.0
+        } else {
+            hits as f64 / (hits + misses) as f64
+        },
+    })
+}
+
+/// Run the four standard modes against `artifact`, `requests` single-node
+/// requests each.
+pub fn bench_artifact(
+    artifact: &Artifact,
+    requests: usize,
+) -> Result<Vec<BenchResult>, ServeError> {
+    let modes: [(&str, usize, bool); 4] = [
+        ("unbatched-cold", 1, false),
+        ("batched-cold", 32, false),
+        ("unbatched-warm", 1, true),
+        ("batched-warm", 32, true),
+    ];
+    modes
+        .iter()
+        .map(|&(mode, batch, warm)| run_mode(artifact, mode, batch, warm, requests))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_stream_is_deterministic_and_in_range() {
+        let mut a = NodeStream::new(17);
+        let mut b = NodeStream::new(17);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..500 {
+            let x = a.next();
+            assert_eq!(x, b.next());
+            assert!(x < 17);
+            seen.insert(x);
+        }
+        assert!(seen.len() > 10, "stream should cover most of the range");
+    }
+}

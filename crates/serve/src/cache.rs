@@ -1,0 +1,196 @@
+//! A small hand-rolled LRU map (no external deps): `HashMap` for lookup
+//! plus an intrusive doubly-linked list over a slot arena for recency
+//! order. Used by the serve engine as its prediction cache.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+const NIL: usize = usize::MAX;
+
+struct Slot<K, V> {
+    key: K,
+    value: V,
+    prev: usize,
+    next: usize,
+}
+
+/// A fixed-capacity least-recently-used map. `get` promotes, `insert`
+/// evicts the coldest entry once full.
+pub struct LruCache<K, V> {
+    map: HashMap<K, usize>,
+    slots: Vec<Slot<K, V>>,
+    head: usize,
+    tail: usize,
+    capacity: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl<K: Clone + Eq + Hash, V> LruCache<K, V> {
+    /// A cache holding at most `capacity` entries (`capacity >= 1`).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1, "LRU capacity must be >= 1");
+        Self {
+            map: HashMap::with_capacity(capacity),
+            slots: Vec::with_capacity(capacity),
+            head: NIL,
+            tail: NIL,
+            capacity,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// `(hits, misses)` counted across every [`LruCache::get`].
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    fn unlink(&mut self, idx: usize) {
+        let (prev, next) = (self.slots[idx].prev, self.slots[idx].next);
+        if prev != NIL {
+            self.slots[prev].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.slots[next].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+    }
+
+    fn push_front(&mut self, idx: usize) {
+        self.slots[idx].prev = NIL;
+        self.slots[idx].next = self.head;
+        if self.head != NIL {
+            self.slots[self.head].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+
+    /// Look up `key`, promoting it to most-recently-used on a hit.
+    pub fn get(&mut self, key: &K) -> Option<&V> {
+        match self.map.get(key).copied() {
+            Some(idx) => {
+                self.hits += 1;
+                if self.head != idx {
+                    self.unlink(idx);
+                    self.push_front(idx);
+                }
+                Some(&self.slots[idx].value)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Insert or overwrite `key`, evicting the least-recently-used entry
+    /// if the cache is full.
+    pub fn insert(&mut self, key: K, value: V) {
+        if let Some(&idx) = self.map.get(&key) {
+            self.slots[idx].value = value;
+            if self.head != idx {
+                self.unlink(idx);
+                self.push_front(idx);
+            }
+            return;
+        }
+        let idx = if self.slots.len() < self.capacity {
+            self.slots.push(Slot {
+                key: key.clone(),
+                value,
+                prev: NIL,
+                next: NIL,
+            });
+            self.slots.len() - 1
+        } else {
+            // Recycle the coldest slot.
+            let idx = self.tail;
+            self.unlink(idx);
+            self.map.remove(&self.slots[idx].key);
+            self.slots[idx].key = key.clone();
+            self.slots[idx].value = value;
+            idx
+        };
+        self.map.insert(key, idx);
+        self.push_front(idx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c = LruCache::new(2);
+        c.insert(1, "a");
+        c.insert(2, "b");
+        assert_eq!(c.get(&1), Some(&"a")); // promote 1; 2 is now coldest
+        c.insert(3, "c"); // evicts 2
+        assert_eq!(c.get(&2), None);
+        assert_eq!(c.get(&1), Some(&"a"));
+        assert_eq!(c.get(&3), Some(&"c"));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn capacity_one_keeps_only_the_newest() {
+        let mut c = LruCache::new(1);
+        c.insert("x", 1);
+        c.insert("y", 2);
+        assert_eq!(c.get(&"x"), None);
+        assert_eq!(c.get(&"y"), Some(&2));
+    }
+
+    #[test]
+    fn overwrite_updates_value_and_promotes() {
+        let mut c = LruCache::new(2);
+        c.insert(1, "a");
+        c.insert(2, "b");
+        c.insert(1, "a2"); // overwrite promotes 1; 2 is coldest
+        c.insert(3, "c"); // evicts 2
+        assert_eq!(c.get(&1), Some(&"a2"));
+        assert_eq!(c.get(&2), None);
+        assert_eq!(c.get(&3), Some(&"c"));
+    }
+
+    #[test]
+    fn stats_count_hits_and_misses() {
+        let mut c = LruCache::new(4);
+        c.insert(1, ());
+        let _ = c.get(&1);
+        let _ = c.get(&1);
+        let _ = c.get(&9);
+        assert_eq!(c.stats(), (2, 1));
+    }
+
+    #[test]
+    fn many_inserts_stay_within_capacity() {
+        let mut c = LruCache::new(8);
+        for i in 0..100 {
+            c.insert(i, i * 10);
+        }
+        assert_eq!(c.len(), 8);
+        for i in 92..100 {
+            assert_eq!(c.get(&i), Some(&(i * 10)), "recent key {i} must survive");
+        }
+        assert_eq!(c.get(&0), None);
+    }
+}

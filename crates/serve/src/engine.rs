@@ -1,0 +1,572 @@
+//! Request micro-batching over any [`Predictor`].
+//!
+//! The engine buffers incoming requests in a bounded queue and executes
+//! them in one underlying `predict_batch` call per flush. A flush happens
+//! when the queue reaches `batch_size` (inside [`ServeEngine::submit`]) or
+//! when the caller's loop notices [`ServeEngine::deadline`] has passed —
+//! the engine itself owns no threads or clocks beyond per-request
+//! timestamps, so drivers (CLI loop, bench, tests) stay in control.
+//!
+//! Per-node results are memoized in an [`LruCache`] keyed by
+//! `(artifact checksum, node id)`: re-serving a hot node costs a row copy,
+//! and because cached rows were produced by the same predictor on the same
+//! artifact, cache hits stay bitwise identical to cold executions.
+
+use std::collections::{HashMap, VecDeque};
+use std::time::Instant;
+
+use rdd_models::{ConfigError, PredictRequest, Prediction, Predictor};
+use rdd_tensor::Matrix;
+
+use crate::cache::LruCache;
+use crate::error::ServeError;
+
+/// Serve-engine tuning knobs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Flush as soon as this many requests are queued (≥ 1).
+    pub batch_size: usize,
+    /// Flush a non-empty queue once its oldest request has waited this
+    /// long (the caller polls [`ServeEngine::deadline`]).
+    pub max_delay_ms: u64,
+    /// Per-node LRU prediction cache capacity (0 disables caching).
+    pub cache_capacity: usize,
+    /// Bound on queued requests (≥ 1). [`ServeEngine::submit`] returns
+    /// [`ServeError::QueueFull`] beyond it, so a stalled driver sheds load
+    /// instead of buffering without limit. The effective batch size is
+    /// `min(batch_size, queue_capacity)`.
+    pub queue_capacity: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            batch_size: 32,
+            max_delay_ms: 2,
+            cache_capacity: 4096,
+            queue_capacity: 1024,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Reject zero-sized batch or queue.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.batch_size < 1 {
+            return Err(ConfigError::invalid(
+                "serve.batch_size",
+                self.batch_size,
+                ">= 1 request per batch",
+            ));
+        }
+        if self.queue_capacity < 1 {
+            return Err(ConfigError::invalid(
+                "serve.queue_capacity",
+                self.queue_capacity,
+                ">= 1 queued request",
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// One cached per-node result row.
+struct CachedRow {
+    proba: Vec<f32>,
+    pred: usize,
+}
+
+struct PendingRequest {
+    id: u64,
+    nodes: Option<Vec<usize>>,
+    enqueued: Instant,
+}
+
+/// One answered request.
+#[derive(Debug)]
+pub struct ServeReply {
+    /// The caller-assigned request id, echoed back.
+    pub id: u64,
+    /// The prediction, or why this request failed (other requests in the
+    /// same batch are unaffected unless the predictor itself failed).
+    pub result: Result<Prediction, ServeError>,
+    /// Queue wait + execution time for this request, in milliseconds.
+    pub latency_ms: f64,
+    /// How many of this request's nodes were served from the cache.
+    pub cache_hits: usize,
+}
+
+/// Engine-lifetime counters.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ServeStats {
+    /// Requests answered (including per-request errors).
+    pub requests: u64,
+    /// Flushes executed.
+    pub batches: u64,
+    /// Node rows served from the cache.
+    pub cache_hits: u64,
+    /// Node rows that needed predictor execution.
+    pub cache_misses: u64,
+}
+
+impl ServeStats {
+    /// Cache hit fraction over all node rows served (0 when nothing yet).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+}
+
+/// Micro-batching, caching front-end over a [`Predictor`].
+pub struct ServeEngine<P: Predictor> {
+    predictor: P,
+    cfg: ServeConfig,
+    /// Cache key epoch — the artifact checksum, so rows from a different
+    /// artifact can never alias.
+    cache_epoch: u64,
+    cache: Option<LruCache<(u64, usize), CachedRow>>,
+    pending: VecDeque<PendingRequest>,
+    stats: ServeStats,
+}
+
+impl<P: Predictor> ServeEngine<P> {
+    /// Build an engine over `predictor`. `cache_epoch` must identify the
+    /// frozen model (the artifact checksum); it becomes part of every
+    /// cache key.
+    pub fn new(predictor: P, cfg: ServeConfig, cache_epoch: u64) -> Result<Self, ConfigError> {
+        cfg.validate()?;
+        let cache = (cfg.cache_capacity > 0).then(|| LruCache::new(cfg.cache_capacity));
+        Ok(Self {
+            predictor,
+            cfg,
+            cache_epoch,
+            cache,
+            pending: VecDeque::new(),
+            stats: ServeStats::default(),
+        })
+    }
+
+    /// The wrapped predictor.
+    pub fn predictor(&self) -> &P {
+        &self.predictor
+    }
+
+    /// Engine-lifetime counters.
+    pub fn stats(&self) -> ServeStats {
+        self.stats
+    }
+
+    /// Requests currently queued.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// When the oldest queued request must be flushed (`None` while the
+    /// queue is empty). Drivers with a blocking input source should wait
+    /// no longer than this before calling [`ServeEngine::flush`].
+    pub fn deadline(&self) -> Option<Instant> {
+        self.pending
+            .front()
+            .map(|p| p.enqueued + std::time::Duration::from_millis(self.cfg.max_delay_ms))
+    }
+
+    /// Enqueue a request (`nodes: None` = the whole graph). Returns
+    /// `Ok(Some(replies))` when this submission filled a batch and
+    /// triggered a flush, `Ok(None)` when the request is parked, and
+    /// [`ServeError::QueueFull`] when the bounded queue is at capacity.
+    pub fn submit(
+        &mut self,
+        id: u64,
+        nodes: Option<Vec<usize>>,
+    ) -> Result<Option<Vec<ServeReply>>, ServeError> {
+        if self.pending.len() >= self.cfg.queue_capacity {
+            return Err(ServeError::QueueFull {
+                capacity: self.cfg.queue_capacity,
+            });
+        }
+        self.pending.push_back(PendingRequest {
+            id,
+            nodes,
+            enqueued: Instant::now(),
+        });
+        if self.pending.len() >= self.cfg.batch_size {
+            Ok(Some(self.flush()))
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// Execute every queued request as one micro-batch, in submission
+    /// order. A no-op (empty vec) on an empty queue.
+    pub fn flush(&mut self) -> Vec<ServeReply> {
+        if self.pending.is_empty() {
+            return Vec::new();
+        }
+        let batch: Vec<PendingRequest> = self.pending.drain(..).collect();
+        let num_nodes = self.predictor.num_nodes();
+        let k = self.predictor.num_classes();
+
+        // Resolve each request's node list, serving what the cache already
+        // holds and collecting the distinct rows that need execution.
+        struct Assembly {
+            nodes: Vec<usize>,
+            rows: Vec<Option<CachedRow>>,
+            hits: usize,
+            error: Option<ServeError>,
+        }
+        let mut assemblies: Vec<Assembly> = Vec::with_capacity(batch.len());
+        let mut miss_order: Vec<usize> = Vec::new();
+        let mut miss_set: HashMap<usize, usize> = HashMap::new();
+        for req in &batch {
+            let nodes: Vec<usize> = match &req.nodes {
+                Some(ids) => ids.clone(),
+                None => (0..num_nodes).collect(),
+            };
+            if let Some(&bad) = nodes.iter().find(|&&id| id >= num_nodes) {
+                assemblies.push(Assembly {
+                    nodes,
+                    rows: Vec::new(),
+                    hits: 0,
+                    error: Some(ServeError::Predict(
+                        rdd_models::PredictError::NodeOutOfRange {
+                            node: bad,
+                            num_nodes,
+                        },
+                    )),
+                });
+                continue;
+            }
+            let mut rows: Vec<Option<CachedRow>> = Vec::with_capacity(nodes.len());
+            let mut hits = 0usize;
+            for &node in &nodes {
+                let cached = self.cache.as_mut().and_then(|c| {
+                    c.get(&(self.cache_epoch, node)).map(|row| CachedRow {
+                        proba: row.proba.clone(),
+                        pred: row.pred,
+                    })
+                });
+                match cached {
+                    Some(row) => {
+                        hits += 1;
+                        self.stats.cache_hits += 1;
+                        rows.push(Some(row));
+                    }
+                    None => {
+                        self.stats.cache_misses += 1;
+                        if !miss_set.contains_key(&node) {
+                            miss_set.insert(node, miss_order.len());
+                            miss_order.push(node);
+                        }
+                        rows.push(None);
+                    }
+                }
+            }
+            assemblies.push(Assembly {
+                nodes,
+                rows,
+                hits,
+                error: None,
+            });
+        }
+
+        // One predictor execution covers every distinct missing node.
+        let exec_start = Instant::now();
+        let fresh: Result<Option<Prediction>, rdd_models::PredictError> = if miss_order.is_empty() {
+            Ok(None)
+        } else {
+            self.predictor
+                .predict_batch(&PredictRequest::nodes(miss_order.clone()))
+                .map(Some)
+        };
+        let exec_ms = exec_start.elapsed().as_secs_f64() * 1e3;
+
+        let mut replies = Vec::with_capacity(batch.len());
+        let mut latencies = Vec::with_capacity(batch.len());
+        match fresh {
+            Err(e) => {
+                // The predictor itself failed (e.g. empty ensemble): every
+                // request in the batch gets the error.
+                for req in &batch {
+                    let latency_ms = req.enqueued.elapsed().as_secs_f64() * 1e3;
+                    latencies.push(latency_ms);
+                    replies.push(ServeReply {
+                        id: req.id,
+                        result: Err(ServeError::Predict(e.clone())),
+                        latency_ms,
+                        cache_hits: 0,
+                    });
+                }
+            }
+            Ok(fresh) => {
+                if let (Some(fresh), Some(cache)) = (&fresh, self.cache.as_mut()) {
+                    for (r, &node) in fresh.nodes.iter().enumerate() {
+                        cache.insert(
+                            (self.cache_epoch, node),
+                            CachedRow {
+                                proba: fresh.proba.row(r).to_vec(),
+                                pred: fresh.pred[r],
+                            },
+                        );
+                    }
+                }
+                for (req, asm) in batch.iter().zip(assemblies) {
+                    let latency_ms = req.enqueued.elapsed().as_secs_f64() * 1e3;
+                    latencies.push(latency_ms);
+                    if let Some(error) = asm.error {
+                        replies.push(ServeReply {
+                            id: req.id,
+                            result: Err(error),
+                            latency_ms,
+                            cache_hits: 0,
+                        });
+                        continue;
+                    }
+                    let mut proba = Matrix::zeros(asm.nodes.len(), k);
+                    let mut pred = Vec::with_capacity(asm.nodes.len());
+                    for (r, (node, row)) in asm.nodes.iter().zip(asm.rows).enumerate() {
+                        match row {
+                            Some(cached) => {
+                                proba.row_mut(r).copy_from_slice(&cached.proba);
+                                pred.push(cached.pred);
+                            }
+                            None => {
+                                let fresh = fresh.as_ref().expect("misses imply an execution");
+                                let fr = miss_set[node];
+                                proba.row_mut(r).copy_from_slice(fresh.proba.row(fr));
+                                pred.push(fresh.pred[fr]);
+                            }
+                        }
+                    }
+                    replies.push(ServeReply {
+                        id: req.id,
+                        result: Ok(Prediction {
+                            nodes: asm.nodes,
+                            proba,
+                            pred,
+                        }),
+                        latency_ms,
+                        cache_hits: asm.hits,
+                    });
+                }
+            }
+        }
+
+        let nodes_served: usize = replies
+            .iter()
+            .map(|r| r.result.as_ref().map_or(0, |p| p.nodes.len()))
+            .sum();
+        let hits: usize = replies.iter().map(|r| r.cache_hits).sum();
+        self.stats.requests += replies.len() as u64;
+        self.stats.batches += 1;
+        rdd_obs::emit_serve_batch(
+            replies.len(),
+            nodes_served,
+            hits,
+            nodes_served.saturating_sub(hits),
+            exec_ms,
+            &latencies,
+        );
+        replies
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdd_models::PredictError;
+
+    /// A deterministic in-memory predictor: proba(node) = f(node).
+    struct FakePredictor {
+        proba: Matrix,
+        calls: std::cell::Cell<usize>,
+        nodes_executed: std::cell::Cell<usize>,
+    }
+
+    impl FakePredictor {
+        fn new(n: usize, k: usize) -> Self {
+            let mut data = Vec::with_capacity(n * k);
+            for i in 0..n {
+                for j in 0..k {
+                    data.push(((i * 31 + j * 7) % 13) as f32 / 13.0 + 0.01);
+                }
+            }
+            Self {
+                proba: Matrix::from_vec(n, k, data),
+                calls: std::cell::Cell::new(0),
+                nodes_executed: std::cell::Cell::new(0),
+            }
+        }
+    }
+
+    impl Predictor for FakePredictor {
+        fn num_nodes(&self) -> usize {
+            self.proba.rows()
+        }
+        fn num_classes(&self) -> usize {
+            self.proba.cols()
+        }
+        fn predict_batch(&self, req: &PredictRequest) -> Result<Prediction, PredictError> {
+            self.calls.set(self.calls.get() + 1);
+            let out = rdd_models::gather_prediction(&self.proba, req)?;
+            self.nodes_executed
+                .set(self.nodes_executed.get() + out.nodes.len());
+            Ok(out)
+        }
+    }
+
+    fn engine(cfg: ServeConfig) -> ServeEngine<FakePredictor> {
+        ServeEngine::new(FakePredictor::new(20, 3), cfg, 0xabcd).unwrap()
+    }
+
+    #[test]
+    fn config_rejects_zero_sizes() {
+        let cfg = ServeConfig {
+            batch_size: 0,
+            ..ServeConfig::default()
+        };
+        assert_eq!(cfg.validate().unwrap_err().field, "serve.batch_size");
+        let cfg = ServeConfig {
+            queue_capacity: 0,
+            ..ServeConfig::default()
+        };
+        assert_eq!(cfg.validate().unwrap_err().field, "serve.queue_capacity");
+    }
+
+    #[test]
+    fn batch_size_triggers_flush() {
+        let mut e = engine(ServeConfig {
+            batch_size: 3,
+            ..ServeConfig::default()
+        });
+        assert!(e.submit(0, Some(vec![1])).unwrap().is_none());
+        assert!(e.submit(1, Some(vec![2])).unwrap().is_none());
+        assert!(e.deadline().is_some());
+        let replies = e
+            .submit(2, Some(vec![3]))
+            .unwrap()
+            .expect("third fills the batch");
+        assert_eq!(replies.len(), 3);
+        assert_eq!(e.pending_len(), 0);
+        assert!(e.deadline().is_none());
+        // One underlying execution for the whole batch.
+        assert_eq!(e.predictor().calls.get(), 1);
+        for (i, r) in replies.iter().enumerate() {
+            assert_eq!(r.id, i as u64);
+            let p = r.result.as_ref().unwrap();
+            assert_eq!(p.nodes, vec![i + 1]);
+            assert!(r.latency_ms >= 0.0);
+        }
+    }
+
+    #[test]
+    fn replies_match_direct_prediction_bitwise() {
+        let mut e = engine(ServeConfig {
+            batch_size: 2,
+            ..ServeConfig::default()
+        });
+        let direct = e.predictor().proba.clone();
+        e.submit(0, Some(vec![4, 9, 4])).unwrap();
+        let replies = e.submit(1, None).unwrap().expect("flush");
+        let p0 = replies[0].result.as_ref().unwrap();
+        for (r, &node) in p0.nodes.iter().enumerate() {
+            let same = p0
+                .proba
+                .row(r)
+                .iter()
+                .zip(direct.row(node))
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+            assert!(same, "batched row for node {node} drifted");
+        }
+        let p1 = replies[1].result.as_ref().unwrap();
+        assert_eq!(p1.nodes.len(), 20);
+        assert_eq!(p1.proba.as_slice(), direct.as_slice());
+    }
+
+    #[test]
+    fn cache_serves_repeats_without_reexecution() {
+        let mut e = engine(ServeConfig {
+            batch_size: 1,
+            cache_capacity: 64,
+            ..ServeConfig::default()
+        });
+        let cold = e.submit(0, Some(vec![5, 6])).unwrap().expect("flush");
+        assert_eq!(cold[0].cache_hits, 0);
+        let executed_after_cold = e.predictor().nodes_executed.get();
+        let warm = e.submit(1, Some(vec![6, 5])).unwrap().expect("flush");
+        assert_eq!(warm[0].cache_hits, 2);
+        assert_eq!(
+            e.predictor().nodes_executed.get(),
+            executed_after_cold,
+            "warm request must not re-execute"
+        );
+        // Warm rows are bitwise identical to cold ones.
+        let cold_p = cold[0].result.as_ref().unwrap();
+        let warm_p = warm[0].result.as_ref().unwrap();
+        assert_eq!(warm_p.proba.row(0), cold_p.proba.row(1));
+        assert_eq!(warm_p.proba.row(1), cold_p.proba.row(0));
+        let stats = e.stats();
+        assert_eq!(stats.cache_hits, 2);
+        assert_eq!(stats.cache_misses, 2);
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn duplicate_nodes_in_one_batch_execute_once() {
+        let mut e = engine(ServeConfig {
+            batch_size: 3,
+            cache_capacity: 0, // even uncached, a batch dedups its misses
+            ..ServeConfig::default()
+        });
+        e.submit(0, Some(vec![7, 8])).unwrap();
+        e.submit(1, Some(vec![8, 7])).unwrap();
+        let replies = e.submit(2, Some(vec![7])).unwrap().expect("flush");
+        assert_eq!(e.predictor().nodes_executed.get(), 2, "7 and 8, once each");
+        assert_eq!(replies[2].result.as_ref().unwrap().pred.len(), 1);
+    }
+
+    #[test]
+    fn queue_full_is_a_typed_error() {
+        let mut e = engine(ServeConfig {
+            batch_size: 10,
+            queue_capacity: 2,
+            ..ServeConfig::default()
+        });
+        e.submit(0, Some(vec![0])).unwrap();
+        e.submit(1, Some(vec![1])).unwrap();
+        let err = e.submit(2, Some(vec![2])).unwrap_err();
+        assert!(matches!(err, ServeError::QueueFull { capacity: 2 }));
+        // A manual (deadline-path) flush drains the queue and unblocks.
+        let replies = e.flush();
+        assert_eq!(replies.len(), 2);
+        assert!(e.submit(2, Some(vec![2])).unwrap().is_none());
+    }
+
+    #[test]
+    fn out_of_range_request_fails_alone() {
+        let mut e = engine(ServeConfig {
+            batch_size: 2,
+            ..ServeConfig::default()
+        });
+        e.submit(0, Some(vec![999])).unwrap();
+        let replies = e.submit(1, Some(vec![3])).unwrap().expect("flush");
+        assert!(matches!(
+            replies[0].result,
+            Err(ServeError::Predict(PredictError::NodeOutOfRange {
+                node: 999,
+                ..
+            }))
+        ));
+        assert!(replies[1].result.is_ok(), "valid request must still serve");
+    }
+
+    #[test]
+    fn flush_on_empty_queue_is_a_noop() {
+        let mut e = engine(ServeConfig::default());
+        assert!(e.flush().is_empty());
+        assert_eq!(e.stats().batches, 0);
+    }
+}

@@ -1,0 +1,210 @@
+//! Typed errors for the serving stack, plus the crate-spanning
+//! [`RddError`] the CLI funnels every subsystem's failures through.
+
+use rdd_models::{CheckpointError, ConfigError, PredictError};
+
+/// Why an artifact could not be loaded or a request could not be served.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Underlying filesystem error.
+    Io(std::io::Error),
+    /// Malformed artifact content (bad header, shape, non-finite value,
+    /// trailing garbage, ...).
+    Artifact(String),
+    /// The artifact declares a format version this build cannot read.
+    WrongVersion {
+        /// The version line found in the file.
+        found: String,
+    },
+    /// The artifact's stored checksum does not match its content.
+    Checksum {
+        /// Checksum recorded in the file.
+        stored: u64,
+        /// Checksum computed over the file's content.
+        computed: u64,
+    },
+    /// The underlying predictor rejected the request.
+    Predict(PredictError),
+    /// The engine's bounded request queue is full; retry after a flush.
+    QueueFull {
+        /// The configured queue capacity.
+        capacity: usize,
+    },
+    /// A malformed request (e.g. unparseable serve-loop JSON).
+    BadRequest(String),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Io(e) => write!(f, "io error: {e}"),
+            ServeError::Artifact(msg) => write!(f, "bad artifact: {msg}"),
+            ServeError::WrongVersion { found } => {
+                write!(
+                    f,
+                    "unsupported artifact version: {found:?} (expected {})",
+                    crate::artifact::HEADER
+                )
+            }
+            ServeError::Checksum { stored, computed } => write!(
+                f,
+                "artifact checksum mismatch: stored {stored:016x}, computed {computed:016x}"
+            ),
+            ServeError::Predict(e) => write!(f, "{e}"),
+            ServeError::QueueFull { capacity } => {
+                write!(f, "serve queue full ({capacity} pending requests)")
+            }
+            ServeError::BadRequest(msg) => write!(f, "bad request: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Io(e) => Some(e),
+            ServeError::Predict(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+impl From<PredictError> for ServeError {
+    fn from(e: PredictError) -> Self {
+        ServeError::Predict(e)
+    }
+}
+
+/// The crate-spanning error: every subsystem's failure type, one `Display`
+/// path. The CLI returns `Result<(), RddError>` from each command instead
+/// of per-module ad-hoc strings.
+#[derive(Debug)]
+pub enum RddError {
+    /// Crash-safe run directory errors.
+    Run(rdd_core::RunError),
+    /// Model checkpoint save/load errors.
+    Checkpoint(CheckpointError),
+    /// Dataset directory load/save errors.
+    DatasetIo(rdd_graph::io::IoError),
+    /// Rejected configuration values.
+    Config(ConfigError),
+    /// Artifact / serve-engine errors.
+    Serve(ServeError),
+    /// Anything else the CLI surfaces (argument parsing, ad-hoc IO).
+    Cli(String),
+}
+
+impl std::fmt::Display for RddError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RddError::Run(e) => write!(f, "{e}"),
+            RddError::Checkpoint(e) => write!(f, "{e}"),
+            RddError::DatasetIo(e) => write!(f, "{e}"),
+            RddError::Config(e) => write!(f, "{e}"),
+            RddError::Serve(e) => write!(f, "{e}"),
+            RddError::Cli(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RddError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RddError::Run(e) => Some(e),
+            RddError::Checkpoint(e) => Some(e),
+            RddError::DatasetIo(e) => Some(e),
+            RddError::Config(e) => Some(e),
+            RddError::Serve(e) => Some(e),
+            RddError::Cli(_) => None,
+        }
+    }
+}
+
+impl From<rdd_core::RunError> for RddError {
+    fn from(e: rdd_core::RunError) -> Self {
+        RddError::Run(e)
+    }
+}
+
+impl From<CheckpointError> for RddError {
+    fn from(e: CheckpointError) -> Self {
+        RddError::Checkpoint(e)
+    }
+}
+
+impl From<rdd_graph::io::IoError> for RddError {
+    fn from(e: rdd_graph::io::IoError) -> Self {
+        RddError::DatasetIo(e)
+    }
+}
+
+impl From<ConfigError> for RddError {
+    fn from(e: ConfigError) -> Self {
+        RddError::Config(e)
+    }
+}
+
+impl From<ServeError> for RddError {
+    fn from(e: ServeError) -> Self {
+        RddError::Serve(e)
+    }
+}
+
+impl From<String> for RddError {
+    fn from(msg: String) -> Self {
+        RddError::Cli(msg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_display_path_for_every_subsystem() {
+        let cases: Vec<(RddError, &str)> = vec![
+            (
+                RddError::Run(rdd_core::RunError::Corrupt("bad sums".into())),
+                "bad sums",
+            ),
+            (
+                RddError::Config(ConfigError::invalid("rdd.p", 0.0, "a fraction in (0, 1]")),
+                "rdd.p",
+            ),
+            (
+                RddError::Serve(ServeError::QueueFull { capacity: 8 }),
+                "queue full",
+            ),
+            (
+                RddError::Serve(ServeError::Checksum {
+                    stored: 1,
+                    computed: 2,
+                }),
+                "checksum mismatch",
+            ),
+            (RddError::Cli("unknown flag --frob".into()), "--frob"),
+        ];
+        for (err, needle) in cases {
+            let msg = err.to_string();
+            assert!(msg.contains(needle), "{msg:?} should contain {needle:?}");
+        }
+    }
+
+    #[test]
+    fn from_impls_wrap_each_source() {
+        let e: RddError = ConfigError::invalid("train.lr", -1.0, "> 0").into();
+        assert!(matches!(e, RddError::Config(_)));
+        let e: RddError = ServeError::BadRequest("not json".into()).into();
+        assert!(matches!(e, RddError::Serve(_)));
+        let e: RddError = String::from("plain").into();
+        assert!(matches!(e, RddError::Cli(_)));
+        let e: RddError = rdd_core::RunError::Unsupported("v99".into()).into();
+        assert!(matches!(e, RddError::Run(_)));
+    }
+}

@@ -1,0 +1,45 @@
+#![warn(missing_docs)]
+//! # rdd-serve
+//!
+//! The inference half of the RDD reproduction: freeze a trained teacher
+//! ensemble into a versioned, checksummed **artifact** file and serve
+//! predictions from it with zero re-training.
+//!
+//! * [`artifact`] — `export_run` distills a completed crash-safe run
+//!   directory into one artifact file; [`Artifact::load`] validates
+//!   header/version, checksum, shapes and finiteness, and the loaded
+//!   artifact implements the `Predictor` trait with responses bitwise
+//!   identical to the live run's `Ensemble::proba`;
+//! * [`engine`] — [`ServeEngine`]: request micro-batching (bounded queue,
+//!   flush on size or deadline) with a per-node LRU prediction cache keyed
+//!   by artifact checksum, emitting per-batch latency/cache telemetry
+//!   through `rdd-obs`;
+//! * [`bench`] — a closed-loop throughput bench across
+//!   {unbatched, batched} × {cold, warm};
+//! * [`error`] — [`ServeError`] plus the crate-spanning [`RddError`] the
+//!   CLI funnels every subsystem's failures through.
+//!
+//! ```no_run
+//! use rdd_serve::{Artifact, ServeConfig, ServeEngine};
+//!
+//! let artifact = Artifact::load(std::path::Path::new("run.artifact")).unwrap();
+//! let epoch = artifact.checksum();
+//! let mut engine = ServeEngine::new(artifact, ServeConfig::default(), epoch).unwrap();
+//! if let Some(replies) = engine.submit(0, Some(vec![42])).unwrap() {
+//!     for reply in replies {
+//!         println!("{:?}", reply.result.unwrap().pred);
+//!     }
+//! }
+//! ```
+
+pub mod artifact;
+pub mod bench;
+pub mod cache;
+pub mod engine;
+pub mod error;
+
+pub use artifact::{export_run, fnv1a64, write_artifact, write_ensemble, Artifact, ArtifactMeta};
+pub use bench::{bench_artifact, BenchResult};
+pub use cache::LruCache;
+pub use engine::{ServeConfig, ServeEngine, ServeReply, ServeStats};
+pub use error::{RddError, ServeError};

@@ -1,0 +1,264 @@
+//! Artifact round-trip properties: exporting an ensemble (or a completed
+//! crash-safe run directory) and loading the file back must reproduce the
+//! ensemble's `proba()` **bitwise** — and any damage to the file
+//! (corruption, truncation, version skew, inconsistent meta) must come
+//! back as a typed [`ServeError`], never a panic or silently wrong rows.
+
+use std::path::PathBuf;
+
+use rdd_core::{Ensemble, RddConfig, RddTrainer};
+use rdd_graph::SynthConfig;
+use rdd_models::Predictor;
+use rdd_serve::{export_run, write_ensemble, Artifact, ServeError};
+use rdd_tensor::Matrix;
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("rdd_artifact_{name}_{}", std::process::id()))
+}
+
+/// Deterministic xorshift64 stream, so each sweep case is reproducible
+/// without an RNG dependency.
+struct Stream(u64);
+
+impl Stream {
+    fn next_f32(&mut self) -> f32 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        // Map onto [-4, 4): plenty of dynamic range for softmax logits.
+        ((self.0 >> 40) as f32 / (1u64 << 24) as f32) * 8.0 - 4.0
+    }
+
+    fn matrix(&mut self, n: usize, k: usize) -> Matrix {
+        let data = (0..n * k).map(|_| self.next_f32()).collect();
+        Matrix::from_vec(n, k, data)
+    }
+}
+
+/// A randomized ensemble: `members` softmaxed outputs with varied alphas.
+fn random_ensemble(seed: u64, n: usize, k: usize, members: usize) -> Ensemble {
+    let mut s = Stream(seed | 1);
+    let mut ensemble = Ensemble::new();
+    for t in 0..members {
+        let logits = s.matrix(n, k);
+        let alpha = 0.25 + 0.5 * (t as f32 + s.next_f32().abs());
+        ensemble.push(logits.softmax_rows(), logits, alpha);
+    }
+    ensemble
+}
+
+fn assert_bitwise_equal(a: &Matrix, b: &Matrix, what: &str) {
+    assert_eq!(a.shape(), b.shape(), "{what} shape");
+    for i in 0..a.rows() {
+        for (x, y) in a.row(i).iter().zip(b.row(i)) {
+            assert_eq!(x.to_bits(), y.to_bits(), "{what} row {i}");
+        }
+    }
+}
+
+#[test]
+fn export_load_roundtrip_is_bitwise_over_randomized_ensembles() {
+    // A sweep over shapes, member counts, and seeds: the round-trip
+    // invariant must hold for every case, not just one lucky ensemble.
+    let cases: &[(u64, usize, usize, usize)] = &[
+        (1, 5, 2, 1),
+        (2, 12, 3, 2),
+        (3, 12, 3, 5),
+        (4, 30, 7, 3),
+        (5, 1, 4, 2),
+        (6, 64, 3, 4),
+        (7, 9, 2, 7),
+        (8, 17, 5, 1),
+    ];
+    for &(seed, n, k, members) in cases {
+        let ensemble = random_ensemble(seed, n, k, members);
+        let path = tmp(&format!("roundtrip_{seed}"));
+        let checksum = write_ensemble(&path, &ensemble, "sweep", "unit-test").expect("write");
+        let artifact = Artifact::load(&path).expect("load");
+        let _ = std::fs::remove_file(&path);
+
+        assert_eq!(artifact.checksum(), checksum, "case {seed}");
+        assert_eq!(artifact.meta().members, members, "case {seed}");
+        assert_eq!(artifact.meta().dataset_n, n, "case {seed}");
+        assert_eq!(artifact.num_nodes(), n, "case {seed}");
+        assert_eq!(artifact.num_classes(), k, "case {seed}");
+        assert_bitwise_equal(artifact.proba(), &ensemble.proba(), "proba");
+        assert_bitwise_equal(
+            artifact.proba_sum(),
+            ensemble.proba_sum().expect("non-empty"),
+            "proba_sum",
+        );
+        assert_bitwise_equal(
+            artifact.logits_sum(),
+            ensemble.logits_sum().expect("non-empty"),
+            "logits_sum",
+        );
+        assert_bitwise_equal(&artifact.logits(), &ensemble.logits(), "logits");
+        assert_eq!(artifact.predict_all().expect("predict"), ensemble.predict());
+    }
+}
+
+#[test]
+fn export_run_matches_the_live_ensemble_bitwise() {
+    // End to end through the crash-safe path: train a tiny run, export the
+    // directory, and require the artifact to serve the exact rows the live
+    // run's ensemble holds.
+    let dataset = SynthConfig::tiny().generate();
+    let mut cfg = RddConfig::fast();
+    cfg.num_base_models = 2;
+    cfg.train.epochs = 12;
+    cfg.train.min_epochs = 4;
+    cfg.train.patience = 4;
+    let dir = tmp("export_run_dir");
+    let _ = std::fs::remove_dir_all(&dir);
+    let outcome = RddTrainer::new(cfg)
+        .run_crash_safe(&dataset, &dir, "tiny")
+        .expect("train");
+
+    let path = tmp("export_run_artifact");
+    let artifact = export_run(&dir, &path).expect("export");
+    assert_eq!(
+        artifact.meta().members,
+        outcome.base_models.iter().filter(|m| !m.dropped).count()
+    );
+    assert_eq!(artifact.meta().dataset_name, "tiny");
+    assert_eq!(artifact.meta().source, "tiny");
+    assert_eq!(
+        artifact.predict_all().expect("predict"),
+        outcome.ensemble_pred,
+        "served argmax must equal the live run's ensemble predictions"
+    );
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn export_refuses_an_incomplete_run() {
+    let dataset = SynthConfig::tiny().generate();
+    let dir = tmp("incomplete_run");
+    let _ = std::fs::remove_dir_all(&dir);
+    let cfg = RddConfig::fast();
+    let _state = rdd_core::RunState::create(&dir, "tiny", &cfg, &dataset).expect("create");
+    let err = export_run(&dir, &tmp("incomplete_artifact")).unwrap_err();
+    assert!(
+        err.to_string().contains("not complete"),
+        "unexpected error: {err}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A valid artifact's text, for the corruption sweeps.
+fn artifact_text(tag: &str) -> String {
+    let ensemble = random_ensemble(0xA5, 8, 3, 2);
+    let path = tmp(&format!("text_{tag}"));
+    write_ensemble(&path, &ensemble, "sweep", "unit-test").expect("write");
+    let text = std::fs::read_to_string(&path).expect("read back");
+    let _ = std::fs::remove_file(&path);
+    text
+}
+
+fn load_text(tag: &str, text: &str) -> Result<Artifact, ServeError> {
+    let path = tmp(&format!("load_{tag}"));
+    std::fs::write(&path, text).expect("write corrupted");
+    let out = Artifact::load(&path);
+    let _ = std::fs::remove_file(&path);
+    out
+}
+
+#[test]
+fn every_single_byte_flip_is_caught() {
+    let text = artifact_text("byteflip");
+    let bytes = text.as_bytes();
+    // Flip one bit of every byte in the checksummed body (stop before the
+    // checksum line so the stored value itself stays parseable).
+    let body_end = text.rfind("\nchecksum ").unwrap() + 1;
+    for i in (0..body_end).step_by(7) {
+        let mut corrupted = bytes.to_vec();
+        corrupted[i] ^= 0x01;
+        // Skip flips that break UTF-8 (read_to_string rejects those with
+        // an Io error before the checksum ever runs).
+        let Ok(s) = String::from_utf8(corrupted) else {
+            continue;
+        };
+        match load_text("byteflip", &s) {
+            Err(ServeError::Checksum { .. }) | Err(ServeError::Artifact(_)) => {}
+            Ok(_) => panic!("byte {i} flip loaded cleanly"),
+            Err(other) => panic!("byte {i} flip gave unexpected error {other}"),
+        }
+    }
+}
+
+#[test]
+fn truncation_at_every_line_is_caught() {
+    let text = artifact_text("trunc");
+    let lines: Vec<&str> = text.lines().collect();
+    for keep in 0..lines.len() {
+        let truncated = lines[..keep].join("\n");
+        let err = load_text("trunc", &truncated).unwrap_err();
+        match err {
+            ServeError::Artifact(_) | ServeError::Checksum { .. } => {}
+            other => panic!("truncation to {keep} lines gave unexpected error {other}"),
+        }
+    }
+    // Truncating mid-line (dropping the final newline) must also fail.
+    let err = load_text("trunc_tail", text.trim_end()).unwrap_err();
+    assert!(matches!(err, ServeError::Artifact(_)), "got {err}");
+}
+
+#[test]
+fn wrong_version_is_a_typed_error() {
+    let text = artifact_text("version");
+    let bumped = text.replacen("rdd-artifact v1", "rdd-artifact v9", 1);
+    // Re-checksum the edited body so version skew — not corruption — is
+    // what the loader sees.
+    let body_end = bumped.rfind("\nchecksum ").unwrap() + 1;
+    let checksum = rdd_serve::fnv1a64(bumped[..body_end].as_bytes());
+    let fixed = format!("{}checksum {checksum:016x}\n", &bumped[..body_end]);
+    match load_text("version", &fixed).unwrap_err() {
+        ServeError::WrongVersion { found } => assert_eq!(found, "rdd-artifact v9"),
+        other => panic!("expected WrongVersion, got {other}"),
+    }
+}
+
+#[test]
+fn inconsistent_meta_and_shapes_are_rejected() {
+    let reject = |tag: &str, mutate: &dyn Fn(&str) -> String| {
+        let text = artifact_text(tag);
+        let mutated = mutate(&text);
+        let body_end = mutated.rfind("\nchecksum ").unwrap() + 1;
+        let checksum = rdd_serve::fnv1a64(mutated[..body_end].as_bytes());
+        let fixed = format!("{}checksum {checksum:016x}\n", &mutated[..body_end]);
+        match load_text(tag, &fixed).unwrap_err() {
+            ServeError::Artifact(msg) => msg,
+            other => panic!("{tag}: expected Artifact error, got {other}"),
+        }
+    };
+
+    // Meta/matrix shape skew.
+    let msg = reject("meta_n", &|t| t.replacen("\"n\":8", "\"n\":9", 1));
+    assert!(msg.contains("expected") || msg.contains("shape"), "{msg}");
+
+    // alpha_total no longer the fold of the alphas.
+    let msg = reject("meta_alpha", &|t| {
+        let start = t.find("\"alpha_total\":").unwrap();
+        let end = start + t[start..].find('}').unwrap();
+        format!("{}\"alpha_total\":123.5{}", &t[..start], &t[end..])
+    });
+    assert!(msg.contains("alpha_total"), "{msg}");
+
+    // A NaN payload (encoded as `nan`, which the float parser accepts but
+    // the finiteness gate must reject).
+    let msg = reject("nonfinite", &|t| {
+        let row_start = t.find("matrix 8 3\n").unwrap() + "matrix 8 3\n".len();
+        let row_end = row_start + t[row_start..].find('\n').unwrap();
+        let row = &t[row_start..row_end];
+        let first_tok = row.split(' ').next().unwrap();
+        format!(
+            "{}{}{}",
+            &t[..row_start],
+            row.replacen(first_tok, "NaN", 1),
+            &t[row_end..]
+        )
+    });
+    assert!(msg.contains("non-finite"), "{msg}");
+}

@@ -1,0 +1,165 @@
+//! End-to-end serving semantics: the full engine path over a real
+//! artifact must hand back exactly the rows the offline ensemble computes
+//! — bitwise, batched or not, cached or not — and predictor failures must
+//! surface as typed errors.
+
+use std::path::PathBuf;
+
+use rdd_core::Ensemble;
+use rdd_models::{PredictError, Predictor};
+use rdd_serve::{write_ensemble, Artifact, ServeConfig, ServeEngine, ServeError};
+use rdd_tensor::Matrix;
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("rdd_serve_engine_{name}_{}", std::process::id()))
+}
+
+/// A small deterministic ensemble and its frozen artifact.
+fn fixture(tag: &str) -> (Ensemble, Artifact) {
+    let n = 24;
+    let k = 4;
+    let mut ensemble = Ensemble::new();
+    for t in 0..3usize {
+        let data: Vec<f32> = (0..n * k)
+            .map(|i| (((i * 37 + t * 101) % 29) as f32 / 7.0) - 2.0)
+            .collect();
+        let logits = Matrix::from_vec(n, k, data);
+        ensemble.push(logits.softmax_rows(), logits, 0.5 + t as f32 * 0.3);
+    }
+    let path = tmp(tag);
+    write_ensemble(&path, &ensemble, "fixture", "unit-test").expect("write");
+    let artifact = Artifact::load(&path).expect("load");
+    let _ = std::fs::remove_file(&path);
+    (ensemble, artifact)
+}
+
+fn assert_row_bitwise(served: &[f32], offline: &[f32], what: &str) {
+    assert_eq!(served.len(), offline.len(), "{what} width");
+    for (a, b) in served.iter().zip(offline) {
+        assert_eq!(a.to_bits(), b.to_bits(), "{what}");
+    }
+}
+
+#[test]
+fn served_rows_are_bitwise_equal_to_offline_ensemble_proba() {
+    let (ensemble, artifact) = fixture("bitwise");
+    let offline = ensemble.proba();
+    let n = artifact.num_nodes();
+
+    // Drive the engine through mixed single-node, multi-node, duplicate,
+    // and whole-graph requests, twice (second pass hits the cache), and
+    // compare every served row against the offline matrix.
+    let cfg = ServeConfig {
+        batch_size: 4,
+        max_delay_ms: 0,
+        cache_capacity: n,
+        queue_capacity: 64,
+    };
+    let mut engine = ServeEngine::new(&artifact, cfg, artifact.checksum()).unwrap();
+    let requests: Vec<Option<Vec<usize>>> = vec![
+        Some(vec![0]),
+        Some(vec![5, 5, 2]),
+        None,
+        Some(vec![n - 1, 0]),
+        Some(vec![3]),
+        Some(vec![7, 11, 13, 7]),
+    ];
+    for pass in 0..2 {
+        let mut replies = Vec::new();
+        for (i, nodes) in requests.iter().enumerate() {
+            if let Some(batch) = engine.submit(i as u64, nodes.clone()).unwrap() {
+                replies.extend(batch);
+            }
+        }
+        replies.extend(engine.flush());
+        assert_eq!(replies.len(), requests.len(), "pass {pass}");
+        for reply in &replies {
+            let p = reply.result.as_ref().expect("serve");
+            let want = &requests[reply.id as usize];
+            match want {
+                Some(ids) => assert_eq!(&p.nodes, ids),
+                None => assert_eq!(p.nodes.len(), n),
+            }
+            for (r, &node) in p.nodes.iter().enumerate() {
+                assert_row_bitwise(
+                    p.proba.row(r),
+                    offline.row(node),
+                    &format!("pass {pass} request {} node {node}", reply.id),
+                );
+                assert_eq!(
+                    p.pred[r],
+                    offline
+                        .row(node)
+                        .iter()
+                        .enumerate()
+                        .fold((0usize, f32::MIN), |acc, (j, &v)| if v > acc.1 {
+                            (j, v)
+                        } else {
+                            acc
+                        },)
+                        .0
+                );
+            }
+        }
+    }
+    let stats = engine.stats();
+    assert_eq!(stats.requests, 2 * requests.len() as u64);
+    assert!(
+        stats.cache_hits > 0,
+        "second pass must be served from the cache"
+    );
+}
+
+#[test]
+fn cache_off_still_matches_offline_bitwise() {
+    let (ensemble, artifact) = fixture("uncached");
+    let offline = ensemble.proba();
+    let cfg = ServeConfig {
+        batch_size: 1,
+        max_delay_ms: 0,
+        cache_capacity: 0,
+        queue_capacity: 8,
+    };
+    let mut engine = ServeEngine::new(&artifact, cfg, artifact.checksum()).unwrap();
+    for node in [0usize, 9, 23, 9] {
+        let replies = engine
+            .submit(node as u64, Some(vec![node]))
+            .unwrap()
+            .expect("flush");
+        let p = replies[0].result.as_ref().expect("serve");
+        assert_row_bitwise(p.proba.row(0), offline.row(node), &format!("node {node}"));
+    }
+    assert_eq!(engine.stats().cache_hits, 0);
+}
+
+#[test]
+fn empty_ensemble_is_a_typed_error_through_the_engine() {
+    let empty = Ensemble::new();
+    let mut engine =
+        ServeEngine::new(&empty, ServeConfig::default(), 0).expect("engine over empty ensemble");
+    // Whole-graph over an empty predictor: n = 0, so the request resolves
+    // to zero nodes and succeeds vacuously...
+    let replies = engine.submit(0, None).unwrap().map_or_else(Vec::new, |r| r);
+    let replies = if replies.is_empty() {
+        engine.flush()
+    } else {
+        replies
+    };
+    assert!(
+        replies[0].result.is_ok(),
+        "empty node list serves trivially"
+    );
+    // ...but asking for any concrete node must fail with the typed error.
+    engine.submit(1, Some(vec![0])).unwrap();
+    let replies = engine.flush();
+    match &replies[0].result {
+        Err(ServeError::Predict(PredictError::NodeOutOfRange { num_nodes: 0, .. })) => {}
+        other => panic!("expected NodeOutOfRange over empty ensemble, got {other:?}"),
+    }
+    // And the ensemble API itself reports emptiness as a typed error.
+    assert_eq!(empty.try_proba().unwrap_err(), PredictError::EmptyEnsemble);
+    assert_eq!(
+        empty.try_predict().unwrap_err(),
+        PredictError::EmptyEnsemble
+    );
+}

@@ -582,6 +582,25 @@ impl Matrix {
         out
     }
 
+    /// [`Matrix::take_rows`] through the persistent worker pool: large row
+    /// gathers (e.g. a serve engine's micro-batch assembling hundreds of
+    /// prediction rows) split across threads via
+    /// [`crate::par::par_row_chunks`]; small ones fall back to a plain
+    /// sequential copy. All `indices` must be in range.
+    pub fn take_rows_par(&self, indices: &[usize]) -> Matrix {
+        let cols = self.cols;
+        let mut out = Matrix::zeros(indices.len(), cols);
+        if indices.is_empty() {
+            return out;
+        }
+        crate::par::par_row_chunks(out.as_mut_slice(), cols, |row0, chunk| {
+            for (r, dst) in chunk.chunks_exact_mut(cols).enumerate() {
+                dst.copy_from_slice(self.row(indices[row0 + r]));
+            }
+        });
+        out
+    }
+
     /// Horizontal concatenation of `parts` (all must share the row count).
     pub fn hcat(parts: &[&Matrix]) -> Matrix {
         assert!(!parts.is_empty(), "hcat of zero matrices");
@@ -759,6 +778,29 @@ mod tests {
         let t = a.take_rows(&[2, 0]);
         assert_eq!(t.row(0), &[5., 6.]);
         assert_eq!(t.row(1), &[1., 2.]);
+    }
+
+    #[test]
+    fn take_rows_par_matches_sequential() {
+        // Big enough to cross par_row_chunks' parallel threshold when the
+        // pool has threads; bitwise-equal either way.
+        let rows = 300;
+        let cols = 64;
+        let a = Matrix::from_vec(
+            rows,
+            cols,
+            (0..rows * cols).map(|i| (i as f32).sin()).collect(),
+        );
+        let indices: Vec<usize> = (0..rows).rev().collect();
+        let seq = a.take_rows(&indices);
+        let par = a.take_rows_par(&indices);
+        assert_eq!(seq.shape(), par.shape());
+        assert!(seq
+            .as_slice()
+            .iter()
+            .zip(par.as_slice())
+            .all(|(x, y)| x.to_bits() == y.to_bits()));
+        assert_eq!(a.take_rows_par(&[]).shape(), (0, cols));
     }
 
     #[test]

@@ -9,7 +9,7 @@ use rdd_baselines::lp::{predict as lp_predict, LpConfig};
 use rdd_baselines::{bagging, bans, co_training, self_training, BansConfig, PseudoLabelConfig};
 use rdd_core::{RddConfig, RddTrainer};
 use rdd_graph::{DatasetStats, SynthConfig};
-use rdd_models::{predict, train, Gcn, GcnConfig, GraphContext, TrainConfig};
+use rdd_models::{train, Gcn, GcnConfig, GraphContext, PredictorExt, TrainConfig};
 use rdd_tensor::seeded_rng;
 
 fn main() {
@@ -54,7 +54,10 @@ fn main() {
     let mut rng = seeded_rng(1);
     let mut gcn = Gcn::new(&ctx, gcn_cfg.clone(), &mut rng);
     train(&mut gcn, &ctx, &dataset, &train_cfg, &mut rng, None);
-    results.push(("GCN".into(), dataset.test_accuracy(&predict(&gcn, &ctx))));
+    results.push((
+        "GCN".into(),
+        dataset.test_accuracy(&gcn.predictor(&ctx).predict()),
+    ));
 
     // Ensembles (5 base models each).
     results.push((

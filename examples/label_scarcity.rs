@@ -8,7 +8,7 @@
 
 use rdd_core::{RddConfig, RddTrainer};
 use rdd_graph::SynthConfig;
-use rdd_models::{predict, train, Gcn, GcnConfig, GraphContext, TrainConfig};
+use rdd_models::{train, Gcn, GcnConfig, GraphContext, PredictorExt, TrainConfig};
 use rdd_tensor::seeded_rng;
 
 fn main() {
@@ -31,7 +31,7 @@ fn main() {
             &mut rng,
             None,
         );
-        let gcn_acc = dataset.test_accuracy(&predict(&gcn, &ctx));
+        let gcn_acc = dataset.test_accuracy(&gcn.predictor(&ctx).predict());
 
         let rdd = RddTrainer::new(RddConfig::for_dataset("cora")).run(&dataset);
 

@@ -7,7 +7,7 @@
 
 use rdd_core::{RddConfig, RddTrainer};
 use rdd_graph::{DatasetStats, SynthConfig};
-use rdd_models::{predict, train, Gcn, GraphContext, TrainConfig};
+use rdd_models::{train, Gcn, GraphContext, PredictorExt, TrainConfig};
 use rdd_tensor::seeded_rng;
 
 fn main() {
@@ -24,7 +24,7 @@ fn main() {
     let train_cfg = TrainConfig::citation();
     let mut gcn = Gcn::new(&ctx, rdd_models::GcnConfig::citation(), &mut rng);
     let report = train(&mut gcn, &ctx, &dataset, &train_cfg, &mut rng, None);
-    let gcn_acc = dataset.test_accuracy(&predict(&gcn, &ctx));
+    let gcn_acc = dataset.test_accuracy(&gcn.predictor(&ctx).predict());
     println!(
         "plain GCN        test acc {:.1}%   ({} epochs, {:.1}s)",
         100.0 * gcn_acc,

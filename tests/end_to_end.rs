@@ -4,7 +4,7 @@
 use rdd_baselines::{bagging, BansConfig};
 use rdd_core::{Ablation, RddConfig, RddTrainer};
 use rdd_graph::SynthConfig;
-use rdd_models::{predict, train, Gcn, GcnConfig, GraphContext, TrainConfig};
+use rdd_models::{train, Gcn, GcnConfig, GraphContext, PredictorExt, TrainConfig};
 use rdd_tensor::seeded_rng;
 
 /// A slightly larger/harder dataset than `tiny` so the methods separate.
@@ -53,7 +53,7 @@ fn rdd_improves_over_plain_gcn() {
         let mut rng = seeded_rng(seed);
         let mut gcn = Gcn::new(&ctx, GcnConfig::citation(), &mut rng);
         train(&mut gcn, &ctx, &data, &train_cfg, &mut rng, None);
-        gcn_accs.push(data.test_accuracy(&predict(&gcn, &ctx)));
+        gcn_accs.push(data.test_accuracy(&gcn.predictor(&ctx).predict()));
     }
     let gcn_mean = gcn_accs.iter().sum::<f32>() / gcn_accs.len() as f32;
 

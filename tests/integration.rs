@@ -6,7 +6,7 @@ use std::rc::Rc;
 
 use rdd_core::{compute_reliability, model_weight, Ensemble};
 use rdd_graph::SynthConfig;
-use rdd_models::{predict_logits, predict_proba, train, Gcn, GcnConfig, GraphContext, TrainConfig};
+use rdd_models::{train, Gcn, GcnConfig, GraphContext, PredictorExt, TrainConfig};
 use rdd_tensor::seeded_rng;
 
 fn trained_gcn(seed: u64) -> (rdd_graph::Dataset, GraphContext, Gcn) {
@@ -34,8 +34,8 @@ fn reliability_sets_from_trained_models_are_consistent() {
         train(&mut m, &ctx, &data, &TrainConfig::fast(), &mut rng, None);
         (0, 0, m)
     };
-    let teacher_proba = predict_proba(&teacher, &ctx);
-    let student_proba = predict_proba(&student, &ctx);
+    let teacher_proba = teacher.predictor(&ctx).proba();
+    let student_proba = student.predictor(&ctx).proba();
     let mut is_labeled = vec![false; data.n()];
     for &i in &data.train_idx {
         is_labeled[i] = true;
@@ -84,7 +84,7 @@ fn ensemble_of_trained_models_beats_worst_member() {
         let mut rng = seeded_rng(seed);
         let mut m = Gcn::new(&ctx, GcnConfig::citation(), &mut rng);
         train(&mut m, &ctx, &data, &TrainConfig::fast(), &mut rng, None);
-        let logits = predict_logits(&m, &ctx);
+        let logits = m.predictor(&ctx).logits();
         let proba = logits.softmax_rows();
         accs.push(data.test_accuracy(&proba.argmax_rows()));
         let alpha = model_weight(&proba, &pagerank);
@@ -102,7 +102,7 @@ fn ensemble_of_trained_models_beats_worst_member() {
 fn pagerank_weighted_ensemble_weights_are_finite_positive() {
     let (data, ctx, model) = trained_gcn(3);
     let pagerank = data.graph.pagerank(0.85, 100, 1e-9);
-    let proba = predict_proba(&model, &ctx);
+    let proba = model.predictor(&ctx).proba();
     let w = model_weight(&proba, &pagerank);
     assert!(w.is_finite() && w > 0.0);
 }
@@ -141,7 +141,7 @@ fn distillation_hook_reduces_student_teacher_disagreement() {
     // strong KD pull; the student should agree with the teacher on more
     // nodes than an independently trained model does.
     let (data, ctx, teacher) = trained_gcn(5);
-    let teacher_logits = Rc::new(predict_logits(&teacher, &ctx));
+    let teacher_logits = Rc::new(teacher.predictor(&ctx).logits());
     let teacher_pred = teacher_logits.argmax_rows();
     let all_nodes: Rc<Vec<usize>> = Rc::new((0..data.n()).collect());
 
@@ -163,7 +163,7 @@ fn distillation_hook_reduces_student_teacher_disagreement() {
         &mut rng,
         None,
     );
-    let indep_agree = agreement(&rdd_models::predict(&independent, &ctx));
+    let indep_agree = agreement(&independent.predictor(&ctx).predict());
 
     let mut rng = seeded_rng(6);
     let mut student = Gcn::new(&ctx, GcnConfig::citation(), &mut rng);
@@ -179,7 +179,7 @@ fn distillation_hook_reduces_student_teacher_disagreement() {
         &mut rng,
         Some(&mut hook),
     );
-    let student_agree = agreement(&rdd_models::predict(&student, &ctx));
+    let student_agree = agreement(&student.predictor(&ctx).predict());
 
     assert!(
         student_agree > indep_agree,
@@ -231,7 +231,7 @@ fn checkpoint_roundtrip_preserves_rdd_base_model_quality() {
     use rdd_models::{load_into, save_checkpoint};
 
     let (data, ctx, model) = trained_gcn(42);
-    let acc_before = data.test_accuracy(&rdd_models::predict(&model, &ctx));
+    let acc_before = data.test_accuracy(&model.predictor(&ctx).predict());
     let path = std::env::temp_dir().join(format!("rdd_integration_ckpt_{}", std::process::id()));
     save_checkpoint(&model, &path).expect("save");
     let mut fresh = {
@@ -239,7 +239,7 @@ fn checkpoint_roundtrip_preserves_rdd_base_model_quality() {
         Gcn::new(&ctx, GcnConfig::citation(), &mut rng)
     };
     load_into(&mut fresh, &path).expect("load");
-    let acc_after = data.test_accuracy(&rdd_models::predict(&fresh, &ctx));
+    let acc_after = data.test_accuracy(&fresh.predictor(&ctx).predict());
     assert!(
         (acc_before - acc_after).abs() < 1e-6,
         "accuracy changed across checkpoint"
@@ -252,7 +252,7 @@ fn metrics_agree_with_dataset_accuracy() {
     use rdd_models::ConfusionMatrix;
 
     let (data, ctx, model) = trained_gcn(43);
-    let preds = rdd_models::predict(&model, &ctx);
+    let preds = model.predictor(&ctx).predict();
     let acc = data.test_accuracy(&preds);
     let cm = ConfusionMatrix::over(&data.labels, &preds, &data.test_idx, data.num_classes);
     assert!(
@@ -271,8 +271,8 @@ fn reliable_set_is_better_calibrated_population() {
 
     let (data, ctx, teacher) = trained_gcn(44);
     let (_, _, student) = trained_gcn(45);
-    let teacher_proba = predict_proba(&teacher, &ctx);
-    let student_proba = predict_proba(&student, &ctx);
+    let teacher_proba = teacher.predictor(&ctx).proba();
+    let student_proba = student.predictor(&ctx).proba();
     let mut is_labeled = vec![false; data.n()];
     for &i in &data.train_idx {
         is_labeled[i] = true;

@@ -4,7 +4,7 @@
 use rdd_baselines::lp::{predict as lp_predict, LpConfig};
 use rdd_core::{RddConfig, RddTrainer};
 use rdd_graph::SynthConfig;
-use rdd_models::{predict_logits, train, Gcn, GcnConfig, GraphContext, TrainConfig};
+use rdd_models::{train, Gcn, GcnConfig, GraphContext, PredictorExt, TrainConfig};
 use rdd_tensor::seeded_rng;
 
 #[test]
@@ -29,7 +29,7 @@ fn gcn_training_is_reproducible() {
         let mut rng = seeded_rng(11);
         let mut m = Gcn::new(&ctx, GcnConfig::citation(), &mut rng);
         train(&mut m, &ctx, &data, &TrainConfig::fast(), &mut rng, None);
-        predict_logits(&m, &ctx)
+        m.predictor(&ctx).logits()
     };
     let a = run();
     let b = run();

@@ -36,6 +36,13 @@ rustc --edition 2021 -O -L dependency=target/scratch/deps --crate-type lib --cra
   --extern rand="$D/librand.rlib" \
   -o "$D/librdd_core.rlib"
 
+rustc --edition 2021 -O -L dependency=target/scratch/deps --crate-type lib --crate-name rdd_serve \
+  crates/serve/src/lib.rs \
+  --extern rdd_obs="$D/librdd_obs.rlib" --extern rdd_tensor="$D/librdd_tensor.rlib" \
+  --extern rdd_graph="$D/librdd_graph.rlib" --extern rdd_models="$D/librdd_models.rlib" \
+  --extern rdd_core="$D/librdd_core.rlib" \
+  -o "$D/librdd_serve.rlib"
+
 rustc --edition 2021 -O -L dependency=target/scratch/deps --crate-type lib --crate-name rdd_baselines \
   crates/baselines/src/lib.rs \
   --extern rdd_tensor="$D/librdd_tensor.rlib" --extern rdd_graph="$D/librdd_graph.rlib" \
