@@ -70,7 +70,9 @@ rustc --edition 2021 -O -C target-cpu=native -L "dependency=$D" tools/epoch_timi
     --extern rdd_graph="$D/librdd_graph.rlib" \
     --extern rdd_tensor="$D/librdd_tensor.rlib" \
     -o target/epoch_timing
-./target/epoch_timing --preset cora-sim --epochs 40 | tee target/epoch_current.json
+RDD_SIMD=auto ./target/epoch_timing --preset cora-sim --epochs 40 | tee target/epoch_current.json
+echo "==> same build, SIMD tier forced off (the RDD_SIMD=off/auto epoch speedup row)"
+RDD_SIMD=off ./target/epoch_timing --preset cora-sim --epochs 40 | tee target/epoch_current_scalar.json
 
 if [ -n "${SEED_REF:-}" ]; then
     echo "==> seed-side epoch timing (git archive ${SEED_REF}, --cfg seed_build)"

@@ -85,4 +85,40 @@ target/trace_check "$SERVE_DIR/serve.jsonl"
 $RDD trace-summary "$SERVE_DIR/serve.jsonl" | grep -q "Serving" \
   || { echo "serve smoke: trace-summary missing Serving section" >&2; exit 1; }
 
+echo "==> SIMD-equivalence gate (RDD_SIMD=off vs auto, compare bitwise)"
+# RDD_SIMD=off must route every kernel through the verbatim pre-SIMD scalar
+# bodies; the SSE2/AVX2 tiers are allowed bounded-ULP drift inside kernels
+# but the tiny end-to-end pipeline must come out prediction-identical (the
+# equivalence property tests bound the per-kernel drift; this catches any
+# dispatch-path divergence end to end).
+SIMD_DIR="$GUARD_DIR/simd"
+mkdir -p "$SIMD_DIR"
+RDD_SIMD=off $RDD train tiny --models 2 --pred-out "$SIMD_DIR/off.txt" >/dev/null
+RDD_SIMD=auto $RDD train tiny --models 2 --pred-out "$SIMD_DIR/auto.txt" >/dev/null
+cmp "$SIMD_DIR/off.txt" "$SIMD_DIR/auto.txt" \
+  || { echo "simd gate: RDD_SIMD=auto predictions diverged from scalar" >&2; exit 1; }
+# And off-tier training must be bitwise-stable run to run (the scalar
+# oracle itself is deterministic).
+RDD_SIMD=off $RDD train tiny --models 2 --pred-out "$SIMD_DIR/off2.txt" >/dev/null
+cmp "$SIMD_DIR/off.txt" "$SIMD_DIR/off2.txt" \
+  || { echo "simd gate: RDD_SIMD=off is not deterministic" >&2; exit 1; }
+
+echo "==> v2q serve smoke (export --quantize, drift bound, serve, compare)"
+# Quantized export of the serve-smoke run: the v2q artifact must load, stay
+# within the measured ULP drift bound of its v1 twin, be meaningfully
+# smaller, and serve rows byte-identical to its own offline dump (serving
+# is deterministic given one artifact; only the quantization is lossy).
+$RDD export "$SERVE_DIR/run" "$SERVE_DIR/model.v2q" --quantize int8 >/dev/null
+$RDD artifact-info "$SERVE_DIR/model.v2q" --reference "$SERVE_DIR/model.artifact" \
+  --assert-max-ulp 4200000000 --proba-out "$SERVE_DIR/offline_v2q.proba" >/dev/null
+V1_BYTES="$(wc -c < "$SERVE_DIR/model.artifact")"
+V2Q_BYTES="$(wc -c < "$SERVE_DIR/model.v2q")"
+[ "$((V2Q_BYTES * 10))" -lt "$((V1_BYTES * 7))" ] \
+  || { echo "v2q smoke: quantized artifact not smaller ($V2Q_BYTES vs $V1_BYTES bytes)" >&2; exit 1; }
+$RDD serve --artifact "$SERVE_DIR/model.v2q" \
+  --batch 16 --proba-out "$SERVE_DIR/served_v2q.proba" \
+  < "$SERVE_DIR/requests.jsonl" > "$SERVE_DIR/replies_v2q.jsonl" 2>/dev/null
+cmp "$SERVE_DIR/offline_v2q.proba" "$SERVE_DIR/served_v2q.proba" \
+  || { echo "v2q smoke: served rows diverged from offline v2q dump" >&2; exit 1; }
+
 echo "ci.sh: all gates passed"

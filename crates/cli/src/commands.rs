@@ -19,7 +19,10 @@ use rdd_models::{
     SageConfig, TrainConfig,
 };
 use rdd_obs::Json;
-use rdd_serve::{bench_artifact, export_run, Artifact, RddError, ServeConfig, ServeEngine};
+use rdd_serve::{
+    bench_artifact, export_run_as, quant, Artifact, ArtifactFormat, RddError, ServeConfig,
+    ServeEngine,
+};
 use rdd_tensor::{seeded_rng, Matrix};
 
 use crate::args::Args;
@@ -353,18 +356,29 @@ pub fn compare(args: &Args) -> Result<(), RddError> {
     Ok(())
 }
 
-/// `rdd export <run-dir> <artifact>` — distill a completed crash-safe run
-/// directory into one versioned, checksummed artifact file.
+/// `rdd export <run-dir> <artifact> [--quantize int8]` — distill a
+/// completed crash-safe run directory into one versioned, checksummed
+/// artifact file; `--quantize int8` writes the ~0.3×-size v2q format.
 pub fn export(args: &Args) -> Result<(), RddError> {
     let [_, run_dir, artifact_path] = args.positional.as_slice() else {
         return Err(RddError::Cli(
-            "usage: rdd export <run-dir> <artifact>".into(),
+            "usage: rdd export <run-dir> <artifact> [--quantize int8]".into(),
         ));
     };
-    let artifact = export_run(Path::new(run_dir), Path::new(artifact_path))?;
+    let format = match args.options.get("quantize").map(String::as_str) {
+        None => ArtifactFormat::V1,
+        Some("int8") => ArtifactFormat::V2q,
+        Some(other) => {
+            return Err(RddError::Cli(format!(
+                "unknown --quantize scheme {other:?} (supported: int8)"
+            )))
+        }
+    };
+    let artifact = export_run_as(Path::new(run_dir), Path::new(artifact_path), format)?;
     let meta = artifact.meta();
     println!(
-        "exported {run_dir} -> {artifact_path}: {} ({} nodes, {} classes), {} members, checksum {:016x}",
+        "exported {run_dir} -> {artifact_path} ({}): {} ({} nodes, {} classes), {} members, checksum {:016x}",
+        artifact.format().name(),
         meta.dataset_name,
         meta.dataset_n,
         meta.num_classes,
@@ -374,18 +388,26 @@ pub fn export(args: &Args) -> Result<(), RddError> {
     Ok(())
 }
 
-/// `rdd artifact-info <artifact> [--proba-out <file>]` — validate and
-/// describe an artifact; `--proba-out` dumps the offline proba rows (the
-/// reference the serve smoke test compares served rows against).
+/// `rdd artifact-info <artifact> [--proba-out <file>] [--reference <v1>]
+/// [--assert-max-ulp <n>]` — validate and describe an artifact;
+/// `--proba-out` dumps the offline proba rows (the reference the serve
+/// smoke test compares served rows against); `--reference` measures the
+/// max ULP drift of this artifact's proba/logits against a reference
+/// (typically the v1 export of the same run), and `--assert-max-ulp`
+/// turns that measurement into a hard failure bound for ci.
 pub fn artifact_info(args: &Args) -> Result<(), RddError> {
     let [_, path] = args.positional.as_slice() else {
         return Err(RddError::Cli(
-            "usage: rdd artifact-info <artifact> [--proba-out <file>]".into(),
+            "usage: rdd artifact-info <artifact> [--proba-out <file>] [--reference <artifact>] [--assert-max-ulp <n>]"
+                .into(),
         ));
     };
     let artifact = Artifact::load(Path::new(path))?;
     let meta = artifact.meta();
+    let file_bytes = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
     println!("artifact:    {path}");
+    println!("format:      {}", artifact.format().name());
+    println!("file size:   {file_bytes} bytes");
     println!(
         "dataset:     {} ({} nodes, {} classes)",
         meta.dataset_name, meta.dataset_n, meta.num_classes
@@ -399,6 +421,45 @@ pub fn artifact_info(args: &Args) -> Result<(), RddError> {
         meta.alpha_total
     );
     println!("checksum:    {:016x}", artifact.checksum());
+    if let Some(ref_path) = args.options.get("reference") {
+        let reference = Artifact::load(Path::new(ref_path))?;
+        if reference.meta().dataset_n != meta.dataset_n
+            || reference.meta().num_classes != meta.num_classes
+        {
+            return Err(RddError::Cli(format!(
+                "reference {ref_path} shape ({} x {}) does not match {path}",
+                reference.meta().dataset_n,
+                reference.meta().num_classes
+            )));
+        }
+        let ref_bytes = std::fs::metadata(ref_path).map(|m| m.len()).unwrap_or(0);
+        let drift = quant::max_ulp_diff(artifact.proba_sum(), reference.proba_sum()).max(
+            quant::max_ulp_diff(artifact.logits_sum(), reference.logits_sum()),
+        );
+        println!("reference:   {ref_path} ({})", reference.format().name());
+        if ref_bytes > 0 {
+            println!(
+                "size ratio:  {:.3} ({file_bytes} / {ref_bytes} bytes)",
+                file_bytes as f64 / ref_bytes as f64
+            );
+        }
+        println!("max ulp:     {drift}");
+        if let Some(bound) = args.options.get("assert-max-ulp") {
+            let bound: u64 = bound
+                .parse()
+                .map_err(|_| RddError::Cli(format!("bad --assert-max-ulp value {bound:?}")))?;
+            if drift > bound {
+                return Err(RddError::Cli(format!(
+                    "max ULP drift {drift} exceeds the asserted bound {bound}"
+                )));
+            }
+            println!("ulp bound:   {bound} ok");
+        }
+    } else if args.options.contains_key("assert-max-ulp") {
+        return Err(RddError::Cli(
+            "--assert-max-ulp requires --reference".into(),
+        ));
+    }
     if let Some(out_path) = args.options.get("proba-out") {
         let mut text = String::new();
         proba_rows_text(&mut text, artifact.proba());
@@ -670,7 +731,7 @@ pub fn serve_bench(args: &Args) -> Result<(), RddError> {
                 std::env::temp_dir()
                     .join(format!("rdd_serve_bench_{}.artifact", std::process::id()))
             });
-            let artifact = export_run(&run_dir, &artifact_path)?;
+            let artifact = export_run_as(&run_dir, &artifact_path, ArtifactFormat::V1)?;
             let _ = std::fs::remove_dir_all(&run_dir);
             if keep.is_none() {
                 let _ = std::fs::remove_file(&artifact_path);

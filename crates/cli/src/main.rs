@@ -8,6 +8,7 @@
 //! rdd compare <preset|dir> [--models N]         run every method side by side
 //! rdd trace-summary <file.jsonl>                render an RDD_TRACE telemetry file
 //! rdd export <run-dir> <artifact>               freeze a completed run into an artifact
+//!                      [--quantize int8]        (int8-quantized v2q format, ~0.3x size)
 //! rdd artifact-info <artifact>                  validate and describe an artifact
 //! rdd serve --artifact <path>                   JSON request loop over the artifact
 //! rdd serve-bench <preset|dir> [--requests N]   closed-loop serving throughput bench
@@ -33,13 +34,14 @@ const USAGE: &str = "usage:
   rdd resume <run-dir> [--pred-out <file>]
   rdd compare <preset|dir> [--models N] [--seed N]
   rdd trace-summary <file.jsonl>
-  rdd export <run-dir> <artifact>
-  rdd artifact-info <artifact> [--proba-out <file>]
+  rdd export <run-dir> <artifact> [--quantize int8]
+  rdd artifact-info <artifact> [--proba-out <file>] [--reference <artifact>] [--assert-max-ulp N]
   rdd serve --artifact <path> [--batch N] [--delay-ms N] [--cache N] [--queue N] [--proba-out <file>]
   rdd serve-bench <preset|dir> [--models N] [--requests N] [--out FILE] [--artifact FILE]
 
 presets: cora, citeseer, pubmed, nell, tiny
 env: RDD_TRACE=<path|stderr|off> structured telemetry sink, RDD_THREADS=N worker pool size,
+     RDD_SIMD=<auto|off|sse2|avx2> kernel tier (default auto: best the host supports),
      RDD_FAULT=<kind>@<site>:<n> deterministic fault injection (nan_loss@epoch, io_fail@ckpt, panic@member)";
 
 fn main() {

@@ -26,6 +26,7 @@
 //! | `counter`   | `name value` — cumulative snapshot                                     |
 //! | `gauge`     | `name value` — last/peak value                                         |
 //! | `pool_init` | `threads` — resolved worker-pool width                                 |
+//! | `simd_init` | `tier detected` — resolved SIMD kernel tier (`RDD_SIMD`) vs best available |
 //! | `fault`     | `kind site n` — an injected [`fault`] fired (`RDD_FAULT`)              |
 //! | `rollback`  | `model epoch retry lr_scale reason` — divergence guard retried an epoch |
 //! | `divergence`| `model epoch rollbacks` — retry budget exhausted, member degraded      |
@@ -52,7 +53,7 @@ pub use recorder::{
     disable, enabled, event, flush, init_file, init_stderr, warn, CounterCell, GaugeCell, SpanCell,
     SpanGuard,
 };
-pub use summarize::{percentile, render_table, validate, TraceSummary};
+pub use summarize::{percentile, render_table, sample_stats, validate, SampleStats, TraceSummary};
 pub use telemetry::{
     agreement_rate, emit_checkpoint, emit_divergence, emit_member, emit_member_dropped,
     emit_resume, emit_rollback, emit_run, emit_serve_batch, emit_serve_run, stage_rdd_epoch,

@@ -267,14 +267,16 @@ impl TraceSummary {
         let hits = sum("hits");
         let misses = sum("misses");
         let exec_ms = sum("exec_ms");
-        let mut lat: Vec<f64> = self
+        let lat: Vec<f64> = self
             .serves
             .iter()
             .filter_map(|e| e.get("lat_ms").and_then(Json::as_arr))
             .flatten()
             .filter_map(Json::as_f64)
             .collect();
-        lat.sort_by(f64::total_cmp);
+        // Json::as_f64 only yields finite numbers, so the NaN-rejecting
+        // path cannot trigger here.
+        let stats = sample_stats(&lat).unwrap_or_default();
         let hit_rate = if hits + misses > 0.0 {
             hits / (hits + misses)
         } else {
@@ -289,14 +291,8 @@ impl TraceSummary {
                 format!("{:.1}%", 100.0 * hit_rate),
             ],
             vec!["exec total_ms".to_string(), format!("{exec_ms:.3}")],
-            vec![
-                "p50 latency ms".to_string(),
-                format!("{:.3}", percentile(&lat, 0.50)),
-            ],
-            vec![
-                "p99 latency ms".to_string(),
-                format!("{:.3}", percentile(&lat, 0.99)),
-            ],
+            vec!["p50 latency ms".to_string(), format!("{:.3}", stats.p50)],
+            vec!["p99 latency ms".to_string(), format!("{:.3}", stats.p99)],
         ];
         out.push_str(&render_table(&["metric", "value"], &rows));
         for run in &self.serve_runs {
@@ -321,6 +317,57 @@ pub fn percentile(sorted: &[f64], q: f64) -> f64 {
     }
     let rank = (q.clamp(0.0, 1.0) * (sorted.len() - 1) as f64).round() as usize;
     sorted[rank.min(sorted.len() - 1)]
+}
+
+/// Summary statistics over one set of latency/throughput samples.
+///
+/// Produced by [`sample_stats`]; the zero value (via `Default`) stands in
+/// for "no samples" wherever a renderer cannot propagate an error.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct SampleStats {
+    /// Number of samples summarized.
+    pub count: usize,
+    /// Smallest sample (0 when empty).
+    pub min: f64,
+    /// Largest sample (0 when empty).
+    pub max: f64,
+    /// Arithmetic mean (0 when empty).
+    pub mean: f64,
+    /// Nearest-rank median (0 when empty).
+    pub p50: f64,
+    /// Nearest-rank 99th percentile (0 when empty).
+    pub p99: f64,
+}
+
+/// Sort-and-summarize one sample set: count, min/max/mean and the
+/// nearest-rank p50/p99 used by both `rdd trace-summary` and
+/// `rdd serve-bench`.
+///
+/// Non-finite samples (NaN, ±inf) are *rejected* — a benchmark that
+/// produced one has a bug upstream, and quietly sorting NaNs would
+/// corrupt every percentile — with an error naming the first offending
+/// index. An empty slice is not an error: it yields the all-zero stats.
+pub fn sample_stats(samples: &[f64]) -> Result<SampleStats, String> {
+    if let Some(i) = samples.iter().position(|v| !v.is_finite()) {
+        return Err(format!(
+            "non-finite sample {} at index {i} of {}",
+            samples[i],
+            samples.len()
+        ));
+    }
+    if samples.is_empty() {
+        return Ok(SampleStats::default());
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    Ok(SampleStats {
+        count: sorted.len(),
+        min: sorted[0],
+        max: sorted[sorted.len() - 1],
+        mean: sorted.iter().sum::<f64>() / sorted.len() as f64,
+        p50: percentile(&sorted, 0.50),
+        p99: percentile(&sorted, 0.99),
+    })
 }
 
 const SERVE_BATCH_NUMERIC: &[&str] = &["requests", "nodes", "hits", "misses", "exec_ms"];
@@ -610,6 +657,44 @@ mod tests {
         assert_eq!(percentile(&xs, 1.0), 100.0);
         assert_eq!(percentile(&xs, 0.50), 51.0); // nearest rank on 0..=99
         assert_eq!(percentile(&xs, 0.99), 99.0);
+    }
+
+    #[test]
+    fn sample_stats_empty_is_zero_not_error() {
+        assert_eq!(sample_stats(&[]).unwrap(), SampleStats::default());
+    }
+
+    #[test]
+    fn sample_stats_single_sample_is_that_sample_everywhere() {
+        let s = sample_stats(&[3.25]).unwrap();
+        assert_eq!(s.count, 1);
+        assert_eq!(s.min, 3.25);
+        assert_eq!(s.max, 3.25);
+        assert_eq!(s.mean, 3.25);
+        assert_eq!(s.p50, 3.25);
+        assert_eq!(s.p99, 3.25);
+    }
+
+    #[test]
+    fn sample_stats_sorts_unordered_input() {
+        let xs: Vec<f64> = (1..=100).rev().map(|i| i as f64).collect();
+        let s = sample_stats(&xs).unwrap();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 100.0);
+        assert_eq!(s.mean, 50.5);
+        assert_eq!(s.p50, 51.0); // nearest rank, matches `percentile`
+        assert_eq!(s.p99, 99.0);
+    }
+
+    #[test]
+    fn sample_stats_rejects_non_finite_with_index() {
+        let err = sample_stats(&[1.0, f64::NAN, 2.0]).unwrap_err();
+        assert!(err.contains("index 1"), "got: {err}");
+        let err = sample_stats(&[f64::INFINITY]).unwrap_err();
+        assert!(err.contains("index 0"), "got: {err}");
+        let err = sample_stats(&[0.0, 1.0, f64::NEG_INFINITY]).unwrap_err();
+        assert!(err.contains("index 2"), "got: {err}");
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! The frozen model artifact: one versioned, checksummed file distilled
 //! from a completed crash-safe run directory.
 //!
-//! Layout (text, mirroring the checkpoint format so the same tooling
+//! v1 layout (text, mirroring the checkpoint format so the same tooling
 //! habits apply):
 //!
 //! ```text
@@ -20,6 +20,26 @@
 //! proba), [`Artifact::proba`] performs the exact same
 //! `sum · (1/alpha_total)` scaling as `Ensemble::proba`, keeping served
 //! responses bit-identical to the live run's.
+//!
+//! The quantized v2q layout (`rdd export --quantize int8`) swaps each
+//! `matrix` block for a `qmatrix` block whose rows are int8-quantized and
+//! base64-packed (see [`crate::quant`]):
+//!
+//! ```text
+//! rdd-artifact v2q
+//! meta {...}                    # identical meta line
+//! qmatrix <n> <k> int8
+//! <n base64 lines: [scale f32 LE][zero f32 LE][k codes]>
+//! qmatrix <n> <k> int8
+//! <n base64 lines>
+//! checksum <16 hex digits>      # same FNV-1a 64 discipline
+//! ```
+//!
+//! A v2q load dequantizes into the same dense [`Artifact`] the v1 path
+//! produces, so the serve engine, cache and [`Predictor`] contract are
+//! format-blind. v2q trades the v1 bitwise guarantee for ~0.3× the bytes;
+//! the drift is bounded per row by half a quant step and is measurable
+//! with `rdd artifact-info --reference`.
 
 use std::path::Path;
 
@@ -29,9 +49,42 @@ use rdd_obs::Json;
 use rdd_tensor::Matrix;
 
 use crate::error::{RddError, ServeError};
+use crate::quant;
 
-/// First line of every artifact this build can read.
+/// First line of a full-precision v1 artifact.
 pub const HEADER: &str = "rdd-artifact v1";
+
+/// First line of an int8-quantized v2q artifact.
+pub const HEADER_V2Q: &str = "rdd-artifact v2q";
+
+/// Which on-disk encoding an [`Artifact`] was loaded from (or should be
+/// written in). Serving behavior is identical across formats — the
+/// loader always materializes dense `f32` matrices.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ArtifactFormat {
+    /// Full-precision decimal text; loads reproduce the exporter bitwise.
+    V1,
+    /// Per-row affine int8, base64-packed; lossy but ~0.3× the size.
+    V2q,
+}
+
+impl ArtifactFormat {
+    /// The format's header line.
+    pub fn header(self) -> &'static str {
+        match self {
+            ArtifactFormat::V1 => HEADER,
+            ArtifactFormat::V2q => HEADER_V2Q,
+        }
+    }
+
+    /// Short name for CLI output (`v1` / `v2q`).
+    pub fn name(self) -> &'static str {
+        match self {
+            ArtifactFormat::V1 => "v1",
+            ArtifactFormat::V2q => "v2q",
+        }
+    }
+}
 
 /// FNV-1a 64-bit over `bytes` — tiny, dependency-free, and plenty for
 /// integrity (corruption, truncation), which is all the checksum guards.
@@ -158,6 +211,7 @@ impl ArtifactMeta {
 #[derive(Clone, Debug)]
 pub struct Artifact {
     meta: ArtifactMeta,
+    format: ArtifactFormat,
     proba_sum: Matrix,
     logits_sum: Matrix,
     /// FNV-1a 64 of the file content (also the serve cache's key epoch).
@@ -181,12 +235,33 @@ fn push_matrix(out: &mut String, m: &Matrix) {
     }
 }
 
-/// Serialize and atomically write an artifact file.
+fn push_qmatrix(out: &mut String, m: &Matrix) {
+    use std::fmt::Write as _;
+    let (r, c) = m.shape();
+    let _ = writeln!(out, "qmatrix {r} {c} int8");
+    for i in 0..r {
+        out.push_str(&quant::encode_qrow(&quant::quantize_row(m.row(i))));
+        out.push('\n');
+    }
+}
+
+/// Serialize and atomically write a full-precision v1 artifact file.
 pub fn write_artifact(
     path: &Path,
     meta: &ArtifactMeta,
     proba_sum: &Matrix,
     logits_sum: &Matrix,
+) -> Result<u64, ServeError> {
+    write_artifact_as(path, meta, proba_sum, logits_sum, ArtifactFormat::V1)
+}
+
+/// Serialize and atomically write an artifact in the given format.
+pub fn write_artifact_as(
+    path: &Path,
+    meta: &ArtifactMeta,
+    proba_sum: &Matrix,
+    logits_sum: &Matrix,
+    format: ArtifactFormat,
 ) -> Result<u64, ServeError> {
     meta.validate().map_err(ServeError::Artifact)?;
     for (name, m) in [("proba_sum", proba_sum), ("logits_sum", logits_sum)] {
@@ -200,13 +275,21 @@ pub fn write_artifact(
         }
     }
     let mut text = String::new();
-    text.push_str(HEADER);
+    text.push_str(format.header());
     text.push('\n');
     text.push_str("meta ");
     meta.to_json().write(&mut text);
     text.push('\n');
-    push_matrix(&mut text, proba_sum);
-    push_matrix(&mut text, logits_sum);
+    match format {
+        ArtifactFormat::V1 => {
+            push_matrix(&mut text, proba_sum);
+            push_matrix(&mut text, logits_sum);
+        }
+        ArtifactFormat::V2q => {
+            push_qmatrix(&mut text, proba_sum);
+            push_qmatrix(&mut text, logits_sum);
+        }
+    }
     let checksum = fnv1a64(text.as_bytes());
     use std::fmt::Write as _;
     let _ = writeln!(text, "checksum {checksum:016x}");
@@ -214,11 +297,21 @@ pub fn write_artifact(
     Ok(checksum)
 }
 
-/// Distill a **completed** crash-safe run directory into a single artifact
-/// file. Zero re-training: the kept members' frozen outputs are replayed
-/// (bitwise-verified against the stored `ensemble.sums` by
+/// Distill a **completed** crash-safe run directory into a single v1
+/// artifact file. Zero re-training: the kept members' frozen outputs are
+/// replayed (bitwise-verified against the stored `ensemble.sums` by
 /// [`RunState::load_ensemble`]) and the running sums written out.
 pub fn export_run(run_dir: &Path, artifact_path: &Path) -> Result<Artifact, RddError> {
+    export_run_as(run_dir, artifact_path, ArtifactFormat::V1)
+}
+
+/// [`export_run`] with an explicit output format (`--quantize int8` →
+/// [`ArtifactFormat::V2q`]).
+pub fn export_run_as(
+    run_dir: &Path,
+    artifact_path: &Path,
+    format: ArtifactFormat,
+) -> Result<Artifact, RddError> {
     let state = RunState::load(run_dir)?;
     if !state.is_complete() {
         return Err(ServeError::Artifact(format!(
@@ -249,16 +342,28 @@ pub fn export_run(run_dir: &Path, artifact_path: &Path) -> Result<Artifact, RddE
         alphas: ensemble.alphas(),
         alpha_total: ensemble.alpha_total(),
     };
-    write_artifact(artifact_path, &meta, proba_sum, logits_sum)?;
+    write_artifact_as(artifact_path, &meta, proba_sum, logits_sum, format)?;
     Ok(Artifact::load(artifact_path)?)
 }
 
-/// Export a live [`Ensemble`] (no run directory) — the test/bench path.
+/// Export a live [`Ensemble`] as a v1 artifact (no run directory) — the
+/// test/bench path.
 pub fn write_ensemble(
     path: &Path,
     ensemble: &Ensemble,
     dataset_name: &str,
     source: &str,
+) -> Result<u64, ServeError> {
+    write_ensemble_as(path, ensemble, dataset_name, source, ArtifactFormat::V1)
+}
+
+/// [`write_ensemble`] with an explicit output format.
+pub fn write_ensemble_as(
+    path: &Path,
+    ensemble: &Ensemble,
+    dataset_name: &str,
+    source: &str,
+    format: ArtifactFormat,
 ) -> Result<u64, ServeError> {
     let (proba_sum, logits_sum) = match (ensemble.proba_sum(), ensemble.logits_sum()) {
         (Some(ps), Some(ls)) => (ps, ls),
@@ -273,7 +378,7 @@ pub fn write_ensemble(
         alphas: ensemble.alphas(),
         alpha_total: ensemble.alpha_total(),
     };
-    write_artifact(path, &meta, proba_sum, logits_sum)
+    write_artifact_as(path, &meta, proba_sum, logits_sum, format)
 }
 
 struct Lines<'a> {
@@ -333,6 +438,46 @@ fn parse_matrix(lines: &mut Lines<'_>) -> Result<Matrix, ServeError> {
     Ok(Matrix::from_vec(r, c, data))
 }
 
+fn parse_qmatrix(lines: &mut Lines<'_>, tier: rdd_tensor::SimdTier) -> Result<Matrix, ServeError> {
+    let header = lines.next()?;
+    let dims: Vec<&str> = header.split_whitespace().collect();
+    let (r, c) = match dims.as_slice() {
+        ["qmatrix", r, c, "int8"] => (
+            r.parse::<usize>()
+                .map_err(|_| ServeError::Artifact(format!("bad qmatrix rows: {header:?}")))?,
+            c.parse::<usize>()
+                .map_err(|_| ServeError::Artifact(format!("bad qmatrix cols: {header:?}")))?,
+        ),
+        _ => {
+            return Err(ServeError::Artifact(format!(
+                "line {}: expected 'qmatrix R C int8', found {header:?}",
+                lines.line_no
+            )))
+        }
+    };
+    let mut out = Matrix::zeros(r, c);
+    for i in 0..r {
+        let row = lines.next()?;
+        let line = lines.line_no;
+        let qr = quant::decode_qrow(row, c)
+            .map_err(|e| ServeError::Artifact(format!("line {line}: {e}")))?;
+        if !(qr.scale.is_finite() && qr.scale >= 0.0) {
+            return Err(ServeError::QuantScale {
+                line,
+                value: qr.scale,
+            });
+        }
+        if !qr.zero.is_finite() {
+            return Err(ServeError::QuantZeroPoint {
+                line,
+                value: qr.zero,
+            });
+        }
+        quant::dequantize_row(tier, &qr, out.row_mut(i));
+    }
+    Ok(out)
+}
+
 impl Artifact {
     /// Load and fully validate an artifact file: header/version, checksum,
     /// meta parse, matrix shapes, finiteness.
@@ -361,7 +506,7 @@ impl Artifact {
                 "trailing garbage after checksum line".into(),
             ));
         }
-        let computed = fnv1a64(text[..body_end].as_bytes());
+        let computed = fnv1a64(&text.as_bytes()[..body_end]);
         if computed != stored {
             return Err(ServeError::Checksum { stored, computed });
         }
@@ -371,16 +516,19 @@ impl Artifact {
             line_no: 0,
         };
         let header = lines.next()?;
-        if header != HEADER {
-            if header.starts_with("rdd-artifact") {
-                return Err(ServeError::WrongVersion {
-                    found: header.to_string(),
-                });
-            }
+        let format = if header == HEADER {
+            ArtifactFormat::V1
+        } else if header == HEADER_V2Q {
+            ArtifactFormat::V2q
+        } else if header.starts_with("rdd-artifact") {
+            return Err(ServeError::WrongVersion {
+                found: header.to_string(),
+            });
+        } else {
             return Err(ServeError::Artifact(format!(
                 "not an rdd artifact (first line {header:?})"
             )));
-        }
+        };
         let meta_line = lines.next()?;
         let meta_src = meta_line
             .strip_prefix("meta ")
@@ -390,8 +538,17 @@ impl Artifact {
         let meta = ArtifactMeta::from_json(&meta_json).map_err(ServeError::Artifact)?;
         meta.validate().map_err(ServeError::Artifact)?;
 
-        let proba_sum = parse_matrix(&mut lines)?;
-        let logits_sum = parse_matrix(&mut lines)?;
+        let (proba_sum, logits_sum) = match format {
+            ArtifactFormat::V1 => (parse_matrix(&mut lines)?, parse_matrix(&mut lines)?),
+            ArtifactFormat::V2q => {
+                // Dequantize through the SIMD tier; one resolve per load.
+                let tier = rdd_tensor::simd::active();
+                (
+                    parse_qmatrix(&mut lines, tier)?,
+                    parse_qmatrix(&mut lines, tier)?,
+                )
+            }
+        };
         if lines.rest.next().is_some() {
             return Err(ServeError::Artifact(
                 "trailing garbage before checksum line".into(),
@@ -412,6 +569,7 @@ impl Artifact {
         let proba = proba_sum.scaled(1.0 / meta.alpha_total);
         Ok(Self {
             meta,
+            format,
             proba_sum,
             logits_sum,
             checksum: stored,
@@ -422,6 +580,11 @@ impl Artifact {
     /// The artifact's metadata.
     pub fn meta(&self) -> &ArtifactMeta {
         &self.meta
+    }
+
+    /// Which on-disk format this artifact was loaded from.
+    pub fn format(&self) -> ArtifactFormat {
+        self.format
     }
 
     /// The file checksum (also the serve cache's key epoch).

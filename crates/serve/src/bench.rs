@@ -5,7 +5,7 @@
 
 use std::time::Instant;
 
-use rdd_obs::{percentile, Json};
+use rdd_obs::{sample_stats, Json};
 
 use crate::artifact::Artifact;
 use crate::engine::{ServeConfig, ServeEngine};
@@ -123,14 +123,15 @@ fn run_mode(
     let stats = engine.stats();
     let hits = stats.cache_hits - warm_stats.cache_hits;
     let misses = stats.cache_misses - warm_stats.cache_misses;
-    latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let lat_stats =
+        sample_stats(&latencies).map_err(|e| ServeError::BadRequest(format!("latency {e}")))?;
     Ok(BenchResult {
         mode: mode.to_string(),
         batch_size,
-        requests: latencies.len(),
-        rps: latencies.len() as f64 / wall_s.max(1e-9),
-        p50_ms: percentile(&latencies, 0.50),
-        p99_ms: percentile(&latencies, 0.99),
+        requests: lat_stats.count,
+        rps: lat_stats.count as f64 / wall_s.max(1e-9),
+        p50_ms: lat_stats.p50,
+        p99_ms: lat_stats.p99,
         hit_rate: if hits + misses == 0 {
             0.0
         } else {

@@ -257,8 +257,10 @@ impl<P: Predictor> ServeEngine<P> {
                     }
                     None => {
                         self.stats.cache_misses += 1;
-                        if !miss_set.contains_key(&node) {
-                            miss_set.insert(node, miss_order.len());
+                        if let std::collections::hash_map::Entry::Vacant(slot) =
+                            miss_set.entry(node)
+                        {
+                            slot.insert(miss_order.len());
                             miss_order.push(node);
                         }
                         rows.push(None);

@@ -23,6 +23,21 @@ pub enum ServeError {
         /// Checksum computed over the file's content.
         computed: u64,
     },
+    /// A v2q quantized row carries an unusable scale (non-finite or
+    /// negative — a zero scale is the legal constant-row encoding).
+    QuantScale {
+        /// 1-based artifact line the row sits on.
+        line: usize,
+        /// The offending scale value.
+        value: f32,
+    },
+    /// A v2q quantized row carries a non-finite zero-point.
+    QuantZeroPoint {
+        /// 1-based artifact line the row sits on.
+        line: usize,
+        /// The offending zero-point value.
+        value: f32,
+    },
     /// The underlying predictor rejected the request.
     Predict(PredictError),
     /// The engine's bounded request queue is full; retry after a flush.
@@ -42,13 +57,22 @@ impl std::fmt::Display for ServeError {
             ServeError::WrongVersion { found } => {
                 write!(
                     f,
-                    "unsupported artifact version: {found:?} (expected {})",
-                    crate::artifact::HEADER
+                    "unsupported artifact version: {found:?} (expected {} or {})",
+                    crate::artifact::HEADER,
+                    crate::artifact::HEADER_V2Q
                 )
             }
             ServeError::Checksum { stored, computed } => write!(
                 f,
                 "artifact checksum mismatch: stored {stored:016x}, computed {computed:016x}"
+            ),
+            ServeError::QuantScale { line, value } => write!(
+                f,
+                "line {line}: quantized row has bad scale {value} (need finite, >= 0)"
+            ),
+            ServeError::QuantZeroPoint { line, value } => write!(
+                f,
+                "line {line}: quantized row has non-finite zero-point {value}"
             ),
             ServeError::Predict(e) => write!(f, "{e}"),
             ServeError::QueueFull { capacity } => {

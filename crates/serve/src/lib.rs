@@ -9,7 +9,9 @@
 //!   directory into one artifact file; [`Artifact::load`] validates
 //!   header/version, checksum, shapes and finiteness, and the loaded
 //!   artifact implements the `Predictor` trait with responses bitwise
-//!   identical to the live run's `Ensemble::proba`;
+//!   identical to the live run's `Ensemble::proba`; the int8-quantized
+//!   v2q format ([`quant`]) trades that bitwise guarantee for ~0.3× the
+//!   bytes, behind the same loader and trait;
 //! * [`engine`] — [`ServeEngine`]: request micro-batching (bounded queue,
 //!   flush on size or deadline) with a per-node LRU prediction cache keyed
 //!   by artifact checksum, emitting per-batch latency/cache telemetry
@@ -37,8 +39,12 @@ pub mod bench;
 pub mod cache;
 pub mod engine;
 pub mod error;
+pub mod quant;
 
-pub use artifact::{export_run, fnv1a64, write_artifact, write_ensemble, Artifact, ArtifactMeta};
+pub use artifact::{
+    export_run, export_run_as, fnv1a64, write_artifact, write_artifact_as, write_ensemble,
+    write_ensemble_as, Artifact, ArtifactFormat, ArtifactMeta,
+};
 pub use bench::{bench_artifact, BenchResult};
 pub use cache::LruCache;
 pub use engine::{ServeConfig, ServeEngine, ServeReply, ServeStats};

@@ -9,7 +9,10 @@ use std::path::PathBuf;
 use rdd_core::{Ensemble, RddConfig, RddTrainer};
 use rdd_graph::SynthConfig;
 use rdd_models::Predictor;
-use rdd_serve::{export_run, write_ensemble, Artifact, ServeError};
+use rdd_serve::quant::{encode_qrow, QuantRow};
+use rdd_serve::{
+    export_run, write_ensemble, write_ensemble_as, Artifact, ArtifactFormat, ServeError,
+};
 use rdd_tensor::Matrix;
 
 fn tmp(name: &str) -> PathBuf {
@@ -203,6 +206,153 @@ fn truncation_at_every_line_is_caught() {
     // Truncating mid-line (dropping the final newline) must also fail.
     let err = load_text("trunc_tail", text.trim_end()).unwrap_err();
     assert!(matches!(err, ServeError::Artifact(_)), "got {err}");
+}
+
+/// A valid **v2q** artifact's text, for the quantized corruption sweeps.
+fn artifact_text_v2q(tag: &str) -> String {
+    let ensemble = random_ensemble(0xA5, 8, 3, 2);
+    let path = tmp(&format!("text_v2q_{tag}"));
+    write_ensemble_as(&path, &ensemble, "sweep", "unit-test", ArtifactFormat::V2q).expect("write");
+    let text = std::fs::read_to_string(&path).expect("read back");
+    let _ = std::fs::remove_file(&path);
+    text
+}
+
+#[test]
+fn v2q_roundtrip_drift_is_bounded_by_half_a_quant_step() {
+    let ensemble = random_ensemble(0x77, 20, 5, 3);
+    let path = tmp("v2q_roundtrip");
+    write_ensemble_as(&path, &ensemble, "sweep", "unit-test", ArtifactFormat::V2q).expect("write");
+    let artifact = Artifact::load(&path).expect("load");
+    let _ = std::fs::remove_file(&path);
+
+    assert_eq!(artifact.format(), ArtifactFormat::V2q);
+    for (name, got, want) in [
+        (
+            "proba_sum",
+            artifact.proba_sum(),
+            ensemble.proba_sum().expect("non-empty"),
+        ),
+        (
+            "logits_sum",
+            artifact.logits_sum(),
+            ensemble.logits_sum().expect("non-empty"),
+        ),
+    ] {
+        for i in 0..want.rows() {
+            let row = want.row(i);
+            let lo = row.iter().cloned().fold(f32::INFINITY, f32::min);
+            let hi = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+            // Affine int8: the dequantized value sits within half a step
+            // of the original (plus fp slack in the affine arithmetic).
+            let tol = (hi - lo) / 255.0 * 0.5 + 1e-5;
+            for (j, (x, y)) in got.row(i).iter().zip(row).enumerate() {
+                assert!(
+                    (x - y).abs() <= tol,
+                    "{name}[{i}][{j}]: {x} vs {y} (tol {tol})"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn v1_artifacts_still_load_and_report_their_format() {
+    let ensemble = random_ensemble(0x31, 6, 4, 2);
+    let path = tmp("v1_format");
+    write_ensemble(&path, &ensemble, "sweep", "unit-test").expect("write");
+    let artifact = Artifact::load(&path).expect("load");
+    let _ = std::fs::remove_file(&path);
+    assert_eq!(artifact.format(), ArtifactFormat::V1);
+    assert_bitwise_equal(artifact.proba(), &ensemble.proba(), "proba");
+}
+
+#[test]
+fn every_single_byte_flip_in_a_v2q_artifact_is_caught() {
+    // Same sweep as the v1 test, over the quantized layout: header, meta,
+    // qmatrix headers and base64 scale/zero/code lines are all covered.
+    let text = artifact_text_v2q("byteflip");
+    let bytes = text.as_bytes();
+    let body_end = text.rfind("\nchecksum ").unwrap() + 1;
+    for i in (0..body_end).step_by(7) {
+        let mut corrupted = bytes.to_vec();
+        corrupted[i] ^= 0x01;
+        let Ok(s) = String::from_utf8(corrupted) else {
+            continue;
+        };
+        match load_text("v2q_byteflip", &s) {
+            Err(ServeError::Checksum { .. }) | Err(ServeError::Artifact(_)) => {}
+            Ok(_) => panic!("byte {i} flip loaded cleanly"),
+            Err(other) => panic!("byte {i} flip gave unexpected error {other}"),
+        }
+    }
+}
+
+#[test]
+fn truncation_at_every_line_of_a_v2q_artifact_is_caught() {
+    let text = artifact_text_v2q("trunc");
+    let lines: Vec<&str> = text.lines().collect();
+    for keep in 0..lines.len() {
+        let truncated = lines[..keep].join("\n");
+        let err = load_text("v2q_trunc", &truncated).unwrap_err();
+        match err {
+            ServeError::Artifact(_) | ServeError::Checksum { .. } => {}
+            other => panic!("truncation to {keep} lines gave unexpected error {other}"),
+        }
+    }
+    let err = load_text("v2q_trunc_tail", text.trim_end()).unwrap_err();
+    assert!(matches!(err, ServeError::Artifact(_)), "got {err}");
+}
+
+/// Replace the first base64 row after the first `qmatrix` header with a
+/// hand-built row, re-checksum, and return the loader's verdict.
+fn load_with_first_qrow(tag: &str, row: &QuantRow) -> Result<Artifact, ServeError> {
+    let text = artifact_text_v2q(tag);
+    let row_start = text.find("int8\n").unwrap() + "int8\n".len();
+    let row_end = row_start + text[row_start..].find('\n').unwrap();
+    let mutated = format!(
+        "{}{}{}",
+        &text[..row_start],
+        encode_qrow(row),
+        &text[row_end..]
+    );
+    let body_end = mutated.rfind("\nchecksum ").unwrap() + 1;
+    let checksum = rdd_serve::fnv1a64(mutated[..body_end].as_bytes());
+    load_text(
+        tag,
+        &format!("{}checksum {checksum:016x}\n", &mutated[..body_end]),
+    )
+}
+
+#[test]
+fn bad_quant_scales_and_zero_points_are_typed_errors() {
+    let qrow = |scale: f32, zero: f32| QuantRow {
+        scale,
+        zero,
+        q: vec![0, 128, 255],
+    };
+    // The first qmatrix row sits on line 4 (header, meta, qmatrix, row).
+    for bad_scale in [f32::NAN, f32::INFINITY, -0.5] {
+        match load_with_first_qrow("bad_scale", &qrow(bad_scale, 0.0)).unwrap_err() {
+            ServeError::QuantScale { line, value } => {
+                assert_eq!(line, 4);
+                assert_eq!(value.to_bits(), bad_scale.to_bits());
+            }
+            other => panic!("scale {bad_scale}: expected QuantScale, got {other}"),
+        }
+    }
+    for bad_zero in [f32::NAN, f32::NEG_INFINITY] {
+        match load_with_first_qrow("bad_zero", &qrow(0.01, bad_zero)).unwrap_err() {
+            ServeError::QuantZeroPoint { line, value } => {
+                assert_eq!(line, 4);
+                assert_eq!(value.to_bits(), bad_zero.to_bits());
+            }
+            other => panic!("zero {bad_zero}: expected QuantZeroPoint, got {other}"),
+        }
+    }
+    // A zero scale is the legal constant-row encoding, not an error.
+    let artifact = load_with_first_qrow("zero_scale", &qrow(0.0, 0.125)).expect("constant row");
+    assert_eq!(artifact.proba_sum().row(0), &[0.125, 0.125, 0.125]);
 }
 
 #[test]

@@ -1,0 +1,143 @@
+//! Property tests for the int8 quantizer: across a randomized sweep of
+//! row shapes, value ranges and degenerate cases, quantize→dequantize
+//! drift must stay within half a quantization step per element, the
+//! wire encoding must round-trip losslessly, and the SIMD dequant path
+//! must match the scalar one within the documented FMA bound.
+
+use rdd_serve::quant::{
+    b64_decode, b64_encode, decode_qrow, dequantize_row, encode_qrow, max_ulp_diff, quantize_row,
+    ulp_distance,
+};
+use rdd_tensor::{simd, Matrix, SimdTier};
+
+struct Rng(u64);
+
+impl Rng {
+    fn next_u64(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+
+    fn unit(&mut self) -> f32 {
+        (self.next_u64() >> 40) as f32 / (1u64 << 24) as f32
+    }
+}
+
+#[test]
+fn quantize_dequantize_drift_is_within_half_a_step() {
+    let mut rng = Rng(0x51ce_0001);
+    for case in 0..200 {
+        let len = 1 + (rng.next_u64() % 64) as usize;
+        // Vary center and span over orders of magnitude, including rows
+        // much smaller and much larger than [0, 1].
+        let center = (rng.unit() - 0.5) * 10f32.powi((case % 7) as i32 - 3);
+        let span = rng.unit() * 10f32.powi((case % 5) as i32 - 2);
+        let row: Vec<f32> = (0..len)
+            .map(|_| center + (rng.unit() - 0.5) * span)
+            .collect();
+
+        let qr = quantize_row(&row);
+        assert!(qr.scale >= 0.0 && qr.scale.is_finite(), "case {case}");
+        assert!(qr.zero.is_finite(), "case {case}");
+
+        let mut back = vec![0f32; len];
+        dequantize_row(SimdTier::Scalar, &qr, &mut back);
+        for (j, (a, b)) in row.iter().zip(&back).enumerate() {
+            // Half a step of rounding, plus fp slack from the affine
+            // arithmetic at the row's magnitude.
+            let tol = qr.scale * 0.5 + (qr.zero.abs() + qr.scale * 255.0) * f32::EPSILON * 4.0;
+            assert!(
+                (a - b).abs() <= tol,
+                "case {case} [{j}]: {a} vs {b} (scale {}, tol {tol})",
+                qr.scale
+            );
+        }
+    }
+}
+
+#[test]
+fn wire_encoding_roundtrips_bitwise_for_any_row() {
+    let mut rng = Rng(0x51ce_0002);
+    for case in 0..100 {
+        let len = (rng.next_u64() % 48) as usize;
+        let qr = rdd_serve::quant::QuantRow {
+            scale: rng.unit() * 0.1,
+            zero: (rng.unit() - 0.5) * 8.0,
+            q: (0..len).map(|_| (rng.next_u64() & 0xff) as u8).collect(),
+        };
+        let line = encode_qrow(&qr);
+        let back = decode_qrow(&line, len).expect("decode");
+        assert_eq!(back.scale.to_bits(), qr.scale.to_bits(), "case {case}");
+        assert_eq!(back.zero.to_bits(), qr.zero.to_bits(), "case {case}");
+        assert_eq!(back.q, qr.q, "case {case}");
+        // And the raw base64 layer round-trips arbitrary bytes.
+        let bytes: Vec<u8> = (0..len).map(|_| (rng.next_u64() & 0xff) as u8).collect();
+        assert_eq!(b64_decode(&b64_encode(&bytes)).unwrap(), bytes);
+    }
+}
+
+#[test]
+fn degenerate_rows_quantize_exactly() {
+    // Constant rows (scale 0) and two-value rows (codes at the endpoints)
+    // must survive the round trip exactly, not just within tolerance.
+    for value in [0.0f32, -1.5, 1e-8, 3.0e4] {
+        let row = vec![value; 9];
+        let qr = quantize_row(&row);
+        assert_eq!(qr.scale, 0.0);
+        let mut back = vec![0f32; 9];
+        dequantize_row(SimdTier::Scalar, &qr, &mut back);
+        assert_eq!(back, row, "constant {value}");
+    }
+    let row = [2.0f32, 7.1, 2.0, 7.1];
+    let qr = quantize_row(&row);
+    let mut back = [0f32; 4];
+    dequantize_row(SimdTier::Scalar, &qr, &mut back);
+    // min maps to code 0 → exactly `zero`; max maps to code 255 →
+    // zero + scale·255, which re-rounds to within an ulp of max.
+    assert_eq!(back[0], 2.0);
+    assert!(ulp_distance(back[1], 7.1) <= 2, "{} vs 7.1", back[1]);
+}
+
+#[test]
+fn simd_dequant_matches_scalar_within_fma_bound() {
+    let mut rng = Rng(0x51ce_0003);
+    let best = simd::detect_best();
+    for case in 0..50 {
+        let len = 1 + (rng.next_u64() % 64) as usize;
+        let row: Vec<f32> = (0..len).map(|_| (rng.unit() - 0.5) * 6.0).collect();
+        let qr = quantize_row(&row);
+        let mut scalar_out = vec![0f32; len];
+        let mut simd_out = vec![0f32; len];
+        dequantize_row(SimdTier::Scalar, &qr, &mut scalar_out);
+        dequantize_row(best, &qr, &mut simd_out);
+        let bound = (qr.zero.abs() + qr.scale * 255.0) * f32::EPSILON;
+        for (j, (a, b)) in scalar_out.iter().zip(&simd_out).enumerate() {
+            assert!(
+                (a - b).abs() <= bound,
+                "case {case} [{j}]: {a} vs {b} (bound {bound})"
+            );
+        }
+    }
+}
+
+#[test]
+fn matrix_level_drift_measurement_is_consistent() {
+    let mut rng = Rng(0x51ce_0004);
+    let m = Matrix::from_vec(12, 7, (0..84).map(|_| (rng.unit() - 0.5) * 4.0).collect());
+    let back = rdd_serve::quant::quantize_dequantize(&m);
+    // The measured matrix-level ULP drift must bound every per-element
+    // distance (it is the max), and quantizing the dequantized matrix
+    // again must be idempotent to within one more half-step.
+    let drift = max_ulp_diff(&m, &back);
+    for (a, b) in m.as_slice().iter().zip(back.as_slice()) {
+        assert!(ulp_distance(*a, *b) <= drift);
+    }
+    let back2 = rdd_serve::quant::quantize_dequantize(&back);
+    for (i, (a, b)) in back.as_slice().iter().zip(back2.as_slice()).enumerate() {
+        let row = i / 7;
+        let qr = quantize_row(back.row(row));
+        assert!((a - b).abs() <= qr.scale * 0.5 + 1e-6, "[{i}] {a} vs {b}");
+    }
+}

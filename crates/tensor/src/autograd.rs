@@ -18,6 +18,7 @@ use std::rc::Rc;
 use rand::Rng;
 
 use crate::matrix::{log_softmax_in_place, softmax_in_place, Matrix};
+use crate::simd;
 use crate::sparse::CsrMatrix;
 use crate::workspace::Workspace;
 
@@ -286,11 +287,9 @@ impl Tape {
         assert_eq!(bm.rows(), 1, "bias must be a row vector");
         assert_eq!(bm.cols(), xm.cols(), "bias width mismatch");
         let mut value = self.alloc_copy(xm);
+        let tier = simd::active();
         for i in 0..value.rows() {
-            let brow = bm.row(0);
-            for (o, &b) in value.row_mut(i).iter_mut().zip(brow) {
-                *o += b;
-            }
+            simd::add_assign(tier, value.row_mut(i), bm.row(0));
         }
         self.push(value, Op::AddBias { x, bias })
     }
@@ -298,9 +297,7 @@ impl Tape {
     /// ReLU activation.
     pub fn relu(&mut self, x: Var) -> Var {
         let mut value = self.alloc_copy(self.value(x));
-        for v in value.as_mut_slice() {
-            *v = v.max(0.0);
-        }
+        simd::relu_in_place(simd::active(), value.as_mut_slice());
         self.push(value, Op::Relu(x))
     }
 
@@ -321,9 +318,7 @@ impl Tape {
             mask.push(if rng.gen::<f32>() < keep { scale } else { 0.0 });
         }
         let mut value = self.alloc_copy(self.value(x));
-        for (v, &m) in value.as_mut_slice().iter_mut().zip(&mask) {
-            *v *= m;
-        }
+        simd::mul_assign(simd::active(), value.as_mut_slice(), &mask);
         self.push(value, Op::Dropout { x, mask })
     }
 
@@ -631,10 +626,9 @@ impl Tape {
                 Op::AddBias { x, bias } => {
                     // Bias gradient: column sums of g.
                     let mut db = self.alloc_zeros(1, g.cols());
+                    let tier = simd::active();
                     for i in 0..g.rows() {
-                        for (o, &v) in db.row_mut(0).iter_mut().zip(g.row(i)) {
-                            *o += v;
-                        }
+                        simd::add_assign(tier, db.row_mut(0), g.row(i));
                     }
                     self.accum(&mut grads, *bias, db);
                     self.accum(&mut grads, *x, g);
@@ -642,18 +636,12 @@ impl Tape {
                 Op::Relu(x) => {
                     let xv = self.value(*x);
                     let mut dx = g;
-                    for (d, &v) in dx.as_mut_slice().iter_mut().zip(xv.as_slice()) {
-                        if v <= 0.0 {
-                            *d = 0.0;
-                        }
-                    }
+                    simd::relu_bwd(simd::active(), dx.as_mut_slice(), xv.as_slice());
                     self.accum(&mut grads, *x, dx);
                 }
                 Op::Dropout { x, mask } => {
                     let mut dx = g;
-                    for (d, &m) in dx.as_mut_slice().iter_mut().zip(mask) {
-                        *d *= m;
-                    }
+                    simd::mul_assign(simd::active(), dx.as_mut_slice(), mask);
                     self.accum(&mut grads, *x, dx);
                 }
                 Op::Scale(x, c) => {
@@ -678,12 +666,9 @@ impl Tape {
                     // y = softmax(x); dx = y ⊙ (g − rowsum(g ⊙ y)).
                     let y = &self.nodes[id].value;
                     let mut dx = g;
+                    let tier = simd::active();
                     for i in 0..dx.rows() {
-                        let yrow = y.row(i);
-                        let dot: f32 = dx.row(i).iter().zip(yrow).map(|(&a, &b)| a * b).sum();
-                        for (d, &yv) in dx.row_mut(i).iter_mut().zip(yrow) {
-                            *d = yv * (*d - dot);
-                        }
+                        simd::softmax_bwd_row(tier, dx.row_mut(i), y.row(i));
                     }
                     self.accum(&mut grads, *x, dx);
                 }
@@ -691,12 +676,9 @@ impl Tape {
                     // y = x − logsumexp(x) row-wise; dx = g − softmax(x)·rowsum(g).
                     let y = &self.nodes[id].value;
                     let mut dx = g;
+                    let tier = simd::active();
                     for i in 0..dx.rows() {
-                        let row_sum: f32 = dx.row(i).iter().sum();
-                        let yrow = y.row(i);
-                        for (d, &ly) in dx.row_mut(i).iter_mut().zip(yrow) {
-                            *d -= ly.exp() * row_sum;
-                        }
+                        simd::log_softmax_bwd_row(tier, dx.row_mut(i), y.row(i));
                     }
                     self.accum(&mut grads, *x, dx);
                 }

@@ -28,6 +28,7 @@ pub mod init;
 pub mod matrix;
 pub mod optim;
 pub mod par;
+pub mod simd;
 pub mod sparse;
 pub mod workspace;
 
@@ -35,5 +36,6 @@ pub use autograd::{Tape, Var};
 pub use init::{glorot_uniform, seeded_rng, uniform};
 pub use matrix::Matrix;
 pub use optim::Adam;
+pub use simd::SimdTier;
 pub use sparse::CsrMatrix;
 pub use workspace::{Workspace, WorkspaceStats};

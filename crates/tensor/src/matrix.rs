@@ -10,8 +10,16 @@
 //! [`crate::par`]): the forward products split the *output* rows across
 //! tasks, while the transposed backprop product `A^T @ dC` splits the
 //! *input* rows and reduces per-task partial buffers.
+//!
+//! Since the SIMD tier landed, the inner reductions (`axpy`/`axpy4`/
+//! `dot`) and the row-wise softmax/entropy/elementwise kernels live in
+//! [`crate::simd`]: each public method here hoists the latched
+//! [`crate::simd::active`] tier once and hands the per-row work to the
+//! tier's kernels (`RDD_SIMD=off` selects the original scalar bodies,
+//! kept verbatim in `simd::scalar`).
 
 use crate::par::{par_reduce_rows, par_row_chunks};
+use crate::simd;
 use rdd_obs::SpanCell;
 
 /// Wall-time spans for the hot dense kernels; cumulative totals reach the
@@ -35,65 +43,6 @@ const J_BLOCK: usize = 64;
 
 /// Tile edge for the blocked `transpose`.
 const T_TILE: usize = 32;
-
-/// `out_row[..] += Σ_l a[l] * b_l[..]` over four unrolled reduction rows.
-///
-/// The explicit re-slicing to `out_row.len()` lets the compiler drop bounds
-/// checks and vectorize the body; the zero test skips entire quads, which
-/// matters for the sparse-ish dense matrices the ablation benches feed in.
-#[inline]
-pub(crate) fn axpy4(
-    out_row: &mut [f32],
-    a: [f32; 4],
-    b0: &[f32],
-    b1: &[f32],
-    b2: &[f32],
-    b3: &[f32],
-) {
-    if a == [0.0; 4] {
-        return;
-    }
-    let n = out_row.len();
-    let (b0, b1, b2, b3) = (&b0[..n], &b1[..n], &b2[..n], &b3[..n]);
-    for i in 0..n {
-        out_row[i] += a[0] * b0[i] + a[1] * b1[i] + a[2] * b2[i] + a[3] * b3[i];
-    }
-}
-
-/// `out_row[..] += a * b_row[..]` (remainder lane of the unrolled loops,
-/// and the scatter step of the sparse kernels).
-#[inline]
-pub(crate) fn axpy(out_row: &mut [f32], a: f32, b_row: &[f32]) {
-    if a == 0.0 {
-        return;
-    }
-    for (o, &b) in out_row.iter_mut().zip(b_row) {
-        *o += a * b;
-    }
-}
-
-/// Dot product with eight independent accumulator lanes.
-///
-/// The lanes break the loop-carried `f32` addition chain, which is what
-/// allows SIMD codegen without `-ffast-math`-style reassociation.
-#[inline]
-pub(crate) fn dot(a: &[f32], b: &[f32]) -> f32 {
-    debug_assert_eq!(a.len(), b.len());
-    let lanes = a.len() / 8 * 8;
-    let (a8, a_tail) = a.split_at(lanes);
-    let (b8, b_tail) = b.split_at(lanes);
-    let mut acc = [0.0f32; 8];
-    for (ac, bc) in a8.chunks_exact(8).zip(b8.chunks_exact(8)) {
-        for l in 0..8 {
-            acc[l] += ac[l] * bc[l];
-        }
-    }
-    let mut s = ((acc[0] + acc[4]) + (acc[1] + acc[5])) + ((acc[2] + acc[6]) + (acc[3] + acc[7]));
-    for (&x, &y) in a_tail.iter().zip(b_tail) {
-        s += x * y;
-    }
-    s
-}
 
 /// Dense row-major matrix of `f32`.
 #[derive(Clone, PartialEq)]
@@ -255,6 +204,7 @@ impl Matrix {
         let _span = SPAN_MATMUL.enter();
         let n = rhs.cols;
         let k_dim = self.cols;
+        let tier = simd::active();
         par_row_chunks(&mut out.data, n, |i0, chunk| {
             // k-blocked i-k-j: while one block of output rows is revisited,
             // only `K_BLOCK` rows of `rhs` are streamed, so they stay hot.
@@ -267,7 +217,8 @@ impl Matrix {
                     let mut k = 0;
                     while k + 4 <= a_row.len() {
                         let base = (kb + k) * n;
-                        axpy4(
+                        simd::axpy4(
+                            tier,
                             out_row,
                             [a_row[k], a_row[k + 1], a_row[k + 2], a_row[k + 3]],
                             &rhs.data[base..base + n],
@@ -279,7 +230,7 @@ impl Matrix {
                     }
                     while k < a_row.len() {
                         let base = (kb + k) * n;
-                        axpy(out_row, a_row[k], &rhs.data[base..base + n]);
+                        simd::axpy(tier, out_row, a_row[k], &rhs.data[base..base + n]);
                         k += 1;
                     }
                 }
@@ -321,6 +272,7 @@ impl Matrix {
         let n = rhs.cols;
         let m = self.cols;
         let work = self.rows * m * n;
+        let tier = simd::active();
         par_reduce_rows(&mut out.data, self.rows, work, |r0, r1, acc| {
             let mut k = r0;
             while k + 4 <= r1 {
@@ -333,7 +285,8 @@ impl Matrix {
                 let b2 = rhs.row(k + 2);
                 let b3 = rhs.row(k + 3);
                 for j in 0..m {
-                    axpy4(
+                    simd::axpy4(
+                        tier,
                         &mut acc[j * n..(j + 1) * n],
                         [a0[j], a1[j], a2[j], a3[j]],
                         b0,
@@ -348,7 +301,7 @@ impl Matrix {
                 let a_row = self.row(k);
                 let b_row = rhs.row(k);
                 for (j, &a) in a_row.iter().enumerate() {
-                    axpy(&mut acc[j * n..(j + 1) * n], a, b_row);
+                    simd::axpy(tier, &mut acc[j * n..(j + 1) * n], a, b_row);
                 }
                 k += 1;
             }
@@ -384,6 +337,7 @@ impl Matrix {
         let _span = SPAN_MATMUL_A_BT.enter();
         let n = rhs.rows;
         let k_dim = self.cols;
+        let tier = simd::active();
         par_row_chunks(&mut out.data, n, |i0, chunk| {
             // j-blocked so a `J_BLOCK`-row slice of `rhs` is reused across
             // every output row of the chunk before the next slice streams in.
@@ -395,7 +349,7 @@ impl Matrix {
                     let a_row = &self.data[i * k_dim..(i + 1) * k_dim];
                     for (j, o) in out_row[jb..je].iter_mut().enumerate() {
                         let j = jb + j;
-                        *o = dot(a_row, &rhs.data[j * k_dim..(j + 1) * k_dim]);
+                        *o = simd::dot(tier, a_row, &rhs.data[j * k_dim..(j + 1) * k_dim]);
                     }
                 }
                 jb = je;
@@ -437,9 +391,7 @@ impl Matrix {
     /// Element-wise `self += rhs`.
     pub fn add_assign(&mut self, rhs: &Matrix) {
         assert_eq!(self.shape(), rhs.shape(), "add_assign shape mismatch");
-        for (a, &b) in self.data.iter_mut().zip(&rhs.data) {
-            *a += b;
-        }
+        simd::add_assign(simd::active(), &mut self.data, &rhs.data);
     }
 
     /// Element-wise `self += scale * rhs`.
@@ -449,9 +401,7 @@ impl Matrix {
             rhs.shape(),
             "add_scaled_assign shape mismatch"
         );
-        for (a, &b) in self.data.iter_mut().zip(&rhs.data) {
-            *a += scale * b;
-        }
+        simd::add_scaled_assign(simd::active(), &mut self.data, &rhs.data, scale);
     }
 
     /// Element-wise sum, returning a new matrix.
@@ -475,17 +425,13 @@ impl Matrix {
     pub fn hadamard(&self, rhs: &Matrix) -> Matrix {
         assert_eq!(self.shape(), rhs.shape(), "hadamard shape mismatch");
         let mut out = self.clone();
-        for (a, &b) in out.data.iter_mut().zip(&rhs.data) {
-            *a *= b;
-        }
+        simd::mul_assign(simd::active(), &mut out.data, &rhs.data);
         out
     }
 
     /// Multiply every element by `s` in place.
     pub fn scale_assign(&mut self, s: f32) {
-        for a in &mut self.data {
-            *a *= s;
-        }
+        simd::scale_assign(simd::active(), &mut self.data, s);
     }
 
     /// A scaled copy.
@@ -541,8 +487,9 @@ impl Matrix {
     /// Row-wise softmax, returning a new matrix whose rows sum to 1.
     pub fn softmax_rows(&self) -> Matrix {
         let mut out = self.clone();
+        let tier = simd::active();
         for i in 0..out.rows {
-            softmax_in_place(out.row_mut(i));
+            simd::softmax_in_place(tier, out.row_mut(i));
         }
         out
     }
@@ -562,14 +509,9 @@ impl Matrix {
     pub fn row_entropy_into(&self, out: &mut Vec<f32>) {
         out.clear();
         out.reserve(self.rows);
+        let tier = simd::active();
         for i in 0..self.rows {
-            out.push(
-                self.row(i)
-                    .iter()
-                    .filter(|&&p| p > 0.0)
-                    .map(|&p| -p * p.ln())
-                    .sum(),
-            );
+            out.push(simd::row_entropy(tier, self.row(i)));
         }
     }
 
@@ -640,28 +582,16 @@ impl Matrix {
     }
 }
 
-/// Numerically-stable in-place softmax over a slice.
+/// Numerically-stable in-place softmax over a slice, on the latched
+/// SIMD tier (`RDD_SIMD=off` gives the original scalar kernel).
 pub fn softmax_in_place(row: &mut [f32]) {
-    let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
-    let mut z = 0.0f32;
-    for v in row.iter_mut() {
-        *v = (*v - max).exp();
-        z += *v;
-    }
-    let inv = 1.0 / z;
-    for v in row.iter_mut() {
-        *v *= inv;
-    }
+    simd::softmax_in_place(simd::active(), row);
 }
 
-/// Numerically-stable in-place log-softmax over a slice.
+/// Numerically-stable in-place log-softmax over a slice, on the latched
+/// SIMD tier (`RDD_SIMD=off` gives the original scalar kernel).
 pub fn log_softmax_in_place(row: &mut [f32]) {
-    let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
-    let z: f32 = row.iter().map(|&v| (v - max).exp()).sum();
-    let lz = z.ln() + max;
-    for v in row.iter_mut() {
-        *v -= lz;
-    }
+    simd::log_softmax_in_place(simd::active(), row);
 }
 
 #[cfg(test)]

@@ -1,0 +1,1681 @@
+//! Explicit-SIMD kernel tier with runtime dispatch.
+//!
+//! Every hot inner loop in the tensor crate funnels through this module:
+//! the dense/sparse `axpy`/`axpy4`/`dot` reductions, the row-wise
+//! softmax / log-softmax / entropy kernels, the elementwise arms used by
+//! the loss hook and reliability refresh, and the int8 dequantization
+//! path of the serving artifacts. Each kernel exists in up to three
+//! tiers:
+//!
+//! * **`Scalar`** — the original autovectorized kernels, moved here
+//!   verbatim from `matrix.rs` (see [`scalar`]). They are the *bitwise
+//!   oracle*: `RDD_SIMD=off` selects exactly this code, so the pre-SIMD
+//!   numerics are always reachable and comparable.
+//! * **`Sse2`** — `std::arch` x86-64 SSE2 intrinsics that replicate the
+//!   scalar expression trees lane-for-lane. Kernels whose scalar op
+//!   order a 4-lane rewrite would have to change (sequential-sum
+//!   reductions like `row_entropy` and the softmax backward dot) simply
+//!   delegate to [`scalar`], so the SSE2 tier is bitwise-identical to
+//!   `Scalar` on every kernel (the property tests in
+//!   `tests/simd_equivalence.rs` pin this down).
+//! * **`Avx2`** — AVX2 + FMA. Fused multiply-adds reassociate the
+//!   reductions and the transcendental kernels use Cephes-style
+//!   polynomial vector `exp`/`ln`, so this tier is *bounded-ULP*
+//!   equivalent rather than bitwise (again pinned by property tests).
+//!
+//! # Tier selection
+//!
+//! The active tier latches once per process from `RDD_SIMD` (same
+//! pattern as `RDD_WORKSPACE` / `RDD_THREADS`):
+//!
+//! * unset / `auto` / `on` — best tier the CPU supports, probed with
+//!   `is_x86_feature_detected!`;
+//! * `off` / `scalar` / `0` / `false` / `no` — the scalar oracle;
+//! * `sse2` / `avx2` — force a specific tier (falls back to the best
+//!   detected tier, with a warning, when the CPU lacks it);
+//! * anything else — warning through `rdd_obs`, keeps `auto`.
+//!
+//! The first resolution emits a one-shot `simd_init` trace event naming
+//! the selected and detected tiers. Benches and tests that must compare
+//! tiers inside one process bypass the latch with [`force_active`], or
+//! call the per-tier kernels directly (every public kernel takes its
+//! [`SimdTier`] as the first argument).
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// One instruction-set tier of the kernel layer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum SimdTier {
+    /// The original autovectorized scalar kernels (the bitwise oracle).
+    Scalar = 0,
+    /// SSE2 intrinsics preserving the scalar op order (bitwise-equal).
+    Sse2 = 1,
+    /// AVX2 + FMA intrinsics (bounded-ULP equivalent, fastest).
+    Avx2 = 2,
+}
+
+impl SimdTier {
+    /// Stable lowercase name, as accepted by `RDD_SIMD` and reported in
+    /// the `simd_init` trace event.
+    pub fn name(self) -> &'static str {
+        match self {
+            SimdTier::Scalar => "scalar",
+            SimdTier::Sse2 => "sse2",
+            SimdTier::Avx2 => "avx2",
+        }
+    }
+}
+
+const TIER_UNSET: u8 = u8::MAX;
+
+/// Latched active tier; `TIER_UNSET` until the first [`active`] call.
+static ACTIVE: AtomicU8 = AtomicU8::new(TIER_UNSET);
+
+fn tier_from_u8(v: u8) -> SimdTier {
+    match v {
+        1 => SimdTier::Sse2,
+        2 => SimdTier::Avx2,
+        _ => SimdTier::Scalar,
+    }
+}
+
+/// Best tier the running CPU supports.
+pub fn detect_best() -> SimdTier {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+        {
+            return SimdTier::Avx2;
+        }
+        if std::arch::is_x86_feature_detected!("sse2") {
+            return SimdTier::Sse2;
+        }
+    }
+    SimdTier::Scalar
+}
+
+/// Whether `tier` can run on this CPU.
+pub fn available(tier: SimdTier) -> bool {
+    tier as u8 <= detect_best() as u8
+}
+
+/// The process-wide active tier, resolved from `RDD_SIMD` on first use.
+#[inline]
+pub fn active() -> SimdTier {
+    match ACTIVE.load(Ordering::Relaxed) {
+        TIER_UNSET => init_from_env(),
+        t => tier_from_u8(t),
+    }
+}
+
+/// Override the active tier (benches and tier-comparison tests only —
+/// normal code lets the `RDD_SIMD` latch decide once per process).
+pub fn force_active(tier: SimdTier) {
+    ACTIVE.store(tier as u8, Ordering::Relaxed);
+}
+
+#[cold]
+fn init_from_env() -> SimdTier {
+    let best = detect_best();
+    let tier = match std::env::var("RDD_SIMD") {
+        Err(_) => best,
+        Ok(v) => match v.trim().to_ascii_lowercase().as_str() {
+            "" | "auto" | "on" => best,
+            "off" | "scalar" | "0" | "false" | "no" => SimdTier::Scalar,
+            "sse2" if available(SimdTier::Sse2) => SimdTier::Sse2,
+            "avx2" if available(SimdTier::Avx2) => SimdTier::Avx2,
+            "sse2" | "avx2" => {
+                rdd_obs::warn(&format!(
+                    "rdd-tensor: RDD_SIMD={v:?} not supported by this CPU \
+                     (best tier: {}); using it instead",
+                    best.name()
+                ));
+                best
+            }
+            _ => {
+                rdd_obs::warn(&format!(
+                    "rdd-tensor: ignoring unparseable RDD_SIMD={v:?} \
+                     (expected auto|off|scalar|sse2|avx2); keeping auto"
+                ));
+                best
+            }
+        },
+    };
+    // First writer wins so the init event fires exactly once even when
+    // several pool workers race into the latch.
+    if ACTIVE
+        .compare_exchange(TIER_UNSET, tier as u8, Ordering::Relaxed, Ordering::Relaxed)
+        .is_ok()
+    {
+        rdd_obs::event(
+            "simd_init",
+            &[
+                ("tier", rdd_obs::Json::from(tier.name())),
+                ("detected", rdd_obs::Json::from(best.name())),
+            ],
+        );
+    }
+    tier_from_u8(ACTIVE.load(Ordering::Relaxed))
+}
+
+// ---------------------------------------------------------------------------
+// Dispatchers: one public function per kernel, tier as the first argument.
+// ---------------------------------------------------------------------------
+
+/// Slices narrower than one AVX2 vector (8 lanes) always take the scalar
+/// tier: at such widths the vector path is all setup and masked remainder
+/// (measured ~0.9x on 7-class softmax/backward rows), and demoting to the
+/// bitwise oracle can never change results.
+const NARROW: usize = 8;
+
+macro_rules! dispatch {
+    ($tier:expr, $scalar:expr, $sse2:expr, $avx2:expr) => {
+        match $tier {
+            SimdTier::Scalar => $scalar,
+            #[cfg(target_arch = "x86_64")]
+            SimdTier::Sse2 => unsafe { $sse2 },
+            #[cfg(target_arch = "x86_64")]
+            SimdTier::Avx2 => unsafe { $avx2 },
+            #[cfg(not(target_arch = "x86_64"))]
+            _ => $scalar,
+        }
+    };
+}
+
+/// Dot product (eight-accumulator reduction; bitwise across Scalar/Sse2).
+#[inline]
+pub fn dot(tier: SimdTier, a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    if a.len() < NARROW {
+        return scalar::dot(a, b);
+    }
+    dispatch!(
+        tier,
+        scalar::dot(a, b),
+        x86::dot_sse2(a, b),
+        x86::dot_avx2(a, b)
+    )
+}
+
+/// `out_row += a * b_row` (bitwise across Scalar/Sse2).
+#[inline]
+pub fn axpy(tier: SimdTier, out_row: &mut [f32], a: f32, b_row: &[f32]) {
+    if out_row.len() < NARROW {
+        return scalar::axpy(out_row, a, b_row);
+    }
+    dispatch!(
+        tier,
+        scalar::axpy(out_row, a, b_row),
+        x86::axpy_sse2(out_row, a, b_row),
+        x86::axpy_avx2(out_row, a, b_row)
+    )
+}
+
+/// `out_row += Σ_l a[l] * b_l` over four unrolled reduction rows
+/// (bitwise across Scalar/Sse2).
+#[inline]
+pub fn axpy4(
+    tier: SimdTier,
+    out_row: &mut [f32],
+    a: [f32; 4],
+    b0: &[f32],
+    b1: &[f32],
+    b2: &[f32],
+    b3: &[f32],
+) {
+    if out_row.len() < NARROW {
+        return scalar::axpy4(out_row, a, b0, b1, b2, b3);
+    }
+    dispatch!(
+        tier,
+        scalar::axpy4(out_row, a, b0, b1, b2, b3),
+        x86::axpy4_sse2(out_row, a, b0, b1, b2, b3),
+        x86::axpy4_avx2(out_row, a, b0, b1, b2, b3)
+    )
+}
+
+/// Numerically-stable in-place softmax (bitwise across Scalar/Sse2).
+#[inline]
+pub fn softmax_in_place(tier: SimdTier, row: &mut [f32]) {
+    if row.len() < NARROW {
+        return scalar::softmax_in_place(row);
+    }
+    dispatch!(
+        tier,
+        scalar::softmax_in_place(row),
+        x86::softmax_sse2(row),
+        x86::softmax_avx2(row)
+    )
+}
+
+/// Numerically-stable in-place log-softmax (bitwise across Scalar/Sse2).
+#[inline]
+pub fn log_softmax_in_place(tier: SimdTier, row: &mut [f32]) {
+    if row.len() < NARROW {
+        return scalar::log_softmax_in_place(row);
+    }
+    dispatch!(
+        tier,
+        scalar::log_softmax_in_place(row),
+        x86::log_softmax_sse2(row),
+        x86::log_softmax_avx2(row)
+    )
+}
+
+/// Shannon entropy of one row (`Σ −p ln p` over `p > 0`). The scalar sum
+/// is sequential, so the SSE2 tier delegates to it (bitwise); AVX2 uses
+/// the polynomial vector `ln` (bounded-ULP).
+#[inline]
+pub fn row_entropy(tier: SimdTier, row: &[f32]) -> f32 {
+    #[cfg(target_arch = "x86_64")]
+    if tier == SimdTier::Avx2 && row.len() >= NARROW {
+        return unsafe { x86::row_entropy_avx2(row) };
+    }
+    let _ = tier;
+    scalar::row_entropy(row)
+}
+
+/// Elementwise `a += b` (bitwise across Scalar/Sse2).
+#[inline]
+pub fn add_assign(tier: SimdTier, a: &mut [f32], b: &[f32]) {
+    debug_assert_eq!(a.len(), b.len());
+    if a.len() < NARROW {
+        return scalar::add_assign(a, b);
+    }
+    dispatch!(
+        tier,
+        scalar::add_assign(a, b),
+        x86::add_assign_sse2(a, b),
+        x86::add_assign_avx2(a, b)
+    )
+}
+
+/// Elementwise `a += s * b` (bitwise across Scalar/Sse2).
+#[inline]
+pub fn add_scaled_assign(tier: SimdTier, a: &mut [f32], b: &[f32], s: f32) {
+    debug_assert_eq!(a.len(), b.len());
+    if a.len() < NARROW {
+        return scalar::add_scaled_assign(a, b, s);
+    }
+    dispatch!(
+        tier,
+        scalar::add_scaled_assign(a, b, s),
+        x86::add_scaled_sse2(a, b, s),
+        x86::add_scaled_avx2(a, b, s)
+    )
+}
+
+/// Elementwise `a *= s` (bitwise across Scalar/Sse2).
+#[inline]
+pub fn scale_assign(tier: SimdTier, a: &mut [f32], s: f32) {
+    if a.len() < NARROW {
+        return scalar::scale_assign(a, s);
+    }
+    dispatch!(
+        tier,
+        scalar::scale_assign(a, s),
+        x86::scale_sse2(a, s),
+        x86::scale_avx2(a, s)
+    )
+}
+
+/// Elementwise `a *= b` (Hadamard / dropout-mask arm; bitwise across
+/// Scalar/Sse2).
+#[inline]
+pub fn mul_assign(tier: SimdTier, a: &mut [f32], b: &[f32]) {
+    debug_assert_eq!(a.len(), b.len());
+    if a.len() < NARROW {
+        return scalar::mul_assign(a, b);
+    }
+    dispatch!(
+        tier,
+        scalar::mul_assign(a, b),
+        x86::mul_assign_sse2(a, b),
+        x86::mul_assign_avx2(a, b)
+    )
+}
+
+/// In-place ReLU `v = max(v, 0)` (bitwise across Scalar/Sse2 for inputs
+/// without `-0.0`/NaN).
+#[inline]
+pub fn relu_in_place(tier: SimdTier, a: &mut [f32]) {
+    if a.len() < NARROW {
+        return scalar::relu_in_place(a);
+    }
+    dispatch!(
+        tier,
+        scalar::relu_in_place(a),
+        x86::relu_sse2(a),
+        x86::relu_avx2(a)
+    )
+}
+
+/// ReLU backward: zero `d` wherever the forward input `x <= 0` (bitwise
+/// across Scalar/Sse2 for non-NaN inputs).
+#[inline]
+pub fn relu_bwd(tier: SimdTier, d: &mut [f32], x: &[f32]) {
+    debug_assert_eq!(d.len(), x.len());
+    if d.len() < NARROW {
+        return scalar::relu_bwd(d, x);
+    }
+    dispatch!(
+        tier,
+        scalar::relu_bwd(d, x),
+        x86::relu_bwd_sse2(d, x),
+        x86::relu_bwd_avx2(d, x)
+    )
+}
+
+/// Softmax backward over one row: `dx = y ⊙ (dx − Σ dx·y)`. The row dot
+/// is a sequential scalar sum, so SSE2 delegates to scalar (bitwise);
+/// AVX2 vectorizes both passes (bounded-ULP).
+#[inline]
+pub fn softmax_bwd_row(tier: SimdTier, dx: &mut [f32], y: &[f32]) {
+    debug_assert_eq!(dx.len(), y.len());
+    #[cfg(target_arch = "x86_64")]
+    if tier == SimdTier::Avx2 && dx.len() >= NARROW {
+        return unsafe { x86::softmax_bwd_row_avx2(dx, y) };
+    }
+    let _ = tier;
+    scalar::softmax_bwd_row(dx, y)
+}
+
+/// Log-softmax backward over one row: `dx -= exp(y) * Σ dx`. SSE2
+/// delegates to scalar (sequential sum + scalar `exp`); AVX2 uses the
+/// polynomial vector `exp` (bounded-ULP).
+#[inline]
+pub fn log_softmax_bwd_row(tier: SimdTier, dx: &mut [f32], y: &[f32]) {
+    debug_assert_eq!(dx.len(), y.len());
+    #[cfg(target_arch = "x86_64")]
+    if tier == SimdTier::Avx2 && dx.len() >= NARROW {
+        return unsafe { x86::log_softmax_bwd_row_avx2(dx, y) };
+    }
+    let _ = tier;
+    scalar::log_softmax_bwd_row(dx, y)
+}
+
+/// Affine int8 dequantization `out[i] = zero + scale * q[i]` (the v2q
+/// serving-artifact load path). SSE2 delegates to scalar; AVX2 widens
+/// eight codes per step through `cvtepu8` + FMA (≤1 ULP from scalar).
+#[inline]
+pub fn dequant_u8(tier: SimdTier, q: &[u8], scale: f32, zero: f32, out: &mut [f32]) {
+    debug_assert_eq!(q.len(), out.len());
+    #[cfg(target_arch = "x86_64")]
+    if tier == SimdTier::Avx2 && q.len() >= NARROW {
+        return unsafe { x86::dequant_u8_avx2(q, scale, zero, out) };
+    }
+    let _ = tier;
+    scalar::dequant_u8(q, scale, zero, out)
+}
+
+// ---------------------------------------------------------------------------
+// Scalar tier: the bitwise oracle.
+// ---------------------------------------------------------------------------
+
+/// The original scalar kernels, moved verbatim from `matrix.rs` (plus the
+/// per-row backward/dequant loops from `autograd.rs` and the serve crate).
+/// `RDD_SIMD=off` routes every kernel here, and the property tests use
+/// these as the reference the vector tiers are checked against.
+pub mod scalar {
+    /// `out_row[..] += Σ_l a[l] * b_l[..]` over four unrolled reduction rows.
+    ///
+    /// The explicit re-slicing to `out_row.len()` lets the compiler drop
+    /// bounds checks and vectorize the body; the zero test skips entire
+    /// quads, which matters for the sparse-ish dense matrices the ablation
+    /// benches feed in.
+    #[inline]
+    pub fn axpy4(out_row: &mut [f32], a: [f32; 4], b0: &[f32], b1: &[f32], b2: &[f32], b3: &[f32]) {
+        if a == [0.0; 4] {
+            return;
+        }
+        let n = out_row.len();
+        let (b0, b1, b2, b3) = (&b0[..n], &b1[..n], &b2[..n], &b3[..n]);
+        for i in 0..n {
+            out_row[i] += a[0] * b0[i] + a[1] * b1[i] + a[2] * b2[i] + a[3] * b3[i];
+        }
+    }
+
+    /// `out_row[..] += a * b_row[..]` (remainder lane of the unrolled loops,
+    /// and the scatter step of the sparse kernels).
+    #[inline]
+    pub fn axpy(out_row: &mut [f32], a: f32, b_row: &[f32]) {
+        if a == 0.0 {
+            return;
+        }
+        for (o, &b) in out_row.iter_mut().zip(b_row) {
+            *o += a * b;
+        }
+    }
+
+    /// Dot product with eight independent accumulator lanes.
+    ///
+    /// The lanes break the loop-carried `f32` addition chain, which is what
+    /// allows SIMD codegen without `-ffast-math`-style reassociation.
+    #[inline]
+    pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+        debug_assert_eq!(a.len(), b.len());
+        let lanes = a.len() / 8 * 8;
+        let (a8, a_tail) = a.split_at(lanes);
+        let (b8, b_tail) = b.split_at(lanes);
+        let mut acc = [0.0f32; 8];
+        for (ac, bc) in a8.chunks_exact(8).zip(b8.chunks_exact(8)) {
+            for l in 0..8 {
+                acc[l] += ac[l] * bc[l];
+            }
+        }
+        let mut s =
+            ((acc[0] + acc[4]) + (acc[1] + acc[5])) + ((acc[2] + acc[6]) + (acc[3] + acc[7]));
+        for (&x, &y) in a_tail.iter().zip(b_tail) {
+            s += x * y;
+        }
+        s
+    }
+
+    /// Numerically-stable in-place softmax over a slice.
+    pub fn softmax_in_place(row: &mut [f32]) {
+        let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let mut z = 0.0f32;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            z += *v;
+        }
+        let inv = 1.0 / z;
+        for v in row.iter_mut() {
+            *v *= inv;
+        }
+    }
+
+    /// Numerically-stable in-place log-softmax over a slice.
+    pub fn log_softmax_in_place(row: &mut [f32]) {
+        let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let z: f32 = row.iter().map(|&v| (v - max).exp()).sum();
+        let lz = z.ln() + max;
+        for v in row.iter_mut() {
+            *v -= lz;
+        }
+    }
+
+    /// Shannon entropy of one row: `Σ −p ln p` over entries `p > 0`.
+    pub fn row_entropy(row: &[f32]) -> f32 {
+        row.iter().filter(|&&p| p > 0.0).map(|&p| -p * p.ln()).sum()
+    }
+
+    /// Elementwise `a += b`.
+    #[inline]
+    pub fn add_assign(a: &mut [f32], b: &[f32]) {
+        for (x, &y) in a.iter_mut().zip(b) {
+            *x += y;
+        }
+    }
+
+    /// Elementwise `a += s * b`.
+    #[inline]
+    pub fn add_scaled_assign(a: &mut [f32], b: &[f32], s: f32) {
+        for (x, &y) in a.iter_mut().zip(b) {
+            *x += s * y;
+        }
+    }
+
+    /// Elementwise `a *= s`.
+    #[inline]
+    pub fn scale_assign(a: &mut [f32], s: f32) {
+        for x in a.iter_mut() {
+            *x *= s;
+        }
+    }
+
+    /// Elementwise `a *= b`.
+    #[inline]
+    pub fn mul_assign(a: &mut [f32], b: &[f32]) {
+        for (x, &y) in a.iter_mut().zip(b) {
+            *x *= y;
+        }
+    }
+
+    /// In-place ReLU.
+    #[inline]
+    pub fn relu_in_place(a: &mut [f32]) {
+        for v in a.iter_mut() {
+            *v = v.max(0.0);
+        }
+    }
+
+    /// ReLU backward: zero the gradient wherever the input was `<= 0`.
+    #[inline]
+    pub fn relu_bwd(d: &mut [f32], x: &[f32]) {
+        for (dv, &v) in d.iter_mut().zip(x) {
+            if v <= 0.0 {
+                *dv = 0.0;
+            }
+        }
+    }
+
+    /// Softmax backward over one row: `dx = y ⊙ (dx − Σ dx·y)`.
+    #[inline]
+    pub fn softmax_bwd_row(dx: &mut [f32], y: &[f32]) {
+        let dot: f32 = dx.iter().zip(y).map(|(&a, &b)| a * b).sum();
+        for (d, &yv) in dx.iter_mut().zip(y) {
+            *d = yv * (*d - dot);
+        }
+    }
+
+    /// Log-softmax backward over one row: `dx -= exp(y) * Σ dx`.
+    #[inline]
+    pub fn log_softmax_bwd_row(dx: &mut [f32], y: &[f32]) {
+        let row_sum: f32 = dx.iter().sum();
+        for (d, &ly) in dx.iter_mut().zip(y) {
+            *d -= ly.exp() * row_sum;
+        }
+    }
+
+    /// Affine int8 dequantization `out[i] = zero + scale * q[i]`.
+    #[inline]
+    pub fn dequant_u8(q: &[u8], scale: f32, zero: f32, out: &mut [f32]) {
+        for (o, &qv) in out.iter_mut().zip(q) {
+            *o = zero + scale * qv as f32;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// x86-64 vector tiers.
+// ---------------------------------------------------------------------------
+
+/// SSE2 and AVX2+FMA kernel implementations. All functions are
+/// `#[target_feature]`-gated: callers must have verified the feature via
+/// [`detect_best`] (the dispatchers and the `RDD_SIMD` latch do).
+#[cfg(target_arch = "x86_64")]
+#[allow(unsafe_op_in_unsafe_fn)]
+mod x86 {
+    use std::arch::x86_64::*;
+
+    // -------------------------- SSE2 (bitwise) ---------------------------
+    //
+    // These kernels replicate the scalar expression trees lane-for-lane:
+    // the 8-lane `dot` maps onto two 4-lane accumulators whose combine
+    // order equals the scalar lane combine, and the elementwise kernels
+    // perform the identical per-element product/sum. They are therefore
+    // bitwise-equal to the `scalar` module on finite inputs.
+
+    #[target_feature(enable = "sse2")]
+    pub unsafe fn dot_sse2(a: &[f32], b: &[f32]) -> f32 {
+        let n = a.len();
+        let lanes = n / 8 * 8;
+        let pa = a.as_ptr();
+        let pb = b.as_ptr();
+        // acc_lo holds scalar lanes 0..4, acc_hi lanes 4..8.
+        let mut acc_lo = _mm_setzero_ps();
+        let mut acc_hi = _mm_setzero_ps();
+        let mut i = 0;
+        while i < lanes {
+            acc_lo = _mm_add_ps(
+                acc_lo,
+                _mm_mul_ps(_mm_loadu_ps(pa.add(i)), _mm_loadu_ps(pb.add(i))),
+            );
+            acc_hi = _mm_add_ps(
+                acc_hi,
+                _mm_mul_ps(_mm_loadu_ps(pa.add(i + 4)), _mm_loadu_ps(pb.add(i + 4))),
+            );
+            i += 8;
+        }
+        // Combine in the scalar order:
+        // ((l0+h0) + (l1+h1)) + ((l2+h2) + (l3+h3)).
+        let v = _mm_add_ps(acc_lo, acc_hi);
+        let mut lanes4 = [0.0f32; 4];
+        _mm_storeu_ps(lanes4.as_mut_ptr(), v);
+        let mut s = (lanes4[0] + lanes4[1]) + (lanes4[2] + lanes4[3]);
+        for k in lanes..n {
+            s += a[k] * b[k];
+        }
+        s
+    }
+
+    #[target_feature(enable = "sse2")]
+    pub unsafe fn axpy_sse2(out_row: &mut [f32], a: f32, b_row: &[f32]) {
+        if a == 0.0 {
+            return;
+        }
+        let n = out_row.len().min(b_row.len());
+        let quads = n / 4 * 4;
+        let va = _mm_set1_ps(a);
+        let po = out_row.as_mut_ptr();
+        let pb = b_row.as_ptr();
+        let mut i = 0;
+        while i < quads {
+            let o = _mm_loadu_ps(po.add(i));
+            let bch = _mm_loadu_ps(pb.add(i));
+            _mm_storeu_ps(po.add(i), _mm_add_ps(o, _mm_mul_ps(va, bch)));
+            i += 4;
+        }
+        for k in quads..n {
+            out_row[k] += a * b_row[k];
+        }
+    }
+
+    #[target_feature(enable = "sse2")]
+    pub unsafe fn axpy4_sse2(
+        out_row: &mut [f32],
+        a: [f32; 4],
+        b0: &[f32],
+        b1: &[f32],
+        b2: &[f32],
+        b3: &[f32],
+    ) {
+        if a == [0.0; 4] {
+            return;
+        }
+        let n = out_row.len();
+        let (b0, b1, b2, b3) = (&b0[..n], &b1[..n], &b2[..n], &b3[..n]);
+        let (va0, va1, va2, va3) = (
+            _mm_set1_ps(a[0]),
+            _mm_set1_ps(a[1]),
+            _mm_set1_ps(a[2]),
+            _mm_set1_ps(a[3]),
+        );
+        let quads = n / 4 * 4;
+        let po = out_row.as_mut_ptr();
+        let mut i = 0;
+        while i < quads {
+            // Same tree as the scalar kernel: ((m0 + m1) + m2) + m3.
+            let t = _mm_add_ps(
+                _mm_mul_ps(va0, _mm_loadu_ps(b0.as_ptr().add(i))),
+                _mm_mul_ps(va1, _mm_loadu_ps(b1.as_ptr().add(i))),
+            );
+            let t = _mm_add_ps(t, _mm_mul_ps(va2, _mm_loadu_ps(b2.as_ptr().add(i))));
+            let t = _mm_add_ps(t, _mm_mul_ps(va3, _mm_loadu_ps(b3.as_ptr().add(i))));
+            _mm_storeu_ps(po.add(i), _mm_add_ps(_mm_loadu_ps(po.add(i)), t));
+            i += 4;
+        }
+        for k in quads..n {
+            out_row[k] += a[0] * b0[k] + a[1] * b1[k] + a[2] * b2[k] + a[3] * b3[k];
+        }
+    }
+
+    #[target_feature(enable = "sse2")]
+    unsafe fn max_sse2(row: &[f32]) -> f32 {
+        let n = row.len();
+        let quads = n / 4 * 4;
+        let mut max = f32::NEG_INFINITY;
+        if quads >= 4 {
+            let mut vm = _mm_loadu_ps(row.as_ptr());
+            let mut i = 4;
+            while i < quads {
+                vm = _mm_max_ps(vm, _mm_loadu_ps(row.as_ptr().add(i)));
+                i += 4;
+            }
+            let mut lanes = [0.0f32; 4];
+            _mm_storeu_ps(lanes.as_mut_ptr(), vm);
+            max = lanes.iter().cloned().fold(max, f32::max);
+        }
+        for &v in &row[quads..] {
+            max = max.max(v);
+        }
+        max
+    }
+
+    #[target_feature(enable = "sse2")]
+    pub unsafe fn softmax_sse2(row: &mut [f32]) {
+        // Vector max (order-free), scalar exp + sequential sum so `z` is
+        // bitwise-equal to the scalar kernel, then a vector scale pass.
+        let max = max_sse2(row);
+        let mut z = 0.0f32;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            z += *v;
+        }
+        let inv = 1.0 / z;
+        let n = row.len();
+        let quads = n / 4 * 4;
+        let vi = _mm_set1_ps(inv);
+        let p = row.as_mut_ptr();
+        let mut i = 0;
+        while i < quads {
+            _mm_storeu_ps(p.add(i), _mm_mul_ps(_mm_loadu_ps(p.add(i)), vi));
+            i += 4;
+        }
+        for v in &mut row[quads..] {
+            *v *= inv;
+        }
+    }
+
+    #[target_feature(enable = "sse2")]
+    pub unsafe fn log_softmax_sse2(row: &mut [f32]) {
+        let max = max_sse2(row);
+        let mut z = 0.0f32;
+        for &v in row.iter() {
+            z += (v - max).exp();
+        }
+        let lz = z.ln() + max;
+        let n = row.len();
+        let quads = n / 4 * 4;
+        let vlz = _mm_set1_ps(lz);
+        let p = row.as_mut_ptr();
+        let mut i = 0;
+        while i < quads {
+            _mm_storeu_ps(p.add(i), _mm_sub_ps(_mm_loadu_ps(p.add(i)), vlz));
+            i += 4;
+        }
+        for v in &mut row[quads..] {
+            *v -= lz;
+        }
+    }
+
+    #[target_feature(enable = "sse2")]
+    pub unsafe fn add_assign_sse2(a: &mut [f32], b: &[f32]) {
+        let n = a.len();
+        let quads = n / 4 * 4;
+        let pa = a.as_mut_ptr();
+        let pb = b.as_ptr();
+        let mut i = 0;
+        while i < quads {
+            _mm_storeu_ps(
+                pa.add(i),
+                _mm_add_ps(_mm_loadu_ps(pa.add(i)), _mm_loadu_ps(pb.add(i))),
+            );
+            i += 4;
+        }
+        for k in quads..n {
+            a[k] += b[k];
+        }
+    }
+
+    #[target_feature(enable = "sse2")]
+    pub unsafe fn add_scaled_sse2(a: &mut [f32], b: &[f32], s: f32) {
+        let n = a.len();
+        let quads = n / 4 * 4;
+        let vs = _mm_set1_ps(s);
+        let pa = a.as_mut_ptr();
+        let pb = b.as_ptr();
+        let mut i = 0;
+        while i < quads {
+            _mm_storeu_ps(
+                pa.add(i),
+                _mm_add_ps(
+                    _mm_loadu_ps(pa.add(i)),
+                    _mm_mul_ps(vs, _mm_loadu_ps(pb.add(i))),
+                ),
+            );
+            i += 4;
+        }
+        for k in quads..n {
+            a[k] += s * b[k];
+        }
+    }
+
+    #[target_feature(enable = "sse2")]
+    pub unsafe fn scale_sse2(a: &mut [f32], s: f32) {
+        let n = a.len();
+        let quads = n / 4 * 4;
+        let vs = _mm_set1_ps(s);
+        let pa = a.as_mut_ptr();
+        let mut i = 0;
+        while i < quads {
+            _mm_storeu_ps(pa.add(i), _mm_mul_ps(_mm_loadu_ps(pa.add(i)), vs));
+            i += 4;
+        }
+        for v in &mut a[quads..n] {
+            *v *= s;
+        }
+    }
+
+    #[target_feature(enable = "sse2")]
+    pub unsafe fn mul_assign_sse2(a: &mut [f32], b: &[f32]) {
+        let n = a.len();
+        let quads = n / 4 * 4;
+        let pa = a.as_mut_ptr();
+        let pb = b.as_ptr();
+        let mut i = 0;
+        while i < quads {
+            _mm_storeu_ps(
+                pa.add(i),
+                _mm_mul_ps(_mm_loadu_ps(pa.add(i)), _mm_loadu_ps(pb.add(i))),
+            );
+            i += 4;
+        }
+        for k in quads..n {
+            a[k] *= b[k];
+        }
+    }
+
+    #[target_feature(enable = "sse2")]
+    pub unsafe fn relu_sse2(a: &mut [f32]) {
+        let n = a.len();
+        let quads = n / 4 * 4;
+        let zero = _mm_setzero_ps();
+        let pa = a.as_mut_ptr();
+        let mut i = 0;
+        while i < quads {
+            _mm_storeu_ps(pa.add(i), _mm_max_ps(_mm_loadu_ps(pa.add(i)), zero));
+            i += 4;
+        }
+        for v in &mut a[quads..] {
+            *v = v.max(0.0);
+        }
+    }
+
+    #[target_feature(enable = "sse2")]
+    pub unsafe fn relu_bwd_sse2(d: &mut [f32], x: &[f32]) {
+        let n = d.len();
+        let quads = n / 4 * 4;
+        let zero = _mm_setzero_ps();
+        let pd = d.as_mut_ptr();
+        let px = x.as_ptr();
+        let mut i = 0;
+        while i < quads {
+            // Keep the gradient only where x > 0.
+            let keep = _mm_cmpgt_ps(_mm_loadu_ps(px.add(i)), zero);
+            _mm_storeu_ps(pd.add(i), _mm_and_ps(_mm_loadu_ps(pd.add(i)), keep));
+            i += 4;
+        }
+        for k in quads..n {
+            if x[k] <= 0.0 {
+                d[k] = 0.0;
+            }
+        }
+    }
+
+    // ------------------------- AVX2 + FMA (ULP) --------------------------
+
+    #[target_feature(enable = "avx2", enable = "fma")]
+    unsafe fn hsum256(v: __m256) -> f32 {
+        let s = _mm_add_ps(_mm256_castps256_ps128(v), _mm256_extractf128_ps(v, 1));
+        let s = _mm_add_ps(s, _mm_shuffle_ps(s, s, 0b10_11_00_01));
+        let s = _mm_add_ss(s, _mm_movehl_ps(s, s));
+        _mm_cvtss_f32(s)
+    }
+
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn dot_avx2(a: &[f32], b: &[f32]) -> f32 {
+        let n = a.len();
+        let pa = a.as_ptr();
+        let pb = b.as_ptr();
+        let mut acc0 = _mm256_setzero_ps();
+        let mut acc1 = _mm256_setzero_ps();
+        let pairs = n / 16 * 16;
+        let mut i = 0;
+        while i < pairs {
+            acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(pa.add(i)), _mm256_loadu_ps(pb.add(i)), acc0);
+            acc1 = _mm256_fmadd_ps(
+                _mm256_loadu_ps(pa.add(i + 8)),
+                _mm256_loadu_ps(pb.add(i + 8)),
+                acc1,
+            );
+            i += 16;
+        }
+        let mut acc = _mm256_add_ps(acc0, acc1);
+        while i + 8 <= n {
+            acc = _mm256_fmadd_ps(_mm256_loadu_ps(pa.add(i)), _mm256_loadu_ps(pb.add(i)), acc);
+            i += 8;
+        }
+        let mut s = hsum256(acc);
+        while i < n {
+            s += a[i] * b[i];
+            i += 1;
+        }
+        s
+    }
+
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn axpy_avx2(out_row: &mut [f32], a: f32, b_row: &[f32]) {
+        if a == 0.0 {
+            return;
+        }
+        let n = out_row.len().min(b_row.len());
+        let octs = n / 8 * 8;
+        let va = _mm256_set1_ps(a);
+        let po = out_row.as_mut_ptr();
+        let pb = b_row.as_ptr();
+        let mut i = 0;
+        while i < octs {
+            _mm256_storeu_ps(
+                po.add(i),
+                _mm256_fmadd_ps(va, _mm256_loadu_ps(pb.add(i)), _mm256_loadu_ps(po.add(i))),
+            );
+            i += 8;
+        }
+        for k in octs..n {
+            out_row[k] += a * b_row[k];
+        }
+    }
+
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn axpy4_avx2(
+        out_row: &mut [f32],
+        a: [f32; 4],
+        b0: &[f32],
+        b1: &[f32],
+        b2: &[f32],
+        b3: &[f32],
+    ) {
+        if a == [0.0; 4] {
+            return;
+        }
+        let n = out_row.len();
+        let (b0, b1, b2, b3) = (&b0[..n], &b1[..n], &b2[..n], &b3[..n]);
+        let (va0, va1, va2, va3) = (
+            _mm256_set1_ps(a[0]),
+            _mm256_set1_ps(a[1]),
+            _mm256_set1_ps(a[2]),
+            _mm256_set1_ps(a[3]),
+        );
+        let octs = n / 8 * 8;
+        let po = out_row.as_mut_ptr();
+        let mut i = 0;
+        while i < octs {
+            let mut o = _mm256_loadu_ps(po.add(i));
+            o = _mm256_fmadd_ps(va0, _mm256_loadu_ps(b0.as_ptr().add(i)), o);
+            o = _mm256_fmadd_ps(va1, _mm256_loadu_ps(b1.as_ptr().add(i)), o);
+            o = _mm256_fmadd_ps(va2, _mm256_loadu_ps(b2.as_ptr().add(i)), o);
+            o = _mm256_fmadd_ps(va3, _mm256_loadu_ps(b3.as_ptr().add(i)), o);
+            _mm256_storeu_ps(po.add(i), o);
+            i += 8;
+        }
+        for k in octs..n {
+            out_row[k] += a[0] * b0[k] + a[1] * b1[k] + a[2] * b2[k] + a[3] * b3[k];
+        }
+    }
+
+    /// Cephes-style polynomial `exp` on 8 lanes (≈1 ULP over the reduced
+    /// range; inputs clamped to ±88.376 like the libm fallback region).
+    #[target_feature(enable = "avx2", enable = "fma")]
+    unsafe fn exp256_ps(x: __m256) -> __m256 {
+        let one = _mm256_set1_ps(1.0);
+        let x = _mm256_min_ps(
+            _mm256_max_ps(x, _mm256_set1_ps(-88.376_26)),
+            _mm256_set1_ps(88.376_26),
+        );
+        // n = floor(x / ln2 + 0.5); r = x - n*ln2 (hi/lo split).
+        let fx = _mm256_floor_ps(_mm256_fmadd_ps(
+            x,
+            _mm256_set1_ps(std::f32::consts::LOG2_E),
+            _mm256_set1_ps(0.5),
+        ));
+        let x = _mm256_fnmadd_ps(fx, _mm256_set1_ps(0.693_359_4), x);
+        let x = _mm256_fnmadd_ps(fx, _mm256_set1_ps(-2.121_944_4e-4), x);
+        let z = _mm256_mul_ps(x, x);
+        let mut y = _mm256_set1_ps(1.987_569_1e-4);
+        y = _mm256_fmadd_ps(y, x, _mm256_set1_ps(1.398_199_9e-3));
+        y = _mm256_fmadd_ps(y, x, _mm256_set1_ps(8.333_452e-3));
+        y = _mm256_fmadd_ps(y, x, _mm256_set1_ps(4.166_579_6e-2));
+        y = _mm256_fmadd_ps(y, x, _mm256_set1_ps(1.666_666_6e-1));
+        y = _mm256_fmadd_ps(y, x, _mm256_set1_ps(5e-1));
+        y = _mm256_fmadd_ps(y, z, x);
+        y = _mm256_add_ps(y, one);
+        // * 2^n via exponent-field construction.
+        let pow2 = _mm256_castsi256_ps(_mm256_slli_epi32::<23>(_mm256_add_epi32(
+            _mm256_cvttps_epi32(fx),
+            _mm256_set1_epi32(0x7f),
+        )));
+        _mm256_mul_ps(y, pow2)
+    }
+
+    /// Cephes-style polynomial `ln` on 8 lanes. Assumes `x > 0` (callers
+    /// mask out non-positive lanes); denormals are clamped up to the
+    /// smallest normal before exponent extraction.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    unsafe fn log256_ps(x: __m256) -> __m256 {
+        let one = _mm256_set1_ps(1.0);
+        let half = _mm256_set1_ps(0.5);
+        let x = _mm256_max_ps(x, _mm256_set1_ps(f32::MIN_POSITIVE));
+        let emm0 = _mm256_srli_epi32::<23>(_mm256_castps_si256(x));
+        // Mantissa into [0.5, 1).
+        let x = _mm256_and_ps(
+            x,
+            _mm256_castsi256_ps(_mm256_set1_epi32(!0x7f80_0000u32 as i32)),
+        );
+        let x = _mm256_or_ps(x, half);
+        let emm0 = _mm256_sub_epi32(emm0, _mm256_set1_epi32(0x7f));
+        let e = _mm256_add_ps(_mm256_cvtepi32_ps(emm0), one);
+        // If mantissa < 1/sqrt(2): e -= 1, m = 2m - 1; else m -= 1.
+        let mask = _mm256_cmp_ps::<_CMP_LT_OQ>(x, _mm256_set1_ps(std::f32::consts::FRAC_1_SQRT_2));
+        let tmp = _mm256_and_ps(x, mask);
+        let x = _mm256_sub_ps(x, one);
+        let e = _mm256_sub_ps(e, _mm256_and_ps(one, mask));
+        let x = _mm256_add_ps(x, tmp);
+        let z = _mm256_mul_ps(x, x);
+        let mut y = _mm256_set1_ps(7.037_683_6e-2);
+        y = _mm256_fmadd_ps(y, x, _mm256_set1_ps(-1.151_461e-1));
+        y = _mm256_fmadd_ps(y, x, _mm256_set1_ps(1.167_699_9e-1));
+        y = _mm256_fmadd_ps(y, x, _mm256_set1_ps(-1.242_014_1e-1));
+        y = _mm256_fmadd_ps(y, x, _mm256_set1_ps(1.424_932_3e-1));
+        y = _mm256_fmadd_ps(y, x, _mm256_set1_ps(-1.666_805_7e-1));
+        y = _mm256_fmadd_ps(y, x, _mm256_set1_ps(2.000_071_4e-1));
+        y = _mm256_fmadd_ps(y, x, _mm256_set1_ps(-2.499_999_4e-1));
+        y = _mm256_fmadd_ps(y, x, _mm256_set1_ps(3.333_333e-1));
+        y = _mm256_mul_ps(_mm256_mul_ps(y, x), z);
+        y = _mm256_fmadd_ps(e, _mm256_set1_ps(-2.121_944_4e-4), y);
+        y = _mm256_fnmadd_ps(half, z, y);
+        let x = _mm256_add_ps(x, y);
+        _mm256_fmadd_ps(e, _mm256_set1_ps(0.693_359_4), x)
+    }
+
+    #[target_feature(enable = "avx2", enable = "fma")]
+    unsafe fn max_avx2(row: &[f32]) -> f32 {
+        let n = row.len();
+        let octs = n / 8 * 8;
+        let mut max = f32::NEG_INFINITY;
+        if octs >= 8 {
+            let mut vm = _mm256_loadu_ps(row.as_ptr());
+            let mut i = 8;
+            while i < octs {
+                vm = _mm256_max_ps(vm, _mm256_loadu_ps(row.as_ptr().add(i)));
+                i += 8;
+            }
+            let mut lanes = [0.0f32; 8];
+            _mm256_storeu_ps(lanes.as_mut_ptr(), vm);
+            max = lanes.iter().cloned().fold(max, f32::max);
+        }
+        for &v in &row[octs..] {
+            max = max.max(v);
+        }
+        max
+    }
+
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn softmax_avx2(row: &mut [f32]) {
+        let max = max_avx2(row);
+        let n = row.len();
+        let octs = n / 8 * 8;
+        let vmax = _mm256_set1_ps(max);
+        let p = row.as_mut_ptr();
+        let mut vz = _mm256_setzero_ps();
+        let mut i = 0;
+        while i < octs {
+            let e = exp256_ps(_mm256_sub_ps(_mm256_loadu_ps(p.add(i)), vmax));
+            _mm256_storeu_ps(p.add(i), e);
+            vz = _mm256_add_ps(vz, e);
+            i += 8;
+        }
+        let mut z = hsum256(vz);
+        for v in &mut row[octs..] {
+            *v = (*v - max).exp();
+            z += *v;
+        }
+        let inv = 1.0 / z;
+        let vi = _mm256_set1_ps(inv);
+        let mut i = 0;
+        while i < octs {
+            _mm256_storeu_ps(p.add(i), _mm256_mul_ps(_mm256_loadu_ps(p.add(i)), vi));
+            i += 8;
+        }
+        for v in &mut row[octs..] {
+            *v *= inv;
+        }
+    }
+
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn log_softmax_avx2(row: &mut [f32]) {
+        let max = max_avx2(row);
+        let n = row.len();
+        let octs = n / 8 * 8;
+        let vmax = _mm256_set1_ps(max);
+        let p = row.as_mut_ptr();
+        let mut vz = _mm256_setzero_ps();
+        let mut i = 0;
+        while i < octs {
+            vz = _mm256_add_ps(
+                vz,
+                exp256_ps(_mm256_sub_ps(_mm256_loadu_ps(p.add(i)), vmax)),
+            );
+            i += 8;
+        }
+        let mut z = hsum256(vz);
+        for &v in &row[octs..] {
+            z += (v - max).exp();
+        }
+        let lz = z.ln() + max;
+        let vlz = _mm256_set1_ps(lz);
+        let mut i = 0;
+        while i < octs {
+            _mm256_storeu_ps(p.add(i), _mm256_sub_ps(_mm256_loadu_ps(p.add(i)), vlz));
+            i += 8;
+        }
+        for v in &mut row[octs..] {
+            *v -= lz;
+        }
+    }
+
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn row_entropy_avx2(row: &[f32]) -> f32 {
+        let n = row.len();
+        let octs = n / 8 * 8;
+        let zero = _mm256_setzero_ps();
+        let one = _mm256_set1_ps(1.0);
+        let mut acc = _mm256_setzero_ps(); // accumulates Σ p·ln p
+        let mut i = 0;
+        while i < octs {
+            let p = _mm256_loadu_ps(row.as_ptr().add(i));
+            let pos = _mm256_cmp_ps::<_CMP_GT_OQ>(p, zero);
+            // ln on masked-out lanes runs on 1.0 (→ 0), then gets zeroed.
+            let safe = _mm256_blendv_ps(one, p, pos);
+            let pl = _mm256_and_ps(_mm256_mul_ps(p, log256_ps(safe)), pos);
+            acc = _mm256_add_ps(acc, pl);
+            i += 8;
+        }
+        let mut s = -hsum256(acc);
+        for &p in &row[octs..] {
+            if p > 0.0 {
+                s += -p * p.ln();
+            }
+        }
+        s
+    }
+
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn softmax_bwd_row_avx2(dx: &mut [f32], y: &[f32]) {
+        let dot = dot_avx2(dx, y);
+        let n = dx.len();
+        let octs = n / 8 * 8;
+        let vd = _mm256_set1_ps(dot);
+        let pd = dx.as_mut_ptr();
+        let py = y.as_ptr();
+        let mut i = 0;
+        while i < octs {
+            let t = _mm256_sub_ps(_mm256_loadu_ps(pd.add(i)), vd);
+            _mm256_storeu_ps(pd.add(i), _mm256_mul_ps(_mm256_loadu_ps(py.add(i)), t));
+            i += 8;
+        }
+        for k in octs..n {
+            dx[k] = y[k] * (dx[k] - dot);
+        }
+    }
+
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn log_softmax_bwd_row_avx2(dx: &mut [f32], y: &[f32]) {
+        let n = dx.len();
+        let octs = n / 8 * 8;
+        let pd = dx.as_mut_ptr();
+        let py = y.as_ptr();
+        let mut vs = _mm256_setzero_ps();
+        let mut i = 0;
+        while i < octs {
+            vs = _mm256_add_ps(vs, _mm256_loadu_ps(pd.add(i)));
+            i += 8;
+        }
+        let mut row_sum = hsum256(vs);
+        for &d in &dx[octs..] {
+            row_sum += d;
+        }
+        let vsum = _mm256_set1_ps(row_sum);
+        let mut i = 0;
+        while i < octs {
+            let e = exp256_ps(_mm256_loadu_ps(py.add(i)));
+            _mm256_storeu_ps(
+                pd.add(i),
+                _mm256_fnmadd_ps(e, vsum, _mm256_loadu_ps(pd.add(i))),
+            );
+            i += 8;
+        }
+        for k in octs..n {
+            dx[k] -= y[k].exp() * row_sum;
+        }
+    }
+
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn dequant_u8_avx2(q: &[u8], scale: f32, zero: f32, out: &mut [f32]) {
+        let n = out.len();
+        let octs = n / 8 * 8;
+        let vs = _mm256_set1_ps(scale);
+        let vz = _mm256_set1_ps(zero);
+        let po = out.as_mut_ptr();
+        let mut i = 0;
+        while i < octs {
+            // Widen 8 codes u8 → i32 → f32, then one FMA.
+            let q8 = _mm_loadl_epi64(q.as_ptr().add(i) as *const __m128i);
+            let qf = _mm256_cvtepi32_ps(_mm256_cvtepu8_epi32(q8));
+            _mm256_storeu_ps(po.add(i), _mm256_fmadd_ps(vs, qf, vz));
+            i += 8;
+        }
+        for k in octs..n {
+            out[k] = zero + scale * q[k] as f32;
+        }
+    }
+
+    // AVX2 elementwise arms.
+
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn add_assign_avx2(a: &mut [f32], b: &[f32]) {
+        let n = a.len();
+        let octs = n / 8 * 8;
+        let pa = a.as_mut_ptr();
+        let pb = b.as_ptr();
+        let mut i = 0;
+        while i < octs {
+            _mm256_storeu_ps(
+                pa.add(i),
+                _mm256_add_ps(_mm256_loadu_ps(pa.add(i)), _mm256_loadu_ps(pb.add(i))),
+            );
+            i += 8;
+        }
+        for k in octs..n {
+            a[k] += b[k];
+        }
+    }
+
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn add_scaled_avx2(a: &mut [f32], b: &[f32], s: f32) {
+        let n = a.len();
+        let octs = n / 8 * 8;
+        let vs = _mm256_set1_ps(s);
+        let pa = a.as_mut_ptr();
+        let pb = b.as_ptr();
+        let mut i = 0;
+        while i < octs {
+            _mm256_storeu_ps(
+                pa.add(i),
+                _mm256_fmadd_ps(vs, _mm256_loadu_ps(pb.add(i)), _mm256_loadu_ps(pa.add(i))),
+            );
+            i += 8;
+        }
+        for k in octs..n {
+            a[k] += s * b[k];
+        }
+    }
+
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn scale_avx2(a: &mut [f32], s: f32) {
+        let n = a.len();
+        let octs = n / 8 * 8;
+        let vs = _mm256_set1_ps(s);
+        let pa = a.as_mut_ptr();
+        let mut i = 0;
+        while i < octs {
+            _mm256_storeu_ps(pa.add(i), _mm256_mul_ps(_mm256_loadu_ps(pa.add(i)), vs));
+            i += 8;
+        }
+        for v in &mut a[octs..n] {
+            *v *= s;
+        }
+    }
+
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn mul_assign_avx2(a: &mut [f32], b: &[f32]) {
+        let n = a.len();
+        let octs = n / 8 * 8;
+        let pa = a.as_mut_ptr();
+        let pb = b.as_ptr();
+        let mut i = 0;
+        while i < octs {
+            _mm256_storeu_ps(
+                pa.add(i),
+                _mm256_mul_ps(_mm256_loadu_ps(pa.add(i)), _mm256_loadu_ps(pb.add(i))),
+            );
+            i += 8;
+        }
+        for k in octs..n {
+            a[k] *= b[k];
+        }
+    }
+
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn relu_avx2(a: &mut [f32]) {
+        let n = a.len();
+        let octs = n / 8 * 8;
+        let zero = _mm256_setzero_ps();
+        let pa = a.as_mut_ptr();
+        let mut i = 0;
+        while i < octs {
+            _mm256_storeu_ps(pa.add(i), _mm256_max_ps(_mm256_loadu_ps(pa.add(i)), zero));
+            i += 8;
+        }
+        for v in &mut a[octs..] {
+            *v = v.max(0.0);
+        }
+    }
+
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn relu_bwd_avx2(d: &mut [f32], x: &[f32]) {
+        let n = d.len();
+        let octs = n / 8 * 8;
+        let zero = _mm256_setzero_ps();
+        let pd = d.as_mut_ptr();
+        let px = x.as_ptr();
+        let mut i = 0;
+        while i < octs {
+            let keep = _mm256_cmp_ps::<_CMP_GT_OQ>(_mm256_loadu_ps(px.add(i)), zero);
+            _mm256_storeu_ps(pd.add(i), _mm256_and_ps(_mm256_loadu_ps(pd.add(i)), keep));
+            i += 8;
+        }
+        for k in octs..n {
+            if x[k] <= 0.0 {
+                d[k] = 0.0;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic xorshift64* data generator (offline-friendly: the
+    /// full tier matrix is exercised without proptest).
+    struct Rng(u64);
+
+    impl Rng {
+        fn next(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            self.0 = x;
+            x
+        }
+
+        fn f32(&mut self) -> f32 {
+            (self.next() >> 40) as f32 / (1u64 << 24) as f32 - 0.5
+        }
+
+        fn vec(&mut self, n: usize) -> Vec<f32> {
+            (0..n).map(|_| self.f32()).collect()
+        }
+    }
+
+    fn tiers() -> Vec<SimdTier> {
+        let mut t = vec![SimdTier::Scalar];
+        if available(SimdTier::Sse2) {
+            t.push(SimdTier::Sse2);
+        }
+        if available(SimdTier::Avx2) {
+            t.push(SimdTier::Avx2);
+        }
+        t
+    }
+
+    /// Lengths that cover empty, sub-lane, lane-aligned and ragged tails.
+    const LENS: &[usize] = &[0, 1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17, 31, 32, 33, 64, 67];
+
+    fn assert_close(a: f32, b: f32, scale: f32, what: &str) {
+        assert!(
+            (a - b).abs() <= 1e-5 * scale.max(1.0),
+            "{what}: {a} vs {b} (scale {scale})"
+        );
+    }
+
+    #[test]
+    fn sse2_dot_axpy_bitwise_avx2_bounded() {
+        let mut rng = Rng(0x1234_5678_9abc_def1);
+        for &n in LENS {
+            let a = rng.vec(n);
+            let b = rng.vec(n);
+            let base = scalar::dot(&a, &b);
+            for t in tiers() {
+                let d = dot(t, &a, &b);
+                if t == SimdTier::Sse2 {
+                    assert_eq!(d.to_bits(), base.to_bits(), "dot sse2 len {n}");
+                } else {
+                    let mag: f32 = a.iter().zip(&b).map(|(x, y)| (x * y).abs()).sum();
+                    assert_close(d, base, mag, &format!("dot {} len {n}", t.name()));
+                }
+            }
+
+            let out0 = rng.vec(n);
+            let coef = rng.f32();
+            let mut want = out0.clone();
+            scalar::axpy(&mut want, coef, &b);
+            for t in tiers() {
+                let mut got = out0.clone();
+                axpy(t, &mut got, coef, &b);
+                for (i, (w, g)) in want.iter().zip(&got).enumerate() {
+                    if t == SimdTier::Sse2 {
+                        assert_eq!(w.to_bits(), g.to_bits(), "axpy sse2 len {n} idx {i}");
+                    } else {
+                        assert_close(*g, *w, w.abs(), &format!("axpy {} len {n}", t.name()));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sse2_axpy4_bitwise_avx2_bounded() {
+        let mut rng = Rng(0x9e37_79b9_97f4_a7c1);
+        for &n in LENS {
+            let (b0, b1, b2, b3) = (rng.vec(n), rng.vec(n), rng.vec(n), rng.vec(n));
+            for coefs in [
+                [rng.f32(), rng.f32(), rng.f32(), rng.f32()],
+                [0.0, 0.0, 0.0, 0.0],
+                [0.0, rng.f32(), 0.0, rng.f32()],
+            ] {
+                let out0 = rng.vec(n);
+                let mut want = out0.clone();
+                scalar::axpy4(&mut want, coefs, &b0, &b1, &b2, &b3);
+                for t in tiers() {
+                    let mut got = out0.clone();
+                    axpy4(t, &mut got, coefs, &b0, &b1, &b2, &b3);
+                    for (w, g) in want.iter().zip(&got) {
+                        if t == SimdTier::Avx2 {
+                            assert_close(*g, *w, w.abs(), &format!("axpy4 avx2 len {n}"));
+                        } else {
+                            assert_eq!(w.to_bits(), g.to_bits(), "axpy4 {} len {n}", t.name());
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn softmax_family_tiers_agree() {
+        let mut rng = Rng(0xabcd_ef12_3456_789b);
+        for &n in LENS {
+            if n == 0 {
+                continue; // softmax of an empty row is undefined (z = 0)
+            }
+            let base: Vec<f32> = (0..n).map(|_| rng.f32() * 8.0).collect();
+
+            let mut want_sm = base.clone();
+            scalar::softmax_in_place(&mut want_sm);
+            let mut want_lsm = base.clone();
+            scalar::log_softmax_in_place(&mut want_lsm);
+            let want_ent = scalar::row_entropy(&want_sm);
+
+            for t in tiers() {
+                let mut sm = base.clone();
+                softmax_in_place(t, &mut sm);
+                let mut lsm = base.clone();
+                log_softmax_in_place(t, &mut lsm);
+                let ent = row_entropy(t, &want_sm);
+                if t == SimdTier::Sse2 {
+                    for (w, g) in want_sm.iter().zip(&sm) {
+                        assert_eq!(w.to_bits(), g.to_bits(), "softmax sse2 len {n}");
+                    }
+                    for (w, g) in want_lsm.iter().zip(&lsm) {
+                        assert_eq!(w.to_bits(), g.to_bits(), "log_softmax sse2 len {n}");
+                    }
+                    assert_eq!(ent.to_bits(), want_ent.to_bits(), "entropy sse2 len {n}");
+                } else {
+                    let sum: f32 = sm.iter().sum();
+                    assert!((sum - 1.0).abs() < 1e-4, "softmax {} sums {sum}", t.name());
+                    for (w, g) in want_sm.iter().zip(&sm) {
+                        assert_close(*g, *w, 1.0, &format!("softmax {} len {n}", t.name()));
+                    }
+                    for (w, g) in want_lsm.iter().zip(&lsm) {
+                        assert_close(
+                            *g,
+                            *w,
+                            w.abs(),
+                            &format!("log_softmax {} len {n}", t.name()),
+                        );
+                    }
+                    assert_close(ent, want_ent, (n as f32).max(1.0), "entropy avx2");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn elementwise_tiers_agree() {
+        let mut rng = Rng(0x0123_4567_89ab_cdef);
+        for &n in LENS {
+            let a0 = rng.vec(n);
+            let b = rng.vec(n);
+            let s = rng.f32();
+            for t in tiers() {
+                let bitwise = t != SimdTier::Avx2;
+
+                let mut want = a0.clone();
+                scalar::add_assign(&mut want, &b);
+                let mut got = a0.clone();
+                add_assign(t, &mut got, &b);
+                check(
+                    &want,
+                    &got,
+                    bitwise || t == SimdTier::Avx2,
+                    "add_assign",
+                    t,
+                    n,
+                );
+
+                let mut want = a0.clone();
+                scalar::add_scaled_assign(&mut want, &b, s);
+                let mut got = a0.clone();
+                add_scaled_assign(t, &mut got, &b, s);
+                check(&want, &got, bitwise, "add_scaled_assign", t, n);
+
+                let mut want = a0.clone();
+                scalar::scale_assign(&mut want, s);
+                let mut got = a0.clone();
+                scale_assign(t, &mut got, s);
+                check(&want, &got, true, "scale_assign", t, n);
+
+                let mut want = a0.clone();
+                scalar::mul_assign(&mut want, &b);
+                let mut got = a0.clone();
+                mul_assign(t, &mut got, &b);
+                check(&want, &got, true, "mul_assign", t, n);
+
+                let mut want = a0.clone();
+                scalar::relu_in_place(&mut want);
+                let mut got = a0.clone();
+                relu_in_place(t, &mut got);
+                check(&want, &got, true, "relu", t, n);
+
+                let mut want = b.clone();
+                scalar::relu_bwd(&mut want, &a0);
+                let mut got = b.clone();
+                relu_bwd(t, &mut got, &a0);
+                check(&want, &got, true, "relu_bwd", t, n);
+            }
+        }
+
+        fn check(want: &[f32], got: &[f32], bitwise: bool, what: &str, t: SimdTier, n: usize) {
+            for (w, g) in want.iter().zip(got) {
+                if bitwise {
+                    assert_eq!(w.to_bits(), g.to_bits(), "{what} {} len {n}", t.name());
+                } else {
+                    assert_close(*g, *w, w.abs(), &format!("{what} {} len {n}", t.name()));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn backward_rows_and_dequant_tiers_agree() {
+        let mut rng = Rng(0xfeed_face_dead_beef);
+        for &n in LENS {
+            if n == 0 {
+                continue;
+            }
+            let mut y: Vec<f32> = rng.vec(n);
+            scalar::softmax_in_place(&mut y);
+            let g0 = rng.vec(n);
+
+            let mut want = g0.clone();
+            scalar::softmax_bwd_row(&mut want, &y);
+            for t in tiers() {
+                let mut got = g0.clone();
+                softmax_bwd_row(t, &mut got, &y);
+                for (w, g) in want.iter().zip(&got) {
+                    if t == SimdTier::Avx2 {
+                        assert_close(*g, *w, 1.0, &format!("softmax_bwd avx2 len {n}"));
+                    } else {
+                        assert_eq!(w.to_bits(), g.to_bits(), "softmax_bwd {} len {n}", t.name());
+                    }
+                }
+            }
+
+            let mut ly = y.clone();
+            for v in &mut ly {
+                *v = v.max(1e-9).ln();
+            }
+            let mut want = g0.clone();
+            scalar::log_softmax_bwd_row(&mut want, &ly);
+            for t in tiers() {
+                let mut got = g0.clone();
+                log_softmax_bwd_row(t, &mut got, &ly);
+                for (w, g) in want.iter().zip(&got) {
+                    if t == SimdTier::Avx2 {
+                        assert_close(*g, *w, w.abs().max(1.0), "log_softmax_bwd avx2");
+                    } else {
+                        assert_eq!(w.to_bits(), g.to_bits(), "lsm_bwd {} len {n}", t.name());
+                    }
+                }
+            }
+
+            let q: Vec<u8> = (0..n).map(|_| (rng.next() & 0xff) as u8).collect();
+            let (scale, zero) = (rng.f32().abs() * 0.01, rng.f32());
+            let mut want = vec![0.0f32; n];
+            scalar::dequant_u8(&q, scale, zero, &mut want);
+            for t in tiers() {
+                let mut got = vec![0.0f32; n];
+                dequant_u8(t, &q, scale, zero, &mut got);
+                for (w, g) in want.iter().zip(&got) {
+                    if t == SimdTier::Avx2 {
+                        // FMA skips the product rounding, so the two paths
+                        // differ by at most one rounding of the *operands*
+                        // (which can be many ULP of a cancelled result).
+                        let bound = (zero.abs() + scale * 255.0) * f32::EPSILON;
+                        assert!((w - g).abs() <= bound, "dequant avx2: {w} vs {g}");
+                    } else {
+                        assert_eq!(w.to_bits(), g.to_bits(), "dequant {} len {n}", t.name());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn avx2_exp_ln_follow_libm() {
+        if !available(SimdTier::Avx2) {
+            return;
+        }
+        // softmax/log_softmax at width 8 exercise exp256 directly; entropy
+        // at width 8 exercises log256. Compare against libm across a range
+        // of magnitudes, including the clamp region.
+        let xs: Vec<f32> = (-40..=40).map(|i| i as f32 * 2.3).collect();
+        for w in xs.chunks(8) {
+            if w.len() < 8 {
+                continue;
+            }
+            let mut row = w.to_vec();
+            row.push(0.0); // force a tail so both paths run
+            let mut want = row.clone();
+            scalar::log_softmax_in_place(&mut want);
+            log_softmax_in_place(SimdTier::Avx2, &mut row);
+            for (a, b) in want.iter().zip(&row) {
+                assert_close(*b, *a, a.abs().max(1.0), "exp256 via log_softmax");
+            }
+        }
+        let ps: Vec<f32> = (1..=64).map(|i| i as f32 / 64.0).collect();
+        for w in ps.chunks(8) {
+            let want = scalar::row_entropy(w);
+            let got = row_entropy(SimdTier::Avx2, w);
+            assert_close(got, want, 1.0, "log256 via row_entropy");
+        }
+    }
+
+    #[test]
+    fn latch_defaults_and_force() {
+        // In-process we cannot re-latch from env (first caller wins), but
+        // the resolved tier must be one the CPU supports, and force_active
+        // must override it.
+        let t = active();
+        assert!(available(t), "latched tier {t:?} unsupported");
+        force_active(SimdTier::Scalar);
+        assert_eq!(active(), SimdTier::Scalar);
+        force_active(t);
+        assert_eq!(active(), t);
+    }
+}

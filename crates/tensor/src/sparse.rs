@@ -11,8 +11,9 @@
 //! buffers reduced at the end ([`crate::par::par_reduce_rows`]); the
 //! gather-style kernels (`spmm`, `spmv`) split output rows directly.
 
-use crate::matrix::{axpy, axpy4, Matrix};
+use crate::matrix::Matrix;
 use crate::par::{par_reduce_rows, par_row_chunks};
+use crate::simd;
 use rdd_obs::SpanCell;
 
 /// Wall-time spans for the sparse kernels (see the dense twins in
@@ -242,6 +243,7 @@ impl CsrMatrix {
         );
         let _span = SPAN_SPMM.enter();
         let n = rhs.cols();
+        let tier = simd::active();
         par_row_chunks(out.as_mut_slice(), n, |i0, chunk| {
             for (di, out_row) in chunk.chunks_exact_mut(n).enumerate() {
                 let i = i0 + di;
@@ -253,7 +255,8 @@ impl CsrMatrix {
                 let mut qc = cols.chunks_exact(4);
                 let mut qv = vals.chunks_exact(4);
                 for (c4, v4) in (&mut qc).zip(&mut qv) {
-                    axpy4(
+                    simd::axpy4(
+                        tier,
                         out_row,
                         [v4[0], v4[1], v4[2], v4[3]],
                         rhs.row(c4[0] as usize),
@@ -263,7 +266,7 @@ impl CsrMatrix {
                     );
                 }
                 for (&c, &v) in qc.remainder().iter().zip(qv.remainder()) {
-                    axpy(out_row, v, rhs.row(c as usize));
+                    simd::axpy(tier, out_row, v, rhs.row(c as usize));
                 }
             }
         });
@@ -298,13 +301,14 @@ impl CsrMatrix {
         let _span = SPAN_SPMM_T.enter();
         let n = rhs.cols();
         let work = self.nnz() * n;
+        let tier = simd::active();
         par_reduce_rows(out.as_mut_slice(), self.rows, work, |r0, r1, acc| {
             for i in r0..r1 {
                 let (cols, vals) = self.row(i);
                 let b_row = rhs.row(i);
                 for (&c, &v) in cols.iter().zip(vals) {
                     let c = c as usize;
-                    axpy(&mut acc[c * n..(c + 1) * n], v, b_row);
+                    simd::axpy(tier, &mut acc[c * n..(c + 1) * n], v, b_row);
                 }
             }
         });

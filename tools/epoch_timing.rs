@@ -213,8 +213,15 @@ fn main() {
     let (fwd, loss, bwd) = stage_timings(&data, epochs);
     let e2e = e2e_epoch_ms(&data, epochs);
     let build = if cfg!(seed_build) { "seed" } else { "current" };
+    // Seed-era rlibs predate the SIMD tier; report it only on current
+    // builds (where RDD_SIMD picks the dispatch path being measured).
+    #[cfg(not(seed_build))]
+    let simd_tier = rdd_tensor::simd::active().name();
+    #[cfg(seed_build)]
+    let simd_tier = "pre-simd";
     println!("{{");
     println!("  \"build\": \"{build}\",");
+    println!("  \"simd_tier\": \"{simd_tier}\",");
     println!("  \"preset\": \"{preset}\",");
     println!("  \"epochs\": {epochs},");
     println!("  \"unit\": \"ms/epoch\",");

@@ -6,6 +6,12 @@
 //! container without the crates.io mirror), and the generator of the
 //! `BENCH_<n>.json` perf-trajectory records.
 //!
+//! Every kernel is timed twice in this one process — once with the SIMD
+//! tier forced to scalar, once on the best tier the host supports
+//! (`simd::force_active`) — so the reported `gain` column is a true
+//! same-binary, same-data comparison of the `RDD_SIMD=off` and
+//! `RDD_SIMD=auto` dispatch paths.
+//!
 //! Build & run (the kernel sources link `rdd-obs`, itself std-only, so it
 //! is compiled to an rlib first):
 //! ```sh
@@ -15,8 +21,10 @@
 //!     --extern rdd_obs=target/librdd_obs.rlib \
 //!     -o target/kernel_timing && target/kernel_timing
 //! ```
-//! Output: one JSON object on stdout mapping kernel labels to best-of-N
-//! milliseconds. `RDD_THREADS` is honored like everywhere else.
+//! Output: one JSON object on stdout mapping kernel labels to
+//! `{scalar_ms, simd_ms, gain}` (best-of-N milliseconds). `RDD_THREADS`
+//! is honored like everywhere else; `RDD_SIMD` is ignored — both tiers
+//! are always measured.
 
 // The mounted modules expose their full API; this harness only times a
 // subset of it.
@@ -25,6 +33,9 @@
 #[path = "../crates/tensor/src/par.rs"]
 mod par;
 
+#[path = "../crates/tensor/src/simd.rs"]
+mod simd;
+
 #[path = "../crates/tensor/src/matrix.rs"]
 mod matrix;
 
@@ -32,6 +43,7 @@ mod matrix;
 mod sparse;
 
 use matrix::Matrix;
+use simd::SimdTier;
 use sparse::CsrMatrix;
 use std::time::Instant;
 
@@ -73,7 +85,8 @@ fn rand_graph(rng: &mut Rng, n: usize, edges: usize) -> CsrMatrix {
     CsrMatrix::from_triplets(n, n, &triplets)
 }
 
-fn time<F: FnMut() -> R, R>(results: &mut Vec<(String, f64)>, label: &str, reps: usize, mut f: F) {
+/// Best-of-N wall time for one tier.
+fn best_ms<F: FnMut() -> R, R>(reps: usize, mut f: F) -> f64 {
     std::hint::black_box(f()); // warmup
     let mut best = f64::MAX;
     for _ in 0..reps {
@@ -81,50 +94,122 @@ fn time<F: FnMut() -> R, R>(results: &mut Vec<(String, f64)>, label: &str, reps:
         std::hint::black_box(f());
         best = best.min(t.elapsed().as_secs_f64());
     }
-    results.push((label.to_string(), best * 1e3));
+    best * 1e3
+}
+
+struct Timing {
+    label: String,
+    scalar_ms: f64,
+    simd_ms: f64,
+}
+
+/// Time `f` under the scalar tier, then under `best`, via the global
+/// tier latch.
+fn time<F: FnMut() -> R, R>(
+    results: &mut Vec<Timing>,
+    best_tier: SimdTier,
+    label: &str,
+    reps: usize,
+    mut f: F,
+) {
+    simd::force_active(SimdTier::Scalar);
+    let scalar_ms = best_ms(reps, &mut f);
+    simd::force_active(best_tier);
+    let simd_ms = best_ms(reps, &mut f);
+    results.push(Timing {
+        label: label.to_string(),
+        scalar_ms,
+        simd_ms,
+    });
 }
 
 fn main() {
     let mut rng = Rng(0x9E37_79B9_7F4A_7C15);
-    let mut results: Vec<(String, f64)> = Vec::new();
+    let mut results: Vec<Timing> = Vec::new();
+    let best = simd::detect_best();
 
     // Acceptance shapes: the dense backprop products at 2048x512x512.
     let a = rand_matrix(&mut rng, 2048, 512);
     let b = rand_matrix(&mut rng, 512, 512);
     let d = rand_matrix(&mut rng, 2048, 512);
-    time(&mut results, "matmul_at_b(2048x512x512)", 5, || {
+    time(&mut results, best, "matmul_at_b(2048x512x512)", 5, || {
         a.matmul_at_b(&d)
     });
-    time(&mut results, "matmul(2048x512x512)", 5, || a.matmul(&b));
-    time(&mut results, "matmul_a_bt(2048x512x512)", 5, || {
+    time(&mut results, best, "matmul(2048x512x512)", 5, || a.matmul(&b));
+    time(&mut results, best, "matmul_a_bt(2048x512x512)", 5, || {
         a.matmul_a_bt(&b)
     });
 
     // Cora-shaped layer-1 product.
     let xc = rand_matrix(&mut rng, 2708, 1433);
     let wc = rand_matrix(&mut rng, 1433, 16);
-    time(&mut results, "matmul(2708x1433x16)", 5, || xc.matmul(&wc));
+    time(&mut results, best, "matmul(2708x1433x16)", 5, || {
+        xc.matmul(&wc)
+    });
 
-    time(&mut results, "transpose(2048x512)", 10, || a.transpose());
+    time(&mut results, best, "transpose(2048x512)", 10, || a.transpose());
 
     // ~100k-edge graph: the sparse kernels at ensemble/backprop scale.
     let g = rand_graph(&mut rng, 20_000, 100_000);
     let h = rand_matrix(&mut rng, 20_000, 16);
-    time(&mut results, "spmm(100k-edge,16)", 10, || g.spmm(&h));
-    time(&mut results, "spmm_t(100k-edge,16)", 10, || g.spmm_t(&h));
+    time(&mut results, best, "spmm(100k-edge,16)", 10, || g.spmm(&h));
+    time(&mut results, best, "spmm_t(100k-edge,16)", 10, || g.spmm_t(&h));
     let v: Vec<f32> = (0..20_000).map(|_| rng.f32()).collect();
-    time(&mut results, "spmv(100k-edge)", 20, || g.spmv(&v));
-    time(&mut results, "spmv_t(100k-edge)", 20, || g.spmv_t(&v));
-    time(&mut results, "prune(100k-edge)", 10, || g.prune(0.2));
+    time(&mut results, best, "spmv(100k-edge)", 20, || g.spmv(&v));
+    time(&mut results, best, "spmv_t(100k-edge)", 20, || g.spmv_t(&v));
+    time(&mut results, best, "prune(100k-edge)", 10, || g.prune(0.2));
+
+    // Row-wise softmax family: the loss hook / reliability-refresh shapes
+    // (wide rows exercise the vector exp; cora-width rows the real usage).
+    let wide = rand_matrix(&mut rng, 2048, 512);
+    time(&mut results, best, "softmax_rows(2048x512)", 5, || {
+        wide.softmax_rows()
+    });
+    let proba = wide.softmax_rows();
+    time(&mut results, best, "row_entropy(2048x512)", 10, || {
+        proba.row_entropy()
+    });
+    let cora_logits = rand_matrix(&mut rng, 2708, 7);
+    time(&mut results, best, "softmax_rows(2708x7)", 20, || {
+        cora_logits.softmax_rows()
+    });
+
+    // Elementwise arms used by the optimizer/regularizer paths.
+    let e1 = rand_matrix(&mut rng, 2048, 512);
+    let e2 = rand_matrix(&mut rng, 2048, 512);
+    time(&mut results, best, "add_scaled(2048x512)", 10, || {
+        let mut x = e1.clone();
+        x.add_scaled_assign(&e2, -0.01);
+        x
+    });
+    time(&mut results, best, "hadamard(2048x512)", 10, || e1.hadamard(&e2));
+    time(&mut results, best, "scale(2048x512)", 10, || e1.scaled(1.01));
+
+    // v2q artifact dequantization (per-row affine int8 -> f32).
+    let q: Vec<u8> = (0..2048 * 512).map(|_| (rng.next() & 0xff) as u8).collect();
+    let mut deq = vec![0f32; q.len()];
+    time(&mut results, best, "dequant_u8(1M)", 10, || {
+        simd::dequant_u8(simd::active(), &q, 0.0125, -1.5, &mut deq);
+        deq[0]
+    });
 
     let threads = par::num_threads();
     println!("{{");
     println!("  \"threads\": {threads},");
+    println!("  \"simd_detected\": \"{}\",", best.name());
     println!("  \"unit\": \"ms (best of N)\",");
     println!("  \"kernels\": {{");
-    for (i, (label, ms)) in results.iter().enumerate() {
+    for (i, t) in results.iter().enumerate() {
         let comma = if i + 1 == results.len() { "" } else { "," };
-        println!("    \"{label}\": {ms:.3}{comma}");
+        let gain = if t.simd_ms > 0.0 {
+            t.scalar_ms / t.simd_ms
+        } else {
+            0.0
+        };
+        println!(
+            "    \"{}\": {{\"scalar_ms\": {:.3}, \"simd_ms\": {:.3}, \"gain\": {:.2}}}{comma}",
+            t.label, t.scalar_ms, t.simd_ms, gain
+        );
     }
     println!("  }}");
     println!("}}");
