@@ -37,6 +37,30 @@ RDD_TRACE="$GUARD_DIR/on.jsonl" cargo run -q --release -p rdd-cli -- train tiny 
 target/trace_check "$GUARD_DIR/on.jsonl"
 RDD_TRACE="$GUARD_DIR/on.jsonl" cargo run -q --release -p rdd-cli -- trace-summary "$GUARD_DIR/on.jsonl" >/dev/null
 
+echo "==> instrumentation overhead guard (disabled recorder: zero-alloc, cheap)"
+env -u RDD_TRACE cargo test -q --release -p rdd-obs --test overhead
+
+echo "==> report smoke + perf-regression gate"
+# `rdd report` must render the hierarchical self-time attribution from the
+# traced run, with self-times that cannot exceed the wall clock; then the
+# bench gate diffs the same trace against the committed baseline (generous
+# tolerances — it exists to catch order-of-magnitude regressions, not
+# machine-to-machine noise) and must prove it can fire via --inject.
+REPORT="$(cargo run -q --release -p rdd-cli -- report "$GUARD_DIR/on.jsonl")"
+echo "$REPORT" | grep -q "Kernel self-time attribution" \
+  || { echo "report smoke: missing self-time attribution section" >&2; exit 1; }
+echo "$REPORT" | grep -q "self-time total" \
+  || { echo "report smoke: missing self-time footer" >&2; exit 1; }
+rustc --edition 2021 -O tools/bench_gate.rs -o target/bench_gate
+target/bench_gate "$GUARD_DIR/on.jsonl" tools/bench_baseline.json \
+  --tol-default 300 --floor-ms 0.25
+target/bench_gate "$GUARD_DIR/on.jsonl" "$GUARD_DIR/on.jsonl" --tol-default 75 --floor-ms 0.01
+if target/bench_gate "$GUARD_DIR/on.jsonl" "$GUARD_DIR/on.jsonl" \
+    --tol-default 75 --floor-ms 0.01 --inject 2.0 >/dev/null; then
+  echo "bench gate: injected 2x regression was not caught" >&2
+  exit 1
+fi
+
 echo "==> fault-injection matrix (kill, resume, compare bitwise)"
 # For each fault kind: run crash-safe under RDD_FAULT, then finish the run
 # (resume for the aborting kinds, in-process recovery for nan_loss) and
@@ -77,13 +101,19 @@ NODES="$(awk 'END { print NR }' "$SERVE_DIR/offline.proba")"
 awk -v n="$NODES" 'BEGIN { for (i = 0; i < n; i++) printf "{\"id\":%d,\"nodes\":[%d]}\n", i, i }' \
   > "$SERVE_DIR/requests.jsonl"
 RDD_TRACE="$SERVE_DIR/serve.jsonl" $RDD serve --artifact "$SERVE_DIR/model.artifact" \
-  --batch 16 --proba-out "$SERVE_DIR/served.proba" \
+  --batch 16 --metrics-every 1 --proba-out "$SERVE_DIR/served.proba" \
   < "$SERVE_DIR/requests.jsonl" > "$SERVE_DIR/replies.jsonl" 2>/dev/null
 cmp "$SERVE_DIR/offline.proba" "$SERVE_DIR/served.proba" \
   || { echo "serve smoke: served rows diverged from offline ensemble" >&2; exit 1; }
 target/trace_check "$SERVE_DIR/serve.jsonl"
 $RDD trace-summary "$SERVE_DIR/serve.jsonl" | grep -q "Serving" \
   || { echo "serve smoke: trace-summary missing Serving section" >&2; exit 1; }
+# The rolling-window heartbeat must reach the trace (at least the final
+# at-EOF beat) and render in the report's serving section.
+grep -q '"ev":"serve_metrics"' "$SERVE_DIR/serve.jsonl" \
+  || { echo "serve smoke: no serve_metrics heartbeat in trace" >&2; exit 1; }
+$RDD report "$SERVE_DIR/serve.jsonl" | grep -q "Serve heartbeats" \
+  || { echo "serve smoke: report missing serve heartbeats section" >&2; exit 1; }
 
 echo "==> SIMD-equivalence gate (RDD_SIMD=off vs auto, compare bitwise)"
 # RDD_SIMD=off must route every kernel through the verbatim pre-SIMD scalar

@@ -5,7 +5,7 @@
 //! serving failures all reach the user through one `Display` path.
 
 use std::path::{Path, PathBuf};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use rdd_baselines::lp::{predict as lp_predict, LpConfig};
 use rdd_baselines::{
@@ -325,6 +325,72 @@ pub fn trace_summary(args: &Args) -> Result<(), RddError> {
     Ok(())
 }
 
+/// `rdd report <trace.jsonl|run-dir>` — the full run report: member
+/// convergence and alpha, reliability-set evolution, kernel self-time
+/// attribution, and the histogram-derived serve section. A trace file
+/// gives the complete report; a crash-safe run directory (no trace) gives
+/// the member/alpha view reconstructed from its manifest.
+pub fn report(args: &Args) -> Result<(), RddError> {
+    let [_, target] = args.positional.as_slice() else {
+        return Err(RddError::Cli(
+            "usage: rdd report <trace.jsonl|run-dir>".into(),
+        ));
+    };
+    let path = Path::new(target);
+    if path.is_dir() {
+        let run = rdd_core::RunState::load(path)?;
+        println!("RDD run report: {}", path.display());
+        println!(
+            "  dataset {} ({} nodes, {} classes)  source {}",
+            run.dataset_name(),
+            run.dataset_shape().0,
+            run.dataset_shape().1,
+            run.source()
+        );
+        let rows: Vec<Vec<String>> = run
+            .members()
+            .iter()
+            .map(|m| {
+                vec![
+                    m.member.to_string(),
+                    if m.kept { "yes" } else { "no" }.to_string(),
+                    format!("{:.4}", m.alpha),
+                    format!("{:.4}", m.val_acc),
+                    format!("{:.4}", m.test_acc),
+                    m.report.epochs_run.to_string(),
+                    format!("{:.4}", m.report.final_train_loss),
+                    m.report.rollbacks.to_string(),
+                ]
+            })
+            .collect();
+        println!("\nMembers (alpha total {:.4})", run.alpha_total());
+        print!(
+            "{}",
+            rdd_obs::render_table(
+                &[
+                    "mem",
+                    "kept",
+                    "alpha",
+                    "val",
+                    "test",
+                    "epochs",
+                    "loss",
+                    "rollbacks"
+                ],
+                &rows,
+            )
+        );
+        println!("\n(run directories hold no trace; run with RDD_TRACE=<file> and `rdd report <file>` for kernel and serve sections)");
+        return Ok(());
+    }
+    let src = std::fs::read_to_string(target)
+        .map_err(|e| RddError::Cli(format!("failed to read {target}: {e}")))?;
+    let report =
+        rdd_obs::render_report(&src).map_err(|e| RddError::Cli(format!("{target}: {e}")))?;
+    print!("{report}");
+    Ok(())
+}
+
 /// `rdd compare <preset|dir>` — every method side by side.
 pub fn compare(args: &Args) -> Result<(), RddError> {
     let source = args
@@ -539,7 +605,8 @@ pub fn serve(args: &Args) -> Result<(), RddError> {
 
     let artifact_path = args.options.get("artifact").ok_or_else(|| {
         RddError::Cli(
-            "usage: rdd serve --artifact <path> [--batch N] [--delay-ms N] [--cache N] [--proba-out <file>]"
+            "usage: rdd serve --artifact <path> [--batch N] [--delay-ms N] [--cache N] \
+             [--metrics-every SECS] [--proba-out <file>]"
                 .into(),
         )
     })?;
@@ -563,7 +630,22 @@ pub fn serve(args: &Args) -> Result<(), RddError> {
         cfg.max_delay_ms,
         cfg.cache_capacity,
     );
+    // Heartbeat cadence: `--metrics-every SECS` wins, `RDD_METRICS_EVERY`
+    // is the fallback, 0/unset disables the heartbeat.
+    let metrics_every: u64 = if args.options.contains_key("metrics-every") {
+        args.get_or("metrics-every", 0u64)?
+    } else {
+        rdd_obs::env::parse_with("RDD_METRICS_EVERY", "a whole number of seconds", |v| {
+            v.parse::<u64>().ok()
+        })
+        .unwrap_or(0)
+    };
     let mut engine = ServeEngine::new(&artifact, cfg, artifact.checksum())?;
+    if metrics_every > 0 {
+        // The window must cover at least one heartbeat interval.
+        engine
+            .set_metrics_window((metrics_every as usize).max(rdd_serve::DEFAULT_METRICS_WINDOW_S));
+    }
 
     // Stdin is read on its own thread so the main loop can honor the
     // micro-batch deadline while the pipe is quiet.
@@ -602,10 +684,26 @@ pub fn serve(args: &Args) -> Result<(), RddError> {
 
     let started = Instant::now();
     let mut next_id: u64 = 0;
+    let mut next_beat =
+        (metrics_every > 0).then(|| Instant::now() + Duration::from_secs(metrics_every));
     loop {
+        // Emit a due heartbeat: one `serve_metrics` event plus a one-line
+        // status on stderr.
+        if let Some(beat) = next_beat {
+            if Instant::now() >= beat {
+                let m = engine.metrics();
+                rdd_obs::emit_serve_metrics(&m);
+                eprintln!("{}", m.status_line());
+                next_beat = Some(Instant::now() + Duration::from_secs(metrics_every));
+            }
+        }
         // Wait for the next request, but never past the oldest queued
-        // request's flush deadline.
-        let line = match engine.deadline() {
+        // request's flush deadline or the next heartbeat.
+        let wake = match (engine.deadline(), next_beat) {
+            (Some(d), Some(b)) => Some(d.min(b)),
+            (d, b) => d.or(b),
+        };
+        let line = match wake {
             None => match rx.recv() {
                 Ok(line) => line,
                 Err(_) => break, // EOF
@@ -613,15 +711,21 @@ pub fn serve(args: &Args) -> Result<(), RddError> {
             Some(deadline) => {
                 let now = Instant::now();
                 if deadline <= now {
-                    let replies = engine.flush();
-                    write_replies(&replies, &mut out, &mut proba_out)?;
+                    // Due already: flush if the *batch* deadline passed
+                    // (the heartbeat fires at the top of the loop).
+                    if engine.deadline().is_some_and(|d| d <= now) {
+                        let replies = engine.flush();
+                        write_replies(&replies, &mut out, &mut proba_out)?;
+                    }
                     continue;
                 }
                 match rx.recv_timeout(deadline - now) {
                     Ok(line) => line,
                     Err(mpsc::RecvTimeoutError::Timeout) => {
-                        let replies = engine.flush();
-                        write_replies(&replies, &mut out, &mut proba_out)?;
+                        if engine.deadline().is_some_and(|d| d <= Instant::now()) {
+                            let replies = engine.flush();
+                            write_replies(&replies, &mut out, &mut proba_out)?;
+                        }
                         continue;
                     }
                     Err(mpsc::RecvTimeoutError::Disconnected) => break, // EOF
@@ -669,19 +773,27 @@ pub fn serve(args: &Args) -> Result<(), RddError> {
     write_replies(&replies, &mut out, &mut proba_out)?;
     let _ = reader.join();
 
+    if metrics_every > 0 {
+        // Final heartbeat so even a sub-interval session records one.
+        let m = engine.metrics();
+        rdd_obs::emit_serve_metrics(&m);
+        eprintln!("{}", m.status_line());
+    }
     let stats = engine.stats();
     rdd_obs::emit_serve_run(
         stats.requests,
         stats.batches,
         stats.cache_hits,
         stats.cache_misses,
+        stats.shed,
         started.elapsed().as_secs_f64() * 1e3,
     );
     eprintln!(
-        "served {} requests in {} batches (cache hit rate {:.1}%)",
+        "served {} requests in {} batches (cache hit rate {:.1}%, shed {})",
         stats.requests,
         stats.batches,
-        100.0 * stats.hit_rate()
+        100.0 * stats.hit_rate(),
+        stats.shed
     );
     if let (Some(path), Some(text)) = (args.options.get("proba-out"), proba_out) {
         std::fs::write(path, text)

@@ -7,6 +7,8 @@
 //! rdd resume <run-dir>                          finish an interrupted crash-safe run
 //! rdd compare <preset|dir> [--models N]         run every method side by side
 //! rdd trace-summary <file.jsonl>                render an RDD_TRACE telemetry file
+//! rdd report <trace.jsonl|run-dir>              full run report: convergence, reliability
+//!                                               evolution, kernel self-times, serve metrics
 //! rdd export <run-dir> <artifact>               freeze a completed run into an artifact
 //!                      [--quantize int8]        (int8-quantized v2q format, ~0.3x size)
 //! rdd artifact-info <artifact>                  validate and describe an artifact
@@ -34,14 +36,17 @@ const USAGE: &str = "usage:
   rdd resume <run-dir> [--pred-out <file>]
   rdd compare <preset|dir> [--models N] [--seed N]
   rdd trace-summary <file.jsonl>
+  rdd report <trace.jsonl|run-dir>
   rdd export <run-dir> <artifact> [--quantize int8]
   rdd artifact-info <artifact> [--proba-out <file>] [--reference <artifact>] [--assert-max-ulp N]
-  rdd serve --artifact <path> [--batch N] [--delay-ms N] [--cache N] [--queue N] [--proba-out <file>]
+  rdd serve --artifact <path> [--batch N] [--delay-ms N] [--cache N] [--queue N]
+            [--metrics-every SECS] [--proba-out <file>]
   rdd serve-bench <preset|dir> [--models N] [--requests N] [--out FILE] [--artifact FILE]
 
 presets: cora, citeseer, pubmed, nell, tiny
 env: RDD_TRACE=<path|stderr|off> structured telemetry sink, RDD_THREADS=N worker pool size,
      RDD_SIMD=<auto|off|sse2|avx2> kernel tier (default auto: best the host supports),
+     RDD_METRICS_EVERY=N serve heartbeat seconds (same as --metrics-every),
      RDD_FAULT=<kind>@<site>:<n> deterministic fault injection (nan_loss@epoch, io_fail@ckpt, panic@member)";
 
 fn main() {
@@ -67,6 +72,7 @@ fn main() {
         "resume" => commands::resume(&args),
         "compare" => commands::compare(&args),
         "trace-summary" => commands::trace_summary(&args),
+        "report" => commands::report(&args),
         "export" => commands::export(&args),
         "artifact-info" => commands::artifact_info(&args),
         "serve" => commands::serve(&args),

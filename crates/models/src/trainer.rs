@@ -12,6 +12,14 @@ use rdd_tensor::{Adam, Matrix, Tape, Var, Workspace};
 use crate::context::GraphContext;
 use crate::gcn::Model;
 
+/// Epoch-stage spans: parents for the tensor kernels underneath them, so
+/// a trace attributes `train.epoch → train.forward → spmm` with self-times
+/// instead of flat double-counted totals. Near-free when tracing is off.
+static SPAN_EPOCH: rdd_obs::SpanCell = rdd_obs::SpanCell::new("train.epoch");
+static SPAN_FORWARD: rdd_obs::SpanCell = rdd_obs::SpanCell::new("train.forward");
+static SPAN_BACKWARD: rdd_obs::SpanCell = rdd_obs::SpanCell::new("train.backward");
+static SPAN_VALIDATE: rdd_obs::SpanCell = rdd_obs::SpanCell::new("train.validate");
+
 /// Learning-rate schedule applied on top of `TrainConfig::lr`.
 #[derive(Clone, Copy, Debug, PartialEq, Default)]
 pub enum LrSchedule {
@@ -216,12 +224,16 @@ pub fn train_in(
 
     let mut epoch = 0usize;
     while epoch < cfg.epochs {
+        // Stage spans: the guard drops at the end of the loop body (also on
+        // `continue`/`break`), so retries count as separate epoch spans.
+        let _span_epoch = SPAN_EPOCH.enter();
         epochs_run = epoch + 1;
         opt.set_lr(cfg.lr * lr_scale * cfg.lr_schedule.factor(epoch));
         // Snapshot the RNG so a failed attempt can replay this exact epoch
         // (dropout masks and all) instead of silently shifting the stream.
         let rng_checkpoint = rng.clone();
         // --- training step ---
+        let span_forward = SPAN_FORWARD.enter();
         let mut tape = Tape::with_workspace(ws);
         let logits = model.forward(&mut tape, ctx, true, rng);
         let logp = tape.log_softmax(logits);
@@ -232,6 +244,7 @@ pub fn train_in(
         }
         let loss = tape.weighted_sum(&terms);
         last_loss = tape.scalar(loss);
+        drop(span_forward);
         match rdd_obs::fault::fire("epoch") {
             Some(rdd_obs::FaultKind::NanLoss) => last_loss = f32::NAN,
             Some(rdd_obs::FaultKind::Panic) => panic!("injected fault: panic@epoch:{epoch}"),
@@ -241,6 +254,7 @@ pub fn train_in(
         // Only back-propagate a finite loss; never step the optimizer on
         // non-finite gradients, so the parameters stay intact for a replay.
         let grads = if last_loss.is_finite() {
+            let _span = SPAN_BACKWARD.enter();
             tape.backward(loss, n_params)
         } else {
             Vec::new()
@@ -284,8 +298,10 @@ pub fn train_in(
         ws.give_grads(grads);
 
         // --- validation (eval-mode forward) ---
+        let span_validate = SPAN_VALIDATE.enter();
         let preds = crate::predictor::eval_pred_in(model, ctx, ws);
         let val_acc = accuracy_over(&data.labels, &preds, &data.val_idx);
+        drop(span_validate);
         if rdd_obs::enabled() {
             // Epoch telemetry: the supervised term alone (`l1`) plus the
             // split accuracies; RDD's loss hook stages its own extra fields

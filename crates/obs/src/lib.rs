@@ -1,16 +1,23 @@
 //! `rdd-obs` — std-only structured telemetry for the RDD reproduction.
 //!
-//! The crate has three layers:
+//! The crate has four layers:
 //!
 //! - [`json`]: a hand-rolled compact JSON encoder + parser (the offline
 //!   dependency set has no `serde`). Non-finite floats encode as `null`.
+//! - [`hist`]: dependency-free log2-bucketed histograms ([`AtomicHist`] for
+//!   lock-free recording, [`HistSnapshot`] for merge/quantile math) — the
+//!   substrate for every latency percentile in the repo.
 //! - [`recorder`]: the global JSONL recorder. Sink selected by
 //!   `RDD_TRACE=<path|stderr|off>`; per-thread line buffers; `static` metric
-//!   cells ([`SpanCell`], [`CounterCell`], [`GaugeCell`]) whose disabled
-//!   cost is one atomic load + branch.
-//! - [`telemetry`] / [`summarize`]: the domain event schema (epoch / member /
-//!   run records from the training loop) and the offline validator +
-//!   renderer behind `rdd trace-summary`.
+//!   cells ([`SpanCell`], [`CounterCell`], [`GaugeCell`], [`HistCell`])
+//!   whose disabled cost is one atomic load + branch. Spans are
+//!   hierarchical: per-thread stacks attribute self-time vs total-time and
+//!   record (child, parent) call edges.
+//! - [`telemetry`] / [`summarize`] / [`env`]: the domain event schema
+//!   (epoch / member / run / serve records), the offline validator +
+//!   renderer behind `rdd trace-summary` / `rdd report`, and the latched
+//!   env-var parse helper shared by `RDD_THREADS` / `RDD_WORKSPACE` /
+//!   `RDD_SIMD`.
 //!
 //! ## Event schema
 //!
@@ -22,7 +29,9 @@
 //! | `epoch`     | `model member epoch loss l1 l2 lreg gamma v_r v_b e_r agreement teacher_entropy_thresh student_entropy_thresh alpha[] train_acc val_acc test_acc` (RDD-only fields `null` for plain baselines) |
 //! | `member`    | `member alpha val_acc test_acc epochs`                                 |
 //! | `run`       | `ensemble_test_acc single_test_acc members`                            |
-//! | `kernel`    | `name calls total_ms` — cumulative snapshot, last one wins             |
+//! | `kernel`    | `name calls total_ms self_ms` — cumulative snapshot, last one wins     |
+//! | `hist`      | `name count buckets[]` — log2-bucket counts (bucket i = `[2^i, 2^(i+1))` ns), trailing zeros trimmed |
+//! | `span_parent` | `child parent calls` — observed span-nesting edge with call count    |
 //! | `counter`   | `name value` — cumulative snapshot                                     |
 //! | `gauge`     | `name value` — last/peak value                                         |
 //! | `pool_init` | `threads` — resolved worker-pool width                                 |
@@ -34,28 +43,36 @@
 //! | `checkpoint`| `member kept dir` — member persisted, run manifest committed           |
 //! | `resume`    | `next_member loaded dir` — run directory reloaded, cascade restarting  |
 //! | `serve_batch` | `requests nodes hits misses exec_ms lat_ms[]` — one serve-engine flush |
-//! | `serve_run` | `requests batches hits misses wall_ms` — final serve-session totals    |
+//! | `serve_run` | `requests batches hits misses shed wall_ms` — final serve-session totals |
+//! | `serve_metrics` | `window_s requests p50_ms p99_ms queue_peak hit_rate shed` — rolling-window heartbeat (`rdd serve --metrics-every`) |
+//! | `env_warn`  | `var value expected` — rejected environment-variable value (default kept) |
 //! | `warn`      | `msg`                                                                  |
 //!
 //! Unknown kinds are preserved by the parser (forward compatible); binaries
 //! may add their own (the bench diagnostics emit `reliability_diag` and
 //! `sweep` records).
 
+pub mod env;
 pub mod fault;
+pub mod hist;
 pub mod json;
 pub mod recorder;
 pub mod summarize;
 pub mod telemetry;
 
 pub use fault::FaultKind;
+pub use hist::{AtomicHist, HistSnapshot, BUCKETS};
 pub use json::{parse, Json};
 pub use recorder::{
-    disable, enabled, event, flush, init_file, init_stderr, warn, CounterCell, GaugeCell, SpanCell,
-    SpanGuard,
+    disable, enabled, event, flush, init_file, init_stderr, warn, CounterCell, GaugeCell, HistCell,
+    SpanCell, SpanGuard,
 };
-pub use summarize::{percentile, render_table, sample_stats, validate, SampleStats, TraceSummary};
+pub use summarize::{
+    percentile, render_report, render_table, sample_stats, validate, SampleStats, StatsError,
+    TraceSummary,
+};
 pub use telemetry::{
     agreement_rate, emit_checkpoint, emit_divergence, emit_member, emit_member_dropped,
-    emit_resume, emit_rollback, emit_run, emit_serve_batch, emit_serve_run, stage_rdd_epoch,
-    EpochTelemetry, RddEpochExtra,
+    emit_resume, emit_rollback, emit_run, emit_serve_batch, emit_serve_metrics, emit_serve_run,
+    stage_rdd_epoch, EpochTelemetry, RddEpochExtra, ServeMetricsSnapshot,
 };

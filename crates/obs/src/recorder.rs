@@ -1,4 +1,5 @@
-//! The global recorder: JSONL events, counters, gauges and RAII spans.
+//! The global recorder: JSONL events, counters, gauges, histograms and
+//! hierarchical RAII spans.
 //!
 //! ## Contract
 //!
@@ -13,24 +14,37 @@
 //! Every public entry point starts with [`enabled`], a single relaxed-ish
 //! atomic load plus one predictable branch, so a disabled recorder costs
 //! ~1 ns per call site and allocates nothing. Metric cells
-//! ([`SpanCell`]/[`CounterCell`]/[`GaugeCell`]) are `static`s at the call
-//! site: when enabled they update plain atomics — no locks on the hot path.
-//! Events are encoded on the emitting thread into a per-thread buffer
-//! (registered in a global list so [`flush`] can drain every thread), and
-//! buffers are written to the sink a batch at a time under a single mutex,
-//! whole lines only — concurrent writers cannot tear a line.
+//! ([`SpanCell`]/[`CounterCell`]/[`GaugeCell`]/[`HistCell`]) are `static`s
+//! at the call site: when enabled they update plain atomics — no locks on
+//! the hot path. Events are encoded on the emitting thread into a
+//! per-thread buffer (registered in a global list so [`flush`] can drain
+//! every thread), and buffers are written to the sink a batch at a time
+//! under a single mutex, whole lines only — concurrent writers cannot tear
+//! a line.
+//!
+//! ## Span hierarchy
+//!
+//! Each thread keeps a stack of open spans. A [`SpanCell::enter`] guard
+//! pushes a frame; on drop the elapsed time is charged to the cell's
+//! *total*, the portion not covered by child spans to its *self* time, and
+//! the (child, parent) edge is counted in a small lock-free table — so the
+//! summary can attribute `epoch → forward → spmm` without double counting.
+//! Every span also feeds a log2-bucket duration histogram
+//! ([`super::hist`]), giving approximate p50/p99/p999 per kernel for free.
 //!
 //! Timestamps are monotonic milliseconds since the first recorder call
 //! (`Instant`-based; wall-clock time never enters the trace).
 
+use std::cell::RefCell;
 use std::io::{BufWriter, Write};
 use std::path::Path;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, AtomicU8, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
 // `super::` (not `crate::`) so these sources also work when mounted as a
 // module via `#[path]` in the registry-less tools binaries.
+use super::hist::{AtomicHist, HistSnapshot};
 use super::json::Json;
 
 const UNINIT: u8 = 0;
@@ -44,6 +58,20 @@ static BUFFERS: Mutex<Vec<Arc<Mutex<Vec<String>>>>> = Mutex::new(Vec::new());
 static SPANS: Mutex<Vec<&'static SpanCell>> = Mutex::new(Vec::new());
 static COUNTERS: Mutex<Vec<&'static CounterCell>> = Mutex::new(Vec::new());
 static GAUGES: Mutex<Vec<&'static GaugeCell>> = Mutex::new(Vec::new());
+static HISTS: Mutex<Vec<&'static HistCell>> = Mutex::new(Vec::new());
+
+/// One open span on this thread's stack.
+struct Frame {
+    cell: &'static SpanCell,
+    start: Instant,
+    /// Nanoseconds already covered by completed child spans.
+    child_ns: u64,
+}
+
+thread_local! {
+    /// The per-thread stack of open spans (parent attribution).
+    static SPAN_STACK: RefCell<Vec<Frame>> = const { RefCell::new(Vec::new()) };
+}
 
 /// Lines buffered per thread before an automatic drain to the sink.
 const BUFFER_LINES: usize = 64;
@@ -114,7 +142,13 @@ fn init_from_env() -> bool {
         path => match std::fs::File::create(path) {
             Ok(f) => Some(Sink::File(BufWriter::new(f))),
             Err(e) => {
-                eprintln!("rdd-obs: cannot open RDD_TRACE={path:?}: {e}; tracing disabled");
+                // Cannot go through `env::reject` here: the SINK lock is
+                // held and tracing is about to stay off — share only the
+                // message format.
+                eprintln!(
+                    "{}",
+                    super::env::warn_message("RDD_TRACE", path, &format!("a writable path ({e})"))
+                );
                 None
             }
         },
@@ -247,16 +281,43 @@ fn metric_snapshot_lines() -> Vec<String> {
         Json::Obj(obj).write(&mut line);
         out.push(line);
     };
+    let hist_line = |name: &'static str, snap: &HistSnapshot| {
+        vec![
+            ("ev".to_string(), Json::from("hist")),
+            ("t_ms".to_string(), Json::Num(now_ms())),
+            ("name".to_string(), Json::from(name)),
+            ("count".to_string(), Json::from(snap.count())),
+            (
+                "buckets".to_string(),
+                Json::Arr(snap.trimmed().iter().map(|&c| Json::from(c)).collect()),
+            ),
+        ]
+    };
     for cell in SPANS.lock().unwrap().iter() {
         let calls = cell.count.load(Ordering::Relaxed);
         let ns = cell.ns.load(Ordering::Relaxed);
+        let self_ns = cell.self_ns.load(Ordering::Relaxed);
         push(vec![
             ("ev".into(), Json::from("kernel")),
             ("t_ms".into(), Json::Num(now_ms())),
             ("name".into(), Json::from(cell.name)),
             ("calls".into(), Json::from(calls)),
             ("total_ms".into(), Json::Num(ns as f64 / 1e6)),
+            ("self_ms".into(), Json::Num(self_ns as f64 / 1e6)),
         ]);
+        push(hist_line(cell.name, &cell.hist.snapshot()));
+        for (parent, calls) in cell.parent_edges() {
+            push(vec![
+                ("ev".into(), Json::from("span_parent")),
+                ("t_ms".into(), Json::Num(now_ms())),
+                ("child".into(), Json::from(cell.name)),
+                ("parent".into(), Json::from(parent)),
+                ("calls".into(), Json::from(calls)),
+            ]);
+        }
+    }
+    for cell in HISTS.lock().unwrap().iter() {
+        push(hist_line(cell.name, &cell.hist.snapshot()));
     }
     for cell in COUNTERS.lock().unwrap().iter() {
         push(vec![
@@ -283,8 +344,27 @@ fn metric_snapshot_lines() -> Vec<String> {
     out
 }
 
-/// Wall-time aggregation for one kernel. Declare one `static` per kernel and
-/// guard the kernel body with [`SpanCell::enter`]:
+/// Distinct parents tracked per span cell; edges beyond this are dropped
+/// (a kernel is entered under a handful of stages at most).
+const PARENT_SLOTS: usize = 8;
+
+/// One lock-free (child, parent) edge counter.
+struct ParentSlot {
+    parent: AtomicPtr<SpanCell>,
+    count: AtomicU64,
+}
+
+impl ParentSlot {
+    const fn new() -> Self {
+        Self {
+            parent: AtomicPtr::new(std::ptr::null_mut()),
+            count: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Wall-time aggregation for one kernel or pipeline stage. Declare one
+/// `static` per site and guard the body with [`SpanCell::enter`]:
 ///
 /// ```
 /// static MATMUL: rdd_obs::SpanCell = rdd_obs::SpanCell::new("matmul");
@@ -294,12 +374,19 @@ fn metric_snapshot_lines() -> Vec<String> {
 /// }
 /// ```
 ///
-/// Totals are cumulative per process and appear as `kernel` events at every
-/// [`flush`] (a summary reads the last snapshot per name).
+/// Per call the cell accumulates *total* time, *self* time (total minus
+/// completed child spans on the same thread), a log2-bucket duration
+/// histogram, and the (child, parent) edge to the enclosing span. Totals
+/// are cumulative per process and appear as `kernel` + `hist` +
+/// `span_parent` events at every [`flush`] (a summary reads the last
+/// snapshot per name).
 pub struct SpanCell {
     name: &'static str,
     count: AtomicU64,
     ns: AtomicU64,
+    self_ns: AtomicU64,
+    hist: AtomicHist,
+    parents: [ParentSlot; PARENT_SLOTS],
     registered: AtomicBool,
 }
 
@@ -310,6 +397,9 @@ impl SpanCell {
             name,
             count: AtomicU64::new(0),
             ns: AtomicU64::new(0),
+            self_ns: AtomicU64::new(0),
+            hist: AtomicHist::new(),
+            parents: [const { ParentSlot::new() }; PARENT_SLOTS],
             registered: AtomicBool::new(false),
         }
     }
@@ -324,7 +414,17 @@ impl SpanCell {
         if !self.registered.swap(true, Ordering::Relaxed) {
             SPANS.lock().unwrap().push(self);
         }
-        SpanGuard(Some((self, Instant::now())))
+        let start = Instant::now();
+        // `try_with`: never panic during thread teardown; the span then
+        // simply records without parent attribution.
+        let _ = SPAN_STACK.try_with(|s| {
+            s.borrow_mut().push(Frame {
+                cell: self,
+                start,
+                child_ns: 0,
+            })
+        });
+        SpanGuard(Some((self, start)))
     }
 
     /// Cumulative `(calls, total_ns)` so far.
@@ -334,6 +434,61 @@ impl SpanCell {
             self.ns.load(Ordering::Relaxed),
         )
     }
+
+    /// Cumulative self-time (nanoseconds not covered by child spans).
+    pub fn self_ns(&self) -> u64 {
+        self.self_ns.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of the per-call duration histogram.
+    pub fn hist_snapshot(&self) -> HistSnapshot {
+        self.hist.snapshot()
+    }
+
+    /// Count one occurrence of `parent` directly enclosing this span.
+    /// Lock-free linear probe over a bounded table; edges past
+    /// [`PARENT_SLOTS`] distinct parents are dropped.
+    fn record_parent(&self, parent: &'static SpanCell) {
+        let p = parent as *const SpanCell as *mut SpanCell;
+        for slot in &self.parents {
+            let cur = slot.parent.load(Ordering::Relaxed);
+            let owned = if cur == p {
+                true
+            } else if cur.is_null() {
+                match slot.parent.compare_exchange(
+                    std::ptr::null_mut(),
+                    p,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => true,
+                    Err(actual) => actual == p,
+                }
+            } else {
+                false
+            };
+            if owned {
+                slot.count.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+        }
+    }
+
+    /// The observed `(parent name, calls)` edges for this cell.
+    pub fn parent_edges(&self) -> Vec<(&'static str, u64)> {
+        self.parents
+            .iter()
+            .filter_map(|slot| {
+                let p = slot.parent.load(Ordering::Relaxed);
+                if p.is_null() {
+                    return None;
+                }
+                // The pointer only ever holds `&'static SpanCell`s.
+                let parent: &'static SpanCell = unsafe { &*p };
+                Some((parent.name, slot.count.load(Ordering::Relaxed)))
+            })
+            .collect()
+    }
 }
 
 /// RAII timing guard returned by [`SpanCell::enter`].
@@ -342,10 +497,76 @@ pub struct SpanGuard(Option<(&'static SpanCell, Instant)>);
 impl Drop for SpanGuard {
     fn drop(&mut self) {
         if let Some((cell, start)) = self.0 {
+            let elapsed = start.elapsed().as_nanos() as u64;
             cell.count.fetch_add(1, Ordering::Relaxed);
-            cell.ns
-                .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            cell.ns.fetch_add(elapsed, Ordering::Relaxed);
+            cell.hist.record(elapsed);
+            // Pop this span's frame: its accumulated child time becomes the
+            // self-time discount, and the elapsed total is charged to the
+            // parent frame (if any) as child time.
+            let mut child_ns = 0u64;
+            let _ = SPAN_STACK.try_with(|s| {
+                let mut stack = s.borrow_mut();
+                if let Some(pos) = stack
+                    .iter()
+                    .rposition(|f| std::ptr::eq(f.cell, cell) && f.start == start)
+                {
+                    child_ns = stack[pos].child_ns;
+                    stack.truncate(pos);
+                    if let Some(parent) = stack.last_mut() {
+                        parent.child_ns += elapsed;
+                        cell.record_parent(parent.cell);
+                    }
+                }
+            });
+            cell.self_ns
+                .fetch_add(elapsed.saturating_sub(child_ns), Ordering::Relaxed);
         }
+    }
+}
+
+/// A log2-bucket histogram metric (e.g. per-request serve latency).
+/// Same one-atomic-load disabled path as [`CounterCell`]; recording is one
+/// relaxed `fetch_add` into the sample's bucket. Appears as a `hist` event
+/// at every [`flush`].
+pub struct HistCell {
+    name: &'static str,
+    hist: AtomicHist,
+    registered: AtomicBool,
+}
+
+impl HistCell {
+    /// A new cell; `const` so it can be a `static` at the call site.
+    pub const fn new(name: &'static str) -> Self {
+        Self {
+            name,
+            hist: AtomicHist::new(),
+            registered: AtomicBool::new(false),
+        }
+    }
+
+    /// Count one sample (conventionally nanoseconds); no-op when tracing
+    /// is off.
+    #[inline]
+    pub fn record(&'static self, v: u64) {
+        if !enabled() {
+            return;
+        }
+        if !self.registered.swap(true, Ordering::Relaxed) {
+            HISTS.lock().unwrap().push(self);
+        }
+        self.hist.record(v);
+    }
+
+    /// [`HistCell::record`] with a duration, counted in nanoseconds.
+    #[inline]
+    pub fn record_duration(&'static self, d: std::time::Duration) {
+        self.record(d.as_nanos() as u64);
+    }
+
+    /// Point-in-time image of the bucket counts.
+    pub fn snapshot(&self) -> HistSnapshot {
+        self.hist.snapshot()
     }
 }
 
@@ -568,6 +789,97 @@ pub(crate) mod tests {
             e.get("ev").and_then(Json::as_str) == Some("warn")
                 && e.get("msg").and_then(Json::as_str) == Some("a test warning")
         }));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn nested_spans_attribute_self_time_and_parent_edges() {
+        let _g = lock();
+        let path = temp_path("nested");
+        init_file(&path).unwrap();
+        static OUTER: SpanCell = SpanCell::new("test.nested_outer");
+        static INNER: SpanCell = SpanCell::new("test.nested_inner");
+        for _ in 0..3 {
+            let _o = OUTER.enter();
+            std::thread::sleep(std::time::Duration::from_millis(1));
+            let _i = INNER.enter();
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        flush();
+        disable();
+        let (o_calls, o_ns) = OUTER.snapshot();
+        let (i_calls, i_ns) = INNER.snapshot();
+        assert_eq!(o_calls, 3);
+        assert_eq!(i_calls, 3);
+        // The outer span fully contains the inner one, so outer self-time
+        // excludes the inner total; inner has no children.
+        assert_eq!(INNER.self_ns(), i_ns);
+        assert!(
+            OUTER.self_ns() <= o_ns - i_ns + o_ns / 10,
+            "outer self ({}) should exclude inner total ({i_ns}) of outer total ({o_ns})",
+            OUTER.self_ns()
+        );
+        assert_eq!(INNER.parent_edges(), vec![("test.nested_outer", 3)]);
+        assert!(OUTER.parent_edges().is_empty());
+        assert_eq!(INNER.hist_snapshot().count(), 3);
+        let events = read_events(&path);
+        let edge = events
+            .iter()
+            .find(|e| {
+                e.get("ev").and_then(Json::as_str) == Some("span_parent")
+                    && e.get("child").and_then(Json::as_str) == Some("test.nested_inner")
+            })
+            .expect("span_parent event present");
+        assert_eq!(
+            edge.get("parent").and_then(Json::as_str),
+            Some("test.nested_outer")
+        );
+        assert_eq!(edge.get("calls").and_then(Json::as_f64), Some(3.0));
+        let kernel = events
+            .iter()
+            .filter(|e| {
+                e.get("ev").and_then(Json::as_str) == Some("kernel")
+                    && e.get("name").and_then(Json::as_str) == Some("test.nested_outer")
+            })
+            .next_back()
+            .expect("kernel snapshot present");
+        let total = kernel.get("total_ms").and_then(Json::as_f64).unwrap();
+        let self_ms = kernel.get("self_ms").and_then(Json::as_f64).unwrap();
+        assert!(
+            self_ms <= total,
+            "self_ms {self_ms} must not exceed total {total}"
+        );
+        assert!(events.iter().any(|e| {
+            e.get("ev").and_then(Json::as_str) == Some("hist")
+                && e.get("name").and_then(Json::as_str) == Some("test.nested_inner")
+        }));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn hist_cell_records_when_enabled_only() {
+        let _g = lock();
+        disable();
+        static H: HistCell = HistCell::new("test.hist_cell");
+        H.record(1000);
+        assert_eq!(H.snapshot().count(), 0, "disabled hist must not move");
+        let path = temp_path("hist_cell");
+        init_file(&path).unwrap();
+        H.record(1000);
+        H.record(1_000_000);
+        H.record_duration(std::time::Duration::from_micros(3));
+        flush();
+        disable();
+        assert_eq!(H.snapshot().count(), 3);
+        let events = read_events(&path);
+        let hist = events
+            .iter()
+            .find(|e| {
+                e.get("ev").and_then(Json::as_str) == Some("hist")
+                    && e.get("name").and_then(Json::as_str) == Some("test.hist_cell")
+            })
+            .expect("hist snapshot present");
+        assert_eq!(hist.get("count").and_then(Json::as_f64), Some(3.0));
         std::fs::remove_file(&path).ok();
     }
 

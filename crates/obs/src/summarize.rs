@@ -1,7 +1,9 @@
 //! Offline consumption of a JSONL trace: parse, validate against the event
 //! schema, and render the per-epoch table plus kernel-time breakdown that
-//! `rdd trace-summary <file.jsonl>` prints.
+//! `rdd trace-summary <file.jsonl>` prints — and the full run report behind
+//! `rdd report` ([`TraceSummary::render_report`] / [`render_report`]).
 
+use super::hist::HistSnapshot;
 use super::json::{parse, Json};
 
 /// Cumulative wall time of one kernel (last snapshot in the trace wins —
@@ -11,6 +13,26 @@ pub struct KernelStat {
     pub name: String,
     pub calls: f64,
     pub total_ms: f64,
+    /// Time not covered by child spans; equals `total_ms` in traces
+    /// predating hierarchical spans (the field was absent).
+    pub self_ms: f64,
+}
+
+/// Last snapshot of one named log2-bucket histogram (`hist` events are
+/// cumulative, so the last one per name wins).
+#[derive(Clone, Debug)]
+pub struct HistStat {
+    pub name: String,
+    pub snapshot: HistSnapshot,
+}
+
+/// One observed span-nesting edge: `child` ran directly under `parent`
+/// `calls` times (cumulative; last snapshot wins).
+#[derive(Clone, Debug, PartialEq)]
+pub struct SpanEdge {
+    pub child: String,
+    pub parent: String,
+    pub calls: f64,
 }
 
 /// Everything a trace contains, grouped by event kind.
@@ -24,6 +46,10 @@ pub struct TraceSummary {
     pub runs: Vec<Json>,
     /// Last cumulative snapshot per kernel name.
     pub kernels: Vec<KernelStat>,
+    /// Last histogram snapshot per name (`hist` events).
+    pub hists: Vec<HistStat>,
+    /// Last call count per (child, parent) span edge (`span_parent` events).
+    pub span_edges: Vec<SpanEdge>,
     /// Last value per counter name.
     pub counters: Vec<(String, f64)>,
     /// Last value per gauge name.
@@ -35,12 +61,18 @@ pub struct TraceSummary {
     pub serves: Vec<Json>,
     /// `serve_run` events (final serve-session counters).
     pub serve_runs: Vec<Json>,
+    /// `serve_metrics` rolling-window heartbeats, in trace order.
+    pub serve_metrics: Vec<Json>,
+    /// `env_warn` events (rejected environment-variable values).
+    pub env_warns: Vec<Json>,
     /// `warn` event messages.
     pub warnings: Vec<String>,
     /// Events of kinds this module does not aggregate (kept for callers).
     pub other: Vec<Json>,
     /// Total number of events parsed.
     pub total_events: usize,
+    /// Largest `t_ms` seen — the trace's wall-clock span in milliseconds.
+    pub wall_ms: f64,
 }
 
 fn upsert(slot: &mut Vec<(String, f64)>, name: &str, value: f64) {
@@ -66,11 +98,12 @@ impl TraceSummary {
                 .and_then(Json::as_str)
                 .ok_or_else(|| format!("line {lineno}: missing string field \"ev\""))?
                 .to_string();
-            event
+            let t_ms = event
                 .get("t_ms")
                 .and_then(Json::as_f64)
                 .ok_or_else(|| format!("line {lineno}: missing numeric field \"t_ms\""))?;
             out.total_events += 1;
+            out.wall_ms = out.wall_ms.max(t_ms);
             match kind.as_str() {
                 "epoch" => {
                     validate_epoch(&event).map_err(|e| format!("line {lineno}: {e}"))?;
@@ -85,15 +118,53 @@ impl TraceSummary {
                         req_num(&event, "calls").map_err(|e| format!("line {lineno}: {e}"))?;
                     let total_ms =
                         req_num(&event, "total_ms").map_err(|e| format!("line {lineno}: {e}"))?;
+                    // Pre-hierarchy traces have no self_ms; a leaf span's
+                    // self-time IS its total, so that is the right default.
+                    let self_ms = event
+                        .get("self_ms")
+                        .and_then(Json::as_f64)
+                        .unwrap_or(total_ms);
                     match out.kernels.iter_mut().find(|k| k.name == name) {
                         Some(k) => {
                             k.calls = calls;
                             k.total_ms = total_ms;
+                            k.self_ms = self_ms;
                         }
                         None => out.kernels.push(KernelStat {
                             name,
                             calls,
                             total_ms,
+                            self_ms,
+                        }),
+                    }
+                }
+                "hist" => {
+                    let name =
+                        req_str(&event, "name").map_err(|e| format!("line {lineno}: {e}"))?;
+                    let snapshot =
+                        validate_hist(&event).map_err(|e| format!("line {lineno}: {e}"))?;
+                    match out.hists.iter_mut().find(|h| h.name == name) {
+                        Some(h) => h.snapshot = snapshot,
+                        None => out.hists.push(HistStat { name, snapshot }),
+                    }
+                }
+                "span_parent" => {
+                    let child =
+                        req_str(&event, "child").map_err(|e| format!("line {lineno}: {e}"))?;
+                    let parent =
+                        req_str(&event, "parent").map_err(|e| format!("line {lineno}: {e}"))?;
+                    let calls =
+                        req_num(&event, "calls").map_err(|e| format!("line {lineno}: {e}"))?;
+                    match out
+                        .span_edges
+                        .iter_mut()
+                        .find(|e| e.child == child && e.parent == parent)
+                    {
+                        Some(e) => e.calls = calls,
+                        None => out.span_edges.push(SpanEdge {
+                            child,
+                            parent,
+                            calls,
                         }),
                     }
                 }
@@ -118,6 +189,16 @@ impl TraceSummary {
                     out.serves.push(event);
                 }
                 "serve_run" => out.serve_runs.push(event),
+                "serve_metrics" => {
+                    validate_serve_metrics(&event).map_err(|e| format!("line {lineno}: {e}"))?;
+                    out.serve_metrics.push(event);
+                }
+                "env_warn" => {
+                    for key in ["var", "value", "expected"] {
+                        req_str(&event, key).map_err(|e| format!("line {lineno}: {e}"))?;
+                    }
+                    out.env_warns.push(event);
+                }
                 "fault" | "rollback" | "divergence" | "member_dropped" | "checkpoint"
                 | "resume" => out.recovery.push(event),
                 _ => out.other.push(event),
@@ -182,28 +263,7 @@ impl TraceSummary {
         }
         if !self.kernels.is_empty() {
             out.push_str("\nKernel time\n");
-            let mut kernels: Vec<&KernelStat> = self.kernels.iter().collect();
-            kernels.sort_by(|a, b| b.total_ms.total_cmp(&a.total_ms));
-            let rows: Vec<Vec<String>> = kernels
-                .iter()
-                .map(|k| {
-                    let per_call = if k.calls > 0.0 {
-                        k.total_ms / k.calls
-                    } else {
-                        0.0
-                    };
-                    vec![
-                        k.name.clone(),
-                        format!("{}", k.calls),
-                        format!("{:.3}", k.total_ms),
-                        format!("{:.4}", per_call),
-                    ]
-                })
-                .collect();
-            out.push_str(&render_table(
-                &["kernel", "calls", "total_ms", "ms/call"],
-                &rows,
-            ));
+            out.push_str(&self.render_kernel_table());
         }
         if !self.serves.is_empty() || !self.serve_runs.is_empty() {
             out.push_str(&self.render_serving());
@@ -297,26 +357,328 @@ impl TraceSummary {
         out.push_str(&render_table(&["metric", "value"], &rows));
         for run in &self.serve_runs {
             out.push_str(&format!(
-                "Serve run: requests {}  batches {}  hits {}  misses {}  wall_ms {}\n",
+                "Serve run: requests {}  batches {}  hits {}  misses {}  shed {}  wall_ms {}\n",
                 fmt_field(run.get("requests")),
                 fmt_field(run.get("batches")),
                 fmt_field(run.get("hits")),
                 fmt_field(run.get("misses")),
+                fmt_field(run.get("shed")),
                 fmt_field(run.get("wall_ms")),
             ));
         }
         out
     }
+
+    /// The kernel attribution table: per span, calls, total/self wall time,
+    /// per-call mean, histogram p50/p99 (ms) and the observed parents.
+    /// Sorted by self-time, the column that cannot double count.
+    fn render_kernel_table(&self) -> String {
+        let mut kernels: Vec<&KernelStat> = self.kernels.iter().collect();
+        kernels.sort_by(|a, b| b.self_ms.total_cmp(&a.self_ms));
+        let rows: Vec<Vec<String>> = kernels
+            .iter()
+            .map(|k| {
+                let per_call = if k.calls > 0.0 {
+                    k.total_ms / k.calls
+                } else {
+                    0.0
+                };
+                let (p50, p99) = match self.hists.iter().find(|h| h.name == k.name) {
+                    Some(h) if h.snapshot.count() > 0 => (
+                        format!("{:.4}", h.snapshot.p50() / 1e6),
+                        format!("{:.4}", h.snapshot.p99() / 1e6),
+                    ),
+                    _ => ("-".to_string(), "-".to_string()),
+                };
+                let parents: Vec<String> = self
+                    .span_edges
+                    .iter()
+                    .filter(|e| e.child == k.name)
+                    .map(|e| format!("{}x{}", e.parent, fmt_num(e.calls)))
+                    .collect();
+                vec![
+                    k.name.clone(),
+                    fmt_num(k.calls),
+                    format!("{:.3}", k.total_ms),
+                    format!("{:.3}", k.self_ms),
+                    format!("{per_call:.4}"),
+                    p50,
+                    p99,
+                    if parents.is_empty() {
+                        "-".to_string()
+                    } else {
+                        parents.join(",")
+                    },
+                ]
+            })
+            .collect();
+        render_table(
+            &[
+                "kernel", "calls", "total_ms", "self_ms", "ms/call", "p50_ms", "p99_ms", "parents",
+            ],
+            &rows,
+        )
+    }
+
+    /// The full run report behind `rdd report`: member convergence,
+    /// reliability-set evolution, kernel self-time attribution (self-times
+    /// sum to ≤ wall time — no flat-span double counting), the serving
+    /// section, rolling-window heartbeats, and env warnings.
+    pub fn render_report(&self) -> String {
+        let mut out = String::from("RDD run report\n");
+        out.push_str(&format!(
+            "  events {}  wall_ms {:.1}  warnings {}\n",
+            self.total_events,
+            self.wall_ms,
+            self.warnings.len() + self.env_warns.len()
+        ));
+
+        // Member convergence: epochs grouped per (model, member), joined
+        // with the final `member` records for alpha.
+        if !self.epochs.is_empty() {
+            out.push_str("\nMember convergence\n");
+            let mut groups: Vec<(String, Vec<&Json>)> = Vec::new();
+            for e in &self.epochs {
+                let key = format!(
+                    "{}/{}",
+                    fmt_field(e.get("model")),
+                    fmt_field(e.get("member"))
+                );
+                match groups.iter_mut().find(|(k, _)| *k == key) {
+                    Some((_, v)) => v.push(e),
+                    None => groups.push((key, vec![e])),
+                }
+            }
+            let rows: Vec<Vec<String>> = groups
+                .iter()
+                .map(|(key, epochs)| {
+                    let first = epochs[0];
+                    let last = epochs[epochs.len() - 1];
+                    let alpha = first
+                        .get("member")
+                        .and_then(Json::as_f64)
+                        .and_then(|m| {
+                            self.members
+                                .iter()
+                                .find(|rec| rec.get("member").and_then(Json::as_f64) == Some(m))
+                        })
+                        .map(|rec| fmt_field(rec.get("alpha")))
+                        .unwrap_or_else(|| "-".to_string());
+                    vec![
+                        key.clone(),
+                        fmt_num(epochs.len() as f64),
+                        fmt_field(first.get("loss")),
+                        fmt_field(last.get("loss")),
+                        alpha,
+                        fmt_field(last.get("val_acc")),
+                        fmt_field(last.get("test_acc")),
+                    ]
+                })
+                .collect();
+            out.push_str(&render_table(
+                &[
+                    "model/mem",
+                    "epochs",
+                    "first_loss",
+                    "last_loss",
+                    "alpha",
+                    "val",
+                    "test",
+                ],
+                &rows,
+            ));
+        }
+        for run in &self.runs {
+            out.push_str(&format!(
+                "\nRun: ensemble test acc {}  single test acc {}  members {}\n",
+                fmt_field(run.get("ensemble_test_acc")),
+                fmt_field(run.get("single_test_acc")),
+                fmt_field(run.get("members")),
+            ));
+        }
+
+        // Reliability evolution: the |V_r| / |V_b| / |E_r| trajectory of
+        // the distillation hook. Epochs without the hook carry nulls, and
+        // teacher members emit all-zero sets; both are skipped. Long runs
+        // are downsampled to keep the table readable (the raw trajectory
+        // stays in the trace).
+        let rdd_epochs: Vec<&Json> = self
+            .epochs
+            .iter()
+            .filter(|e| {
+                let f = |k| e.get(k).and_then(Json::as_f64);
+                f("v_r").is_some()
+                    && (f("v_r").unwrap_or(0.0) > 0.0
+                        || f("v_b").unwrap_or(0.0) > 0.0
+                        || f("e_r").unwrap_or(0.0) > 0.0)
+            })
+            .collect();
+        if !rdd_epochs.is_empty() {
+            const MAX_RELIABILITY_ROWS: usize = 24;
+            let stride = rdd_epochs.len().div_ceil(MAX_RELIABILITY_ROWS).max(1);
+            let shown: Vec<&Json> = rdd_epochs
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| i % stride == 0 || *i == rdd_epochs.len() - 1)
+                .map(|(_, e)| *e)
+                .collect();
+            out.push_str("\nReliability evolution");
+            if stride > 1 {
+                out.push_str(&format!(
+                    " (every {stride} of {} records)",
+                    rdd_epochs.len()
+                ));
+            }
+            out.push('\n');
+            let keys = ["member", "epoch", "v_r", "v_b", "e_r", "agreement", "gamma"];
+            let rows: Vec<Vec<String>> = shown
+                .iter()
+                .map(|e| keys.iter().map(|k| fmt_field(e.get(k))).collect())
+                .collect();
+            out.push_str(&render_table(
+                &["mem", "epoch", "|V_r|", "|V_b|", "|E_r|", "agree", "gamma"],
+                &rows,
+            ));
+        }
+
+        if !self.kernels.is_empty() {
+            out.push_str("\nKernel self-time attribution\n");
+            out.push_str(&self.render_kernel_table());
+            let self_total: f64 = self.kernels.iter().map(|k| k.self_ms).sum();
+            out.push_str(&format!(
+                "self-time total {:.3} ms of {:.1} ms wall\n",
+                self_total, self.wall_ms
+            ));
+        }
+
+        if !self.serves.is_empty() || !self.serve_runs.is_empty() {
+            out.push_str(&self.render_serving());
+        }
+        // Histogram-derived serve latencies (the online view; `serve.*`
+        // cells record nanoseconds).
+        let serve_hists: Vec<&HistStat> = self
+            .hists
+            .iter()
+            .filter(|h| h.name.starts_with("serve.") && h.snapshot.count() > 0)
+            .collect();
+        if !serve_hists.is_empty() {
+            out.push_str("\nServe latency histograms\n");
+            let rows: Vec<Vec<String>> = serve_hists
+                .iter()
+                .map(|h| {
+                    vec![
+                        h.name.clone(),
+                        fmt_num(h.snapshot.count() as f64),
+                        format!("{:.4}", h.snapshot.p50() / 1e6),
+                        format!("{:.4}", h.snapshot.p90() / 1e6),
+                        format!("{:.4}", h.snapshot.p99() / 1e6),
+                    ]
+                })
+                .collect();
+            out.push_str(&render_table(
+                &["hist", "count", "p50_ms", "p90_ms", "p99_ms"],
+                &rows,
+            ));
+        }
+        if !self.serve_metrics.is_empty() {
+            out.push_str(&format!(
+                "\nServe heartbeats ({} records)\n",
+                self.serve_metrics.len()
+            ));
+            let keys = [
+                "t_ms",
+                "window_s",
+                "requests",
+                "p50_ms",
+                "p99_ms",
+                "queue_peak",
+                "hit_rate",
+                "shed",
+            ];
+            let rows: Vec<Vec<String>> = self
+                .serve_metrics
+                .iter()
+                .map(|e| keys.iter().map(|k| fmt_field(e.get(k))).collect())
+                .collect();
+            out.push_str(&render_table(&keys, &rows));
+        }
+
+        if !self.recovery.is_empty() {
+            out.push_str(&format!(
+                "\nRecovery events: {} (see trace-summary for detail)\n",
+                self.recovery.len()
+            ));
+        }
+        if !self.env_warns.is_empty() {
+            out.push_str("\nEnvironment warnings\n");
+            let rows: Vec<Vec<String>> = self
+                .env_warns
+                .iter()
+                .map(|e| {
+                    ["var", "value", "expected"]
+                        .iter()
+                        .map(|k| fmt_field(e.get(k)))
+                        .collect()
+                })
+                .collect();
+            out.push_str(&render_table(&["var", "value", "expected"], &rows));
+        }
+        for w in &self.warnings {
+            out.push_str(&format!("\nwarning: {w}\n"));
+        }
+        out
+    }
 }
 
-/// Nearest-rank percentile over an ascending-sorted slice (`q` in [0, 1]);
-/// 0 on an empty slice. Shared by `trace-summary` and the serve bench.
-pub fn percentile(sorted: &[f64], q: f64) -> f64 {
-    if sorted.is_empty() {
-        return 0.0;
+/// Free-function form of [`TraceSummary::render_report`] (parse + render),
+/// for callers holding raw trace text.
+pub fn render_report(src: &str) -> Result<String, String> {
+    Ok(TraceSummary::parse(src)?.render_report())
+}
+
+/// What went wrong inside [`percentile`] / [`sample_stats`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum StatsError {
+    /// A sample was NaN or ±inf; carries the offending index and value.
+    NonFinite { index: usize, value: f64 },
+    /// A quantile outside [0, 1] (or NaN) was requested.
+    BadQuantile(f64),
+}
+
+impl std::fmt::Display for StatsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StatsError::NonFinite { index, value } => {
+                write!(f, "non-finite sample {value} at index {index}")
+            }
+            StatsError::BadQuantile(q) => write!(f, "quantile q={q} outside [0, 1]"),
+        }
     }
-    let rank = (q.clamp(0.0, 1.0) * (sorted.len() - 1) as f64).round() as usize;
-    sorted[rank.min(sorted.len() - 1)]
+}
+
+impl std::error::Error for StatsError {}
+
+/// Nearest-rank percentile over an ascending-sorted slice; 0 on an empty
+/// slice. Shared by `trace-summary` and the serve bench.
+///
+/// `q` outside [0, 1] (or NaN) is a [`StatsError::BadQuantile`] — callers
+/// used to get a silent clamp, which hid real bugs (a caller passing `99`
+/// instead of `0.99` read the max and never noticed). Unsorted input is a
+/// caller bug: debug builds assert on it, release builds still index by
+/// rank (garbage in, garbage out, but never out of bounds).
+pub fn percentile(sorted: &[f64], q: f64) -> Result<f64, StatsError> {
+    if !(0.0..=1.0).contains(&q) {
+        return Err(StatsError::BadQuantile(q));
+    }
+    debug_assert!(
+        sorted.windows(2).all(|w| w[0] <= w[1]),
+        "percentile input must be ascending-sorted"
+    );
+    if sorted.is_empty() {
+        return Ok(0.0);
+    }
+    let rank = (q * (sorted.len() - 1) as f64).round() as usize;
+    Ok(sorted[rank.min(sorted.len() - 1)])
 }
 
 /// Summary statistics over one set of latency/throughput samples.
@@ -345,15 +707,15 @@ pub struct SampleStats {
 ///
 /// Non-finite samples (NaN, ±inf) are *rejected* — a benchmark that
 /// produced one has a bug upstream, and quietly sorting NaNs would
-/// corrupt every percentile — with an error naming the first offending
-/// index. An empty slice is not an error: it yields the all-zero stats.
-pub fn sample_stats(samples: &[f64]) -> Result<SampleStats, String> {
-    if let Some(i) = samples.iter().position(|v| !v.is_finite()) {
-        return Err(format!(
-            "non-finite sample {} at index {i} of {}",
-            samples[i],
-            samples.len()
-        ));
+/// corrupt every percentile — with a typed error naming the first
+/// offending index. An empty slice is not an error: it yields the
+/// all-zero stats.
+pub fn sample_stats(samples: &[f64]) -> Result<SampleStats, StatsError> {
+    if let Some(index) = samples.iter().position(|v| !v.is_finite()) {
+        return Err(StatsError::NonFinite {
+            index,
+            value: samples[index],
+        });
     }
     if samples.is_empty() {
         return Ok(SampleStats::default());
@@ -365,9 +727,65 @@ pub fn sample_stats(samples: &[f64]) -> Result<SampleStats, String> {
         min: sorted[0],
         max: sorted[sorted.len() - 1],
         mean: sorted.iter().sum::<f64>() / sorted.len() as f64,
-        p50: percentile(&sorted, 0.50),
-        p99: percentile(&sorted, 0.99),
+        // In-range constants: the quantile error arm cannot fire.
+        p50: percentile(&sorted, 0.50).unwrap_or_default(),
+        p99: percentile(&sorted, 0.99).unwrap_or_default(),
     })
+}
+
+/// Check a `hist` event and rebuild its [`HistSnapshot`]: `count` must be
+/// numeric and `buckets` an array of ≤ 64 non-negative numbers whose sum
+/// matches `count`.
+fn validate_hist(event: &Json) -> Result<HistSnapshot, String> {
+    let count = req_num(event, "count")?;
+    let buckets = match event.get("buckets") {
+        Some(Json::Arr(a)) => a,
+        _ => return Err("hist field \"buckets\" must be an array".to_string()),
+    };
+    let mut counts = Vec::with_capacity(buckets.len());
+    for (i, b) in buckets.iter().enumerate() {
+        match b.as_f64() {
+            Some(v) if v >= 0.0 && v.fract() == 0.0 => counts.push(v as u64),
+            _ => return Err(format!("hist bucket {i} must be a non-negative integer")),
+        }
+    }
+    let snapshot = HistSnapshot::from_counts(&counts).ok_or_else(|| {
+        format!(
+            "hist has {} buckets (max {})",
+            counts.len(),
+            super::hist::BUCKETS
+        )
+    })?;
+    if snapshot.count() as f64 != count {
+        return Err(format!(
+            "hist has count={count} but buckets sum to {}",
+            snapshot.count()
+        ));
+    }
+    Ok(snapshot)
+}
+
+const SERVE_METRICS_NUMERIC: &[&str] = &[
+    "window_s",
+    "requests",
+    "p50_ms",
+    "p99_ms",
+    "queue_peak",
+    "hit_rate",
+    "shed",
+];
+
+fn validate_serve_metrics(event: &Json) -> Result<(), String> {
+    for key in SERVE_METRICS_NUMERIC {
+        req_num(event, key)?;
+    }
+    let hit_rate = req_num(event, "hit_rate")?;
+    if !(0.0..=1.0).contains(&hit_rate) {
+        return Err(format!(
+            "serve_metrics has hit_rate={hit_rate} outside [0, 1]"
+        ));
+    }
+    Ok(())
 }
 
 const SERVE_BATCH_NUMERIC: &[&str] = &["requests", "nodes", "hits", "misses", "exec_ms"];
@@ -650,13 +1068,33 @@ mod tests {
 
     #[test]
     fn percentile_is_nearest_rank_on_sorted_data() {
-        assert_eq!(percentile(&[], 0.5), 0.0);
-        assert_eq!(percentile(&[7.0], 0.99), 7.0);
+        assert_eq!(percentile(&[], 0.5), Ok(0.0));
+        assert_eq!(percentile(&[7.0], 0.99), Ok(7.0));
         let xs: Vec<f64> = (1..=100).map(|i| i as f64).collect();
-        assert_eq!(percentile(&xs, 0.0), 1.0);
-        assert_eq!(percentile(&xs, 1.0), 100.0);
-        assert_eq!(percentile(&xs, 0.50), 51.0); // nearest rank on 0..=99
-        assert_eq!(percentile(&xs, 0.99), 99.0);
+        assert_eq!(percentile(&xs, 0.0), Ok(1.0));
+        assert_eq!(percentile(&xs, 1.0), Ok(100.0));
+        assert_eq!(percentile(&xs, 0.50), Ok(51.0)); // nearest rank on 0..=99
+        assert_eq!(percentile(&xs, 0.99), Ok(99.0));
+    }
+
+    #[test]
+    fn percentile_rejects_out_of_range_quantiles() {
+        let xs = [1.0, 2.0, 3.0];
+        assert_eq!(percentile(&xs, -0.1), Err(StatsError::BadQuantile(-0.1)));
+        assert_eq!(percentile(&xs, 99.0), Err(StatsError::BadQuantile(99.0)));
+        assert!(matches!(
+            percentile(&xs, f64::NAN),
+            Err(StatsError::BadQuantile(_))
+        ));
+        let msg = percentile(&xs, 2.0).unwrap_err().to_string();
+        assert!(msg.contains("outside [0, 1]"), "got: {msg}");
+    }
+
+    #[test]
+    #[should_panic(expected = "ascending-sorted")]
+    #[cfg(debug_assertions)]
+    fn percentile_asserts_sorted_input_in_debug() {
+        let _ = percentile(&[3.0, 1.0, 2.0], 0.5);
     }
 
     #[test]
@@ -690,11 +1128,123 @@ mod tests {
     #[test]
     fn sample_stats_rejects_non_finite_with_index() {
         let err = sample_stats(&[1.0, f64::NAN, 2.0]).unwrap_err();
-        assert!(err.contains("index 1"), "got: {err}");
+        assert!(matches!(err, StatsError::NonFinite { index: 1, .. }));
+        assert!(err.to_string().contains("index 1"), "got: {err}");
         let err = sample_stats(&[f64::INFINITY]).unwrap_err();
-        assert!(err.contains("index 0"), "got: {err}");
+        assert!(matches!(err, StatsError::NonFinite { index: 0, .. }));
         let err = sample_stats(&[0.0, 1.0, f64::NEG_INFINITY]).unwrap_err();
-        assert!(err.contains("index 2"), "got: {err}");
+        assert!(matches!(err, StatsError::NonFinite { index: 2, .. }));
+    }
+
+    #[test]
+    fn aggregates_hist_and_span_parent_events() {
+        let src = [
+            // 3 samples in bucket 4 ([16, 32)), 1 in bucket 5.
+            "{\"ev\":\"hist\",\"t_ms\":1.0,\"name\":\"spmm\",\"count\":2,\"buckets\":[0,0,0,0,2]}",
+            "{\"ev\":\"hist\",\"t_ms\":2.0,\"name\":\"spmm\",\"count\":4,\"buckets\":[0,0,0,0,3,1]}",
+            "{\"ev\":\"span_parent\",\"t_ms\":2.0,\"child\":\"spmm\",\"parent\":\"forward\",\"calls\":4}",
+            concat!(
+                "{\"ev\":\"kernel\",\"t_ms\":2.0,\"name\":\"spmm\",\"calls\":4,",
+                "\"total_ms\":2.0,\"self_ms\":1.5}"
+            ),
+            "{\"ev\":\"kernel\",\"t_ms\":2.0,\"name\":\"legacy\",\"calls\":1,\"total_ms\":3.0}",
+        ]
+        .join("\n");
+        let summary = TraceSummary::parse(&src).unwrap();
+        assert_eq!(summary.hists.len(), 1, "last snapshot per name wins");
+        assert_eq!(summary.hists[0].snapshot.count(), 4);
+        assert_eq!(
+            summary.span_edges,
+            vec![SpanEdge {
+                child: "spmm".into(),
+                parent: "forward".into(),
+                calls: 4.0
+            }]
+        );
+        let spmm = summary.kernels.iter().find(|k| k.name == "spmm").unwrap();
+        assert_eq!(spmm.self_ms, 1.5);
+        let legacy = summary.kernels.iter().find(|k| k.name == "legacy").unwrap();
+        assert_eq!(legacy.self_ms, 3.0, "absent self_ms defaults to total");
+        assert_eq!(summary.wall_ms, 2.0);
+        let report = summary.render_report();
+        assert!(report.contains("Kernel self-time attribution"), "{report}");
+        assert!(report.contains("forwardx4"), "{report}");
+        assert!(report.contains("self-time total"), "{report}");
+    }
+
+    #[test]
+    fn rejects_malformed_hist_events() {
+        let bad_sum = "{\"ev\":\"hist\",\"t_ms\":1.0,\"name\":\"x\",\"count\":5,\"buckets\":[1,1]}";
+        let err = TraceSummary::parse(bad_sum).unwrap_err();
+        assert!(err.contains("buckets sum"), "{err}");
+        let neg = "{\"ev\":\"hist\",\"t_ms\":1.0,\"name\":\"x\",\"count\":1,\"buckets\":[-1]}";
+        let err = TraceSummary::parse(neg).unwrap_err();
+        assert!(err.contains("non-negative"), "{err}");
+        let wide = format!(
+            "{{\"ev\":\"hist\",\"t_ms\":1.0,\"name\":\"x\",\"count\":65,\"buckets\":[{}]}}",
+            vec!["1"; 65].join(",")
+        );
+        let err = TraceSummary::parse(&wide).unwrap_err();
+        assert!(err.contains("65 buckets"), "{err}");
+    }
+
+    #[test]
+    fn aggregates_serve_metrics_and_env_warns() {
+        let src = [
+            concat!(
+                "{\"ev\":\"serve_metrics\",\"t_ms\":1.0,\"window_s\":5,\"requests\":100,",
+                "\"p50_ms\":0.5,\"p99_ms\":2.0,\"queue_peak\":7,\"hit_rate\":0.25,\"shed\":0}"
+            ),
+            concat!(
+                "{\"ev\":\"env_warn\",\"t_ms\":1.0,\"var\":\"RDD_THREADS\",",
+                "\"value\":\"banana\",\"expected\":\"a positive integer\"}"
+            ),
+        ]
+        .join("\n");
+        let summary = TraceSummary::parse(&src).unwrap();
+        assert_eq!(summary.serve_metrics.len(), 1);
+        assert_eq!(summary.env_warns.len(), 1);
+        assert!(summary.other.is_empty());
+        let report = summary.render_report();
+        assert!(report.contains("Serve heartbeats (1 records)"), "{report}");
+        assert!(report.contains("RDD_THREADS"), "{report}");
+
+        let bad = concat!(
+            "{\"ev\":\"serve_metrics\",\"t_ms\":1.0,\"window_s\":5,\"requests\":100,",
+            "\"p50_ms\":0.5,\"p99_ms\":2.0,\"queue_peak\":7,\"hit_rate\":1.5,\"shed\":0}"
+        );
+        let err = TraceSummary::parse(bad).unwrap_err();
+        assert!(err.contains("hit_rate"), "{err}");
+    }
+
+    #[test]
+    fn report_renders_convergence_and_reliability() {
+        let src = [
+            epoch_line(0, 100, 40),
+            epoch_line(1, 90, 30),
+            concat!(
+                "{\"ev\":\"member\",\"t_ms\":3.0,\"member\":1,\"alpha\":0.75,",
+                "\"val_acc\":0.8,\"test_acc\":0.7,\"epochs\":2}"
+            )
+            .to_string(),
+            concat!(
+                "{\"ev\":\"run\",\"t_ms\":4.0,\"ensemble_test_acc\":0.8,",
+                "\"single_test_acc\":0.7,\"members\":1}"
+            )
+            .to_string(),
+        ]
+        .join("\n");
+        let summary = TraceSummary::parse(&src).unwrap();
+        let report = summary.render_report();
+        assert!(report.contains("Member convergence"), "{report}");
+        assert!(report.contains("gcn/1"), "{report}");
+        assert!(
+            report.contains("0.75"),
+            "alpha joined from member: {report}"
+        );
+        assert!(report.contains("Reliability evolution"), "{report}");
+        assert!(report.contains("|V_r|"), "{report}");
+        assert!(report.contains("Run: ensemble test acc 0.8"), "{report}");
     }
 
     #[test]

@@ -257,7 +257,15 @@ pub fn emit_serve_batch(
 }
 
 /// One `serve_run` event: final counters of a serve session or bench.
-pub fn emit_serve_run(requests: u64, batches: u64, hits: u64, misses: u64, wall_ms: f64) {
+/// `shed` counts requests rejected at admission (queue full).
+pub fn emit_serve_run(
+    requests: u64,
+    batches: u64,
+    hits: u64,
+    misses: u64,
+    shed: u64,
+    wall_ms: f64,
+) {
     event(
         "serve_run",
         &[
@@ -265,7 +273,62 @@ pub fn emit_serve_run(requests: u64, batches: u64, hits: u64, misses: u64, wall_
             ("batches", Json::from(batches)),
             ("hits", Json::from(hits)),
             ("misses", Json::from(misses)),
+            ("shed", Json::from(shed)),
             ("wall_ms", Json::from(wall_ms)),
+        ],
+    );
+}
+
+/// One rolling window of live serve metrics, as sampled by
+/// [`emit_serve_metrics`] and the `rdd serve --metrics-every` heartbeat.
+/// Latencies are milliseconds (histogram-derived, so accurate to one log2
+/// bucket); counters cover only the window, not the whole session.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ServeMetricsSnapshot {
+    /// Width of the window actually covered, seconds.
+    pub window_s: u64,
+    /// Requests completed inside the window.
+    pub requests: u64,
+    /// Median end-to-end request latency, ms.
+    pub p50_ms: f64,
+    /// 99th-percentile end-to-end request latency, ms.
+    pub p99_ms: f64,
+    /// Queue-depth high-water mark over the window.
+    pub queue_peak: u64,
+    /// Cache hits / (hits + misses) over the window; 0 when idle.
+    pub hit_rate: f64,
+    /// Requests shed at admission (queue full) over the window.
+    pub shed: u64,
+}
+
+impl ServeMetricsSnapshot {
+    /// The one-line status `rdd serve` prints per heartbeat.
+    pub fn status_line(&self) -> String {
+        format!(
+            "serve: {} req/{}s  p50 {:.3} ms  p99 {:.3} ms  queue peak {}  hit rate {:.1}%  shed {}",
+            self.requests,
+            self.window_s,
+            self.p50_ms,
+            self.p99_ms,
+            self.queue_peak,
+            100.0 * self.hit_rate,
+            self.shed
+        )
+    }
+}
+
+/// One `serve_metrics` heartbeat event from a rolling window snapshot.
+pub fn emit_serve_metrics(m: &ServeMetricsSnapshot) {
+    event(
+        "serve_metrics",
+        &[
+            ("window_s", Json::from(m.window_s)),
+            ("requests", Json::from(m.requests)),
+            ("p50_ms", Json::from(m.p50_ms)),
+            ("p99_ms", Json::from(m.p99_ms)),
+            ("queue_peak", Json::from(m.queue_peak)),
+            ("hit_rate", Json::from(m.hit_rate)),
+            ("shed", Json::from(m.shed)),
         ],
     );
 }

@@ -16,10 +16,21 @@ use std::collections::{HashMap, VecDeque};
 use std::time::Instant;
 
 use rdd_models::{ConfigError, PredictRequest, Prediction, Predictor};
+use rdd_obs::{HistSnapshot, ServeMetricsSnapshot};
 use rdd_tensor::Matrix;
 
 use crate::cache::LruCache;
 use crate::error::ServeError;
+
+/// Online latency histograms (log2-bucket nanoseconds): end-to-end request
+/// latency and predictor execution time per flush. Near-free when tracing
+/// is off; snapshots appear as `hist` events at every `rdd_obs::flush()`.
+static HIST_REQUEST_NS: rdd_obs::HistCell = rdd_obs::HistCell::new("serve.request_ns");
+static HIST_EXEC_NS: rdd_obs::HistCell = rdd_obs::HistCell::new("serve.exec_ns");
+
+/// Seconds of history the in-engine rolling metrics window keeps by
+/// default (see [`ServeEngine::set_metrics_window`]).
+pub const DEFAULT_METRICS_WINDOW_S: usize = 10;
 
 /// Serve-engine tuning knobs.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -107,6 +118,8 @@ pub struct ServeStats {
     pub cache_hits: u64,
     /// Node rows that needed predictor execution.
     pub cache_misses: u64,
+    /// Requests rejected at admission (queue full).
+    pub shed: u64,
 }
 
 impl ServeStats {
@@ -121,6 +134,133 @@ impl ServeStats {
     }
 }
 
+/// One second of rolling-window metrics. Slots are reused in a ring and
+/// lazily reset when their absolute second comes around again.
+#[derive(Clone)]
+struct WindowSlot {
+    /// Absolute second (since the window's origin) this slot holds; the
+    /// sentinel `u64::MAX` marks a slot that never recorded.
+    second: u64,
+    requests: u64,
+    /// End-to-end request latency, log2-bucket nanoseconds.
+    lat: HistSnapshot,
+    queue_peak: u64,
+    hits: u64,
+    misses: u64,
+    shed: u64,
+}
+
+impl WindowSlot {
+    fn empty() -> Self {
+        Self {
+            second: u64::MAX,
+            requests: 0,
+            lat: HistSnapshot::new(),
+            queue_peak: 0,
+            hits: 0,
+            misses: 0,
+            shed: 0,
+        }
+    }
+}
+
+/// A ring of per-second metric slots covering the last N seconds — the
+/// live view behind `rdd serve --metrics-every` and the substrate for
+/// deadline-aware admission control (ROADMAP item 3). Recording touches
+/// one slot; snapshotting merges the slots still inside the window, so
+/// stale traffic ages out without any background thread.
+pub struct RollingWindow {
+    origin: Instant,
+    slots: Vec<WindowSlot>,
+}
+
+impl RollingWindow {
+    /// A window covering the last `window_s` seconds (min 1).
+    pub fn new(window_s: usize) -> Self {
+        Self {
+            origin: Instant::now(),
+            slots: vec![WindowSlot::empty(); window_s.max(1)],
+        }
+    }
+
+    fn now_sec(&self) -> u64 {
+        self.origin.elapsed().as_secs()
+    }
+
+    /// The current second's slot, reset if the ring has lapped it.
+    fn slot_mut(&mut self) -> &mut WindowSlot {
+        let now = self.now_sec();
+        let idx = (now % self.slots.len() as u64) as usize;
+        let slot = &mut self.slots[idx];
+        if slot.second != now {
+            *slot = WindowSlot::empty();
+            slot.second = now;
+        }
+        slot
+    }
+
+    /// Count one completed request with its end-to-end latency.
+    pub fn record_request(&mut self, latency: std::time::Duration) {
+        let ns = latency.as_nanos() as u64;
+        let slot = self.slot_mut();
+        slot.requests += 1;
+        slot.lat.record(ns);
+    }
+
+    /// Raise the window's queue-depth high-water mark.
+    pub fn record_queue_depth(&mut self, depth: usize) {
+        let slot = self.slot_mut();
+        slot.queue_peak = slot.queue_peak.max(depth as u64);
+    }
+
+    /// Count cache traffic for one flush.
+    pub fn record_cache(&mut self, hits: u64, misses: u64) {
+        let slot = self.slot_mut();
+        slot.hits += hits;
+        slot.misses += misses;
+    }
+
+    /// Count one request shed at admission.
+    pub fn record_shed(&mut self) {
+        self.slot_mut().shed += 1;
+    }
+
+    /// Merge every slot still inside the window into one snapshot.
+    /// Latency percentiles are histogram-derived, so they are accurate to
+    /// one log2 bucket.
+    pub fn snapshot(&self) -> ServeMetricsSnapshot {
+        let now = self.now_sec();
+        let len = self.slots.len() as u64;
+        let mut lat = HistSnapshot::new();
+        let mut m = ServeMetricsSnapshot {
+            window_s: len.min(now + 1),
+            ..ServeMetricsSnapshot::default()
+        };
+        let (mut hits, mut misses) = (0u64, 0u64);
+        for slot in &self.slots {
+            // Valid = recorded within the last `len` seconds (slot.second
+            // is u64::MAX on never-used slots, failing the check).
+            if slot.second > now || now - slot.second >= len {
+                continue;
+            }
+            m.requests += slot.requests;
+            m.queue_peak = m.queue_peak.max(slot.queue_peak);
+            m.shed += slot.shed;
+            hits += slot.hits;
+            misses += slot.misses;
+            lat.merge(&slot.lat);
+        }
+        if hits + misses > 0 {
+            m.hit_rate = hits as f64 / (hits + misses) as f64;
+        }
+        if lat.count() > 0 {
+            m.p50_ms = lat.p50() / 1e6;
+            m.p99_ms = lat.p99() / 1e6;
+        }
+        m
+    }
+}
+
 /// Micro-batching, caching front-end over a [`Predictor`].
 pub struct ServeEngine<P: Predictor> {
     predictor: P,
@@ -131,6 +271,7 @@ pub struct ServeEngine<P: Predictor> {
     cache: Option<LruCache<(u64, usize), CachedRow>>,
     pending: VecDeque<PendingRequest>,
     stats: ServeStats,
+    metrics: RollingWindow,
 }
 
 impl<P: Predictor> ServeEngine<P> {
@@ -147,6 +288,7 @@ impl<P: Predictor> ServeEngine<P> {
             cache,
             pending: VecDeque::new(),
             stats: ServeStats::default(),
+            metrics: RollingWindow::new(DEFAULT_METRICS_WINDOW_S),
         })
     }
 
@@ -158,6 +300,20 @@ impl<P: Predictor> ServeEngine<P> {
     /// Engine-lifetime counters.
     pub fn stats(&self) -> ServeStats {
         self.stats
+    }
+
+    /// Replace the rolling metrics window with one covering `window_s`
+    /// seconds (drops history). Drivers emitting heartbeats every N
+    /// seconds should size the window to at least N.
+    pub fn set_metrics_window(&mut self, window_s: usize) {
+        self.metrics = RollingWindow::new(window_s);
+    }
+
+    /// Live metrics over the rolling window: p50/p99 latency (one-log2-
+    /// bucket accuracy), queue-depth high-water, cache hit rate, shed
+    /// count. Counters cover only the window, unlike [`ServeEngine::stats`].
+    pub fn metrics(&self) -> ServeMetricsSnapshot {
+        self.metrics.snapshot()
     }
 
     /// Requests currently queued.
@@ -184,6 +340,8 @@ impl<P: Predictor> ServeEngine<P> {
         nodes: Option<Vec<usize>>,
     ) -> Result<Option<Vec<ServeReply>>, ServeError> {
         if self.pending.len() >= self.cfg.queue_capacity {
+            self.stats.shed += 1;
+            self.metrics.record_shed();
             return Err(ServeError::QueueFull {
                 capacity: self.cfg.queue_capacity,
             });
@@ -193,6 +351,7 @@ impl<P: Predictor> ServeEngine<P> {
             nodes,
             enqueued: Instant::now(),
         });
+        self.metrics.record_queue_depth(self.pending.len());
         if self.pending.len() >= self.cfg.batch_size {
             Ok(Some(self.flush()))
         } else {
@@ -364,6 +523,14 @@ impl<P: Predictor> ServeEngine<P> {
         let hits: usize = replies.iter().map(|r| r.cache_hits).sum();
         self.stats.requests += replies.len() as u64;
         self.stats.batches += 1;
+        HIST_EXEC_NS.record((exec_ms * 1e6) as u64);
+        for &lat_ms in &latencies {
+            HIST_REQUEST_NS.record((lat_ms * 1e6) as u64);
+            self.metrics
+                .record_request(std::time::Duration::from_secs_f64(lat_ms / 1e3));
+        }
+        self.metrics
+            .record_cache(hits as u64, nodes_served.saturating_sub(hits) as u64);
         rdd_obs::emit_serve_batch(
             replies.len(),
             nodes_served,
@@ -570,5 +737,59 @@ mod tests {
         let mut e = engine(ServeConfig::default());
         assert!(e.flush().is_empty());
         assert_eq!(e.stats().batches, 0);
+    }
+
+    #[test]
+    fn rolling_window_tracks_requests_cache_queue_and_shed() {
+        let mut e = engine(ServeConfig {
+            batch_size: 2,
+            queue_capacity: 2,
+            cache_capacity: 64,
+            ..ServeConfig::default()
+        });
+        e.submit(0, Some(vec![1])).unwrap();
+        e.submit(1, Some(vec![2])).unwrap().expect("flush");
+        // Same nodes again: all cache hits this time.
+        e.submit(2, Some(vec![1])).unwrap();
+        e.submit(3, Some(vec![2])).unwrap().expect("flush");
+        let m = e.metrics();
+        assert_eq!(m.requests, 4);
+        assert_eq!(m.queue_peak, 2, "two requests were queued before a flush");
+        assert!((m.hit_rate - 0.5).abs() < 1e-12, "2 of 4 rows were hits");
+        assert_eq!(m.shed, 0);
+        assert!(m.p50_ms >= 0.0 && m.p99_ms >= m.p50_ms);
+        assert!(m.window_s >= 1);
+
+        // Fill the queue without reaching batch_size, then overflow it.
+        let mut e = engine(ServeConfig {
+            batch_size: 10,
+            queue_capacity: 2,
+            ..ServeConfig::default()
+        });
+        e.submit(0, Some(vec![0])).unwrap();
+        e.submit(1, Some(vec![1])).unwrap();
+        assert!(e.submit(2, Some(vec![2])).is_err());
+        assert_eq!(e.stats().shed, 1);
+        assert_eq!(e.metrics().shed, 1);
+    }
+
+    #[test]
+    fn window_percentiles_match_exact_within_one_log2_bucket() {
+        let mut w = RollingWindow::new(5);
+        // 1..=1000 µs uniform: exact p50 = 501 µs, p99 = 991 µs.
+        let samples_ms: Vec<f64> = (1..=1000).map(|i| i as f64 / 1000.0).collect();
+        for &ms in &samples_ms {
+            w.record_request(std::time::Duration::from_secs_f64(ms / 1e3));
+        }
+        let m = w.snapshot();
+        assert_eq!(m.requests, 1000);
+        let exact = rdd_obs::sample_stats(&samples_ms).unwrap();
+        for (hist, exact) in [(m.p50_ms, exact.p50), (m.p99_ms, exact.p99)] {
+            let ratio = hist / exact;
+            assert!(
+                (0.5..=2.0).contains(&ratio),
+                "histogram percentile {hist} vs exact {exact}: off by more than one log2 bucket"
+            );
+        }
     }
 }

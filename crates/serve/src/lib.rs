@@ -47,5 +47,7 @@ pub use artifact::{
 };
 pub use bench::{bench_artifact, BenchResult};
 pub use cache::LruCache;
-pub use engine::{ServeConfig, ServeEngine, ServeReply, ServeStats};
+pub use engine::{
+    RollingWindow, ServeConfig, ServeEngine, ServeReply, ServeStats, DEFAULT_METRICS_WINDOW_S,
+};
 pub use error::{RddError, ServeError};

@@ -52,16 +52,9 @@ static OBS_QUEUE_PEAK: GaugeCell = GaugeCell::new("pool.queue_peak");
 pub fn num_threads() -> usize {
     static N: OnceLock<usize> = OnceLock::new();
     *N.get_or_init(|| {
-        let mut resolved = None;
-        if let Ok(v) = std::env::var("RDD_THREADS") {
-            match v.parse::<usize>() {
-                Ok(n) => resolved = Some(n.max(1)),
-                Err(_) => rdd_obs::warn(&format!(
-                    "rdd-tensor: ignoring unparseable RDD_THREADS={v:?} \
-                     (expected a positive integer)"
-                )),
-            }
-        }
+        let resolved = rdd_obs::env::parse_with("RDD_THREADS", "a positive integer", |v| {
+            v.parse::<usize>().ok().map(|n| n.max(1))
+        });
         let n = resolved.unwrap_or_else(|| {
             std::thread::available_parallelism()
                 .map(|n| n.get())

@@ -118,30 +118,27 @@ pub fn force_active(tier: SimdTier) {
 #[cold]
 fn init_from_env() -> SimdTier {
     let best = detect_best();
-    let tier = match std::env::var("RDD_SIMD") {
-        Err(_) => best,
-        Ok(v) => match v.trim().to_ascii_lowercase().as_str() {
-            "" | "auto" | "on" => best,
-            "off" | "scalar" | "0" | "false" | "no" => SimdTier::Scalar,
-            "sse2" if available(SimdTier::Sse2) => SimdTier::Sse2,
-            "avx2" if available(SimdTier::Avx2) => SimdTier::Avx2,
+    let tier = rdd_obs::env::parse_with("RDD_SIMD", "auto|off|scalar|sse2|avx2", |v| {
+        match v.trim().to_ascii_lowercase().as_str() {
+            "" | "auto" | "on" => Some(best),
+            "off" | "scalar" | "0" | "false" | "no" => Some(SimdTier::Scalar),
+            "sse2" if available(SimdTier::Sse2) => Some(SimdTier::Sse2),
+            "avx2" if available(SimdTier::Avx2) => Some(SimdTier::Avx2),
             "sse2" | "avx2" => {
-                rdd_obs::warn(&format!(
-                    "rdd-tensor: RDD_SIMD={v:?} not supported by this CPU \
-                     (best tier: {}); using it instead",
-                    best.name()
-                ));
-                best
+                // Valid name, unsupported CPU: its own warning (the value
+                // parsed fine; the hardware is the problem), then fall
+                // back to the detected best tier.
+                rdd_obs::env::reject(
+                    "RDD_SIMD",
+                    v,
+                    &format!("a tier this CPU supports (best: {})", best.name()),
+                );
+                Some(best)
             }
-            _ => {
-                rdd_obs::warn(&format!(
-                    "rdd-tensor: ignoring unparseable RDD_SIMD={v:?} \
-                     (expected auto|off|scalar|sse2|avx2); keeping auto"
-                ));
-                best
-            }
-        },
-    };
+            _ => None,
+        }
+    })
+    .unwrap_or(best);
     // First writer wins so the init event fires exactly once even when
     // several pool workers race into the latch.
     if ACTIVE

@@ -50,19 +50,15 @@ static OBS_BYTES_RETAINED: GaugeCell = GaugeCell::new("workspace.bytes_retained"
 /// when tracing is on, stderr otherwise) and keeps the default.
 pub fn workspace_env_enabled() -> bool {
     static ON: OnceLock<bool> = OnceLock::new();
-    *ON.get_or_init(|| match std::env::var("RDD_WORKSPACE") {
-        Err(_) => true,
-        Ok(v) => match v.trim().to_ascii_lowercase().as_str() {
-            "" | "on" | "1" | "true" | "yes" => true,
-            "off" | "0" | "false" | "no" => false,
-            _ => {
-                rdd_obs::warn(&format!(
-                    "rdd-tensor: ignoring unparseable RDD_WORKSPACE={v:?} \
-                     (expected on/off); buffer pooling stays enabled"
-                ));
-                true
+    *ON.get_or_init(|| {
+        rdd_obs::env::parse_with("RDD_WORKSPACE", "on|off", |v| {
+            match v.trim().to_ascii_lowercase().as_str() {
+                "" | "on" | "1" | "true" | "yes" => Some(true),
+                "off" | "0" | "false" | "no" => Some(false),
+                _ => None,
             }
-        },
+        })
+        .unwrap_or(true)
     })
 }
 

@@ -1,7 +1,8 @@
 //! Integration test: a fast RDD run with the trace sink enabled emits one
 //! well-formed epoch record per epoch actually run, carrying the reliability
-//! counts with `|V_b| <= |V_r|`, plus member/run records and a kernel
-//! snapshot.
+//! counts with `|V_b| <= |V_r|`, plus member/run records, a kernel snapshot
+//! with hierarchical self-times (summing to at most the wall clock), the
+//! per-span latency histograms and the span-parent edges behind them.
 //!
 //! Single `#[test]`: the recorder sink is process-global.
 
@@ -27,6 +28,49 @@ fn fast_run_emits_well_formed_epoch_records() {
     assert_eq!(summary.members.len(), members);
     assert_eq!(summary.runs.len(), 1);
     assert!(!summary.kernels.is_empty(), "kernel snapshot missing");
+
+    // Hierarchical spans: self-times never exceed totals per kernel, and
+    // the self-time sum — the whole point of the hierarchy is that it
+    // cannot double count — stays within the trace's wall clock.
+    let self_total: f64 = summary.kernels.iter().map(|k| k.self_ms).sum();
+    for k in &summary.kernels {
+        assert!(
+            k.self_ms <= k.total_ms + 1e-9,
+            "{}: self_ms {} > total_ms {}",
+            k.name,
+            k.self_ms,
+            k.total_ms
+        );
+    }
+    assert!(
+        self_total <= summary.wall_ms * 1.01 + 1.0,
+        "kernel self-times ({self_total} ms) exceed wall clock ({} ms)",
+        summary.wall_ms
+    );
+
+    // Every traced kernel carries a duration histogram whose count matches
+    // its call count, and the trainer stages appear as span-parent edges.
+    for k in &summary.kernels {
+        let hist = summary
+            .hists
+            .iter()
+            .find(|h| h.name == k.name)
+            .unwrap_or_else(|| panic!("{}: no hist event", k.name));
+        assert_eq!(
+            hist.snapshot.count() as f64,
+            k.calls,
+            "{}: hist count disagrees with kernel calls",
+            k.name
+        );
+    }
+    assert!(
+        summary
+            .span_edges
+            .iter()
+            .any(|e| e.parent == "train.epoch" && e.calls > 0.0),
+        "no span edge parented by train.epoch: {:?}",
+        summary.span_edges
+    );
     let run_acc = summary.runs[0]
         .get("ensemble_test_acc")
         .and_then(Json::as_f64)

@@ -1,0 +1,247 @@
+//! Offline perf-regression gate over `RDD_TRACE` summaries.
+//!
+//! Mounts the `rdd-obs` parser/summarizer sources via `#[path]` so it
+//! compiles with nothing but `rustc` — no cargo, no registry. `ci.sh`
+//! diffs the trace produced during the test run against a committed
+//! baseline and fails the build when any tracked metric regresses past
+//! its tolerance.
+//!
+//! Build & run:
+//! ```sh
+//! rustc --edition 2021 -O tools/bench_gate.rs -o target/bench_gate
+//! target/bench_gate current.jsonl baseline.json [--tol-default PCT]
+//!     [--tol NAME=PCT ...] [--floor-ms F] [--inject FACTOR]
+//! target/bench_gate --write-baseline out.json current.jsonl
+//! ```
+//!
+//! Inputs may be raw trace JSONL files or flat `{"metric": ms, ...}`
+//! baseline JSON written by `--write-baseline`. Tracked metrics are
+//! `wall_ms`, per-kernel `<name>.ms_per_call` / `<name>.self_ms_per_call`,
+//! and (when the trace served requests) the final heartbeat's
+//! `serve.p50_ms` / `serve.p99_ms`.
+//!
+//! A metric regresses when `current > baseline * (1 + tol/100)` AND
+//! `current - baseline > floor_ms`; the absolute floor keeps sub-noise
+//! metrics from flaking the gate. Improvements never fail. Metrics
+//! present on only one side are reported but never fatal, so adding or
+//! removing a kernel does not require a lockstep baseline update.
+//!
+//! `--inject FACTOR` multiplies every current metric before comparison —
+//! the self-test hook ci.sh uses to prove the gate actually fires.
+//! Exit status: 0 when no metric regresses, 1 otherwise, 2 on usage or
+//! parse errors.
+
+// The mounted modules expose more API than this harness uses.
+#![allow(dead_code)]
+
+// Top-level mounts: `summarize` finds `json` and `hist` via
+// `super::` = crate root.
+#[path = "../crates/obs/src/hist.rs"]
+mod hist;
+#[path = "../crates/obs/src/json.rs"]
+mod json;
+#[path = "../crates/obs/src/summarize.rs"]
+mod summarize;
+
+use json::Json;
+use summarize::TraceSummary;
+
+/// Flatten a trace summary into the gate's metric set (name, ms).
+fn metrics_from_summary(s: &TraceSummary) -> Vec<(String, f64)> {
+    let mut out = vec![("wall_ms".to_string(), s.wall_ms)];
+    for k in &s.kernels {
+        if k.calls > 0.0 {
+            out.push((format!("{}.ms_per_call", k.name), k.total_ms / k.calls));
+            out.push((format!("{}.self_ms_per_call", k.name), k.self_ms / k.calls));
+        }
+    }
+    // Serving view: the last heartbeat covers the whole session when the
+    // CLI emits its final-at-EOF beat.
+    if let Some(beat) = s.serve_metrics.last() {
+        for key in ["p50_ms", "p99_ms"] {
+            if let Some(v) = beat.get(key).and_then(Json::as_f64) {
+                out.push((format!("serve.{key}"), v));
+            }
+        }
+    }
+    out
+}
+
+/// Load metrics from a path that is either a flat baseline JSON object
+/// (every value numeric) or a raw trace JSONL file.
+fn load_metrics(path: &str) -> Result<Vec<(String, f64)>, String> {
+    let src =
+        std::fs::read_to_string(path).map_err(|e| format!("failed to read {path}: {e}"))?;
+    // A baseline file is one JSON object; a trace is many lines, which
+    // the whole-file parse rejects with "trailing characters".
+    if let Ok(Json::Obj(fields)) = json::parse(&src) {
+        let mut out = Vec::with_capacity(fields.len());
+        for (name, value) in &fields {
+            let v = value
+                .as_f64()
+                .ok_or_else(|| format!("{path}: baseline field {name:?} is not a number"))?;
+            out.push((name.clone(), v));
+        }
+        return Ok(out);
+    }
+    let summary = TraceSummary::parse(&src).map_err(|e| format!("{path}: {e}"))?;
+    Ok(metrics_from_summary(&summary))
+}
+
+fn write_baseline(path: &str, metrics: &[(String, f64)]) -> Result<(), String> {
+    let body: Vec<String> = metrics
+        .iter()
+        .map(|(name, v)| format!("  {name:?}: {v:.6}"))
+        .collect();
+    std::fs::write(path, format!("{{\n{}\n}}\n", body.join(",\n")))
+        .map_err(|e| format!("failed to write {path}: {e}"))
+}
+
+struct GateConfig {
+    tol_default: f64,
+    tols: Vec<(String, f64)>,
+    floor_ms: f64,
+    inject: f64,
+}
+
+impl GateConfig {
+    fn tolerance(&self, metric: &str) -> f64 {
+        self.tols
+            .iter()
+            .find(|(name, _)| name == metric)
+            .map(|(_, t)| *t)
+            .unwrap_or(self.tol_default)
+    }
+}
+
+fn run_gate(
+    current: &[(String, f64)],
+    baseline: &[(String, f64)],
+    cfg: &GateConfig,
+) -> bool {
+    let mut regressed = false;
+    println!(
+        "{:<28} {:>10} {:>10} {:>8} {:>6}  verdict",
+        "metric", "base_ms", "cur_ms", "delta%", "tol%"
+    );
+    for (name, base) in baseline {
+        let Some((_, cur)) = current.iter().find(|(n, _)| n == name) else {
+            println!("{name:<28} {base:>10.4} {:>10} {:>8} {:>6}  absent (skipped)", "-", "-", "-");
+            continue;
+        };
+        let cur = cur * cfg.inject;
+        let tol = cfg.tolerance(name);
+        let delta_pct = if *base > 0.0 {
+            (cur - base) / base * 100.0
+        } else if cur > 0.0 {
+            f64::INFINITY
+        } else {
+            0.0
+        };
+        let over_tol = cur > base * (1.0 + tol / 100.0);
+        let over_floor = cur - base > cfg.floor_ms;
+        let verdict = if over_tol && over_floor {
+            regressed = true;
+            "REGRESSED"
+        } else {
+            "ok"
+        };
+        println!(
+            "{name:<28} {base:>10.4} {cur:>10.4} {delta_pct:>+8.1} {tol:>6.0}  {verdict}"
+        );
+    }
+    for (name, _) in current {
+        if !baseline.iter().any(|(n, _)| n == name) {
+            println!("{name:<28} new metric, not in baseline (skipped)");
+        }
+    }
+    regressed
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: bench_gate <current.jsonl> <baseline.json|baseline.jsonl>\n\
+         \x20                [--tol-default PCT] [--tol NAME=PCT ...]\n\
+         \x20                [--floor-ms F] [--inject FACTOR]\n\
+         \x20      bench_gate --write-baseline <out.json> <current.jsonl>"
+    );
+    std::process::exit(2);
+}
+
+fn parse_f64(flag: &str, value: Option<String>) -> f64 {
+    match value.and_then(|v| v.parse::<f64>().ok()) {
+        Some(v) if v.is_finite() => v,
+        _ => {
+            eprintln!("bench_gate: {flag} needs a finite number");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut positional: Vec<String> = Vec::new();
+    let mut cfg = GateConfig {
+        tol_default: 75.0,
+        tols: Vec::new(),
+        floor_ms: 0.01,
+        inject: 1.0,
+    };
+    let mut baseline_out: Option<String> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--tol-default" => cfg.tol_default = parse_f64("--tol-default", args.next()),
+            "--floor-ms" => cfg.floor_ms = parse_f64("--floor-ms", args.next()),
+            "--inject" => cfg.inject = parse_f64("--inject", args.next()),
+            "--tol" => {
+                let spec = args.next().unwrap_or_default();
+                let Some((name, pct)) = spec.split_once('=') else {
+                    eprintln!("bench_gate: --tol needs NAME=PCT, got {spec:?}");
+                    std::process::exit(2);
+                };
+                cfg.tols
+                    .push((name.to_string(), parse_f64("--tol", Some(pct.to_string()))));
+            }
+            "--write-baseline" => baseline_out = Some(args.next().unwrap_or_else(|| usage())),
+            "--help" | "-h" => usage(),
+            other if other.starts_with("--") => {
+                eprintln!("bench_gate: unknown flag {other}");
+                std::process::exit(2);
+            }
+            other => positional.push(other.to_string()),
+        }
+    }
+
+    if let Some(out) = baseline_out {
+        let [current] = positional.as_slice() else { usage() };
+        let metrics = match load_metrics(current) {
+            Ok(m) => m,
+            Err(e) => {
+                eprintln!("bench_gate: {e}");
+                std::process::exit(2);
+            }
+        };
+        if let Err(e) = write_baseline(&out, &metrics) {
+            eprintln!("bench_gate: {e}");
+            std::process::exit(2);
+        }
+        println!("bench_gate: wrote {} metrics to {out}", metrics.len());
+        return;
+    }
+
+    let [current_path, baseline_path] = positional.as_slice() else {
+        usage()
+    };
+    let (current, baseline) = match (load_metrics(current_path), load_metrics(baseline_path)) {
+        (Ok(c), Ok(b)) => (c, b),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("bench_gate: {e}");
+            std::process::exit(2);
+        }
+    };
+    if run_gate(&current, &baseline, &cfg) {
+        eprintln!("bench_gate: FAIL — at least one metric regressed past tolerance");
+        std::process::exit(1);
+    }
+    println!("bench_gate: pass");
+}

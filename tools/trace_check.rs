@@ -17,7 +17,10 @@
 // The mounted modules expose more API than this harness uses.
 #![allow(dead_code)]
 
-// Top-level mounts: `summarize` finds `json` via `super::` = crate root.
+// Top-level mounts: `summarize` finds `json` and `hist` via
+// `super::` = crate root.
+#[path = "../crates/obs/src/hist.rs"]
+mod hist;
 #[path = "../crates/obs/src/json.rs"]
 mod json;
 #[path = "../crates/obs/src/summarize.rs"]
@@ -56,12 +59,17 @@ fn main() {
         };
         match TraceSummary::parse(&src) {
             Ok(summary) => println!(
-                "{path}: ok — {} events ({} epoch, {} member, {} run, {} kernel, {} warning)",
+                "{path}: ok — {} events ({} epoch, {} member, {} run, {} kernel, \
+                 {} hist, {} span_parent, {} serve_metrics, {} env_warn, {} warning)",
                 summary.total_events,
                 summary.epochs.len(),
                 summary.members.len(),
                 summary.runs.len(),
                 summary.kernels.len(),
+                summary.hists.len(),
+                summary.span_edges.len(),
+                summary.serve_metrics.len(),
+                summary.env_warns.len(),
                 summary.warnings.len(),
             ),
             Err(e) => {
