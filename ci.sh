@@ -151,4 +151,85 @@ $RDD serve --artifact "$SERVE_DIR/model.v2q" \
 cmp "$SERVE_DIR/offline_v2q.proba" "$SERVE_DIR/served_v2q.proba" \
   || { echo "v2q smoke: served rows diverged from offline v2q dump" >&2; exit 1; }
 
+echo "==> sharded multi-worker serve smoke (export --shards, serve --workers, compare bitwise)"
+# The same run exported as a 3-shard set and served through 2 pool workers
+# must produce probability rows byte-identical to the single-file,
+# single-threaded path: sharding and concurrency are pure plumbing.
+$RDD export "$SERVE_DIR/run" "$SERVE_DIR/model.sharded" --shards 3 >/dev/null
+$RDD artifact-info "$SERVE_DIR/model.sharded" --reference "$SERVE_DIR/model.artifact" \
+  --assert-max-ulp 0 >/dev/null
+$RDD serve --artifact "$SERVE_DIR/model.sharded" --workers 2 \
+  --batch 16 --proba-out "$SERVE_DIR/served_sharded.proba" \
+  < "$SERVE_DIR/requests.jsonl" > "$SERVE_DIR/replies_sharded.jsonl" 2>/dev/null
+cmp "$SERVE_DIR/offline.proba" "$SERVE_DIR/served_sharded.proba" \
+  || { echo "sharded smoke: sharded pooled rows diverged from offline ensemble" >&2; exit 1; }
+
+echo "==> hot-swap gate (swap artifact mid-stream, zero drops, per-generation bitwise)"
+# Serve from a FIFO so the request stream can pause mid-flight: first half
+# against artifact A, overwrite the watched file with artifact B, wait for
+# the swap to land, then the second half. Every request must be answered
+# (zero drops), both generations must appear, each served row must match
+# its own generation's offline dump bitwise, and the swap must reach the
+# trace.
+SWAP_DIR="$GUARD_DIR/swap"
+mkdir -p "$SWAP_DIR"
+$RDD train tiny --models 2 --seed 7 --run-dir "$SWAP_DIR/run_b" >/dev/null
+$RDD export "$SWAP_DIR/run_b" "$SWAP_DIR/b.artifact" >/dev/null
+$RDD artifact-info "$SWAP_DIR/b.artifact" --proba-out "$SWAP_DIR/offline_b.proba" >/dev/null
+cmp -s "$SERVE_DIR/offline.proba" "$SWAP_DIR/offline_b.proba" \
+  && { echo "hot-swap gate: seed-7 artifact is identical to seed-default; gate is vacuous" >&2; exit 1; }
+cp "$SERVE_DIR/model.artifact" "$SWAP_DIR/watch.artifact"
+HALF=$((NODES / 2))
+mkfifo "$SWAP_DIR/reqs.fifo"
+RDD_TRACE="$SWAP_DIR/swap.jsonl" $RDD serve --artifact "$SWAP_DIR/watch.artifact" \
+  --workers 2 --batch 16 --watch-artifact --served-out "$SWAP_DIR/served_gen.txt" \
+  < "$SWAP_DIR/reqs.fifo" > "$SWAP_DIR/replies.jsonl" 2> "$SWAP_DIR/serve.err" &
+SERVE_PID=$!
+exec 3> "$SWAP_DIR/reqs.fifo"
+head -n "$HALF" "$SERVE_DIR/requests.jsonl" >&3
+# Wait for the first half to be fully served before swapping, so the
+# generation split is deterministic.
+for _ in $(seq 1 100); do
+  [ "$(wc -l < "$SWAP_DIR/replies.jsonl")" -ge "$HALF" ] && break
+  sleep 0.1
+done
+cp "$SWAP_DIR/b.artifact" "$SWAP_DIR/watch.artifact"
+for _ in $(seq 1 100); do
+  grep -q "swapped" "$SWAP_DIR/serve.err" && break
+  sleep 0.1
+done
+grep -q "swapped" "$SWAP_DIR/serve.err" \
+  || { echo "hot-swap gate: swap never fired" >&2; kill "$SERVE_PID"; exit 1; }
+tail -n +"$((HALF + 1))" "$SERVE_DIR/requests.jsonl" >&3
+exec 3>&-
+wait "$SERVE_PID" || { echo "hot-swap gate: serve exited non-zero" >&2; exit 1; }
+REPLIES="$(wc -l < "$SWAP_DIR/replies.jsonl")"
+[ "$REPLIES" -eq "$NODES" ] \
+  || { echo "hot-swap gate: $REPLIES replies for $NODES requests (dropped some)" >&2; exit 1; }
+if grep -q '"error"' "$SWAP_DIR/replies.jsonl"; then
+  echo "hot-swap gate: error replies during swap" >&2; exit 1
+fi
+GENS="$(awk '{ print $1 }' "$SWAP_DIR/served_gen.txt" | sort -u | tr '\n' ' ')"
+[ "$GENS" = "0 1 " ] \
+  || { echo "hot-swap gate: expected generations 0 and 1, saw: $GENS" >&2; exit 1; }
+# Join each served row against its own generation's offline dump: columns
+# are <generation> <id> <node> <floats...>; generation 0 rows must match
+# artifact A, generation 1 rows artifact B, bitwise.
+awk 'FNR == 1 { f++ }
+     f == 1 { a[FNR - 1] = $0 }
+     f == 2 { b[FNR - 1] = $0 }
+     f == 3 {
+       row = ""
+       for (i = 4; i <= NF; i++) row = row (i > 4 ? " " : "") $i
+       want = ($1 == 0 ? a[$3] : b[$3])
+       if (row != want) { print "generation " $1 " row for node " $3 " diverged"; bad = 1 }
+     }
+     END { exit bad }' \
+  "$SERVE_DIR/offline.proba" "$SWAP_DIR/offline_b.proba" "$SWAP_DIR/served_gen.txt" \
+  || { echo "hot-swap gate: served rows diverged from their generation's dump" >&2; exit 1; }
+grep -q '"ev":"swap"' "$SWAP_DIR/swap.jsonl" \
+  || { echo "hot-swap gate: no swap event in trace" >&2; exit 1; }
+$RDD trace-summary "$SWAP_DIR/swap.jsonl" | grep -q "Swap:" \
+  || { echo "hot-swap gate: trace-summary missing swap line" >&2; exit 1; }
+
 echo "ci.sh: all gates passed"

@@ -15,13 +15,14 @@ use rdd_baselines::{
 use rdd_core::{RddConfig, RddTrainer};
 use rdd_graph::{io, Dataset, DatasetStats, SynthConfig};
 use rdd_models::{
-    train as train_model, Gat, GatConfig, Gcn, GcnConfig, GraphContext, GraphSage, PredictorExt,
-    SageConfig, TrainConfig,
+    train as train_model, Gat, GatConfig, Gcn, GcnConfig, GraphContext, GraphSage, Predictor,
+    PredictorExt, SageConfig, TrainConfig,
 };
 use rdd_obs::Json;
 use rdd_serve::{
-    bench_artifact, export_run_as, quant, Artifact, ArtifactFormat, RddError, ServeConfig,
-    ServeEngine,
+    bench_artifact, bench_artifact_pooled, export_run_as, export_run_sharded, quant, AnyArtifact,
+    Artifact, ArtifactFormat, PoolConfig, RddError, ServeConfig, ServeEngine, ServePool,
+    ServeReply,
 };
 use rdd_tensor::{seeded_rng, Matrix};
 
@@ -422,13 +423,16 @@ pub fn compare(args: &Args) -> Result<(), RddError> {
     Ok(())
 }
 
-/// `rdd export <run-dir> <artifact> [--quantize int8]` — distill a
-/// completed crash-safe run directory into one versioned, checksummed
-/// artifact file; `--quantize int8` writes the ~0.3×-size v2q format.
+/// `rdd export <run-dir> <artifact> [--quantize int8] [--shards K]` —
+/// distill a completed crash-safe run directory into one versioned,
+/// checksummed artifact file; `--quantize int8` writes the ~0.3×-size v2q
+/// format; `--shards K` (K > 1) writes K node-range shard files plus a
+/// manifest at `<artifact>`, each shard's rows bitwise identical to the
+/// unsharded export's.
 pub fn export(args: &Args) -> Result<(), RddError> {
     let [_, run_dir, artifact_path] = args.positional.as_slice() else {
         return Err(RddError::Cli(
-            "usage: rdd export <run-dir> <artifact> [--quantize int8]".into(),
+            "usage: rdd export <run-dir> <artifact> [--quantize int8] [--shards K]".into(),
         ));
     };
     let format = match args.options.get("quantize").map(String::as_str) {
@@ -440,16 +444,33 @@ pub fn export(args: &Args) -> Result<(), RddError> {
             )))
         }
     };
-    let artifact = export_run_as(Path::new(run_dir), Path::new(artifact_path), format)?;
-    let meta = artifact.meta();
+    let shards: usize = args.get_or("shards", 1)?;
+    if shards == 0 {
+        return Err(RddError::Cli("--shards must be >= 1".into()));
+    }
+    let (format_name, meta, checksum) = if shards > 1 {
+        let sharded =
+            export_run_sharded(Path::new(run_dir), Path::new(artifact_path), format, shards)?;
+        (
+            format!(
+                "{} x{} shards",
+                sharded.format().name(),
+                sharded.num_shards()
+            ),
+            sharded.meta().clone(),
+            sharded.checksum(),
+        )
+    } else {
+        let artifact = export_run_as(Path::new(run_dir), Path::new(artifact_path), format)?;
+        (
+            artifact.format().name().to_string(),
+            artifact.meta().clone(),
+            artifact.checksum(),
+        )
+    };
     println!(
-        "exported {run_dir} -> {artifact_path} ({}): {} ({} nodes, {} classes), {} members, checksum {:016x}",
-        artifact.format().name(),
-        meta.dataset_name,
-        meta.dataset_n,
-        meta.num_classes,
-        meta.members,
-        artifact.checksum()
+        "exported {run_dir} -> {artifact_path} ({format_name}): {} ({} nodes, {} classes), {} members, checksum {checksum:016x}",
+        meta.dataset_name, meta.dataset_n, meta.num_classes, meta.members,
     );
     Ok(())
 }
@@ -468,11 +489,12 @@ pub fn artifact_info(args: &Args) -> Result<(), RddError> {
                 .into(),
         ));
     };
-    let artifact = Artifact::load(Path::new(path))?;
+    let artifact = AnyArtifact::load(Path::new(path))?;
     let meta = artifact.meta();
     let file_bytes = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
     println!("artifact:    {path}");
     println!("format:      {}", artifact.format().name());
+    println!("shards:      {}", artifact.num_shards());
     println!("file size:   {file_bytes} bytes");
     println!(
         "dataset:     {} ({} nodes, {} classes)",
@@ -488,7 +510,7 @@ pub fn artifact_info(args: &Args) -> Result<(), RddError> {
     );
     println!("checksum:    {:016x}", artifact.checksum());
     if let Some(ref_path) = args.options.get("reference") {
-        let reference = Artifact::load(Path::new(ref_path))?;
+        let reference = AnyArtifact::load(Path::new(ref_path))?;
         if reference.meta().dataset_n != meta.dataset_n
             || reference.meta().num_classes != meta.num_classes
         {
@@ -499,8 +521,8 @@ pub fn artifact_info(args: &Args) -> Result<(), RddError> {
             )));
         }
         let ref_bytes = std::fs::metadata(ref_path).map(|m| m.len()).unwrap_or(0);
-        let drift = quant::max_ulp_diff(artifact.proba_sum(), reference.proba_sum()).max(
-            quant::max_ulp_diff(artifact.logits_sum(), reference.logits_sum()),
+        let drift = quant::max_ulp_diff(&artifact.proba_sum(), &reference.proba_sum()).max(
+            quant::max_ulp_diff(&artifact.logits_sum(), &reference.logits_sum()),
         );
         println!("reference:   {ref_path} ({})", reference.format().name());
         if ref_bytes > 0 {
@@ -528,7 +550,10 @@ pub fn artifact_info(args: &Args) -> Result<(), RddError> {
     }
     if let Some(out_path) = args.options.get("proba-out") {
         let mut text = String::new();
-        proba_rows_text(&mut text, artifact.proba());
+        let proba = artifact
+            .proba_all()
+            .map_err(|e| RddError::Cli(e.to_string()))?;
+        proba_rows_text(&mut text, &proba);
         std::fs::write(out_path, text)
             .map_err(|e| RddError::Cli(format!("failed to write {out_path}: {e}")))?;
         println!("wrote {} proba rows to {out_path}", meta.dataset_n);
@@ -536,10 +561,17 @@ pub fn artifact_info(args: &Args) -> Result<(), RddError> {
     Ok(())
 }
 
-/// Parse one serve-loop request line: `{"id":N,"nodes":[...]}`. Both keys
-/// are optional — a missing `id` gets `fallback_id`, missing `nodes` means
-/// the whole graph.
-fn parse_request(line: &str, fallback_id: u64) -> Result<(u64, Option<Vec<usize>>), String> {
+/// A parsed serve-loop request: `(id, nodes, deadline_ms)` — `None` nodes
+/// means the whole graph.
+type ParsedRequest = (u64, Option<Vec<usize>>, Option<f64>);
+
+/// Parse one serve-loop request line:
+/// `{"id":N,"nodes":[...],"deadline_ms":F}`. Every key is optional — a
+/// missing `id` gets `fallback_id`, missing `nodes` means the whole graph,
+/// and `deadline_ms` (milliseconds from arrival; `--deadline-ms` sets the
+/// default) marks the request sheddable as `Expired` if it is still queued
+/// when the deadline passes.
+fn parse_request(line: &str, fallback_id: u64) -> Result<ParsedRequest, String> {
     let json = rdd_obs::parse(line)?;
     let id = match json.get("id") {
         None => fallback_id,
@@ -566,11 +598,23 @@ fn parse_request(line: &str, fallback_id: u64) -> Result<(u64, Option<Vec<usize>
         }
         Some(_) => return Err("'nodes' must be an array of node ids".into()),
     };
-    Ok((id, nodes))
+    let deadline_ms = match json.get("deadline_ms") {
+        None | Some(Json::Null) => None,
+        Some(v) => {
+            let x = v.as_f64().ok_or("'deadline_ms' must be a number")?;
+            if !x.is_finite() || x < 0.0 {
+                return Err(format!(
+                    "'deadline_ms' must be a non-negative number, got {x}"
+                ));
+            }
+            Some(x)
+        }
+    };
+    Ok((id, nodes, deadline_ms))
 }
 
 /// Render one reply line for the serve loop's stdout.
-fn reply_json(reply: &rdd_serve::ServeReply) -> Json {
+fn reply_json(reply: &ServeReply) -> Json {
     match &reply.result {
         Ok(p) => Json::Obj(vec![
             ("id".into(), Json::from(reply.id)),
@@ -586,31 +630,133 @@ fn reply_json(reply: &rdd_serve::ServeReply) -> Json {
             ),
             ("latency_ms".into(), Json::from(reply.latency_ms)),
             ("cache_hits".into(), Json::from(reply.cache_hits)),
+            ("generation".into(), Json::from(reply.generation)),
         ]),
         Err(e) => Json::Obj(vec![
             ("id".into(), Json::from(reply.id)),
             ("error".into(), Json::from(e.to_string())),
+            ("generation".into(), Json::from(reply.generation)),
         ]),
     }
 }
 
+/// Render one error line for requests that never reached the engine
+/// (parse failures, queue-full sheds).
+fn error_line(id: Option<u64>, msg: String) -> String {
+    let mut line = String::new();
+    Json::Obj(vec![
+        ("id".into(), id.map(Json::from).unwrap_or(Json::Null)),
+        ("error".into(), Json::from(msg)),
+    ])
+    .write(&mut line);
+    line.push('\n');
+    line
+}
+
+/// Side-output accumulator for `rdd serve`. `--proba-out` keys rows by
+/// request id so multi-worker reply reordering cannot change the file ci
+/// `cmp`s against offline rows; `--served-out` records one
+/// `<generation> <id> <node> <proba...>` line per served row — the join key
+/// the hot-swap ci gate uses to match every row to the artifact generation
+/// that answered it.
+/// Served proba rows keyed `(request id, arrival sequence)` so replies can
+/// be re-emitted in a deterministic order, plus the next sequence number.
+type OrderedProbaRows = (std::collections::BTreeMap<(u64, u64), String>, u64);
+
+struct ReplySink {
+    proba: Option<OrderedProbaRows>,
+    served: Option<String>,
+}
+
+impl ReplySink {
+    fn new(args: &Args) -> Self {
+        Self {
+            proba: args
+                .options
+                .get("proba-out")
+                .map(|_| (std::collections::BTreeMap::new(), 0)),
+            served: args.options.get("served-out").map(|_| String::new()),
+        }
+    }
+
+    fn record(&mut self, reply: &ServeReply) {
+        let Ok(p) = &reply.result else { return };
+        if let Some((rows, seq)) = self.proba.as_mut() {
+            let mut text = String::new();
+            proba_rows_text(&mut text, &p.proba);
+            rows.insert((reply.id, *seq), text);
+            *seq += 1;
+        }
+        if let Some(text) = self.served.as_mut() {
+            use std::fmt::Write as _;
+            for (i, node) in p.nodes.iter().enumerate() {
+                let _ = write!(text, "{} {} {}", reply.generation, reply.id, node);
+                for v in p.proba.row(i) {
+                    let _ = write!(text, " {v}");
+                }
+                text.push('\n');
+            }
+        }
+    }
+
+    fn finish(self, args: &Args) -> Result<(), RddError> {
+        if let (Some(path), Some((rows, _))) = (args.options.get("proba-out"), self.proba) {
+            let mut text = String::new();
+            for row_text in rows.values() {
+                text.push_str(row_text);
+            }
+            std::fs::write(path, text)
+                .map_err(|e| RddError::Cli(format!("failed to write {path}: {e}")))?;
+            eprintln!("wrote served proba rows to {path}");
+        }
+        if let (Some(path), Some(text)) = (args.options.get("served-out"), self.served) {
+            std::fs::write(path, text)
+                .map_err(|e| RddError::Cli(format!("failed to write {path}: {e}")))?;
+            eprintln!("wrote served generation rows to {path}");
+        }
+        Ok(())
+    }
+}
+
+/// Write one reply line and record its side outputs.
+fn write_reply(
+    out: &mut impl std::io::Write,
+    reply: &ServeReply,
+    sink: &mut ReplySink,
+) -> Result<(), RddError> {
+    let mut line = String::new();
+    reply_json(reply).write(&mut line);
+    line.push('\n');
+    out.write_all(line.as_bytes())
+        .map_err(|e| RddError::Cli(format!("stdout write failed: {e}")))?;
+    sink.record(reply);
+    Ok(())
+}
+
 /// `rdd serve --artifact <path>` — line-delimited JSON request loop over
-/// stdin/stdout. One request per line (`{"id":N,"nodes":[...]}`; `nodes`
-/// absent = the whole graph); one reply object per request, in submission
-/// order. Requests are micro-batched (flush on `--batch` size or
-/// `--delay-ms` deadline) and answered through the per-node LRU cache.
+/// stdin/stdout. One request per line
+/// (`{"id":N,"nodes":[...],"deadline_ms":F}`; `nodes` absent = the whole
+/// graph); one reply object per request. Requests are micro-batched (flush
+/// on `--batch` size or `--delay-ms` deadline) and answered through the
+/// per-node LRU cache. `--workers N` serves through a [`ServePool`] of N
+/// threads (replies stream back in completion order; each carries its
+/// request `id` and the artifact `generation` that answered it), and
+/// `--watch-artifact` polls the artifact path, hot-swapping modified
+/// artifacts in as new generations with zero dropped requests. The
+/// artifact may be a single file or an `export --shards` manifest.
 pub fn serve(args: &Args) -> Result<(), RddError> {
-    use std::io::{BufRead, Write as _};
+    use std::io::BufRead;
     use std::sync::mpsc;
 
     let artifact_path = args.options.get("artifact").ok_or_else(|| {
         RddError::Cli(
-            "usage: rdd serve --artifact <path> [--batch N] [--delay-ms N] [--cache N] \
-             [--metrics-every SECS] [--proba-out <file>]"
+            "usage: rdd serve --artifact <path> [--workers N] [--batch N] [--delay-ms N] \
+             [--cache N] [--queue N] [--deadline-ms MS] [--watch-artifact] \
+             [--metrics-every SECS] [--proba-out <file>] [--served-out <file>]"
                 .into(),
         )
     })?;
-    let artifact = Artifact::load(Path::new(artifact_path))?;
+    let artifact = AnyArtifact::load(Path::new(artifact_path))?;
     let defaults = ServeConfig::default();
     let cfg = ServeConfig {
         batch_size: args.get_or("batch", defaults.batch_size)?,
@@ -618,17 +764,34 @@ pub fn serve(args: &Args) -> Result<(), RddError> {
         cache_capacity: args.get_or("cache", defaults.cache_capacity)?,
         queue_capacity: args.get_or("queue", defaults.queue_capacity)?,
     };
+    let workers: usize = args.get_or("workers", 1)?;
+    let watch = args.has_flag("watch-artifact");
+    let default_deadline_ms: Option<f64> = match args.options.get("deadline-ms") {
+        None => None,
+        Some(v) => match v.parse::<f64>() {
+            Ok(ms) if ms.is_finite() && ms >= 0.0 => Some(ms),
+            _ => {
+                return Err(RddError::Cli(format!(
+                    "--deadline-ms needs a non-negative number of milliseconds, got {v:?}"
+                )))
+            }
+        },
+    };
     let meta = artifact.meta();
     eprintln!(
-        "serving {} ({} nodes, {} classes, {} members, checksum {:016x}); batch {} delay {}ms cache {}",
+        "serving {} ({} nodes, {} classes, {} members, {} shard(s), checksum {:016x}); \
+         batch {} delay {}ms cache {} workers {}{}",
         meta.dataset_name,
         meta.dataset_n,
         meta.num_classes,
         meta.members,
+        artifact.num_shards(),
         artifact.checksum(),
         cfg.batch_size,
         cfg.max_delay_ms,
         cfg.cache_capacity,
+        workers,
+        if watch { ", watching artifact" } else { "" },
     );
     // Heartbeat cadence: `--metrics-every SECS` wins, `RDD_METRICS_EVERY`
     // is the fallback, 0/unset disables the heartbeat.
@@ -640,15 +803,9 @@ pub fn serve(args: &Args) -> Result<(), RddError> {
         })
         .unwrap_or(0)
     };
-    let mut engine = ServeEngine::new(&artifact, cfg, artifact.checksum())?;
-    if metrics_every > 0 {
-        // The window must cover at least one heartbeat interval.
-        engine
-            .set_metrics_window((metrics_every as usize).max(rdd_serve::DEFAULT_METRICS_WINDOW_S));
-    }
 
-    // Stdin is read on its own thread so the main loop can honor the
-    // micro-batch deadline while the pipe is quiet.
+    // Stdin is read on its own thread so the serve loop can honor batch
+    // deadlines, heartbeats, and watch polls while the pipe is quiet.
     let (tx, rx) = mpsc::channel::<String>();
     let reader = std::thread::spawn(move || {
         let stdin = std::io::stdin();
@@ -660,28 +817,51 @@ pub fn serve(args: &Args) -> Result<(), RddError> {
         }
     });
 
+    let result = if workers <= 1 && !watch {
+        serve_single(args, artifact, cfg, metrics_every, default_deadline_ms, rx)
+    } else {
+        serve_pooled(
+            args,
+            artifact,
+            artifact_path,
+            cfg,
+            workers.max(1),
+            metrics_every,
+            default_deadline_ms,
+            rx,
+        )
+    };
+    // The loops only return Ok at stdin EOF, which is also what ends the
+    // reader thread; on error, skip the join so a failed serve can't hang.
+    if result.is_ok() {
+        let _ = reader.join();
+    }
+    result
+}
+
+/// The in-line single-threaded [`ServeEngine`] serve loop (`--workers 1`,
+/// no `--watch-artifact`).
+fn serve_single(
+    args: &Args,
+    artifact: AnyArtifact,
+    cfg: ServeConfig,
+    metrics_every: u64,
+    default_deadline_ms: Option<f64>,
+    rx: std::sync::mpsc::Receiver<String>,
+) -> Result<(), RddError> {
+    use std::io::Write as _;
+    use std::sync::mpsc;
+
+    let mut engine = ServeEngine::new(&artifact, cfg, artifact.checksum())?;
+    if metrics_every > 0 {
+        // The window must cover at least one heartbeat interval.
+        engine
+            .set_metrics_window((metrics_every as usize).max(rdd_serve::DEFAULT_METRICS_WINDOW_S));
+    }
+
     let stdout = std::io::stdout();
     let mut out = stdout.lock();
-    let mut proba_out = args.options.get("proba-out").map(|_| String::new());
-    let write_replies = |replies: &[rdd_serve::ServeReply],
-                         out: &mut std::io::StdoutLock<'_>,
-                         proba_out: &mut Option<String>|
-     -> Result<(), RddError> {
-        for reply in replies {
-            let mut line = String::new();
-            reply_json(reply).write(&mut line);
-            line.push('\n');
-            out.write_all(line.as_bytes())
-                .map_err(|e| RddError::Cli(format!("stdout write failed: {e}")))?;
-            if let (Some(text), Ok(p)) = (proba_out.as_mut(), &reply.result) {
-                proba_rows_text(text, &p.proba);
-            }
-        }
-        out.flush()
-            .map_err(|e| RddError::Cli(format!("stdout flush failed: {e}")))?;
-        Ok(())
-    };
-
+    let mut sink = ReplySink::new(args);
     let started = Instant::now();
     let mut next_id: u64 = 0;
     let mut next_beat =
@@ -714,8 +894,11 @@ pub fn serve(args: &Args) -> Result<(), RddError> {
                     // Due already: flush if the *batch* deadline passed
                     // (the heartbeat fires at the top of the loop).
                     if engine.deadline().is_some_and(|d| d <= now) {
-                        let replies = engine.flush();
-                        write_replies(&replies, &mut out, &mut proba_out)?;
+                        for reply in engine.flush() {
+                            write_reply(&mut out, &reply, &mut sink)?;
+                        }
+                        out.flush()
+                            .map_err(|e| RddError::Cli(format!("stdout flush failed: {e}")))?;
                     }
                     continue;
                 }
@@ -723,8 +906,11 @@ pub fn serve(args: &Args) -> Result<(), RddError> {
                     Ok(line) => line,
                     Err(mpsc::RecvTimeoutError::Timeout) => {
                         if engine.deadline().is_some_and(|d| d <= Instant::now()) {
-                            let replies = engine.flush();
-                            write_replies(&replies, &mut out, &mut proba_out)?;
+                            for reply in engine.flush() {
+                                write_reply(&mut out, &reply, &mut sink)?;
+                            }
+                            out.flush()
+                                .map_err(|e| RddError::Cli(format!("stdout flush failed: {e}")))?;
                         }
                         continue;
                     }
@@ -737,41 +923,42 @@ pub fn serve(args: &Args) -> Result<(), RddError> {
         }
         match parse_request(&line, next_id) {
             Err(msg) => {
-                let mut err_line = String::new();
-                Json::Obj(vec![
-                    ("id".into(), Json::Null),
-                    ("error".into(), Json::from(format!("bad request: {msg}"))),
-                ])
-                .write(&mut err_line);
-                err_line.push('\n');
-                out.write_all(err_line.as_bytes())
+                out.write_all(error_line(None, format!("bad request: {msg}")).as_bytes())
                     .map_err(|e| RddError::Cli(format!("stdout write failed: {e}")))?;
+                out.flush()
+                    .map_err(|e| RddError::Cli(format!("stdout flush failed: {e}")))?;
             }
-            Ok((id, nodes)) => {
+            Ok((id, nodes, deadline_ms)) => {
                 next_id = next_id.max(id) + 1;
-                match engine.submit(id, nodes) {
+                let deadline = deadline_ms
+                    .or(default_deadline_ms)
+                    .map(|ms| Instant::now() + Duration::from_secs_f64(ms / 1e3));
+                match engine.submit_with_deadline(id, nodes, deadline) {
                     Ok(None) => {}
-                    Ok(Some(replies)) => write_replies(&replies, &mut out, &mut proba_out)?,
+                    Ok(Some(replies)) => {
+                        for reply in &replies {
+                            write_reply(&mut out, reply, &mut sink)?;
+                        }
+                        out.flush()
+                            .map_err(|e| RddError::Cli(format!("stdout flush failed: {e}")))?;
+                    }
                     Err(e) => {
                         // Queue full: shed this request, keep serving.
-                        let mut err_line = String::new();
-                        Json::Obj(vec![
-                            ("id".into(), Json::from(id)),
-                            ("error".into(), Json::from(e.to_string())),
-                        ])
-                        .write(&mut err_line);
-                        err_line.push('\n');
-                        out.write_all(err_line.as_bytes())
+                        out.write_all(error_line(Some(id), e.to_string()).as_bytes())
                             .map_err(|e| RddError::Cli(format!("stdout write failed: {e}")))?;
+                        out.flush()
+                            .map_err(|e| RddError::Cli(format!("stdout flush failed: {e}")))?;
                     }
                 }
             }
         }
     }
     // EOF: answer whatever is still queued, then summarize.
-    let replies = engine.flush();
-    write_replies(&replies, &mut out, &mut proba_out)?;
-    let _ = reader.join();
+    for reply in engine.flush() {
+        write_reply(&mut out, &reply, &mut sink)?;
+    }
+    out.flush()
+        .map_err(|e| RddError::Cli(format!("stdout flush failed: {e}")))?;
 
     if metrics_every > 0 {
         // Final heartbeat so even a sub-interval session records one.
@@ -786,36 +973,252 @@ pub fn serve(args: &Args) -> Result<(), RddError> {
         stats.cache_hits,
         stats.cache_misses,
         stats.shed,
+        stats.expired,
         started.elapsed().as_secs_f64() * 1e3,
     );
     eprintln!(
-        "served {} requests in {} batches (cache hit rate {:.1}%, shed {})",
+        "served {} requests in {} batches (cache hit rate {:.1}%, shed {}, expired {})",
         stats.requests,
         stats.batches,
         100.0 * stats.hit_rate(),
-        stats.shed
+        stats.shed,
+        stats.expired
     );
-    if let (Some(path), Some(text)) = (args.options.get("proba-out"), proba_out) {
-        std::fs::write(path, text)
-            .map_err(|e| RddError::Cli(format!("failed to write {path}: {e}")))?;
-        eprintln!("wrote served proba rows to {path}");
+    sink.finish(args)
+}
+
+/// Modified-time of the watched artifact path, if stat succeeds.
+fn artifact_mtime(path: &str) -> Option<std::time::SystemTime> {
+    std::fs::metadata(path).and_then(|m| m.modified()).ok()
+}
+
+/// The multi-worker serve loop: requests fan out to a [`ServePool`], a
+/// writer thread streams replies back as workers complete batches, and
+/// `--watch-artifact` polls the artifact path for hot swaps.
+#[allow(clippy::too_many_arguments)]
+fn serve_pooled(
+    args: &Args,
+    artifact: AnyArtifact,
+    artifact_path: &str,
+    cfg: ServeConfig,
+    workers: usize,
+    metrics_every: u64,
+    default_deadline_ms: Option<f64>,
+    rx: std::sync::mpsc::Receiver<String>,
+) -> Result<(), RddError> {
+    use std::io::Write as _;
+    use std::sync::mpsc;
+
+    let watch = args.has_flag("watch-artifact");
+    let mut current_checksum = artifact.checksum();
+    let mut pool_cfg = PoolConfig {
+        serve: cfg,
+        workers,
+        ..PoolConfig::default()
+    };
+    if metrics_every > 0 {
+        pool_cfg.metrics_window_s =
+            (metrics_every as usize).max(rdd_serve::DEFAULT_METRICS_WINDOW_S);
     }
-    Ok(())
+    let (reply_tx, reply_rx) = mpsc::channel();
+    let pool = ServePool::new(artifact, pool_cfg, current_checksum, reply_tx)
+        .map_err(|e| RddError::Cli(e.to_string()))?;
+
+    // Replies stream on their own thread: workers finish batches in any
+    // order, and stdout writes must never block admission. Each line is
+    // written under one stdout lock so it cannot interleave with the main
+    // loop's error lines.
+    let mut sink = ReplySink::new(args);
+    let writer = std::thread::spawn(move || -> Result<ReplySink, String> {
+        let stdout = std::io::stdout();
+        for reply in reply_rx {
+            let mut line = String::new();
+            reply_json(&reply).write(&mut line);
+            line.push('\n');
+            let mut out = stdout.lock();
+            out.write_all(line.as_bytes())
+                .map_err(|e| format!("stdout write failed: {e}"))?;
+            out.flush()
+                .map_err(|e| format!("stdout flush failed: {e}"))?;
+            drop(out);
+            sink.record(&reply);
+        }
+        Ok(sink)
+    });
+    let write_error = |line: String| -> Result<(), RddError> {
+        let stdout = std::io::stdout();
+        let mut out = stdout.lock();
+        out.write_all(line.as_bytes())
+            .map_err(|e| RddError::Cli(format!("stdout write failed: {e}")))?;
+        out.flush()
+            .map_err(|e| RddError::Cli(format!("stdout flush failed: {e}")))
+    };
+
+    const WATCH_POLL: Duration = Duration::from_millis(200);
+    let started = Instant::now();
+    let mut next_id: u64 = 0;
+    let mut next_beat =
+        (metrics_every > 0).then(|| Instant::now() + Duration::from_secs(metrics_every));
+    let mut next_poll = watch.then(|| Instant::now() + WATCH_POLL);
+    // Start unset so the first poll re-reads the file: the artifact may
+    // have been replaced between our load and now, and the checksum check
+    // below already suppresses no-op swaps.
+    let mut last_mtime: Option<std::time::SystemTime> = None;
+    let mut warned_mtime: Option<std::time::SystemTime> = None;
+    loop {
+        if let Some(beat) = next_beat {
+            if Instant::now() >= beat {
+                let m = pool.metrics();
+                rdd_obs::emit_serve_metrics(&m);
+                eprintln!("{}", m.status_line());
+                next_beat = Some(Instant::now() + Duration::from_secs(metrics_every));
+            }
+        }
+        if let Some(poll) = next_poll {
+            if Instant::now() >= poll {
+                let mtime = artifact_mtime(artifact_path);
+                if mtime.is_some() && mtime != last_mtime {
+                    match AnyArtifact::load(Path::new(artifact_path)) {
+                        Ok(next) => {
+                            last_mtime = mtime;
+                            warned_mtime = None;
+                            let checksum = next.checksum();
+                            if checksum != current_checksum {
+                                current_checksum = checksum;
+                                let generation = pool.swap(next, checksum);
+                                rdd_obs::emit_swap(generation, checksum, artifact_path);
+                                eprintln!(
+                                    "swapped {artifact_path} in as generation {generation} \
+                                     (checksum {checksum:016x})"
+                                );
+                            }
+                        }
+                        Err(e) => {
+                            // Likely a non-atomic copy still in flight: warn
+                            // once per mtime, keep serving the old
+                            // generation, retry next poll.
+                            if warned_mtime != mtime {
+                                warned_mtime = mtime;
+                                eprintln!("watch: cannot load {artifact_path} yet ({e}); retrying");
+                            }
+                        }
+                    }
+                }
+                next_poll = Some(Instant::now() + WATCH_POLL);
+            }
+        }
+        // Workers flush their own micro-batch deadlines; the admission
+        // loop only wakes for heartbeats and watch polls.
+        let wake = match (next_beat, next_poll) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        let line = match wake {
+            None => match rx.recv() {
+                Ok(line) => line,
+                Err(_) => break, // EOF
+            },
+            Some(deadline) => {
+                let now = Instant::now();
+                if deadline <= now {
+                    continue;
+                }
+                match rx.recv_timeout(deadline - now) {
+                    Ok(line) => line,
+                    Err(mpsc::RecvTimeoutError::Timeout) => continue,
+                    Err(mpsc::RecvTimeoutError::Disconnected) => break, // EOF
+                }
+            }
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        match parse_request(&line, next_id) {
+            Err(msg) => write_error(error_line(None, format!("bad request: {msg}")))?,
+            Ok((id, nodes, deadline_ms)) => {
+                next_id = next_id.max(id) + 1;
+                let deadline = deadline_ms
+                    .or(default_deadline_ms)
+                    .map(|ms| Instant::now() + Duration::from_secs_f64(ms / 1e3));
+                if let Err(e) = pool.submit_with_deadline(id, nodes, deadline) {
+                    // Queue full: shed this request, keep serving.
+                    write_error(error_line(Some(id), e.to_string()))?;
+                }
+            }
+        }
+    }
+    // EOF: let the workers drain the queue, take the final heartbeat while
+    // the pool is still alive, then shut down and collect the report.
+    while pool.pending_len() > 0 {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    if metrics_every > 0 {
+        let m = pool.metrics();
+        rdd_obs::emit_serve_metrics(&m);
+        eprintln!("{}", m.status_line());
+    }
+    let report = pool.shutdown();
+    let sink = match writer.join() {
+        Ok(Ok(sink)) => sink,
+        Ok(Err(e)) => return Err(RddError::Cli(e)),
+        Err(_) => return Err(RddError::Cli("serve reply writer panicked".into())),
+    };
+    let stats = report.stats;
+    rdd_obs::emit_serve_run(
+        stats.requests,
+        stats.batches,
+        stats.cache_hits,
+        stats.cache_misses,
+        stats.shed,
+        stats.expired,
+        started.elapsed().as_secs_f64() * 1e3,
+    );
+    eprintln!(
+        "served {} requests in {} batches across {} workers (cache hit rate {:.1}%, shed {}, expired {})",
+        stats.requests,
+        stats.batches,
+        report.workers.len(),
+        100.0 * stats.hit_rate(),
+        stats.shed,
+        stats.expired
+    );
+    for w in &report.workers {
+        eprintln!(
+            "  worker {}: {} requests in {} batches, busy {:.1}ms ({:.1}% utilization)",
+            w.worker,
+            w.requests,
+            w.batches,
+            w.busy_ms,
+            100.0 * w.utilization
+        );
+    }
+    sink.finish(args)
 }
 
 /// `rdd serve-bench <preset|dir> [--models N] [--requests N] [--out FILE]`
 /// — train a fast teacher (unless `--artifact` points at an existing
 /// file), export it, and run the closed-loop throughput bench across
-/// {unbatched, batched} × {cache cold, warm}.
+/// {unbatched, batched} × {cache cold, warm}. With `--workers N` the bench
+/// instead drives a [`ServePool`] of N threads (cold then warm) — run it at
+/// 1/2/4/8 workers for the serve scaling curve.
 pub fn serve_bench(args: &Args) -> Result<(), RddError> {
     let source = args.positional.get(1).ok_or_else(|| {
         RddError::Cli(
-            "usage: rdd serve-bench <preset|dir> [--models N] [--requests N] [--out FILE] [--artifact FILE]"
+            "usage: rdd serve-bench <preset|dir> [--models N] [--requests N] [--workers N] [--out FILE] [--artifact FILE]"
                 .into(),
         )
     })?;
     let requests: usize = args.get_or("requests", 2000)?;
     let models: usize = args.get_or("models", 3)?;
+    let workers: Option<usize> = if args.options.contains_key("workers") {
+        let w: usize = args.get_or("workers", 1)?;
+        if w == 0 {
+            return Err(RddError::Cli("--workers must be >= 1".into()));
+        }
+        Some(w)
+    } else {
+        None
+    };
 
     let reuse = args
         .options
@@ -852,22 +1255,27 @@ pub fn serve_bench(args: &Args) -> Result<(), RddError> {
         }
     };
 
-    let results = bench_artifact(&artifact, requests)?;
+    let results = match workers {
+        Some(w) => bench_artifact_pooled(&artifact, requests, w)?,
+        None => bench_artifact(&artifact, requests)?,
+    };
     println!(
-        "{:<16} {:>6} {:>9} {:>10} {:>9} {:>9} {:>9}",
-        "mode", "batch", "requests", "rps", "p50 ms", "p99 ms", "hit rate"
+        "{:<16} {:>6} {:>7} {:>9} {:>10} {:>9} {:>9} {:>9} {:>6}",
+        "mode", "batch", "workers", "requests", "rps", "p50 ms", "p99 ms", "hit rate", "util"
     );
-    println!("{}", "-".repeat(74));
+    println!("{}", "-".repeat(89));
     for r in &results {
         println!(
-            "{:<16} {:>6} {:>9} {:>10.0} {:>9.4} {:>9.4} {:>8.1}%",
+            "{:<16} {:>6} {:>7} {:>9} {:>10.0} {:>9.4} {:>9.4} {:>8.1}% {:>5.0}%",
             r.mode,
             r.batch_size,
+            r.workers,
             r.requests,
             r.rps,
             r.p50_ms,
             r.p99_ms,
-            100.0 * r.hit_rate
+            100.0 * r.hit_rate,
+            100.0 * r.utilization
         );
     }
     if let Some(out_path) = args.options.get("out") {
@@ -880,6 +1288,7 @@ pub fn serve_bench(args: &Args) -> Result<(), RddError> {
             ("classes".into(), Json::from(meta.num_classes)),
             ("members".into(), Json::from(meta.members)),
             ("requests_per_mode".into(), Json::from(requests)),
+            ("workers".into(), Json::from(workers.unwrap_or(1))),
             (
                 "threads".into(),
                 Json::from(rdd_tensor::par::num_threads() as u64),

@@ -37,11 +37,12 @@ const USAGE: &str = "usage:
   rdd compare <preset|dir> [--models N] [--seed N]
   rdd trace-summary <file.jsonl>
   rdd report <trace.jsonl|run-dir>
-  rdd export <run-dir> <artifact> [--quantize int8]
+  rdd export <run-dir> <artifact> [--quantize int8] [--shards K]
   rdd artifact-info <artifact> [--proba-out <file>] [--reference <artifact>] [--assert-max-ulp N]
-  rdd serve --artifact <path> [--batch N] [--delay-ms N] [--cache N] [--queue N]
-            [--metrics-every SECS] [--proba-out <file>]
-  rdd serve-bench <preset|dir> [--models N] [--requests N] [--out FILE] [--artifact FILE]
+  rdd serve --artifact <path> [--workers N] [--batch N] [--delay-ms N] [--cache N] [--queue N]
+            [--deadline-ms MS] [--watch-artifact] [--metrics-every SECS]
+            [--proba-out <file>] [--served-out <file>]
+  rdd serve-bench <preset|dir> [--models N] [--requests N] [--workers N] [--out FILE] [--artifact FILE]
 
 presets: cora, citeseer, pubmed, nell, tiny
 env: RDD_TRACE=<path|stderr|off> structured telemetry sink, RDD_THREADS=N worker pool size,

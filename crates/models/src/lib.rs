@@ -43,8 +43,6 @@ pub use predictor::{
     PredictorExt,
 };
 pub use sage::{GraphSage, SageConfig};
-#[allow(deprecated)]
-pub use trainer::{predict, predict_in, predict_logits, predict_logits_in, predict_proba};
 pub use trainer::{
     train, train_in, DivergencePolicy, LossHook, LrSchedule, TrainConfig, TrainReport,
 };

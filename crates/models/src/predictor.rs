@@ -7,8 +7,8 @@
 //! [`Predictor::predict_batch`] takes a [`PredictRequest`] (all nodes, or
 //! an explicit node subset) and returns a [`Prediction`] or a typed
 //! [`PredictError`] — no panics on empty ensembles or out-of-range ids.
-//! [`ModelPredictor`] adapts any [`Model`] (via [`PredictorExt::predictor`]);
-//! the old free functions survive as thin deprecated wrappers.
+//! [`ModelPredictor`] adapts any [`Model`] (via [`PredictorExt::predictor`]).
+//! The old free functions are gone — every call site goes through the trait.
 
 use rdd_tensor::{Matrix, Workspace};
 
@@ -338,46 +338,5 @@ mod tests {
                 .all(|(a, b)| a.to_bits() == b.to_bits());
             assert!(same, "row {r} (node {node}) not bitwise equal");
         }
-    }
-
-    /// The deprecated free functions must stay compiling delegations to the
-    /// new API and agree with it bitwise.
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_wrappers_match_predictor_bitwise() {
-        let data = SynthConfig::tiny().generate();
-        let ctx = GraphContext::new(&data);
-        let mut rng = seeded_rng(8);
-        let model = Gcn::new(&ctx, GcnConfig::citation(), &mut rng);
-        let p = model.predictor(&ctx);
-
-        let old_logits = crate::trainer::predict_logits(&model, &ctx);
-        let new_logits = p.logits();
-        assert_eq!(old_logits.shape(), new_logits.shape());
-        let same = old_logits
-            .as_slice()
-            .iter()
-            .zip(new_logits.as_slice())
-            .all(|(a, b)| a.to_bits() == b.to_bits());
-        assert!(same, "logits wrapper drifted from ModelPredictor::logits");
-
-        let old_proba = crate::trainer::predict_proba(&model, &ctx);
-        let new_proba = p.proba();
-        let same = old_proba
-            .as_slice()
-            .iter()
-            .zip(new_proba.as_slice())
-            .all(|(a, b)| a.to_bits() == b.to_bits());
-        assert!(same, "proba wrapper drifted from ModelPredictor::proba");
-
-        assert_eq!(crate::trainer::predict(&model, &ctx), p.predict());
-        let ws = Workspace::new();
-        assert_eq!(crate::trainer::predict_in(&model, &ctx, &ws), p.predict());
-        let same = crate::trainer::predict_logits_in(&model, &ctx, &ws)
-            .as_slice()
-            .iter()
-            .zip(new_logits.as_slice())
-            .all(|(a, b)| a.to_bits() == b.to_bits());
-        assert!(same, "predict_logits_in wrapper drifted");
     }
 }

@@ -354,38 +354,6 @@ pub fn train_in(
     }
 }
 
-/// Eval-mode logits of `model`.
-#[deprecated(note = "use `model.predictor(&ctx).logits()` (the Predictor API)")]
-pub fn predict_logits(model: &dyn Model, ctx: &GraphContext) -> Matrix {
-    crate::predictor::ModelPredictor::new(model, ctx).logits()
-}
-
-/// [`ModelPredictor::logits`] against a caller-owned buffer pool.
-///
-/// [`ModelPredictor::logits`]: crate::predictor::ModelPredictor::logits
-#[deprecated(note = "use `model.predictor_in(&ctx, ws).logits()` (the Predictor API)")]
-pub fn predict_logits_in(model: &dyn Model, ctx: &GraphContext, ws: &Workspace) -> Matrix {
-    crate::predictor::eval_logits_in(model, ctx, ws)
-}
-
-/// Eval-mode softmax probabilities.
-#[deprecated(note = "use `model.predictor(&ctx).proba()` (the Predictor API)")]
-pub fn predict_proba(model: &dyn Model, ctx: &GraphContext) -> Matrix {
-    crate::predictor::ModelPredictor::new(model, ctx).proba()
-}
-
-/// Eval-mode hard predictions.
-#[deprecated(note = "use `model.predictor(&ctx).predict()` (the Predictor API)")]
-pub fn predict(model: &dyn Model, ctx: &GraphContext) -> Vec<usize> {
-    crate::predictor::ModelPredictor::new(model, ctx).predict()
-}
-
-/// Eval-mode hard predictions against a caller-owned buffer pool.
-#[deprecated(note = "use `model.predictor_in(&ctx, ws).predict()` (the Predictor API)")]
-pub fn predict_in(model: &dyn Model, ctx: &GraphContext, ws: &Workspace) -> Vec<usize> {
-    crate::predictor::eval_pred_in(model, ctx, ws)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;

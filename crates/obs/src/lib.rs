@@ -42,9 +42,10 @@
 //! | `member_dropped` | `member rollbacks` — diverged member excluded from the ensemble   |
 //! | `checkpoint`| `member kept dir` — member persisted, run manifest committed           |
 //! | `resume`    | `next_member loaded dir` — run directory reloaded, cascade restarting  |
-//! | `serve_batch` | `requests nodes hits misses exec_ms lat_ms[]` — one serve-engine flush |
-//! | `serve_run` | `requests batches hits misses shed wall_ms` — final serve-session totals |
-//! | `serve_metrics` | `window_s requests p50_ms p99_ms queue_peak hit_rate shed` — rolling-window heartbeat (`rdd serve --metrics-every`) |
+//! | `serve_batch` | `worker requests nodes hits misses exec_ms lat_ms[]` — one serve-engine flush |
+//! | `serve_run` | `requests batches hits misses shed expired wall_ms` — final serve-session totals |
+//! | `serve_metrics` | `window_s requests p50_ms p99_ms queue_peak hit_rate shed shed_expired` — rolling-window heartbeat (`rdd serve --metrics-every`) |
+//! | `swap`      | `generation checksum path` — hot artifact swap rolled a new generation in |
 //! | `env_warn`  | `var value expected` — rejected environment-variable value (default kept) |
 //! | `warn`      | `msg`                                                                  |
 //!
@@ -72,7 +73,8 @@ pub use summarize::{
     TraceSummary,
 };
 pub use telemetry::{
-    agreement_rate, emit_checkpoint, emit_divergence, emit_member, emit_member_dropped,
-    emit_resume, emit_rollback, emit_run, emit_serve_batch, emit_serve_metrics, emit_serve_run,
-    stage_rdd_epoch, EpochTelemetry, RddEpochExtra, ServeMetricsSnapshot,
+    agreement_rate, emit_checkpoint, emit_divergence, emit_hist_snapshot, emit_member,
+    emit_member_dropped, emit_resume, emit_rollback, emit_run, emit_serve_batch,
+    emit_serve_metrics, emit_serve_run, emit_swap, stage_rdd_epoch, EpochTelemetry, RddEpochExtra,
+    ServeMetricsSnapshot,
 };

@@ -63,6 +63,8 @@ pub struct TraceSummary {
     pub serve_runs: Vec<Json>,
     /// `serve_metrics` rolling-window heartbeats, in trace order.
     pub serve_metrics: Vec<Json>,
+    /// `swap` events (hot artifact-generation rolls), in trace order.
+    pub swaps: Vec<Json>,
     /// `env_warn` events (rejected environment-variable values).
     pub env_warns: Vec<Json>,
     /// `warn` event messages.
@@ -193,6 +195,12 @@ impl TraceSummary {
                     validate_serve_metrics(&event).map_err(|e| format!("line {lineno}: {e}"))?;
                     out.serve_metrics.push(event);
                 }
+                "swap" => {
+                    req_num(&event, "generation").map_err(|e| format!("line {lineno}: {e}"))?;
+                    req_str(&event, "checksum").map_err(|e| format!("line {lineno}: {e}"))?;
+                    req_str(&event, "path").map_err(|e| format!("line {lineno}: {e}"))?;
+                    out.swaps.push(event);
+                }
                 "env_warn" => {
                     for key in ["var", "value", "expected"] {
                         req_str(&event, key).map_err(|e| format!("line {lineno}: {e}"))?;
@@ -265,7 +273,7 @@ impl TraceSummary {
             out.push_str("\nKernel time\n");
             out.push_str(&self.render_kernel_table());
         }
-        if !self.serves.is_empty() || !self.serve_runs.is_empty() {
+        if !self.serves.is_empty() || !self.serve_runs.is_empty() || !self.swaps.is_empty() {
             out.push_str(&self.render_serving());
         }
         if !self.counters.is_empty() || !self.gauges.is_empty() {
@@ -357,13 +365,23 @@ impl TraceSummary {
         out.push_str(&render_table(&["metric", "value"], &rows));
         for run in &self.serve_runs {
             out.push_str(&format!(
-                "Serve run: requests {}  batches {}  hits {}  misses {}  shed {}  wall_ms {}\n",
+                "Serve run: requests {}  batches {}  hits {}  misses {}  \
+                 shed {} (queue-full) + {} (expired)  wall_ms {}\n",
                 fmt_field(run.get("requests")),
                 fmt_field(run.get("batches")),
                 fmt_field(run.get("hits")),
                 fmt_field(run.get("misses")),
                 fmt_field(run.get("shed")),
+                fmt_field(run.get("expired")),
                 fmt_field(run.get("wall_ms")),
+            ));
+        }
+        for swap in &self.swaps {
+            out.push_str(&format!(
+                "Swap: generation {}  checksum {}  path {}\n",
+                fmt_field(swap.get("generation")),
+                fmt_field(swap.get("checksum")),
+                fmt_field(swap.get("path")),
             ));
         }
         out
@@ -551,7 +569,7 @@ impl TraceSummary {
             ));
         }
 
-        if !self.serves.is_empty() || !self.serve_runs.is_empty() {
+        if !self.serves.is_empty() || !self.serve_runs.is_empty() || !self.swaps.is_empty() {
             out.push_str(&self.render_serving());
         }
         // Histogram-derived serve latencies (the online view; `serve.*`
@@ -594,6 +612,7 @@ impl TraceSummary {
                 "queue_peak",
                 "hit_rate",
                 "shed",
+                "shed_expired",
             ];
             let rows: Vec<Vec<String>> = self
                 .serve_metrics
@@ -778,6 +797,13 @@ const SERVE_METRICS_NUMERIC: &[&str] = &[
 fn validate_serve_metrics(event: &Json) -> Result<(), String> {
     for key in SERVE_METRICS_NUMERIC {
         req_num(event, key)?;
+    }
+    // Added after the single-worker era; old traces lack it entirely, so
+    // only its type is checked when present.
+    if let Some(v) = event.get("shed_expired") {
+        if v.as_f64().is_none() {
+            return Err("serve_metrics field \"shed_expired\" must be numeric".to_string());
+        }
     }
     let hit_rate = req_num(event, "hit_rate")?;
     if !(0.0..=1.0).contains(&hit_rate) {
@@ -1046,6 +1072,44 @@ mod tests {
         assert!(rendered.contains("50.0%"), "{rendered}");
         assert!(rendered.contains("p99 latency ms"), "{rendered}");
         assert!(rendered.contains("Serve run: requests 3"), "{rendered}");
+    }
+
+    #[test]
+    fn aggregates_and_renders_swap_events() {
+        let src = concat!(
+            "{\"ev\":\"swap\",\"t_ms\":5.0,\"generation\":2,",
+            "\"checksum\":\"00000000deadbeef\",\"path\":\"model.rdd\"}"
+        );
+        let summary = TraceSummary::parse(src).unwrap();
+        assert_eq!(summary.swaps.len(), 1);
+        assert!(summary.other.is_empty());
+        let rendered = summary.render();
+        assert!(rendered.contains("Swap: generation 2"), "{rendered}");
+        assert!(rendered.contains("00000000deadbeef"), "{rendered}");
+        let report = summary.render_report();
+        assert!(report.contains("Swap: generation 2"), "{report}");
+
+        let missing = "{\"ev\":\"swap\",\"t_ms\":5.0,\"generation\":2,\"path\":\"m\"}";
+        let err = TraceSummary::parse(missing).unwrap_err();
+        assert!(err.contains("checksum"), "{err}");
+    }
+
+    #[test]
+    fn serve_metrics_accepts_and_checks_shed_expired() {
+        let with = concat!(
+            "{\"ev\":\"serve_metrics\",\"t_ms\":1.0,\"window_s\":5,\"requests\":100,",
+            "\"p50_ms\":0.5,\"p99_ms\":2.0,\"queue_peak\":7,\"hit_rate\":0.25,",
+            "\"shed\":1,\"shed_expired\":3}"
+        );
+        let summary = TraceSummary::parse(with).unwrap();
+        assert_eq!(summary.serve_metrics.len(), 1);
+        let bad = concat!(
+            "{\"ev\":\"serve_metrics\",\"t_ms\":1.0,\"window_s\":5,\"requests\":100,",
+            "\"p50_ms\":0.5,\"p99_ms\":2.0,\"queue_peak\":7,\"hit_rate\":0.25,",
+            "\"shed\":1,\"shed_expired\":\"oops\"}"
+        );
+        let err = TraceSummary::parse(bad).unwrap_err();
+        assert!(err.contains("shed_expired"), "{err}");
     }
 
     #[test]

@@ -13,6 +13,7 @@
 
 use std::cell::RefCell;
 
+use super::hist::HistSnapshot;
 use super::json::Json;
 use super::recorder::{enabled, event};
 
@@ -227,12 +228,13 @@ pub fn emit_run(ensemble_test_acc: f32, single_test_acc: f32, members: usize) {
     );
 }
 
-/// One `serve_batch` event per serve-engine flush: how many requests and
-/// node rows it covered, the cache hit/miss split, predictor execution
-/// time, and every request's end-to-end latency (`lat_ms` array — kept
-/// per-batch rather than per-request to bound trace size while preserving
-/// full latency fidelity for p50/p99 aggregation).
+/// One `serve_batch` event per serve-engine flush: which worker flushed it,
+/// how many requests and node rows it covered, the cache hit/miss split,
+/// predictor execution time, and every request's end-to-end latency
+/// (`lat_ms` array — kept per-batch rather than per-request to bound trace
+/// size while preserving full latency fidelity for p50/p99 aggregation).
 pub fn emit_serve_batch(
+    worker: usize,
     requests: usize,
     nodes: usize,
     hits: usize,
@@ -246,6 +248,7 @@ pub fn emit_serve_batch(
     event(
         "serve_batch",
         &[
+            ("worker", Json::from(worker)),
             ("requests", Json::from(requests)),
             ("nodes", Json::from(nodes)),
             ("hits", Json::from(hits)),
@@ -257,13 +260,16 @@ pub fn emit_serve_batch(
 }
 
 /// One `serve_run` event: final counters of a serve session or bench.
-/// `shed` counts requests rejected at admission (queue full).
+/// `shed` counts requests rejected at admission (queue full); `expired`
+/// counts requests shed after admission because their deadline passed
+/// before dispatch.
 pub fn emit_serve_run(
     requests: u64,
     batches: u64,
     hits: u64,
     misses: u64,
     shed: u64,
+    expired: u64,
     wall_ms: f64,
 ) {
     event(
@@ -274,7 +280,41 @@ pub fn emit_serve_run(
             ("hits", Json::from(hits)),
             ("misses", Json::from(misses)),
             ("shed", Json::from(shed)),
+            ("expired", Json::from(expired)),
             ("wall_ms", Json::from(wall_ms)),
+        ],
+    );
+}
+
+/// One `swap` event: the serving pool atomically rolled a new artifact
+/// generation in (hot swap). `checksum` is the incoming artifact's FNV-1a
+/// checksum, rendered as the same 16-hex-digit string `rdd export` prints.
+pub fn emit_swap(generation: u64, checksum: u64, path: &str) {
+    event(
+        "swap",
+        &[
+            ("generation", Json::from(generation)),
+            ("checksum", Json::from(format!("{checksum:016x}"))),
+            ("path", Json::from(path)),
+        ],
+    );
+}
+
+/// One cumulative `hist` event from an explicit snapshot, in the same
+/// shape the recorder's flush emits for `HistCell` statics. The serve pool
+/// uses this at shutdown to publish per-worker latency histograms
+/// (`serve.worker<i>.request_ns`) that live in worker-local state rather
+/// than in a global cell.
+pub fn emit_hist_snapshot(name: &str, snap: &HistSnapshot) {
+    if !enabled() || snap.count() == 0 {
+        return;
+    }
+    event(
+        "hist",
+        &[
+            ("name", Json::from(name)),
+            ("count", Json::from(snap.count())),
+            ("buckets", Json::from(snap.trimmed().to_vec())),
         ],
     );
 }
@@ -299,20 +339,23 @@ pub struct ServeMetricsSnapshot {
     pub hit_rate: f64,
     /// Requests shed at admission (queue full) over the window.
     pub shed: u64,
+    /// Requests shed post-admission (deadline expired) over the window.
+    pub shed_expired: u64,
 }
 
 impl ServeMetricsSnapshot {
     /// The one-line status `rdd serve` prints per heartbeat.
     pub fn status_line(&self) -> String {
         format!(
-            "serve: {} req/{}s  p50 {:.3} ms  p99 {:.3} ms  queue peak {}  hit rate {:.1}%  shed {}",
+            "serve: {} req/{}s  p50 {:.3} ms  p99 {:.3} ms  queue peak {}  hit rate {:.1}%  shed {}  expired {}",
             self.requests,
             self.window_s,
             self.p50_ms,
             self.p99_ms,
             self.queue_peak,
             100.0 * self.hit_rate,
-            self.shed
+            self.shed,
+            self.shed_expired
         )
     }
 }
@@ -329,6 +372,7 @@ pub fn emit_serve_metrics(m: &ServeMetricsSnapshot) {
             ("queue_peak", Json::from(m.queue_peak)),
             ("hit_rate", Json::from(m.hit_rate)),
             ("shed", Json::from(m.shed)),
+            ("shed_expired", Json::from(m.shed_expired)),
         ],
     );
 }

@@ -117,7 +117,7 @@ pub struct ArtifactMeta {
 }
 
 impl ArtifactMeta {
-    fn to_json(&self) -> Json {
+    pub(crate) fn to_json(&self) -> Json {
         Json::Obj(vec![
             (
                 "dataset".into(),
@@ -134,7 +134,7 @@ impl ArtifactMeta {
         ])
     }
 
-    fn from_json(json: &Json) -> Result<Self, String> {
+    pub(crate) fn from_json(json: &Json) -> Result<Self, String> {
         let dataset = json.get("dataset").ok_or("meta missing 'dataset'")?;
         let str_of = |obj: &Json, key: &str| -> Result<String, String> {
             Ok(obj
@@ -177,7 +177,7 @@ impl ArtifactMeta {
     }
 
     /// Cross-field validation shared by the exporter and the loader.
-    fn validate(&self) -> Result<(), String> {
+    pub(crate) fn validate(&self) -> Result<(), String> {
         if self.members == 0 {
             return Err("artifact has zero members".into());
         }

@@ -1,8 +1,12 @@
-//! Closed-loop serve throughput bench: one in-process client submits
-//! single-node requests back-to-back (next request only after the
-//! previous flush returns) against a frozen artifact, across the four
-//! corners of {unbatched, batched} × {cache cold, cache warm}.
+//! Closed-loop serve throughput bench: an in-process client submits
+//! single-node requests against a frozen artifact, across the four
+//! corners of {unbatched, batched} × {cache cold, cache warm} — and, for
+//! the multi-worker scaling curve ([`bench_artifact_pooled`]), against a
+//! [`ServePool`] with `workers × batch_size` requests kept in flight.
+//! All timing is monotonic (`Instant`), never wall-clock time-of-day, so
+//! NTP steps can't corrupt a measurement.
 
+use std::sync::mpsc;
 use std::time::Instant;
 
 use rdd_obs::{sample_stats, Json};
@@ -10,6 +14,7 @@ use rdd_obs::{sample_stats, Json};
 use crate::artifact::Artifact;
 use crate::engine::{ServeConfig, ServeEngine};
 use crate::error::ServeError;
+use crate::pool::{PoolConfig, ServePool};
 
 /// One bench mode's outcome.
 #[derive(Clone, Debug)]
@@ -28,6 +33,12 @@ pub struct BenchResult {
     pub p99_ms: f64,
     /// Cache hit fraction over the measured phase.
     pub hit_rate: f64,
+    /// Serve workers used (1 = the in-line single-threaded engine).
+    pub workers: usize,
+    /// Mean per-worker busy fraction over the pool's lifetime. The
+    /// single-threaded engine executes inside the client's submit call, so
+    /// it reports 1.0 by construction.
+    pub utilization: f64,
 }
 
 impl BenchResult {
@@ -41,6 +52,8 @@ impl BenchResult {
             ("p50_ms".into(), Json::from(self.p50_ms)),
             ("p99_ms".into(), Json::from(self.p99_ms)),
             ("hit_rate".into(), Json::from(self.hit_rate)),
+            ("workers".into(), Json::from(self.workers)),
+            ("utilization".into(), Json::from(self.utilization)),
         ])
     }
 }
@@ -137,6 +150,101 @@ fn run_mode(
         } else {
             hits as f64 / (hits + misses) as f64
         },
+        workers: 1,
+        utilization: 1.0,
+    })
+}
+
+fn run_mode_pooled(
+    artifact: &Artifact,
+    mode: &str,
+    batch_size: usize,
+    warm: bool,
+    requests: usize,
+    workers: usize,
+) -> Result<BenchResult, ServeError> {
+    let n = artifact.meta().dataset_n;
+    let cfg = PoolConfig {
+        serve: ServeConfig {
+            batch_size,
+            max_delay_ms: 0,
+            cache_capacity: if warm { n } else { 0 },
+            queue_capacity: (batch_size * workers).max(1024),
+        },
+        workers,
+        ..PoolConfig::default()
+    };
+    let cfg_queue = cfg.serve.queue_capacity;
+    let (tx, rx) = mpsc::channel();
+    let pool = ServePool::new(artifact.clone(), cfg, artifact.checksum(), tx)
+        .map_err(|e| ServeError::BadRequest(e.to_string()))?;
+    let dropped = || ServeError::BadRequest("serve pool dropped its reply channel".into());
+    if warm {
+        // Unmeasured closed-loop warmup: touch every node once, draining
+        // replies as we go so graphs larger than the queue capacity can't
+        // overflow it.
+        let window = cfg_queue.min(n).max(1);
+        let mut warmed = 0usize;
+        let mut drained = 0usize;
+        while drained < n {
+            while warmed < n && warmed - drained < window {
+                pool.submit(u64::MAX - warmed as u64, Some(vec![warmed]))?;
+                warmed += 1;
+            }
+            rx.recv().map_err(|_| dropped())?.result?;
+            drained += 1;
+        }
+    }
+    let warm_stats = pool.stats();
+
+    // Closed loop with a fixed in-flight window: enough outstanding
+    // requests to keep every worker's micro-batch full, refilled one-for-
+    // one as replies drain.
+    let target = (workers * batch_size).max(1);
+    let mut stream = NodeStream::new(n);
+    let mut latencies: Vec<f64> = Vec::with_capacity(requests);
+    let started = Instant::now();
+    let mut submitted = 0usize;
+    let mut received = 0usize;
+    while received < requests {
+        while submitted < requests && submitted - received < target {
+            match pool.submit(submitted as u64, Some(vec![stream.next()])) {
+                Ok(()) => submitted += 1,
+                Err(ServeError::QueueFull { .. }) => break,
+                Err(e) => return Err(e),
+            }
+        }
+        let reply = rx.recv().map_err(|_| dropped())?;
+        reply.result?;
+        latencies.push(reply.latency_ms);
+        received += 1;
+    }
+    let wall_s = started.elapsed().as_secs_f64();
+
+    let report = pool.shutdown();
+    let hits = report.stats.cache_hits - warm_stats.cache_hits;
+    let misses = report.stats.cache_misses - warm_stats.cache_misses;
+    let lat_stats =
+        sample_stats(&latencies).map_err(|e| ServeError::BadRequest(format!("latency {e}")))?;
+    let utilization = if report.workers.is_empty() {
+        0.0
+    } else {
+        report.workers.iter().map(|w| w.utilization).sum::<f64>() / report.workers.len() as f64
+    };
+    Ok(BenchResult {
+        mode: mode.to_string(),
+        batch_size,
+        requests: lat_stats.count,
+        rps: lat_stats.count as f64 / wall_s.max(1e-9),
+        p50_ms: lat_stats.p50,
+        p99_ms: lat_stats.p99,
+        hit_rate: if hits + misses == 0 {
+            0.0
+        } else {
+            hits as f64 / (hits + misses) as f64
+        },
+        workers,
+        utilization,
     })
 }
 
@@ -155,6 +263,21 @@ pub fn bench_artifact(
     modes
         .iter()
         .map(|&(mode, batch, warm)| run_mode(artifact, mode, batch, warm, requests))
+        .collect()
+}
+
+/// The multi-worker scaling point: `requests` single-node requests through
+/// a [`ServePool`] of `workers` threads, batched, cold then warm. Run it
+/// at 1/2/4/8 workers for the serve scaling curve.
+pub fn bench_artifact_pooled(
+    artifact: &Artifact,
+    requests: usize,
+    workers: usize,
+) -> Result<Vec<BenchResult>, ServeError> {
+    let modes: [(&str, usize, bool); 2] = [("pooled-cold", 32, false), ("pooled-warm", 32, true)];
+    modes
+        .iter()
+        .map(|&(mode, batch, warm)| run_mode_pooled(artifact, mode, batch, warm, requests, workers))
         .collect()
 }
 

@@ -1,9 +1,13 @@
 //! A small hand-rolled LRU map (no external deps): `HashMap` for lookup
 //! plus an intrusive doubly-linked list over a slot arena for recency
-//! order. Used by the serve engine as its prediction cache.
+//! order. Used by the serve engine as its prediction cache, and — lock-
+//! partitioned as [`ShardedLru`] — as the shared cache behind the
+//! multi-worker [`crate::pool::ServePool`], where a single global lock
+//! would serialize every worker's row lookups.
 
 use std::collections::HashMap;
-use std::hash::Hash;
+use std::hash::{Hash, Hasher};
+use std::sync::Mutex;
 
 const NIL: usize = usize::MAX;
 
@@ -133,6 +137,73 @@ impl<K: Clone + Eq + Hash, V> LruCache<K, V> {
     }
 }
 
+/// A lock-partitioned LRU: `partitions` independent [`LruCache`]s, each
+/// behind its own `Mutex`, with keys routed by hash. Concurrent workers
+/// touching different partitions never contend, so the cache stops being a
+/// global serialization point. Values are returned by clone (a reference
+/// could not outlive the partition lock).
+///
+/// Eviction is per-partition, so the *global* recency order is only
+/// approximate — a hot key can evict a warmer key that hashed to a fuller
+/// partition. Capacity is split evenly; each partition holds at least one
+/// entry.
+pub struct ShardedLru<K, V> {
+    partitions: Vec<Mutex<LruCache<K, V>>>,
+}
+
+impl<K: Clone + Eq + Hash, V: Clone> ShardedLru<K, V> {
+    /// A cache of `capacity` total entries split over `partitions` locks
+    /// (both forced to ≥ 1).
+    pub fn new(capacity: usize, partitions: usize) -> Self {
+        let partitions = partitions.max(1);
+        let per = (capacity.max(1)).div_ceil(partitions).max(1);
+        Self {
+            partitions: (0..partitions)
+                .map(|_| Mutex::new(LruCache::new(per)))
+                .collect(),
+        }
+    }
+
+    fn partition(&self, key: &K) -> &Mutex<LruCache<K, V>> {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut h);
+        &self.partitions[(h.finish() as usize) % self.partitions.len()]
+    }
+
+    /// Look up `key` in its partition, promoting it on a hit. Clones the
+    /// value out so the partition lock is held only for the lookup.
+    pub fn get(&self, key: &K) -> Option<V> {
+        self.partition(key).lock().unwrap().get(key).cloned()
+    }
+
+    /// Insert or overwrite `key` in its partition, evicting that
+    /// partition's coldest entry if full.
+    pub fn insert(&self, key: K, value: V) {
+        self.partition(&key).lock().unwrap().insert(key, value);
+    }
+
+    /// Live entries summed over every partition.
+    pub fn len(&self) -> usize {
+        self.partitions
+            .iter()
+            .map(|p| p.lock().unwrap().len())
+            .sum()
+    }
+
+    /// Whether every partition is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// `(hits, misses)` summed over every partition's [`LruCache::stats`].
+    pub fn stats(&self) -> (u64, u64) {
+        self.partitions.iter().fold((0, 0), |(h, m), p| {
+            let (ph, pm) = p.lock().unwrap().stats();
+            (h + ph, m + pm)
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -192,5 +263,53 @@ mod tests {
             assert_eq!(c.get(&i), Some(&(i * 10)), "recent key {i} must survive");
         }
         assert_eq!(c.get(&0), None);
+    }
+
+    #[test]
+    fn sharded_round_trips_and_counts_stats() {
+        let c = ShardedLru::new(64, 4);
+        assert!(c.is_empty());
+        for i in 0..32u64 {
+            c.insert(i, i * 3);
+        }
+        for i in 0..32u64 {
+            assert_eq!(c.get(&i), Some(i * 3));
+        }
+        assert_eq!(c.get(&999), None);
+        assert_eq!(c.len(), 32);
+        let (hits, misses) = c.stats();
+        assert_eq!((hits, misses), (32, 1));
+    }
+
+    #[test]
+    fn sharded_capacity_is_bounded_per_partition() {
+        let c = ShardedLru::new(8, 4); // 2 entries per partition
+        for i in 0..1000u64 {
+            c.insert(i, ());
+        }
+        assert!(c.len() <= 8, "len {} exceeds total capacity", c.len());
+    }
+
+    #[test]
+    fn sharded_is_safe_under_concurrent_mixed_traffic() {
+        let c = std::sync::Arc::new(ShardedLru::new(128, 8));
+        let handles: Vec<_> = (0..4u64)
+            .map(|t| {
+                let c = std::sync::Arc::clone(&c);
+                std::thread::spawn(move || {
+                    for i in 0..500u64 {
+                        let k = (t * 31 + i) % 200;
+                        c.insert(k, k * 2);
+                        if let Some(v) = c.get(&k) {
+                            assert_eq!(v, k * 2, "value for {k} corrupted");
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(c.len() <= 128);
     }
 }

@@ -82,15 +82,68 @@ impl ServeConfig {
 }
 
 /// One cached per-node result row.
-struct CachedRow {
-    proba: Vec<f32>,
-    pred: usize,
+#[derive(Clone)]
+pub(crate) struct CachedRow {
+    pub(crate) proba: Vec<f32>,
+    pub(crate) pred: usize,
 }
 
-struct PendingRequest {
-    id: u64,
-    nodes: Option<Vec<usize>>,
-    enqueued: Instant,
+/// A queued request awaiting dispatch. Shared with [`crate::pool`], whose
+/// workers drain the same shape from a cross-thread queue.
+pub(crate) struct PendingRequest {
+    pub(crate) id: u64,
+    pub(crate) nodes: Option<Vec<usize>>,
+    pub(crate) enqueued: Instant,
+    /// Shed (typed [`ServeError::Expired`]) instead of dispatched if this
+    /// instant passes while the request is still queued.
+    pub(crate) deadline: Option<Instant>,
+}
+
+/// Why a request was shed instead of served.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ShedCause {
+    /// Rejected at admission: the bounded queue was at capacity.
+    QueueFull,
+    /// Dropped post-admission: its deadline passed before dispatch.
+    Expired,
+}
+
+/// The per-flush cache surface [`execute_batch`] works against: the
+/// single-threaded engine's owned [`LruCache`], the pool's shared
+/// [`crate::cache::ShardedLru`], or nothing (caching disabled).
+pub(crate) trait BatchCache {
+    fn lookup(&mut self, key: &(u64, usize)) -> Option<CachedRow>;
+    fn store(&mut self, key: (u64, usize), row: CachedRow);
+}
+
+impl BatchCache for LruCache<(u64, usize), CachedRow> {
+    fn lookup(&mut self, key: &(u64, usize)) -> Option<CachedRow> {
+        self.get(key).cloned()
+    }
+    fn store(&mut self, key: (u64, usize), row: CachedRow) {
+        self.insert(key, row);
+    }
+}
+
+impl BatchCache for &crate::cache::ShardedLru<(u64, usize), CachedRow> {
+    fn lookup(&mut self, key: &(u64, usize)) -> Option<CachedRow> {
+        crate::cache::ShardedLru::get(self, key)
+    }
+    fn store(&mut self, key: (u64, usize), row: CachedRow) {
+        crate::cache::ShardedLru::insert(self, key, row);
+    }
+}
+
+/// `None` = caching disabled: every lookup misses, stores are dropped.
+impl<C: BatchCache> BatchCache for Option<C> {
+    fn lookup(&mut self, key: &(u64, usize)) -> Option<CachedRow> {
+        self.as_mut().and_then(|c| c.lookup(key))
+    }
+    fn store(&mut self, key: (u64, usize), row: CachedRow) {
+        if let Some(c) = self.as_mut() {
+            c.store(key, row);
+        }
+    }
 }
 
 /// One answered request.
@@ -105,6 +158,10 @@ pub struct ServeReply {
     pub latency_ms: f64,
     /// How many of this request's nodes were served from the cache.
     pub cache_hits: usize,
+    /// Artifact generation that served this request (0 until a hot swap;
+    /// incremented by every [`crate::pool::ServePool::swap`]). In-flight
+    /// requests always finish on the generation they were dispatched with.
+    pub generation: u64,
 }
 
 /// Engine-lifetime counters.
@@ -120,6 +177,21 @@ pub struct ServeStats {
     pub cache_misses: u64,
     /// Requests rejected at admission (queue full).
     pub shed: u64,
+    /// Requests shed post-admission (deadline expired before dispatch).
+    pub expired: u64,
+}
+
+impl ServeStats {
+    /// Fold another stats block into this one (used by the pool to merge
+    /// per-worker counters).
+    pub fn merge(&mut self, other: &ServeStats) {
+        self.requests += other.requests;
+        self.batches += other.batches;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.shed += other.shed;
+        self.expired += other.expired;
+    }
 }
 
 impl ServeStats {
@@ -148,6 +220,7 @@ struct WindowSlot {
     hits: u64,
     misses: u64,
     shed: u64,
+    expired: u64,
 }
 
 impl WindowSlot {
@@ -160,6 +233,7 @@ impl WindowSlot {
             hits: 0,
             misses: 0,
             shed: 0,
+            expired: 0,
         }
     }
 }
@@ -220,42 +294,86 @@ impl RollingWindow {
         slot.misses += misses;
     }
 
-    /// Count one request shed at admission.
-    pub fn record_shed(&mut self) {
-        self.slot_mut().shed += 1;
+    /// Count one shed request, by cause.
+    pub fn record_shed(&mut self, cause: ShedCause) {
+        let slot = self.slot_mut();
+        match cause {
+            ShedCause::QueueFull => slot.shed += 1,
+            ShedCause::Expired => slot.expired += 1,
+        }
     }
 
-    /// Merge every slot still inside the window into one snapshot.
-    /// Latency percentiles are histogram-derived, so they are accurate to
-    /// one log2 bucket.
-    pub fn snapshot(&self) -> ServeMetricsSnapshot {
+    /// Fold every slot still inside the window into `acc`. The pool calls
+    /// this once per worker window (plus the admission-side window) to
+    /// publish one merged heartbeat; latency histograms merge losslessly
+    /// via the lock-free [`HistSnapshot::merge`].
+    pub fn accumulate(&self, acc: &mut WindowAccum) {
         let now = self.now_sec();
         let len = self.slots.len() as u64;
-        let mut lat = HistSnapshot::new();
-        let mut m = ServeMetricsSnapshot {
-            window_s: len.min(now + 1),
-            ..ServeMetricsSnapshot::default()
-        };
-        let (mut hits, mut misses) = (0u64, 0u64);
+        acc.window_s = acc.window_s.max(len.min(now + 1));
         for slot in &self.slots {
             // Valid = recorded within the last `len` seconds (slot.second
             // is u64::MAX on never-used slots, failing the check).
             if slot.second > now || now - slot.second >= len {
                 continue;
             }
-            m.requests += slot.requests;
-            m.queue_peak = m.queue_peak.max(slot.queue_peak);
-            m.shed += slot.shed;
-            hits += slot.hits;
-            misses += slot.misses;
-            lat.merge(&slot.lat);
+            acc.requests += slot.requests;
+            acc.queue_peak = acc.queue_peak.max(slot.queue_peak);
+            acc.shed += slot.shed;
+            acc.expired += slot.expired;
+            acc.hits += slot.hits;
+            acc.misses += slot.misses;
+            acc.lat.merge(&slot.lat);
         }
-        if hits + misses > 0 {
-            m.hit_rate = hits as f64 / (hits + misses) as f64;
+    }
+
+    /// Merge every slot still inside the window into one snapshot.
+    /// Latency percentiles are histogram-derived, so they are accurate to
+    /// one log2 bucket.
+    pub fn snapshot(&self) -> ServeMetricsSnapshot {
+        let mut acc = WindowAccum::new();
+        self.accumulate(&mut acc);
+        acc.finalize()
+    }
+}
+
+/// Accumulates one or more [`RollingWindow`]s into a single
+/// [`ServeMetricsSnapshot`] — the pool's merged live view across N worker
+/// windows.
+#[derive(Default)]
+pub struct WindowAccum {
+    window_s: u64,
+    requests: u64,
+    queue_peak: u64,
+    shed: u64,
+    expired: u64,
+    hits: u64,
+    misses: u64,
+    lat: HistSnapshot,
+}
+
+impl WindowAccum {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Finish the merge: derive hit rate and histogram percentiles.
+    pub fn finalize(&self) -> ServeMetricsSnapshot {
+        let mut m = ServeMetricsSnapshot {
+            window_s: self.window_s,
+            requests: self.requests,
+            queue_peak: self.queue_peak,
+            shed: self.shed,
+            shed_expired: self.expired,
+            ..ServeMetricsSnapshot::default()
+        };
+        if self.hits + self.misses > 0 {
+            m.hit_rate = self.hits as f64 / (self.hits + self.misses) as f64;
         }
-        if lat.count() > 0 {
-            m.p50_ms = lat.p50() / 1e6;
-            m.p99_ms = lat.p99() / 1e6;
+        if self.lat.count() > 0 {
+            m.p50_ms = self.lat.p50() / 1e6;
+            m.p99_ms = self.lat.p99() / 1e6;
         }
         m
     }
@@ -339,9 +457,21 @@ impl<P: Predictor> ServeEngine<P> {
         id: u64,
         nodes: Option<Vec<usize>>,
     ) -> Result<Option<Vec<ServeReply>>, ServeError> {
+        self.submit_with_deadline(id, nodes, None)
+    }
+
+    /// [`ServeEngine::submit`] with an optional deadline: if the instant
+    /// passes while the request is still queued, the flush sheds it with a
+    /// typed [`ServeError::Expired`] reply instead of serving it stale.
+    pub fn submit_with_deadline(
+        &mut self,
+        id: u64,
+        nodes: Option<Vec<usize>>,
+        deadline: Option<Instant>,
+    ) -> Result<Option<Vec<ServeReply>>, ServeError> {
         if self.pending.len() >= self.cfg.queue_capacity {
             self.stats.shed += 1;
-            self.metrics.record_shed();
+            self.metrics.record_shed(ShedCause::QueueFull);
             return Err(ServeError::QueueFull {
                 capacity: self.cfg.queue_capacity,
             });
@@ -350,6 +480,7 @@ impl<P: Predictor> ServeEngine<P> {
             id,
             nodes,
             enqueued: Instant::now(),
+            deadline,
         });
         self.metrics.record_queue_depth(self.pending.len());
         if self.pending.len() >= self.cfg.batch_size {
@@ -360,186 +491,262 @@ impl<P: Predictor> ServeEngine<P> {
     }
 
     /// Execute every queued request as one micro-batch, in submission
-    /// order. A no-op (empty vec) on an empty queue.
+    /// order (expired requests are shed first, with typed error replies).
+    /// A no-op (empty vec) on an empty queue.
     pub fn flush(&mut self) -> Vec<ServeReply> {
         if self.pending.is_empty() {
             return Vec::new();
         }
         let batch: Vec<PendingRequest> = self.pending.drain(..).collect();
-        let num_nodes = self.predictor.num_nodes();
-        let k = self.predictor.num_classes();
-
-        // Resolve each request's node list, serving what the cache already
-        // holds and collecting the distinct rows that need execution.
-        struct Assembly {
-            nodes: Vec<usize>,
-            rows: Vec<Option<CachedRow>>,
-            hits: usize,
-            error: Option<ServeError>,
-        }
-        let mut assemblies: Vec<Assembly> = Vec::with_capacity(batch.len());
-        let mut miss_order: Vec<usize> = Vec::new();
-        let mut miss_set: HashMap<usize, usize> = HashMap::new();
-        for req in &batch {
-            let nodes: Vec<usize> = match &req.nodes {
-                Some(ids) => ids.clone(),
-                None => (0..num_nodes).collect(),
-            };
-            if let Some(&bad) = nodes.iter().find(|&&id| id >= num_nodes) {
-                assemblies.push(Assembly {
-                    nodes,
-                    rows: Vec::new(),
-                    hits: 0,
-                    error: Some(ServeError::Predict(
-                        rdd_models::PredictError::NodeOutOfRange {
-                            node: bad,
-                            num_nodes,
-                        },
-                    )),
-                });
-                continue;
-            }
-            let mut rows: Vec<Option<CachedRow>> = Vec::with_capacity(nodes.len());
-            let mut hits = 0usize;
-            for &node in &nodes {
-                let cached = self.cache.as_mut().and_then(|c| {
-                    c.get(&(self.cache_epoch, node)).map(|row| CachedRow {
-                        proba: row.proba.clone(),
-                        pred: row.pred,
-                    })
-                });
-                match cached {
-                    Some(row) => {
-                        hits += 1;
-                        self.stats.cache_hits += 1;
-                        rows.push(Some(row));
-                    }
-                    None => {
-                        self.stats.cache_misses += 1;
-                        if let std::collections::hash_map::Entry::Vacant(slot) =
-                            miss_set.entry(node)
-                        {
-                            slot.insert(miss_order.len());
-                            miss_order.push(node);
-                        }
-                        rows.push(None);
-                    }
-                }
-            }
-            assemblies.push(Assembly {
-                nodes,
-                rows,
-                hits,
-                error: None,
-            });
-        }
-
-        // One predictor execution covers every distinct missing node.
-        let exec_start = Instant::now();
-        let fresh: Result<Option<Prediction>, rdd_models::PredictError> = if miss_order.is_empty() {
-            Ok(None)
-        } else {
-            self.predictor
-                .predict_batch(&PredictRequest::nodes(miss_order.clone()))
-                .map(Some)
-        };
-        let exec_ms = exec_start.elapsed().as_secs_f64() * 1e3;
-
-        let mut replies = Vec::with_capacity(batch.len());
-        let mut latencies = Vec::with_capacity(batch.len());
-        match fresh {
-            Err(e) => {
-                // The predictor itself failed (e.g. empty ensemble): every
-                // request in the batch gets the error.
-                for req in &batch {
-                    let latency_ms = req.enqueued.elapsed().as_secs_f64() * 1e3;
-                    latencies.push(latency_ms);
-                    replies.push(ServeReply {
-                        id: req.id,
-                        result: Err(ServeError::Predict(e.clone())),
-                        latency_ms,
-                        cache_hits: 0,
-                    });
-                }
-            }
-            Ok(fresh) => {
-                if let (Some(fresh), Some(cache)) = (&fresh, self.cache.as_mut()) {
-                    for (r, &node) in fresh.nodes.iter().enumerate() {
-                        cache.insert(
-                            (self.cache_epoch, node),
-                            CachedRow {
-                                proba: fresh.proba.row(r).to_vec(),
-                                pred: fresh.pred[r],
-                            },
-                        );
-                    }
-                }
-                for (req, asm) in batch.iter().zip(assemblies) {
-                    let latency_ms = req.enqueued.elapsed().as_secs_f64() * 1e3;
-                    latencies.push(latency_ms);
-                    if let Some(error) = asm.error {
-                        replies.push(ServeReply {
-                            id: req.id,
-                            result: Err(error),
-                            latency_ms,
-                            cache_hits: 0,
-                        });
-                        continue;
-                    }
-                    let mut proba = Matrix::zeros(asm.nodes.len(), k);
-                    let mut pred = Vec::with_capacity(asm.nodes.len());
-                    for (r, (node, row)) in asm.nodes.iter().zip(asm.rows).enumerate() {
-                        match row {
-                            Some(cached) => {
-                                proba.row_mut(r).copy_from_slice(&cached.proba);
-                                pred.push(cached.pred);
-                            }
-                            None => {
-                                let fresh = fresh.as_ref().expect("misses imply an execution");
-                                let fr = miss_set[node];
-                                proba.row_mut(r).copy_from_slice(fresh.proba.row(fr));
-                                pred.push(fresh.pred[fr]);
-                            }
-                        }
-                    }
-                    replies.push(ServeReply {
-                        id: req.id,
-                        result: Ok(Prediction {
-                            nodes: asm.nodes,
-                            proba,
-                            pred,
-                        }),
-                        latency_ms,
-                        cache_hits: asm.hits,
-                    });
-                }
-            }
-        }
-
-        let nodes_served: usize = replies
-            .iter()
-            .map(|r| r.result.as_ref().map_or(0, |p| p.nodes.len()))
-            .sum();
-        let hits: usize = replies.iter().map(|r| r.cache_hits).sum();
-        self.stats.requests += replies.len() as u64;
+        let out = execute_batch(
+            0,
+            &self.predictor,
+            self.cache_epoch,
+            0,
+            batch,
+            &mut self.cache,
+        );
+        self.stats.requests += out.replies.len() as u64;
         self.stats.batches += 1;
-        HIST_EXEC_NS.record((exec_ms * 1e6) as u64);
-        for &lat_ms in &latencies {
-            HIST_REQUEST_NS.record((lat_ms * 1e6) as u64);
+        self.stats.cache_hits += out.hits as u64;
+        self.stats.cache_misses += out.nodes_served.saturating_sub(out.hits) as u64;
+        self.stats.expired += out.expired as u64;
+        for _ in 0..out.expired {
+            self.metrics.record_shed(ShedCause::Expired);
+        }
+        for &lat_ms in &out.latencies {
             self.metrics
                 .record_request(std::time::Duration::from_secs_f64(lat_ms / 1e3));
         }
-        self.metrics
-            .record_cache(hits as u64, nodes_served.saturating_sub(hits) as u64);
-        rdd_obs::emit_serve_batch(
-            replies.len(),
-            nodes_served,
-            hits,
-            nodes_served.saturating_sub(hits),
-            exec_ms,
-            &latencies,
+        self.metrics.record_cache(
+            out.hits as u64,
+            out.nodes_served.saturating_sub(out.hits) as u64,
         );
-        replies
+        out.replies
+    }
+}
+
+/// What one [`execute_batch`] call produced, for the caller's accounting.
+pub(crate) struct FlushOutcome {
+    /// Replies in batch order: shed-expired requests first (typed errors),
+    /// then served requests in submission order.
+    pub(crate) replies: Vec<ServeReply>,
+    /// End-to-end latency of each *served* (non-expired) request, ms.
+    pub(crate) latencies: Vec<f64>,
+    /// Node rows served from the cache.
+    pub(crate) hits: usize,
+    /// Node rows in successful replies (hits + fresh executions).
+    pub(crate) nodes_served: usize,
+    /// Requests shed because their deadline passed before dispatch.
+    pub(crate) expired: usize,
+}
+
+/// Execute one micro-batch against `predictor`: shed expired requests,
+/// serve what `cache` holds under `cache_epoch`, run one deduplicated
+/// `predict_batch` over the distinct missing rows, and assemble per-request
+/// replies tagged with `generation`. This is the shared core of the
+/// single-threaded [`ServeEngine::flush`] and every [`crate::pool`] worker;
+/// it records the global serve histograms and emits the per-flush
+/// `serve_batch` event under `worker`.
+pub(crate) fn execute_batch<P: Predictor, C: BatchCache>(
+    worker: usize,
+    predictor: &P,
+    cache_epoch: u64,
+    generation: u64,
+    batch: Vec<PendingRequest>,
+    cache: &mut C,
+) -> FlushOutcome {
+    let now = Instant::now();
+    let (expired_batch, batch): (Vec<PendingRequest>, Vec<PendingRequest>) = batch
+        .into_iter()
+        .partition(|r| r.deadline.is_some_and(|d| now >= d));
+    let mut replies = Vec::with_capacity(expired_batch.len() + batch.len());
+    for req in &expired_batch {
+        let waited_ms = req.enqueued.elapsed().as_secs_f64() * 1e3;
+        replies.push(ServeReply {
+            id: req.id,
+            result: Err(ServeError::Expired { waited_ms }),
+            latency_ms: waited_ms,
+            cache_hits: 0,
+            generation,
+        });
+    }
+    let expired = expired_batch.len();
+    if batch.is_empty() {
+        return FlushOutcome {
+            replies,
+            latencies: Vec::new(),
+            hits: 0,
+            nodes_served: 0,
+            expired,
+        };
+    }
+    let num_nodes = predictor.num_nodes();
+    let k = predictor.num_classes();
+
+    // Resolve each request's node list, serving what the cache already
+    // holds and collecting the distinct rows that need execution.
+    struct Assembly {
+        nodes: Vec<usize>,
+        rows: Vec<Option<CachedRow>>,
+        hits: usize,
+        error: Option<ServeError>,
+    }
+    let mut assemblies: Vec<Assembly> = Vec::with_capacity(batch.len());
+    let mut miss_order: Vec<usize> = Vec::new();
+    let mut miss_set: HashMap<usize, usize> = HashMap::new();
+    for req in &batch {
+        let nodes: Vec<usize> = match &req.nodes {
+            Some(ids) => ids.clone(),
+            None => (0..num_nodes).collect(),
+        };
+        if let Some(&bad) = nodes.iter().find(|&&id| id >= num_nodes) {
+            assemblies.push(Assembly {
+                nodes,
+                rows: Vec::new(),
+                hits: 0,
+                error: Some(ServeError::Predict(
+                    rdd_models::PredictError::NodeOutOfRange {
+                        node: bad,
+                        num_nodes,
+                    },
+                )),
+            });
+            continue;
+        }
+        let mut rows: Vec<Option<CachedRow>> = Vec::with_capacity(nodes.len());
+        let mut hits = 0usize;
+        for &node in &nodes {
+            match cache.lookup(&(cache_epoch, node)) {
+                Some(row) => {
+                    hits += 1;
+                    rows.push(Some(row));
+                }
+                None => {
+                    if let std::collections::hash_map::Entry::Vacant(slot) = miss_set.entry(node) {
+                        slot.insert(miss_order.len());
+                        miss_order.push(node);
+                    }
+                    rows.push(None);
+                }
+            }
+        }
+        assemblies.push(Assembly {
+            nodes,
+            rows,
+            hits,
+            error: None,
+        });
+    }
+
+    // One predictor execution covers every distinct missing node.
+    let exec_start = Instant::now();
+    let fresh: Result<Option<Prediction>, rdd_models::PredictError> = if miss_order.is_empty() {
+        Ok(None)
+    } else {
+        predictor
+            .predict_batch(&PredictRequest::nodes(miss_order.clone()))
+            .map(Some)
+    };
+    let exec_ms = exec_start.elapsed().as_secs_f64() * 1e3;
+
+    let mut latencies = Vec::with_capacity(batch.len());
+    match fresh {
+        Err(e) => {
+            // The predictor itself failed (e.g. empty ensemble): every
+            // request in the batch gets the error.
+            for req in &batch {
+                let latency_ms = req.enqueued.elapsed().as_secs_f64() * 1e3;
+                latencies.push(latency_ms);
+                replies.push(ServeReply {
+                    id: req.id,
+                    result: Err(ServeError::Predict(e.clone())),
+                    latency_ms,
+                    cache_hits: 0,
+                    generation,
+                });
+            }
+        }
+        Ok(fresh) => {
+            if let Some(fresh) = &fresh {
+                for (r, &node) in fresh.nodes.iter().enumerate() {
+                    cache.store(
+                        (cache_epoch, node),
+                        CachedRow {
+                            proba: fresh.proba.row(r).to_vec(),
+                            pred: fresh.pred[r],
+                        },
+                    );
+                }
+            }
+            for (req, asm) in batch.iter().zip(assemblies) {
+                let latency_ms = req.enqueued.elapsed().as_secs_f64() * 1e3;
+                latencies.push(latency_ms);
+                if let Some(error) = asm.error {
+                    replies.push(ServeReply {
+                        id: req.id,
+                        result: Err(error),
+                        latency_ms,
+                        cache_hits: 0,
+                        generation,
+                    });
+                    continue;
+                }
+                let mut proba = Matrix::zeros(asm.nodes.len(), k);
+                let mut pred = Vec::with_capacity(asm.nodes.len());
+                for (r, (node, row)) in asm.nodes.iter().zip(asm.rows).enumerate() {
+                    match row {
+                        Some(cached) => {
+                            proba.row_mut(r).copy_from_slice(&cached.proba);
+                            pred.push(cached.pred);
+                        }
+                        None => {
+                            let fresh = fresh.as_ref().expect("misses imply an execution");
+                            let fr = miss_set[node];
+                            proba.row_mut(r).copy_from_slice(fresh.proba.row(fr));
+                            pred.push(fresh.pred[fr]);
+                        }
+                    }
+                }
+                replies.push(ServeReply {
+                    id: req.id,
+                    result: Ok(Prediction {
+                        nodes: asm.nodes,
+                        proba,
+                        pred,
+                    }),
+                    latency_ms,
+                    cache_hits: asm.hits,
+                    generation,
+                });
+            }
+        }
+    }
+
+    let nodes_served: usize = replies
+        .iter()
+        .map(|r| r.result.as_ref().map_or(0, |p| p.nodes.len()))
+        .sum();
+    let hits: usize = replies.iter().map(|r| r.cache_hits).sum();
+    HIST_EXEC_NS.record((exec_ms * 1e6) as u64);
+    for &lat_ms in &latencies {
+        HIST_REQUEST_NS.record((lat_ms * 1e6) as u64);
+    }
+    rdd_obs::emit_serve_batch(
+        worker,
+        batch.len(),
+        nodes_served,
+        hits,
+        nodes_served.saturating_sub(hits),
+        exec_ms,
+        &latencies,
+    );
+    FlushOutcome {
+        replies,
+        latencies,
+        hits,
+        nodes_served,
+        expired,
     }
 }
 
@@ -712,6 +919,49 @@ mod tests {
         let replies = e.flush();
         assert_eq!(replies.len(), 2);
         assert!(e.submit(2, Some(vec![2])).unwrap().is_none());
+    }
+
+    #[test]
+    fn expired_requests_shed_with_typed_error() {
+        let mut e = engine(ServeConfig {
+            batch_size: 10,
+            ..ServeConfig::default()
+        });
+        // A deadline of "now" is already past when the flush runs.
+        e.submit_with_deadline(0, Some(vec![1]), Some(Instant::now()))
+            .unwrap();
+        e.submit(1, Some(vec![2])).unwrap();
+        let replies = e.flush();
+        assert_eq!(replies.len(), 2);
+        let shed = replies.iter().find(|r| r.id == 0).unwrap();
+        assert!(
+            matches!(shed.result, Err(ServeError::Expired { waited_ms }) if waited_ms >= 0.0),
+            "expired request must get the typed error"
+        );
+        let served = replies.iter().find(|r| r.id == 1).unwrap();
+        assert!(served.result.is_ok(), "live request must still serve");
+        assert_eq!(e.stats().expired, 1);
+        assert_eq!(e.stats().shed, 0, "expired is not queue-full shed");
+        let m = e.metrics();
+        assert_eq!(m.shed_expired, 1);
+        assert_eq!(m.shed, 0);
+        assert_eq!(m.requests, 1, "shed request is not a served request");
+    }
+
+    #[test]
+    fn future_deadlines_serve_normally_with_generation_zero() {
+        let mut e = engine(ServeConfig {
+            batch_size: 1,
+            ..ServeConfig::default()
+        });
+        let deadline = Instant::now() + std::time::Duration::from_secs(60);
+        let replies = e
+            .submit_with_deadline(0, Some(vec![3]), Some(deadline))
+            .unwrap()
+            .expect("flush");
+        assert!(replies[0].result.is_ok());
+        assert_eq!(replies[0].generation, 0, "no swap ever happened");
+        assert_eq!(e.stats().expired, 0);
     }
 
     #[test]

@@ -45,6 +45,12 @@ pub enum ServeError {
         /// The configured queue capacity.
         capacity: usize,
     },
+    /// The request's deadline passed while it waited in the queue; it was
+    /// shed before dispatch instead of being served stale.
+    Expired {
+        /// How long the request had waited when it was shed, milliseconds.
+        waited_ms: f64,
+    },
     /// A malformed request (e.g. unparseable serve-loop JSON).
     BadRequest(String),
 }
@@ -77,6 +83,12 @@ impl std::fmt::Display for ServeError {
             ServeError::Predict(e) => write!(f, "{e}"),
             ServeError::QueueFull { capacity } => {
                 write!(f, "serve queue full ({capacity} pending requests)")
+            }
+            ServeError::Expired { waited_ms } => {
+                write!(
+                    f,
+                    "request deadline expired after {waited_ms:.3} ms in queue"
+                )
             }
             ServeError::BadRequest(msg) => write!(f, "bad request: {msg}"),
         }

@@ -12,12 +12,22 @@
 //!   identical to the live run's `Ensemble::proba`; the int8-quantized
 //!   v2q format ([`quant`]) trades that bitwise guarantee for ~0.3× the
 //!   bytes, behind the same loader and trait;
+//! * [`shard`] — node-range-sharded artifacts: `write_sharded` splits an
+//!   export into K checksummed shard files plus a manifest, and
+//!   [`ShardedArtifact`] composes them back behind the same `Predictor`
+//!   trait with per-shard rows bitwise identical to the unsharded export
+//!   ([`AnyArtifact`] sniffs manifest vs. single-file and loads either);
 //! * [`engine`] — [`ServeEngine`]: request micro-batching (bounded queue,
-//!   flush on size or deadline) with a per-node LRU prediction cache keyed
-//!   by artifact checksum, emitting per-batch latency/cache telemetry
-//!   through `rdd-obs`;
+//!   flush on size or deadline, optional per-request deadlines shed as
+//!   typed [`ServeError::Expired`]) with a per-node LRU prediction cache
+//!   keyed by artifact checksum, emitting per-batch latency/cache
+//!   telemetry through `rdd-obs`;
+//! * [`pool`] — [`ServePool`]: N worker threads over one bounded queue
+//!   and a shared lock-partitioned [`ShardedLru`] cache, with hot
+//!   artifact swap ([`SwapCell`], [`ServePool::swap`]) that rolls a new
+//!   generation in with zero dropped requests;
 //! * [`bench`] — a closed-loop throughput bench across
-//!   {unbatched, batched} × {cold, warm};
+//!   {unbatched, batched} × {cold, warm}, single-threaded or pooled;
 //! * [`error`] — [`ServeError`] plus the crate-spanning [`RddError`] the
 //!   CLI funnels every subsystem's failures through.
 //!
@@ -39,15 +49,22 @@ pub mod bench;
 pub mod cache;
 pub mod engine;
 pub mod error;
+pub mod pool;
 pub mod quant;
+pub mod shard;
+pub mod swap;
 
 pub use artifact::{
     export_run, export_run_as, fnv1a64, write_artifact, write_artifact_as, write_ensemble,
     write_ensemble_as, Artifact, ArtifactFormat, ArtifactMeta,
 };
-pub use bench::{bench_artifact, BenchResult};
-pub use cache::LruCache;
+pub use bench::{bench_artifact, bench_artifact_pooled, BenchResult};
+pub use cache::{LruCache, ShardedLru};
 pub use engine::{
-    RollingWindow, ServeConfig, ServeEngine, ServeReply, ServeStats, DEFAULT_METRICS_WINDOW_S,
+    RollingWindow, ServeConfig, ServeEngine, ServeReply, ServeStats, ShedCause, WindowAccum,
+    DEFAULT_METRICS_WINDOW_S,
 };
 pub use error::{RddError, ServeError};
+pub use pool::{PoolConfig, PoolReport, ServePool, WorkerReport};
+pub use shard::{export_run_sharded, write_sharded, AnyArtifact, ShardedArtifact};
+pub use swap::SwapCell;

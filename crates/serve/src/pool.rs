@@ -1,0 +1,584 @@
+//! Multi-worker serving: N threads pulling micro-batches from one bounded
+//! request queue, against a hot-swappable artifact generation.
+//!
+//! This generalizes the persistent condvar worker pool from
+//! `rdd-tensor::par` to the serving tier. One `Mutex<VecDeque>` +
+//! `Condvar` queue admits requests ([`ServePool::submit`] sheds typed
+//! `QueueFull` at capacity, exactly like the single-threaded engine);
+//! each worker drains up to `batch_size` requests — waiting out the
+//! oldest request's `max_delay_ms` micro-batch window when the queue is
+//! short — and runs the same [`crate::engine`] flush core the
+//! single-threaded [`crate::ServeEngine`] uses, against a shared
+//! lock-partitioned [`ShardedLru`] row cache.
+//!
+//! Hot swap: the current predictor lives in a [`SwapCell`]; workers
+//! re-check its epoch with one atomic load per batch and pin an `Arc`
+//! clone for the batch's duration, so [`ServePool::swap`] rolls a new
+//! generation in with zero dropped requests and every reply tagged with
+//! the generation that actually served it. Cache keys carry each
+//! generation's `cache_epoch` (artifact checksum), so stale generations'
+//! rows can never alias — old epochs simply age out of the LRU.
+//!
+//! Replies stream to the caller-provided `mpsc::Sender` in completion
+//! order (batch order within a worker; interleaved across workers).
+//! Metrics: per-worker [`RollingWindow`]s plus an admission-side window,
+//! merged lock-free via histogram merge into one
+//! [`ServeMetricsSnapshot`]; [`ServePool::shutdown`] drains the queue,
+//! joins the workers, publishes per-worker latency histograms
+//! (`serve.worker<i>.request_ns`) and reports per-worker utilization.
+
+use std::collections::VecDeque;
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use rdd_models::{ConfigError, Predictor};
+use rdd_obs::{HistSnapshot, ServeMetricsSnapshot};
+
+use crate::cache::ShardedLru;
+use crate::engine::{
+    execute_batch, CachedRow, PendingRequest, RollingWindow, ServeConfig, ServeReply, ServeStats,
+    ShedCause, WindowAccum, DEFAULT_METRICS_WINDOW_S,
+};
+use crate::error::ServeError;
+use crate::swap::SwapCell;
+
+/// Pool tuning: the per-flush knobs of [`ServeConfig`] plus the worker
+/// count and metrics-window width.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PoolConfig {
+    /// Batch/queue/cache knobs, shared with the single-threaded engine.
+    pub serve: ServeConfig,
+    /// Number of serve workers (≥ 1).
+    pub workers: usize,
+    /// Seconds of history each rolling metrics window keeps.
+    pub metrics_window_s: usize,
+    /// Lock partitions for the shared row cache (≥ 1; more partitions =
+    /// less contention, coarser global LRU order).
+    pub cache_partitions: usize,
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        Self {
+            serve: ServeConfig::default(),
+            workers: 2,
+            metrics_window_s: DEFAULT_METRICS_WINDOW_S,
+            cache_partitions: 8,
+        }
+    }
+}
+
+impl PoolConfig {
+    /// Reject zero workers/partitions on top of [`ServeConfig::validate`].
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        self.serve.validate()?;
+        if self.workers < 1 {
+            return Err(ConfigError::invalid(
+                "serve.workers",
+                self.workers,
+                ">= 1 worker",
+            ));
+        }
+        if self.cache_partitions < 1 {
+            return Err(ConfigError::invalid(
+                "serve.cache_partitions",
+                self.cache_partitions,
+                ">= 1 cache partition",
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// One frozen artifact generation: the predictor plus the cache-key epoch
+/// (its artifact checksum) that keeps its rows from aliasing other
+/// generations'.
+struct Generation<P> {
+    predictor: P,
+    cache_epoch: u64,
+}
+
+struct QueueState {
+    pending: VecDeque<PendingRequest>,
+    closed: bool,
+}
+
+struct WorkerState {
+    window: RollingWindow,
+    lifetime_lat: HistSnapshot,
+    stats: ServeStats,
+    busy: Duration,
+}
+
+struct AdmissionState {
+    window: RollingWindow,
+    shed: u64,
+}
+
+struct Shared<P> {
+    cfg: ServeConfig,
+    queue: Mutex<QueueState>,
+    available: Condvar,
+    cell: SwapCell<Generation<P>>,
+    cache: Option<ShardedLru<(u64, usize), CachedRow>>,
+    admission: Mutex<AdmissionState>,
+    workers: Vec<Mutex<WorkerState>>,
+}
+
+/// Final per-worker accounting from [`ServePool::shutdown`].
+#[derive(Clone, Copy, Debug)]
+pub struct WorkerReport {
+    /// Worker index (0-based).
+    pub worker: usize,
+    /// Requests this worker answered.
+    pub requests: u64,
+    /// Batches this worker flushed.
+    pub batches: u64,
+    /// Wall time this worker spent executing batches, ms.
+    pub busy_ms: f64,
+    /// `busy_ms` over the pool's total wall time (0..=1 per worker).
+    pub utilization: f64,
+}
+
+/// Everything [`ServePool::shutdown`] hands back.
+#[derive(Clone, Debug)]
+pub struct PoolReport {
+    /// Counters merged across admission and every worker.
+    pub stats: ServeStats,
+    /// Pool lifetime, ms (construction to shutdown).
+    pub wall_ms: f64,
+    /// Per-worker breakdown, indexed by worker id.
+    pub workers: Vec<WorkerReport>,
+}
+
+/// N serve workers over one bounded queue and a hot-swappable predictor.
+pub struct ServePool<P: Predictor + Send + Sync + 'static> {
+    shared: Arc<Shared<P>>,
+    handles: Vec<JoinHandle<()>>,
+    started: Instant,
+}
+
+impl<P: Predictor + Send + Sync + 'static> ServePool<P> {
+    /// Spawn `cfg.workers` threads serving `predictor`. `cache_epoch` must
+    /// identify the frozen model (the artifact checksum). Replies stream
+    /// to `reply_tx` as workers complete batches.
+    pub fn new(
+        predictor: P,
+        cfg: PoolConfig,
+        cache_epoch: u64,
+        reply_tx: mpsc::Sender<ServeReply>,
+    ) -> Result<Self, ConfigError> {
+        cfg.validate()?;
+        let cache = (cfg.serve.cache_capacity > 0)
+            .then(|| ShardedLru::new(cfg.serve.cache_capacity, cfg.cache_partitions));
+        let shared = Arc::new(Shared {
+            cfg: cfg.serve.clone(),
+            queue: Mutex::new(QueueState {
+                pending: VecDeque::new(),
+                closed: false,
+            }),
+            available: Condvar::new(),
+            cell: SwapCell::new(Arc::new(Generation {
+                predictor,
+                cache_epoch,
+            })),
+            cache,
+            admission: Mutex::new(AdmissionState {
+                window: RollingWindow::new(cfg.metrics_window_s),
+                shed: 0,
+            }),
+            workers: (0..cfg.workers)
+                .map(|_| {
+                    Mutex::new(WorkerState {
+                        window: RollingWindow::new(cfg.metrics_window_s),
+                        lifetime_lat: HistSnapshot::new(),
+                        stats: ServeStats::default(),
+                        busy: Duration::ZERO,
+                    })
+                })
+                .collect(),
+        });
+        let handles = (0..cfg.workers)
+            .map(|idx| {
+                let shared = Arc::clone(&shared);
+                let tx = reply_tx.clone();
+                std::thread::Builder::new()
+                    .name(format!("rdd-serve-{idx}"))
+                    .spawn(move || worker_loop(&shared, idx, &tx))
+                    .expect("spawn serve worker")
+            })
+            .collect();
+        Ok(Self {
+            shared,
+            handles,
+            started: Instant::now(),
+        })
+    }
+
+    /// Number of workers serving.
+    pub fn workers(&self) -> usize {
+        self.shared.workers.len()
+    }
+
+    /// Enqueue a request (`nodes: None` = the whole graph). Unlike the
+    /// single-threaded engine, replies never come back through this call —
+    /// they stream to the pool's reply sender.
+    pub fn submit(&self, id: u64, nodes: Option<Vec<usize>>) -> Result<(), ServeError> {
+        self.submit_with_deadline(id, nodes, None)
+    }
+
+    /// [`ServePool::submit`] with an optional deadline: the dispatching
+    /// worker sheds the request with a typed [`ServeError::Expired`] reply
+    /// if the instant passes first.
+    pub fn submit_with_deadline(
+        &self,
+        id: u64,
+        nodes: Option<Vec<usize>>,
+        deadline: Option<Instant>,
+    ) -> Result<(), ServeError> {
+        let depth = {
+            let mut q = self.shared.queue.lock().unwrap();
+            if q.closed {
+                return Err(ServeError::BadRequest(
+                    "serve pool is shut down".to_string(),
+                ));
+            }
+            if q.pending.len() >= self.shared.cfg.queue_capacity {
+                drop(q);
+                let mut a = self.shared.admission.lock().unwrap();
+                a.shed += 1;
+                a.window.record_shed(ShedCause::QueueFull);
+                return Err(ServeError::QueueFull {
+                    capacity: self.shared.cfg.queue_capacity,
+                });
+            }
+            q.pending.push_back(PendingRequest {
+                id,
+                nodes,
+                enqueued: Instant::now(),
+                deadline,
+            });
+            q.pending.len()
+        };
+        self.shared.available.notify_one();
+        let mut a = self.shared.admission.lock().unwrap();
+        a.window.record_queue_depth(depth);
+        Ok(())
+    }
+
+    /// Requests currently queued (not yet claimed by a worker).
+    pub fn pending_len(&self) -> usize {
+        self.shared.queue.lock().unwrap().pending.len()
+    }
+
+    /// The current artifact generation (0 until the first swap).
+    pub fn generation(&self) -> u64 {
+        self.shared.cell.epoch()
+    }
+
+    /// Atomically publish a new predictor as the next generation and
+    /// return its generation number. In-flight batches finish on the
+    /// generation they started with; queued requests dispatch on the new
+    /// one. `cache_epoch` (the new artifact's checksum) keys the new
+    /// generation's cache rows, so the old generation's entries are dead
+    /// by key and age out of the LRU without an explicit purge.
+    pub fn swap(&self, predictor: P, cache_epoch: u64) -> u64 {
+        let generation = self.shared.cell.swap(Arc::new(Generation {
+            predictor,
+            cache_epoch,
+        }));
+        // Wake idle workers so nobody sleeps across a generation roll.
+        self.shared.available.notify_all();
+        generation
+    }
+
+    /// Live metrics merged across the admission window and every worker's
+    /// rolling window.
+    pub fn metrics(&self) -> ServeMetricsSnapshot {
+        let mut acc = WindowAccum::new();
+        self.shared
+            .admission
+            .lock()
+            .unwrap()
+            .window
+            .accumulate(&mut acc);
+        for w in &self.shared.workers {
+            w.lock().unwrap().window.accumulate(&mut acc);
+        }
+        acc.finalize()
+    }
+
+    /// Pool-lifetime counters merged across admission and every worker.
+    pub fn stats(&self) -> ServeStats {
+        let mut stats = ServeStats {
+            shed: self.shared.admission.lock().unwrap().shed,
+            ..ServeStats::default()
+        };
+        for w in &self.shared.workers {
+            stats.merge(&w.lock().unwrap().stats);
+        }
+        stats
+    }
+
+    fn close_and_join(&mut self) {
+        {
+            let mut q = self.shared.queue.lock().unwrap();
+            if q.closed && self.handles.is_empty() {
+                return;
+            }
+            q.closed = true;
+        }
+        self.shared.available.notify_all();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+
+    /// Close the queue, let the workers drain every already-admitted
+    /// request, join them, publish per-worker latency histograms as
+    /// `serve.worker<i>.request_ns` hist events, and report final
+    /// counters + per-worker utilization.
+    pub fn shutdown(mut self) -> PoolReport {
+        self.close_and_join();
+        let wall_ms = self.started.elapsed().as_secs_f64() * 1e3;
+        let mut workers = Vec::with_capacity(self.shared.workers.len());
+        for (i, w) in self.shared.workers.iter().enumerate() {
+            let w = w.lock().unwrap();
+            rdd_obs::emit_hist_snapshot(&format!("serve.worker{i}.request_ns"), &w.lifetime_lat);
+            let busy_ms = w.busy.as_secs_f64() * 1e3;
+            workers.push(WorkerReport {
+                worker: i,
+                requests: w.stats.requests,
+                batches: w.stats.batches,
+                busy_ms,
+                utilization: if wall_ms > 0.0 {
+                    busy_ms / wall_ms
+                } else {
+                    0.0
+                },
+            });
+        }
+        PoolReport {
+            stats: self.stats(),
+            wall_ms,
+            workers,
+        }
+    }
+}
+
+impl<P: Predictor + Send + Sync + 'static> Drop for ServePool<P> {
+    fn drop(&mut self) {
+        self.close_and_join();
+    }
+}
+
+fn worker_loop<P: Predictor + Send + Sync + 'static>(
+    shared: &Shared<P>,
+    idx: usize,
+    tx: &mpsc::Sender<ServeReply>,
+) {
+    let (mut generation, mut seen) = shared.cell.load();
+    let max_delay = Duration::from_millis(shared.cfg.max_delay_ms);
+    loop {
+        // Claim a batch: up to batch_size requests, flushing a short batch
+        // once the oldest claimed-nothing-yet request has waited out the
+        // micro-batch window (or the queue closed).
+        let batch = {
+            let mut q = shared.queue.lock().unwrap();
+            loop {
+                if let Some(first) = q.pending.front() {
+                    let flush_at = first.enqueued + max_delay;
+                    let now = Instant::now();
+                    if q.pending.len() >= shared.cfg.batch_size || q.closed || now >= flush_at {
+                        let take = q.pending.len().min(shared.cfg.batch_size);
+                        break Some(q.pending.drain(..take).collect::<Vec<_>>());
+                    }
+                    let (qq, _) = shared.available.wait_timeout(q, flush_at - now).unwrap();
+                    q = qq;
+                } else if q.closed {
+                    break None;
+                } else {
+                    q = shared.available.wait(q).unwrap();
+                }
+            }
+        };
+        let Some(batch) = batch else { return };
+
+        // One atomic load per batch; the lock is taken only right after a
+        // swap. The Arc stays pinned for the whole batch, so these
+        // requests finish on the generation they were dispatched with.
+        if let Some((g, e)) = shared.cell.load_if_newer(seen) {
+            generation = g;
+            seen = e;
+        }
+        let t0 = Instant::now();
+        let mut cache = shared.cache.as_ref();
+        let out = execute_batch(
+            idx,
+            &generation.predictor,
+            generation.cache_epoch,
+            seen,
+            batch,
+            &mut cache,
+        );
+        let busy = t0.elapsed();
+        {
+            let mut w = shared.workers[idx].lock().unwrap();
+            w.busy += busy;
+            w.stats.requests += out.replies.len() as u64;
+            w.stats.batches += 1;
+            w.stats.cache_hits += out.hits as u64;
+            w.stats.cache_misses += out.nodes_served.saturating_sub(out.hits) as u64;
+            w.stats.expired += out.expired as u64;
+            for _ in 0..out.expired {
+                w.window.record_shed(ShedCause::Expired);
+            }
+            for &lat_ms in &out.latencies {
+                w.window
+                    .record_request(Duration::from_secs_f64(lat_ms / 1e3));
+                w.lifetime_lat.record((lat_ms * 1e6) as u64);
+            }
+            w.window.record_cache(
+                out.hits as u64,
+                out.nodes_served.saturating_sub(out.hits) as u64,
+            );
+        }
+        for reply in out.replies {
+            // A dropped receiver is not an error worth dying for: keep
+            // draining so shutdown still completes.
+            let _ = tx.send(reply);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdd_models::{gather_prediction, PredictError, PredictRequest, Prediction};
+    use rdd_tensor::Matrix;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    /// Thread-safe fake: proba(node) = f(node, tag), counting executions.
+    struct FakePredictor {
+        proba: Matrix,
+        nodes_executed: AtomicUsize,
+    }
+
+    impl FakePredictor {
+        fn new(n: usize, k: usize, tag: usize) -> Self {
+            let mut data = Vec::with_capacity(n * k);
+            for i in 0..n {
+                for j in 0..k {
+                    data.push(((i * 31 + j * 7 + tag * 101) % 13) as f32 / 13.0 + 0.01);
+                }
+            }
+            Self {
+                proba: Matrix::from_vec(n, k, data),
+                nodes_executed: AtomicUsize::new(0),
+            }
+        }
+    }
+
+    impl Predictor for FakePredictor {
+        fn num_nodes(&self) -> usize {
+            self.proba.rows()
+        }
+        fn num_classes(&self) -> usize {
+            self.proba.cols()
+        }
+        fn predict_batch(&self, req: &PredictRequest) -> Result<Prediction, PredictError> {
+            let out = gather_prediction(&self.proba, req)?;
+            self.nodes_executed
+                .fetch_add(out.nodes.len(), Ordering::Relaxed);
+            Ok(out)
+        }
+    }
+
+    #[test]
+    fn config_rejects_zero_workers_and_partitions() {
+        let cfg = PoolConfig {
+            workers: 0,
+            ..PoolConfig::default()
+        };
+        assert_eq!(cfg.validate().unwrap_err().field, "serve.workers");
+        let cfg = PoolConfig {
+            cache_partitions: 0,
+            ..PoolConfig::default()
+        };
+        assert_eq!(cfg.validate().unwrap_err().field, "serve.cache_partitions");
+    }
+
+    #[test]
+    fn pool_serves_every_request_exactly_once() {
+        let (tx, rx) = mpsc::channel();
+        let cfg = PoolConfig {
+            serve: ServeConfig {
+                batch_size: 4,
+                max_delay_ms: 1,
+                ..ServeConfig::default()
+            },
+            workers: 3,
+            ..PoolConfig::default()
+        };
+        let pool = ServePool::new(FakePredictor::new(24, 3, 0), cfg, 0xfeed, tx).unwrap();
+        for id in 0..50u64 {
+            pool.submit(id, Some(vec![(id % 24) as usize])).unwrap();
+        }
+        let report = pool.shutdown();
+        let replies: Vec<ServeReply> = rx.into_iter().collect();
+        assert_eq!(replies.len(), 50, "every admitted request gets a reply");
+        let mut ids: Vec<u64> = replies.iter().map(|r| r.id).collect();
+        ids.sort_unstable();
+        assert_eq!(
+            ids,
+            (0..50).collect::<Vec<_>>(),
+            "no lost or duplicated ids"
+        );
+        assert_eq!(report.stats.requests, 50);
+        assert_eq!(report.workers.len(), 3);
+        let worked: u64 = report.workers.iter().map(|w| w.requests).sum();
+        assert_eq!(worked, 50);
+    }
+
+    #[test]
+    fn submit_after_shutdown_is_rejected() {
+        let (tx, _rx) = mpsc::channel();
+        let pool =
+            ServePool::new(FakePredictor::new(8, 2, 0), PoolConfig::default(), 1, tx).unwrap();
+        let shared = Arc::clone(&pool.shared);
+        drop(pool); // Drop path also closes + joins
+        let q = shared.queue.lock().unwrap();
+        assert!(q.closed);
+    }
+
+    #[test]
+    fn swap_changes_generation_for_new_requests() {
+        let (tx, rx) = mpsc::channel();
+        let cfg = PoolConfig {
+            serve: ServeConfig {
+                batch_size: 1,
+                max_delay_ms: 0,
+                cache_capacity: 0,
+                ..ServeConfig::default()
+            },
+            workers: 1,
+            ..PoolConfig::default()
+        };
+        let pool = ServePool::new(FakePredictor::new(8, 2, 0), cfg, 11, tx).unwrap();
+        assert_eq!(pool.generation(), 0);
+        pool.submit(0, Some(vec![1])).unwrap();
+        let first = rx.recv_timeout(Duration::from_secs(10)).unwrap();
+        assert_eq!(first.generation, 0);
+        let generation = pool.swap(FakePredictor::new(8, 2, 7), 22);
+        assert_eq!(generation, 1);
+        pool.submit(1, Some(vec![1])).unwrap();
+        let second = rx.recv_timeout(Duration::from_secs(10)).unwrap();
+        assert_eq!(second.generation, 1);
+        // The two generations produced different rows for the same node.
+        let a = first.result.unwrap();
+        let b = second.result.unwrap();
+        assert_ne!(a.proba.as_slice(), b.proba.as_slice());
+        pool.shutdown();
+    }
+}

@@ -1,0 +1,145 @@
+//! Hot artifact swap: an epoch-tagged atomic slot (a hand-rolled
+//! `ArcSwap` on std primitives).
+//!
+//! [`SwapCell`] holds the pool's current artifact generation behind a
+//! `Mutex<Arc<T>>` plus an `AtomicU64` epoch. Readers (serve workers) keep
+//! a cached `Arc` clone and the epoch they cloned it at; once per batch
+//! they check the epoch with a single atomic load — the lock is taken only
+//! when a swap actually happened, so the steady-state read path is
+//! lock-free. Because a worker pins its `Arc` for the whole batch,
+//! in-flight requests always finish on the generation they started on,
+//! and the old generation is freed exactly when its last pinned batch
+//! drops the `Arc`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// An atomically swappable `Arc<T>` with a monotonically increasing epoch.
+/// Epoch 0 is the value the cell was built with; every [`SwapCell::swap`]
+/// increments it.
+pub struct SwapCell<T> {
+    slot: Mutex<Arc<T>>,
+    epoch: AtomicU64,
+}
+
+impl<T> SwapCell<T> {
+    /// A cell holding `value` at epoch 0.
+    pub fn new(value: Arc<T>) -> Self {
+        Self {
+            slot: Mutex::new(value),
+            epoch: AtomicU64::new(0),
+        }
+    }
+
+    /// The current epoch (generation number). Acquire-ordered so a reader
+    /// that observes epoch `e` also observes the slot contents published
+    /// for `e`.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Clone the current value and its epoch (takes the lock).
+    pub fn load(&self) -> (Arc<T>, u64) {
+        let guard = self.slot.lock().unwrap();
+        // Read the epoch under the lock: it cannot move while we hold it,
+        // so the pair is consistent.
+        (Arc::clone(&guard), self.epoch.load(Ordering::Acquire))
+    }
+
+    /// The lock-free fast path: if the epoch still equals `seen`, return
+    /// `None` without touching the lock; otherwise clone the new value.
+    pub fn load_if_newer(&self, seen: u64) -> Option<(Arc<T>, u64)> {
+        if self.epoch.load(Ordering::Acquire) == seen {
+            return None;
+        }
+        Some(self.load())
+    }
+
+    /// Publish `value` as the next generation and return its epoch. The
+    /// epoch store is Release-ordered *after* the slot update, so any
+    /// reader observing the new epoch will read the new value.
+    pub fn swap(&self, value: Arc<T>) -> u64 {
+        let mut guard = self.slot.lock().unwrap();
+        *guard = value;
+        // fetch_add while still holding the lock: concurrent swaps cannot
+        // interleave slot and epoch updates.
+        self.epoch.fetch_add(1, Ordering::Release) + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_at_epoch_zero_and_increments_per_swap() {
+        let cell = SwapCell::new(Arc::new(10u32));
+        assert_eq!(cell.epoch(), 0);
+        let (v, e) = cell.load();
+        assert_eq!((*v, e), (10, 0));
+        assert_eq!(cell.swap(Arc::new(20)), 1);
+        assert_eq!(cell.swap(Arc::new(30)), 2);
+        let (v, e) = cell.load();
+        assert_eq!((*v, e), (30, 2));
+    }
+
+    #[test]
+    fn load_if_newer_is_none_until_a_swap() {
+        let cell = SwapCell::new(Arc::new("a"));
+        let (_, seen) = cell.load();
+        assert!(cell.load_if_newer(seen).is_none());
+        cell.swap(Arc::new("b"));
+        let (v, e) = cell.load_if_newer(seen).expect("swap must be visible");
+        assert_eq!((*v, e), ("b", 1));
+        assert!(cell.load_if_newer(e).is_none());
+    }
+
+    #[test]
+    fn pinned_arc_outlives_a_swap() {
+        let cell = SwapCell::new(Arc::new(vec![1, 2, 3]));
+        let (pinned, gen0) = cell.load();
+        cell.swap(Arc::new(vec![9]));
+        // The old generation stays alive and unchanged for its holder.
+        assert_eq!(*pinned, vec![1, 2, 3]);
+        assert_eq!(gen0, 0);
+        drop(pinned); // last reference to generation 0 frees it here
+    }
+
+    #[test]
+    fn concurrent_swappers_and_readers_see_consistent_pairs() {
+        // Each generation's value equals its epoch, so any (value, epoch)
+        // pair a reader observes must match — a torn read would not.
+        let cell = Arc::new(SwapCell::new(Arc::new(0u64)));
+        let swapper = {
+            let cell = Arc::clone(&cell);
+            std::thread::spawn(move || {
+                for i in 1..=500u64 {
+                    let e = cell.swap(Arc::new(i));
+                    assert_eq!(e, i);
+                }
+            })
+        };
+        let readers: Vec<_> = (0..3)
+            .map(|_| {
+                let cell = Arc::clone(&cell);
+                std::thread::spawn(move || {
+                    let mut seen = u64::MAX; // force a first load
+                    let mut last = 0u64;
+                    for _ in 0..2000 {
+                        if let Some((v, e)) = cell.load_if_newer(seen) {
+                            assert_eq!(*v, e, "value and epoch published together");
+                            assert!(e >= last, "epochs are monotonic");
+                            last = e;
+                            seen = e;
+                        }
+                    }
+                })
+            })
+            .collect();
+        swapper.join().unwrap();
+        for r in readers {
+            r.join().unwrap();
+        }
+        assert_eq!(cell.epoch(), 500);
+    }
+}

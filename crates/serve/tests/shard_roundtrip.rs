@@ -1,0 +1,198 @@
+//! Sharded-artifact round trips over real ensembles: for a sweep of
+//! (nodes, shards) splits, every node must route to exactly one shard and
+//! the composed shard set must reproduce the unsharded artifact bitwise —
+//! in v1 and v2q — while damaged shard sets fail loudly, not wrongly.
+
+use std::path::PathBuf;
+
+use rdd_core::Ensemble;
+use rdd_models::{PredictRequest, Predictor};
+use rdd_serve::{
+    fnv1a64, write_sharded, AnyArtifact, Artifact, ArtifactFormat, ServeError, ShardedArtifact,
+};
+use rdd_tensor::Matrix;
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("rdd_shard_rt_{name}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    dir
+}
+
+fn fixture_ensemble(n: usize, k: usize) -> Ensemble {
+    let mut ensemble = Ensemble::new();
+    for t in 0..2usize {
+        let data: Vec<f32> = (0..n * k)
+            .map(|i| (((i * 31 + t * 89) % 23) as f32 / 5.0) - 2.0)
+            .collect();
+        let logits = Matrix::from_vec(n, k, data);
+        ensemble.push(logits.softmax_rows(), logits, 0.8 + t as f32 * 0.4);
+    }
+    ensemble
+}
+
+/// Write both the unsharded and the sharded export of one ensemble and
+/// load them back.
+fn exports(
+    dir: &std::path::Path,
+    ensemble: &Ensemble,
+    format: ArtifactFormat,
+    shards: usize,
+) -> (Artifact, ShardedArtifact) {
+    let single_path = dir.join("single.artifact");
+    rdd_serve::write_ensemble_as(&single_path, ensemble, "fixture", "shard-test", format)
+        .expect("write single");
+    let single = Artifact::load(&single_path).expect("load single");
+    let manifest_path = dir.join("sharded.artifact");
+    write_sharded(
+        &manifest_path,
+        single.meta(),
+        single.proba_sum(),
+        single.logits_sum(),
+        format,
+        shards,
+    )
+    .expect("write sharded");
+    let sharded = ShardedArtifact::load(&manifest_path).expect("load sharded");
+    (single, sharded)
+}
+
+#[test]
+fn every_split_routes_each_node_to_exactly_one_shard_and_composes_bitwise() {
+    for &(n, shards) in &[(7usize, 2usize), (24, 3), (24, 5), (30, 7), (16, 16)] {
+        let dir = tmp_dir(&format!("prop_{n}_{shards}"));
+        let ensemble = fixture_ensemble(n, 4);
+        for format in [ArtifactFormat::V1, ArtifactFormat::V2q] {
+            let (single, sharded) = exports(&dir, &ensemble, format, shards);
+            assert_eq!(sharded.num_shards(), shards);
+
+            // Routing: walking the nodes in order must visit the shards
+            // in order, restart the offset at each boundary, and advance
+            // it by one inside a shard — together that pins every node to
+            // exactly one (shard, row) slot with exact coverage.
+            let mut per_shard = vec![0usize; shards];
+            let mut prev: Option<(usize, usize)> = None;
+            for node in 0..n {
+                let (shard, offset) = sharded.route(node).expect("route");
+                assert!(shard < shards, "n {n} shards {shards} node {node}");
+                match prev {
+                    None => assert_eq!((shard, offset), (0, 0), "node 0 opens shard 0"),
+                    Some((ps, po)) if shard == ps => {
+                        assert_eq!(offset, po + 1, "offset advances within a shard")
+                    }
+                    Some((ps, _)) => {
+                        assert_eq!(shard, ps + 1, "shards visited in order");
+                        assert_eq!(offset, 0, "new shard starts at offset 0");
+                    }
+                }
+                prev = Some((shard, offset));
+                per_shard[shard] += 1;
+            }
+            assert_eq!(per_shard.iter().sum::<usize>(), n);
+            assert!(per_shard.iter().all(|&c| c > 0), "no empty shard");
+            assert!(sharded.route(n).is_err(), "out of range rejected");
+
+            // Whole graph plus a cross-boundary subset with duplicates:
+            // composed rows bitwise equal to the single-file artifact.
+            let requests = [
+                PredictRequest::all(),
+                PredictRequest::nodes(vec![0, n - 1, n / 2, 0, n - 1]),
+            ];
+            for req in &requests {
+                let a = single.predict_batch(req).expect("single");
+                let b = sharded.predict_batch(req).expect("sharded");
+                assert_eq!(a.nodes, b.nodes);
+                assert_eq!(a.pred, b.pred);
+                for i in 0..a.proba.rows() {
+                    for (x, y) in a.proba.row(i).iter().zip(b.proba.row(i)) {
+                        assert_eq!(
+                            x.to_bits(),
+                            y.to_bits(),
+                            "n {n} shards {shards} {format:?} row {i}"
+                        );
+                    }
+                }
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn any_artifact_sniffs_both_kinds_behind_one_loader() {
+    let dir = tmp_dir("sniff");
+    let ensemble = fixture_ensemble(12, 3);
+    let (single, sharded) = exports(&dir, &ensemble, ArtifactFormat::V1, 3);
+
+    let any_single = AnyArtifact::load(&dir.join("single.artifact")).expect("sniff single");
+    let any_sharded = AnyArtifact::load(&dir.join("sharded.artifact")).expect("sniff sharded");
+    assert_eq!(any_single.num_shards(), 1);
+    assert_eq!(any_sharded.num_shards(), 3);
+    assert_eq!(any_single.checksum(), single.checksum());
+    assert_eq!(any_sharded.checksum(), sharded.checksum());
+
+    // Composed sums from the sharded view are bitwise the single export's.
+    let stacked = any_sharded.proba_sum();
+    for (a, b) in single.proba_sum().as_slice().iter().zip(stacked.as_slice()) {
+        assert_eq!(a.to_bits(), b.to_bits(), "stacked proba_sum");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn missing_or_tampered_shard_files_fail_loudly() {
+    let dir = tmp_dir("damage");
+    let ensemble = fixture_ensemble(15, 3);
+    let (_, _) = exports(&dir, &ensemble, ArtifactFormat::V1, 3);
+    let manifest = dir.join("sharded.artifact");
+
+    // Tamper one shard file: its own checksum-first validation trips.
+    let shard_path = dir.join("sharded.artifact.shard1");
+    let pristine = std::fs::read_to_string(&shard_path).expect("read shard");
+    std::fs::write(&shard_path, pristine.replace("matrix", "m4trix")).expect("tamper");
+    match ShardedArtifact::load(&manifest) {
+        Err(ServeError::Checksum { .. }) | Err(ServeError::Artifact(_)) => {}
+        other => panic!("tampered shard must fail checksum-first, got {other:?}"),
+    }
+    std::fs::write(&shard_path, pristine).expect("restore");
+    ShardedArtifact::load(&manifest).expect("restored set loads again");
+
+    // Delete a shard file: composition must fail, not serve partial data.
+    std::fs::remove_file(&shard_path).expect("remove");
+    assert!(
+        ShardedArtifact::load(&manifest).is_err(),
+        "missing shard file must fail the load"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn manifest_structural_damage_is_rejected_after_rechecksum() {
+    let dir = tmp_dir("structure");
+    let ensemble = fixture_ensemble(12, 3);
+    let (_, _) = exports(&dir, &ensemble, ArtifactFormat::V1, 3);
+    let manifest = dir.join("sharded.artifact");
+    let text = std::fs::read_to_string(&manifest).expect("read");
+
+    // Drop the middle shard line and re-checksum so only the structural
+    // validation (gap in node coverage) can catch it.
+    let mutated: String = text
+        .lines()
+        .filter(|l| !l.starts_with("shard 1 "))
+        .map(|l| format!("{l}\n"))
+        .collect();
+    let body_end = mutated.rfind("\nchecksum ").expect("checksum line") + 1;
+    let checksum = fnv1a64(mutated[..body_end].as_bytes());
+    let mutated = format!("{}checksum {checksum:016x}\n", &mutated[..body_end]);
+    std::fs::write(&manifest, mutated).expect("write");
+    match ShardedArtifact::load(&manifest) {
+        Err(ServeError::Artifact(msg)) => {
+            assert!(
+                msg.contains("gap") || msg.contains("sequential") || msg.contains("shard"),
+                "structural error should name the shard problem: {msg}"
+            );
+        }
+        other => panic!("gapped manifest must be rejected, got {other:?}"),
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -18,7 +18,8 @@
 //! baseline JSON written by `--write-baseline`. Tracked metrics are
 //! `wall_ms`, per-kernel `<name>.ms_per_call` / `<name>.self_ms_per_call`,
 //! and (when the trace served requests) the final heartbeat's
-//! `serve.p50_ms` / `serve.p99_ms`.
+//! `serve.p50_ms` / `serve.p99_ms` plus `serve.ms_per_request` from the
+//! final `serve_run` event.
 //!
 //! A metric regresses when `current > baseline * (1 + tol/100)` AND
 //! `current - baseline > floor_ms`; the absolute floor keeps sub-noise
@@ -61,6 +62,17 @@ fn metrics_from_summary(s: &TraceSummary) -> Vec<(String, f64)> {
         for key in ["p50_ms", "p99_ms"] {
             if let Some(v) = beat.get(key).and_then(Json::as_f64) {
                 out.push((format!("serve.{key}"), v));
+            }
+        }
+    }
+    // Serve efficiency: wall ms per answered request over the last serve
+    // session — the column the multi-worker scaling curve moves.
+    if let Some(run) = s.serve_runs.last() {
+        let wall = run.get("wall_ms").and_then(Json::as_f64);
+        let requests = run.get("requests").and_then(Json::as_f64);
+        if let (Some(wall), Some(requests)) = (wall, requests) {
+            if requests > 0.0 {
+                out.push(("serve.ms_per_request".to_string(), wall / requests));
             }
         }
     }

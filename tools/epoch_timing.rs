@@ -34,7 +34,7 @@ use std::time::Instant;
 
 use rdd_core::{RddConfig, RddTrainer};
 use rdd_graph::{Dataset, SynthConfig};
-use rdd_models::{predict_proba, Gcn, GcnConfig, GraphContext, Model};
+use rdd_models::{Gcn, GcnConfig, GraphContext, Model, PredictorExt};
 use rdd_tensor::{seeded_rng, Tape};
 
 #[cfg(seed_build)]
@@ -60,7 +60,7 @@ fn stage_timings(data: &Dataset, epochs: usize) -> (f64, f64, f64) {
     let teacher = {
         let mut trng = seeded_rng(2);
         let m2 = Gcn::new(&ctx, GcnConfig::citation(), &mut trng);
-        predict_proba(&m2, &ctx)
+        m2.predictor(&ctx).proba()
     };
     let teacher_rc = Rc::new(teacher.clone());
     let labels_rc = Rc::new(data.labels.clone());

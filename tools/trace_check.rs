@@ -60,7 +60,7 @@ fn main() {
         match TraceSummary::parse(&src) {
             Ok(summary) => println!(
                 "{path}: ok — {} events ({} epoch, {} member, {} run, {} kernel, \
-                 {} hist, {} span_parent, {} serve_metrics, {} env_warn, {} warning)",
+                 {} hist, {} span_parent, {} serve_metrics, {} swap, {} env_warn, {} warning)",
                 summary.total_events,
                 summary.epochs.len(),
                 summary.members.len(),
@@ -69,6 +69,7 @@ fn main() {
                 summary.hists.len(),
                 summary.span_edges.len(),
                 summary.serve_metrics.len(),
+                summary.swaps.len(),
                 summary.env_warns.len(),
                 summary.warnings.len(),
             ),
