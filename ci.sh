@@ -232,4 +232,117 @@ grep -q '"ev":"swap"' "$SWAP_DIR/swap.jsonl" \
 $RDD trace-summary "$SWAP_DIR/swap.jsonl" | grep -q "Swap:" \
   || { echo "hot-swap gate: trace-summary missing swap line" >&2; exit 1; }
 
+echo "==> serve chaos gate (injected panics: every request answered, bitwise, supervision in trace)"
+# Panics injected into the worker loop and the batch kernel must be
+# supervised: the claimed batch is requeued, the worker respawned, and the
+# stream finishes with every request answered and rows bitwise identical
+# to the offline ensemble. Both panic and respawn must reach the trace.
+CHAOS_DIR="$GUARD_DIR/chaos"
+mkdir -p "$CHAOS_DIR"
+for site in serve_worker serve_batch; do
+  RDD_FAULT="panic@$site:0x2" RDD_TRACE="$CHAOS_DIR/$site.jsonl" $RDD serve \
+    --artifact "$SERVE_DIR/model.artifact" --workers 2 --batch 16 \
+    --proba-out "$CHAOS_DIR/$site.proba" \
+    < "$SERVE_DIR/requests.jsonl" > "$CHAOS_DIR/$site.replies.jsonl" 2>/dev/null \
+    || { echo "chaos gate: serve exited non-zero under panic@$site" >&2; exit 1; }
+  REPLIES="$(wc -l < "$CHAOS_DIR/$site.replies.jsonl")"
+  [ "$REPLIES" -eq "$NODES" ] \
+    || { echo "chaos gate: $REPLIES replies for $NODES requests under panic@$site" >&2; exit 1; }
+  if grep -q '"error"' "$CHAOS_DIR/$site.replies.jsonl"; then
+    echo "chaos gate: error replies under panic@$site (retry budget should absorb it)" >&2; exit 1
+  fi
+  cmp "$SERVE_DIR/offline.proba" "$CHAOS_DIR/$site.proba" \
+    || { echo "chaos gate: rows diverged from offline ensemble under panic@$site" >&2; exit 1; }
+  grep -q '"ev":"worker_panic"' "$CHAOS_DIR/$site.jsonl" \
+    || { echo "chaos gate: no worker_panic event under panic@$site" >&2; exit 1; }
+  grep -q '"ev":"worker_respawn"' "$CHAOS_DIR/$site.jsonl" \
+    || { echo "chaos gate: no worker_respawn event under panic@$site" >&2; exit 1; }
+  target/trace_check "$CHAOS_DIR/$site.jsonl"
+done
+# A corrupt shard must be detected at load time as a typed error, never
+# served silently.
+if RDD_FAULT=corrupt@shard_load:0 $RDD serve --artifact "$SERVE_DIR/model.sharded" \
+  --batch 16 < "$SERVE_DIR/requests.jsonl" >/dev/null 2> "$CHAOS_DIR/corrupt.err"; then
+  echo "chaos gate: corrupt shard served without complaint" >&2; exit 1
+fi
+grep -qi "corrupt" "$CHAOS_DIR/corrupt.err" \
+  || { echo "chaos gate: corrupt shard error message missing" >&2; exit 1; }
+
+echo "==> swap-rollback gate (io_fail@swap_load: old generation stays live, retry recovers)"
+# The watcher's first replacement load fails with an injected I/O error:
+# the pool must keep the current generation live (swap_failed in the
+# trace, rollback note on stderr), then the backoff retry loads the same
+# file successfully and the swap lands. Every request is still answered.
+ROLL_DIR="$GUARD_DIR/rollback"
+mkdir -p "$ROLL_DIR"
+cp "$SERVE_DIR/model.artifact" "$ROLL_DIR/watch.artifact"
+mkfifo "$ROLL_DIR/reqs.fifo"
+RDD_FAULT=io_fail@swap_load:0x1 RDD_TRACE="$ROLL_DIR/roll.jsonl" $RDD serve \
+  --artifact "$ROLL_DIR/watch.artifact" --workers 2 --batch 16 --watch-artifact \
+  --served-out "$ROLL_DIR/served_gen.txt" \
+  < "$ROLL_DIR/reqs.fifo" > "$ROLL_DIR/replies.jsonl" 2> "$ROLL_DIR/serve.err" &
+ROLL_PID=$!
+exec 4> "$ROLL_DIR/reqs.fifo"
+head -n "$HALF" "$SERVE_DIR/requests.jsonl" >&4
+for _ in $(seq 1 100); do
+  [ "$(wc -l < "$ROLL_DIR/replies.jsonl")" -ge "$HALF" ] && break
+  sleep 0.1
+done
+cp "$SWAP_DIR/b.artifact" "$ROLL_DIR/watch.artifact"
+for _ in $(seq 1 100); do
+  grep -q "swapped" "$ROLL_DIR/serve.err" && break
+  sleep 0.1
+done
+grep -q "swapped" "$ROLL_DIR/serve.err" \
+  || { echo "swap-rollback gate: retry never landed the swap" >&2; kill "$ROLL_PID"; exit 1; }
+grep -q "retrying in" "$ROLL_DIR/serve.err" \
+  || { echo "swap-rollback gate: no rollback note for the failed load" >&2; kill "$ROLL_PID"; exit 1; }
+tail -n +"$((HALF + 1))" "$SERVE_DIR/requests.jsonl" >&4
+exec 4>&-
+wait "$ROLL_PID" || { echo "swap-rollback gate: serve exited non-zero" >&2; exit 1; }
+REPLIES="$(wc -l < "$ROLL_DIR/replies.jsonl")"
+[ "$REPLIES" -eq "$NODES" ] \
+  || { echo "swap-rollback gate: $REPLIES replies for $NODES requests" >&2; exit 1; }
+if grep -q '"error"' "$ROLL_DIR/replies.jsonl"; then
+  echo "swap-rollback gate: error replies during rollback" >&2; exit 1
+fi
+GENS="$(awk '{ print $1 }' "$ROLL_DIR/served_gen.txt" | sort -u | tr '\n' ' ')"
+[ "$GENS" = "0 1 " ] \
+  || { echo "swap-rollback gate: expected generations 0 and 1, saw: $GENS" >&2; exit 1; }
+grep -q '"ev":"swap_failed"' "$ROLL_DIR/roll.jsonl" \
+  || { echo "swap-rollback gate: no swap_failed event in trace" >&2; exit 1; }
+grep -q '"ev":"swap"' "$ROLL_DIR/roll.jsonl" \
+  || { echo "swap-rollback gate: no swap event after recovery" >&2; exit 1; }
+target/trace_check "$ROLL_DIR/roll.jsonl"
+
+echo "==> breaker smoke (slow batches trip the breaker open, probes close it)"
+# A paced request stream against an injected-slow batch kernel must trip
+# the circuit breaker open (typed Overloaded rejections), half-open after
+# the cooldown, and close once probes come back fast. Every request still
+# gets exactly one reply, and the state transitions reach the trace.
+BRK_DIR="$GUARD_DIR/breaker"
+mkdir -p "$BRK_DIR"
+awk -v n="$NODES" 'BEGIN { for (i = 0; i < 400; i++) printf "{\"id\":%d,\"nodes\":[%d]}\n", i, i % n }' \
+  > "$BRK_DIR/requests.jsonl"
+while IFS= read -r line; do printf '%s\n' "$line"; sleep 0.01; done < "$BRK_DIR/requests.jsonl" \
+  | RDD_FAULT=slow@serve_batch:0x20 RDD_TRACE="$BRK_DIR/breaker.jsonl" $RDD serve \
+      --artifact "$SERVE_DIR/model.artifact" --workers 2 --batch 4 \
+      --breaker-p99-ms 5 --metrics-every 1 \
+      > "$BRK_DIR/replies.jsonl" 2> "$BRK_DIR/serve.err" \
+  || { echo "breaker smoke: serve exited non-zero" >&2; exit 1; }
+REPLIES="$(wc -l < "$BRK_DIR/replies.jsonl")"
+[ "$REPLIES" -eq 400 ] \
+  || { echo "breaker smoke: $REPLIES replies for 400 requests" >&2; exit 1; }
+grep -q '"state":"open","from":"closed"' "$BRK_DIR/breaker.jsonl" \
+  || { echo "breaker smoke: breaker never tripped open" >&2; exit 1; }
+grep -q '"state":"half_open"' "$BRK_DIR/breaker.jsonl" \
+  || { echo "breaker smoke: breaker never half-opened" >&2; exit 1; }
+grep -q '"state":"closed","from":"half_open"' "$BRK_DIR/breaker.jsonl" \
+  || { echo "breaker smoke: breaker never closed after recovery" >&2; exit 1; }
+grep -q "overloaded" "$BRK_DIR/replies.jsonl" \
+  || { echo "breaker smoke: no typed Overloaded rejections while open" >&2; exit 1; }
+$RDD trace-summary "$BRK_DIR/breaker.jsonl" | grep -q "Breaker:" \
+  || { echo "breaker smoke: trace-summary missing Breaker lines" >&2; exit 1; }
+target/trace_check "$BRK_DIR/breaker.jsonl"
+
 echo "ci.sh: all gates passed"

@@ -21,8 +21,8 @@ use rdd_models::{
 use rdd_obs::Json;
 use rdd_serve::{
     bench_artifact, bench_artifact_pooled, export_run_as, export_run_sharded, quant, AnyArtifact,
-    Artifact, ArtifactFormat, PoolConfig, RddError, ServeConfig, ServeEngine, ServePool,
-    ServeReply,
+    Artifact, ArtifactFormat, ArtifactWatcher, BreakerConfig, PoolConfig, RddError, ServeConfig,
+    ServeEngine, ServePool, ServeReply, WatchOutcome,
 };
 use rdd_tensor::{seeded_rng, Matrix};
 
@@ -752,7 +752,8 @@ pub fn serve(args: &Args) -> Result<(), RddError> {
         RddError::Cli(
             "usage: rdd serve --artifact <path> [--workers N] [--batch N] [--delay-ms N] \
              [--cache N] [--queue N] [--deadline-ms MS] [--watch-artifact] \
-             [--metrics-every SECS] [--proba-out <file>] [--served-out <file>]"
+             [--breaker-p99-ms MS] [--metrics-every SECS] [--proba-out <file>] \
+             [--served-out <file>]"
                 .into(),
         )
     })?;
@@ -766,6 +767,19 @@ pub fn serve(args: &Args) -> Result<(), RddError> {
     };
     let workers: usize = args.get_or("workers", 1)?;
     let watch = args.has_flag("watch-artifact");
+    // `--breaker-p99-ms` arms the overload circuit breaker (and forces
+    // the pooled path, which owns the breaker).
+    let breaker_p99_ms: Option<f64> = match args.options.get("breaker-p99-ms") {
+        None => None,
+        Some(v) => match v.parse::<f64>() {
+            Ok(ms) if ms.is_finite() && ms > 0.0 => Some(ms),
+            _ => {
+                return Err(RddError::Cli(format!(
+                    "--breaker-p99-ms needs a positive number of milliseconds, got {v:?}"
+                )))
+            }
+        },
+    };
     let default_deadline_ms: Option<f64> = match args.options.get("deadline-ms") {
         None => None,
         Some(v) => match v.parse::<f64>() {
@@ -791,7 +805,12 @@ pub fn serve(args: &Args) -> Result<(), RddError> {
         cfg.max_delay_ms,
         cfg.cache_capacity,
         workers,
-        if watch { ", watching artifact" } else { "" },
+        match (watch, breaker_p99_ms) {
+            (true, Some(_)) => ", watching artifact, breaker armed",
+            (true, None) => ", watching artifact",
+            (false, Some(_)) => ", breaker armed",
+            (false, None) => "",
+        },
     );
     // Heartbeat cadence: `--metrics-every SECS` wins, `RDD_METRICS_EVERY`
     // is the fallback, 0/unset disables the heartbeat.
@@ -817,7 +836,7 @@ pub fn serve(args: &Args) -> Result<(), RddError> {
         }
     });
 
-    let result = if workers <= 1 && !watch {
+    let result = if workers <= 1 && !watch && breaker_p99_ms.is_none() {
         serve_single(args, artifact, cfg, metrics_every, default_deadline_ms, rx)
     } else {
         serve_pooled(
@@ -828,6 +847,7 @@ pub fn serve(args: &Args) -> Result<(), RddError> {
             workers.max(1),
             metrics_every,
             default_deadline_ms,
+            breaker_p99_ms,
             rx,
         )
     };
@@ -974,6 +994,8 @@ fn serve_single(
         stats.cache_misses,
         stats.shed,
         stats.expired,
+        stats.failed,
+        stats.rejected,
         started.elapsed().as_secs_f64() * 1e3,
     );
     eprintln!(
@@ -987,14 +1009,12 @@ fn serve_single(
     sink.finish(args)
 }
 
-/// Modified-time of the watched artifact path, if stat succeeds.
-fn artifact_mtime(path: &str) -> Option<std::time::SystemTime> {
-    std::fs::metadata(path).and_then(|m| m.modified()).ok()
-}
-
-/// The multi-worker serve loop: requests fan out to a [`ServePool`], a
-/// writer thread streams replies back as workers complete batches, and
-/// `--watch-artifact` polls the artifact path for hot swaps.
+/// The multi-worker serve loop: requests fan out to a [`ServePool`] of
+/// supervised workers, a writer thread streams replies back as workers
+/// complete batches, `--watch-artifact` polls the artifact path through an
+/// [`ArtifactWatcher`] (full load + validation before the swap, rollback
+/// with exponential backoff on failure), and `--breaker-p99-ms` arms the
+/// overload circuit breaker at admission.
 #[allow(clippy::too_many_arguments)]
 fn serve_pooled(
     args: &Args,
@@ -1004,16 +1024,18 @@ fn serve_pooled(
     workers: usize,
     metrics_every: u64,
     default_deadline_ms: Option<f64>,
+    breaker_p99_ms: Option<f64>,
     rx: std::sync::mpsc::Receiver<String>,
 ) -> Result<(), RddError> {
     use std::io::Write as _;
     use std::sync::mpsc;
 
     let watch = args.has_flag("watch-artifact");
-    let mut current_checksum = artifact.checksum();
+    let current_checksum = artifact.checksum();
     let mut pool_cfg = PoolConfig {
         serve: cfg,
         workers,
+        breaker: breaker_p99_ms.map(BreakerConfig::with_p99_ms),
         ..PoolConfig::default()
     };
     if metrics_every > 0 {
@@ -1054,17 +1076,14 @@ fn serve_pooled(
             .map_err(|e| RddError::Cli(format!("stdout flush failed: {e}")))
     };
 
-    const WATCH_POLL: Duration = Duration::from_millis(200);
     let started = Instant::now();
     let mut next_id: u64 = 0;
     let mut next_beat =
         (metrics_every > 0).then(|| Instant::now() + Duration::from_secs(metrics_every));
-    let mut next_poll = watch.then(|| Instant::now() + WATCH_POLL);
-    // Start unset so the first poll re-reads the file: the artifact may
-    // have been replaced between our load and now, and the checksum check
-    // below already suppresses no-op swaps.
-    let mut last_mtime: Option<std::time::SystemTime> = None;
-    let mut warned_mtime: Option<std::time::SystemTime> = None;
+    // The watcher's first poll is always due and always re-reads the file:
+    // the artifact may have been replaced between our load and now, and
+    // its checksum tracking already suppresses no-op swaps.
+    let mut watcher = watch.then(|| ArtifactWatcher::new(artifact_path, current_checksum));
     loop {
         if let Some(beat) = next_beat {
             if Instant::now() >= beat {
@@ -1074,41 +1093,59 @@ fn serve_pooled(
                 next_beat = Some(Instant::now() + Duration::from_secs(metrics_every));
             }
         }
-        if let Some(poll) = next_poll {
-            if Instant::now() >= poll {
-                let mtime = artifact_mtime(artifact_path);
-                if mtime.is_some() && mtime != last_mtime {
-                    match AnyArtifact::load(Path::new(artifact_path)) {
-                        Ok(next) => {
-                            last_mtime = mtime;
-                            warned_mtime = None;
-                            let checksum = next.checksum();
-                            if checksum != current_checksum {
-                                current_checksum = checksum;
-                                let generation = pool.swap(next, checksum);
-                                rdd_obs::emit_swap(generation, checksum, artifact_path);
-                                eprintln!(
-                                    "swapped {artifact_path} in as generation {generation} \
-                                     (checksum {checksum:016x})"
-                                );
-                            }
+        if let Some(w) = watcher.as_mut() {
+            match w.poll(Instant::now()) {
+                WatchOutcome::Pending | WatchOutcome::Unchanged => {}
+                WatchOutcome::Loaded(next) => {
+                    // Fully loaded and validated; the pool still gets the
+                    // final say (shape checks) before it goes live.
+                    let checksum = next.checksum();
+                    match pool.try_swap(*next, checksum) {
+                        Ok(generation) => {
+                            w.installed(checksum);
+                            rdd_obs::emit_swap(generation, checksum, artifact_path);
+                            eprintln!(
+                                "swapped {artifact_path} in as generation {generation} \
+                                 (checksum {checksum:016x})"
+                            );
                         }
                         Err(e) => {
-                            // Likely a non-atomic copy still in flight: warn
-                            // once per mtime, keep serving the old
-                            // generation, retry next poll.
-                            if warned_mtime != mtime {
-                                warned_mtime = mtime;
-                                eprintln!("watch: cannot load {artifact_path} yet ({e}); retrying");
-                            }
+                            rdd_obs::emit_swap_failed(
+                                artifact_path,
+                                &e.to_string(),
+                                w.failures(),
+                                ArtifactWatcher::DEFAULT_POLL.as_millis() as u64,
+                            );
+                            eprintln!(
+                                "watch: replacement rejected, keeping generation {} live ({e})",
+                                pool.generation()
+                            );
                         }
                     }
                 }
-                next_poll = Some(Instant::now() + WATCH_POLL);
+                WatchOutcome::Failed {
+                    error,
+                    failures,
+                    backoff_ms,
+                } => {
+                    // Broken or mid-copy replacement: the current
+                    // generation stays live, the poll backs off.
+                    rdd_obs::emit_swap_failed(
+                        artifact_path,
+                        &error.to_string(),
+                        failures,
+                        backoff_ms,
+                    );
+                    eprintln!(
+                        "watch: cannot load {artifact_path} ({error}); keeping current \
+                         generation, retrying in {backoff_ms} ms (failure {failures})"
+                    );
+                }
             }
         }
         // Workers flush their own micro-batch deadlines; the admission
         // loop only wakes for heartbeats and watch polls.
+        let next_poll = watcher.as_ref().and_then(|w| w.next_poll());
         let wake = match (next_beat, next_poll) {
             (Some(a), Some(b)) => Some(a.min(b)),
             (a, b) => a.or(b),
@@ -1171,25 +1208,34 @@ fn serve_pooled(
         stats.cache_misses,
         stats.shed,
         stats.expired,
+        stats.failed,
+        stats.rejected,
         started.elapsed().as_secs_f64() * 1e3,
     );
     eprintln!(
-        "served {} requests in {} batches across {} workers (cache hit rate {:.1}%, shed {}, expired {})",
+        "served {} requests in {} batches across {} workers (cache hit rate {:.1}%, \
+         shed {}, expired {}, failed {}, rejected {}, breaker trips {})",
         stats.requests,
         stats.batches,
         report.workers.len(),
         100.0 * stats.hit_rate(),
         stats.shed,
-        stats.expired
+        stats.expired,
+        stats.failed,
+        stats.rejected,
+        report.breaker_trips
     );
     for w in &report.workers {
         eprintln!(
-            "  worker {}: {} requests in {} batches, busy {:.1}ms ({:.1}% utilization)",
+            "  worker {}: {} requests in {} batches, busy {:.1}ms ({:.1}% utilization), \
+             {} panic(s), {} respawn(s)",
             w.worker,
             w.requests,
             w.batches,
             w.busy_ms,
-            100.0 * w.utilization
+            100.0 * w.utilization,
+            w.panics,
+            w.respawns
         );
     }
     sink.finish(args)

@@ -40,7 +40,7 @@ const USAGE: &str = "usage:
   rdd export <run-dir> <artifact> [--quantize int8] [--shards K]
   rdd artifact-info <artifact> [--proba-out <file>] [--reference <artifact>] [--assert-max-ulp N]
   rdd serve --artifact <path> [--workers N] [--batch N] [--delay-ms N] [--cache N] [--queue N]
-            [--deadline-ms MS] [--watch-artifact] [--metrics-every SECS]
+            [--deadline-ms MS] [--watch-artifact] [--breaker-p99-ms MS] [--metrics-every SECS]
             [--proba-out <file>] [--served-out <file>]
   rdd serve-bench <preset|dir> [--models N] [--requests N] [--workers N] [--out FILE] [--artifact FILE]
 
@@ -48,7 +48,9 @@ presets: cora, citeseer, pubmed, nell, tiny
 env: RDD_TRACE=<path|stderr|off> structured telemetry sink, RDD_THREADS=N worker pool size,
      RDD_SIMD=<auto|off|sse2|avx2> kernel tier (default auto: best the host supports),
      RDD_METRICS_EVERY=N serve heartbeat seconds (same as --metrics-every),
-     RDD_FAULT=<kind>@<site>:<n> deterministic fault injection (nan_loss@epoch, io_fail@ckpt, panic@member)";
+     RDD_FAULT=<kind>@<site>:<n>[x<k>] deterministic fault injection (nan_loss@epoch, io_fail@ckpt,
+       panic@member, panic@serve_worker, panic@serve_batch, slow@serve_batch, io_fail@swap_load,
+       corrupt@shard_load; :<n>x<k> fires on k consecutive passes)";
 
 fn main() {
     let args = match Args::parse(std::env::args().skip(1)) {

@@ -1,7 +1,11 @@
-//! Deterministic fault injection for exercising the crash-safe run paths.
+//! Deterministic fault injection for exercising the crash-safe run and
+//! serve paths.
 //!
 //! A fault is described as `<kind>@<site>:<n>` — the *n*-th time (0-indexed)
-//! execution passes the named site, the fault fires exactly once:
+//! execution passes the named site, the fault fires exactly once. An
+//! optional repeat count `<kind>@<site>:<n>x<k>` fires on the `k`
+//! consecutive passes `n..n+k` instead (chaos tests that must survive more
+//! than one hit per process):
 //!
 //! - `nan_loss@epoch:7` — the 8th epoch attempt reports a non-finite loss,
 //!   exercising the divergence guard's rollback path.
@@ -9,6 +13,12 @@
 //!   injected I/O error, killing a crash-safe run mid-persist.
 //! - `panic@member:1` — member 1's training panics, exercising the
 //!   `catch_unwind` isolation and `rdd resume`.
+//! - `panic@serve_worker:0x2` — the first two batches claimed by serve-pool
+//!   workers panic, exercising worker supervision (requeue + respawn).
+//! - `io_fail@swap_load` / `corrupt@shard_load` — a watched-artifact reload
+//!   or sharded-artifact shard load fails, exercising swap rollback.
+//! - `slow@serve_batch:0x50` — the first 50 served batches stall, tripping
+//!   the overload circuit breaker.
 //!
 //! The spec comes from the `RDD_FAULT` environment variable, read once per
 //! process (latched, like `RDD_TRACE` / `RDD_WORKSPACE`); tests inject
@@ -33,17 +43,27 @@ pub enum FaultKind {
     NanLoss,
     /// An atomic checkpoint write returns an injected `io::Error`.
     IoFail,
-    /// The site panics (caught by the crash-safe member isolation).
+    /// The site panics (caught by the crash-safe member isolation or the
+    /// serve-pool worker supervisor).
     Panic,
+    /// The site sees deliberately corrupted content (e.g. a shard load
+    /// returns a typed artifact-corruption error).
+    Corrupt,
+    /// The site stalls long enough to blow a latency SLO (serve-path chaos
+    /// for the overload circuit breaker).
+    Slow,
 }
 
 impl FaultKind {
-    /// Spec-string name of the kind (`nan_loss` / `io_fail` / `panic`).
+    /// Spec-string name of the kind
+    /// (`nan_loss` / `io_fail` / `panic` / `corrupt` / `slow`).
     pub fn as_str(self) -> &'static str {
         match self {
             FaultKind::NanLoss => "nan_loss",
             FaultKind::IoFail => "io_fail",
             FaultKind::Panic => "panic",
+            FaultKind::Corrupt => "corrupt",
+            FaultKind::Slow => "slow",
         }
     }
 
@@ -52,6 +72,8 @@ impl FaultKind {
             "nan_loss" => Some(FaultKind::NanLoss),
             "io_fail" => Some(FaultKind::IoFail),
             "panic" => Some(FaultKind::Panic),
+            "corrupt" => Some(FaultKind::Corrupt),
+            "slow" => Some(FaultKind::Slow),
             _ => None,
         }
     }
@@ -62,6 +84,8 @@ struct FaultSpec {
     kind: FaultKind,
     site: String,
     n: u64,
+    /// Consecutive passes that fire, starting at `n` (default 1).
+    k: u64,
 }
 
 fn parse_spec(raw: &str) -> Result<Option<FaultSpec>, String> {
@@ -70,21 +94,39 @@ fn parse_spec(raw: &str) -> Result<Option<FaultSpec>, String> {
         return Ok(None);
     }
     let err = || {
-        format!("invalid RDD_FAULT spec {raw:?}: expected <kind>@<site>:<n>, e.g. nan_loss@epoch:7")
+        format!(
+            "invalid RDD_FAULT spec {raw:?}: expected <kind>@<site>:<n> or \
+             <kind>@<site>:<n>x<k>, e.g. nan_loss@epoch:7 or panic@serve_worker:0x2"
+        )
     };
     let (kind_s, rest) = raw.split_once('@').ok_or_else(err)?;
     let (site, n_s) = rest.rsplit_once(':').ok_or_else(err)?;
     let kind = FaultKind::parse(kind_s).ok_or_else(|| {
-        format!("invalid RDD_FAULT kind {kind_s:?}: expected nan_loss, io_fail or panic")
+        format!(
+            "invalid RDD_FAULT kind {kind_s:?}: expected nan_loss, io_fail, panic, \
+             corrupt or slow"
+        )
     })?;
     if site.is_empty() {
         return Err(err());
     }
+    let (n_s, k_s) = match n_s.split_once('x') {
+        Some((n_s, k_s)) => (n_s, Some(k_s)),
+        None => (n_s, None),
+    };
     let n: u64 = n_s.parse().map_err(|_| err())?;
+    let k: u64 = match k_s {
+        Some(k_s) => k_s.parse().map_err(|_| err())?,
+        None => 1,
+    };
+    if k == 0 {
+        return Err(err());
+    }
     Ok(Some(FaultSpec {
         kind,
         site: site.to_string(),
         n,
+        k,
     }))
 }
 
@@ -94,14 +136,15 @@ struct FaultState {
     spec: Option<FaultSpec>,
     /// Passes seen over the armed site.
     count: u64,
-    fired: bool,
+    /// Passes that have fired so far (spent once `fired == spec.k`).
+    fired: u64,
 }
 
 static STATE: Mutex<FaultState> = Mutex::new(FaultState {
     initialized: false,
     spec: None,
     count: 0,
-    fired: false,
+    fired: 0,
 });
 
 fn ensure_init(state: &mut FaultState) {
@@ -125,7 +168,7 @@ pub fn arm(spec: &str) -> Result<(), String> {
     state.initialized = true;
     state.spec = parsed;
     state.count = 0;
-    state.fired = false;
+    state.fired = 0;
     Ok(())
 }
 
@@ -134,30 +177,35 @@ pub fn disarm() {
     arm("off").expect("\"off\" always parses");
 }
 
-/// True when a fault spec is armed and has not fired yet.
+/// True when a fault spec is armed and has not fully fired yet (fewer than
+/// `k` passes have fired).
 pub fn armed() -> bool {
     let mut state = STATE.lock().unwrap();
     ensure_init(&mut state);
-    state.spec.is_some() && !state.fired
+    match state.spec.as_ref() {
+        Some(spec) => state.fired < spec.k,
+        None => false,
+    }
 }
 
-/// Record one pass over `site`. Returns the armed [`FaultKind`] exactly once:
-/// on the pass whose 0-indexed count matches the spec's `n`. Emits a `fault`
-/// trace event when it fires. Callers decide what the kind means at their
+/// Record one pass over `site`. Returns the armed [`FaultKind`] on the `k`
+/// consecutive passes whose 0-indexed count falls in `n..n+k` (`k` defaults
+/// to 1, so a plain `:<n>` spec fires exactly once). Emits a `fault` trace
+/// event each time it fires. Callers decide what the kind means at their
 /// site (unknown combinations are ignored by convention).
 pub fn fire(site: &str) -> Option<FaultKind> {
     let mut state = STATE.lock().unwrap();
     ensure_init(&mut state);
-    let (kind, n) = match state.spec.as_ref() {
-        Some(spec) if spec.site == site => (spec.kind, spec.n),
+    let (kind, n, k) = match state.spec.as_ref() {
+        Some(spec) if spec.site == site => (spec.kind, spec.n, spec.k),
         _ => return None,
     };
     let pass = state.count;
     state.count += 1;
-    if state.fired || pass != n {
+    if pass < n || pass >= n + k {
         return None;
     }
-    state.fired = true;
+    state.fired += 1;
     drop(state);
     event(
         "fault",
@@ -165,6 +213,7 @@ pub fn fire(site: &str) -> Option<FaultKind> {
             ("kind", Json::from(kind.as_str())),
             ("site", Json::from(site)),
             ("n", Json::Num(n as f64)),
+            ("pass", Json::Num(pass as f64)),
         ],
     );
     Some(kind)
@@ -185,6 +234,15 @@ mod tests {
         assert_eq!(spec.kind, FaultKind::IoFail);
         let spec = parse_spec("panic@member:1").unwrap().unwrap();
         assert_eq!(spec.kind, FaultKind::Panic);
+        assert_eq!(spec.k, 1, "plain :<n> specs fire once");
+        let spec = parse_spec("panic@serve_worker:0x2").unwrap().unwrap();
+        assert_eq!(spec.kind, FaultKind::Panic);
+        assert_eq!((spec.n, spec.k), (0, 2));
+        let spec = parse_spec("corrupt@shard_load:3").unwrap().unwrap();
+        assert_eq!(spec.kind, FaultKind::Corrupt);
+        let spec = parse_spec("slow@serve_batch:0x50").unwrap().unwrap();
+        assert_eq!(spec.kind, FaultKind::Slow);
+        assert_eq!((spec.n, spec.k), (0, 50));
         assert!(parse_spec("").unwrap().is_none());
         assert!(parse_spec("off").unwrap().is_none());
 
@@ -195,10 +253,32 @@ mod tests {
             "explode@epoch:3",
             "nan_loss@epoch:x",
             "nan_loss@epoch:-1",
+            "panic@serve_worker:0x",
+            "panic@serve_worker:0x0",
+            "panic@serve_worker:x2",
         ] {
             let err = parse_spec(bad).unwrap_err();
             assert!(err.contains("RDD_FAULT"), "{bad:?} -> {err}");
         }
+
+        let err = parse_spec("explode@epoch:3").unwrap_err();
+        for kind in ["nan_loss", "io_fail", "panic", "corrupt", "slow"] {
+            assert!(err.contains(kind), "kind list should mention {kind}: {err}");
+        }
+    }
+
+    #[test]
+    fn repeat_count_fires_on_k_consecutive_passes() {
+        let _g = recorder::tests::lock();
+        arm("panic@serve_worker:1x2").unwrap();
+        assert_eq!(fire("serve_worker"), None); // pass 0
+        assert!(armed());
+        assert_eq!(fire("serve_worker"), Some(FaultKind::Panic)); // pass 1
+        assert!(armed(), "one of two firings left");
+        assert_eq!(fire("serve_worker"), Some(FaultKind::Panic)); // pass 2
+        assert!(!armed(), "all k firings spent");
+        assert_eq!(fire("serve_worker"), None); // pass 3
+        disarm();
     }
 
     #[test]

@@ -36,16 +36,20 @@
 //! | `gauge`     | `name value` — last/peak value                                         |
 //! | `pool_init` | `threads` — resolved worker-pool width                                 |
 //! | `simd_init` | `tier detected` — resolved SIMD kernel tier (`RDD_SIMD`) vs best available |
-//! | `fault`     | `kind site n` — an injected [`fault`] fired (`RDD_FAULT`)              |
+//! | `fault`     | `kind site n pass` — an injected [`fault`] fired (`RDD_FAULT`)         |
 //! | `rollback`  | `model epoch retry lr_scale reason` — divergence guard retried an epoch |
 //! | `divergence`| `model epoch rollbacks` — retry budget exhausted, member degraded      |
 //! | `member_dropped` | `member rollbacks` — diverged member excluded from the ensemble   |
 //! | `checkpoint`| `member kept dir` — member persisted, run manifest committed           |
 //! | `resume`    | `next_member loaded dir` — run directory reloaded, cascade restarting  |
 //! | `serve_batch` | `worker requests nodes hits misses exec_ms lat_ms[]` — one serve-engine flush |
-//! | `serve_run` | `requests batches hits misses shed expired wall_ms` — final serve-session totals |
-//! | `serve_metrics` | `window_s requests p50_ms p99_ms queue_peak hit_rate shed shed_expired` — rolling-window heartbeat (`rdd serve --metrics-every`) |
+//! | `serve_run` | `requests batches hits misses shed expired failed rejected wall_ms` — final serve-session totals |
+//! | `serve_metrics` | `window_s requests p50_ms p99_ms queue_peak hit_rate shed shed_expired breaker` — rolling-window heartbeat (`rdd serve --metrics-every`) |
 //! | `swap`      | `generation checksum path` — hot artifact swap rolled a new generation in |
+//! | `swap_failed` | `path error failures backoff_ms` — watched artifact failed to load/validate; live generation kept, poll backed off |
+//! | `worker_panic` | `worker requests requeued failed` — serve-pool worker panicked; batch requeued or answered with typed errors |
+//! | `worker_respawn` | `worker respawns` — replacement thread took over a panicked worker's slot |
+//! | `breaker_state` | `state from p99_ms shed_rate retry_after_ms` — overload circuit-breaker transition (`closed`/`open`/`half_open`) |
 //! | `env_warn`  | `var value expected` — rejected environment-variable value (default kept) |
 //! | `warn`      | `msg`                                                                  |
 //!
@@ -73,8 +77,8 @@ pub use summarize::{
     TraceSummary,
 };
 pub use telemetry::{
-    agreement_rate, emit_checkpoint, emit_divergence, emit_hist_snapshot, emit_member,
-    emit_member_dropped, emit_resume, emit_rollback, emit_run, emit_serve_batch,
-    emit_serve_metrics, emit_serve_run, emit_swap, stage_rdd_epoch, EpochTelemetry, RddEpochExtra,
-    ServeMetricsSnapshot,
+    agreement_rate, emit_breaker_state, emit_checkpoint, emit_divergence, emit_hist_snapshot,
+    emit_member, emit_member_dropped, emit_resume, emit_rollback, emit_run, emit_serve_batch,
+    emit_serve_metrics, emit_serve_run, emit_swap, emit_swap_failed, emit_worker_panic,
+    emit_worker_respawn, stage_rdd_epoch, EpochTelemetry, RddEpochExtra, ServeMetricsSnapshot,
 };

@@ -65,6 +65,9 @@ pub struct TraceSummary {
     pub serve_metrics: Vec<Json>,
     /// `swap` events (hot artifact-generation rolls), in trace order.
     pub swaps: Vec<Json>,
+    /// `breaker_state` events (overload circuit-breaker transitions), in
+    /// trace order.
+    pub breaker_states: Vec<Json>,
     /// `env_warn` events (rejected environment-variable values).
     pub env_warns: Vec<Json>,
     /// `warn` event messages.
@@ -201,6 +204,36 @@ impl TraceSummary {
                     req_str(&event, "path").map_err(|e| format!("line {lineno}: {e}"))?;
                     out.swaps.push(event);
                 }
+                "swap_failed" => {
+                    for key in ["path", "error"] {
+                        req_str(&event, key).map_err(|e| format!("line {lineno}: {e}"))?;
+                    }
+                    for key in ["failures", "backoff_ms"] {
+                        req_num(&event, key).map_err(|e| format!("line {lineno}: {e}"))?;
+                    }
+                    out.recovery.push(event);
+                }
+                "worker_panic" => {
+                    for key in ["worker", "requests", "requeued", "failed"] {
+                        req_num(&event, key).map_err(|e| format!("line {lineno}: {e}"))?;
+                    }
+                    out.recovery.push(event);
+                }
+                "worker_respawn" => {
+                    for key in ["worker", "respawns"] {
+                        req_num(&event, key).map_err(|e| format!("line {lineno}: {e}"))?;
+                    }
+                    out.recovery.push(event);
+                }
+                "breaker_state" => {
+                    for key in ["state", "from"] {
+                        req_str(&event, key).map_err(|e| format!("line {lineno}: {e}"))?;
+                    }
+                    for key in ["p99_ms", "shed_rate"] {
+                        req_num(&event, key).map_err(|e| format!("line {lineno}: {e}"))?;
+                    }
+                    out.breaker_states.push(event);
+                }
                 "env_warn" => {
                     for key in ["var", "value", "expected"] {
                         req_str(&event, key).map_err(|e| format!("line {lineno}: {e}"))?;
@@ -273,7 +306,11 @@ impl TraceSummary {
             out.push_str("\nKernel time\n");
             out.push_str(&self.render_kernel_table());
         }
-        if !self.serves.is_empty() || !self.serve_runs.is_empty() || !self.swaps.is_empty() {
+        if !self.serves.is_empty()
+            || !self.serve_runs.is_empty()
+            || !self.swaps.is_empty()
+            || !self.breaker_states.is_empty()
+        {
             out.push_str(&self.render_serving());
         }
         if !self.counters.is_empty() || !self.gauges.is_empty() {
@@ -366,15 +403,23 @@ impl TraceSummary {
         for run in &self.serve_runs {
             out.push_str(&format!(
                 "Serve run: requests {}  batches {}  hits {}  misses {}  \
-                 shed {} (queue-full) + {} (expired)  wall_ms {}\n",
+                 shed {} (queue-full) + {} (expired)",
                 fmt_field(run.get("requests")),
                 fmt_field(run.get("batches")),
                 fmt_field(run.get("hits")),
                 fmt_field(run.get("misses")),
                 fmt_field(run.get("shed")),
                 fmt_field(run.get("expired")),
-                fmt_field(run.get("wall_ms")),
             ));
+            // Self-healing-era counters; absent in older traces.
+            if run.get("failed").is_some() || run.get("rejected").is_some() {
+                out.push_str(&format!(
+                    "  failed {}  rejected {}",
+                    fmt_field(run.get("failed")),
+                    fmt_field(run.get("rejected")),
+                ));
+            }
+            out.push_str(&format!("  wall_ms {}\n", fmt_field(run.get("wall_ms"))));
         }
         for swap in &self.swaps {
             out.push_str(&format!(
@@ -382,6 +427,17 @@ impl TraceSummary {
                 fmt_field(swap.get("generation")),
                 fmt_field(swap.get("checksum")),
                 fmt_field(swap.get("path")),
+            ));
+        }
+        for bs in &self.breaker_states {
+            out.push_str(&format!(
+                "Breaker: {} -> {}  (p99 {} ms, shed rate {}, retry_after_ms {})  t_ms {}\n",
+                fmt_field(bs.get("from")),
+                fmt_field(bs.get("state")),
+                fmt_field(bs.get("p99_ms")),
+                fmt_field(bs.get("shed_rate")),
+                fmt_field(bs.get("retry_after_ms")),
+                fmt_field(bs.get("t_ms")),
             ));
         }
         out
@@ -569,7 +625,11 @@ impl TraceSummary {
             ));
         }
 
-        if !self.serves.is_empty() || !self.serve_runs.is_empty() || !self.swaps.is_empty() {
+        if !self.serves.is_empty()
+            || !self.serve_runs.is_empty()
+            || !self.swaps.is_empty()
+            || !self.breaker_states.is_empty()
+        {
             out.push_str(&self.render_serving());
         }
         // Histogram-derived serve latencies (the online view; `serve.*`
@@ -613,6 +673,7 @@ impl TraceSummary {
                 "hit_rate",
                 "shed",
                 "shed_expired",
+                "breaker",
             ];
             let rows: Vec<Vec<String>> = self
                 .serve_metrics
@@ -803,6 +864,14 @@ fn validate_serve_metrics(event: &Json) -> Result<(), String> {
     if let Some(v) = event.get("shed_expired") {
         if v.as_f64().is_none() {
             return Err("serve_metrics field \"shed_expired\" must be numeric".to_string());
+        }
+    }
+    // Circuit-breaker state (self-healing era): a string when a breaker is
+    // configured, null when not, absent in older traces.
+    match event.get("breaker") {
+        None | Some(Json::Null) | Some(Json::Str(_)) => {}
+        Some(_) => {
+            return Err("serve_metrics field \"breaker\" must be a string or null".to_string())
         }
     }
     let hit_rate = req_num(event, "hit_rate")?;
@@ -1092,6 +1161,87 @@ mod tests {
         let missing = "{\"ev\":\"swap\",\"t_ms\":5.0,\"generation\":2,\"path\":\"m\"}";
         let err = TraceSummary::parse(missing).unwrap_err();
         assert!(err.contains("checksum"), "{err}");
+    }
+
+    #[test]
+    fn collects_and_renders_self_healing_events() {
+        let src = [
+            concat!(
+                "{\"ev\":\"worker_panic\",\"t_ms\":1.0,\"worker\":2,\"requests\":8,",
+                "\"requeued\":8,\"failed\":0}"
+            ),
+            "{\"ev\":\"worker_respawn\",\"t_ms\":1.1,\"worker\":2,\"respawns\":1}",
+            concat!(
+                "{\"ev\":\"swap_failed\",\"t_ms\":2.0,\"path\":\"model.rdd\",",
+                "\"error\":\"bad artifact: truncated\",\"failures\":1,\"backoff_ms\":400}"
+            ),
+            concat!(
+                "{\"ev\":\"breaker_state\",\"t_ms\":3.0,\"state\":\"open\",\"from\":\"closed\",",
+                "\"p99_ms\":42.5,\"shed_rate\":0.0,\"retry_after_ms\":1000}"
+            ),
+            concat!(
+                "{\"ev\":\"breaker_state\",\"t_ms\":4.0,\"state\":\"half_open\",\"from\":\"open\",",
+                "\"p99_ms\":0,\"shed_rate\":0,\"retry_after_ms\":null}"
+            ),
+        ]
+        .join("\n");
+        let summary = TraceSummary::parse(&src).unwrap();
+        assert_eq!(summary.recovery.len(), 3);
+        assert_eq!(summary.breaker_states.len(), 2);
+        assert!(summary.other.is_empty());
+        let rendered = summary.render();
+        assert!(rendered.contains("worker_panic: worker=2"), "{rendered}");
+        assert!(rendered.contains("worker_respawn"), "{rendered}");
+        assert!(rendered.contains("swap_failed"), "{rendered}");
+        assert!(rendered.contains("Breaker: closed -> open"), "{rendered}");
+        assert!(
+            rendered.contains("Breaker: open -> half_open"),
+            "{rendered}"
+        );
+        let report = summary.render_report();
+        assert!(report.contains("Breaker: closed -> open"), "{report}");
+
+        let missing =
+            "{\"ev\":\"swap_failed\",\"t_ms\":1.0,\"path\":\"m\",\"failures\":1,\"backoff_ms\":2}";
+        let err = TraceSummary::parse(missing).unwrap_err();
+        assert!(err.contains("error"), "{err}");
+        let missing = "{\"ev\":\"breaker_state\",\"t_ms\":1.0,\"state\":\"open\",\"p99_ms\":1,\"shed_rate\":0}";
+        let err = TraceSummary::parse(missing).unwrap_err();
+        assert!(err.contains("from"), "{err}");
+    }
+
+    #[test]
+    fn serve_run_renders_failed_and_rejected_when_present() {
+        let src = concat!(
+            "{\"ev\":\"serve_run\",\"t_ms\":3.0,\"requests\":10,\"batches\":2,",
+            "\"hits\":2,\"misses\":8,\"shed\":0,\"expired\":0,\"failed\":3,",
+            "\"rejected\":4,\"wall_ms\":5.0}"
+        );
+        let summary = TraceSummary::parse(src).unwrap();
+        let rendered = summary.render();
+        assert!(rendered.contains("failed 3  rejected 4"), "{rendered}");
+        assert!(rendered.contains("wall_ms 5"), "{rendered}");
+    }
+
+    #[test]
+    fn serve_metrics_accepts_and_checks_breaker_field() {
+        let with = concat!(
+            "{\"ev\":\"serve_metrics\",\"t_ms\":1.0,\"window_s\":5,\"requests\":100,",
+            "\"p50_ms\":0.5,\"p99_ms\":2.0,\"queue_peak\":7,\"hit_rate\":0.25,",
+            "\"shed\":1,\"shed_expired\":0,\"breaker\":\"open\"}"
+        );
+        let summary = TraceSummary::parse(with).unwrap();
+        assert_eq!(summary.serve_metrics.len(), 1);
+        let report = summary.render_report();
+        assert!(report.contains("breaker"), "{report}");
+        assert!(report.contains("open"), "{report}");
+        let bad = concat!(
+            "{\"ev\":\"serve_metrics\",\"t_ms\":1.0,\"window_s\":5,\"requests\":100,",
+            "\"p50_ms\":0.5,\"p99_ms\":2.0,\"queue_peak\":7,\"hit_rate\":0.25,",
+            "\"shed\":1,\"shed_expired\":0,\"breaker\":7}"
+        );
+        let err = TraceSummary::parse(bad).unwrap_err();
+        assert!(err.contains("breaker"), "{err}");
     }
 
     #[test]

@@ -262,7 +262,10 @@ pub fn emit_serve_batch(
 /// One `serve_run` event: final counters of a serve session or bench.
 /// `shed` counts requests rejected at admission (queue full); `expired`
 /// counts requests shed after admission because their deadline passed
-/// before dispatch.
+/// before dispatch; `failed` counts requests answered with a typed
+/// `WorkerFailed` error after exhausting the panic retry budget;
+/// `rejected` counts requests refused by the overload circuit breaker.
+#[allow(clippy::too_many_arguments)]
 pub fn emit_serve_run(
     requests: u64,
     batches: u64,
@@ -270,6 +273,8 @@ pub fn emit_serve_run(
     misses: u64,
     shed: u64,
     expired: u64,
+    failed: u64,
+    rejected: u64,
     wall_ms: f64,
 ) {
     event(
@@ -281,7 +286,79 @@ pub fn emit_serve_run(
             ("misses", Json::from(misses)),
             ("shed", Json::from(shed)),
             ("expired", Json::from(expired)),
+            ("failed", Json::from(failed)),
+            ("rejected", Json::from(rejected)),
             ("wall_ms", Json::from(wall_ms)),
+        ],
+    );
+}
+
+/// One `worker_panic` event: a serve-pool worker panicked mid-batch. The
+/// supervisor requeued `requeued` of the batch's `requests` for retry and
+/// answered the other `failed` with typed `WorkerFailed` errors (their
+/// retry budgets were spent).
+pub fn emit_worker_panic(worker: usize, requests: usize, requeued: usize, failed: usize) {
+    event(
+        "worker_panic",
+        &[
+            ("worker", Json::from(worker)),
+            ("requests", Json::from(requests)),
+            ("requeued", Json::from(requeued)),
+            ("failed", Json::from(failed)),
+        ],
+    );
+}
+
+/// One `worker_respawn` event: a replacement thread took over a panicked
+/// worker's slot. `respawns` is that slot's lifetime respawn count.
+pub fn emit_worker_respawn(worker: usize, respawns: u64) {
+    event(
+        "worker_respawn",
+        &[
+            ("worker", Json::from(worker)),
+            ("respawns", Json::from(respawns)),
+        ],
+    );
+}
+
+/// One `swap_failed` event: a watched replacement artifact failed to load
+/// or validate (or was rejected by `try_swap`), so the live generation was
+/// kept and the watcher backed off. `failures` counts consecutive failures
+/// for this artifact; `backoff_ms` is the delay before the next attempt.
+pub fn emit_swap_failed(path: &str, error: &str, failures: u32, backoff_ms: u64) {
+    event(
+        "swap_failed",
+        &[
+            ("path", Json::from(path)),
+            ("error", Json::from(error)),
+            ("failures", Json::from(u64::from(failures))),
+            ("backoff_ms", Json::from(backoff_ms)),
+        ],
+    );
+}
+
+/// One `breaker_state` event: the overload circuit breaker transitioned.
+/// `p99_ms` / `shed_rate` are the window stats that drove the decision;
+/// `retry_after_ms` is how long clients are told to back off (null unless
+/// the breaker opened).
+pub fn emit_breaker_state(
+    state: &str,
+    from: &str,
+    p99_ms: f64,
+    shed_rate: f64,
+    retry_after_ms: Option<f64>,
+) {
+    event(
+        "breaker_state",
+        &[
+            ("state", Json::from(state)),
+            ("from", Json::from(from)),
+            ("p99_ms", Json::from(p99_ms)),
+            ("shed_rate", Json::from(shed_rate)),
+            (
+                "retry_after_ms",
+                retry_after_ms.map_or(Json::Null, Json::Num),
+            ),
         ],
     );
 }
@@ -341,12 +418,15 @@ pub struct ServeMetricsSnapshot {
     pub shed: u64,
     /// Requests shed post-admission (deadline expired) over the window.
     pub shed_expired: u64,
+    /// Overload circuit-breaker state (`closed` / `open` / `half_open`);
+    /// `None` when no breaker is configured.
+    pub breaker: Option<&'static str>,
 }
 
 impl ServeMetricsSnapshot {
     /// The one-line status `rdd serve` prints per heartbeat.
     pub fn status_line(&self) -> String {
-        format!(
+        let mut line = format!(
             "serve: {} req/{}s  p50 {:.3} ms  p99 {:.3} ms  queue peak {}  hit rate {:.1}%  shed {}  expired {}",
             self.requests,
             self.window_s,
@@ -356,7 +436,11 @@ impl ServeMetricsSnapshot {
             100.0 * self.hit_rate,
             self.shed,
             self.shed_expired
-        )
+        );
+        if let Some(state) = self.breaker {
+            line.push_str(&format!("  breaker {state}"));
+        }
+        line
     }
 }
 
@@ -373,6 +457,7 @@ pub fn emit_serve_metrics(m: &ServeMetricsSnapshot) {
             ("hit_rate", Json::from(m.hit_rate)),
             ("shed", Json::from(m.shed)),
             ("shed_expired", Json::from(m.shed_expired)),
+            ("breaker", m.breaker.map_or(Json::Null, Json::from)),
         ],
     );
 }

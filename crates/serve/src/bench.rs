@@ -7,7 +7,7 @@
 //! NTP steps can't corrupt a measurement.
 
 use std::sync::mpsc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use rdd_obs::{sample_stats, Json};
 
@@ -211,8 +211,20 @@ fn run_mode_pooled(
             match pool.submit(submitted as u64, Some(vec![stream.next()])) {
                 Ok(()) => submitted += 1,
                 Err(ServeError::QueueFull { .. }) => break,
+                Err(ServeError::Overloaded { retry_after_ms }) => {
+                    // A breaker-configured pool backpressures the closed
+                    // loop: honor a bounded slice of the advertised delay
+                    // instead of failing the bench.
+                    std::thread::sleep(Duration::from_millis((retry_after_ms as u64).clamp(1, 20)));
+                    break;
+                }
                 Err(e) => return Err(e),
             }
+        }
+        if submitted == received {
+            // Nothing in flight (admission rejected everything): retry
+            // instead of blocking on a reply that can never arrive.
+            continue;
         }
         let reply = rx.recv().map_err(|_| dropped())?;
         reply.result?;

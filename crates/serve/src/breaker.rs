@@ -1,0 +1,520 @@
+//! Overload circuit breaker for the serve pool.
+//!
+//! A [`CircuitBreaker`] watches its own short [`RollingWindow`] of request
+//! latencies and queue-full sheds. While **closed** it admits everything
+//! and evaluates the window on a fixed cadence; if the window's p99
+//! latency exceeds the configured SLO (or the shed fraction exceeds
+//! `shed_rate`) with enough traffic to trust, it **trips open**: admission
+//! returns typed [`ServeError::Overloaded`] replies carrying
+//! `retry_after_ms` instead of queueing work a saturated pool cannot
+//! serve in time. After `open_ms` it **half-opens**, letting a small
+//! number of probe requests through; if enough probes complete under the
+//! SLO the breaker closes and the open interval resets, otherwise it
+//! re-opens with the interval doubled (capped at `max_open_ms`).
+//!
+//! ```text
+//!            p99 > SLO or shed rate high
+//!   CLOSED ────────────────────────────────▶ OPEN
+//!     ▲                                       │ open_ms elapsed
+//!     │ probes healthy                        ▼
+//!     └──────────────────────────────── HALF-OPEN
+//!                                             │ probes unhealthy
+//!                                             └────▶ OPEN (backoff ×2)
+//! ```
+//!
+//! Every transition emits a `breaker_state` trace event; the live state
+//! rides along in `serve_metrics` heartbeats. Methods take an explicit
+//! `now: Instant` so tests can drive the state machine without sleeping.
+
+use std::time::{Duration, Instant};
+
+use rdd_models::ConfigError;
+
+use crate::engine::{RollingWindow, ShedCause};
+use crate::error::ServeError;
+
+/// Circuit-breaker tuning knobs.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BreakerConfig {
+    /// Trip when the window's p99 request latency exceeds this, ms.
+    pub p99_ms: f64,
+    /// Trip when `shed / (requests + shed)` over the window exceeds this.
+    pub shed_rate: f64,
+    /// Do not evaluate windows with fewer than this many samples
+    /// (requests + sheds) — thin windows produce noisy percentiles.
+    pub min_requests: u64,
+    /// Seconds of history the breaker's own rolling window keeps.
+    pub window_s: usize,
+    /// How long the breaker stays open before half-opening, ms. Doubles on
+    /// every failed probe round, capped at `max_open_ms`; resets on close.
+    pub open_ms: u64,
+    /// Cap on the exponential open-interval backoff, ms.
+    pub max_open_ms: u64,
+    /// Probe requests admitted while half-open before deciding.
+    pub probes: u64,
+    /// Evaluation cadence while closed, ms (admission and completion paths
+    /// both poll; evaluation itself is one window merge).
+    pub eval_every_ms: u64,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        Self {
+            p99_ms: 50.0,
+            shed_rate: 0.5,
+            min_requests: 16,
+            window_s: 5,
+            open_ms: 1_000,
+            max_open_ms: 30_000,
+            probes: 8,
+            eval_every_ms: 200,
+        }
+    }
+}
+
+impl BreakerConfig {
+    /// Defaults with the p99 SLO the CLI's `--breaker-p99-ms` sets.
+    pub fn with_p99_ms(p99_ms: f64) -> Self {
+        Self {
+            p99_ms,
+            ..Self::default()
+        }
+    }
+
+    /// Reject thresholds the state machine cannot act on.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if !(self.p99_ms > 0.0) || !self.p99_ms.is_finite() {
+            return Err(ConfigError::invalid(
+                "breaker.p99_ms",
+                self.p99_ms,
+                "a finite latency SLO > 0 ms",
+            ));
+        }
+        if !(self.shed_rate > 0.0 && self.shed_rate <= 1.0) {
+            return Err(ConfigError::invalid(
+                "breaker.shed_rate",
+                self.shed_rate,
+                "a fraction in (0, 1]",
+            ));
+        }
+        if self.min_requests < 1 {
+            return Err(ConfigError::invalid(
+                "breaker.min_requests",
+                self.min_requests,
+                ">= 1 sample per evaluation",
+            ));
+        }
+        if self.window_s < 1 {
+            return Err(ConfigError::invalid(
+                "breaker.window_s",
+                self.window_s,
+                ">= 1 second of history",
+            ));
+        }
+        if self.open_ms < 1 || self.max_open_ms < self.open_ms {
+            return Err(ConfigError::invalid(
+                "breaker.open_ms",
+                self.open_ms,
+                ">= 1 ms and <= max_open_ms",
+            ));
+        }
+        if self.probes < 1 {
+            return Err(ConfigError::invalid(
+                "breaker.probes",
+                self.probes,
+                ">= 1 probe request",
+            ));
+        }
+        if self.eval_every_ms < 1 {
+            return Err(ConfigError::invalid(
+                "breaker.eval_every_ms",
+                self.eval_every_ms,
+                ">= 1 ms between evaluations",
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Where the breaker's state machine currently sits.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: everything admitted, window evaluated on a cadence.
+    Closed,
+    /// Tripped: admission rejects with [`ServeError::Overloaded`].
+    Open,
+    /// Probing: up to `probes` requests admitted, the rest rejected.
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// The string used in `breaker_state` events and heartbeats.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half_open",
+        }
+    }
+}
+
+/// Rolling-window overload breaker; see the module docs for the state
+/// machine. One instance per [`crate::pool::ServePool`], shared behind the
+/// pool's admission lock.
+pub struct CircuitBreaker {
+    cfg: BreakerConfig,
+    state: BreakerState,
+    window: RollingWindow,
+    /// When the open interval ends (meaningful while [`BreakerState::Open`]).
+    open_until: Instant,
+    /// Current open interval (exponential backoff, capped).
+    cur_open_ms: u64,
+    probes_admitted: u64,
+    probes_done: u64,
+    probes_bad: u64,
+    last_eval: Instant,
+    trips: u64,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker with a fresh window.
+    pub fn new(cfg: BreakerConfig) -> Result<Self, ConfigError> {
+        cfg.validate()?;
+        let now = Instant::now();
+        Ok(Self {
+            window: RollingWindow::new(cfg.window_s),
+            cur_open_ms: cfg.open_ms,
+            cfg,
+            state: BreakerState::Closed,
+            open_until: now,
+            probes_admitted: 0,
+            probes_done: 0,
+            probes_bad: 0,
+            last_eval: now,
+            trips: 0,
+        })
+    }
+
+    /// Current state.
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// Times the breaker has tripped open over its lifetime.
+    pub fn trips(&self) -> u64 {
+        self.trips
+    }
+
+    /// Gate one request at admission. `Ok(())` admits; the error is the
+    /// typed [`ServeError::Overloaded`] reply the caller must send.
+    pub fn admit(&mut self, now: Instant) -> Result<(), ServeError> {
+        if self.state == BreakerState::Closed {
+            self.maybe_eval(now);
+        }
+        if self.state == BreakerState::Open && now >= self.open_until {
+            self.enter_half_open();
+        }
+        match self.state {
+            BreakerState::Closed => Ok(()),
+            BreakerState::Open => Err(ServeError::Overloaded {
+                retry_after_ms: self.open_until.saturating_duration_since(now).as_secs_f64() * 1e3,
+            }),
+            BreakerState::HalfOpen => {
+                if self.probes_admitted < self.cfg.probes {
+                    self.probes_admitted += 1;
+                    Ok(())
+                } else {
+                    // Probe budget in flight; tell extras to come back
+                    // after roughly one evaluation period.
+                    Err(ServeError::Overloaded {
+                        retry_after_ms: self.cfg.eval_every_ms as f64,
+                    })
+                }
+            }
+        }
+    }
+
+    /// Feed one completed request's end-to-end latency. Closed: recorded
+    /// into the window (and the cadence evaluation may trip the breaker).
+    /// Half-open: judged as a probe; enough healthy probes close the
+    /// breaker, an unhealthy round re-opens it with doubled backoff.
+    /// Open: ignored (stragglers dispatched before the trip).
+    pub fn record_request(&mut self, latency_ms: f64, now: Instant) {
+        match self.state {
+            BreakerState::Closed => {
+                self.window
+                    .record_request(Duration::from_secs_f64(latency_ms.max(0.0) / 1e3));
+                self.maybe_eval(now);
+            }
+            BreakerState::HalfOpen => {
+                self.probes_done += 1;
+                if latency_ms > self.cfg.p99_ms {
+                    self.probes_bad += 1;
+                }
+                if self.probes_done >= self.cfg.probes {
+                    // Tolerate up to a quarter of probes over the SLO (one
+                    // scheduler hiccup must not hold the breaker open).
+                    if self.probes_bad * 4 <= self.cfg.probes {
+                        self.close(now);
+                    } else {
+                        self.reopen(now);
+                    }
+                }
+            }
+            BreakerState::Open => {}
+        }
+    }
+
+    /// Feed one queue-full shed (closed state only — the breaker's own
+    /// rejections never count as overload signal, or it would latch open).
+    pub fn record_shed(&mut self, now: Instant) {
+        if self.state == BreakerState::Closed {
+            self.window.record_shed(ShedCause::QueueFull);
+            self.maybe_eval(now);
+        }
+    }
+
+    fn maybe_eval(&mut self, now: Instant) {
+        if now.saturating_duration_since(self.last_eval).as_millis()
+            < u128::from(self.cfg.eval_every_ms)
+        {
+            return;
+        }
+        self.last_eval = now;
+        let m = self.window.snapshot();
+        let total = m.requests + m.shed;
+        if total < self.cfg.min_requests {
+            return;
+        }
+        let shed_rate = m.shed as f64 / total as f64;
+        if m.p99_ms > self.cfg.p99_ms || shed_rate > self.cfg.shed_rate {
+            self.state = BreakerState::Open;
+            self.open_until = now + Duration::from_millis(self.cur_open_ms);
+            self.trips += 1;
+            rdd_obs::emit_breaker_state(
+                "open",
+                "closed",
+                m.p99_ms,
+                shed_rate,
+                Some(self.cur_open_ms as f64),
+            );
+        }
+    }
+
+    fn enter_half_open(&mut self) {
+        self.state = BreakerState::HalfOpen;
+        self.probes_admitted = 0;
+        self.probes_done = 0;
+        self.probes_bad = 0;
+        rdd_obs::emit_breaker_state("half_open", "open", 0.0, 0.0, None);
+    }
+
+    fn close(&mut self, now: Instant) {
+        self.state = BreakerState::Closed;
+        self.cur_open_ms = self.cfg.open_ms;
+        self.window = RollingWindow::new(self.cfg.window_s);
+        self.last_eval = now;
+        rdd_obs::emit_breaker_state("closed", "half_open", 0.0, 0.0, None);
+    }
+
+    fn reopen(&mut self, now: Instant) {
+        self.cur_open_ms = (self.cur_open_ms.saturating_mul(2)).min(self.cfg.max_open_ms);
+        self.state = BreakerState::Open;
+        self.open_until = now + Duration::from_millis(self.cur_open_ms);
+        self.trips += 1;
+        rdd_obs::emit_breaker_state("open", "half_open", 0.0, 0.0, Some(self.cur_open_ms as f64));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> BreakerConfig {
+        BreakerConfig {
+            p99_ms: 5.0,
+            min_requests: 4,
+            open_ms: 100,
+            max_open_ms: 400,
+            probes: 4,
+            eval_every_ms: 10,
+            ..BreakerConfig::default()
+        }
+    }
+
+    /// Drive the breaker into the open state with slow completions.
+    fn trip(b: &mut CircuitBreaker, t0: Instant) -> Instant {
+        for i in 0..8 {
+            b.record_request(50.0, t0 + Duration::from_millis(i));
+        }
+        let now = t0 + Duration::from_millis(20);
+        b.record_request(50.0, now);
+        assert_eq!(b.state(), BreakerState::Open, "slow p99 must trip");
+        now
+    }
+
+    #[test]
+    fn config_rejects_unusable_thresholds() {
+        assert!(BreakerConfig::with_p99_ms(0.0).validate().is_err());
+        assert!(BreakerConfig::with_p99_ms(f64::NAN).validate().is_err());
+        let bad = BreakerConfig {
+            shed_rate: 1.5,
+            ..BreakerConfig::default()
+        };
+        assert_eq!(bad.validate().unwrap_err().field, "breaker.shed_rate");
+        let bad = BreakerConfig {
+            probes: 0,
+            ..BreakerConfig::default()
+        };
+        assert_eq!(bad.validate().unwrap_err().field, "breaker.probes");
+        let bad = BreakerConfig {
+            open_ms: 1000,
+            max_open_ms: 10,
+            ..BreakerConfig::default()
+        };
+        assert_eq!(bad.validate().unwrap_err().field, "breaker.open_ms");
+        assert!(BreakerConfig::with_p99_ms(25.0).validate().is_ok());
+    }
+
+    #[test]
+    fn stays_closed_under_healthy_traffic() {
+        let mut b = CircuitBreaker::new(cfg()).unwrap();
+        let t0 = Instant::now();
+        for i in 0..50 {
+            assert!(b.admit(t0 + Duration::from_millis(i)).is_ok());
+            b.record_request(1.0, t0 + Duration::from_millis(i));
+        }
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.trips(), 0);
+    }
+
+    #[test]
+    fn thin_windows_never_trip() {
+        let mut b = CircuitBreaker::new(cfg()).unwrap();
+        let t0 = Instant::now();
+        // Only 3 samples < min_requests=4, however slow.
+        for i in 0..3 {
+            b.record_request(500.0, t0 + Duration::from_millis(20 * (i + 1)));
+        }
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn slow_p99_trips_open_and_rejects_with_retry_after() {
+        let mut b = CircuitBreaker::new(cfg()).unwrap();
+        let t0 = Instant::now();
+        let now = trip(&mut b, t0);
+        assert_eq!(b.trips(), 1);
+        let err = b.admit(now + Duration::from_millis(1)).unwrap_err();
+        match err {
+            ServeError::Overloaded { retry_after_ms } => {
+                assert!(
+                    retry_after_ms > 0.0 && retry_after_ms <= 100.0,
+                    "retry_after_ms {retry_after_ms} should be within the open interval"
+                );
+            }
+            other => panic!("expected Overloaded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn shed_rate_trips_without_any_latency_samples() {
+        let mut b = CircuitBreaker::new(cfg()).unwrap();
+        let t0 = Instant::now();
+        for i in 0..8 {
+            b.record_shed(t0 + Duration::from_millis(i));
+        }
+        b.record_shed(t0 + Duration::from_millis(20));
+        assert_eq!(b.state(), BreakerState::Open, "pure shed storm must trip");
+    }
+
+    #[test]
+    fn half_opens_after_interval_and_closes_on_healthy_probes() {
+        let mut b = CircuitBreaker::new(cfg()).unwrap();
+        let t0 = Instant::now();
+        let tripped = trip(&mut b, t0);
+        // Before the interval: still rejecting.
+        assert!(b.admit(tripped + Duration::from_millis(50)).is_err());
+        // After: half-open, probes admitted.
+        let probe_t = tripped + Duration::from_millis(150);
+        for _ in 0..4 {
+            assert!(b.admit(probe_t).is_ok(), "probes must be admitted");
+        }
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        // The 5th concurrent request exceeds the probe budget.
+        assert!(b.admit(probe_t).is_err());
+        for _ in 0..4 {
+            b.record_request(1.0, probe_t + Duration::from_millis(1));
+        }
+        assert_eq!(b.state(), BreakerState::Closed, "healthy probes close");
+        assert!(b.admit(probe_t + Duration::from_millis(2)).is_ok());
+    }
+
+    #[test]
+    fn unhealthy_probes_reopen_with_doubled_capped_backoff() {
+        let mut b = CircuitBreaker::new(cfg()).unwrap();
+        let t0 = Instant::now();
+        let mut now = trip(&mut b, t0);
+        for round in 0..3 {
+            now += Duration::from_millis(500); // past any open interval
+            for _ in 0..4 {
+                assert!(b.admit(now).is_ok());
+            }
+            for _ in 0..4 {
+                b.record_request(50.0, now);
+            }
+            assert_eq!(
+                b.state(),
+                BreakerState::Open,
+                "bad probes must reopen (round {round})"
+            );
+        }
+        // open_ms doubled 100 -> 200 -> 400, capped at 400.
+        assert_eq!(b.cur_open_ms, 400);
+        assert_eq!(b.trips(), 4);
+    }
+
+    #[test]
+    fn closing_resets_backoff_and_window() {
+        let mut b = CircuitBreaker::new(cfg()).unwrap();
+        let t0 = Instant::now();
+        let mut now = trip(&mut b, t0);
+        // One failed probe round doubles the backoff.
+        now += Duration::from_millis(500);
+        for _ in 0..4 {
+            let _ = b.admit(now);
+        }
+        for _ in 0..4 {
+            b.record_request(50.0, now);
+        }
+        assert_eq!(b.cur_open_ms, 200);
+        // A healthy round closes and resets.
+        now += Duration::from_millis(500);
+        for _ in 0..4 {
+            let _ = b.admit(now);
+        }
+        for _ in 0..4 {
+            b.record_request(1.0, now);
+        }
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.cur_open_ms, 100, "close resets the backoff");
+        // The old slow samples must not re-trip the fresh window.
+        b.record_request(1.0, now + Duration::from_millis(20));
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn one_slow_probe_in_a_round_is_tolerated() {
+        let mut b = CircuitBreaker::new(cfg()).unwrap();
+        let t0 = Instant::now();
+        let now = trip(&mut b, t0) + Duration::from_millis(500);
+        for _ in 0..4 {
+            let _ = b.admit(now);
+        }
+        b.record_request(50.0, now); // 1 of 4 bad = exactly 25%
+        for _ in 0..3 {
+            b.record_request(1.0, now);
+        }
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+}

@@ -89,7 +89,9 @@ pub(crate) struct CachedRow {
 }
 
 /// A queued request awaiting dispatch. Shared with [`crate::pool`], whose
-/// workers drain the same shape from a cross-thread queue.
+/// workers drain the same shape from a cross-thread queue (and clone the
+/// claimed descriptors so a panicking batch can be requeued).
+#[derive(Clone)]
 pub(crate) struct PendingRequest {
     pub(crate) id: u64,
     pub(crate) nodes: Option<Vec<usize>>,
@@ -97,6 +99,10 @@ pub(crate) struct PendingRequest {
     /// Shed (typed [`ServeError::Expired`]) instead of dispatched if this
     /// instant passes while the request is still queued.
     pub(crate) deadline: Option<Instant>,
+    /// Times this request was requeued after a worker panic (pool
+    /// supervision); at the pool's retry budget the supervisor answers
+    /// with [`ServeError::WorkerFailed`] instead of requeueing again.
+    pub(crate) retries: u32,
 }
 
 /// Why a request was shed instead of served.
@@ -179,6 +185,12 @@ pub struct ServeStats {
     pub shed: u64,
     /// Requests shed post-admission (deadline expired before dispatch).
     pub expired: u64,
+    /// Requests answered with [`ServeError::WorkerFailed`] after their
+    /// panic retry budget was spent (pool supervision).
+    pub failed: u64,
+    /// Requests refused at admission by the overload circuit breaker
+    /// (typed [`ServeError::Overloaded`]).
+    pub rejected: u64,
 }
 
 impl ServeStats {
@@ -191,6 +203,8 @@ impl ServeStats {
         self.cache_misses += other.cache_misses;
         self.shed += other.shed;
         self.expired += other.expired;
+        self.failed += other.failed;
+        self.rejected += other.rejected;
     }
 }
 
@@ -481,6 +495,7 @@ impl<P: Predictor> ServeEngine<P> {
             nodes,
             enqueued: Instant::now(),
             deadline,
+            retries: 0,
         });
         self.metrics.record_queue_depth(self.pending.len());
         if self.pending.len() >= self.cfg.batch_size {
@@ -556,6 +571,18 @@ pub(crate) fn execute_batch<P: Predictor, C: BatchCache>(
     batch: Vec<PendingRequest>,
     cache: &mut C,
 ) -> FlushOutcome {
+    // Chaos site: `panic@serve_batch` exercises the pool supervisor's
+    // requeue path from inside the flush core; `slow@serve_batch` inflates
+    // batch latency to trip the overload circuit breaker.
+    match rdd_obs::fault::fire("serve_batch") {
+        Some(rdd_obs::FaultKind::Panic) => {
+            panic!("injected panic at serve_batch (RDD_FAULT)")
+        }
+        Some(rdd_obs::FaultKind::Slow) => {
+            std::thread::sleep(std::time::Duration::from_millis(25));
+        }
+        _ => {}
+    }
     let now = Instant::now();
     let (expired_batch, batch): (Vec<PendingRequest>, Vec<PendingRequest>) = batch
         .into_iter()

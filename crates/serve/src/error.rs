@@ -53,6 +53,25 @@ pub enum ServeError {
     },
     /// A malformed request (e.g. unparseable serve-loop JSON).
     BadRequest(String),
+    /// The request's worker panicked and the per-request retry budget is
+    /// spent; the supervisor answers with this instead of dropping the
+    /// request on the floor.
+    WorkerFailed {
+        /// How many times the request was requeued before giving up.
+        retries: u32,
+    },
+    /// The overload circuit breaker is open (or half-open past its probe
+    /// budget); retry after the advertised delay.
+    Overloaded {
+        /// Suggested client backoff, milliseconds.
+        retry_after_ms: f64,
+    },
+    /// The pool is shutting down (or already shut down); the request was
+    /// answered instead of being dropped with the queue.
+    ShuttingDown,
+    /// A replacement artifact was rejected by `try_swap` validation; the
+    /// live generation was kept.
+    SwapRejected(String),
 }
 
 impl std::fmt::Display for ServeError {
@@ -91,6 +110,20 @@ impl std::fmt::Display for ServeError {
                 )
             }
             ServeError::BadRequest(msg) => write!(f, "bad request: {msg}"),
+            ServeError::WorkerFailed { retries } => {
+                write!(
+                    f,
+                    "worker failed after {retries} retries (panic budget spent)"
+                )
+            }
+            ServeError::Overloaded { retry_after_ms } => {
+                write!(
+                    f,
+                    "overloaded (circuit open); retry after {retry_after_ms:.0} ms"
+                )
+            }
+            ServeError::ShuttingDown => write!(f, "serve pool shutting down"),
+            ServeError::SwapRejected(msg) => write!(f, "swap rejected: {msg}"),
         }
     }
 }
@@ -225,6 +258,21 @@ mod tests {
                 "checksum mismatch",
             ),
             (RddError::Cli("unknown flag --frob".into()), "--frob"),
+            (
+                RddError::Serve(ServeError::WorkerFailed { retries: 2 }),
+                "after 2 retries",
+            ),
+            (
+                RddError::Serve(ServeError::Overloaded {
+                    retry_after_ms: 750.0,
+                }),
+                "retry after 750 ms",
+            ),
+            (RddError::Serve(ServeError::ShuttingDown), "shutting down"),
+            (
+                RddError::Serve(ServeError::SwapRejected("class count changed".into())),
+                "class count",
+            ),
         ];
         for (err, needle) in cases {
             let msg = err.to_string();

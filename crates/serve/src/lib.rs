@@ -22,10 +22,22 @@
 //!   typed [`ServeError::Expired`]) with a per-node LRU prediction cache
 //!   keyed by artifact checksum, emitting per-batch latency/cache
 //!   telemetry through `rdd-obs`;
-//! * [`pool`] — [`ServePool`]: N worker threads over one bounded queue
-//!   and a shared lock-partitioned [`ShardedLru`] cache, with hot
-//!   artifact swap ([`SwapCell`], [`ServePool::swap`]) that rolls a new
-//!   generation in with zero dropped requests;
+//! * [`pool`] — [`ServePool`]: N supervised worker threads over one
+//!   bounded queue and a shared lock-partitioned [`ShardedLru`] cache.
+//!   A panicking worker requeues its batch (bounded per-request retry
+//!   budget, then typed [`ServeError::WorkerFailed`] replies) and is
+//!   respawned; hot artifact swap ([`SwapCell`], [`ServePool::swap`])
+//!   rolls a new generation in with zero dropped requests, and the
+//!   validation-gated [`ServePool::try_swap`] keeps the live generation
+//!   when a replacement cannot serve traffic;
+//! * [`swap`] — the epoch-tagged swap slot plus [`ArtifactWatcher`]:
+//!   mtime polling with full load-and-validate before install
+//!   ([`checked_load`]) and exponential capped backoff after failed
+//!   loads (swap rollback keeps the old generation live);
+//! * [`breaker`] — [`CircuitBreaker`]: a rolling-window overload breaker
+//!   (p99 latency + shed rate) that sheds admission with typed
+//!   [`ServeError::Overloaded`] replies while open and recovers through
+//!   half-open probe rounds;
 //! * [`bench`] — a closed-loop throughput bench across
 //!   {unbatched, batched} × {cold, warm}, single-threaded or pooled;
 //! * [`error`] — [`ServeError`] plus the crate-spanning [`RddError`] the
@@ -46,6 +58,7 @@
 
 pub mod artifact;
 pub mod bench;
+pub mod breaker;
 pub mod cache;
 pub mod engine;
 pub mod error;
@@ -59,6 +72,7 @@ pub use artifact::{
     write_ensemble_as, Artifact, ArtifactFormat, ArtifactMeta,
 };
 pub use bench::{bench_artifact, bench_artifact_pooled, BenchResult};
+pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
 pub use cache::{LruCache, ShardedLru};
 pub use engine::{
     RollingWindow, ServeConfig, ServeEngine, ServeReply, ServeStats, ShedCause, WindowAccum,
@@ -67,4 +81,12 @@ pub use engine::{
 pub use error::{RddError, ServeError};
 pub use pool::{PoolConfig, PoolReport, ServePool, WorkerReport};
 pub use shard::{export_run_sharded, write_sharded, AnyArtifact, ShardedArtifact};
-pub use swap::SwapCell;
+pub use swap::{checked_load, ArtifactWatcher, SwapCell, WatchOutcome};
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    /// Fault-injection state is process-global (`rdd_obs::fault`); every
+    /// unit test in this crate that arms a spec serializes on this lock,
+    /// recovering from poisoning so one failed test cannot cascade.
+    pub(crate) static FAULT_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+}

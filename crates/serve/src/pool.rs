@@ -1,5 +1,5 @@
-//! Multi-worker serving: N threads pulling micro-batches from one bounded
-//! request queue, against a hot-swappable artifact generation.
+//! Multi-worker serving: N supervised threads pulling micro-batches from
+//! one bounded request queue, against a hot-swappable artifact generation.
 //!
 //! This generalizes the persistent condvar worker pool from
 //! `rdd-tensor::par` to the serving tier. One `Mutex<VecDeque>` +
@@ -11,13 +11,33 @@
 //! single-threaded [`crate::ServeEngine`] uses, against a shared
 //! lock-partitioned [`ShardedLru`] row cache.
 //!
+//! Supervision: each batch executes behind `catch_unwind`. A panicking
+//! worker requeues its claimed batch (bounded by
+//! [`PoolConfig::retry_budget`] per request, after which the request is
+//! answered with a typed [`ServeError::WorkerFailed`] reply — never a
+//! silent drop or hang), emits `worker_panic`, spawns a replacement
+//! thread for its slot (`worker_respawn`), and dies. [`ServePool::shutdown`]
+//! answers anything still queued with typed [`ServeError::ShuttingDown`]
+//! replies instead of dropping the queue.
+//!
 //! Hot swap: the current predictor lives in a [`SwapCell`]; workers
 //! re-check its epoch with one atomic load per batch and pin an `Arc`
 //! clone for the batch's duration, so [`ServePool::swap`] rolls a new
 //! generation in with zero dropped requests and every reply tagged with
-//! the generation that actually served it. Cache keys carry each
-//! generation's `cache_epoch` (artifact checksum), so stale generations'
-//! rows can never alias — old epochs simply age out of the LRU.
+//! the generation that actually served it. [`ServePool::try_swap`] is the
+//! validation-gated variant the watch loop uses: a replacement that
+//! cannot serve live traffic (class count changed, empty predictor) is
+//! rejected with [`ServeError::SwapRejected`] and the live generation
+//! stays installed. Cache keys carry each generation's `cache_epoch`
+//! (artifact checksum), so stale generations' rows can never alias — old
+//! epochs simply age out of the LRU.
+//!
+//! Overload: an optional [`CircuitBreaker`] gates admission. While open,
+//! [`ServePool::submit`] returns typed [`ServeError::Overloaded`] errors
+//! carrying `retry_after_ms`; workers feed completed-request latencies
+//! back so the breaker can trip on p99/shed-rate and recover through
+//! half-open probes. The live state rides along in [`ServePool::metrics`]
+//! snapshots (`serve_metrics` heartbeats).
 //!
 //! Replies stream to the caller-provided `mpsc::Sender` in completion
 //! order (batch order within a worker; interleaved across workers).
@@ -25,9 +45,11 @@
 //! merged lock-free via histogram merge into one
 //! [`ServeMetricsSnapshot`]; [`ServePool::shutdown`] drains the queue,
 //! joins the workers, publishes per-worker latency histograms
-//! (`serve.worker<i>.request_ns`) and reports per-worker utilization.
+//! (`serve.worker<i>.request_ns`) and reports per-worker utilization,
+//! panic and respawn counts.
 
 use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -35,6 +57,7 @@ use std::time::{Duration, Instant};
 use rdd_models::{ConfigError, Predictor};
 use rdd_obs::{HistSnapshot, ServeMetricsSnapshot};
 
+use crate::breaker::{BreakerConfig, CircuitBreaker};
 use crate::cache::ShardedLru;
 use crate::engine::{
     execute_batch, CachedRow, PendingRequest, RollingWindow, ServeConfig, ServeReply, ServeStats,
@@ -44,8 +67,9 @@ use crate::error::ServeError;
 use crate::swap::SwapCell;
 
 /// Pool tuning: the per-flush knobs of [`ServeConfig`] plus the worker
-/// count and metrics-window width.
-#[derive(Clone, Debug, PartialEq, Eq)]
+/// count, metrics-window width, supervision retry budget and the optional
+/// overload breaker.
+#[derive(Clone, Debug, PartialEq)]
 pub struct PoolConfig {
     /// Batch/queue/cache knobs, shared with the single-threaded engine.
     pub serve: ServeConfig,
@@ -56,6 +80,12 @@ pub struct PoolConfig {
     /// Lock partitions for the shared row cache (≥ 1; more partitions =
     /// less contention, coarser global LRU order).
     pub cache_partitions: usize,
+    /// Times one request may be requeued after a worker panic before the
+    /// supervisor answers it with [`ServeError::WorkerFailed`] (0 = fail
+    /// on the first panic).
+    pub retry_budget: u32,
+    /// Overload circuit breaker at admission (`None` = always admit).
+    pub breaker: Option<BreakerConfig>,
 }
 
 impl Default for PoolConfig {
@@ -65,12 +95,15 @@ impl Default for PoolConfig {
             workers: 2,
             metrics_window_s: DEFAULT_METRICS_WINDOW_S,
             cache_partitions: 8,
+            retry_budget: 2,
+            breaker: None,
         }
     }
 }
 
 impl PoolConfig {
-    /// Reject zero workers/partitions on top of [`ServeConfig::validate`].
+    /// Reject zero workers/partitions (and an unusable breaker) on top of
+    /// [`ServeConfig::validate`].
     pub fn validate(&self) -> Result<(), ConfigError> {
         self.serve.validate()?;
         if self.workers < 1 {
@@ -86,6 +119,9 @@ impl PoolConfig {
                 self.cache_partitions,
                 ">= 1 cache partition",
             ));
+        }
+        if let Some(breaker) = &self.breaker {
+            breaker.validate()?;
         }
         Ok(())
     }
@@ -109,11 +145,14 @@ struct WorkerState {
     lifetime_lat: HistSnapshot,
     stats: ServeStats,
     busy: Duration,
+    panics: u64,
+    respawns: u64,
 }
 
 struct AdmissionState {
     window: RollingWindow,
     shed: u64,
+    rejected: u64,
 }
 
 struct Shared<P> {
@@ -124,6 +163,14 @@ struct Shared<P> {
     cache: Option<ShardedLru<(u64, usize), CachedRow>>,
     admission: Mutex<AdmissionState>,
     workers: Vec<Mutex<WorkerState>>,
+    /// Worker threads, including replacements spawned by the supervisor;
+    /// `close_and_join` pops until this drains.
+    handles: Mutex<Vec<JoinHandle<()>>>,
+    /// Every worker (original or respawned) and the shutdown drain send
+    /// replies through clones of this sender.
+    reply_tx: mpsc::Sender<ServeReply>,
+    retry_budget: u32,
+    breaker: Option<Mutex<CircuitBreaker>>,
 }
 
 /// Final per-worker accounting from [`ServePool::shutdown`].
@@ -139,6 +186,10 @@ pub struct WorkerReport {
     pub busy_ms: f64,
     /// `busy_ms` over the pool's total wall time (0..=1 per worker).
     pub utilization: f64,
+    /// Batch executions on this slot that panicked (caught + supervised).
+    pub panics: u64,
+    /// Replacement threads spawned for this slot after panics.
+    pub respawns: u64,
 }
 
 /// Everything [`ServePool::shutdown`] hands back.
@@ -150,12 +201,14 @@ pub struct PoolReport {
     pub wall_ms: f64,
     /// Per-worker breakdown, indexed by worker id.
     pub workers: Vec<WorkerReport>,
+    /// Times the overload breaker tripped open (0 without a breaker).
+    pub breaker_trips: u64,
 }
 
-/// N serve workers over one bounded queue and a hot-swappable predictor.
+/// N supervised serve workers over one bounded queue and a hot-swappable
+/// predictor.
 pub struct ServePool<P: Predictor + Send + Sync + 'static> {
     shared: Arc<Shared<P>>,
-    handles: Vec<JoinHandle<()>>,
     started: Instant,
 }
 
@@ -170,6 +223,10 @@ impl<P: Predictor + Send + Sync + 'static> ServePool<P> {
         reply_tx: mpsc::Sender<ServeReply>,
     ) -> Result<Self, ConfigError> {
         cfg.validate()?;
+        let breaker = match &cfg.breaker {
+            Some(bc) => Some(Mutex::new(CircuitBreaker::new(bc.clone())?)),
+            None => None,
+        };
         let cache = (cfg.serve.cache_capacity > 0)
             .then(|| ShardedLru::new(cfg.serve.cache_capacity, cfg.cache_partitions));
         let shared = Arc::new(Shared {
@@ -187,6 +244,7 @@ impl<P: Predictor + Send + Sync + 'static> ServePool<P> {
             admission: Mutex::new(AdmissionState {
                 window: RollingWindow::new(cfg.metrics_window_s),
                 shed: 0,
+                rejected: 0,
             }),
             workers: (0..cfg.workers)
                 .map(|_| {
@@ -195,23 +253,24 @@ impl<P: Predictor + Send + Sync + 'static> ServePool<P> {
                         lifetime_lat: HistSnapshot::new(),
                         stats: ServeStats::default(),
                         busy: Duration::ZERO,
+                        panics: 0,
+                        respawns: 0,
                     })
                 })
                 .collect(),
+            handles: Mutex::new(Vec::with_capacity(cfg.workers)),
+            reply_tx,
+            retry_budget: cfg.retry_budget,
+            breaker,
         });
-        let handles = (0..cfg.workers)
-            .map(|idx| {
-                let shared = Arc::clone(&shared);
-                let tx = reply_tx.clone();
-                std::thread::Builder::new()
-                    .name(format!("rdd-serve-{idx}"))
-                    .spawn(move || worker_loop(&shared, idx, &tx))
-                    .expect("spawn serve worker")
-            })
-            .collect();
+        {
+            let mut handles = shared.handles.lock().unwrap();
+            for idx in 0..cfg.workers {
+                handles.push(spawn_worker(&shared, idx));
+            }
+        }
         Ok(Self {
             shared,
-            handles,
             started: Instant::now(),
         })
     }
@@ -237,18 +296,30 @@ impl<P: Predictor + Send + Sync + 'static> ServePool<P> {
         nodes: Option<Vec<usize>>,
         deadline: Option<Instant>,
     ) -> Result<(), ServeError> {
+        if let Some(breaker) = &self.shared.breaker {
+            let verdict = breaker.lock().unwrap().admit(Instant::now());
+            if let Err(e) = verdict {
+                self.shared.admission.lock().unwrap().rejected += 1;
+                return Err(e);
+            }
+        }
         let depth = {
             let mut q = self.shared.queue.lock().unwrap();
             if q.closed {
-                return Err(ServeError::BadRequest(
-                    "serve pool is shut down".to_string(),
-                ));
+                return Err(ServeError::ShuttingDown);
             }
             if q.pending.len() >= self.shared.cfg.queue_capacity {
                 drop(q);
-                let mut a = self.shared.admission.lock().unwrap();
-                a.shed += 1;
-                a.window.record_shed(ShedCause::QueueFull);
+                {
+                    let mut a = self.shared.admission.lock().unwrap();
+                    a.shed += 1;
+                    a.window.record_shed(ShedCause::QueueFull);
+                }
+                // Queue-full sheds are overload signal the breaker's shed
+                // rate watches (its own rejections are not).
+                if let Some(breaker) = &self.shared.breaker {
+                    breaker.lock().unwrap().record_shed(Instant::now());
+                }
                 return Err(ServeError::QueueFull {
                     capacity: self.shared.cfg.queue_capacity,
                 });
@@ -258,6 +329,7 @@ impl<P: Predictor + Send + Sync + 'static> ServePool<P> {
                 nodes,
                 enqueued: Instant::now(),
                 deadline,
+                retries: 0,
             });
             q.pending.len()
         };
@@ -293,8 +365,31 @@ impl<P: Predictor + Send + Sync + 'static> ServePool<P> {
         generation
     }
 
+    /// Validation-gated [`ServePool::swap`]: reject a replacement that
+    /// live traffic cannot be served by, keeping the current generation
+    /// installed. This is the only swap path the artifact-watch loop may
+    /// use — a partially-loaded or shape-changed predictor never goes
+    /// live.
+    pub fn try_swap(&self, predictor: P, cache_epoch: u64) -> Result<u64, ServeError> {
+        let (live, _) = self.shared.cell.load();
+        if predictor.num_classes() != live.predictor.num_classes() {
+            return Err(ServeError::SwapRejected(format!(
+                "num_classes changed: live {}, replacement {}",
+                live.predictor.num_classes(),
+                predictor.num_classes()
+            )));
+        }
+        if predictor.num_nodes() == 0 {
+            return Err(ServeError::SwapRejected(
+                "replacement predictor serves zero nodes".to_string(),
+            ));
+        }
+        drop(live);
+        Ok(self.swap(predictor, cache_epoch))
+    }
+
     /// Live metrics merged across the admission window and every worker's
-    /// rolling window.
+    /// rolling window, with the breaker's current state (if configured).
     pub fn metrics(&self) -> ServeMetricsSnapshot {
         let mut acc = WindowAccum::new();
         self.shared
@@ -306,14 +401,22 @@ impl<P: Predictor + Send + Sync + 'static> ServePool<P> {
         for w in &self.shared.workers {
             w.lock().unwrap().window.accumulate(&mut acc);
         }
-        acc.finalize()
+        let mut snapshot = acc.finalize();
+        if let Some(breaker) = &self.shared.breaker {
+            snapshot.breaker = Some(breaker.lock().unwrap().state().as_str());
+        }
+        snapshot
     }
 
     /// Pool-lifetime counters merged across admission and every worker.
     pub fn stats(&self) -> ServeStats {
-        let mut stats = ServeStats {
-            shed: self.shared.admission.lock().unwrap().shed,
-            ..ServeStats::default()
+        let mut stats = {
+            let a = self.shared.admission.lock().unwrap();
+            ServeStats {
+                shed: a.shed,
+                rejected: a.rejected,
+                ..ServeStats::default()
+            }
         };
         for w in &self.shared.workers {
             stats.merge(&w.lock().unwrap().stats);
@@ -321,26 +424,54 @@ impl<P: Predictor + Send + Sync + 'static> ServePool<P> {
         stats
     }
 
-    fn close_and_join(&mut self) {
+    fn close_and_join(&self) {
         {
             let mut q = self.shared.queue.lock().unwrap();
-            if q.closed && self.handles.is_empty() {
+            if q.closed && self.shared.handles.lock().unwrap().is_empty() {
                 return;
             }
             q.closed = true;
         }
         self.shared.available.notify_all();
-        for h in self.handles.drain(..) {
-            let _ = h.join();
+        // A joined worker may have pushed a replacement handle before it
+        // died (push happens-before its exit, exit happens-before the join
+        // returns), so keep popping until the list drains.
+        loop {
+            let handle = self.shared.handles.lock().unwrap().pop();
+            match handle {
+                Some(h) => {
+                    let _ = h.join();
+                }
+                None => break,
+            }
         }
     }
 
     /// Close the queue, let the workers drain every already-admitted
-    /// request, join them, publish per-worker latency histograms as
+    /// request, join them (including supervisor-respawned replacements),
+    /// answer anything still queued with typed [`ServeError::ShuttingDown`]
+    /// replies, publish per-worker latency histograms as
     /// `serve.worker<i>.request_ns` hist events, and report final
-    /// counters + per-worker utilization.
-    pub fn shutdown(mut self) -> PoolReport {
+    /// counters + per-worker utilization/panics/respawns.
+    pub fn shutdown(self) -> PoolReport {
         self.close_and_join();
+        // Workers normally drain the queue before exiting; anything left
+        // (all replacements dead, drop-path races) is answered, not
+        // dropped with the VecDeque.
+        let stranded: Vec<PendingRequest> = {
+            let mut q = self.shared.queue.lock().unwrap();
+            q.pending.drain(..).collect()
+        };
+        let generation = self.shared.cell.epoch();
+        for req in stranded {
+            let _ = self.shared.reply_tx.send(ServeReply {
+                id: req.id,
+                result: Err(ServeError::ShuttingDown),
+                latency_ms: req.enqueued.elapsed().as_secs_f64() * 1e3,
+                cache_hits: 0,
+                generation,
+            });
+        }
         let wall_ms = self.started.elapsed().as_secs_f64() * 1e3;
         let mut workers = Vec::with_capacity(self.shared.workers.len());
         for (i, w) in self.shared.workers.iter().enumerate() {
@@ -357,12 +488,19 @@ impl<P: Predictor + Send + Sync + 'static> ServePool<P> {
                 } else {
                     0.0
                 },
+                panics: w.panics,
+                respawns: w.respawns,
             });
         }
         PoolReport {
             stats: self.stats(),
             wall_ms,
             workers,
+            breaker_trips: self
+                .shared
+                .breaker
+                .as_ref()
+                .map_or(0, |b| b.lock().unwrap().trips()),
         }
     }
 }
@@ -373,11 +511,21 @@ impl<P: Predictor + Send + Sync + 'static> Drop for ServePool<P> {
     }
 }
 
-fn worker_loop<P: Predictor + Send + Sync + 'static>(
-    shared: &Shared<P>,
+/// Spawn one worker thread for slot `idx` (initial spawn and supervisor
+/// respawns go through the same path).
+fn spawn_worker<P: Predictor + Send + Sync + 'static>(
+    shared: &Arc<Shared<P>>,
     idx: usize,
-    tx: &mpsc::Sender<ServeReply>,
-) {
+) -> JoinHandle<()> {
+    let shared = Arc::clone(shared);
+    std::thread::Builder::new()
+        .name(format!("rdd-serve-{idx}"))
+        .spawn(move || worker_loop(&shared, idx))
+        .expect("spawn serve worker")
+}
+
+fn worker_loop<P: Predictor + Send + Sync + 'static>(shared: &Arc<Shared<P>>, idx: usize) {
+    let tx = shared.reply_tx.clone();
     let (mut generation, mut seen) = shared.cell.load();
     let max_delay = Duration::from_millis(shared.cfg.max_delay_ms);
     loop {
@@ -412,17 +560,36 @@ fn worker_loop<P: Predictor + Send + Sync + 'static>(
             generation = g;
             seen = e;
         }
+        // Supervision: clone the claimed descriptors so a panicking batch
+        // can be requeued, then run the flush core behind catch_unwind.
+        // Both injected sites (`panic@serve_worker` here,
+        // `panic@serve_batch` inside the core) unwind into this catch
+        // without any lock held.
+        let saved: Vec<PendingRequest> = batch.clone();
         let t0 = Instant::now();
-        let mut cache = shared.cache.as_ref();
-        let out = execute_batch(
-            idx,
-            &generation.predictor,
-            generation.cache_epoch,
-            seen,
-            batch,
-            &mut cache,
-        );
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            if rdd_obs::fault::fire("serve_worker") == Some(rdd_obs::FaultKind::Panic) {
+                panic!("injected panic at serve_worker (RDD_FAULT)");
+            }
+            let mut cache = shared.cache.as_ref();
+            execute_batch(
+                idx,
+                &generation.predictor,
+                generation.cache_epoch,
+                seen,
+                batch,
+                &mut cache,
+            )
+        }));
         let busy = t0.elapsed();
+        let out = match outcome {
+            Ok(out) => out,
+            Err(_) => {
+                supervise_panic(shared, idx, seen, saved, &tx);
+                return; // the replacement thread takes over this slot
+            }
+        };
+        drop(saved);
         {
             let mut w = shared.workers[idx].lock().unwrap();
             w.busy += busy;
@@ -444,6 +611,15 @@ fn worker_loop<P: Predictor + Send + Sync + 'static>(
                 out.nodes_served.saturating_sub(out.hits) as u64,
             );
         }
+        // Completed-request latencies are the breaker's trip/recovery
+        // signal; one lock per batch.
+        if let Some(breaker) = &shared.breaker {
+            let mut b = breaker.lock().unwrap();
+            let now = Instant::now();
+            for &lat_ms in &out.latencies {
+                b.record_request(lat_ms, now);
+            }
+        }
         for reply in out.replies {
             // A dropped receiver is not an error worth dying for: keep
             // draining so shutdown still completes.
@@ -452,12 +628,71 @@ fn worker_loop<P: Predictor + Send + Sync + 'static>(
     }
 }
 
+/// The supervisor path a worker runs after catching a batch panic:
+/// requeue what still has retry budget, answer the rest with typed
+/// [`ServeError::WorkerFailed`] replies, account the panic, and spawn a
+/// replacement thread for this slot before the caller exits.
+fn supervise_panic<P: Predictor + Send + Sync + 'static>(
+    shared: &Arc<Shared<P>>,
+    idx: usize,
+    generation: u64,
+    saved: Vec<PendingRequest>,
+    tx: &mpsc::Sender<ServeReply>,
+) {
+    let claimed = saved.len();
+    let (retryable, spent): (Vec<_>, Vec<_>) = saved
+        .into_iter()
+        .partition(|req| req.retries < shared.retry_budget);
+    let requeued = retryable.len();
+    if requeued > 0 {
+        {
+            let mut q = shared.queue.lock().unwrap();
+            // push_front in reverse keeps the original arrival order at
+            // the head of the queue.
+            for mut req in retryable.into_iter().rev() {
+                req.retries += 1;
+                q.pending.push_front(req);
+            }
+        }
+        shared.available.notify_all();
+    }
+    let failed = spent.len();
+    for req in spent {
+        let _ = tx.send(ServeReply {
+            id: req.id,
+            result: Err(ServeError::WorkerFailed {
+                retries: req.retries,
+            }),
+            latency_ms: req.enqueued.elapsed().as_secs_f64() * 1e3,
+            cache_hits: 0,
+            generation,
+        });
+    }
+    let respawns = {
+        let mut w = shared.workers[idx].lock().unwrap();
+        w.panics += 1;
+        w.stats.requests += failed as u64;
+        w.stats.failed += failed as u64;
+        w.respawns + 1
+    };
+    rdd_obs::emit_worker_panic(idx, claimed, requeued, failed);
+    // Spawn the replacement before this thread exits; close_and_join
+    // keeps popping handles until the list drains, so the new handle is
+    // always joined.
+    let handle = spawn_worker(shared, idx);
+    shared.handles.lock().unwrap().push(handle);
+    shared.workers[idx].lock().unwrap().respawns = respawns;
+    rdd_obs::emit_worker_respawn(idx, respawns);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use rdd_models::{gather_prediction, PredictError, PredictRequest, Prediction};
     use rdd_tensor::Matrix;
     use std::sync::atomic::{AtomicUsize, Ordering};
+
+    use crate::testutil::FAULT_LOCK;
 
     /// Thread-safe fake: proba(node) = f(node, tag), counting executions.
     struct FakePredictor {
@@ -496,7 +731,7 @@ mod tests {
     }
 
     #[test]
-    fn config_rejects_zero_workers_and_partitions() {
+    fn config_rejects_zero_workers_partitions_and_bad_breaker() {
         let cfg = PoolConfig {
             workers: 0,
             ..PoolConfig::default()
@@ -507,6 +742,11 @@ mod tests {
             ..PoolConfig::default()
         };
         assert_eq!(cfg.validate().unwrap_err().field, "serve.cache_partitions");
+        let cfg = PoolConfig {
+            breaker: Some(BreakerConfig::with_p99_ms(0.0)),
+            ..PoolConfig::default()
+        };
+        assert_eq!(cfg.validate().unwrap_err().field, "breaker.p99_ms");
     }
 
     #[test]
@@ -539,17 +779,20 @@ mod tests {
         assert_eq!(report.workers.len(), 3);
         let worked: u64 = report.workers.iter().map(|w| w.requests).sum();
         assert_eq!(worked, 50);
+        assert_eq!(report.stats.failed, 0);
+        assert_eq!(report.breaker_trips, 0);
     }
 
     #[test]
-    fn submit_after_shutdown_is_rejected() {
+    fn submit_after_shutdown_is_typed_shutting_down() {
         let (tx, _rx) = mpsc::channel();
         let pool =
             ServePool::new(FakePredictor::new(8, 2, 0), PoolConfig::default(), 1, tx).unwrap();
-        let shared = Arc::clone(&pool.shared);
-        drop(pool); // Drop path also closes + joins
-        let q = shared.queue.lock().unwrap();
-        assert!(q.closed);
+        pool.close_and_join();
+        assert!(matches!(
+            pool.submit(0, Some(vec![1])),
+            Err(ServeError::ShuttingDown)
+        ));
     }
 
     #[test]
@@ -580,5 +823,181 @@ mod tests {
         let b = second.result.unwrap();
         assert_ne!(a.proba.as_slice(), b.proba.as_slice());
         pool.shutdown();
+    }
+
+    #[test]
+    fn try_swap_rejects_shape_changes_and_installs_valid_replacements() {
+        let (tx, _rx) = mpsc::channel();
+        let cfg = PoolConfig {
+            workers: 1,
+            ..PoolConfig::default()
+        };
+        let pool = ServePool::new(FakePredictor::new(8, 2, 0), cfg, 1, tx).unwrap();
+        let err = pool.try_swap(FakePredictor::new(8, 3, 1), 2).unwrap_err();
+        assert!(
+            matches!(&err, ServeError::SwapRejected(msg) if msg.contains("num_classes")),
+            "got {err:?}"
+        );
+        assert_eq!(pool.generation(), 0, "rejected swap must not go live");
+        let generation = pool.try_swap(FakePredictor::new(8, 2, 1), 2).unwrap();
+        assert_eq!(generation, 1);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn panicking_worker_requeues_batch_and_respawns() {
+        let _guard = FAULT_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        rdd_obs::fault::arm("panic@serve_worker:0x1").unwrap();
+        let (tx, rx) = mpsc::channel();
+        let cfg = PoolConfig {
+            serve: ServeConfig {
+                batch_size: 4,
+                max_delay_ms: 1,
+                ..ServeConfig::default()
+            },
+            workers: 1,
+            ..PoolConfig::default()
+        };
+        let pool = ServePool::new(FakePredictor::new(16, 3, 0), cfg, 7, tx).unwrap();
+        for id in 0..12u64 {
+            pool.submit(id, Some(vec![(id % 16) as usize])).unwrap();
+        }
+        let mut replies = Vec::with_capacity(12);
+        for _ in 0..12 {
+            replies.push(
+                rx.recv_timeout(Duration::from_secs(20))
+                    .expect("every request must be answered despite the panic"),
+            );
+        }
+        rdd_obs::fault::disarm();
+        let report = pool.shutdown();
+        assert!(
+            replies.iter().all(|r| r.result.is_ok()),
+            "requeued requests must succeed once the replacement worker runs"
+        );
+        let mut ids: Vec<u64> = replies.iter().map(|r| r.id).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..12).collect::<Vec<_>>());
+        assert_eq!(report.workers.iter().map(|w| w.panics).sum::<u64>(), 1);
+        assert!(report.workers.iter().map(|w| w.respawns).sum::<u64>() >= 1);
+        assert_eq!(report.stats.failed, 0);
+    }
+
+    #[test]
+    fn spent_retry_budget_answers_typed_worker_failed() {
+        let _guard = FAULT_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        // k=8 covers the worst case (4 singleton first attempts + 4
+        // singleton retries); every batch containing a request panics
+        // until all requests are answered.
+        rdd_obs::fault::arm("panic@serve_worker:0x8").unwrap();
+        let (tx, rx) = mpsc::channel();
+        let cfg = PoolConfig {
+            serve: ServeConfig {
+                batch_size: 4,
+                max_delay_ms: 20,
+                ..ServeConfig::default()
+            },
+            workers: 1,
+            retry_budget: 1,
+            ..PoolConfig::default()
+        };
+        let pool = ServePool::new(FakePredictor::new(8, 2, 0), cfg, 3, tx).unwrap();
+        for id in 0..4u64 {
+            pool.submit(id, Some(vec![(id % 8) as usize])).unwrap();
+        }
+        let mut replies = Vec::with_capacity(4);
+        for _ in 0..4 {
+            replies.push(
+                rx.recv_timeout(Duration::from_secs(20))
+                    .expect("spent-budget requests must still be answered"),
+            );
+        }
+        rdd_obs::fault::disarm();
+        let report = pool.shutdown();
+        for reply in &replies {
+            assert!(
+                matches!(reply.result, Err(ServeError::WorkerFailed { retries: 1 })),
+                "expected WorkerFailed after 1 retry, got {:?}",
+                reply.result
+            );
+        }
+        assert_eq!(report.stats.failed, 4);
+        assert!(report.workers.iter().map(|w| w.panics).sum::<u64>() >= 2);
+    }
+
+    #[test]
+    fn breaker_trips_on_slow_traffic_and_rejects_with_overloaded() {
+        let (tx, rx) = mpsc::channel();
+        let cfg = PoolConfig {
+            serve: ServeConfig {
+                batch_size: 1,
+                max_delay_ms: 0,
+                cache_capacity: 0,
+                ..ServeConfig::default()
+            },
+            workers: 1,
+            breaker: Some(BreakerConfig {
+                // Any real latency exceeds this SLO; stays open for the
+                // rest of the test so the assertions are race-free.
+                p99_ms: 1e-6,
+                min_requests: 1,
+                eval_every_ms: 1,
+                open_ms: 60_000,
+                max_open_ms: 60_000,
+                probes: 1,
+                ..BreakerConfig::default()
+            }),
+            ..PoolConfig::default()
+        };
+        let pool = ServePool::new(FakePredictor::new(8, 2, 0), cfg, 5, tx).unwrap();
+        let mut tripped = false;
+        for id in 0..200u64 {
+            match pool.submit(id, Some(vec![1])) {
+                Err(ServeError::Overloaded { retry_after_ms }) => {
+                    assert!(retry_after_ms > 0.0);
+                    tripped = true;
+                    break;
+                }
+                Err(other) => panic!("unexpected error before trip: {other:?}"),
+                Ok(()) => std::thread::sleep(Duration::from_millis(2)),
+            }
+        }
+        assert!(tripped, "breaker must trip once latencies feed back");
+        assert_eq!(pool.metrics().breaker, Some("open"));
+        let report = pool.shutdown();
+        assert!(report.breaker_trips >= 1);
+        assert!(report.stats.rejected >= 1);
+        drop(rx);
+    }
+
+    #[test]
+    fn stranded_requests_are_answered_on_shutdown() {
+        let (tx, rx) = mpsc::channel();
+        let cfg = PoolConfig {
+            workers: 1,
+            ..PoolConfig::default()
+        };
+        let pool = ServePool::new(FakePredictor::new(8, 2, 0), cfg, 1, tx).unwrap();
+        // Stop the worker first, then strand a request in the queue —
+        // the state a dead-and-not-replaced worker set would leave.
+        pool.close_and_join();
+        pool.shared
+            .queue
+            .lock()
+            .unwrap()
+            .pending
+            .push_back(PendingRequest {
+                id: 99,
+                nodes: None,
+                enqueued: Instant::now(),
+                deadline: None,
+                retries: 0,
+            });
+        pool.shutdown();
+        let reply = rx
+            .recv_timeout(Duration::from_secs(5))
+            .expect("stranded request must be answered, not dropped");
+        assert_eq!(reply.id, 99);
+        assert!(matches!(reply.result, Err(ServeError::ShuttingDown)));
     }
 }

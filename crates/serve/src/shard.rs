@@ -275,6 +275,14 @@ impl ShardedArtifact {
                     meta.dataset_n
                 )));
             }
+            // Chaos site: `corrupt@shard_load` makes this shard read fail
+            // with a typed corruption error, exercising swap rollback
+            // (the live generation must keep serving).
+            if rdd_obs::fault::fire("shard_load") == Some(rdd_obs::FaultKind::Corrupt) {
+                return Err(ServeError::Artifact(format!(
+                    "{file}: injected corruption (RDD_FAULT corrupt@shard_load)"
+                )));
+            }
             let shard = Artifact::load(&dir.join(file))?;
             if shard.checksum() != recorded {
                 return Err(err(format!(
