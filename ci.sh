@@ -345,4 +345,49 @@ $RDD trace-summary "$BRK_DIR/breaker.jsonl" | grep -q "Breaker:" \
   || { echo "breaker smoke: trace-summary missing Breaker lines" >&2; exit 1; }
 target/trace_check "$BRK_DIR/breaker.jsonl"
 
+echo "==> distill gate (distill-mlp, v3 artifact, ByFeatures served bitwise vs offline student)"
+# Distill the frozen cora-sim ensemble into the graph-free MLP student:
+# the accuracy gap to the teacher must stay bounded, the v3 artifact must
+# advertise feature serving (and refuse node requests), and a served
+# `{"features": ...}` stream must come back byte-identical to the offline
+# student forward over the same rows. Feature values are exact multiples
+# of 1/64 so the JSON (f64) and TSV (f32) parse paths cannot diverge.
+KD_DIR="$GUARD_DIR/distill"
+mkdir -p "$KD_DIR"
+$RDD train cora --models 2 --run-dir "$KD_DIR/run" >/dev/null
+$RDD distill-mlp "$KD_DIR/run" "$KD_DIR/student.artifact" > "$KD_DIR/distill.txt"
+grep -q "accuracy gap" "$KD_DIR/distill.txt" \
+  || { echo "distill gate: no accuracy-gap table" >&2; exit 1; }
+GAP="$(awk '/accuracy gap:/ { gsub(/[+%]/, "", $3); print $3 }' "$KD_DIR/distill.txt")"
+awk -v g="$GAP" 'BEGIN { exit !(g <= 20.0) }' \
+  || { echo "distill gate: student trails the ensemble by $GAP% (> 20%)" >&2; exit 1; }
+$RDD artifact-info "$KD_DIR/student.artifact" > "$KD_DIR/info.txt"
+grep -q "serves:      nodes no, features yes" "$KD_DIR/info.txt" \
+  || { echo "distill gate: v3 artifact capabilities wrong" >&2; exit 1; }
+IN_DIM="$(awk '/^student:/ { print $2 }' "$KD_DIR/info.txt")"
+awk -v d="$IN_DIM" 'BEGIN {
+  for (i = 0; i < 32; i++) {
+    for (j = 0; j < d; j++) printf "%s%.6f", (j ? " " : ""), ((i * 31 + j * 17) % 64) / 64
+    print ""
+  }
+}' > "$KD_DIR/rows.tsv"
+awk '{
+  printf "{\"id\":%d,\"features\":[", NR - 1
+  for (i = 1; i <= NF; i++) printf "%s%s", (i > 1 ? "," : ""), $i
+  print "]}"
+}' "$KD_DIR/rows.tsv" > "$KD_DIR/requests.jsonl"
+$RDD artifact-info "$KD_DIR/student.artifact" \
+  --features-in "$KD_DIR/rows.tsv" --proba-out "$KD_DIR/offline_student.proba" >/dev/null
+$RDD serve --artifact "$KD_DIR/student.artifact" --batch 8 \
+  --proba-out "$KD_DIR/served.proba" \
+  < "$KD_DIR/requests.jsonl" > "$KD_DIR/replies.jsonl" 2>/dev/null
+cmp "$KD_DIR/offline_student.proba" "$KD_DIR/served.proba" \
+  || { echo "distill gate: served feature rows diverged from offline student" >&2; exit 1; }
+[ "$(grep -c '"kind":"features"' "$KD_DIR/replies.jsonl")" -eq 32 ] \
+  || { echo "distill gate: replies missing kind=features" >&2; exit 1; }
+# Node requests against the student must fail with the typed error, not rows.
+printf '{"id":0,"nodes":[0]}\n' | $RDD serve --artifact "$KD_DIR/student.artifact" \
+  2>/dev/null | grep -q "node-id requests unsupported" \
+  || { echo "distill gate: node request against mlp artifact not a typed error" >&2; exit 1; }
+
 echo "ci.sh: all gates passed"

@@ -12,16 +12,17 @@ use rdd_baselines::{
     bagging, bans, co_training, mean_teacher, self_training, snapshot_ensemble, BansConfig,
     MeanTeacherConfig, PseudoLabelConfig, SnapshotConfig,
 };
-use rdd_core::{RddConfig, RddTrainer};
+use rdd_core::{distill_run, DistillConfig, RddConfig, RddTrainer, RunState};
 use rdd_graph::{io, Dataset, DatasetStats, SynthConfig};
 use rdd_models::{
-    train as train_model, Gat, GatConfig, Gcn, GcnConfig, GraphContext, GraphSage, Predictor,
-    PredictorExt, SageConfig, TrainConfig,
+    train as train_model, Gat, GatConfig, Gcn, GcnConfig, GraphContext, GraphSage, PredictRequest,
+    Predictor, PredictorExt, SageConfig, TrainConfig,
 };
 use rdd_obs::Json;
 use rdd_serve::{
-    bench_artifact, bench_artifact_pooled, export_run_as, export_run_sharded, quant, AnyArtifact,
-    Artifact, ArtifactFormat, ArtifactWatcher, BreakerConfig, PoolConfig, RddError, ServeConfig,
+    bench_artifact, bench_artifact_features, bench_artifact_pooled, export_run_as,
+    export_run_sharded, quant, write_mlp_artifact, AnyArtifact, Artifact, ArtifactFormat,
+    ArtifactMeta, ArtifactWatcher, BreakerConfig, MlpArtifact, PoolConfig, RddError, ServeConfig,
     ServeEngine, ServePool, ServeReply, WatchOutcome,
 };
 use rdd_tensor::{seeded_rng, Matrix};
@@ -475,25 +476,132 @@ pub fn export(args: &Args) -> Result<(), RddError> {
     Ok(())
 }
 
+/// Shared by `distill-mlp` and `serve-bench --features-mode`: distill a
+/// completed run directory's ensemble into a graph-free MLP student and
+/// freeze it as a v3 (mlp) artifact. Returns the distillation outcome and
+/// the written artifact's checksum.
+fn distill_run_to_artifact(
+    args: &Args,
+    run_dir: &Path,
+    artifact_path: &Path,
+    quantize: bool,
+    fast: bool,
+) -> Result<(rdd_core::DistillOutcome, u64), RddError> {
+    let state = RunState::load(run_dir)?;
+    let data = load(state.source(), None)?;
+    let mut cfg = if fast {
+        DistillConfig::fast()
+    } else {
+        DistillConfig::standard()
+    };
+    cfg.lambda_kd = args.get_or("lambda", cfg.lambda_kd)?;
+    cfg.p = args.get_or("p", cfg.p)?;
+    cfg.seed = args.get_or("seed", cfg.seed)?;
+    cfg.train.epochs = args.get_or("epochs", cfg.train.epochs)?;
+    cfg.validate().map_err(|e| RddError::Cli(e.to_string()))?;
+    let out = distill_run(&state, &data, &cfg)?;
+    let student_params = rdd_models::Model::params(&out.student).to_vec();
+    // The artifact's meta is the *teacher's* provenance — the student's own
+    // shape lives in the v3 `mlp` line. This keeps `artifact-info` and
+    // `AnyArtifact::meta()` uniform across every format.
+    let (n, k) = state.dataset_shape();
+    let ensemble = state.load_ensemble()?;
+    let meta = ArtifactMeta {
+        dataset_name: state.dataset_name().to_string(),
+        dataset_n: n,
+        num_classes: k,
+        source: state.source().to_string(),
+        members: ensemble.len(),
+        alphas: ensemble.alphas(),
+        alpha_total: ensemble.alpha_total(),
+    };
+    let checksum = write_mlp_artifact(artifact_path, &meta, &student_params, quantize)?;
+    Ok((out, checksum))
+}
+
+/// `rdd distill-mlp <run-dir> <artifact> [--quantize int8] [--lambda F]
+/// [--p F] [--seed N] [--epochs N] [--fast]` — train a graph-free MLP
+/// student against the completed run's frozen ensemble (soft targets
+/// weighted by the final Algorithm 1 reliability set) and freeze its
+/// weight matrices as a v3 (mlp) artifact. The result serves arbitrary
+/// unseen feature vectors — `rdd serve` `{"features": [...]}` requests —
+/// with no adjacency, bitwise identical to the offline student forward.
+pub fn distill_mlp(args: &Args) -> Result<(), RddError> {
+    let [_, run_dir, artifact_path] = args.positional.as_slice() else {
+        return Err(RddError::Cli(
+            "usage: rdd distill-mlp <run-dir> <artifact> [--quantize int8] [--lambda F] [--p F] \
+             [--seed N] [--epochs N] [--fast]"
+                .into(),
+        ));
+    };
+    let quantize = match args.options.get("quantize").map(String::as_str) {
+        None => false,
+        Some("int8") => true,
+        Some(other) => {
+            return Err(RddError::Cli(format!(
+                "unknown --quantize scheme {other:?} (supported: int8)"
+            )))
+        }
+    };
+    let (out, checksum) = distill_run_to_artifact(
+        args,
+        Path::new(run_dir),
+        Path::new(artifact_path),
+        quantize,
+        args.has_flag("fast"),
+    )?;
+    println!("distilled {run_dir} -> {artifact_path} (v3 mlp)");
+    println!("  student test acc:   {:.1}%", 100.0 * out.student_test_acc);
+    println!("  student val acc:    {:.1}%", 100.0 * out.student_val_acc);
+    println!(
+        "  ensemble test acc:  {:.1}%",
+        100.0 * out.ensemble_test_acc
+    );
+    println!(
+        "  accuracy gap:       {:+.1}% (teacher - student)",
+        100.0 * out.accuracy_gap()
+    );
+    println!(
+        "  reliable |V_r|:     {} ({} labeled nodes fed CE)",
+        out.num_reliable, out.num_labeled
+    );
+    println!(
+        "  epochs:             {} ({:.1}s wall)",
+        out.report.epochs_run, out.wall_time_s
+    );
+    println!("  checksum:           {checksum:016x}");
+    Ok(())
+}
+
 /// `rdd artifact-info <artifact> [--proba-out <file>] [--reference <v1>]
 /// [--assert-max-ulp <n>]` — validate and describe an artifact;
 /// `--proba-out` dumps the offline proba rows (the reference the serve
 /// smoke test compares served rows against); `--reference` measures the
 /// max ULP drift of this artifact's proba/logits against a reference
 /// (typically the v1 export of the same run), and `--assert-max-ulp`
-/// turns that measurement into a hard failure bound for ci.
+/// turns that measurement into a hard failure bound for ci. For v3 (mlp)
+/// artifacts, `--features-in <file>` redirects `--proba-out` through the
+/// student's canonical feature forward over the file's rows.
 pub fn artifact_info(args: &Args) -> Result<(), RddError> {
     let [_, path] = args.positional.as_slice() else {
         return Err(RddError::Cli(
-            "usage: rdd artifact-info <artifact> [--proba-out <file>] [--reference <artifact>] [--assert-max-ulp <n>]"
+            "usage: rdd artifact-info <artifact> [--proba-out <file>] [--features-in <file>] \
+             [--reference <artifact>] [--assert-max-ulp <n>]"
                 .into(),
         ));
     };
     let artifact = AnyArtifact::load(Path::new(path))?;
     let meta = artifact.meta();
+    let format = artifact.format();
     let file_bytes = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+    let capability = |yes: bool| if yes { "yes" } else { "no" };
     println!("artifact:    {path}");
-    println!("format:      {}", artifact.format().name());
+    println!("format:      {}", format.name());
+    println!(
+        "serves:      nodes {}, features {}",
+        capability(format.supports_nodes()),
+        capability(format.supports_features()),
+    );
     println!("shards:      {}", artifact.num_shards());
     println!("file size:   {file_bytes} bytes");
     println!(
@@ -509,6 +617,19 @@ pub fn artifact_info(args: &Args) -> Result<(), RddError> {
         meta.alpha_total
     );
     println!("checksum:    {:016x}", artifact.checksum());
+    if let Some(mlp) = artifact.as_mlp() {
+        println!(
+            "student:     {} -> {} in {} layer(s), {}",
+            mlp.in_dim(),
+            meta.num_classes,
+            mlp.num_layers(),
+            if mlp.quantized() {
+                "int8-quantized"
+            } else {
+                "f32"
+            }
+        );
+    }
     if let Some(ref_path) = args.options.get("reference") {
         let reference = AnyArtifact::load(Path::new(ref_path))?;
         if reference.meta().dataset_n != meta.dataset_n
@@ -521,9 +642,29 @@ pub fn artifact_info(args: &Args) -> Result<(), RddError> {
             )));
         }
         let ref_bytes = std::fs::metadata(ref_path).map(|m| m.len()).unwrap_or(0);
-        let drift = quant::max_ulp_diff(&artifact.proba_sum(), &reference.proba_sum()).max(
-            quant::max_ulp_diff(&artifact.logits_sum(), &reference.logits_sum()),
-        );
+        // v3 (mlp) artifacts hold student weights, not ensemble sums —
+        // there is nothing to measure ULP drift against.
+        let sums = artifact
+            .proba_sum()
+            .zip(artifact.logits_sum())
+            .ok_or_else(|| {
+                RddError::Cli(format!(
+                    "{path} is a {} artifact with no ensemble sums; --reference compares \
+                     v1/v2q exports",
+                    format.name()
+                ))
+            })?;
+        let ref_sums = reference
+            .proba_sum()
+            .zip(reference.logits_sum())
+            .ok_or_else(|| {
+                RddError::Cli(format!(
+                    "reference {ref_path} is a {} artifact with no ensemble sums",
+                    reference.format().name()
+                ))
+            })?;
+        let drift = quant::max_ulp_diff(&sums.0, &ref_sums.0)
+            .max(quant::max_ulp_diff(&sums.1, &ref_sums.1));
         println!("reference:   {ref_path} ({})", reference.format().name());
         if ref_bytes > 0 {
             println!(
@@ -550,27 +691,100 @@ pub fn artifact_info(args: &Args) -> Result<(), RddError> {
     }
     if let Some(out_path) = args.options.get("proba-out") {
         let mut text = String::new();
-        let proba = artifact
-            .proba_all()
-            .map_err(|e| RddError::Cli(e.to_string()))?;
+        // `--features-in <file>` runs the student's canonical forward over
+        // whitespace-separated feature rows instead of dumping per-node
+        // rows — the offline reference ci's feature-serving gate `cmp`s
+        // served replies against.
+        let proba = match args.options.get("features-in") {
+            Some(rows_path) => {
+                let mlp = artifact.as_mlp().ok_or_else(|| {
+                    RddError::Cli(format!(
+                        "--features-in requires a v3 (mlp) artifact; {path} is {}",
+                        format.name()
+                    ))
+                })?;
+                let rows = read_feature_rows(rows_path)?;
+                mlp.predict_features(&rows)
+                    .map_err(|e| RddError::Cli(e.to_string()))?
+                    .proba
+            }
+            None => artifact
+                .proba_all()
+                .map_err(|e| RddError::Cli(e.to_string()))?,
+        };
         proba_rows_text(&mut text, &proba);
         std::fs::write(out_path, text)
             .map_err(|e| RddError::Cli(format!("failed to write {out_path}: {e}")))?;
-        println!("wrote {} proba rows to {out_path}", meta.dataset_n);
+        println!("wrote {} proba rows to {out_path}", proba.rows());
+    } else if args.options.contains_key("features-in") {
+        return Err(RddError::Cli("--features-in requires --proba-out".into()));
     }
     Ok(())
 }
 
-/// A parsed serve-loop request: `(id, nodes, deadline_ms)` — `None` nodes
-/// means the whole graph.
-type ParsedRequest = (u64, Option<Vec<usize>>, Option<f64>);
+/// Read whitespace-separated feature rows (one row per non-empty line)
+/// into a dense matrix for `artifact-info --features-in`.
+fn read_feature_rows(path: &str) -> Result<Matrix, RddError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| RddError::Cli(format!("failed to read {path}: {e}")))?;
+    let mut data = Vec::new();
+    let mut cols = 0usize;
+    let mut rows = 0usize;
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let start = data.len();
+        for tok in line.split_whitespace() {
+            let v: f32 = tok.parse().map_err(|_| {
+                RddError::Cli(format!("{path}:{}: bad feature value {tok:?}", lineno + 1))
+            })?;
+            data.push(v);
+        }
+        let width = data.len() - start;
+        if rows == 0 {
+            cols = width;
+        } else if width != cols {
+            return Err(RddError::Cli(format!(
+                "{path}:{}: row has {width} values, expected {cols}",
+                lineno + 1
+            )));
+        }
+        rows += 1;
+    }
+    if rows == 0 || cols == 0 {
+        return Err(RddError::Cli(format!("{path} holds no feature rows")));
+    }
+    Ok(Matrix::from_vec(rows, cols, data))
+}
+
+/// A parsed serve-loop request: `(id, request, deadline_ms)`.
+type ParsedRequest = (u64, PredictRequest, Option<f64>);
+
+/// Parse one feature row: a flat array of finite numbers.
+fn parse_feature_row(a: &[Json], out: &mut Vec<f32>) -> Result<usize, String> {
+    let start = out.len();
+    for v in a {
+        let x = v.as_f64().ok_or("'features' holds a non-number")?;
+        if !x.is_finite() {
+            return Err(format!("feature values must be finite, got {x}"));
+        }
+        out.push(x as f32);
+    }
+    Ok(out.len() - start)
+}
 
 /// Parse one serve-loop request line:
-/// `{"id":N,"nodes":[...],"deadline_ms":F}`. Every key is optional — a
-/// missing `id` gets `fallback_id`, missing `nodes` means the whole graph,
-/// and `deadline_ms` (milliseconds from arrival; `--deadline-ms` sets the
-/// default) marks the request sheddable as `Expired` if it is still queued
-/// when the deadline passes.
+/// `{"id":N,"nodes":[...],"deadline_ms":F}` or
+/// `{"id":N,"features":[...],"deadline_ms":F}`. Every key is optional — a
+/// missing `id` gets `fallback_id`, missing `nodes`/`features` means the
+/// whole graph, and `deadline_ms` (milliseconds from arrival;
+/// `--deadline-ms` sets the default) marks the request sheddable as
+/// `Expired` if it is still queued when the deadline passes. `features` is
+/// either one flat row (`[0.1, 0.2, ...]`) or a batch of rows
+/// (`[[...], [...]]`), and is mutually exclusive with `nodes`: a node
+/// request names rows of the frozen training graph, a feature request
+/// carries the rows themselves.
 fn parse_request(line: &str, fallback_id: u64) -> Result<ParsedRequest, String> {
     let json = rdd_obs::parse(line)?;
     let id = match json.get("id") {
@@ -583,20 +797,62 @@ fn parse_request(line: &str, fallback_id: u64) -> Result<ParsedRequest, String> 
             x as u64
         }
     };
-    let nodes = match json.get("nodes") {
-        None | Some(Json::Null) => None,
-        Some(Json::Arr(a)) => {
-            let mut ids = Vec::with_capacity(a.len());
-            for v in a {
-                let x = v.as_f64().ok_or("'nodes' holds a non-number")?;
-                if x < 0.0 || x.fract() != 0.0 {
-                    return Err(format!("node ids must be non-negative integers, got {x}"));
+    if !matches!(json.get("nodes"), None | Some(Json::Null))
+        && !matches!(json.get("features"), None | Some(Json::Null))
+    {
+        return Err(
+            "'nodes' and 'features' are mutually exclusive: send node ids of the training \
+             graph, or raw feature rows, not both"
+                .into(),
+        );
+    }
+    let req = match json.get("features") {
+        None | Some(Json::Null) => match json.get("nodes") {
+            None | Some(Json::Null) => PredictRequest::all(),
+            Some(Json::Arr(a)) => {
+                let mut ids = Vec::with_capacity(a.len());
+                for v in a {
+                    let x = v.as_f64().ok_or("'nodes' holds a non-number")?;
+                    if x < 0.0 || x.fract() != 0.0 {
+                        return Err(format!("node ids must be non-negative integers, got {x}"));
+                    }
+                    ids.push(x as usize);
                 }
-                ids.push(x as usize);
+                PredictRequest::nodes(ids)
             }
-            Some(ids)
+            Some(_) => return Err("'nodes' must be an array of node ids".into()),
+        },
+        Some(Json::Arr(a)) if !a.is_empty() => {
+            let mut data = Vec::new();
+            let cols = match &a[0] {
+                // `[[...], [...]]`: a batch of rows, all the same width.
+                Json::Arr(_) => {
+                    let mut cols = 0;
+                    for (i, row) in a.iter().enumerate() {
+                        let Json::Arr(row) = row else {
+                            return Err("'features' mixes rows and scalars".into());
+                        };
+                        let width = parse_feature_row(row, &mut data)?;
+                        if i == 0 {
+                            cols = width;
+                        } else if width != cols {
+                            return Err(format!(
+                                "'features' rows disagree on width: row 0 has {cols}, row {i} \
+                                 has {width}"
+                            ));
+                        }
+                    }
+                    cols
+                }
+                // `[...]`: one flat row.
+                _ => parse_feature_row(a, &mut data)?,
+            };
+            if cols == 0 {
+                return Err("'features' rows must hold at least one value".into());
+            }
+            PredictRequest::features(Matrix::from_vec(data.len() / cols, cols, data))
         }
-        Some(_) => return Err("'nodes' must be an array of node ids".into()),
+        Some(_) => return Err("'features' must be a non-empty array of numbers or rows".into()),
     };
     let deadline_ms = match json.get("deadline_ms") {
         None | Some(Json::Null) => None,
@@ -610,7 +866,7 @@ fn parse_request(line: &str, fallback_id: u64) -> Result<ParsedRequest, String> 
             Some(x)
         }
     };
-    Ok((id, nodes, deadline_ms))
+    Ok((id, req, deadline_ms))
 }
 
 /// Render one reply line for the serve loop's stdout.
@@ -618,6 +874,9 @@ fn reply_json(reply: &ServeReply) -> Json {
     match &reply.result {
         Ok(p) => Json::Obj(vec![
             ("id".into(), Json::from(reply.id)),
+            // "node" replies index the training graph; "features" replies
+            // index the request's own rows.
+            ("kind".into(), Json::from(p.kind.name())),
             ("nodes".into(), Json::from(p.nodes.clone())),
             ("pred".into(), Json::from(p.pred.clone())),
             (
@@ -948,12 +1207,12 @@ fn serve_single(
                 out.flush()
                     .map_err(|e| RddError::Cli(format!("stdout flush failed: {e}")))?;
             }
-            Ok((id, nodes, deadline_ms)) => {
+            Ok((id, req, deadline_ms)) => {
                 next_id = next_id.max(id) + 1;
                 let deadline = deadline_ms
                     .or(default_deadline_ms)
                     .map(|ms| Instant::now() + Duration::from_secs_f64(ms / 1e3));
-                match engine.submit_with_deadline(id, nodes, deadline) {
+                match engine.submit_with_deadline(id, req, deadline) {
                     Ok(None) => {}
                     Ok(Some(replies)) => {
                         for reply in &replies {
@@ -1172,12 +1431,12 @@ fn serve_pooled(
         }
         match parse_request(&line, next_id) {
             Err(msg) => write_error(error_line(None, format!("bad request: {msg}")))?,
-            Ok((id, nodes, deadline_ms)) => {
+            Ok((id, req, deadline_ms)) => {
                 next_id = next_id.max(id) + 1;
                 let deadline = deadline_ms
                     .or(default_deadline_ms)
                     .map(|ms| Instant::now() + Duration::from_secs_f64(ms / 1e3));
-                if let Err(e) = pool.submit_with_deadline(id, nodes, deadline) {
+                if let Err(e) = pool.submit_with_deadline(id, req, deadline) {
                     // Queue full: shed this request, keep serving.
                     write_error(error_line(Some(id), e.to_string()))?;
                 }
@@ -1241,20 +1500,142 @@ fn serve_pooled(
     sink.finish(args)
 }
 
+/// Render the serve-bench result table on stdout.
+fn print_bench_results(results: &[rdd_serve::BenchResult]) {
+    println!(
+        "{:<20} {:>6} {:>7} {:>9} {:>10} {:>9} {:>9} {:>9} {:>6}",
+        "mode", "batch", "workers", "requests", "rps", "p50 ms", "p99 ms", "hit rate", "util"
+    );
+    println!("{}", "-".repeat(93));
+    for r in results {
+        println!(
+            "{:<20} {:>6} {:>7} {:>9} {:>10.0} {:>9.4} {:>9.4} {:>8.1}% {:>5.0}%",
+            r.mode,
+            r.batch_size,
+            r.workers,
+            r.requests,
+            r.rps,
+            r.p50_ms,
+            r.p99_ms,
+            100.0 * r.hit_rate,
+            100.0 * r.utilization
+        );
+    }
+}
+
+/// Honor `--out FILE` for serve-bench: one JSON object with the run's
+/// shape and every mode's row.
+fn write_bench_report(
+    args: &Args,
+    meta: &ArtifactMeta,
+    requests: usize,
+    workers: usize,
+    features_mode: bool,
+    results: &[rdd_serve::BenchResult],
+) -> Result<(), RddError> {
+    let Some(out_path) = args.options.get("out") else {
+        return Ok(());
+    };
+    let mut text = String::new();
+    Json::Obj(vec![
+        ("bench".into(), Json::from("serve-throughput")),
+        ("features_mode".into(), Json::from(features_mode)),
+        ("dataset".into(), Json::from(meta.dataset_name.as_str())),
+        ("nodes".into(), Json::from(meta.dataset_n)),
+        ("classes".into(), Json::from(meta.num_classes)),
+        ("members".into(), Json::from(meta.members)),
+        ("requests_per_mode".into(), Json::from(requests)),
+        ("workers".into(), Json::from(workers)),
+        (
+            "threads".into(),
+            Json::from(rdd_tensor::par::num_threads() as u64),
+        ),
+        (
+            "modes".into(),
+            Json::Arr(results.iter().map(|r| r.to_json()).collect()),
+        ),
+    ])
+    .write(&mut text);
+    text.push('\n');
+    std::fs::write(out_path, text)
+        .map_err(|e| RddError::Cli(format!("failed to write {out_path}: {e}")))?;
+    println!("wrote bench report to {out_path}");
+    Ok(())
+}
+
+/// The `serve-bench --features-mode` path: obtain a v3 (mlp) artifact —
+/// reuse `--artifact` when it already holds one, otherwise train a fast
+/// teacher and distill it — then drive the closed-loop feature-vector
+/// bench (cache disabled: feature rows are uncacheable by design).
+fn serve_bench_features(args: &Args, source: &str, requests: usize) -> Result<(), RddError> {
+    let models: usize = args.get_or("models", 3)?;
+    let reuse = args
+        .options
+        .get("artifact")
+        .map(PathBuf::from)
+        .filter(|p| p.exists());
+    let mlp = match reuse {
+        Some(path) => {
+            eprintln!("reusing artifact {}", path.display());
+            MlpArtifact::load(&path)?
+        }
+        None => {
+            let data = load(source, None)?;
+            let cfg = RddConfig::fast()
+                .to_builder()
+                .num_base_models(models)
+                .build()?;
+            let run_dir =
+                std::env::temp_dir().join(format!("rdd_serve_bench_{}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&run_dir);
+            eprintln!("training {} fast teacher(s) on {}...", models, data.name);
+            RddTrainer::new(cfg).run_crash_safe(&data, &run_dir, source)?;
+            let keep = args.options.get("artifact").map(PathBuf::from);
+            let artifact_path = keep.clone().unwrap_or_else(|| {
+                std::env::temp_dir()
+                    .join(format!("rdd_serve_bench_{}.artifact", std::process::id()))
+            });
+            eprintln!("distilling the ensemble into an MLP student...");
+            let (out, _) = distill_run_to_artifact(args, &run_dir, &artifact_path, false, true)?;
+            eprintln!(
+                "student test acc {:.1}% (teacher {:.1}%, gap {:+.1}%)",
+                100.0 * out.student_test_acc,
+                100.0 * out.ensemble_test_acc,
+                100.0 * out.accuracy_gap()
+            );
+            let mlp = MlpArtifact::load(&artifact_path)?;
+            let _ = std::fs::remove_dir_all(&run_dir);
+            if keep.is_none() {
+                let _ = std::fs::remove_file(&artifact_path);
+            }
+            mlp
+        }
+    };
+    let results = bench_artifact_features(&mlp, requests)?;
+    print_bench_results(&results);
+    write_bench_report(args, mlp.meta(), requests, 1, true, &results)
+}
+
 /// `rdd serve-bench <preset|dir> [--models N] [--requests N] [--out FILE]`
 /// — train a fast teacher (unless `--artifact` points at an existing
 /// file), export it, and run the closed-loop throughput bench across
 /// {unbatched, batched} × {cache cold, warm}. With `--workers N` the bench
 /// instead drives a [`ServePool`] of N threads (cold then warm) — run it at
-/// 1/2/4/8 workers for the serve scaling curve.
+/// 1/2/4/8 workers for the serve scaling curve. `--features-mode` benches
+/// feature-vector serving instead: distill the teacher into an MLP student
+/// (or reuse a v3 `--artifact`) and drive `{"features": ...}` requests.
 pub fn serve_bench(args: &Args) -> Result<(), RddError> {
     let source = args.positional.get(1).ok_or_else(|| {
         RddError::Cli(
-            "usage: rdd serve-bench <preset|dir> [--models N] [--requests N] [--workers N] [--out FILE] [--artifact FILE]"
+            "usage: rdd serve-bench <preset|dir> [--models N] [--requests N] [--workers N] \
+             [--out FILE] [--artifact FILE] [--features-mode]"
                 .into(),
         )
     })?;
     let requests: usize = args.get_or("requests", 2000)?;
+    if args.has_flag("features-mode") {
+        return serve_bench_features(args, source, requests);
+    }
     let models: usize = args.get_or("models", 3)?;
     let workers: Option<usize> = if args.options.contains_key("workers") {
         let w: usize = args.get_or("workers", 1)?;
@@ -1305,50 +1686,13 @@ pub fn serve_bench(args: &Args) -> Result<(), RddError> {
         Some(w) => bench_artifact_pooled(&artifact, requests, w)?,
         None => bench_artifact(&artifact, requests)?,
     };
-    println!(
-        "{:<16} {:>6} {:>7} {:>9} {:>10} {:>9} {:>9} {:>9} {:>6}",
-        "mode", "batch", "workers", "requests", "rps", "p50 ms", "p99 ms", "hit rate", "util"
-    );
-    println!("{}", "-".repeat(89));
-    for r in &results {
-        println!(
-            "{:<16} {:>6} {:>7} {:>9} {:>10.0} {:>9.4} {:>9.4} {:>8.1}% {:>5.0}%",
-            r.mode,
-            r.batch_size,
-            r.workers,
-            r.requests,
-            r.rps,
-            r.p50_ms,
-            r.p99_ms,
-            100.0 * r.hit_rate,
-            100.0 * r.utilization
-        );
-    }
-    if let Some(out_path) = args.options.get("out") {
-        let meta = artifact.meta();
-        let mut text = String::new();
-        Json::Obj(vec![
-            ("bench".into(), Json::from("serve-throughput")),
-            ("dataset".into(), Json::from(meta.dataset_name.as_str())),
-            ("nodes".into(), Json::from(meta.dataset_n)),
-            ("classes".into(), Json::from(meta.num_classes)),
-            ("members".into(), Json::from(meta.members)),
-            ("requests_per_mode".into(), Json::from(requests)),
-            ("workers".into(), Json::from(workers.unwrap_or(1))),
-            (
-                "threads".into(),
-                Json::from(rdd_tensor::par::num_threads() as u64),
-            ),
-            (
-                "modes".into(),
-                Json::Arr(results.iter().map(|r| r.to_json()).collect()),
-            ),
-        ])
-        .write(&mut text);
-        text.push('\n');
-        std::fs::write(out_path, text)
-            .map_err(|e| RddError::Cli(format!("failed to write {out_path}: {e}")))?;
-        println!("wrote bench report to {out_path}");
-    }
-    Ok(())
+    print_bench_results(&results);
+    write_bench_report(
+        args,
+        artifact.meta(),
+        requests,
+        workers.unwrap_or(1),
+        false,
+        &results,
+    )
 }

@@ -11,8 +11,11 @@
 //!                                               evolution, kernel self-times, serve metrics
 //! rdd export <run-dir> <artifact>               freeze a completed run into an artifact
 //!                      [--quantize int8]        (int8-quantized v2q format, ~0.3x size)
+//! rdd distill-mlp <run-dir> <artifact>          distill the frozen ensemble into a graph-free
+//!                      [--quantize int8]        MLP student, frozen as a v3 (mlp) artifact
 //! rdd artifact-info <artifact>                  validate and describe an artifact
 //! rdd serve --artifact <path>                   JSON request loop over the artifact
+//!                                               ({"nodes":[..]} or {"features":[..]} requests)
 //! rdd serve-bench <preset|dir> [--requests N]   closed-loop serving throughput bench
 //! ```
 //!
@@ -38,11 +41,15 @@ const USAGE: &str = "usage:
   rdd trace-summary <file.jsonl>
   rdd report <trace.jsonl|run-dir>
   rdd export <run-dir> <artifact> [--quantize int8] [--shards K]
-  rdd artifact-info <artifact> [--proba-out <file>] [--reference <artifact>] [--assert-max-ulp N]
+  rdd distill-mlp <run-dir> <artifact> [--quantize int8] [--lambda F] [--p F] [--seed N]
+            [--epochs N] [--fast]
+  rdd artifact-info <artifact> [--proba-out <file>] [--features-in <file>] [--reference <artifact>]
+            [--assert-max-ulp N]
   rdd serve --artifact <path> [--workers N] [--batch N] [--delay-ms N] [--cache N] [--queue N]
             [--deadline-ms MS] [--watch-artifact] [--breaker-p99-ms MS] [--metrics-every SECS]
             [--proba-out <file>] [--served-out <file>]
   rdd serve-bench <preset|dir> [--models N] [--requests N] [--workers N] [--out FILE] [--artifact FILE]
+            [--features-mode]
 
 presets: cora, citeseer, pubmed, nell, tiny
 env: RDD_TRACE=<path|stderr|off> structured telemetry sink, RDD_THREADS=N worker pool size,
@@ -77,6 +84,7 @@ fn main() {
         "trace-summary" => commands::trace_summary(&args),
         "report" => commands::report(&args),
         "export" => commands::export(&args),
+        "distill-mlp" => commands::distill_mlp(&args),
         "artifact-info" => commands::artifact_info(&args),
         "serve" => commands::serve(&args),
         "serve-bench" => commands::serve_bench(&args),

@@ -1,0 +1,367 @@
+//! Post-hoc distillation of the frozen RDD ensemble into a graph-free MLP
+//! student (the KRD/GLNN direction).
+//!
+//! The RDD cascade ends with a teacher ensemble whose outputs exist only
+//! for the nodes it trained on. [`distill_mlp`] trains an [`MlpModel`] on
+//! raw node features against that frozen teacher so the knowledge becomes
+//! **portable**: the student answers arbitrary unseen feature vectors with
+//! two or three dense matmuls and no adjacency.
+//!
+//! The objective reuses the paper's own reliability machinery (Algorithm 1)
+//! as the KD sample weighting:
+//!
+//! ```text
+//! L = CE(student, y)               over labeled training nodes
+//!   + λ · (1/|V_r|) Σ_{i ∈ V_r} KL(teacher_i ‖ student_i)
+//! ```
+//!
+//! where `V_r` is the *final* reliability set — computed once from the
+//! frozen ensemble and the run's last base model (Alg. 1's teacher/student
+//! pair at the moment the cascade stopped) — and the KL reduces to soft
+//! cross-entropy against the teacher distribution (the entropy of the
+//! frozen teacher is constant). Unreliable nodes contribute nothing: the
+//! teacher's mistakes are not distilled, exactly as in train-time RDD.
+
+use std::rc::Rc;
+use std::time::Instant;
+
+use rdd_graph::Dataset;
+use rdd_models::{
+    train_in, ConfigError, GraphContext, MlpConfig, MlpModel, PredictorExt, TrainConfig,
+    TrainReport,
+};
+use rdd_tensor::{seeded_rng, Matrix, Tape, Var, Workspace};
+
+use crate::ensemble::Ensemble;
+use crate::reliability::compute_reliability;
+use crate::run::{RunError, RunState};
+
+/// Configuration of the MLP distillation pass.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DistillConfig {
+    /// Student architecture (2–3 `Linear+ReLU` layers on raw features).
+    pub mlp: MlpConfig,
+    /// Optimization settings (Adam + early stopping, like every model).
+    pub train: TrainConfig,
+    /// λ, the weight on the reliability-weighted KD term.
+    pub lambda_kd: f32,
+    /// `p`, the reliability fraction used for the final sets (match the
+    /// run's own `p` unless experimenting).
+    pub p: f32,
+    /// Seed for student init and dropout streams.
+    pub seed: u64,
+}
+
+impl DistillConfig {
+    /// Paper-shaped defaults: the standard student, citation-network
+    /// optimization, λ = 1, p = 0.4.
+    pub fn standard() -> Self {
+        Self {
+            mlp: MlpConfig::student(),
+            train: TrainConfig::citation(),
+            lambda_kd: 1.0,
+            p: 0.4,
+            seed: 1,
+        }
+    }
+
+    /// A small-budget configuration for tests.
+    pub fn fast() -> Self {
+        Self {
+            train: TrainConfig::fast(),
+            ..Self::standard()
+        }
+    }
+
+    /// Reject out-of-range values with a typed [`ConfigError`].
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if !(self.lambda_kd.is_finite() && self.lambda_kd >= 0.0) {
+            return Err(ConfigError::invalid(
+                "distill.lambda_kd",
+                self.lambda_kd,
+                "a finite KD weight >= 0",
+            ));
+        }
+        if !(self.p.is_finite() && self.p > 0.0 && self.p <= 1.0) {
+            return Err(ConfigError::invalid(
+                "distill.p",
+                self.p,
+                "a reliability fraction in (0, 1]",
+            ));
+        }
+        self.train.validate()
+    }
+}
+
+/// Everything the CLI and tests read off a finished distillation.
+pub struct DistillOutcome {
+    /// The trained student, holding its best-validation parameters.
+    pub student: MlpModel,
+    /// Student validation accuracy (transductive, on the training graph).
+    pub student_val_acc: f32,
+    /// Student test accuracy.
+    pub student_test_acc: f32,
+    /// The frozen teacher ensemble's test accuracy, for the gap table.
+    pub ensemble_test_acc: f32,
+    /// `|V_r|`: how many nodes passed the final reliability check and
+    /// carried KD weight.
+    pub num_reliable: usize,
+    /// How many labeled training nodes fed the CE term.
+    pub num_labeled: usize,
+    /// The student's training report (epochs, rollbacks, divergence flag).
+    pub report: TrainReport,
+    /// Total wall-clock seconds.
+    pub wall_time_s: f64,
+}
+
+impl DistillOutcome {
+    /// `ensemble_test_acc − student_test_acc`: how much accuracy the
+    /// graph-free student gives up (positive when it trails the teacher).
+    pub fn accuracy_gap(&self) -> f32 {
+        self.ensemble_test_acc - self.student_test_acc
+    }
+}
+
+/// Distill `teacher` into a fresh MLP student on `dataset`.
+///
+/// `final_student_proba` is the run's last base model's softmax output —
+/// the "student" side of the final Algorithm 1 refresh. Pass `None` when
+/// it is unavailable (e.g. an ad-hoc ensemble): the teacher then plays
+/// both roles, which keeps the entropy cut but makes the agreement
+/// condition trivially true.
+pub fn distill_mlp(
+    dataset: &Dataset,
+    teacher: &Ensemble,
+    final_student_proba: Option<&Matrix>,
+    cfg: &DistillConfig,
+) -> DistillOutcome {
+    assert!(!teacher.is_empty(), "cannot distill an empty ensemble");
+    let start = Instant::now();
+    let ctx = GraphContext::new(dataset);
+    let teacher_proba = teacher.proba();
+
+    let mut is_labeled = vec![false; dataset.n()];
+    for &i in &dataset.train_idx {
+        is_labeled[i] = true;
+    }
+
+    // The final reliability sets (Alg. 1), computed ONCE from the frozen
+    // teacher: these are the per-node KD weights for the whole distillation.
+    let sets = compute_reliability(
+        &teacher_proba,
+        final_student_proba.unwrap_or(&teacher_proba),
+        &dataset.labels,
+        &is_labeled,
+        cfg.p,
+        &dataset.graph,
+    );
+    let reliable_idx: Rc<Vec<usize>> = Rc::new(
+        (0..dataset.n())
+            .filter(|&i| sets.reliable[i])
+            .collect::<Vec<_>>(),
+    );
+    let kd_weights: Rc<Vec<f32>> = Rc::new(vec![1.0; reliable_idx.len()]);
+    let num_reliable = reliable_idx.len();
+
+    let mut rng = seeded_rng(cfg.seed);
+    let mut student = MlpModel::new(&ctx, cfg.mlp.clone(), &mut rng);
+    let ws = Workspace::new();
+
+    let teacher_rc = Rc::new(teacher_proba.clone());
+    let lambda = cfg.lambda_kd;
+    let report = {
+        let mut hook = move |tape: &mut Tape, logits: Var, _epoch: usize| {
+            if lambda <= 0.0 || reliable_idx.is_empty() {
+                return Vec::new();
+            }
+            let logp = tape.log_softmax(logits);
+            let kd = tape.soft_ce_weighted(
+                logp,
+                Rc::clone(&teacher_rc),
+                Rc::clone(&reliable_idx),
+                Rc::clone(&kd_weights),
+            );
+            vec![(kd, lambda)]
+        };
+        train_in(
+            &mut student,
+            &ctx,
+            dataset,
+            &cfg.train,
+            &mut rng,
+            Some(&mut hook),
+            &ws,
+        )
+    };
+
+    let student_pred = student.predictor_in(&ctx, &ws).predict();
+    let student_test_acc = dataset.test_accuracy(&student_pred);
+    let student_val_acc = dataset.val_accuracy(&student_pred);
+    let ensemble_test_acc = dataset.test_accuracy(&teacher_proba.argmax_rows());
+    rdd_obs::emit_distill(
+        student_test_acc,
+        student_val_acc,
+        ensemble_test_acc,
+        ensemble_test_acc - student_test_acc,
+        num_reliable,
+        dataset.train_idx.len(),
+        lambda,
+        report.epochs_run,
+    );
+    rdd_obs::flush();
+
+    DistillOutcome {
+        student,
+        student_val_acc,
+        student_test_acc,
+        ensemble_test_acc,
+        num_reliable,
+        num_labeled: dataset.train_idx.len(),
+        report,
+        wall_time_s: start.elapsed().as_secs_f64(),
+    }
+}
+
+/// [`distill_mlp`] against a completed crash-safe run directory: reload the
+/// committed ensemble sums and the last kept member's outputs (the final
+/// Algorithm 1 student side), then distill.
+pub fn distill_run(
+    state: &RunState,
+    dataset: &Dataset,
+    cfg: &DistillConfig,
+) -> Result<DistillOutcome, RunError> {
+    if !state.is_complete() {
+        return Err(RunError::Unsupported(format!(
+            "run directory {} is not complete; finish or resume it before distilling",
+            state.dir().display()
+        )));
+    }
+    state.check_dataset(dataset)?;
+    let ensemble = state.load_ensemble()?;
+    let members = state.load_members()?;
+    let last_proba = members
+        .iter()
+        .rev()
+        .find_map(|m| m.outputs.as_ref().map(|(p, _)| p.clone()));
+    Ok(distill_mlp(dataset, &ensemble, last_proba.as_ref(), cfg))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rdd::{RddConfig, RddTrainer};
+    use rdd_graph::SynthConfig;
+
+    fn quick_teacher(data: &Dataset) -> Ensemble {
+        let mut cfg = RddConfig::fast();
+        cfg.num_base_models = 2;
+        let trainer = RddTrainer::new(cfg);
+        let out = trainer.run(data);
+        assert!(out.ensemble_test_acc > 0.5);
+        // Rebuild the ensemble from the outcome-facing API: train again is
+        // wasteful, so reuse the trainer's members via a fresh tiny run.
+        let mut e = Ensemble::new();
+        // The outcome only exposes predictions; run the cheap path instead:
+        // push the ensemble-level proba as a single pseudo-member. Tests
+        // that need a true multi-member teacher use distill_run.
+        let n = data.n();
+        let k = data.num_classes;
+        let mut proba = Matrix::zeros(n, k);
+        for (i, &c) in out.ensemble_pred.iter().enumerate() {
+            for j in 0..k {
+                proba.set(i, j, if j == c { 0.9 } else { 0.1 / (k - 1) as f32 });
+            }
+        }
+        e.push(proba.clone(), proba, 1.0);
+        e
+    }
+
+    #[test]
+    fn config_validates() {
+        DistillConfig::standard().validate().unwrap();
+        DistillConfig::fast().validate().unwrap();
+        let mut bad = DistillConfig::fast();
+        bad.lambda_kd = f32::NAN;
+        assert_eq!(bad.validate().unwrap_err().field, "distill.lambda_kd");
+        let mut bad = DistillConfig::fast();
+        bad.p = 0.0;
+        assert_eq!(bad.validate().unwrap_err().field, "distill.p");
+    }
+
+    #[test]
+    fn distills_close_to_teacher_on_tiny() {
+        let data = SynthConfig::tiny().generate();
+        let teacher = quick_teacher(&data);
+        let cfg = DistillConfig::fast();
+        let out = distill_mlp(&data, &teacher, None, &cfg);
+        assert!(out.num_reliable > 0, "some nodes must be reliable");
+        assert!(
+            out.student_test_acc > 0.5,
+            "student acc {}",
+            out.student_test_acc
+        );
+        assert!(
+            out.accuracy_gap() < 0.25,
+            "student trails teacher by {} ({} vs {})",
+            out.accuracy_gap(),
+            out.student_test_acc,
+            out.ensemble_test_acc
+        );
+    }
+
+    #[test]
+    fn kd_term_moves_student_toward_teacher() {
+        // With λ > 0 the student should agree with the teacher on more
+        // nodes than a purely supervised twin (same seed, same budget).
+        let data = SynthConfig::tiny().generate();
+        let teacher = quick_teacher(&data);
+        let teacher_pred = teacher.predict();
+        let agree = |pred: &[usize]| {
+            pred.iter()
+                .zip(&teacher_pred)
+                .filter(|(a, b)| a == b)
+                .count()
+        };
+        let mut kd_cfg = DistillConfig::fast();
+        kd_cfg.lambda_kd = 2.0;
+        let with_kd = distill_mlp(&data, &teacher, None, &kd_cfg);
+        let mut plain_cfg = DistillConfig::fast();
+        plain_cfg.lambda_kd = 0.0;
+        let without = distill_mlp(&data, &teacher, None, &plain_cfg);
+        let (a, b) = (
+            agree(
+                &with_kd
+                    .student
+                    .predictor_in(&GraphContext::new(&data), &Workspace::new())
+                    .predict(),
+            ),
+            agree(
+                &without
+                    .student
+                    .predictor_in(&GraphContext::new(&data), &Workspace::new())
+                    .predict(),
+            ),
+        );
+        assert!(
+            a >= b,
+            "KD student agrees on {a} nodes, plain student on {b}"
+        );
+    }
+
+    #[test]
+    fn deterministic_under_fixed_seed() {
+        let data = SynthConfig::tiny().generate();
+        let teacher = quick_teacher(&data);
+        let cfg = DistillConfig::fast();
+        let a = distill_mlp(&data, &teacher, None, &cfg);
+        let b = distill_mlp(&data, &teacher, None, &cfg);
+        use rdd_models::Model as _;
+        for (x, y) in a.student.params().iter().zip(b.student.params()) {
+            assert!(x
+                .as_slice()
+                .iter()
+                .zip(y.as_slice())
+                .all(|(p, q)| p.to_bits() == q.to_bits()));
+        }
+    }
+}

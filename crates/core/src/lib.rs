@@ -16,7 +16,9 @@
 //!   Table 8 ablation switches;
 //! * [`run`] — crash-safe run directories: per-member checkpoints with
 //!   atomic commits, so [`RddTrainer::resume`] restarts an interrupted
-//!   cascade at the next member boundary with bitwise-identical results.
+//!   cascade at the next member boundary with bitwise-identical results;
+//! * [`distill`] — post-hoc distillation of the frozen ensemble into a
+//!   graph-free MLP student with reliability-weighted soft targets.
 //!
 //! ```
 //! use rdd_core::{RddConfig, RddTrainer};
@@ -31,11 +33,13 @@
 //! assert!(outcome.ensemble_test_acc > 0.3);
 //! ```
 
+pub mod distill;
 pub mod ensemble;
 pub mod rdd;
 pub mod reliability;
 pub mod run;
 
+pub use distill::{distill_mlp, distill_run, DistillConfig, DistillOutcome};
 pub use ensemble::{model_weight, uniform_weight, Ensemble, EnsembleMember};
 pub use rdd::{
     cosine_gamma, Ablation, BaseModelRecord, DistillTarget, RddConfig, RddConfigBuilder,

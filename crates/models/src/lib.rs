@@ -26,6 +26,7 @@ pub mod context;
 pub mod gat;
 pub mod gcn;
 pub mod metrics;
+pub mod mlp;
 pub mod predictor;
 pub mod sage;
 pub mod trainer;
@@ -38,9 +39,10 @@ pub use context::GraphContext;
 pub use gat::{Gat, GatConfig};
 pub use gcn::{DenseGcn, Gcn, GcnConfig, JkNet, Mlp, Model, ResGcn};
 pub use metrics::{expected_calibration_error, ConfusionMatrix};
+pub use mlp::{mlp_forward_features, validate_layer_chain, MlpConfig, MlpModel};
 pub use predictor::{
-    gather_prediction, ModelPredictor, PredictError, PredictRequest, Prediction, Predictor,
-    PredictorExt,
+    gather_prediction, ModelPredictor, PredictError, PredictRequest, Prediction, PredictionKind,
+    Predictor, PredictorExt,
 };
 pub use sage::{GraphSage, SageConfig};
 pub use trainer::{

@@ -4,11 +4,20 @@
 //! `predict_logits`, ...) that only worked on a live model. The serving
 //! stack needs one shape that a single model, a frozen ensemble and a
 //! loaded artifact can all hide behind, so prediction is now a trait:
-//! [`Predictor::predict_batch`] takes a [`PredictRequest`] (all nodes, or
-//! an explicit node subset) and returns a [`Prediction`] or a typed
+//! [`Predictor::predict_batch`] takes a [`PredictRequest`] (all nodes, an
+//! explicit node subset, or — for graph-free MLP students — a batch of raw
+//! feature vectors) and returns a [`Prediction`] or a typed
 //! [`PredictError`] — no panics on empty ensembles or out-of-range ids.
 //! [`ModelPredictor`] adapts any [`Model`] (via [`PredictorExt::predictor`]).
 //! The old free functions are gone — every call site goes through the trait.
+//!
+//! Capability is part of the contract: node-sum predictors (ensemble,
+//! v1/v2q artifacts) answer [`PredictRequest::ByNodes`]/[`PredictRequest::All`]
+//! and reject [`PredictRequest::ByFeatures`] with
+//! [`PredictError::FeaturesUnsupported`]; a distilled MLP artifact answers
+//! `ByFeatures` (any row count, fixed feature dim) and rejects node requests
+//! with [`PredictError::NodesUnsupported`] — it stores weight matrices, not
+//! per-node distributions.
 
 use rdd_tensor::{Matrix, Workspace};
 
@@ -31,6 +40,25 @@ pub enum PredictError {
         /// Number of nodes the predictor covers.
         num_nodes: usize,
     },
+    /// A [`PredictRequest::ByFeatures`] request hit a predictor that only
+    /// stores per-node distributions (ensemble, v1/v2q artifacts).
+    FeaturesUnsupported {
+        /// What rejected the request (e.g. `"node-sum artifact"`).
+        predictor: &'static str,
+    },
+    /// A node-id request hit a feature-only predictor (a distilled MLP
+    /// artifact stores weight matrices, not per-node rows).
+    NodesUnsupported {
+        /// What rejected the request (e.g. `"mlp artifact"`).
+        predictor: &'static str,
+    },
+    /// A feature batch's column count does not match the model input dim.
+    FeatureDimMismatch {
+        /// Columns in the submitted feature rows.
+        got: usize,
+        /// The input dimensionality the predictor was trained with.
+        expected: usize,
+    },
 }
 
 impl std::fmt::Display for PredictError {
@@ -40,41 +68,99 @@ impl std::fmt::Display for PredictError {
             PredictError::NodeOutOfRange { node, num_nodes } => {
                 write!(f, "node {node} out of range (graph has {num_nodes} nodes)")
             }
+            PredictError::FeaturesUnsupported { predictor } => write!(
+                f,
+                "feature-vector requests unsupported by {predictor} (it stores per-node \
+                 distributions; serve a distilled mlp artifact for feature inference)"
+            ),
+            PredictError::NodesUnsupported { predictor } => write!(
+                f,
+                "node-id requests unsupported by {predictor} (it stores weight matrices, \
+                 not per-node rows; submit feature vectors instead)"
+            ),
+            PredictError::FeatureDimMismatch { got, expected } => write!(
+                f,
+                "feature dim mismatch: got {got} columns, model expects {expected}"
+            ),
         }
     }
 }
 
 impl std::error::Error for PredictError {}
 
-/// What to predict: every node, or an explicit id subset.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
-pub struct PredictRequest {
-    /// `None` asks for all nodes in graph order; `Some(ids)` for exactly
-    /// those rows, in the given order (duplicates allowed).
-    pub nodes: Option<Vec<usize>>,
+/// What to predict: every node, an explicit id subset, or a batch of raw
+/// feature vectors (graph-free MLP predictors only).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub enum PredictRequest {
+    /// Every node in graph order.
+    #[default]
+    All,
+    /// Exactly these rows, in the given order (duplicates allowed).
+    ByNodes(Vec<usize>),
+    /// One prediction per row of the matrix; columns must match the
+    /// predictor's input feature dim. Answered without any adjacency —
+    /// only feature-capable predictors (distilled MLP artifacts) accept it.
+    ByFeatures(Matrix),
 }
 
 impl PredictRequest {
     /// Request every node in graph order.
     pub fn all() -> Self {
-        Self { nodes: None }
+        Self::All
     }
 
     /// Request an explicit node subset, answered in this order.
     pub fn nodes(nodes: Vec<usize>) -> Self {
-        Self { nodes: Some(nodes) }
+        Self::ByNodes(nodes)
+    }
+
+    /// Request predictions for raw feature rows (no node ids, no graph).
+    pub fn features(rows: Matrix) -> Self {
+        Self::ByFeatures(rows)
+    }
+
+    /// Whether this is a feature-vector request ([`Self::ByFeatures`]).
+    /// Feature rows are uncacheable by design (no stable identity to key
+    /// on), so serve-side caches skip these requests.
+    pub fn is_features(&self) -> bool {
+        matches!(self, Self::ByFeatures(_))
+    }
+}
+
+/// Which request shape a [`Prediction`] answers — surfaced on the serve
+/// wire as the reply's `"kind"` field.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PredictionKind {
+    /// Rows are node distributions; `nodes` holds graph node ids.
+    Node,
+    /// Rows answer submitted feature vectors; `nodes` holds the 0-based
+    /// row indices of the request batch, not graph ids.
+    Features,
+}
+
+impl PredictionKind {
+    /// The wire-schema name (`"node"` / `"features"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            PredictionKind::Node => "node",
+            PredictionKind::Features => "features",
+        }
     }
 }
 
 /// A batch of answered predictions.
 #[derive(Clone, Debug)]
 pub struct Prediction {
-    /// The node ids answered, aligned with `proba`/`pred` rows.
+    /// For [`PredictionKind::Node`]: the node ids answered, aligned with
+    /// `proba`/`pred` rows. For [`PredictionKind::Features`]: the 0-based
+    /// row indices of the submitted feature batch.
     pub nodes: Vec<usize>,
-    /// Per-node class distribution (one row per requested node).
+    /// Per-row class distribution.
     pub proba: Matrix,
-    /// Per-node argmax class.
+    /// Per-row argmax class.
     pub pred: Vec<usize>,
+    /// Whether rows answer node ids or submitted feature vectors.
+    pub kind: PredictionKind,
 }
 
 /// Anything that can answer batched prediction requests: a live model
@@ -113,19 +199,22 @@ impl<T: Predictor + ?Sized> Predictor for &T {
 /// Slice `req` out of a full-graph probability matrix. Rows are copied
 /// bitwise (subset gathers go through [`Matrix::take_rows_par`] so large
 /// micro-batches ride the worker pool), which is what keeps served
-/// responses bit-identical to the offline `proba`.
+/// responses bit-identical to the offline `proba`. [`PredictRequest::ByFeatures`]
+/// is a typed [`PredictError::FeaturesUnsupported`]: stored node
+/// distributions cannot answer unseen feature vectors.
 pub fn gather_prediction(
     full_proba: &Matrix,
     req: &PredictRequest,
 ) -> Result<Prediction, PredictError> {
     let num_nodes = full_proba.rows();
-    match &req.nodes {
-        None => Ok(Prediction {
+    match req {
+        PredictRequest::All => Ok(Prediction {
             nodes: (0..num_nodes).collect(),
             pred: full_proba.argmax_rows(),
             proba: full_proba.clone(),
+            kind: PredictionKind::Node,
         }),
-        Some(ids) => {
+        PredictRequest::ByNodes(ids) => {
             if let Some(&node) = ids.iter().find(|&&id| id >= num_nodes) {
                 return Err(PredictError::NodeOutOfRange { node, num_nodes });
             }
@@ -134,8 +223,12 @@ pub fn gather_prediction(
                 nodes: ids.clone(),
                 pred: proba.argmax_rows(),
                 proba,
+                kind: PredictionKind::Node,
             })
         }
+        PredictRequest::ByFeatures(_) => Err(PredictError::FeaturesUnsupported {
+            predictor: "node-sum predictor",
+        }),
     }
 }
 
@@ -314,6 +407,41 @@ mod tests {
         assert!(out.nodes.is_empty());
         assert!(out.pred.is_empty());
         assert_eq!(out.proba.shape(), (0, 2));
+        assert_eq!(out.kind, PredictionKind::Node);
+    }
+
+    #[test]
+    fn gather_rejects_feature_requests_with_typed_error() {
+        let p = proba4();
+        let req = PredictRequest::features(Matrix::zeros(2, 8));
+        let err = gather_prediction(&p, &req).unwrap_err();
+        assert!(matches!(err, PredictError::FeaturesUnsupported { .. }));
+        assert!(err
+            .to_string()
+            .contains("feature-vector requests unsupported"));
+    }
+
+    #[test]
+    fn new_error_variants_display_their_fields() {
+        let e = PredictError::FeatureDimMismatch {
+            got: 32,
+            expected: 64,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("32") && msg.contains("64"), "{msg}");
+        let e = PredictError::NodesUnsupported {
+            predictor: "mlp artifact",
+        };
+        assert!(e.to_string().contains("mlp artifact"));
+    }
+
+    #[test]
+    fn request_helpers_classify_shapes() {
+        assert!(!PredictRequest::all().is_features());
+        assert!(!PredictRequest::nodes(vec![1]).is_features());
+        assert!(PredictRequest::features(Matrix::zeros(1, 4)).is_features());
+        assert_eq!(PredictionKind::Node.name(), "node");
+        assert_eq!(PredictionKind::Features.name(), "features");
     }
 
     #[test]

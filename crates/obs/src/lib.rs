@@ -77,8 +77,9 @@ pub use summarize::{
     TraceSummary,
 };
 pub use telemetry::{
-    agreement_rate, emit_breaker_state, emit_checkpoint, emit_divergence, emit_hist_snapshot,
-    emit_member, emit_member_dropped, emit_resume, emit_rollback, emit_run, emit_serve_batch,
-    emit_serve_metrics, emit_serve_run, emit_swap, emit_swap_failed, emit_worker_panic,
-    emit_worker_respawn, stage_rdd_epoch, EpochTelemetry, RddEpochExtra, ServeMetricsSnapshot,
+    agreement_rate, emit_breaker_state, emit_checkpoint, emit_distill, emit_divergence,
+    emit_hist_snapshot, emit_member, emit_member_dropped, emit_resume, emit_rollback, emit_run,
+    emit_serve_batch, emit_serve_metrics, emit_serve_run, emit_swap, emit_swap_failed,
+    emit_worker_panic, emit_worker_respawn, stage_rdd_epoch, EpochTelemetry, RddEpochExtra,
+    ServeMetricsSnapshot,
 };

@@ -228,6 +228,36 @@ pub fn emit_run(ensemble_test_acc: f32, single_test_acc: f32, members: usize) {
     );
 }
 
+/// One `distill` event: a graph-free MLP student finished distilling from
+/// the frozen ensemble. `v_r`/`labeled` size the KD/CE supervision sets,
+/// `gap` is `ensemble_test_acc - student_test_acc` (positive when the
+/// student trails its teacher).
+#[allow(clippy::too_many_arguments)]
+pub fn emit_distill(
+    student_test_acc: f32,
+    student_val_acc: f32,
+    ensemble_test_acc: f32,
+    gap: f32,
+    v_r: usize,
+    labeled: usize,
+    lambda_kd: f32,
+    epochs: usize,
+) {
+    event(
+        "distill",
+        &[
+            ("student_test_acc", Json::from(student_test_acc)),
+            ("student_val_acc", Json::from(student_val_acc)),
+            ("ensemble_test_acc", Json::from(ensemble_test_acc)),
+            ("gap", Json::from(gap)),
+            ("v_r", Json::from(v_r)),
+            ("labeled", Json::from(labeled)),
+            ("lambda_kd", Json::from(lambda_kd)),
+            ("epochs", Json::from(epochs)),
+        ],
+    );
+}
+
 /// One `serve_batch` event per serve-engine flush: which worker flushed it,
 /// how many requests and node rows it covered, the cache hit/miss split,
 /// predictor execution time, and every request's end-to-end latency

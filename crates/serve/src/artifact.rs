@@ -57,15 +57,22 @@ pub const HEADER: &str = "rdd-artifact v1";
 /// First line of an int8-quantized v2q artifact.
 pub const HEADER_V2Q: &str = "rdd-artifact v2q";
 
-/// Which on-disk encoding an [`Artifact`] was loaded from (or should be
-/// written in). Serving behavior is identical across formats — the
-/// loader always materializes dense `f32` matrices.
+/// First line of a distilled-MLP v3 artifact (weight matrices, not
+/// per-node sums; see [`crate::mlp_artifact`]).
+pub const HEADER_V3_MLP: &str = "rdd-artifact v3 (mlp)";
+
+/// Which on-disk encoding an artifact was loaded from (or should be
+/// written in) — the single source of truth for version-string checks
+/// and for what request shapes each format can answer.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum ArtifactFormat {
     /// Full-precision decimal text; loads reproduce the exporter bitwise.
     V1,
     /// Per-row affine int8, base64-packed; lossy but ~0.3× the size.
     V2q,
+    /// A distilled graph-free MLP student: weight matrices (optionally
+    /// int8-quantized per block) instead of per-node distribution sums.
+    V3Mlp,
 }
 
 impl ArtifactFormat {
@@ -74,15 +81,31 @@ impl ArtifactFormat {
         match self {
             ArtifactFormat::V1 => HEADER,
             ArtifactFormat::V2q => HEADER_V2Q,
+            ArtifactFormat::V3Mlp => HEADER_V3_MLP,
         }
     }
 
-    /// Short name for CLI output (`v1` / `v2q`).
+    /// Short name for CLI output (`v1` / `v2q` / `v3-mlp`).
     pub fn name(self) -> &'static str {
         match self {
             ArtifactFormat::V1 => "v1",
             ArtifactFormat::V2q => "v2q",
+            ArtifactFormat::V3Mlp => "v3-mlp",
         }
+    }
+
+    /// Whether this format answers raw feature-vector requests
+    /// (`PredictRequest::ByFeatures`). Only the MLP student can — it
+    /// stores weight matrices and needs no adjacency.
+    pub fn supports_features(self) -> bool {
+        matches!(self, ArtifactFormat::V3Mlp)
+    }
+
+    /// Whether this format answers node-id requests
+    /// (`PredictRequest::ByNodes` / `All`). Node-sum formats do; the MLP
+    /// student stores no per-node rows.
+    pub fn supports_nodes(self) -> bool {
+        !matches!(self, ArtifactFormat::V3Mlp)
     }
 }
 
@@ -220,7 +243,7 @@ pub struct Artifact {
     proba: Matrix,
 }
 
-fn push_matrix(out: &mut String, m: &Matrix) {
+pub(crate) fn push_matrix(out: &mut String, m: &Matrix) {
     use std::fmt::Write as _;
     let (r, c) = m.shape();
     let _ = writeln!(out, "matrix {r} {c}");
@@ -235,7 +258,7 @@ fn push_matrix(out: &mut String, m: &Matrix) {
     }
 }
 
-fn push_qmatrix(out: &mut String, m: &Matrix) {
+pub(crate) fn push_qmatrix(out: &mut String, m: &Matrix) {
     use std::fmt::Write as _;
     let (r, c) = m.shape();
     let _ = writeln!(out, "qmatrix {r} {c} int8");
@@ -288,6 +311,13 @@ pub fn write_artifact_as(
         ArtifactFormat::V2q => {
             push_qmatrix(&mut text, proba_sum);
             push_qmatrix(&mut text, logits_sum);
+        }
+        ArtifactFormat::V3Mlp => {
+            return Err(ServeError::Artifact(
+                "v3 (mlp) artifacts hold student weight matrices, not ensemble sums; \
+                 write them with write_mlp_artifact"
+                    .into(),
+            ))
         }
     }
     let checksum = fnv1a64(text.as_bytes());
@@ -381,13 +411,13 @@ pub fn write_ensemble_as(
     write_artifact_as(path, &meta, proba_sum, logits_sum, format)
 }
 
-struct Lines<'a> {
-    rest: std::str::Lines<'a>,
-    line_no: usize,
+pub(crate) struct Lines<'a> {
+    pub(crate) rest: std::str::Lines<'a>,
+    pub(crate) line_no: usize,
 }
 
 impl<'a> Lines<'a> {
-    fn next(&mut self) -> Result<&'a str, ServeError> {
+    pub(crate) fn next(&mut self) -> Result<&'a str, ServeError> {
         self.line_no += 1;
         self.rest
             .next()
@@ -395,7 +425,7 @@ impl<'a> Lines<'a> {
     }
 }
 
-fn parse_matrix(lines: &mut Lines<'_>) -> Result<Matrix, ServeError> {
+pub(crate) fn parse_matrix(lines: &mut Lines<'_>) -> Result<Matrix, ServeError> {
     let header = lines.next()?;
     let dims: Vec<&str> = header.split_whitespace().collect();
     let (r, c) = match dims.as_slice() {
@@ -438,7 +468,10 @@ fn parse_matrix(lines: &mut Lines<'_>) -> Result<Matrix, ServeError> {
     Ok(Matrix::from_vec(r, c, data))
 }
 
-fn parse_qmatrix(lines: &mut Lines<'_>, tier: rdd_tensor::SimdTier) -> Result<Matrix, ServeError> {
+pub(crate) fn parse_qmatrix(
+    lines: &mut Lines<'_>,
+    tier: rdd_tensor::SimdTier,
+) -> Result<Matrix, ServeError> {
     let header = lines.next()?;
     let dims: Vec<&str> = header.split_whitespace().collect();
     let (r, c) = match dims.as_slice() {
@@ -548,6 +581,9 @@ impl Artifact {
                     parse_qmatrix(&mut lines, tier)?,
                 )
             }
+            // The v3 header is caught above as WrongVersion: this loader
+            // reads ensemble sums; students load via MlpArtifact::load.
+            ArtifactFormat::V3Mlp => unreachable!("v3 header never reaches the v1/v2q parser"),
         };
         if lines.rest.next().is_some() {
             return Err(ServeError::Artifact(

@@ -9,11 +9,14 @@
 use std::sync::mpsc;
 use std::time::{Duration, Instant};
 
+use rdd_models::PredictRequest;
 use rdd_obs::{sample_stats, Json};
+use rdd_tensor::Matrix;
 
 use crate::artifact::Artifact;
 use crate::engine::{ServeConfig, ServeEngine};
 use crate::error::ServeError;
+use crate::mlp_artifact::MlpArtifact;
 use crate::pool::{PoolConfig, ServePool};
 
 /// One bench mode's outcome.
@@ -107,7 +110,7 @@ fn run_mode(
         // Unmeasured warmup: touch every node once so the measured phase
         // sees a fully hot cache.
         for node in 0..n {
-            engine.submit(u64::MAX - node as u64, Some(vec![node]))?;
+            engine.submit(u64::MAX - node as u64, PredictRequest::nodes(vec![node]))?;
         }
         engine.flush();
     }
@@ -119,7 +122,7 @@ fn run_mode(
     let mut submitted = 0u64;
     while (submitted as usize) < requests {
         let node = stream.next();
-        if let Some(replies) = engine.submit(submitted, Some(vec![node]))? {
+        if let Some(replies) = engine.submit(submitted, PredictRequest::nodes(vec![node]))? {
             for reply in replies {
                 reply.result?;
                 latencies.push(reply.latency_ms);
@@ -188,7 +191,10 @@ fn run_mode_pooled(
         let mut drained = 0usize;
         while drained < n {
             while warmed < n && warmed - drained < window {
-                pool.submit(u64::MAX - warmed as u64, Some(vec![warmed]))?;
+                pool.submit(
+                    u64::MAX - warmed as u64,
+                    PredictRequest::nodes(vec![warmed]),
+                )?;
                 warmed += 1;
             }
             rx.recv().map_err(|_| dropped())?.result?;
@@ -208,7 +214,7 @@ fn run_mode_pooled(
     let mut received = 0usize;
     while received < requests {
         while submitted < requests && submitted - received < target {
-            match pool.submit(submitted as u64, Some(vec![stream.next()])) {
+            match pool.submit(submitted as u64, PredictRequest::nodes(vec![stream.next()])) {
                 Ok(()) => submitted += 1,
                 Err(ServeError::QueueFull { .. }) => break,
                 Err(ServeError::Overloaded { retry_after_ms }) => {
@@ -275,6 +281,101 @@ pub fn bench_artifact(
     modes
         .iter()
         .map(|&(mode, batch, warm)| run_mode(artifact, mode, batch, warm, requests))
+        .collect()
+}
+
+/// Deterministic feature-row stream for the v3 features mode: the same
+/// xorshift64 core as [`NodeStream`], mapped onto `[-1, 1)` floats, so the
+/// same artifact and request count always replay the same workload.
+struct FeatureStream {
+    state: u64,
+    d: usize,
+}
+
+impl FeatureStream {
+    fn new(d: usize) -> Self {
+        Self {
+            state: 0x9e37_79b9_7f4a_7c15,
+            d,
+        }
+    }
+
+    fn next_row(&mut self) -> Matrix {
+        let mut data = Vec::with_capacity(self.d);
+        for _ in 0..self.d {
+            let mut x = self.state;
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            self.state = x;
+            data.push(((x >> 40) as f32) / ((1u64 << 23) as f32) - 1.0);
+        }
+        Matrix::from_vec(1, self.d, data)
+    }
+}
+
+fn run_mode_features(
+    artifact: &MlpArtifact,
+    mode: &str,
+    batch_size: usize,
+    requests: usize,
+) -> Result<BenchResult, ServeError> {
+    let cfg = ServeConfig {
+        batch_size,
+        max_delay_ms: 0,
+        // Feature rows bypass the cache by design; don't pay for one.
+        cache_capacity: 0,
+        queue_capacity: batch_size.max(1024),
+    };
+    let mut engine = ServeEngine::new(artifact, cfg, artifact.checksum())
+        .map_err(|e| ServeError::BadRequest(e.to_string()))?;
+    let mut stream = FeatureStream::new(artifact.in_dim());
+    let mut latencies: Vec<f64> = Vec::with_capacity(requests);
+    let started = Instant::now();
+    let mut submitted = 0u64;
+    while (submitted as usize) < requests {
+        let row = stream.next_row();
+        if let Some(replies) = engine.submit(submitted, PredictRequest::features(row))? {
+            for reply in replies {
+                reply.result?;
+                latencies.push(reply.latency_ms);
+            }
+        }
+        submitted += 1;
+    }
+    for reply in engine.flush() {
+        reply.result?;
+        latencies.push(reply.latency_ms);
+    }
+    let wall_s = started.elapsed().as_secs_f64();
+    let lat_stats =
+        sample_stats(&latencies).map_err(|e| ServeError::BadRequest(format!("latency {e}")))?;
+    Ok(BenchResult {
+        mode: mode.to_string(),
+        batch_size,
+        requests: lat_stats.count,
+        rps: lat_stats.count as f64 / wall_s.max(1e-9),
+        p50_ms: lat_stats.p50,
+        p99_ms: lat_stats.p99,
+        hit_rate: 0.0,
+        workers: 1,
+        utilization: 1.0,
+    })
+}
+
+/// The v3 features mode (`rdd serve-bench --features-mode`): `requests`
+/// single-row [`PredictRequest::ByFeatures`] requests of synthetic feature
+/// vectors against a distilled student, unbatched and batched. Every row
+/// is a fresh forward — there is no cache to warm — so this measures the
+/// matmul path the node-sum modes never touch.
+pub fn bench_artifact_features(
+    artifact: &MlpArtifact,
+    requests: usize,
+) -> Result<Vec<BenchResult>, ServeError> {
+    let modes: [(&str, usize); 2] = [("features-unbatched", 1), ("features-batched", 32)];
+    modes
+        .iter()
+        .map(|&(mode, batch)| run_mode_features(artifact, mode, batch, requests))
         .collect()
 }
 

@@ -11,11 +11,19 @@
 //! `(artifact checksum, node id)`: re-serving a hot node costs a row copy,
 //! and because cached rows were produced by the same predictor on the same
 //! artifact, cache hits stay bitwise identical to cold executions.
+//!
+//! [`PredictRequest::ByFeatures`] requests ride the same queue and flush:
+//! their rows are stacked per flush (grouped by feature dim) and executed
+//! in one predictor call per group, but they **bypass the cache by
+//! design** — a feature vector is an arbitrary point in `R^d` with no
+//! stable identity to key on, unlike a node id, so caching would either
+//! hash raw floats (equality is meaningless under fp noise) or never hit.
+//! Node requests keep their dedup + memoization unchanged.
 
 use std::collections::{HashMap, VecDeque};
 use std::time::Instant;
 
-use rdd_models::{ConfigError, PredictRequest, Prediction, Predictor};
+use rdd_models::{ConfigError, PredictRequest, Prediction, PredictionKind, Predictor};
 use rdd_obs::{HistSnapshot, ServeMetricsSnapshot};
 use rdd_tensor::Matrix;
 
@@ -94,7 +102,7 @@ pub(crate) struct CachedRow {
 #[derive(Clone)]
 pub(crate) struct PendingRequest {
     pub(crate) id: u64,
-    pub(crate) nodes: Option<Vec<usize>>,
+    pub(crate) req: PredictRequest,
     pub(crate) enqueued: Instant,
     /// Shed (typed [`ServeError::Expired`]) instead of dispatched if this
     /// instant passes while the request is still queued.
@@ -181,6 +189,9 @@ pub struct ServeStats {
     pub cache_hits: u64,
     /// Node rows that needed predictor execution.
     pub cache_misses: u64,
+    /// Feature-vector rows served (always fresh executions — feature
+    /// requests bypass the cache by design).
+    pub feature_rows: u64,
     /// Requests rejected at admission (queue full).
     pub shed: u64,
     /// Requests shed post-admission (deadline expired before dispatch).
@@ -201,6 +212,7 @@ impl ServeStats {
         self.batches += other.batches;
         self.cache_hits += other.cache_hits;
         self.cache_misses += other.cache_misses;
+        self.feature_rows += other.feature_rows;
         self.shed += other.shed;
         self.expired += other.expired;
         self.failed += other.failed;
@@ -462,16 +474,18 @@ impl<P: Predictor> ServeEngine<P> {
             .map(|p| p.enqueued + std::time::Duration::from_millis(self.cfg.max_delay_ms))
     }
 
-    /// Enqueue a request (`nodes: None` = the whole graph). Returns
-    /// `Ok(Some(replies))` when this submission filled a batch and
-    /// triggered a flush, `Ok(None)` when the request is parked, and
-    /// [`ServeError::QueueFull`] when the bounded queue is at capacity.
+    /// Enqueue a request — node ids ([`PredictRequest::ByNodes`] /
+    /// [`PredictRequest::All`]) or raw feature rows
+    /// ([`PredictRequest::ByFeatures`]). Returns `Ok(Some(replies))` when
+    /// this submission filled a batch and triggered a flush, `Ok(None)`
+    /// when the request is parked, and [`ServeError::QueueFull`] when the
+    /// bounded queue is at capacity.
     pub fn submit(
         &mut self,
         id: u64,
-        nodes: Option<Vec<usize>>,
+        req: PredictRequest,
     ) -> Result<Option<Vec<ServeReply>>, ServeError> {
-        self.submit_with_deadline(id, nodes, None)
+        self.submit_with_deadline(id, req, None)
     }
 
     /// [`ServeEngine::submit`] with an optional deadline: if the instant
@@ -480,7 +494,7 @@ impl<P: Predictor> ServeEngine<P> {
     pub fn submit_with_deadline(
         &mut self,
         id: u64,
-        nodes: Option<Vec<usize>>,
+        req: PredictRequest,
         deadline: Option<Instant>,
     ) -> Result<Option<Vec<ServeReply>>, ServeError> {
         if self.pending.len() >= self.cfg.queue_capacity {
@@ -492,7 +506,7 @@ impl<P: Predictor> ServeEngine<P> {
         }
         self.pending.push_back(PendingRequest {
             id,
-            nodes,
+            req,
             enqueued: Instant::now(),
             deadline,
             retries: 0,
@@ -525,6 +539,7 @@ impl<P: Predictor> ServeEngine<P> {
         self.stats.batches += 1;
         self.stats.cache_hits += out.hits as u64;
         self.stats.cache_misses += out.nodes_served.saturating_sub(out.hits) as u64;
+        self.stats.feature_rows += out.feature_rows as u64;
         self.stats.expired += out.expired as u64;
         for _ in 0..out.expired {
             self.metrics.record_shed(ShedCause::Expired);
@@ -550,19 +565,24 @@ pub(crate) struct FlushOutcome {
     pub(crate) latencies: Vec<f64>,
     /// Node rows served from the cache.
     pub(crate) hits: usize,
-    /// Node rows in successful replies (hits + fresh executions).
+    /// Node rows in successful replies (hits + fresh executions); feature
+    /// rows are counted separately and never touch the cache.
     pub(crate) nodes_served: usize,
+    /// Feature-vector rows in successful replies (always fresh).
+    pub(crate) feature_rows: usize,
     /// Requests shed because their deadline passed before dispatch.
     pub(crate) expired: usize,
 }
 
 /// Execute one micro-batch against `predictor`: shed expired requests,
 /// serve what `cache` holds under `cache_epoch`, run one deduplicated
-/// `predict_batch` over the distinct missing rows, and assemble per-request
-/// replies tagged with `generation`. This is the shared core of the
-/// single-threaded [`ServeEngine::flush`] and every [`crate::pool`] worker;
-/// it records the global serve histograms and emits the per-flush
-/// `serve_batch` event under `worker`.
+/// `predict_batch` over the distinct missing node rows plus one per
+/// feature-dim group of stacked feature rows, and assemble per-request
+/// replies tagged with `generation`. A failing feature group poisons only
+/// its own requests; a failing node execution poisons only node requests.
+/// This is the shared core of the single-threaded [`ServeEngine::flush`]
+/// and every [`crate::pool`] worker; it records the global serve
+/// histograms and emits the per-flush `serve_batch` event under `worker`.
 pub(crate) fn execute_batch<P: Predictor, C: BatchCache>(
     worker: usize,
     predictor: &P,
@@ -605,30 +625,62 @@ pub(crate) fn execute_batch<P: Predictor, C: BatchCache>(
             latencies: Vec::new(),
             hits: 0,
             nodes_served: 0,
+            feature_rows: 0,
             expired,
         };
     }
     let num_nodes = predictor.num_nodes();
     let k = predictor.num_classes();
 
-    // Resolve each request's node list, serving what the cache already
-    // holds and collecting the distinct rows that need execution.
+    // Resolve each request. Node requests serve what the cache already
+    // holds and collect the distinct rows that need execution; feature
+    // requests stack their rows into one matrix per feature dim (so one
+    // predictor call covers every same-dim feature request in the flush)
+    // and never consult the cache — see the module docs.
     struct Assembly {
         nodes: Vec<usize>,
         rows: Vec<Option<CachedRow>>,
         hits: usize,
         error: Option<ServeError>,
     }
-    let mut assemblies: Vec<Assembly> = Vec::with_capacity(batch.len());
+    enum Plan {
+        Nodes(Assembly),
+        Features {
+            group: usize,
+            start: usize,
+            len: usize,
+        },
+    }
+    let mut plans: Vec<Plan> = Vec::with_capacity(batch.len());
     let mut miss_order: Vec<usize> = Vec::new();
     let mut miss_set: HashMap<usize, usize> = HashMap::new();
+    // One (feature dim → stacked rows) group per distinct column count.
+    let mut groups: Vec<(usize, Vec<f32>, usize)> = Vec::new(); // (cols, data, rows)
+    let mut group_by_cols: HashMap<usize, usize> = HashMap::new();
     for req in &batch {
-        let nodes: Vec<usize> = match &req.nodes {
-            Some(ids) => ids.clone(),
-            None => (0..num_nodes).collect(),
+        let nodes: Vec<usize> = match &req.req {
+            PredictRequest::ByFeatures(rows) => {
+                let cols = rows.cols();
+                let group = *group_by_cols.entry(cols).or_insert_with(|| {
+                    groups.push((cols, Vec::new(), 0));
+                    groups.len() - 1
+                });
+                let (_, data, stacked) = &mut groups[group];
+                let start = *stacked;
+                data.extend_from_slice(rows.as_slice());
+                *stacked += rows.rows();
+                plans.push(Plan::Features {
+                    group,
+                    start,
+                    len: rows.rows(),
+                });
+                continue;
+            }
+            PredictRequest::ByNodes(ids) => ids.clone(),
+            PredictRequest::All => (0..num_nodes).collect(),
         };
         if let Some(&bad) = nodes.iter().find(|&&id| id >= num_nodes) {
-            assemblies.push(Assembly {
+            plans.push(Plan::Nodes(Assembly {
                 nodes,
                 rows: Vec::new(),
                 hits: 0,
@@ -638,7 +690,7 @@ pub(crate) fn execute_batch<P: Predictor, C: BatchCache>(
                         num_nodes,
                     },
                 )),
-            });
+            }));
             continue;
         }
         let mut rows: Vec<Option<CachedRow>> = Vec::with_capacity(nodes.len());
@@ -658,15 +710,16 @@ pub(crate) fn execute_batch<P: Predictor, C: BatchCache>(
                 }
             }
         }
-        assemblies.push(Assembly {
+        plans.push(Plan::Nodes(Assembly {
             nodes,
             rows,
             hits,
             error: None,
-        });
+        }));
     }
 
-    // One predictor execution covers every distinct missing node.
+    // One predictor execution covers every distinct missing node, plus
+    // one per feature group.
     let exec_start = Instant::now();
     let fresh: Result<Option<Prediction>, rdd_models::PredictError> = if miss_order.is_empty() {
         Ok(None)
@@ -675,85 +728,110 @@ pub(crate) fn execute_batch<P: Predictor, C: BatchCache>(
             .predict_batch(&PredictRequest::nodes(miss_order.clone()))
             .map(Some)
     };
+    let group_results: Vec<Result<Prediction, rdd_models::PredictError>> = groups
+        .into_iter()
+        .map(|(cols, data, rows)| {
+            let stacked = Matrix::from_vec(rows, cols, data);
+            predictor.predict_batch(&PredictRequest::ByFeatures(stacked))
+        })
+        .collect();
     let exec_ms = exec_start.elapsed().as_secs_f64() * 1e3;
 
-    let mut latencies = Vec::with_capacity(batch.len());
-    match fresh {
-        Err(e) => {
-            // The predictor itself failed (e.g. empty ensemble): every
-            // request in the batch gets the error.
-            for req in &batch {
-                let latency_ms = req.enqueued.elapsed().as_secs_f64() * 1e3;
-                latencies.push(latency_ms);
-                replies.push(ServeReply {
-                    id: req.id,
-                    result: Err(ServeError::Predict(e.clone())),
-                    latency_ms,
-                    cache_hits: 0,
-                    generation,
-                });
-            }
+    let node_exec_err = fresh.as_ref().err().cloned();
+    let fresh = fresh.ok().flatten();
+    if let Some(fresh) = &fresh {
+        for (r, &node) in fresh.nodes.iter().enumerate() {
+            cache.store(
+                (cache_epoch, node),
+                CachedRow {
+                    proba: fresh.proba.row(r).to_vec(),
+                    pred: fresh.pred[r],
+                },
+            );
         }
-        Ok(fresh) => {
-            if let Some(fresh) = &fresh {
-                for (r, &node) in fresh.nodes.iter().enumerate() {
-                    cache.store(
-                        (cache_epoch, node),
-                        CachedRow {
-                            proba: fresh.proba.row(r).to_vec(),
-                            pred: fresh.pred[r],
-                        },
-                    );
+    }
+    let mut latencies = Vec::with_capacity(batch.len());
+    for (req, plan) in batch.iter().zip(plans) {
+        let latency_ms = req.enqueued.elapsed().as_secs_f64() * 1e3;
+        latencies.push(latency_ms);
+        let (result, cache_hits) = match plan {
+            Plan::Features { group, start, len } => match &group_results[group] {
+                // A failing feature group (dim mismatch, node-only
+                // artifact) answers only its own requests.
+                Err(e) => (Err(ServeError::Predict(e.clone())), 0),
+                Ok(p) => {
+                    let mut proba = Matrix::zeros(len, p.proba.cols());
+                    let mut pred = Vec::with_capacity(len);
+                    for r in 0..len {
+                        proba.row_mut(r).copy_from_slice(p.proba.row(start + r));
+                        pred.push(p.pred[start + r]);
+                    }
+                    (
+                        Ok(Prediction {
+                            nodes: (0..len).collect(),
+                            proba,
+                            pred,
+                            kind: PredictionKind::Features,
+                        }),
+                        0,
+                    )
                 }
-            }
-            for (req, asm) in batch.iter().zip(assemblies) {
-                let latency_ms = req.enqueued.elapsed().as_secs_f64() * 1e3;
-                latencies.push(latency_ms);
-                if let Some(error) = asm.error {
-                    replies.push(ServeReply {
-                        id: req.id,
-                        result: Err(error),
-                        latency_ms,
-                        cache_hits: 0,
-                        generation,
-                    });
-                    continue;
-                }
-                let mut proba = Matrix::zeros(asm.nodes.len(), k);
-                let mut pred = Vec::with_capacity(asm.nodes.len());
-                for (r, (node, row)) in asm.nodes.iter().zip(asm.rows).enumerate() {
-                    match row {
-                        Some(cached) => {
-                            proba.row_mut(r).copy_from_slice(&cached.proba);
-                            pred.push(cached.pred);
-                        }
-                        None => {
-                            let fresh = fresh.as_ref().expect("misses imply an execution");
-                            let fr = miss_set[node];
-                            proba.row_mut(r).copy_from_slice(fresh.proba.row(fr));
-                            pred.push(fresh.pred[fr]);
+            },
+            Plan::Nodes(asm) => {
+                if let Some(e) = &node_exec_err {
+                    // The node execution itself failed (e.g. empty
+                    // ensemble): every node request gets the error.
+                    (Err(ServeError::Predict(e.clone())), 0)
+                } else if let Some(error) = asm.error {
+                    (Err(error), 0)
+                } else {
+                    let mut proba = Matrix::zeros(asm.nodes.len(), k);
+                    let mut pred = Vec::with_capacity(asm.nodes.len());
+                    for (r, (node, row)) in asm.nodes.iter().zip(asm.rows).enumerate() {
+                        match row {
+                            Some(cached) => {
+                                proba.row_mut(r).copy_from_slice(&cached.proba);
+                                pred.push(cached.pred);
+                            }
+                            None => {
+                                let fresh = fresh.as_ref().expect("misses imply an execution");
+                                let fr = miss_set[node];
+                                proba.row_mut(r).copy_from_slice(fresh.proba.row(fr));
+                                pred.push(fresh.pred[fr]);
+                            }
                         }
                     }
+                    (
+                        Ok(Prediction {
+                            nodes: asm.nodes,
+                            proba,
+                            pred,
+                            kind: PredictionKind::Node,
+                        }),
+                        asm.hits,
+                    )
                 }
-                replies.push(ServeReply {
-                    id: req.id,
-                    result: Ok(Prediction {
-                        nodes: asm.nodes,
-                        proba,
-                        pred,
-                    }),
-                    latency_ms,
-                    cache_hits: asm.hits,
-                    generation,
-                });
+            }
+        };
+        replies.push(ServeReply {
+            id: req.id,
+            result,
+            latency_ms,
+            cache_hits,
+            generation,
+        });
+    }
+
+    let mut nodes_served = 0usize;
+    let mut feature_rows = 0usize;
+    for r in &replies {
+        if let Ok(p) = &r.result {
+            match p.kind {
+                PredictionKind::Node => nodes_served += p.nodes.len(),
+                PredictionKind::Features => feature_rows += p.proba.rows(),
             }
         }
     }
-
-    let nodes_served: usize = replies
-        .iter()
-        .map(|r| r.result.as_ref().map_or(0, |p| p.nodes.len()))
-        .sum();
     let hits: usize = replies.iter().map(|r| r.cache_hits).sum();
     HIST_EXEC_NS.record((exec_ms * 1e6) as u64);
     for &lat_ms in &latencies {
@@ -762,7 +840,7 @@ pub(crate) fn execute_batch<P: Predictor, C: BatchCache>(
     rdd_obs::emit_serve_batch(
         worker,
         batch.len(),
-        nodes_served,
+        nodes_served + feature_rows,
         hits,
         nodes_served.saturating_sub(hits),
         exec_ms,
@@ -773,6 +851,7 @@ pub(crate) fn execute_batch<P: Predictor, C: BatchCache>(
         latencies,
         hits,
         nodes_served,
+        feature_rows,
         expired,
     }
 }
@@ -814,6 +893,25 @@ mod tests {
         }
         fn predict_batch(&self, req: &PredictRequest) -> Result<Prediction, PredictError> {
             self.calls.set(self.calls.get() + 1);
+            // Feature rows: require dim == k and answer softmax(row), a
+            // deterministic stand-in for a distilled student forward.
+            if let PredictRequest::ByFeatures(rows) = req {
+                if rows.cols() != self.proba.cols() {
+                    return Err(PredictError::FeatureDimMismatch {
+                        got: rows.cols(),
+                        expected: self.proba.cols(),
+                    });
+                }
+                self.nodes_executed
+                    .set(self.nodes_executed.get() + rows.rows());
+                let proba = rows.softmax_rows();
+                return Ok(Prediction {
+                    nodes: (0..rows.rows()).collect(),
+                    pred: proba.argmax_rows(),
+                    proba,
+                    kind: rdd_models::PredictionKind::Features,
+                });
+            }
             let out = rdd_models::gather_prediction(&self.proba, req)?;
             self.nodes_executed
                 .set(self.nodes_executed.get() + out.nodes.len());
@@ -845,11 +943,17 @@ mod tests {
             batch_size: 3,
             ..ServeConfig::default()
         });
-        assert!(e.submit(0, Some(vec![1])).unwrap().is_none());
-        assert!(e.submit(1, Some(vec![2])).unwrap().is_none());
+        assert!(e
+            .submit(0, PredictRequest::nodes(vec![1]))
+            .unwrap()
+            .is_none());
+        assert!(e
+            .submit(1, PredictRequest::nodes(vec![2]))
+            .unwrap()
+            .is_none());
         assert!(e.deadline().is_some());
         let replies = e
-            .submit(2, Some(vec![3]))
+            .submit(2, PredictRequest::nodes(vec![3]))
             .unwrap()
             .expect("third fills the batch");
         assert_eq!(replies.len(), 3);
@@ -872,8 +976,8 @@ mod tests {
             ..ServeConfig::default()
         });
         let direct = e.predictor().proba.clone();
-        e.submit(0, Some(vec![4, 9, 4])).unwrap();
-        let replies = e.submit(1, None).unwrap().expect("flush");
+        e.submit(0, PredictRequest::nodes(vec![4, 9, 4])).unwrap();
+        let replies = e.submit(1, PredictRequest::all()).unwrap().expect("flush");
         let p0 = replies[0].result.as_ref().unwrap();
         for (r, &node) in p0.nodes.iter().enumerate() {
             let same = p0
@@ -896,10 +1000,16 @@ mod tests {
             cache_capacity: 64,
             ..ServeConfig::default()
         });
-        let cold = e.submit(0, Some(vec![5, 6])).unwrap().expect("flush");
+        let cold = e
+            .submit(0, PredictRequest::nodes(vec![5, 6]))
+            .unwrap()
+            .expect("flush");
         assert_eq!(cold[0].cache_hits, 0);
         let executed_after_cold = e.predictor().nodes_executed.get();
-        let warm = e.submit(1, Some(vec![6, 5])).unwrap().expect("flush");
+        let warm = e
+            .submit(1, PredictRequest::nodes(vec![6, 5]))
+            .unwrap()
+            .expect("flush");
         assert_eq!(warm[0].cache_hits, 2);
         assert_eq!(
             e.predictor().nodes_executed.get(),
@@ -924,9 +1034,12 @@ mod tests {
             cache_capacity: 0, // even uncached, a batch dedups its misses
             ..ServeConfig::default()
         });
-        e.submit(0, Some(vec![7, 8])).unwrap();
-        e.submit(1, Some(vec![8, 7])).unwrap();
-        let replies = e.submit(2, Some(vec![7])).unwrap().expect("flush");
+        e.submit(0, PredictRequest::nodes(vec![7, 8])).unwrap();
+        e.submit(1, PredictRequest::nodes(vec![8, 7])).unwrap();
+        let replies = e
+            .submit(2, PredictRequest::nodes(vec![7]))
+            .unwrap()
+            .expect("flush");
         assert_eq!(e.predictor().nodes_executed.get(), 2, "7 and 8, once each");
         assert_eq!(replies[2].result.as_ref().unwrap().pred.len(), 1);
     }
@@ -938,14 +1051,17 @@ mod tests {
             queue_capacity: 2,
             ..ServeConfig::default()
         });
-        e.submit(0, Some(vec![0])).unwrap();
-        e.submit(1, Some(vec![1])).unwrap();
-        let err = e.submit(2, Some(vec![2])).unwrap_err();
+        e.submit(0, PredictRequest::nodes(vec![0])).unwrap();
+        e.submit(1, PredictRequest::nodes(vec![1])).unwrap();
+        let err = e.submit(2, PredictRequest::nodes(vec![2])).unwrap_err();
         assert!(matches!(err, ServeError::QueueFull { capacity: 2 }));
         // A manual (deadline-path) flush drains the queue and unblocks.
         let replies = e.flush();
         assert_eq!(replies.len(), 2);
-        assert!(e.submit(2, Some(vec![2])).unwrap().is_none());
+        assert!(e
+            .submit(2, PredictRequest::nodes(vec![2]))
+            .unwrap()
+            .is_none());
     }
 
     #[test]
@@ -955,9 +1071,9 @@ mod tests {
             ..ServeConfig::default()
         });
         // A deadline of "now" is already past when the flush runs.
-        e.submit_with_deadline(0, Some(vec![1]), Some(Instant::now()))
+        e.submit_with_deadline(0, PredictRequest::nodes(vec![1]), Some(Instant::now()))
             .unwrap();
-        e.submit(1, Some(vec![2])).unwrap();
+        e.submit(1, PredictRequest::nodes(vec![2])).unwrap();
         let replies = e.flush();
         assert_eq!(replies.len(), 2);
         let shed = replies.iter().find(|r| r.id == 0).unwrap();
@@ -983,7 +1099,7 @@ mod tests {
         });
         let deadline = Instant::now() + std::time::Duration::from_secs(60);
         let replies = e
-            .submit_with_deadline(0, Some(vec![3]), Some(deadline))
+            .submit_with_deadline(0, PredictRequest::nodes(vec![3]), Some(deadline))
             .unwrap()
             .expect("flush");
         assert!(replies[0].result.is_ok());
@@ -997,8 +1113,11 @@ mod tests {
             batch_size: 2,
             ..ServeConfig::default()
         });
-        e.submit(0, Some(vec![999])).unwrap();
-        let replies = e.submit(1, Some(vec![3])).unwrap().expect("flush");
+        e.submit(0, PredictRequest::nodes(vec![999])).unwrap();
+        let replies = e
+            .submit(1, PredictRequest::nodes(vec![3]))
+            .unwrap()
+            .expect("flush");
         assert!(matches!(
             replies[0].result,
             Err(ServeError::Predict(PredictError::NodeOutOfRange {
@@ -1007,6 +1126,141 @@ mod tests {
             }))
         ));
         assert!(replies[1].result.is_ok(), "valid request must still serve");
+    }
+
+    #[test]
+    fn feature_requests_serve_with_kind_and_row_indices() {
+        let mut e = engine(ServeConfig {
+            batch_size: 1,
+            ..ServeConfig::default()
+        });
+        let rows = Matrix::from_fn(2, 3, |i, j| (i * 3 + j) as f32 * 0.5);
+        let replies = e
+            .submit(7, PredictRequest::features(rows.clone()))
+            .unwrap()
+            .expect("flush");
+        let p = replies[0].result.as_ref().unwrap();
+        assert_eq!(p.kind, rdd_models::PredictionKind::Features);
+        assert_eq!(p.nodes, vec![0, 1], "feature replies index their rows");
+        let direct = rows.softmax_rows();
+        assert_eq!(p.proba.as_slice(), direct.as_slice(), "bitwise vs direct");
+        assert_eq!(e.stats().feature_rows, 2);
+        assert_eq!(e.stats().cache_misses, 0, "feature rows are not misses");
+    }
+
+    #[test]
+    fn mixed_batch_serves_nodes_and_features_in_one_flush() {
+        let mut e = engine(ServeConfig {
+            batch_size: 3,
+            cache_capacity: 64,
+            ..ServeConfig::default()
+        });
+        e.submit(0, PredictRequest::nodes(vec![4])).unwrap();
+        e.submit(
+            1,
+            PredictRequest::features(Matrix::from_fn(1, 3, |_, j| j as f32)),
+        )
+        .unwrap();
+        let replies = e
+            .submit(2, PredictRequest::nodes(vec![5]))
+            .unwrap()
+            .expect("flush");
+        assert_eq!(replies.len(), 3);
+        assert_eq!(
+            replies[0].result.as_ref().unwrap().kind,
+            rdd_models::PredictionKind::Node
+        );
+        assert_eq!(
+            replies[1].result.as_ref().unwrap().kind,
+            rdd_models::PredictionKind::Features
+        );
+        assert!(replies[2].result.is_ok());
+        let stats = e.stats();
+        assert_eq!(stats.feature_rows, 1);
+        assert_eq!(stats.cache_misses, 2, "only node rows touch the cache");
+        // Two predictor calls: one node dedup batch + one feature group.
+        assert_eq!(e.predictor().calls.get(), 2);
+    }
+
+    #[test]
+    fn same_dim_feature_requests_share_one_execution() {
+        let mut e = engine(ServeConfig {
+            batch_size: 2,
+            ..ServeConfig::default()
+        });
+        e.submit(
+            0,
+            PredictRequest::features(Matrix::from_fn(2, 3, |i, j| (i + j) as f32)),
+        )
+        .unwrap();
+        let replies = e
+            .submit(
+                1,
+                PredictRequest::features(Matrix::from_fn(1, 3, |_, j| j as f32 * 2.0)),
+            )
+            .unwrap()
+            .expect("flush");
+        assert_eq!(e.predictor().calls.get(), 1, "one stacked group call");
+        assert_eq!(replies[0].result.as_ref().unwrap().proba.rows(), 2);
+        assert_eq!(replies[0].result.as_ref().unwrap().nodes, vec![0, 1]);
+        let p1 = replies[1].result.as_ref().unwrap();
+        assert_eq!(p1.proba.rows(), 1);
+        assert_eq!(p1.nodes, vec![0], "row indices are request-local");
+        let direct = Matrix::from_fn(1, 3, |_, j| j as f32 * 2.0).softmax_rows();
+        assert_eq!(p1.proba.as_slice(), direct.as_slice());
+    }
+
+    #[test]
+    fn bad_dim_feature_group_fails_alone() {
+        let mut e = engine(ServeConfig {
+            batch_size: 2,
+            ..ServeConfig::default()
+        });
+        e.submit(
+            0,
+            PredictRequest::features(Matrix::from_fn(1, 5, |_, j| j as f32)),
+        )
+        .unwrap();
+        let replies = e
+            .submit(1, PredictRequest::nodes(vec![3]))
+            .unwrap()
+            .expect("flush");
+        assert!(matches!(
+            replies[0].result,
+            Err(ServeError::Predict(PredictError::FeatureDimMismatch {
+                got: 5,
+                expected: 3
+            }))
+        ));
+        assert!(replies[1].result.is_ok(), "node request must still serve");
+    }
+
+    #[test]
+    fn repeated_feature_rows_never_hit_the_cache() {
+        let mut e = engine(ServeConfig {
+            batch_size: 1,
+            cache_capacity: 64,
+            ..ServeConfig::default()
+        });
+        let rows = Matrix::from_fn(1, 3, |_, j| j as f32);
+        let a = e
+            .submit(0, PredictRequest::features(rows.clone()))
+            .unwrap()
+            .expect("flush");
+        let b = e
+            .submit(1, PredictRequest::features(rows))
+            .unwrap()
+            .expect("flush");
+        assert_eq!(a[0].cache_hits, 0);
+        assert_eq!(b[0].cache_hits, 0);
+        assert_eq!(e.predictor().calls.get(), 2, "every feature row executes");
+        assert_eq!(e.stats().cache_hits, 0);
+        // Identical inputs through the same frozen weights still agree
+        // bitwise — reproducibility comes from the forward, not the cache.
+        assert_eq!(
+            a[0].result.as_ref().unwrap().proba.as_slice(),
+            b[0].result.as_ref().unwrap().proba.as_slice()
+        );
     }
 
     #[test]
@@ -1024,11 +1278,15 @@ mod tests {
             cache_capacity: 64,
             ..ServeConfig::default()
         });
-        e.submit(0, Some(vec![1])).unwrap();
-        e.submit(1, Some(vec![2])).unwrap().expect("flush");
+        e.submit(0, PredictRequest::nodes(vec![1])).unwrap();
+        e.submit(1, PredictRequest::nodes(vec![2]))
+            .unwrap()
+            .expect("flush");
         // Same nodes again: all cache hits this time.
-        e.submit(2, Some(vec![1])).unwrap();
-        e.submit(3, Some(vec![2])).unwrap().expect("flush");
+        e.submit(2, PredictRequest::nodes(vec![1])).unwrap();
+        e.submit(3, PredictRequest::nodes(vec![2]))
+            .unwrap()
+            .expect("flush");
         let m = e.metrics();
         assert_eq!(m.requests, 4);
         assert_eq!(m.queue_peak, 2, "two requests were queued before a flush");
@@ -1043,9 +1301,9 @@ mod tests {
             queue_capacity: 2,
             ..ServeConfig::default()
         });
-        e.submit(0, Some(vec![0])).unwrap();
-        e.submit(1, Some(vec![1])).unwrap();
-        assert!(e.submit(2, Some(vec![2])).is_err());
+        e.submit(0, PredictRequest::nodes(vec![0])).unwrap();
+        e.submit(1, PredictRequest::nodes(vec![1])).unwrap();
+        assert!(e.submit(2, PredictRequest::nodes(vec![2])).is_err());
         assert_eq!(e.stats().shed, 1);
         assert_eq!(e.metrics().shed, 1);
     }

@@ -82,9 +82,10 @@ impl std::fmt::Display for ServeError {
             ServeError::WrongVersion { found } => {
                 write!(
                     f,
-                    "unsupported artifact version: {found:?} (expected {} or {})",
+                    "unsupported artifact version: {found:?} (expected {:?}, {:?} or {:?})",
                     crate::artifact::HEADER,
-                    crate::artifact::HEADER_V2Q
+                    crate::artifact::HEADER_V2Q,
+                    crate::artifact::HEADER_V3_MLP
                 )
             }
             ServeError::Checksum { stored, computed } => write!(

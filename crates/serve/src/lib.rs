@@ -16,7 +16,14 @@
 //!   export into K checksummed shard files plus a manifest, and
 //!   [`ShardedArtifact`] composes them back behind the same `Predictor`
 //!   trait with per-shard rows bitwise identical to the unsharded export
-//!   ([`AnyArtifact`] sniffs manifest vs. single-file and loads either);
+//!   ([`AnyArtifact`] sniffs the first line and loads single-file,
+//!   manifest, or v3 student interchangeably);
+//! * [`mlp_artifact`] — the v3 (mlp) format: `rdd distill-mlp` freezes a
+//!   graph-free distilled student's weight matrices (optionally int8)
+//!   into a checksummed artifact; [`MlpArtifact`] serves arbitrary
+//!   **feature vectors** (`PredictRequest::ByFeatures`, no adjacency)
+//!   through the same canonical forward as every offline comparison, so
+//!   served feature replies are bitwise identical to the offline student;
 //! * [`engine`] — [`ServeEngine`]: request micro-batching (bounded queue,
 //!   flush on size or deadline, optional per-request deadlines shed as
 //!   typed [`ServeError::Expired`]) with a per-node LRU prediction cache
@@ -44,12 +51,13 @@
 //!   CLI funnels every subsystem's failures through.
 //!
 //! ```no_run
+//! use rdd_models::PredictRequest;
 //! use rdd_serve::{Artifact, ServeConfig, ServeEngine};
 //!
 //! let artifact = Artifact::load(std::path::Path::new("run.artifact")).unwrap();
 //! let epoch = artifact.checksum();
 //! let mut engine = ServeEngine::new(artifact, ServeConfig::default(), epoch).unwrap();
-//! if let Some(replies) = engine.submit(0, Some(vec![42])).unwrap() {
+//! if let Some(replies) = engine.submit(0, PredictRequest::nodes(vec![42])).unwrap() {
 //!     for reply in replies {
 //!         println!("{:?}", reply.result.unwrap().pred);
 //!     }
@@ -62,6 +70,7 @@ pub mod breaker;
 pub mod cache;
 pub mod engine;
 pub mod error;
+pub mod mlp_artifact;
 pub mod pool;
 pub mod quant;
 pub mod shard;
@@ -71,7 +80,7 @@ pub use artifact::{
     export_run, export_run_as, fnv1a64, write_artifact, write_artifact_as, write_ensemble,
     write_ensemble_as, Artifact, ArtifactFormat, ArtifactMeta,
 };
-pub use bench::{bench_artifact, bench_artifact_pooled, BenchResult};
+pub use bench::{bench_artifact, bench_artifact_features, bench_artifact_pooled, BenchResult};
 pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
 pub use cache::{LruCache, ShardedLru};
 pub use engine::{
@@ -79,6 +88,7 @@ pub use engine::{
     DEFAULT_METRICS_WINDOW_S,
 };
 pub use error::{RddError, ServeError};
+pub use mlp_artifact::{write_mlp_artifact, MlpArtifact};
 pub use pool::{PoolConfig, PoolReport, ServePool, WorkerReport};
 pub use shard::{export_run_sharded, write_sharded, AnyArtifact, ShardedArtifact};
 pub use swap::{checked_load, ArtifactWatcher, SwapCell, WatchOutcome};

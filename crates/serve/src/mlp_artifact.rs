@@ -1,0 +1,470 @@
+//! The v3 (mlp) artifact: a distilled graph-free student frozen as weight
+//! matrices.
+//!
+//! v1/v2q artifacts store the ensemble's per-node distribution sums, so
+//! they can only answer for the nodes the run trained on. `rdd distill-mlp`
+//! trains an MLP student against the frozen ensemble (see
+//! `rdd_core::distill`) and exports its weights instead:
+//!
+//! ```text
+//! rdd-artifact v3 (mlp)
+//! meta {...}                 # the teacher run's ArtifactMeta (provenance)
+//! mlp <in_dim> <k> <layers>  # declared student shape, cross-checked
+//! matrix <d0> <d1>           # W0   (or `qmatrix <d0> <d1> int8` blocks
+//! <d0 rows of d1 floats>     #       with --quantize int8)
+//! ...                        # W1..W_{L-1}
+//! checksum <16 hex digits>   # same FNV-1a 64 discipline as v1/v2q
+//! ```
+//!
+//! A loaded [`MlpArtifact`] answers [`PredictRequest::ByFeatures`] — any
+//! row count, fixed feature dim, **no adjacency** — through the canonical
+//! dense forward [`rdd_models::mlp_forward_features`], the same function
+//! every offline comparison calls, so served feature replies are bitwise
+//! identical to the offline student forward. Node-id requests are rejected
+//! with a typed [`PredictError::NodesUnsupported`]: there are no per-node
+//! rows to read.
+
+use std::path::Path;
+
+use rdd_models::{
+    mlp_forward_features, validate_layer_chain, PredictError, PredictRequest, Prediction,
+    PredictionKind, Predictor,
+};
+use rdd_tensor::Matrix;
+
+use crate::artifact::{
+    fnv1a64, parse_matrix, parse_qmatrix, push_matrix, push_qmatrix, ArtifactFormat, ArtifactMeta,
+    Lines, HEADER_V3_MLP,
+};
+use crate::error::ServeError;
+
+/// Serialize and atomically write a v3 (mlp) artifact: the student's
+/// weight matrices under the teacher run's meta. `quantize` swaps each
+/// `matrix` block for an int8 `qmatrix` block (lossy, ~0.3× the bytes).
+/// Returns the file checksum.
+pub fn write_mlp_artifact(
+    path: &Path,
+    meta: &ArtifactMeta,
+    params: &[Matrix],
+    quantize: bool,
+) -> Result<u64, ServeError> {
+    meta.validate().map_err(ServeError::Artifact)?;
+    validate_layer_chain(params).map_err(ServeError::Artifact)?;
+    let k = params[params.len() - 1].cols();
+    if k != meta.num_classes {
+        return Err(ServeError::Artifact(format!(
+            "student emits {k} classes but meta declares {}",
+            meta.num_classes
+        )));
+    }
+    let mut text = String::new();
+    text.push_str(HEADER_V3_MLP);
+    text.push('\n');
+    text.push_str("meta ");
+    meta.to_json().write(&mut text);
+    text.push('\n');
+    use std::fmt::Write as _;
+    let _ = writeln!(text, "mlp {} {} {}", params[0].rows(), k, params.len());
+    for w in params {
+        if quantize {
+            push_qmatrix(&mut text, w);
+        } else {
+            push_matrix(&mut text, w);
+        }
+    }
+    let checksum = fnv1a64(text.as_bytes());
+    let _ = writeln!(text, "checksum {checksum:016x}");
+    rdd_models::atomic_write(path, &text).map_err(ServeError::Io)?;
+    Ok(checksum)
+}
+
+/// A loaded, validated v3 artifact: the frozen student as a feature-only
+/// [`Predictor`].
+#[derive(Clone, Debug)]
+pub struct MlpArtifact {
+    meta: ArtifactMeta,
+    params: Vec<Matrix>,
+    quantized: bool,
+    /// FNV-1a 64 of the file content (also the serve cache's key epoch —
+    /// unused for feature rows, which are uncacheable, but still the
+    /// generation identity for swap/telemetry).
+    checksum: u64,
+}
+
+impl MlpArtifact {
+    /// Load and fully validate a v3 file: checksum first, then header,
+    /// meta, the declared `mlp` shape line, and every weight block
+    /// (consistent encoding, consistent layer chain, finite values).
+    pub fn load(path: &Path) -> Result<Self, ServeError> {
+        let text = std::fs::read_to_string(path)?;
+        let body_end = text
+            .rfind("\nchecksum ")
+            .ok_or_else(|| ServeError::Artifact("missing checksum line".into()))?
+            + 1;
+        let stored_line = text[body_end..].trim_end();
+        let stored = stored_line
+            .strip_prefix("checksum ")
+            .and_then(|h| u64::from_str_radix(h.trim(), 16).ok())
+            .ok_or_else(|| ServeError::Artifact(format!("bad checksum line {stored_line:?}")))?;
+        if !text[body_end..].ends_with('\n') || text[body_end..].lines().count() != 1 {
+            return Err(ServeError::Artifact(
+                "trailing garbage after checksum line".into(),
+            ));
+        }
+        let computed = fnv1a64(&text.as_bytes()[..body_end]);
+        if computed != stored {
+            return Err(ServeError::Checksum { stored, computed });
+        }
+
+        let mut lines = Lines {
+            rest: text[..body_end].lines(),
+            line_no: 0,
+        };
+        let header = lines.next()?;
+        if header != HEADER_V3_MLP {
+            if header.starts_with("rdd-artifact") {
+                return Err(ServeError::WrongVersion {
+                    found: header.to_string(),
+                });
+            }
+            return Err(ServeError::Artifact(format!(
+                "not an rdd artifact (first line {header:?})"
+            )));
+        }
+        let meta_line = lines.next()?;
+        let meta_src = meta_line
+            .strip_prefix("meta ")
+            .ok_or_else(|| ServeError::Artifact("line 2: expected 'meta {{...}}'".into()))?;
+        let meta_json = rdd_obs::parse(meta_src)
+            .map_err(|e| ServeError::Artifact(format!("bad meta json: {e}")))?;
+        let meta = ArtifactMeta::from_json(&meta_json).map_err(ServeError::Artifact)?;
+        meta.validate().map_err(ServeError::Artifact)?;
+
+        let shape_line = lines.next()?;
+        let toks: Vec<&str> = shape_line.split_whitespace().collect();
+        let (in_dim, k, layers) = match toks.as_slice() {
+            ["mlp", d, k, l] => {
+                let parse = |tok: &str| -> Result<usize, ServeError> {
+                    tok.parse::<usize>().map_err(|_| {
+                        ServeError::Artifact(format!("bad mlp shape line {shape_line:?}"))
+                    })
+                };
+                (parse(d)?, parse(k)?, parse(l)?)
+            }
+            _ => {
+                return Err(ServeError::Artifact(format!(
+                    "line 3: expected 'mlp IN_DIM K LAYERS', found {shape_line:?}"
+                )))
+            }
+        };
+        if layers == 0 {
+            return Err(ServeError::Artifact("mlp declares zero layers".into()));
+        }
+        if k != meta.num_classes {
+            return Err(ServeError::Artifact(format!(
+                "mlp line declares {k} classes but meta declares {}",
+                meta.num_classes
+            )));
+        }
+
+        let tier = rdd_tensor::simd::active();
+        let mut params = Vec::with_capacity(layers);
+        let mut quantized = None;
+        for l in 0..layers {
+            // Sniff the block keyword without consuming it; the block
+            // parsers own their header lines.
+            let kw = lines
+                .rest
+                .clone()
+                .next()
+                .map(|line| line.split_whitespace().next().unwrap_or(""))
+                .unwrap_or("");
+            let (w, is_q) = match kw {
+                "matrix" => (parse_matrix(&mut lines)?, false),
+                "qmatrix" => (parse_qmatrix(&mut lines, tier)?, true),
+                _ => {
+                    return Err(ServeError::Artifact(format!(
+                        "layer {l}: expected a matrix or qmatrix block, found {kw:?}"
+                    )))
+                }
+            };
+            if *quantized.get_or_insert(is_q) != is_q {
+                return Err(ServeError::Artifact(format!(
+                    "layer {l}: mixed matrix/qmatrix encodings in one artifact"
+                )));
+            }
+            params.push(w);
+        }
+        if lines.rest.next().is_some() {
+            return Err(ServeError::Artifact(
+                "trailing garbage before checksum line".into(),
+            ));
+        }
+        validate_layer_chain(&params).map_err(ServeError::Artifact)?;
+        if params[0].rows() != in_dim {
+            return Err(ServeError::Artifact(format!(
+                "mlp line declares in_dim {in_dim} but layer 0 has {} rows",
+                params[0].rows()
+            )));
+        }
+        if params[layers - 1].cols() != k {
+            return Err(ServeError::Artifact(format!(
+                "mlp line declares {k} classes but the last layer emits {}",
+                params[layers - 1].cols()
+            )));
+        }
+        Ok(Self {
+            meta,
+            params,
+            quantized: quantized.unwrap_or(false),
+            checksum: stored,
+        })
+    }
+
+    /// The teacher run's metadata (provenance; `dataset_n` is the size of
+    /// the graph the student was distilled on, not a serving bound).
+    pub fn meta(&self) -> &ArtifactMeta {
+        &self.meta
+    }
+
+    /// Always [`ArtifactFormat::V3Mlp`].
+    pub fn format(&self) -> ArtifactFormat {
+        ArtifactFormat::V3Mlp
+    }
+
+    /// The file checksum (the artifact's generation identity).
+    pub fn checksum(&self) -> u64 {
+        self.checksum
+    }
+
+    /// The student's weight matrices, first to last.
+    pub fn params(&self) -> &[Matrix] {
+        &self.params
+    }
+
+    /// Input feature dimensionality the student expects.
+    pub fn in_dim(&self) -> usize {
+        self.params[0].rows()
+    }
+
+    /// Number of linear layers.
+    pub fn num_layers(&self) -> usize {
+        self.params.len()
+    }
+
+    /// Whether the weight blocks were int8-quantized on disk.
+    pub fn quantized(&self) -> bool {
+        self.quantized
+    }
+
+    /// Answer a dense feature-row batch: the canonical
+    /// [`mlp_forward_features`] pass, then a row softmax — the one code
+    /// path shared with every offline comparison, which is what makes
+    /// served feature replies bitwise-reproducible.
+    pub fn predict_features(&self, rows: &Matrix) -> Result<Prediction, PredictError> {
+        if rows.cols() != self.in_dim() {
+            return Err(PredictError::FeatureDimMismatch {
+                got: rows.cols(),
+                expected: self.in_dim(),
+            });
+        }
+        let proba = mlp_forward_features(&self.params, rows).softmax_rows();
+        Ok(Prediction {
+            nodes: (0..rows.rows()).collect(),
+            pred: proba.argmax_rows(),
+            proba,
+            kind: PredictionKind::Features,
+        })
+    }
+}
+
+impl Predictor for MlpArtifact {
+    /// The training graph's node count (provenance only — node requests
+    /// are rejected regardless).
+    fn num_nodes(&self) -> usize {
+        self.meta.dataset_n
+    }
+
+    fn num_classes(&self) -> usize {
+        self.meta.num_classes
+    }
+
+    fn predict_batch(&self, req: &PredictRequest) -> Result<Prediction, PredictError> {
+        match req {
+            PredictRequest::ByFeatures(rows) => self.predict_features(rows),
+            PredictRequest::All | PredictRequest::ByNodes(_) => {
+                Err(PredictError::NodesUnsupported {
+                    predictor: "mlp artifact",
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("rdd_mlp_unit_{}_{tag}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn fixture(in_dim: usize, hidden: usize, k: usize) -> (ArtifactMeta, Vec<Matrix>) {
+        let meta = ArtifactMeta {
+            dataset_name: "unit".into(),
+            dataset_n: 9,
+            num_classes: k,
+            source: "unit-test".into(),
+            members: 2,
+            alphas: vec![1.5, 0.5],
+            alpha_total: 2.0,
+        };
+        let gen = |r: usize, c: usize, salt: usize| {
+            let data: Vec<f32> = (0..r * c)
+                .map(|i| ((i * 37 + salt) % 97) as f32 / 29.0 - 1.5)
+                .collect();
+            Matrix::from_vec(r, c, data)
+        };
+        (meta, vec![gen(in_dim, hidden, 1), gen(hidden, k, 11)])
+    }
+
+    fn rows(n: usize, d: usize) -> Matrix {
+        Matrix::from_fn(n, d, |i, j| ((i * 13 + j * 7) % 19) as f32 * 0.1)
+    }
+
+    #[test]
+    fn roundtrip_serves_features_bitwise() {
+        let dir = tmpdir("roundtrip");
+        let (meta, params) = fixture(6, 5, 3);
+        let path = dir.join("s.artifact");
+        let checksum = write_mlp_artifact(&path, &meta, &params, false).unwrap();
+        let art = MlpArtifact::load(&path).unwrap();
+        assert_eq!(art.checksum(), checksum);
+        assert_eq!(art.format(), ArtifactFormat::V3Mlp);
+        assert!(!art.quantized());
+        assert_eq!(art.in_dim(), 6);
+        assert_eq!(art.num_layers(), 2);
+        assert_eq!(art.num_classes(), 3);
+        // Full-precision weights roundtrip bitwise (shortest-roundtrip
+        // Display), so the served forward equals the in-memory forward.
+        let batch = rows(4, 6);
+        let served = art
+            .predict_batch(&PredictRequest::features(batch.clone()))
+            .unwrap();
+        assert_eq!(served.kind, PredictionKind::Features);
+        assert_eq!(served.nodes, vec![0, 1, 2, 3]);
+        let offline = mlp_forward_features(&params, &batch).softmax_rows();
+        let same = served
+            .proba
+            .as_slice()
+            .iter()
+            .zip(offline.as_slice())
+            .all(|(a, b)| a.to_bits() == b.to_bits());
+        assert!(same, "served feature rows must be bitwise vs offline");
+    }
+
+    #[test]
+    fn quantized_roundtrip_is_close_not_bitwise() {
+        let dir = tmpdir("quant");
+        let (meta, params) = fixture(6, 5, 3);
+        let path = dir.join("q.artifact");
+        write_mlp_artifact(&path, &meta, &params, true).unwrap();
+        let art = MlpArtifact::load(&path).unwrap();
+        assert!(art.quantized());
+        for (orig, loaded) in params.iter().zip(art.params()) {
+            assert_eq!(orig.shape(), loaded.shape());
+            assert!(
+                orig.max_abs_diff(loaded) < 0.05,
+                "int8 drift {} too large",
+                orig.max_abs_diff(loaded)
+            );
+        }
+    }
+
+    #[test]
+    fn node_requests_are_typed_unsupported() {
+        let dir = tmpdir("nodes");
+        let (meta, params) = fixture(4, 3, 2);
+        let path = dir.join("n.artifact");
+        write_mlp_artifact(&path, &meta, &params, false).unwrap();
+        let art = MlpArtifact::load(&path).unwrap();
+        for req in [PredictRequest::all(), PredictRequest::nodes(vec![0])] {
+            assert!(matches!(
+                art.predict_batch(&req),
+                Err(PredictError::NodesUnsupported {
+                    predictor: "mlp artifact"
+                })
+            ));
+        }
+    }
+
+    #[test]
+    fn feature_dim_mismatch_is_typed() {
+        let dir = tmpdir("dim");
+        let (meta, params) = fixture(4, 3, 2);
+        let path = dir.join("d.artifact");
+        write_mlp_artifact(&path, &meta, &params, false).unwrap();
+        let art = MlpArtifact::load(&path).unwrap();
+        let err = art
+            .predict_batch(&PredictRequest::features(rows(2, 5)))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            PredictError::FeatureDimMismatch {
+                got: 5,
+                expected: 4
+            }
+        );
+    }
+
+    #[test]
+    fn writer_rejects_broken_chains_and_wrong_classes() {
+        let dir = tmpdir("reject");
+        let (meta, _) = fixture(4, 3, 2);
+        let path = dir.join("x.artifact");
+        let broken = vec![Matrix::zeros(4, 3), Matrix::zeros(5, 2)];
+        assert!(write_mlp_artifact(&path, &meta, &broken, false).is_err());
+        let wrong_k = vec![Matrix::zeros(4, 3), Matrix::zeros(3, 7)];
+        let err = write_mlp_artifact(&path, &meta, &wrong_k, false).unwrap_err();
+        assert!(err.to_string().contains("7 classes"), "{err}");
+        assert!(write_mlp_artifact(&path, &meta, &[], false).is_err());
+    }
+
+    #[test]
+    fn corruption_is_a_checksum_error_and_v1_header_is_wrong_version() {
+        let dir = tmpdir("corrupt");
+        let (meta, params) = fixture(4, 3, 2);
+        let path = dir.join("c.artifact");
+        write_mlp_artifact(&path, &meta, &params, false).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, text.replacen("mlp 4", "mlp 5", 1)).unwrap();
+        assert!(matches!(
+            MlpArtifact::load(&path),
+            Err(ServeError::Checksum { .. })
+        ));
+        // A re-checksummed tampered shape line fails the cross-check.
+        let mutated = text.replacen("mlp 4", "mlp 5", 1);
+        let body_end = mutated.rfind("\nchecksum ").unwrap() + 1;
+        let checksum = fnv1a64(mutated[..body_end].as_bytes());
+        std::fs::write(
+            &path,
+            format!("{}checksum {checksum:016x}\n", &mutated[..body_end]),
+        )
+        .unwrap();
+        match MlpArtifact::load(&path) {
+            Err(ServeError::Artifact(msg)) => assert!(msg.contains("in_dim"), "{msg}"),
+            other => panic!("expected a shape error, got {other:?}", other = other.err()),
+        }
+        // The v3 loader rejects a v1 file as a version mismatch.
+        let v1ish = "rdd-artifact v1\nmeta {}\n";
+        let checksum = fnv1a64(v1ish.as_bytes());
+        std::fs::write(&path, format!("{v1ish}checksum {checksum:016x}\n")).unwrap();
+        assert!(matches!(
+            MlpArtifact::load(&path),
+            Err(ServeError::WrongVersion { .. })
+        ));
+    }
+}

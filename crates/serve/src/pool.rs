@@ -280,11 +280,12 @@ impl<P: Predictor + Send + Sync + 'static> ServePool<P> {
         self.shared.workers.len()
     }
 
-    /// Enqueue a request (`nodes: None` = the whole graph). Unlike the
-    /// single-threaded engine, replies never come back through this call —
-    /// they stream to the pool's reply sender.
-    pub fn submit(&self, id: u64, nodes: Option<Vec<usize>>) -> Result<(), ServeError> {
-        self.submit_with_deadline(id, nodes, None)
+    /// Enqueue a request — node ids or raw feature rows
+    /// ([`rdd_models::PredictRequest`]). Unlike the single-threaded
+    /// engine, replies never come back through this call — they stream to
+    /// the pool's reply sender.
+    pub fn submit(&self, id: u64, req: rdd_models::PredictRequest) -> Result<(), ServeError> {
+        self.submit_with_deadline(id, req, None)
     }
 
     /// [`ServePool::submit`] with an optional deadline: the dispatching
@@ -293,7 +294,7 @@ impl<P: Predictor + Send + Sync + 'static> ServePool<P> {
     pub fn submit_with_deadline(
         &self,
         id: u64,
-        nodes: Option<Vec<usize>>,
+        req: rdd_models::PredictRequest,
         deadline: Option<Instant>,
     ) -> Result<(), ServeError> {
         if let Some(breaker) = &self.shared.breaker {
@@ -326,7 +327,7 @@ impl<P: Predictor + Send + Sync + 'static> ServePool<P> {
             }
             q.pending.push_back(PendingRequest {
                 id,
-                nodes,
+                req,
                 enqueued: Instant::now(),
                 deadline,
                 retries: 0,
@@ -597,6 +598,7 @@ fn worker_loop<P: Predictor + Send + Sync + 'static>(shared: &Arc<Shared<P>>, id
             w.stats.batches += 1;
             w.stats.cache_hits += out.hits as u64;
             w.stats.cache_misses += out.nodes_served.saturating_sub(out.hits) as u64;
+            w.stats.feature_rows += out.feature_rows as u64;
             w.stats.expired += out.expired as u64;
             for _ in 0..out.expired {
                 w.window.record_shed(ShedCause::Expired);
@@ -723,11 +725,76 @@ mod tests {
             self.proba.cols()
         }
         fn predict_batch(&self, req: &PredictRequest) -> Result<Prediction, PredictError> {
+            // Feature rows: dim must equal k; answer softmax(row) — a
+            // deterministic stand-in for a distilled student forward.
+            if let PredictRequest::ByFeatures(rows) = req {
+                if rows.cols() != self.proba.cols() {
+                    return Err(PredictError::FeatureDimMismatch {
+                        got: rows.cols(),
+                        expected: self.proba.cols(),
+                    });
+                }
+                let proba = rows.softmax_rows();
+                return Ok(Prediction {
+                    nodes: (0..rows.rows()).collect(),
+                    pred: proba.argmax_rows(),
+                    proba,
+                    kind: rdd_models::PredictionKind::Features,
+                });
+            }
             let out = gather_prediction(&self.proba, req)?;
             self.nodes_executed
                 .fetch_add(out.nodes.len(), Ordering::Relaxed);
             Ok(out)
         }
+    }
+
+    #[test]
+    fn pooled_hammer_mixes_node_and_feature_requests() {
+        let (tx, rx) = mpsc::channel();
+        let cfg = PoolConfig {
+            serve: ServeConfig {
+                batch_size: 4,
+                max_delay_ms: 1,
+                ..ServeConfig::default()
+            },
+            workers: 3,
+            ..PoolConfig::default()
+        };
+        let pool = ServePool::new(FakePredictor::new(24, 3, 0), cfg, 0xfab, tx).unwrap();
+        // Even ids ask for a node row, odd ids send a raw feature vector
+        // whose softmax (the fake's student forward) is predictable.
+        for id in 0..60u64 {
+            if id % 2 == 0 {
+                pool.submit(id, PredictRequest::nodes(vec![(id % 24) as usize]))
+                    .unwrap();
+            } else {
+                let row = Matrix::from_fn(1, 3, |_, j| (id as usize * 7 + j) as f32 * 0.01);
+                pool.submit(id, PredictRequest::features(row)).unwrap();
+            }
+        }
+        let report = pool.shutdown();
+        let replies: Vec<ServeReply> = rx.into_iter().collect();
+        assert_eq!(replies.len(), 60, "every mixed request gets a reply");
+        for r in &replies {
+            let p = r.result.as_ref().expect("mixed traffic all serves");
+            if r.id % 2 == 0 {
+                assert_eq!(p.kind, rdd_models::PredictionKind::Node);
+                assert_eq!(p.nodes, vec![(r.id % 24) as usize]);
+            } else {
+                assert_eq!(p.kind, rdd_models::PredictionKind::Features);
+                assert_eq!(p.nodes, vec![0]);
+                let row = Matrix::from_fn(1, 3, |_, j| (r.id as usize * 7 + j) as f32 * 0.01);
+                assert_eq!(
+                    p.proba.as_slice(),
+                    row.softmax_rows().as_slice(),
+                    "served feature row must be bitwise vs the direct forward"
+                );
+            }
+        }
+        assert_eq!(report.stats.requests, 60);
+        assert_eq!(report.stats.feature_rows, 30);
+        assert_eq!(report.stats.failed, 0);
     }
 
     #[test]
@@ -763,7 +830,8 @@ mod tests {
         };
         let pool = ServePool::new(FakePredictor::new(24, 3, 0), cfg, 0xfeed, tx).unwrap();
         for id in 0..50u64 {
-            pool.submit(id, Some(vec![(id % 24) as usize])).unwrap();
+            pool.submit(id, PredictRequest::nodes(vec![(id % 24) as usize]))
+                .unwrap();
         }
         let report = pool.shutdown();
         let replies: Vec<ServeReply> = rx.into_iter().collect();
@@ -790,7 +858,7 @@ mod tests {
             ServePool::new(FakePredictor::new(8, 2, 0), PoolConfig::default(), 1, tx).unwrap();
         pool.close_and_join();
         assert!(matches!(
-            pool.submit(0, Some(vec![1])),
+            pool.submit(0, PredictRequest::nodes(vec![1])),
             Err(ServeError::ShuttingDown)
         ));
     }
@@ -810,12 +878,12 @@ mod tests {
         };
         let pool = ServePool::new(FakePredictor::new(8, 2, 0), cfg, 11, tx).unwrap();
         assert_eq!(pool.generation(), 0);
-        pool.submit(0, Some(vec![1])).unwrap();
+        pool.submit(0, PredictRequest::nodes(vec![1])).unwrap();
         let first = rx.recv_timeout(Duration::from_secs(10)).unwrap();
         assert_eq!(first.generation, 0);
         let generation = pool.swap(FakePredictor::new(8, 2, 7), 22);
         assert_eq!(generation, 1);
-        pool.submit(1, Some(vec![1])).unwrap();
+        pool.submit(1, PredictRequest::nodes(vec![1])).unwrap();
         let second = rx.recv_timeout(Duration::from_secs(10)).unwrap();
         assert_eq!(second.generation, 1);
         // The two generations produced different rows for the same node.
@@ -860,7 +928,8 @@ mod tests {
         };
         let pool = ServePool::new(FakePredictor::new(16, 3, 0), cfg, 7, tx).unwrap();
         for id in 0..12u64 {
-            pool.submit(id, Some(vec![(id % 16) as usize])).unwrap();
+            pool.submit(id, PredictRequest::nodes(vec![(id % 16) as usize]))
+                .unwrap();
         }
         let mut replies = Vec::with_capacity(12);
         for _ in 0..12 {
@@ -903,7 +972,8 @@ mod tests {
         };
         let pool = ServePool::new(FakePredictor::new(8, 2, 0), cfg, 3, tx).unwrap();
         for id in 0..4u64 {
-            pool.submit(id, Some(vec![(id % 8) as usize])).unwrap();
+            pool.submit(id, PredictRequest::nodes(vec![(id % 8) as usize]))
+                .unwrap();
         }
         let mut replies = Vec::with_capacity(4);
         for _ in 0..4 {
@@ -952,7 +1022,7 @@ mod tests {
         let pool = ServePool::new(FakePredictor::new(8, 2, 0), cfg, 5, tx).unwrap();
         let mut tripped = false;
         for id in 0..200u64 {
-            match pool.submit(id, Some(vec![1])) {
+            match pool.submit(id, PredictRequest::nodes(vec![1])) {
                 Err(ServeError::Overloaded { retry_after_ms }) => {
                     assert!(retry_after_ms > 0.0);
                     tripped = true;
@@ -988,7 +1058,7 @@ mod tests {
             .pending
             .push_back(PendingRequest {
                 id: 99,
-                nodes: None,
+                req: PredictRequest::all(),
                 enqueued: Instant::now(),
                 deadline: None,
                 retries: 0,

@@ -29,11 +29,14 @@
 use std::path::{Path, PathBuf};
 
 use rdd_core::RunState;
-use rdd_models::{PredictError, PredictRequest, Prediction, Predictor};
+use rdd_models::{PredictError, PredictRequest, Prediction, PredictionKind, Predictor};
 use rdd_tensor::Matrix;
 
-use crate::artifact::{fnv1a64, write_artifact_as, Artifact, ArtifactFormat, ArtifactMeta};
+use crate::artifact::{
+    fnv1a64, write_artifact_as, Artifact, ArtifactFormat, ArtifactMeta, HEADER_V3_MLP,
+};
 use crate::error::{RddError, ServeError};
+use crate::mlp_artifact::MlpArtifact;
 
 /// First line of a shard manifest.
 pub const MANIFEST_HEADER: &str = "rdd-artifact-manifest v1";
@@ -430,6 +433,7 @@ impl ShardedArtifact {
             nodes: ids.to_vec(),
             proba,
             pred,
+            kind: PredictionKind::Node,
         })
     }
 }
@@ -444,23 +448,34 @@ impl Predictor for ShardedArtifact {
     }
 
     fn predict_batch(&self, req: &PredictRequest) -> Result<Prediction, PredictError> {
-        match &req.nodes {
-            Some(ids) => self.predict_nodes(ids),
-            None => self.predict_nodes(&(0..self.meta.dataset_n).collect::<Vec<_>>()),
+        match req {
+            PredictRequest::ByNodes(ids) => self.predict_nodes(ids),
+            PredictRequest::All => {
+                self.predict_nodes(&(0..self.meta.dataset_n).collect::<Vec<_>>())
+            }
+            PredictRequest::ByFeatures(_) => Err(PredictError::FeaturesUnsupported {
+                predictor: "sharded artifact",
+            }),
         }
     }
 }
 
-/// Either artifact kind behind one loader: sniffs the first line, then
-/// delegates to [`Artifact::load`] or [`ShardedArtifact::load`]. This is
-/// what the CLI serves from, so `rdd serve` and `rdd artifact-info` take a
-/// single file or a manifest interchangeably.
+/// Any artifact kind behind one loader: sniffs the first line, then
+/// delegates to [`Artifact::load`], [`ShardedArtifact::load`] or
+/// [`MlpArtifact::load`]. This is what the CLI serves from, so `rdd serve`
+/// and `rdd artifact-info` take a single file, a manifest, or a distilled
+/// student interchangeably — capability differences surface through
+/// [`ArtifactFormat::supports_nodes`] / [`ArtifactFormat::supports_features`]
+/// and typed [`PredictError`]s, never through separate entry points.
 #[derive(Clone, Debug)]
 pub enum AnyArtifact {
-    /// One single-file artifact (v1 or v2q).
+    /// One single-file ensemble artifact (v1 or v2q).
     Single(Artifact),
     /// A manifest-composed shard set.
     Sharded(ShardedArtifact),
+    /// A distilled graph-free MLP student (v3), feature-vector requests
+    /// only.
+    Mlp(MlpArtifact),
 }
 
 impl AnyArtifact {
@@ -470,18 +485,23 @@ impl AnyArtifact {
         let file = std::fs::File::open(path)?;
         let mut first = String::new();
         std::io::BufReader::new(file).read_line(&mut first)?;
-        if first.trim_end() == MANIFEST_HEADER {
+        let first = first.trim_end();
+        if first == MANIFEST_HEADER {
             Ok(AnyArtifact::Sharded(ShardedArtifact::load(path)?))
+        } else if first == HEADER_V3_MLP {
+            Ok(AnyArtifact::Mlp(MlpArtifact::load(path)?))
         } else {
             Ok(AnyArtifact::Single(Artifact::load(path)?))
         }
     }
 
-    /// The artifact's metadata (the full meta for a shard set).
+    /// The artifact's metadata (the full meta for a shard set; the teacher
+    /// run's meta for a distilled student).
     pub fn meta(&self) -> &ArtifactMeta {
         match self {
             AnyArtifact::Single(a) => a.meta(),
             AnyArtifact::Sharded(s) => s.meta(),
+            AnyArtifact::Mlp(m) => m.meta(),
         }
     }
 
@@ -490,6 +510,7 @@ impl AnyArtifact {
         match self {
             AnyArtifact::Single(a) => a.format(),
             AnyArtifact::Sharded(s) => s.format(),
+            AnyArtifact::Mlp(m) => m.format(),
         }
     }
 
@@ -499,30 +520,43 @@ impl AnyArtifact {
         match self {
             AnyArtifact::Single(a) => a.checksum(),
             AnyArtifact::Sharded(s) => s.checksum(),
+            AnyArtifact::Mlp(m) => m.checksum(),
         }
     }
 
-    /// Number of shards (1 for a single-file artifact).
+    /// Number of shards (1 for any single-file artifact).
     pub fn num_shards(&self) -> usize {
         match self {
-            AnyArtifact::Single(_) => 1,
+            AnyArtifact::Single(_) | AnyArtifact::Mlp(_) => 1,
             AnyArtifact::Sharded(s) => s.num_shards(),
         }
     }
 
-    /// The (composed) `Σ α_t · proba_t`, cloned out.
-    pub fn proba_sum(&self) -> Matrix {
+    /// The distilled student, when this is a v3 artifact.
+    pub fn as_mlp(&self) -> Option<&MlpArtifact> {
         match self {
-            AnyArtifact::Single(a) => a.proba_sum().clone(),
-            AnyArtifact::Sharded(s) => s.proba_sum(),
+            AnyArtifact::Mlp(m) => Some(m),
+            _ => None,
         }
     }
 
-    /// The (composed) `Σ α_t · logits_t`, cloned out.
-    pub fn logits_sum(&self) -> Matrix {
+    /// The (composed) `Σ α_t · proba_t`, cloned out. `None` for a v3
+    /// student, which stores weight matrices instead of per-node sums.
+    pub fn proba_sum(&self) -> Option<Matrix> {
         match self {
-            AnyArtifact::Single(a) => a.logits_sum().clone(),
-            AnyArtifact::Sharded(s) => s.logits_sum(),
+            AnyArtifact::Single(a) => Some(a.proba_sum().clone()),
+            AnyArtifact::Sharded(s) => Some(s.proba_sum()),
+            AnyArtifact::Mlp(_) => None,
+        }
+    }
+
+    /// The (composed) `Σ α_t · logits_t`, cloned out. `None` for a v3
+    /// student.
+    pub fn logits_sum(&self) -> Option<Matrix> {
+        match self {
+            AnyArtifact::Single(a) => Some(a.logits_sum().clone()),
+            AnyArtifact::Sharded(s) => Some(s.logits_sum()),
+            AnyArtifact::Mlp(_) => None,
         }
     }
 }
@@ -532,6 +566,7 @@ impl Predictor for AnyArtifact {
         match self {
             AnyArtifact::Single(a) => a.num_nodes(),
             AnyArtifact::Sharded(s) => s.num_nodes(),
+            AnyArtifact::Mlp(m) => m.num_nodes(),
         }
     }
 
@@ -539,6 +574,7 @@ impl Predictor for AnyArtifact {
         match self {
             AnyArtifact::Single(a) => a.num_classes(),
             AnyArtifact::Sharded(s) => s.num_classes(),
+            AnyArtifact::Mlp(m) => m.num_classes(),
         }
     }
 
@@ -546,6 +582,7 @@ impl Predictor for AnyArtifact {
         match self {
             AnyArtifact::Single(a) => a.predict_batch(req),
             AnyArtifact::Sharded(s) => s.predict_batch(req),
+            AnyArtifact::Mlp(m) => m.predict_batch(req),
         }
     }
 }

@@ -6,12 +6,13 @@
 
 use std::path::PathBuf;
 
-use rdd_core::{Ensemble, RddConfig, RddTrainer};
+use rdd_core::{distill_run, DistillConfig, Ensemble, RddConfig, RddTrainer, RunState};
 use rdd_graph::SynthConfig;
-use rdd_models::Predictor;
+use rdd_models::{mlp_forward_features, Model, PredictRequest, PredictionKind, Predictor};
 use rdd_serve::quant::{encode_qrow, QuantRow};
 use rdd_serve::{
-    export_run, write_ensemble, write_ensemble_as, Artifact, ArtifactFormat, ServeError,
+    export_run, write_ensemble, write_ensemble_as, write_mlp_artifact, AnyArtifact, Artifact,
+    ArtifactFormat, ArtifactMeta, MlpArtifact, ServeError,
 };
 use rdd_tensor::Matrix;
 
@@ -368,6 +369,189 @@ fn wrong_version_is_a_typed_error() {
         ServeError::WrongVersion { found } => assert_eq!(found, "rdd-artifact v9"),
         other => panic!("expected WrongVersion, got {other}"),
     }
+}
+
+/// A valid v3 (mlp) meta/params pair for the student round-trip sweeps.
+/// `alpha_total` must be the exact fold of the alphas or `validate()`
+/// rejects the meta before anything is written.
+fn mlp_fixture(seed: u64, in_dim: usize, hidden: usize, k: usize) -> (ArtifactMeta, Vec<Matrix>) {
+    let mut s = Stream(seed | 1);
+    let meta = ArtifactMeta {
+        dataset_name: "sweep".into(),
+        dataset_n: 8,
+        num_classes: k,
+        source: "unit-test".into(),
+        members: 2,
+        alphas: vec![1.25, 0.75],
+        alpha_total: 2.0,
+    };
+    let params = vec![s.matrix(in_dim, hidden), s.matrix(hidden, k)];
+    (meta, params)
+}
+
+/// A valid **v3 (mlp)** artifact's text, for the student corruption sweeps.
+fn artifact_text_v3(tag: &str) -> String {
+    let (meta, params) = mlp_fixture(0xA5, 6, 5, 3);
+    let path = tmp(&format!("text_v3_{tag}"));
+    write_mlp_artifact(&path, &meta, &params, false).expect("write");
+    let text = std::fs::read_to_string(&path).expect("read back");
+    let _ = std::fs::remove_file(&path);
+    text
+}
+
+#[test]
+fn v3_roundtrip_serves_features_bitwise_and_loads_via_any_artifact() {
+    let cases: &[(u64, usize, usize, usize, bool)] = &[
+        (1, 6, 5, 3, false),
+        (2, 12, 8, 4, false),
+        (3, 3, 2, 2, false),
+        (4, 6, 5, 3, true),
+    ];
+    for &(seed, in_dim, hidden, k, quantize) in cases {
+        let (meta, params) = mlp_fixture(seed, in_dim, hidden, k);
+        let path = tmp(&format!("v3_roundtrip_{seed}"));
+        let checksum = write_mlp_artifact(&path, &meta, &params, quantize).expect("write");
+
+        // The sniffing loader must route the v3 header to the mlp parser.
+        let any = AnyArtifact::load(&path).expect("any load");
+        assert_eq!(any.format(), ArtifactFormat::V3Mlp, "case {seed}");
+        assert_eq!(any.checksum(), checksum, "case {seed}");
+        assert_eq!(any.num_shards(), 1, "case {seed}");
+        assert!(any.as_mlp().is_some(), "case {seed}");
+        assert!(any.proba_sum().is_none(), "mlp artifacts hold no sums");
+
+        let artifact = MlpArtifact::load(&path).expect("load");
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(artifact.meta(), &meta, "case {seed}");
+        assert_eq!(artifact.quantized(), quantize, "case {seed}");
+
+        // Served feature rows must be bitwise identical to the canonical
+        // offline forward over the *loaded* weights (for f32 artifacts the
+        // loaded weights are the written weights, so this chains to the
+        // original student).
+        let rows = Stream(seed ^ 0xFEED).matrix(7, in_dim);
+        let p = artifact
+            .predict_batch(&PredictRequest::features(rows.clone()))
+            .expect("predict");
+        assert_eq!(p.kind, PredictionKind::Features, "case {seed}");
+        assert_eq!(p.nodes, (0..7).collect::<Vec<_>>(), "case {seed}");
+        let offline = mlp_forward_features(artifact.params(), &rows).softmax_rows();
+        assert_bitwise_equal(&p.proba, &offline, "served vs offline forward");
+        if !quantize {
+            let original = mlp_forward_features(&params, &rows).softmax_rows();
+            assert_bitwise_equal(&p.proba, &original, "served vs original student");
+        }
+    }
+}
+
+#[test]
+fn every_single_byte_flip_in_a_v3_artifact_is_caught() {
+    // Same sweep as the v1/v2q tests, over the student layout: header,
+    // meta, the `mlp` shape line, and every weight-matrix row.
+    let text = artifact_text_v3("byteflip");
+    let bytes = text.as_bytes();
+    let body_end = text.rfind("\nchecksum ").unwrap() + 1;
+    for i in (0..body_end).step_by(7) {
+        let mut corrupted = bytes.to_vec();
+        corrupted[i] ^= 0x01;
+        let Ok(s) = String::from_utf8(corrupted) else {
+            continue;
+        };
+        let path = tmp("v3_byteflip");
+        std::fs::write(&path, &s).expect("write corrupted");
+        let out = MlpArtifact::load(&path);
+        let _ = std::fs::remove_file(&path);
+        match out {
+            Err(ServeError::Checksum { .. })
+            | Err(ServeError::Artifact(_))
+            | Err(ServeError::WrongVersion { .. }) => {}
+            Ok(_) => panic!("byte {i} flip loaded cleanly"),
+            Err(other) => panic!("byte {i} flip gave unexpected error {other}"),
+        }
+    }
+}
+
+#[test]
+fn truncation_at_every_line_of_a_v3_artifact_is_caught() {
+    let text = artifact_text_v3("trunc");
+    let lines: Vec<&str> = text.lines().collect();
+    for keep in 0..lines.len() {
+        let truncated = lines[..keep].join("\n");
+        let path = tmp("v3_trunc");
+        std::fs::write(&path, &truncated).expect("write truncated");
+        let out = MlpArtifact::load(&path);
+        let _ = std::fs::remove_file(&path);
+        match out {
+            Err(ServeError::Artifact(_)) | Err(ServeError::Checksum { .. }) => {}
+            Ok(_) => panic!("truncation to {keep} lines loaded cleanly"),
+            Err(other) => panic!("truncation to {keep} lines gave unexpected error {other}"),
+        }
+    }
+}
+
+#[test]
+fn distilled_student_tracks_the_ensemble_on_cora_sim() {
+    // End to end on the paper's primary dataset: train a small teacher
+    // cascade, distill the graph-free student, freeze it as a v3 artifact,
+    // and require (a) a bounded accuracy gap and (b) served feature rows
+    // bitwise identical to the offline student forward.
+    let dataset = SynthConfig::cora_sim().generate();
+    let mut cfg = RddConfig::fast();
+    cfg.num_base_models = 2;
+    let dir = tmp("distill_cora_run");
+    let _ = std::fs::remove_dir_all(&dir);
+    RddTrainer::new(cfg)
+        .run_crash_safe(&dataset, &dir, "cora")
+        .expect("train");
+
+    let state = RunState::load(&dir).expect("run state");
+    let out = distill_run(&state, &dataset, &DistillConfig::fast()).expect("distill");
+    assert!(out.num_reliable > 0, "some nodes must carry KD weight");
+    assert!(
+        out.student_test_acc > 0.5,
+        "student acc {}",
+        out.student_test_acc
+    );
+    assert!(
+        out.accuracy_gap() < 0.2,
+        "student trails teacher by {:.3} ({:.3} vs {:.3})",
+        out.accuracy_gap(),
+        out.student_test_acc,
+        out.ensemble_test_acc
+    );
+
+    let (n, k) = state.dataset_shape();
+    let ensemble = state.load_ensemble().expect("ensemble");
+    let meta = ArtifactMeta {
+        dataset_name: state.dataset_name().to_string(),
+        dataset_n: n,
+        num_classes: k,
+        source: state.source().to_string(),
+        members: ensemble.len(),
+        alphas: ensemble.alphas(),
+        alpha_total: ensemble.alpha_total(),
+    };
+    let path = tmp("distill_cora_artifact");
+    let student_params = Model::params(&out.student).to_vec();
+    write_mlp_artifact(&path, &meta, &student_params, false).expect("write");
+    let artifact = MlpArtifact::load(&path).expect("load");
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Serve the first 16 training-graph feature rows as raw vectors: the
+    // replies must match the offline student forward bitwise.
+    let in_dim = artifact.in_dim();
+    let mut rows = Matrix::zeros(16, in_dim);
+    for i in 0..16 {
+        for j in 0..in_dim {
+            rows.set(i, j, dataset.features.get(i, j));
+        }
+    }
+    let p = artifact
+        .predict_batch(&PredictRequest::features(rows.clone()))
+        .expect("predict");
+    let offline = mlp_forward_features(&student_params, &rows).softmax_rows();
+    assert_bitwise_equal(&p.proba, &offline, "served cora rows vs offline student");
 }
 
 #[test]

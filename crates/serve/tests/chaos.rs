@@ -12,6 +12,7 @@ use std::sync::{mpsc, Mutex};
 use std::time::{Duration, Instant};
 
 use rdd_core::Ensemble;
+use rdd_models::PredictRequest;
 use rdd_serve::{
     AnyArtifact, Artifact, ArtifactWatcher, PoolConfig, ServeConfig, ServeError, ServePool,
     ServeReply, WatchOutcome,
@@ -102,7 +103,8 @@ fn worker_panics_requeue_and_every_request_is_answered_bitwise() {
     let pool = ServePool::new(artifact, cfg, 1, tx).expect("pool");
     const REQUESTS: usize = 60;
     for i in 0..REQUESTS {
-        pool.submit(i as u64, Some(vec![i % n])).expect("submit");
+        pool.submit(i as u64, PredictRequest::nodes(vec![i % n]))
+            .expect("submit");
     }
     let seen = drain(&rx, REQUESTS);
     rdd_obs::fault::disarm();
@@ -148,7 +150,8 @@ fn batch_kernel_panic_is_supervised_and_requeued() {
     let pool = ServePool::new(artifact, cfg, 1, tx).expect("pool");
     const REQUESTS: usize = 40;
     for i in 0..REQUESTS {
-        pool.submit(i as u64, Some(vec![i % n])).expect("submit");
+        pool.submit(i as u64, PredictRequest::nodes(vec![i % n]))
+            .expect("submit");
     }
     let seen = drain(&rx, REQUESTS);
     rdd_obs::fault::disarm();
@@ -194,7 +197,8 @@ fn fault_outliving_retry_budget_is_a_typed_error_not_a_hang() {
     let pool = ServePool::new(artifact, cfg, 1, tx).expect("pool");
     const REQUESTS: usize = 6;
     for i in 0..REQUESTS {
-        pool.submit(i as u64, Some(vec![i])).expect("submit");
+        pool.submit(i as u64, PredictRequest::nodes(vec![i]))
+            .expect("submit");
     }
     let seen = drain(&rx, REQUESTS);
     rdd_obs::fault::disarm();
@@ -260,7 +264,8 @@ fn corrupt_watched_artifact_keeps_old_generation_until_good_replacement() {
     // Rollback semantics: the live generation is untouched and still
     // serves bitwise-identical rows.
     for i in 0..n {
-        pool.submit(i as u64, Some(vec![i])).expect("submit");
+        pool.submit(i as u64, PredictRequest::nodes(vec![i]))
+            .expect("submit");
     }
     for (id, reply) in drain(&rx, n) {
         assert_eq!(reply.generation, 0, "corrupt load must not bump generation");
@@ -297,7 +302,8 @@ fn corrupt_watched_artifact_keeps_old_generation_until_good_replacement() {
     assert_eq!(watcher.failures(), 0, "success resets the failure count");
 
     for i in 0..n {
-        pool.submit((n + i) as u64, Some(vec![i])).expect("submit");
+        pool.submit((n + i) as u64, PredictRequest::nodes(vec![i]))
+            .expect("submit");
     }
     for (id, reply) in drain(&rx, n) {
         assert_eq!(reply.generation, 1, "post-swap generation");

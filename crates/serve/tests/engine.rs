@@ -6,7 +6,7 @@
 use std::path::PathBuf;
 
 use rdd_core::Ensemble;
-use rdd_models::{PredictError, Predictor};
+use rdd_models::{PredictError, PredictRequest, Predictor};
 use rdd_serve::{write_ensemble, Artifact, ServeConfig, ServeEngine, ServeError};
 use rdd_tensor::Matrix;
 
@@ -56,13 +56,13 @@ fn served_rows_are_bitwise_equal_to_offline_ensemble_proba() {
         queue_capacity: 64,
     };
     let mut engine = ServeEngine::new(&artifact, cfg, artifact.checksum()).unwrap();
-    let requests: Vec<Option<Vec<usize>>> = vec![
-        Some(vec![0]),
-        Some(vec![5, 5, 2]),
-        None,
-        Some(vec![n - 1, 0]),
-        Some(vec![3]),
-        Some(vec![7, 11, 13, 7]),
+    let requests: Vec<PredictRequest> = vec![
+        PredictRequest::nodes(vec![0]),
+        PredictRequest::nodes(vec![5, 5, 2]),
+        PredictRequest::all(),
+        PredictRequest::nodes(vec![n - 1, 0]),
+        PredictRequest::nodes(vec![3]),
+        PredictRequest::nodes(vec![7, 11, 13, 7]),
     ];
     for pass in 0..2 {
         let mut replies = Vec::new();
@@ -77,8 +77,8 @@ fn served_rows_are_bitwise_equal_to_offline_ensemble_proba() {
             let p = reply.result.as_ref().expect("serve");
             let want = &requests[reply.id as usize];
             match want {
-                Some(ids) => assert_eq!(&p.nodes, ids),
-                None => assert_eq!(p.nodes.len(), n),
+                PredictRequest::ByNodes(ids) => assert_eq!(&p.nodes, ids),
+                _ => assert_eq!(p.nodes.len(), n),
             }
             for (r, &node) in p.nodes.iter().enumerate() {
                 assert_row_bitwise(
@@ -123,7 +123,7 @@ fn cache_off_still_matches_offline_bitwise() {
     let mut engine = ServeEngine::new(&artifact, cfg, artifact.checksum()).unwrap();
     for node in [0usize, 9, 23, 9] {
         let replies = engine
-            .submit(node as u64, Some(vec![node]))
+            .submit(node as u64, PredictRequest::nodes(vec![node]))
             .unwrap()
             .expect("flush");
         let p = replies[0].result.as_ref().expect("serve");
@@ -139,7 +139,10 @@ fn empty_ensemble_is_a_typed_error_through_the_engine() {
         ServeEngine::new(&empty, ServeConfig::default(), 0).expect("engine over empty ensemble");
     // Whole-graph over an empty predictor: n = 0, so the request resolves
     // to zero nodes and succeeds vacuously...
-    let replies = engine.submit(0, None).unwrap().map_or_else(Vec::new, |r| r);
+    let replies = engine
+        .submit(0, PredictRequest::all())
+        .unwrap()
+        .map_or_else(Vec::new, |r| r);
     let replies = if replies.is_empty() {
         engine.flush()
     } else {
@@ -150,7 +153,7 @@ fn empty_ensemble_is_a_typed_error_through_the_engine() {
         "empty node list serves trivially"
     );
     // ...but asking for any concrete node must fail with the typed error.
-    engine.submit(1, Some(vec![0])).unwrap();
+    engine.submit(1, PredictRequest::nodes(vec![0])).unwrap();
     let replies = engine.flush();
     match &replies[0].result {
         Err(ServeError::Predict(PredictError::NodeOutOfRange { num_nodes: 0, .. })) => {}

@@ -11,6 +11,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use rdd_core::Ensemble;
+use rdd_models::PredictRequest;
 use rdd_serve::{Artifact, PoolConfig, ServeConfig, ServeError, ServePool, ServeReply};
 use rdd_tensor::Matrix;
 
@@ -75,7 +76,8 @@ fn hammer_answers_every_request_exactly_once_bitwise() {
                 for i in 0..PER_CLIENT {
                     let id = (c * PER_CLIENT + i) as u64;
                     let node = (c * 7 + i * 13) % n;
-                    pool.submit(id, Some(vec![node])).expect("submit");
+                    pool.submit(id, PredictRequest::nodes(vec![node]))
+                        .expect("submit");
                 }
             })
         })
@@ -145,7 +147,8 @@ fn mid_stream_swap_isolates_generations_and_cache_epochs() {
     // Wave 1: every node twice, so the cache is warm under A's epoch.
     let wave = 2 * n;
     for i in 0..wave {
-        pool.submit(i as u64, Some(vec![i % n])).expect("submit");
+        pool.submit(i as u64, PredictRequest::nodes(vec![i % n]))
+            .expect("submit");
     }
     let mut replies_a = Vec::new();
     for _ in 0..wave {
@@ -167,7 +170,7 @@ fn mid_stream_swap_isolates_generations_and_cache_epochs() {
     // every batch, so each reply must carry gen 1 and B's rows — a stale
     // A-epoch cache row would fail the bitwise check.
     for i in 0..wave {
-        pool.submit((wave + i) as u64, Some(vec![i % n]))
+        pool.submit((wave + i) as u64, PredictRequest::nodes(vec![i % n]))
             .expect("submit");
     }
     for _ in 0..wave {
@@ -204,9 +207,10 @@ fn expired_requests_shed_typed_and_counted() {
 
     // A deadline already in the past must be shed no matter how fast the
     // worker dispatches it.
-    pool.submit_with_deadline(0, Some(vec![1]), Some(Instant::now()))
+    pool.submit_with_deadline(0, PredictRequest::nodes(vec![1]), Some(Instant::now()))
         .expect("admitted");
-    pool.submit(1, Some(vec![2])).expect("submit");
+    pool.submit(1, PredictRequest::nodes(vec![2]))
+        .expect("submit");
 
     let mut expired = 0;
     let mut served = 0;

@@ -132,7 +132,9 @@ fn any_artifact_sniffs_both_kinds_behind_one_loader() {
     assert_eq!(any_sharded.checksum(), sharded.checksum());
 
     // Composed sums from the sharded view are bitwise the single export's.
-    let stacked = any_sharded.proba_sum();
+    let stacked = any_sharded
+        .proba_sum()
+        .expect("sharded artifacts hold sums");
     for (a, b) in single.proba_sum().as_slice().iter().zip(stacked.as_slice()) {
         assert_eq!(a.to_bits(), b.to_bits(), "stacked proba_sum");
     }
